@@ -1,0 +1,727 @@
+(* The SQL/XNF benchmark harness.
+
+     dune exec bench/main.exe                 -- run every experiment
+     dune exec bench/main.exe -- --only E2    -- run one experiment
+     dune exec bench/main.exe -- --list       -- list experiments
+
+   The paper's evaluation section reports no data tables or figures (the
+   measurements were deferred to a later publication); each experiment here
+   regenerates one *quantitative claim* of the paper — see DESIGN.md §4 for
+   the experiment index and EXPERIMENTS.md for paper-vs-measured notes.
+   All workloads are seeded; numbers are deterministic up to machine speed.
+
+   Per-operation costs are estimated with Bechamel (OLS over monotonic
+   clock); bulk phases are wall-clocked. "IPC" columns add the modeled
+   per-call inter-process cost the paper's setting paid for every SQL-API
+   call (the XNF cache runs in-process, §4.2). *)
+
+open Relational
+
+let ipc_us = 100.
+
+(* ---- small measurement toolkit ---- *)
+
+let now () = Unix.gettimeofday ()
+
+(* wall-clock milliseconds of one run *)
+let time_ms f =
+  let t0 = now () in
+  let r = f () in
+  (r, (now () -. t0) *. 1000.)
+
+(* average wall-clock over [reps] runs, milliseconds *)
+let time_avg_ms ~reps f =
+  let t0 = now () in
+  for _ = 1 to reps do
+    ignore (Sys.opaque_identity (f ()))
+  done;
+  (now () -. t0) *. 1000. /. float_of_int reps
+
+(* Bechamel OLS estimate, ns/run *)
+let bech_ns ~name f =
+  let open Bechamel in
+  let test = Test.make ~name (Staged.stage f) in
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.25) () in
+  let results = Benchmark.all cfg [ Toolkit.Instance.monotonic_clock ] test in
+  let ols = Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |] in
+  let analyzed = Analyze.all ols Toolkit.Instance.monotonic_clock results in
+  match Hashtbl.fold (fun _ v acc -> v :: acc) analyzed [] with
+  | [ est ] -> begin
+    match Analyze.OLS.estimates est with
+    | Some (ns :: _) -> ns
+    | _ -> Float.nan
+  end
+  | _ -> Float.nan
+
+let pr fmt = Fmt.pr fmt
+
+let header id title claim =
+  pr "@.== %s: %s ==@." id title;
+  pr "   paper: %s@." claim
+
+let table ~cols rows =
+  let widths =
+    List.mapi (fun i c -> List.fold_left (fun w r -> max w (String.length (List.nth r i)))
+                 (String.length c) rows)
+      cols
+  in
+  let line cells =
+    pr "   ";
+    List.iteri (fun i cell -> pr "%-*s  " (List.nth widths i) cell) cells;
+    pr "@."
+  in
+  line cols;
+  line (List.map (fun w -> String.make w '-') widths);
+  List.iter line rows
+
+let f1 v = Printf.sprintf "%.1f" v
+let f2 v = Printf.sprintf "%.2f" v
+let fx v = Printf.sprintf "%.0fx" v
+
+(* ---- shared setup ---- *)
+
+let company_db ?(scale = Workload.Company.medium) () =
+  let db = Db.create () in
+  Workload.Company.populate db ~seed:1 ~scale ~repr:Workload.Company.Cdb1;
+  let api = Xnf.Api.create db in
+  Workload.Company.register_views api ~repr:Workload.Company.Cdb1;
+  (db, api)
+
+(* =====================================================================
+   E1 — cache navigation vs the regular SQL interface
+   ===================================================================== *)
+
+let e1 () =
+  header "E1" "cache navigation vs regular SQL interface"
+    "\"browsing is very fast ... performance improvement over regular SQL DBMS \
+     interface is in orders of magnitude\" (4.2)";
+  let db, api = company_db () in
+  let cache = Xnf.Api.fetch_string api "OUT OF ALL-DEPS-ORG TAKE *" in
+  let dept_node = Xnf.Cache.node cache "xdept" in
+  let employment = Xnf.Cache.edge cache "employment" in
+  let n_depts = Xnf.Cache.live_count dept_node in
+  (* per-step cost: expand one department's employees *)
+  let i = ref 0 in
+  let cache_step () =
+    i := (!i + 1) mod n_depts;
+    Sys.opaque_identity (Xnf.Cache.children cache employment !i)
+  in
+  let def, _, _ =
+    Xnf.View_registry.compose (Xnf.Api.registry api)
+      (Xnf.Xnf_parser.parse_query "OUT OF ALL-DEPS TAKE *")
+  in
+  let employment_def = Xnf.Co_schema.edge def "employment" in
+  let emp_def = Xnf.Co_schema.node def "xemp" in
+  let nav = Baseline.Sql_navigator.create db in
+  let dept_schema = Schema.requalify "xdept" (Table.schema (Catalog.table (Db.catalog db) "dept")) in
+  let dept_rows = Array.of_list (List.map (fun t -> t.Xnf.Cache.t_row) (Xnf.Cache.live_tuples dept_node)) in
+  let j = ref 0 in
+  let sql_step () =
+    j := (!j + 1) mod n_depts;
+    Sys.opaque_identity
+      (Baseline.Sql_navigator.children_of nav employment_def
+         ~child_query:emp_def.Xnf.Co_schema.nd_query ~parent_schema:dept_schema
+         ~parent_row:dept_rows.(!j))
+  in
+  let cache_ns = bech_ns ~name:"e1-cache-step" (fun () -> ignore (cache_step ())) in
+  let sql_ns = bech_ns ~name:"e1-sql-step" (fun () -> ignore (sql_step ())) in
+  let sql_ipc_ns = sql_ns +. (ipc_us *. 1000.) in
+  table
+    ~cols:[ "navigation step (one dept -> its emps)"; "ns/step"; "vs cache" ]
+    [ [ "XNF cache (dependent-cursor expansion)"; f1 cache_ns; "1x" ];
+      [ "SQL interface (in-process)"; f1 sql_ns; fx (sql_ns /. cache_ns) ];
+      [ Printf.sprintf "SQL interface (+%.0fus IPC)" ipc_us; f1 sql_ipc_ns;
+        fx (sql_ipc_ns /. cache_ns) ] ]
+
+(* =====================================================================
+   E2 — the Cattell OO1 benchmark
+   ===================================================================== *)
+
+let e2 () =
+  header "E2" "OO1 (Cattell) lookup / traversal / insert"
+    "cache speedup \"comparable to the performance improvement of OODBMS over \
+     relational DBMSs reported in Cattell's benchmark\" (4.2)";
+  let n_parts = 5000 in
+  let db = Db.create () in
+  Workload.Oo1.populate db ~seed:3 ~n_parts;
+  let api = Xnf.Api.create db in
+  let load, load_ms = time_ms (fun () -> Xnf.Api.fetch_string api Workload.Oo1.parts_co_query) in
+  let cache = load in
+  pr "   database: %d parts, %d connections; cache load %.1f ms@." n_parts (3 * n_parts) load_ms;
+  let part_node = Xnf.Cache.node cache "xpart" in
+  let outgoing = Xnf.Cache.edge cache "outgoing" in
+  let target = Xnf.Cache.edge cache "target" in
+  (* application-level id index over the cache (OO1 allows it) *)
+  let by_id = Hashtbl.create n_parts in
+  List.iter
+    (fun t -> Hashtbl.replace by_id (Value.as_int t.Xnf.Cache.t_row.(0)) t.Xnf.Cache.t_pos)
+    (Xnf.Cache.live_tuples part_node);
+  let rng = Workload.Rng.create 99 in
+  let lookups = Array.of_list (Workload.Oo1.lookup_ids rng ~n_parts ~count:1000) in
+  let nav = Baseline.Sql_navigator.create db in
+
+  (* lookup *)
+  let cache_lookup () =
+    Array.iter
+      (fun id ->
+        let pos = Hashtbl.find by_id id in
+        ignore (Sys.opaque_identity (Xnf.Cache.tuple part_node pos).Xnf.Cache.t_row))
+      lookups
+  in
+  let sql_lookup () =
+    Array.iter
+      (fun id ->
+        ignore
+          (Sys.opaque_identity
+             (Baseline.Sql_navigator.query nav
+                (Printf.sprintf "SELECT * FROM part WHERE id = %d" id))))
+      lookups
+  in
+  let cache_lookup_ms = time_avg_ms ~reps:5 cache_lookup in
+  Baseline.Sql_navigator.reset nav;
+  let sql_lookup_ms = time_avg_ms ~reps:3 sql_lookup in
+  let lookup_calls = Baseline.Sql_navigator.calls nav / 3 in
+
+  (* traversal, depth 7, 5 roots *)
+  let visits = ref 0 in
+  let rec traverse_cache pos depth =
+    incr visits;
+    if depth > 0 then
+      List.iter
+        (fun conn ->
+          List.iter (fun p -> traverse_cache p (depth - 1)) (Xnf.Cache.parents cache target conn))
+        (Xnf.Cache.children cache outgoing pos)
+  in
+  let roots = Workload.Oo1.traversal_roots rng ~n_parts ~count:5 in
+  let cache_trav () =
+    visits := 0;
+    List.iter (fun r -> traverse_cache (Hashtbl.find by_id r) 7) roots
+  in
+  let rec traverse_sql id depth =
+    incr visits;
+    if depth > 0 then
+      List.iter
+        (fun row -> traverse_sql (Value.as_int row.(0)) (depth - 1))
+        (Baseline.Sql_navigator.query nav
+           (Printf.sprintf "SELECT to_id FROM connection WHERE from_id = %d" id))
+  in
+  let sql_trav () =
+    visits := 0;
+    List.iter (fun r -> traverse_sql r 7) roots
+  in
+  let cache_trav_ms = time_avg_ms ~reps:3 cache_trav in
+  let cache_visits = !visits in
+  Baseline.Sql_navigator.reset nav;
+  let sql_trav_ms = time_avg_ms ~reps:1 sql_trav in
+  let trav_calls = Baseline.Sql_navigator.calls nav in
+
+  (* reverse traversal (OO1's fourth operation): who connects TO this part,
+     recursively — exercises backward relationship traversal *)
+  let rec reverse_cache pos depth =
+    incr visits;
+    if depth > 0 then
+      List.iter
+        (fun conn ->
+          List.iter (fun p -> reverse_cache p (depth - 1)) (Xnf.Cache.parents cache outgoing conn))
+        (Xnf.Cache.children cache target pos)
+  in
+  let cache_rev () =
+    visits := 0;
+    List.iter (fun r -> reverse_cache (Hashtbl.find by_id r) 4) roots
+  in
+  let rec reverse_sql id depth =
+    incr visits;
+    if depth > 0 then
+      List.iter
+        (fun row -> reverse_sql (Value.as_int row.(0)) (depth - 1))
+        (Baseline.Sql_navigator.query nav
+           (Printf.sprintf "SELECT from_id FROM connection WHERE to_id = %d" id))
+  in
+  let sql_rev () =
+    visits := 0;
+    List.iter (fun r -> reverse_sql r 4) roots
+  in
+  let cache_rev_ms = time_avg_ms ~reps:3 cache_rev in
+  let rev_visits = !visits in
+  Baseline.Sql_navigator.reset nav;
+  let sql_rev_ms = time_avg_ms ~reps:1 sql_rev in
+  let rev_calls = Baseline.Sql_navigator.calls nav in
+
+  (* insert: 100 parts with 3 connections each *)
+  let batch = Workload.Oo1.insert_batch rng ~n_parts ~count:100 in
+  let ses = Xnf.Api.session api cache in
+  let xnf_insert () =
+    Xnf.Udi.with_deferred ses (fun () ->
+        List.iter
+          (fun (row, targets) ->
+            ignore (Xnf.Udi.insert ses ~node:"xpart" row);
+            List.iter
+              (fun tgt ->
+                ignore
+                  (Xnf.Udi.insert ses ~node:"xconn"
+                     [| row.(0); Value.Int tgt; Value.Str "conn-type0"; Value.Int 1 |]))
+              targets)
+          batch)
+  in
+  let _, xnf_insert_ms = time_ms xnf_insert in
+  let batch2 = Workload.Oo1.insert_batch rng ~n_parts:(n_parts + 100) ~count:100 in
+  Baseline.Sql_navigator.reset nav;
+  let sql_insert () =
+    List.iter
+      (fun ((row : Row.t), targets) ->
+        ignore
+          (Baseline.Sql_navigator.query nav
+             (Printf.sprintf "SELECT * FROM part WHERE id = %d" (Value.as_int row.(0))));
+        ignore
+          (Db.exec db
+             (Printf.sprintf "INSERT INTO part VALUES (%d, '%s', %d, %d, %d)"
+                (Value.as_int row.(0)) (Value.as_string row.(1)) (Value.as_int row.(2))
+                (Value.as_int row.(3)) (Value.as_int row.(4))));
+        List.iter
+          (fun tgt ->
+            ignore
+              (Db.exec db
+                 (Printf.sprintf "INSERT INTO connection VALUES (%d, %d, 'conn-type0', 1)"
+                    (Value.as_int row.(0)) tgt)))
+          targets)
+      batch2
+  in
+  let _, sql_insert_ms = time_ms sql_insert in
+  let sql_insert_calls = 500 in
+  let ipc ms calls = ms +. (float_of_int calls *. ipc_us /. 1000.) in
+  table
+    ~cols:[ "OO1 operation"; "XNF ms"; "SQL ms"; "SQL+IPC ms"; "speedup"; "speedup+IPC" ]
+    [ [ "lookup (1000 parts)"; f2 cache_lookup_ms; f2 sql_lookup_ms;
+        f2 (ipc sql_lookup_ms lookup_calls); fx (sql_lookup_ms /. cache_lookup_ms);
+        fx (ipc sql_lookup_ms lookup_calls /. cache_lookup_ms) ];
+      [ Printf.sprintf "traversal (depth 7, %d visits)" cache_visits; f2 cache_trav_ms;
+        f2 sql_trav_ms; f2 (ipc sql_trav_ms trav_calls); fx (sql_trav_ms /. cache_trav_ms);
+        fx (ipc sql_trav_ms trav_calls /. cache_trav_ms) ];
+      [ Printf.sprintf "reverse traversal (depth 4, %d visits)" rev_visits; f2 cache_rev_ms;
+        f2 sql_rev_ms; f2 (ipc sql_rev_ms rev_calls); fx (sql_rev_ms /. cache_rev_ms);
+        fx (ipc sql_rev_ms rev_calls /. cache_rev_ms) ];
+      [ "insert (100 parts + 300 conns)"; f2 xnf_insert_ms; f2 sql_insert_ms;
+        f2 (ipc sql_insert_ms sql_insert_calls); fx (sql_insert_ms /. xnf_insert_ms);
+        fx (ipc sql_insert_ms sql_insert_calls /. xnf_insert_ms) ] ];
+  pr "   (insert gap is small by design: both paths pay the base-table writes)@."
+
+(* =====================================================================
+   E3 — working-set extraction at falling selectivity
+   ===================================================================== *)
+
+let e3 () =
+  header "E3" "set-oriented working-set extraction vs navigational loading"
+    "working sets select ~1 tuple in 10^4..10^5; \"this calls for set-oriented \
+     query facilities for efficient data extraction\" (1)";
+  let rows = ref [] in
+  List.iter
+    (fun docs_per_config ->
+      let scale =
+        { Workload.Design.n_docs = 2000; versions_per_doc = 4; components_per_version = 8;
+          n_configs = 1; docs_per_config }
+      in
+      let db = Db.create () in
+      Workload.Design.populate db ~seed:5 ~scale;
+      let api = Xnf.Api.create db in
+      let total = Workload.Design.total_rows db in
+      let q = Xnf.Xnf_parser.parse_query (Workload.Design.working_set_query 0) in
+      Xnf.Translate.reset_stats ();
+      let cache, set_ms = time_ms (fun () -> Xnf.Api.fetch api q) in
+      let set_queries = Xnf.Translate.stats.Xnf.Translate.queries_issued in
+      let ws = Xnf.Cache.total_tuples cache in
+      let def, _, _ = Xnf.View_registry.compose (Xnf.Api.registry api) q in
+      let nav = Baseline.Sql_navigator.create db in
+      let _, nav_ms = time_ms (fun () -> Baseline.Sql_navigator.extract_navigational nav def) in
+      let nav_calls = Baseline.Sql_navigator.calls nav in
+      let nav_ipc = nav_ms +. (float_of_int nav_calls *. ipc_us /. 1000.) in
+      let set_ipc = set_ms +. (float_of_int set_queries *. ipc_us /. 1000.) in
+      rows :=
+        [ string_of_int ws; Printf.sprintf "%.1e" (float_of_int ws /. float_of_int total);
+          f1 set_ms; string_of_int set_queries; f1 nav_ms; string_of_int nav_calls;
+          f1 set_ipc; f1 nav_ipc; fx (nav_ipc /. set_ipc) ]
+        :: !rows)
+    [ 2; 20; 200 ];
+  pr "   database: ~74k rows; working set = one configuration@.";
+  table
+    ~cols:[ "ws tuples"; "selectivity"; "set ms"; "set q"; "nav ms"; "nav calls"; "set+IPC";
+            "nav+IPC"; "advantage" ]
+    (List.rev !rows);
+  pr "   (set-oriented extraction issues O(components) queries; navigation O(tuples))@."
+
+(* =====================================================================
+   E4 — composite-object clustering vs table clustering
+   ===================================================================== *)
+
+let e4 () =
+  header "E4" "CO clustering cuts page faults on working-set loads"
+    "\"the new system will need composite object data clustering for I/O \
+     reduction\" (4); cf. DB2 catalog clusters / Starburst IMS attachment";
+  (* a company database that grew over time: employees and projects arrive
+     round-robin across departments, so plain insertion-order (table)
+     clustering scatters each department's rows over many pages *)
+  let n_depts = 40 and emps_per_dept = 25 and projs_per_dept = 8 in
+  let db = Db.create () in
+  List.iter
+    (fun s -> ignore (Db.exec db s))
+    [ "CREATE TABLE dept (dno INTEGER PRIMARY KEY, dname VARCHAR, loc VARCHAR, budget INTEGER)";
+      "CREATE TABLE emp (eno INTEGER PRIMARY KEY, ename VARCHAR, sal INTEGER, edno INTEGER)";
+      "CREATE TABLE proj (pno INTEGER PRIMARY KEY, pname VARCHAR, pdno INTEGER)";
+      "CREATE INDEX emp_edno ON emp (edno)"; "CREATE INDEX proj_pdno ON proj (pdno)" ];
+  let deptt = Catalog.table (Db.catalog db) "dept"
+  and empt = Catalog.table (Db.catalog db) "emp"
+  and projt = Catalog.table (Db.catalog db) "proj" in
+  for d = 0 to n_depts - 1 do
+    ignore
+      (Table.insert deptt
+         [| Value.Int d; Value.Str (Printf.sprintf "d%d" d); Value.Str "NY"; Value.Int 1000 |])
+  done;
+  for i = 0 to (n_depts * emps_per_dept) - 1 do
+    ignore
+      (Table.insert empt
+         [| Value.Int i; Value.Str (Printf.sprintf "e%d" i); Value.Int 1000;
+            Value.Int (i mod n_depts) |])
+  done;
+  for i = 0 to (n_depts * projs_per_dept) - 1 do
+    ignore
+      (Table.insert projt
+         [| Value.Int i; Value.Str (Printf.sprintf "p%d" i); Value.Int (i mod n_depts) |])
+  done;
+  let api = Xnf.Api.create db in
+  ignore
+    (Xnf.Api.exec api
+       "CREATE VIEW ALL-DEPS AS OUT OF Xdept AS DEPT, Xemp AS EMP, Xproj AS PROJ, \
+        employment AS (RELATE Xdept, Xemp WHERE Xdept.dno = Xemp.edno), \
+        ownership AS (RELATE Xdept, Xproj WHERE Xdept.dno = Xproj.pdno) TAKE *");
+  let cache = Xnf.Api.fetch_string api "OUT OF ALL-DEPS TAKE *" in
+  let catalog = Db.catalog db in
+  let dept = Catalog.table catalog "dept"
+  and emp = Catalog.table catalog "emp"
+  and proj = Catalog.table catalog "proj" in
+  let tables = [ dept; emp; proj ] in
+  let employment = Xnf.Cache.edge cache "employment" in
+  let ownership = Xnf.Cache.edge cache "ownership" in
+  let dept_node = Xnf.Cache.node cache "xdept" in
+  let emp_node = Xnf.Cache.node cache "xemp" in
+  let proj_node = Xnf.Cache.node cache "xproj" in
+  let rowid node pos = Option.get (Xnf.Cache.tuple node pos).Xnf.Cache.t_rowid in
+  (* the storage order a CO-clustered layout would choose: each dept
+     followed by its employees and projects *)
+  let co_order =
+    List.concat_map
+      (fun t ->
+        let d = t.Xnf.Cache.t_pos in
+        ((dept, rowid dept_node d)
+         :: List.map (fun e -> (emp, rowid emp_node e)) (Xnf.Cache.children cache employment d))
+        @ List.map (fun p -> (proj, rowid proj_node p)) (Xnf.Cache.children cache ownership d))
+      (Xnf.Cache.live_tuples dept_node)
+  in
+  let rows_per_page = 20 in
+  let table_layout = Page.table_clustered ~rows_per_page tables in
+  let co_layout = Page.co_clustered ~rows_per_page ~order:co_order tables in
+  (* replay the access pattern of loading ONE department's CO *)
+  let accesses d =
+    (dept, rowid dept_node d)
+    :: List.map (fun e -> (emp, rowid emp_node e)) (Xnf.Cache.children cache employment d)
+    @ List.map (fun p -> (proj, rowid proj_node p)) (Xnf.Cache.children cache ownership d)
+  in
+  let replay layout capacity =
+    let pool = Buffer_pool.create ~capacity in
+    let detach = Page.attach layout pool tables in
+    (* load 8 different single-department working sets *)
+    List.iter
+      (fun d -> List.iter (fun (t, rid) -> ignore (Table.get t rid)) (accesses d))
+      [ 0; 5; 10; 15; 20; 25; 30; 35 ];
+    detach ();
+    Buffer_pool.faults pool
+  in
+  let rows =
+    List.map
+      (fun capacity ->
+        let tf = replay table_layout capacity in
+        let cf = replay co_layout capacity in
+        [ string_of_int capacity; string_of_int tf; string_of_int cf;
+          f2 (float_of_int tf /. float_of_int cf) ])
+      [ 4; 16; 64; 256 ]
+  in
+  pr "   load of 8 single-department working sets (34 tuples each), %d rows/page,@."
+    rows_per_page;
+  pr "   rows arrived round-robin across departments (a database that grew over time)@.";
+  table ~cols:[ "buffer frames"; "table-clustered faults"; "CO-clustered faults"; "ratio" ] rows
+
+(* =====================================================================
+   E5 — common-subexpression sharing in the translation
+   ===================================================================== *)
+
+let e5 () =
+  header "E5" "shared parent extents vs naive recomputation"
+    "\"when we generate the tuples of a parent node, we output them, and also \
+     use them again to find the tuples of the associated children\" (4.3)";
+  let rows =
+    List.map
+      (fun depth ->
+        let db = Db.create () in
+        Workload.Chain.populate db ~seed:2 ~depth ~n_roots:4 ~fanout:4;
+        let api = Xnf.Api.create db in
+        let q = Xnf.Xnf_parser.parse_query (Workload.Chain.co_query ~depth) in
+        let def, _, _ = Xnf.View_registry.compose (Xnf.Api.registry api) q in
+        (* warm both paths once before measuring *)
+        ignore (Xnf.Api.fetch api q);
+        ignore (Baseline.Naive_translate.extract_unshared db def);
+        Xnf.Translate.reset_stats ();
+        let cache = Xnf.Api.fetch api q in
+        let shared_ms = time_avg_ms ~reps:3 (fun () -> Xnf.Api.fetch api q) in
+        let shared_q = Xnf.Translate.stats.Xnf.Translate.queries_issued / 4 in
+        let naive = Baseline.Naive_translate.extract_unshared db def in
+        let naive_ms =
+          time_avg_ms ~reps:3 (fun () -> Baseline.Naive_translate.extract_unshared db def)
+        in
+        [ string_of_int depth; string_of_int (Xnf.Cache.total_tuples cache); f2 shared_ms;
+          string_of_int shared_q; f2 naive_ms;
+          string_of_int naive.Baseline.Naive_translate.queries_issued;
+          fx (naive_ms /. shared_ms) ])
+      [ 1; 2; 3; 4; 5 ]
+  in
+  pr "   chain CO of increasing depth (4 tagged roots, fanout 4)@.";
+  table
+    ~cols:[ "depth"; "CO tuples"; "shared ms"; "shared q"; "naive ms"; "naive q"; "advantage" ]
+    rows
+
+(* =====================================================================
+   E6 — semi-naive vs naive reachability fixpoint
+   ===================================================================== *)
+
+let e6 () =
+  header "E6" "recursive COs: semi-naive vs naive fixpoint"
+    "recursive composite objects are evaluated by reachability (3.4); the \
+     translator uses delta iteration";
+  let rows =
+    List.map
+      (fun len ->
+        let db = Db.create () in
+        Workload.Chain.mgmt_chain db ~chain_len:len;
+        let api = Xnf.Api.create db in
+        let q = Xnf.Xnf_parser.parse_query Workload.Chain.mgmt_query in
+        Xnf.Translate.reset_stats ();
+        let _, semi_ms = time_ms (fun () -> Xnf.Api.fetch ~fixpoint:Xnf.Translate.Semi_naive api q) in
+        let semi_probed = Xnf.Translate.stats.Xnf.Translate.tuples_probed in
+        let semi_rounds = Xnf.Translate.stats.Xnf.Translate.fixpoint_rounds in
+        Xnf.Translate.reset_stats ();
+        let _, naive_ms = time_ms (fun () -> Xnf.Api.fetch ~fixpoint:Xnf.Translate.Naive api q) in
+        let naive_probed = Xnf.Translate.stats.Xnf.Translate.tuples_probed in
+        [ string_of_int len; string_of_int semi_rounds; string_of_int semi_probed; f1 semi_ms;
+          string_of_int naive_probed; f1 naive_ms; fx (naive_ms /. semi_ms) ])
+      [ 25; 50; 100; 200 ]
+  in
+  pr "   management chain of increasing depth (one root, 'manages' closes the cycle)@.";
+  table
+    ~cols:[ "chain"; "rounds"; "semi probes"; "semi ms"; "naive probes"; "naive ms"; "advantage" ]
+    rows;
+  pr "   (semi-naive probes O(n) tuples, naive O(n^2) — the crossover widens with depth)@."
+
+(* =====================================================================
+   E7 — reuse of the relational rewrite/optimizer
+   ===================================================================== *)
+
+let e7 () =
+  header "E7" "query rewrite on XNF-generated queries"
+    "\"processing of XNF does not require any change to query rewrite\"; merging \
+     of views and predicate pushdown apply to CO queries unchanged (4.3)";
+  (* no FK indexes: the translator's probes run as generic plans through
+     the engine, where the rewrite decides between cross nested loops and
+     hash joins *)
+  let mk () =
+    let db = Db.create () in
+    Workload.Chain.populate ~indexes:false db ~seed:4 ~depth:2 ~n_roots:15 ~fanout:8;
+    (db, Xnf.Api.create db)
+  in
+  let q = Xnf.Xnf_parser.parse_query (Workload.Chain.co_query ~depth:2) in
+  let db_on, api_on = mk () in
+  Db.set_rewrite db_on true;
+  ignore (Xnf.Api.fetch api_on q);
+  let on_ms = time_avg_ms ~reps:3 (fun () -> Xnf.Api.fetch api_on q) in
+  let db_off, api_off = mk () in
+  Db.set_rewrite db_off false;
+  let off_ms = time_avg_ms ~reps:3 (fun () -> Xnf.Api.fetch api_off q) in
+  (* the same effect on a plain SQL join, for reference *)
+  let sql = "SELECT * FROM t1 a, t2 b WHERE a.k1 = b.parent2 AND a.parent1 < 10" in
+  Db.set_rewrite db_on true;
+  let sql_on = time_avg_ms ~reps:3 (fun () -> Db.rows_of db_on sql) in
+  Db.set_rewrite db_on false;
+  let sql_off = time_avg_ms ~reps:3 (fun () -> Db.rows_of db_on sql) in
+  table
+    ~cols:[ "workload"; "rewrite on ms"; "rewrite off ms"; "speedup" ]
+    [ [ "XNF fetch (chain CO, depth 2)"; f1 on_ms; f1 off_ms; fx (off_ms /. on_ms) ];
+      [ "plain SQL join (reference)"; f2 sql_on; f2 sql_off; fx (sql_off /. sql_on) ] ];
+  pr "   (without rewrite the translator's cross joins stay nested loops;@.";
+  pr "    with rewrite the same QGM becomes hash/index joins — shared machinery)@."
+
+(* =====================================================================
+   E8 — blocked transfer of heterogeneous answer sets
+   ===================================================================== *)
+
+let e8 () =
+  header "E8" "blocked heterogeneous answer streams"
+    "\"the answer to all these queries are combined. This allows the DBMS to \
+     more efficiently block the heterogeneous answer tuples\" (4.3)";
+  let block = 20 in
+  let rows =
+    List.map
+      (fun depth ->
+        let db = Db.create () in
+        Workload.Chain.populate db ~seed:6 ~depth ~n_roots:4 ~fanout:3;
+        let api = Xnf.Api.create db in
+        let cache = Xnf.Api.fetch_string api (Workload.Chain.co_query ~depth) in
+        let node_sizes =
+          List.map (fun (_, ni) -> Xnf.Cache.live_count ni) cache.Xnf.Cache.c_nodes
+        in
+        let conns =
+          List.map
+            (fun (_, ei) -> List.length (Xnf.Cache.conns_live ei))
+            cache.Xnf.Cache.c_edges
+        in
+        let total = List.fold_left ( + ) 0 node_sizes + List.fold_left ( + ) 0 conns in
+        let ceil_div a b = (a + b - 1) / b in
+        (* one combined stream vs one stream per node/edge query *)
+        let blocked_trips = ceil_div total block in
+        let unblocked_trips =
+          List.fold_left (fun acc n -> acc + max 1 (ceil_div n block)) 0 (node_sizes @ conns)
+        in
+        (* the tuple-at-a-time SQL cursor loop an application without XNF
+           uses: one round trip per FETCH, plus one per OPEN *)
+        let per_tuple_trips = total + List.length node_sizes + List.length conns in
+        let ms trips = float_of_int trips *. ipc_us /. 1000. in
+        [ string_of_int (List.length node_sizes + List.length conns); string_of_int total;
+          string_of_int blocked_trips; string_of_int unblocked_trips;
+          string_of_int per_tuple_trips; f1 (ms blocked_trips); f1 (ms per_tuple_trips);
+          fx (float_of_int per_tuple_trips /. float_of_int blocked_trips) ])
+      [ 2; 4; 6; 8 ]
+  in
+  pr "   modeled transfer: %d tuples per round trip, %.0fus per trip@." block ipc_us;
+  table
+    ~cols:[ "streams"; "answer tuples"; "blocked trips"; "per-stream trips"; "FETCH trips";
+            "blocked ms"; "FETCH ms"; "advantage" ]
+    rows;
+  pr "   (combining all node/edge answers into one blocked heterogeneous stream@.";
+  pr "    replaces per-tuple cursor FETCH round trips; the per-stream column shows@.";
+  pr "    the residual cost of separate per-query streams)@."
+
+(* =====================================================================
+   E9 — deferred propagation of cache updates
+   ===================================================================== *)
+
+let e9 () =
+  header "E9" "immediate vs deferred/coalesced update propagation"
+    "\"the cache is maintained in such a way that cache changes can be \
+     propagated in an efficient fashion [KDG87]\" (3.7)";
+  let rows =
+    List.map
+      (fun k ->
+        let _, api = company_db ~scale:Workload.Company.small () in
+        let run deferred =
+          let cache = Xnf.Api.fetch_string api "OUT OF ALL-DEPS TAKE *" in
+          let ses = Xnf.Api.session api cache in
+          let emp_node = Xnf.Cache.node cache "xemp" in
+          let positions =
+            Array.of_list (List.map (fun t -> t.Xnf.Cache.t_pos) (Xnf.Cache.live_tuples emp_node))
+          in
+          let db = Xnf.Api.db api in
+          let wal0 = Wal.length (Txn.wal (Db.txn db)) in
+          let work () =
+            for i = 0 to k - 1 do
+              Xnf.Udi.update ses ~node:"xemp" ~pos:positions.(i mod Array.length positions)
+                [ ("sal", Value.Int (1000 + i)) ]
+            done
+          in
+          let _, ms =
+            time_ms (fun () -> if deferred then Xnf.Udi.with_deferred ses work else work ())
+          in
+          (ms, Wal.length (Txn.wal (Db.txn db)) - wal0)
+        in
+        let imm_ms, imm_writes = run false in
+        let def_ms, def_writes = run true in
+        [ string_of_int k; f2 imm_ms; string_of_int imm_writes; f2 def_ms;
+          string_of_int def_writes; fx (imm_ms /. def_ms) ])
+      [ 10; 100; 1000 ]
+  in
+  pr "   k salary updates cycling over the 6 cached employees@.";
+  table
+    ~cols:[ "updates"; "immediate ms"; "base writes"; "deferred ms"; "base writes (coalesced)";
+            "advantage" ]
+    rows
+
+(* =====================================================================
+   E10 — extraction scales with the working set, not the database
+   ===================================================================== *)
+
+let e10 () =
+  header "E10" "extraction cost scales with the working set, not the database"
+    "databases are \"in the gigabytes to terabytes range, whereas working sets \
+     are typically in the range of 1 to 100 megabytes\" (1): loading must not \
+     pay for the data it does not touch";
+  let rows =
+    List.map
+      (fun n_parts ->
+        let db = Db.create () in
+        Workload.Oo1.populate db ~seed:8 ~n_parts;
+        let api = Xnf.Api.create db in
+        (* a fixed-size working set: one locality zone of ~60 parts *)
+        let lo = n_parts / 2 and hi = (n_parts / 2) + 59 in
+        let q =
+          Printf.sprintf
+            "OUT OF Xpart AS (SELECT * FROM part WHERE id >= %d AND id <= %d), \
+             Xconn AS CONNECTION, \
+             outgoing AS (RELATE Xpart, Xconn WHERE Xpart.id = Xconn.from_id) TAKE *"
+            lo hi
+        in
+        ignore (Xnf.Api.fetch_string api q);
+        let cache = ref None in
+        let ms = time_avg_ms ~reps:3 (fun () -> cache := Some (Xnf.Api.fetch_string api q)) in
+        let tuples = match !cache with Some c -> Xnf.Cache.total_tuples c | None -> 0 in
+        [ string_of_int n_parts; string_of_int tuples; f2 ms ])
+      [ 2000; 8000; 32000 ]
+  in
+  pr "   fixed ~240-tuple working set extracted from growing OO1 databases@.";
+  table ~cols:[ "database parts"; "working-set tuples"; "extraction ms" ] rows;
+  pr "   (the root scan is the only O(database) term; probes touch only the@.";
+  pr "    working set — extraction stays near-flat as the database grows 16x)@."
+
+(* ---- driver ---- *)
+
+let experiments =
+  [ ("E1", "cache navigation vs SQL interface", e1);
+    ("E2", "OO1 lookup/traversal/insert", e2);
+    ("E3", "working-set extraction selectivity sweep", e3);
+    ("E4", "CO clustering page faults", e4);
+    ("E5", "common-subexpression sharing", e5);
+    ("E6", "semi-naive vs naive fixpoint", e6);
+    ("E7", "query rewrite on XNF queries", e7);
+    ("E8", "blocked heterogeneous streams", e8);
+    ("E9", "deferred update propagation", e9);
+    ("E10", "extraction scaling with database size", e10) ]
+
+let () =
+  let args = Array.to_list Sys.argv in
+  if List.mem "--list" args then
+    List.iter (fun (id, title, _) -> pr "%s  %s@." id title) experiments
+  else begin
+    let only =
+      let rec find = function
+        | "--only" :: id :: _ -> Some id
+        | _ :: rest -> find rest
+        | [] -> None
+      in
+      find args
+    in
+    let selected =
+      match only with
+      | None -> experiments
+      | Some id -> List.filter (fun (eid, _, _) -> String.equal eid id) experiments
+    in
+    if selected = [] then begin
+      pr "unknown experiment; use --list@.";
+      exit 1
+    end;
+    pr "SQL/XNF benchmark suite — reproduction of the paper's performance claims@.";
+    pr "(see DESIGN.md section 4 for the experiment index, EXPERIMENTS.md for discussion)@.";
+    List.iter (fun (_, _, f) -> f ()) selected
+  end

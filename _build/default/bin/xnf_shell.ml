@@ -1,0 +1,172 @@
+(* Interactive SQL/XNF shell.
+
+     dune exec bin/xnf_shell.exe                 -- empty database
+     dune exec bin/xnf_shell.exe -- --demo       -- company demo database
+     dune exec bin/xnf_shell.exe -- -f script.sql
+
+   Accepts plain SQL and XNF statements (the shared-database architecture
+   of Fig. 7 at the prompt). Meta commands:
+
+     \d               list tables and views
+     \co              list XNF views
+     \explain <sql>   show rewritten QGM and physical plan
+     \fetch <query>   load a CO and keep it as the current cache
+     \show            print the current cache
+     \stats           translation statistics of the last fetch
+     \export <t> <f>  write table t to CSV file f
+     \import <t> <f>  bulk-load CSV file f into table t
+     \q               quit *)
+
+open Relational
+
+let print_result = function
+  | Db.Rows { Db.rschema; rrows } ->
+    let cols = List.map (fun c -> c.Schema.col_name) (Schema.columns rschema) in
+    Fmt.pr "%s@." (String.concat " | " cols);
+    Fmt.pr "%s@." (String.make (max 10 (String.length (String.concat " | " cols))) '-');
+    List.iter
+      (fun row ->
+        Fmt.pr "%s@."
+          (String.concat " | " (List.map Value.to_string (Array.to_list row))))
+      rrows;
+    Fmt.pr "(%d rows)@." (List.length rrows)
+  | Db.Affected n -> Fmt.pr "%d rows affected@." n
+  | Db.Done msg -> Fmt.pr "%s@." msg
+
+let print_outcome current = function
+  | Xnf.Api.Fetched cache ->
+    current := Some cache;
+    Fmt.pr "%a" Xnf.Cache.pp cache
+  | Xnf.Api.Co_deleted n -> Fmt.pr "composite object deleted: %d base rows removed@." n
+  | Xnf.Api.Co_updated n -> Fmt.pr "composite object updated: %d component tuples changed@." n
+  | Xnf.Api.View_defined name -> Fmt.pr "XNF view %s defined@." name
+  | Xnf.Api.View_dropped name -> Fmt.pr "view %s dropped@." name
+  | Xnf.Api.Sql r -> print_result r
+
+let load_demo api =
+  let db = Xnf.Api.db api in
+  Workload.Company.populate db ~seed:1 ~scale:Workload.Company.small
+    ~repr:Workload.Company.Cdb1;
+  Workload.Company.register_views api ~repr:Workload.Company.Cdb1;
+  Fmt.pr "demo company database loaded; XNF views: ALL-DEPS, ALL-DEPS-ORG, EXT-ALL-DEPS-ORG, ORG-UNIT@."
+
+let handle_meta api current line =
+  let db = Xnf.Api.db api in
+  let strip prefix =
+    String.trim (String.sub line (String.length prefix) (String.length line - String.length prefix))
+  in
+  if line = "\\q" then exit 0
+  else if line = "\\d" then begin
+    Fmt.pr "tables:@.";
+    List.iter (fun n -> Fmt.pr "  %s@." n) (Catalog.table_names (Db.catalog db))
+  end
+  else if line = "\\co" then begin
+    Fmt.pr "XNF views:@.";
+    List.iter (fun n -> Fmt.pr "  %s@." n) (Xnf.View_registry.names (Xnf.Api.registry api))
+  end
+  else if String.length line > 9 && String.sub line 0 9 = "\\explain " then
+    Fmt.pr "%s@." (Db.explain db (strip "\\explain "))
+  else if String.length line > 7 && String.sub line 0 7 = "\\fetch " then begin
+    Xnf.Translate.reset_stats ();
+    let cache = Xnf.Api.fetch_string api (strip "\\fetch ") in
+    current := Some cache;
+    Fmt.pr "%a" Xnf.Cache.pp cache
+  end
+  else if line = "\\show" then begin
+    match !current with
+    | Some cache -> Fmt.pr "%a" Xnf.Cache.pp cache
+    | None -> Fmt.pr "no composite object loaded (use \\fetch)@."
+  end
+  else if String.length line > 8 && String.sub line 0 8 = "\\export " then begin
+    match String.split_on_char ' ' (strip "\\export ") with
+    | [ table; path ] ->
+      Csv_io.export_file (Catalog.table (Db.catalog db) table) path;
+      Fmt.pr "exported %s to %s@." table path
+    | _ -> Fmt.pr "usage: \\export <table> <file>@."
+  end
+  else if String.length line > 8 && String.sub line 0 8 = "\\import " then begin
+    match String.split_on_char ' ' (strip "\\import ") with
+    | [ table; path ] ->
+      let n = Csv_io.import_file db (Catalog.table (Db.catalog db) table) path in
+      Fmt.pr "imported %d rows into %s@." n table
+    | _ -> Fmt.pr "usage: \\import <table> <file>@."
+  end
+  else if line = "\\stats" then begin
+    let s = Xnf.Translate.stats in
+    Fmt.pr "queries issued: %d, fixpoint rounds: %d, tuples probed: %d@."
+      s.Xnf.Translate.queries_issued s.Xnf.Translate.fixpoint_rounds s.Xnf.Translate.tuples_probed;
+    Fmt.pr "indexed probers: %d, generic probers: %d@." s.Xnf.Translate.indexed_probes
+      s.Xnf.Translate.generic_probes
+  end
+  else Fmt.pr "unknown command %s@." line
+
+let run_line api current line =
+  let line = String.trim line in
+  if line = "" then ()
+  else if line.[0] = '\\' then handle_meta api current line
+  else
+    try print_outcome current (Xnf.Api.exec api line) with
+    | Sql_lexer.Parse_error msg -> Fmt.pr "parse error: %s@." msg
+    | Binder.Bind_error msg -> Fmt.pr "semantic error: %s@." msg
+    | Db.Exec_error msg -> Fmt.pr "execution error: %s@." msg
+    | Xnf.Co_schema.Schema_error msg -> Fmt.pr "CO schema error: %s@." msg
+    | Xnf.View_registry.View_error msg -> Fmt.pr "view error: %s@." msg
+    | Xnf.Translate.Translate_error msg -> Fmt.pr "translation error: %s@." msg
+    | Xnf.Cache.Cache_error msg -> Fmt.pr "cache error: %s@." msg
+    | Xnf.Api.Api_error msg -> Fmt.pr "error: %s@." msg
+    | Txn.Txn_error msg -> Fmt.pr "transaction error: %s@." msg
+    | Catalog.Unknown_table t -> Fmt.pr "unknown table: %s@." t
+    | Catalog.Duplicate_name n -> Fmt.pr "duplicate name: %s@." n
+
+let repl api =
+  let current = ref None in
+  Fmt.pr "SQL/XNF shell — \\q quits, \\d lists tables, \\co lists XNF views@.";
+  try
+    while true do
+      Fmt.pr "xnf> %!";
+      let line = input_line stdin in
+      run_line api current line
+    done
+  with End_of_file -> ()
+
+let run_file api path =
+  let current = ref None in
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      try
+        while true do
+          let line = input_line ic in
+          let line = String.trim line in
+          if line <> "" && not (String.length line >= 2 && String.sub line 0 2 = "--") then begin
+            Fmt.pr "xnf> %s@." line;
+            run_line api current line
+          end
+        done
+      with End_of_file -> ())
+
+let main demo file =
+  let db = Db.create () in
+  let api = Xnf.Api.create db in
+  if demo then load_demo api;
+  match file with Some path -> run_file api path | None -> repl api
+
+let cmd =
+  let open Cmdliner in
+  let demo =
+    Arg.(value & flag & info [ "demo" ] ~doc:"Preload the demo company database and XNF views.")
+  in
+  let file =
+    Arg.(value & opt (some string) None & info [ "f"; "file" ] ~docv:"FILE"
+           ~doc:"Execute statements from $(docv) instead of reading stdin.")
+  in
+  let info =
+    Cmd.info "xnf_shell" ~doc:"Interactive SQL/XNF shell"
+      ~man:[ `S Manpage.s_description;
+             `P "A shared relational database with the XNF composite-object extensions: \
+                 plain SQL and OUT OF ... TAKE queries at the same prompt." ]
+  in
+  Cmd.v info Term.(const main $ demo $ file)
+
+let () = exit (Cmdliner.Cmd.eval cmd)

@@ -1,0 +1,1 @@
+examples/company_org.ml: Array Db Fmt List Relational Row Value Xnf

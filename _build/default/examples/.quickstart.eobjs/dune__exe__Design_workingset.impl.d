@@ -1,0 +1,1 @@
+examples/design_workingset.ml: Array Db Fmt List Relational Row Sys Value Workload Xnf

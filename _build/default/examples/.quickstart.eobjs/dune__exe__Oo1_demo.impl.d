@@ -1,0 +1,1 @@
+examples/oo1_demo.ml: Array Baseline Db Fmt Hashtbl List Printf Relational Unix Value Workload Xnf

@@ -1,0 +1,1 @@
+examples/oo1_demo.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Db Fmt List Relational Row Value Xnf

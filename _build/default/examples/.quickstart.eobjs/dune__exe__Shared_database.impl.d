@@ -1,0 +1,1 @@
+examples/shared_database.ml: Array Db Fmt List Relational Row Value Xnf

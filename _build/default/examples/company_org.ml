@@ -1,0 +1,164 @@
+(* The paper's running example, end to end (Figs. 1-6, §2-§3).
+
+     dune exec examples/company_org.exe
+
+   Builds the company database of the paper, defines every view from §3,
+   runs every query family the paper shows, and prints the schema graphs
+   and instance contents the figures depict. *)
+
+open Relational
+
+let header title = Fmt.pr "@.=== %s ===@." title
+
+let show_instance cache =
+  Fmt.pr "%a" Xnf.Cache.pp cache;
+  List.iter
+    (fun (name, ni) ->
+      Fmt.pr "  %s tuples:@." name;
+      List.iter
+        (fun t -> Fmt.pr "    %s@." (Row.to_string t.Xnf.Cache.t_row))
+        (Xnf.Cache.live_tuples ni))
+    cache.Xnf.Cache.c_nodes
+
+let show_connections cache edge =
+  let ei = Xnf.Cache.edge cache edge in
+  let pn = Xnf.Cache.node cache ei.Xnf.Cache.ei_parent in
+  let cn = Xnf.Cache.node cache ei.Xnf.Cache.ei_child in
+  Fmt.pr "  %s connections:@." edge;
+  List.iter
+    (fun c ->
+      let p = Xnf.Cache.tuple pn c.Xnf.Cache.cn_parent in
+      let ch = Xnf.Cache.tuple cn c.Xnf.Cache.cn_child in
+      Fmt.pr "    %s -- %s%s@."
+        (Value.to_string p.Xnf.Cache.t_row.(1))
+        (Value.to_string ch.Xnf.Cache.t_row.(1))
+        (if Array.length c.Xnf.Cache.cn_attrs > 0 then
+           " " ^ Row.to_string c.Xnf.Cache.cn_attrs
+         else ""))
+    (Xnf.Cache.conns_live ei)
+
+let () =
+  let db = Db.create () in
+  (* the Fig. 1 / Fig. 4 company: two departments, six employees, four
+     projects, five skills *)
+  List.iter
+    (fun s -> ignore (Db.exec db s))
+    [ "CREATE TABLE dept (dno INTEGER PRIMARY KEY, dname VARCHAR, loc VARCHAR, budget INTEGER)";
+      "CREATE TABLE emp (eno INTEGER PRIMARY KEY, ename VARCHAR, sal INTEGER, edno INTEGER, descr VARCHAR)";
+      "CREATE TABLE proj (pno INTEGER PRIMARY KEY, pname VARCHAR, pdno INTEGER, pmgrno INTEGER, pbudget INTEGER)";
+      "CREATE TABLE skills (sno INTEGER PRIMARY KEY, sname VARCHAR)";
+      "CREATE TABLE empskill (eseno INTEGER, essno INTEGER)";
+      "CREATE TABLE projskill (pspno INTEGER, pssno INTEGER)";
+      "CREATE TABLE empproj (epeno INTEGER, eppno INTEGER, percentage INTEGER)";
+      "INSERT INTO dept VALUES (1, 'd1', 'NY', 1000), (2, 'd2', 'SF', 2000)";
+      "INSERT INTO emp VALUES (1, 'e1', 1000, 1, 'regular'), (2, 'e2', 1800, 1, 'staff'), \
+       (3, 'e3', 900, NULL, 'regular'), (4, 'e4', 2500, NULL, 'staff'), \
+       (5, 'e5', 1200, 2, 'regular'), (6, 'e6', 700, 2, 'regular')";
+      "INSERT INTO proj VALUES (1, 'p1', 2, 5, 500), (2, 'p2', 1, 2, 1500), \
+       (3, 'p3', 1, 2, 800), (4, 'p4', 1, 3, 3000)";
+      "INSERT INTO skills VALUES (1, 's1'), (2, 's2'), (3, 's3'), (4, 's4'), (5, 's5')";
+      "INSERT INTO empskill VALUES (1, 1), (2, 3), (4, 3), (5, 4)";
+      "INSERT INTO projskill VALUES (1, 3), (2, 3), (2, 5), (4, 4)";
+      "INSERT INTO empproj VALUES (3, 2, 50), (4, 2, 50), (4, 4, 100)" ];
+  let api = Xnf.Api.create db in
+
+  header "Fig. 1 — CO 'Company Organizational Unit' (nodes, edges, sharing)";
+  let fig1 =
+    Xnf.Api.fetch_string api
+      "OUT OF Xdept AS DEPT, Xemp AS EMP, Xproj AS PROJ, Xskill AS SKILLS, \
+       employment AS (RELATE Xdept, Xemp WHERE Xdept.dno = Xemp.edno), \
+       ownership AS (RELATE Xdept, Xproj WHERE Xdept.dno = Xproj.pdno), \
+       empproperty AS (RELATE Xemp, Xskill USING EMPSKILL es \
+       WHERE Xemp.eno = es.eseno AND Xskill.sno = es.essno), \
+       projproperty AS (RELATE Xproj, Xskill USING PROJSKILL ps \
+       WHERE Xproj.pno = ps.pspno AND Xskill.sno = ps.pssno) TAKE *"
+  in
+  Fmt.pr "%a" Xnf.Co_schema.pp fig1.Xnf.Cache.c_def;
+  show_instance fig1;
+  show_connections fig1 "empproperty";
+  Fmt.pr "  (skill s3 is instance-shared by e2/e4 and p1/p2; s2 is unreachable)@.";
+
+  header "§3.1 — the introductory CO constructor (NY only)";
+  let intro =
+    Xnf.Api.fetch_string api
+      "OUT OF Xdept AS (SELECT * FROM DEPT WHERE loc = 'NY'), Xemp AS EMP, Xproj AS PROJ, \
+       employment AS (RELATE Xdept, Xemp WHERE Xdept.dno = Xemp.edno), \
+       ownership AS (RELATE Xdept, Xproj WHERE Xdept.dno = Xproj.pdno) TAKE *"
+  in
+  show_instance intro;
+
+  header "§3.2 — CO views and views over views (ALL-DEPS, ALL-DEPS-ORG)";
+  ignore
+    (Xnf.Api.exec api
+       "CREATE VIEW ALL-DEPS AS OUT OF Xdept AS DEPT, Xemp AS EMP, Xproj AS PROJ, \
+        employment AS (RELATE Xdept, Xemp WHERE Xdept.dno = Xemp.edno), \
+        ownership AS (RELATE Xdept, Xproj WHERE Xdept.dno = Xproj.pdno) TAKE *");
+  ignore
+    (Xnf.Api.exec api
+       "CREATE VIEW ALL-DEPS-ORG AS OUT OF ALL-DEPS, \
+        membership AS (RELATE Xproj, Xemp WITH ATTRIBUTES ep.percentage AS percentage \
+        USING EMPPROJ ep WHERE Xproj.pno = ep.eppno AND Xemp.eno = ep.epeno) TAKE *");
+  let org = Xnf.Api.fetch_string api "OUT OF ALL-DEPS-ORG TAKE *" in
+  Fmt.pr "employees e3/e4 become reachable through 'membership':@.";
+  show_connections org "membership";
+
+  header "§3.3 — node restriction (employees under 2000)";
+  show_instance (Xnf.Api.fetch_string api "OUT OF ALL-DEPS WHERE Xemp e SUCH THAT e.sal < 2000 TAKE *");
+
+  header "§3.3 — edge restriction and structural projection";
+  let restricted =
+    Xnf.Api.fetch_string api
+      "OUT OF ALL-DEPS WHERE employment (d, e) SUCH THAT e.sal < d.budget / 100 * 150 \
+       TAKE Xdept(*), Xemp(*), employment"
+  in
+  show_instance restricted;
+  Fmt.pr "  (Xproj was projected away; 'ownership' was discarded implicitly)@.";
+
+  header "§3.4 — recursive CO (EXT-ALL-DEPS-ORG), restriction as in Fig. 5";
+  ignore
+    (Xnf.Api.exec api
+       "CREATE VIEW EXT-ALL-DEPS-ORG AS OUT OF ALL-DEPS-ORG, \
+        projmanagement AS (RELATE Xemp, Xproj WHERE Xemp.eno = Xproj.pmgrno) TAKE *");
+  let fig5 =
+    Xnf.Api.fetch_string api
+      "OUT OF EXT-ALL-DEPS-ORG WHERE Xdept SUCH THAT loc = 'NY' \
+       TAKE Xdept(*), employment, Xemp(*), projmanagement, membership, Xproj(*)"
+  in
+  show_instance fig5;
+  show_connections fig5 "projmanagement";
+
+  header "§3.5 — path expressions";
+  let busy =
+    Xnf.Api.fetch_string api
+      "OUT OF EXT-ALL-DEPS-ORG WHERE Xdept d SUCH THAT \
+       COUNT(d->employment->projmanagement) >= 2 AND d.budget > 500 TAKE *"
+  in
+  Fmt.pr "departments whose staff manages >= 2 projects:@.";
+  List.iter
+    (fun t -> Fmt.pr "  %s@." (Row.to_string t.Xnf.Cache.t_row))
+    (Xnf.Cache.live_tuples (Xnf.Cache.node busy "xdept"));
+  let staffed =
+    Xnf.Api.fetch_string api
+      "OUT OF EXT-ALL-DEPS-ORG WHERE Xdept d SUCH THAT \
+       EXISTS d->employment->(Xemp e WHERE e.descr = 'staff')->projmanagement->\
+       (Xproj p WHERE p.pbudget > d.budget) TAKE *"
+  in
+  Fmt.pr "departments where staff manages a project bigger than the department budget:@.";
+  List.iter
+    (fun t -> Fmt.pr "  %s@." (Row.to_string t.Xnf.Cache.t_row))
+    (Xnf.Cache.live_tuples (Xnf.Cache.node staffed "xdept"));
+
+  header "§3.6 — closure: the four query classes of Fig. 6";
+  (* (1) NF -> XNF: done throughout; (2) XNF -> XNF: queries over views;
+     (4) NF -> NF: plain SQL through the same session *)
+  (match Xnf.Api.exec api "SELECT loc, COUNT(*) FROM dept GROUP BY loc ORDER BY loc" with
+  | Xnf.Api.Sql (Db.Rows r) ->
+    Fmt.pr "type (4) plain SQL through the XNF session:@.";
+    List.iter (fun row -> Fmt.pr "  %s@." (Row.to_string row)) r.Db.rrows
+  | _ -> assert false);
+  (* (3) XNF -> NF: a single component of a CO view used as a table *)
+  let single = Xnf.Api.fetch_string api "OUT OF ALL-DEPS WHERE Xdept SUCH THAT loc = 'NY' TAKE Xemp(*)" in
+  Fmt.pr "type (3) XNF to NF — the Xemp component as a plain table:@.";
+  List.iter
+    (fun t -> Fmt.pr "  %s@." (Row.to_string t.Xnf.Cache.t_row))
+    (Xnf.Cache.live_tuples (Xnf.Cache.node single "xemp"))

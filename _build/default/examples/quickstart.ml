@@ -1,0 +1,59 @@
+(* Quickstart: the SQL/XNF API in ~60 lines.
+
+     dune exec examples/quickstart.exe
+
+   Builds a small company database (plain SQL), defines a composite-object
+   view over it (XNF), loads it into the cache, browses it with cursors,
+   and pushes an update back to the base tables. *)
+
+open Relational
+
+let () =
+  (* 1. a plain relational database — ordinary SQL *)
+  let db = Db.create () in
+  List.iter
+    (fun s -> ignore (Db.exec db s))
+    [ "CREATE TABLE dept (dno INTEGER PRIMARY KEY, dname VARCHAR, loc VARCHAR, budget INTEGER)";
+      "CREATE TABLE emp (eno INTEGER PRIMARY KEY, ename VARCHAR, sal INTEGER, edno INTEGER)";
+      "INSERT INTO dept VALUES (1, 'toys', 'NY', 1000), (2, 'tools', 'SF', 2000)";
+      "INSERT INTO emp VALUES (10, 'alice', 1500, 1), (11, 'bob', 900, 1), (12, 'carol', 2500, 2)" ];
+
+  (* 2. an XNF session over the SAME database: SQL applications and CO
+     applications share the data *)
+  let api = Xnf.Api.create db in
+  ignore
+    (Xnf.Api.exec api
+       "CREATE VIEW ALL-DEPS AS \
+        OUT OF Xdept AS DEPT, Xemp AS EMP, \
+        employment AS (RELATE Xdept, Xemp WHERE Xdept.dno = Xemp.edno) \
+        TAKE *");
+
+  (* 3. load the composite object into the cache *)
+  let cache = Xnf.Api.fetch_string api "OUT OF ALL-DEPS WHERE Xemp e SUCH THAT e.sal < 2000 TAKE *" in
+  Fmt.pr "%a@." Xnf.Cache.pp cache;
+
+  (* 4. browse with an independent cursor and a dependent cursor *)
+  let depts = Xnf.Cursor.open_independent cache "xdept" in
+  let emps = Xnf.Cursor.open_dependent ~parent:depts (Xnf.Cursor.via "employment") in
+  Xnf.Cursor.iter
+    (fun d ->
+      Fmt.pr "dept %s@." (Row.to_string d.Xnf.Cache.t_row);
+      Xnf.Cursor.iter (fun e -> Fmt.pr "  employs %s@." (Row.to_string e.Xnf.Cache.t_row)) emps)
+    depts;
+
+  (* 5. update through the cache; the change lands in the base table *)
+  let ses = Xnf.Api.session api cache in
+  let ni = Xnf.Cache.node cache "xemp" in
+  let bob =
+    List.find
+      (fun t -> Value.equal t.Xnf.Cache.t_row.(1) (Value.Str "bob"))
+      (Xnf.Cache.live_tuples ni)
+  in
+  Xnf.Udi.update ses ~node:"xemp" ~pos:bob.Xnf.Cache.t_pos [ ("sal", Value.Int 1000) ];
+  Fmt.pr "bob's salary in the base table is now %s@."
+    (Row.to_string (List.hd (Db.rows_of db "SELECT sal FROM emp WHERE eno = 11")));
+
+  (* 6. the same data is still just SQL for everyone else *)
+  Fmt.pr "SQL view of the shared database: %d employees, total payroll %s@."
+    (List.length (Db.rows_of db "SELECT * FROM emp"))
+    (Row.to_string (List.hd (Db.rows_of db "SELECT SUM(sal) FROM emp")))

@@ -1,0 +1,1 @@
+lib/baseline/lw90.ml: Db List Qgm Relational Row Sql_ast Sql_navigator Xnf

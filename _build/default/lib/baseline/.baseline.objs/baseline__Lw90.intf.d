@@ -1,0 +1,1 @@
+lib/baseline/lw90.mli: Relational Row Sql_navigator Xnf

@@ -1,0 +1,1 @@
+lib/baseline/naive_translate.ml: Array Db Hashtbl List Relational Row Sql_ast Xnf

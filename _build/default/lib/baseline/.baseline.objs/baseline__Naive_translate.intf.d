@@ -1,0 +1,1 @@
+lib/baseline/naive_translate.mli: Db Relational Row Xnf

@@ -1,0 +1,1 @@
+lib/baseline/sql_navigator.ml: Array Db List Option Qgm Relational Row Schema Sql_ast String Xnf

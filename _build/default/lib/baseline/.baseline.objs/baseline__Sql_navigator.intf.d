@@ -1,0 +1,1 @@
+lib/baseline/sql_navigator.mli: Db Relational Row Schema Sql_ast Xnf

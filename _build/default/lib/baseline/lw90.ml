@@ -1,0 +1,66 @@
+(* The on-top object-instantiation baseline of [LW90/BW89] (§5).
+
+   Lee/Wiederhold instantiate application objects from relational databases
+   through *acyclic select-project-join* view queries, one object type at a
+   time: the root objects are fetched set-orientedly, but sub-objects are
+   instantiated per parent object by parameterized queries, and the view
+   model supports neither recursion nor relationship restriction nor
+   subobject sharing across parents (shared children are re-instantiated).
+
+   The module reuses the navigator's per-object query machinery; what it
+   adds is the object-tree materialization (nested records), matching the
+   "final mapping to the application's favorable data structure" the paper
+   says XNF's abstraction level mostly avoids. *)
+
+open Relational
+
+type obj = { o_node : string; o_row : Row.t; mutable o_children : (string * obj list) list }
+
+exception Lw90_error of string
+
+(** [supported def] checks the [LW90] view-model restrictions: acyclic
+    schema graph. *)
+let supported (def : Xnf.Co_schema.t) = not (Xnf.Co_schema.is_recursive def)
+
+(** [instantiate nav def] materializes the object forest for [def] using
+    per-object queries. Returns the root objects and leaves call/row
+    counters on [nav].
+    @raise Lw90_error on recursive definitions (unsupported by the view
+    model). *)
+let instantiate (nav : Sql_navigator.t) (def : Xnf.Co_schema.t) : obj list =
+  if not (supported def) then
+    raise (Lw90_error "the LW90 view model supports only acyclic select-project-join views");
+  let catalog = Db.catalog nav.Sql_navigator.nav_db in
+  let schema_of_node (nd : Xnf.Co_schema.node_def) =
+    let qgm = Db.bind_select nav.Sql_navigator.nav_db nd.Xnf.Co_schema.nd_query in
+    Qgm.schema_of catalog qgm
+  in
+  let rec build (nd : Xnf.Co_schema.node_def) (row : Row.t) : obj =
+    let o = { o_node = nd.Xnf.Co_schema.nd_name; o_row = row; o_children = [] } in
+    o.o_children <-
+      List.map
+        (fun (ed : Xnf.Co_schema.edge_def) ->
+          let child_nd = Xnf.Co_schema.node def ed.Xnf.Co_schema.ed_child in
+          let rows =
+            Sql_navigator.children_of nav ed ~child_query:child_nd.Xnf.Co_schema.nd_query
+              ~parent_schema:(schema_of_node nd) ~parent_row:row
+          in
+          (ed.Xnf.Co_schema.ed_name, List.map (fun r -> build child_nd r) rows))
+        (Xnf.Co_schema.outgoing def nd.Xnf.Co_schema.nd_name);
+    o
+  in
+  List.concat_map
+    (fun (root : Xnf.Co_schema.node_def) ->
+      let rows = Sql_navigator.query nav (Sql_ast.select_to_string root.Xnf.Co_schema.nd_query) in
+      List.map (fun r -> build root r) rows)
+    (Xnf.Co_schema.roots def)
+
+(** [count_objects objs] is the total number of instantiated objects —
+    shared children are counted once per parent, exposing the duplication
+    the XNF instance representation avoids. *)
+let rec count_objects objs =
+  List.fold_left
+    (fun acc o ->
+      acc + 1
+      + List.fold_left (fun a (_, cs) -> a + count_objects cs) 0 o.o_children)
+    0 objs

@@ -1,0 +1,27 @@
+(** The on-top object-instantiation baseline of [LW90]/[BW89] (§5 of the
+    paper): application objects instantiated from acyclic
+    select-project-join views, one object at a time, without subobject
+    sharing, recursion or relationship restriction. *)
+
+open Relational
+
+(** A materialized application object: a node row plus, per outgoing
+    relationship, its instantiated children. *)
+type obj = { o_node : string; o_row : Row.t; mutable o_children : (string * obj list) list }
+
+exception Lw90_error of string
+
+(** [supported def] checks the LW90 view-model restriction: acyclic schema
+    graphs only. *)
+val supported : Xnf.Co_schema.t -> bool
+
+(** [instantiate nav def] materializes the object forest for [def] with
+    per-object queries issued through [nav] (whose counters record the
+    cost).
+    @raise Lw90_error on recursive definitions. *)
+val instantiate : Sql_navigator.t -> Xnf.Co_schema.t -> obj list
+
+(** [count_objects objs] counts instantiated objects — shared children are
+    counted once per parent, exposing the duplication XNF's instance
+    representation avoids. *)
+val count_objects : obj list -> int

@@ -1,0 +1,19 @@
+(** Translation ablation (experiment E5): XNF evaluation WITHOUT
+    common-subexpression sharing — every query re-derives the full
+    derivation of every ancestor instead of reusing materialized extents.
+    Only defined on DAG schemas (inlining diverges on cycles). *)
+
+open Relational
+
+exception Unsupported of string
+
+type result = {
+  node_rows : (string * Row.t list) list;  (** deduplicated reachable extents *)
+  edge_rows : (string * Row.t list) list;  (** parent-row ++ child-row pairs *)
+  queries_issued : int;
+}
+
+(** [extract_unshared db def] evaluates [def] with fully inlined,
+    recomputing queries.
+    @raise Unsupported on recursive schemas. *)
+val extract_unshared : Db.t -> Xnf.Co_schema.t -> result

@@ -1,0 +1,148 @@
+(* The "regular SQL interface" baseline (E1/E2).
+
+   Applications without the XNF cache navigate structured data by issuing
+   one SQL statement per step: fetch a tuple, fetch its related tuples,
+   and so on. Every call pays the full pipeline (parse, bind, rewrite,
+   optimize, execute); on the paper's systems it additionally paid an
+   inter-process round trip between the application and the DBMS.
+
+   This module counts calls so that benchmarks can report both the real
+   measured cost and the modeled cost with a configurable per-call IPC
+   overhead — the gap XNF's in-process cache eliminates. *)
+
+open Relational
+
+type t = {
+  nav_db : Db.t;
+  mutable calls : int;  (** SQL statements issued so far *)
+  mutable rows_fetched : int;
+}
+
+(** [create db] is a navigator session over [db]. *)
+let create db = { nav_db = db; calls = 0; rows_fetched = 0 }
+
+(** [calls nav] / [rows_fetched nav]: counters since creation/reset. *)
+let calls nav = nav.calls
+
+let rows_fetched nav = nav.rows_fetched
+
+(** [reset nav] zeroes the counters. *)
+let reset nav =
+  nav.calls <- 0;
+  nav.rows_fetched <- 0
+
+(** [query nav sql] issues one SQL call and returns its rows. *)
+let query nav sql =
+  nav.calls <- nav.calls + 1;
+  let rows = (Db.query nav.nav_db sql).Db.rrows in
+  nav.rows_fetched <- nav.rows_fetched + List.length rows;
+  rows
+
+(** [query_one nav sql] issues one call expecting at most one row. *)
+let query_one nav sql = match query nav sql with [] -> None | r :: _ -> Some r
+
+(** [modeled_ipc_seconds nav ~ipc_us] is the additional time the paper's
+    setting would have spent on inter-process round trips: one per call at
+    [ipc_us] microseconds. *)
+let modeled_ipc_seconds nav ~ipc_us = float_of_int nav.calls *. ipc_us *. 1e-6
+
+(* ---- generic per-step navigation over a CO definition ----
+
+   [children_of] mirrors what a hand-written application does: for a parent
+   row, fetch the related child rows of one relationship with a fresh,
+   parameter-substituted query. *)
+
+let literal v = Sql_ast.E_lit v
+
+(* substitute parent column references in an edge predicate with the
+   parent row's values, leaving child/using references intact *)
+let rec subst_parent ~alias ~(schema : Schema.t) ~(row : Row.t) (e : Sql_ast.expr) : Sql_ast.expr =
+  let s = subst_parent ~alias ~schema ~row in
+  match e with
+  | Sql_ast.E_col (Some q, n) when String.equal (String.lowercase_ascii q) alias -> begin
+    match Schema.find_opt schema n with
+    | Some i -> literal row.(i)
+    | None -> e
+  end
+  | Sql_ast.E_col _ | Sql_ast.E_lit _ | Sql_ast.E_count_star -> e
+  | Sql_ast.E_cmp (op, a, b) -> Sql_ast.E_cmp (op, s a, s b)
+  | Sql_ast.E_arith (op, a, b) -> Sql_ast.E_arith (op, s a, s b)
+  | Sql_ast.E_neg a -> Sql_ast.E_neg (s a)
+  | Sql_ast.E_and (a, b) -> Sql_ast.E_and (s a, s b)
+  | Sql_ast.E_or (a, b) -> Sql_ast.E_or (s a, s b)
+  | Sql_ast.E_not a -> Sql_ast.E_not (s a)
+  | Sql_ast.E_is_null a -> Sql_ast.E_is_null (s a)
+  | Sql_ast.E_is_not_null a -> Sql_ast.E_is_not_null (s a)
+  | Sql_ast.E_like (a, p) -> Sql_ast.E_like (s a, s p)
+  | Sql_ast.E_in_list (a, items) -> Sql_ast.E_in_list (s a, List.map s items)
+  | Sql_ast.E_case (branches, else_) ->
+    Sql_ast.E_case (List.map (fun (c, r) -> (s c, s r)) branches, Option.map s else_)
+  | Sql_ast.E_fn (n, args) -> Sql_ast.E_fn (n, List.map s args)
+  | Sql_ast.E_fn_distinct (n, a) -> Sql_ast.E_fn_distinct (n, s a)
+  | Sql_ast.E_exists _ | Sql_ast.E_in_query _ | Sql_ast.E_scalar _ -> e
+
+(** [children_of nav ed ~parent_schema ~parent_row] issues the per-step
+    query of edge [ed] for one parent tuple: the child derivation joined
+    with the USING table if any, with the parent's values substituted into
+    the predicate. [child_query] is the child node's derivation. *)
+let children_of nav (ed : Xnf.Co_schema.edge_def) ~child_query ~parent_schema ~parent_row =
+  let pred =
+    subst_parent ~alias:ed.Xnf.Co_schema.ed_parent_alias ~schema:parent_schema ~row:parent_row
+      ed.Xnf.Co_schema.ed_pred
+  in
+  (* a bare star-select child goes in as the table itself, so that the
+     optimizer can pick an index — what a hand-written application does *)
+  let child_ref =
+    match child_query with
+    | { Sql_ast.sel_items = [ Sql_ast.Sel_star ]; sel_from = [ Sql_ast.From_table (t, _) ];
+        sel_where = None; sel_distinct = false; sel_group_by = []; sel_having = None;
+        sel_unions = []; sel_order_by = []; sel_limit = None } ->
+      Sql_ast.From_table (t, Some ed.Xnf.Co_schema.ed_child_alias)
+    | _ -> Sql_ast.From_select (child_query, ed.Xnf.Co_schema.ed_child_alias)
+  in
+  let from =
+    match ed.Xnf.Co_schema.ed_using with
+    | None -> [ child_ref ]
+    | Some (t, a) -> [ child_ref; Sql_ast.From_table (t, Some a) ]
+  in
+  let q =
+    Sql_ast.simple_select
+      [ Sql_ast.Sel_table_star ed.Xnf.Co_schema.ed_child_alias ]
+      from (Some pred)
+  in
+  nav.calls <- nav.calls + 1;
+  let rows = (Db.query_ast nav.nav_db q).Db.rrows in
+  nav.rows_fetched <- nav.rows_fetched + List.length rows;
+  rows
+
+(** [extract_navigational nav def] loads a whole CO the pre-XNF way: fetch
+    the root extents with one query each, then walk the schema graph
+    issuing one query per (parent tuple, relationship). Returns the number
+    of tuples fetched (with sharing-induced repeats — the application
+    cannot see that two parents reach the same child). *)
+let extract_navigational nav (def : Xnf.Co_schema.t) =
+  let catalog = Db.catalog nav.nav_db in
+  let schema_of_node (nd : Xnf.Co_schema.node_def) =
+    let qgm = Db.bind_select nav.nav_db nd.Xnf.Co_schema.nd_query in
+    Qgm.schema_of catalog qgm
+  in
+  let fetched = ref 0 in
+  let rec visit (nd : Xnf.Co_schema.node_def) (row : Row.t) (depth : int) =
+    incr fetched;
+    if depth < 64 then
+      List.iter
+        (fun (ed : Xnf.Co_schema.edge_def) ->
+          let child_nd = Xnf.Co_schema.node def ed.Xnf.Co_schema.ed_child in
+          let rows =
+            children_of nav ed ~child_query:child_nd.Xnf.Co_schema.nd_query
+              ~parent_schema:(schema_of_node nd) ~parent_row:row
+          in
+          List.iter (fun r -> visit child_nd r (depth + 1)) rows)
+        (Xnf.Co_schema.outgoing def nd.Xnf.Co_schema.nd_name)
+  in
+  List.iter
+    (fun (root : Xnf.Co_schema.node_def) ->
+      let rows = query nav (Sql_ast.select_to_string root.Xnf.Co_schema.nd_query) in
+      List.iter (fun r -> visit root r 0) rows)
+    (Xnf.Co_schema.roots def);
+  !fetched

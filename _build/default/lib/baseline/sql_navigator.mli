@@ -1,0 +1,54 @@
+(** The "regular SQL interface" baseline (experiments E1/E2/E3).
+
+    Applications without the XNF cache navigate structured data by issuing
+    one SQL statement per step; every call pays the full query pipeline and,
+    in the paper's setting, an inter-process round trip. This module counts
+    calls and fetched rows so benchmarks can report measured cost and
+    modeled IPC cost side by side. *)
+
+open Relational
+
+type t = {
+  nav_db : Db.t;
+  mutable calls : int;  (** SQL statements issued so far *)
+  mutable rows_fetched : int;
+}
+
+(** [create db] is a navigator session over [db]. *)
+val create : Db.t -> t
+
+val calls : t -> int
+val rows_fetched : t -> int
+
+(** [reset nav] zeroes the counters. *)
+val reset : t -> unit
+
+(** [query nav sql] issues one SQL call and returns its rows. *)
+val query : t -> string -> Row.t list
+
+(** [query_one nav sql] issues one call expecting at most one row. *)
+val query_one : t -> string -> Row.t option
+
+(** [modeled_ipc_seconds nav ~ipc_us] is the additional time the paper's
+    setting would have spent on inter-process round trips: one per call at
+    [ipc_us] microseconds. *)
+val modeled_ipc_seconds : t -> ipc_us:float -> float
+
+(** [children_of nav ed ~child_query ~parent_schema ~parent_row] issues the
+    per-step query of relationship [ed] for one parent tuple: the child
+    derivation (joined with the USING table if any) with the parent's
+    values substituted into the predicate — what a hand-written application
+    does on every navigation step. *)
+val children_of :
+  t ->
+  Xnf.Co_schema.edge_def ->
+  child_query:Sql_ast.select ->
+  parent_schema:Schema.t ->
+  parent_row:Row.t ->
+  Row.t list
+
+(** [extract_navigational nav def] loads a whole CO the pre-XNF way: one
+    query per root extent, then one query per (parent tuple, relationship).
+    Returns the number of tuples fetched, counting the repeats sharing
+    induces. *)
+val extract_navigational : t -> Xnf.Co_schema.t -> int

@@ -1,0 +1,1 @@
+lib/core/api.ml: Binder Cache Catalog Db Expr Fmt List Relational Semantic Translate Udi View_registry Xnf_ast Xnf_parser

@@ -1,0 +1,1 @@
+lib/core/api.mli: Cache Db Relational Translate Udi View_registry Xnf_ast

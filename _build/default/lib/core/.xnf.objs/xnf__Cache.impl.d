@@ -1,0 +1,1 @@
+lib/core/cache.ml: Array Catalog Co_schema Db Fmt Hashtbl List Option Queue Relational Row Schema Semantic String Table Value Vec

@@ -1,0 +1,1 @@
+lib/core/cache.mli: Co_schema Db Format Hashtbl Relational Row Schema Semantic Value Vec

@@ -1,0 +1,1 @@
+lib/core/co_schema.ml: Fmt Hashtbl List Relational Sql_ast String Xnf_ast

@@ -1,0 +1,1 @@
+lib/core/co_schema.mli: Format Relational Sql_ast Xnf_ast

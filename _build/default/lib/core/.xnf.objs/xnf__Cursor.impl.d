@@ -1,0 +1,1 @@
+lib/core/cursor.ml: Array Cache Fmt List Path Relational String Xnf_ast

@@ -1,0 +1,1 @@
+lib/core/cursor.mli: Cache Xnf_ast

@@ -1,0 +1,1 @@
+lib/core/materialized.ml: Cache Db Fmt Hashtbl List Relational String Translate View_registry Xnf_ast Xnf_parser

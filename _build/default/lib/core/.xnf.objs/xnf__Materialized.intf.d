@@ -1,0 +1,1 @@
+lib/core/materialized.mli: Cache Db Relational View_registry Xnf_ast

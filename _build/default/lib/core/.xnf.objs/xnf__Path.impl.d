@@ -1,0 +1,1 @@
+lib/core/path.ml: Array Cache Expr Fmt List Option Relational Schema String Value Xnf_ast

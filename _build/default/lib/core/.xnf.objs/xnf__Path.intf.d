@@ -1,0 +1,1 @@
+lib/core/path.mli: Cache Relational Value Xnf_ast

@@ -1,0 +1,1 @@
+lib/core/semantic.ml: Array Catalog Co_schema Expr Fun List Option Printf Relational Schema Sql_ast String Table

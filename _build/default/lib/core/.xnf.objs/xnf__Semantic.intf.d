@@ -1,0 +1,1 @@
+lib/core/semantic.mli: Catalog Co_schema Relational Schema Sql_ast

@@ -1,0 +1,1 @@
+lib/core/translate.ml: Array Binder Cache Catalog Co_schema Db Expr Fmt Fun Hashtbl List Option Path Printf Qgm Relational Row Schema Semantic Seq Sql_ast String Table Value Vec View_registry Xnf_ast

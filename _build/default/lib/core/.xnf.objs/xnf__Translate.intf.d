@@ -1,0 +1,1 @@
+lib/core/translate.mli: Cache Co_schema Db Relational View_registry Xnf_ast

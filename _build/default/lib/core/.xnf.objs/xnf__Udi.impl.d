@@ -1,0 +1,1 @@
+lib/core/udi.ml: Array Cache Catalog Db Fmt Fun Hashtbl List Option Relational Row Schema Semantic String Table Value Vec

@@ -1,0 +1,1 @@
+lib/core/udi.mli: Cache Db Relational Row Value

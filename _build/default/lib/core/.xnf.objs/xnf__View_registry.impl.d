@@ -1,0 +1,1 @@
+lib/core/view_registry.ml: Co_schema Fmt Hashtbl List Option Relational Sql_ast String Xnf_ast

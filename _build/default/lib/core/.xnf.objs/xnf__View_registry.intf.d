@@ -1,0 +1,1 @@
+lib/core/view_registry.mli: Co_schema Xnf_ast

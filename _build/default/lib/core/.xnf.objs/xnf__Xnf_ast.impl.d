@@ -1,0 +1,1 @@
+lib/core/xnf_ast.ml: Expr Fmt List Option Relational Sql_ast Value

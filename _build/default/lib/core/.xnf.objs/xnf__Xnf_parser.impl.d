@@ -1,0 +1,1 @@
+lib/core/xnf_parser.ml: Array Expr List Relational Sql_ast Sql_lexer Sql_parser String Value Xnf_ast

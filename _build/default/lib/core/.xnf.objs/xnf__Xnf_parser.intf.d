@@ -1,0 +1,1 @@
+lib/core/xnf_parser.mli: Relational Xnf_ast

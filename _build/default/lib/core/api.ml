@@ -1,0 +1,128 @@
+(* The SQL/XNF application programming interface (Fig. 7).
+
+   One [Api.t] is a session against a shared relational database: plain
+   SQL statements execute on the relational engine unchanged, XNF
+   statements go through composition → semantic rewrite → relational
+   execution → cache load. The same database is freely shared between SQL
+   applications and XNF applications — the central architectural claim of
+   the paper. *)
+
+open Relational
+
+type t = {
+  db : Db.t;
+  reg : View_registry.t;
+  mutable fetch_count : int;  (** composite objects loaded this session *)
+}
+
+(** Result of executing one statement through [exec]. *)
+type outcome =
+  | Fetched of Cache.t  (** an OUT OF ... TAKE query: the loaded CO *)
+  | Co_deleted of int  (** OUT OF ... DELETE: number of base rows removed *)
+  | Co_updated of int  (** OUT OF ... UPDATE: number of component tuples changed *)
+  | View_defined of string
+  | View_dropped of string
+  | Sql of Db.exec_result  (** a plain SQL statement's result *)
+
+exception Api_error of string
+
+let err fmt = Fmt.kstr (fun s -> raise (Api_error s)) fmt
+
+(** [create db] opens an XNF session over [db]. *)
+let create db = { db; reg = View_registry.create (); fetch_count = 0 }
+
+(** [db api] is the underlying relational session. *)
+let db api = api.db
+
+(** [registry api] is the XNF view registry. *)
+let registry api = api.reg
+
+(** [fetch ?fixpoint api q] evaluates a parsed XNF query into a cache. *)
+let fetch ?fixpoint api q =
+  api.fetch_count <- api.fetch_count + 1;
+  Translate.fetch ?fixpoint api.db api.reg q
+
+(** [fetch_string api sql] parses and evaluates an [OUT OF ... TAKE]
+    query. *)
+let fetch_string ?fixpoint api sql = fetch ?fixpoint api (Xnf_parser.parse_query sql)
+
+(* CO deletion (§3.7): all component tuples of the target CO are removed
+   from their base tables. Every component must be updatable. *)
+let delete_co api (q : Xnf_ast.query) =
+  let cache = fetch api q in
+  (* validate updatability up front so we fail before deleting anything *)
+  List.iter
+    (fun (name, ni) ->
+      if Cache.live_count ni > 0 && ni.Cache.ni_upd = None then
+        err "CO DELETE: component %s is not updatable" name)
+    cache.Cache.c_nodes;
+  let deleted = ref 0 in
+  List.iter
+    (fun (_, ni) ->
+      match ni.Cache.ni_upd with
+      | None -> ()
+      | Some u ->
+        let table = Catalog.table (Db.catalog api.db) u.Semantic.nu_table in
+        List.iter
+          (fun t ->
+            match t.Cache.t_rowid with
+            | Some rowid -> if Db.delete_row api.db table rowid then incr deleted
+            | None -> ())
+          (Cache.live_tuples ni))
+    cache.Cache.c_nodes;
+  !deleted
+
+(* CO-level update (§3.7): the assignments apply to every tuple of the
+   named component in the target CO, propagated through the udi layer
+   (which enforces updatability and relationship-column locking). *)
+let update_co api (q : Xnf_ast.query) (cu : Xnf_ast.co_update) =
+  let cache = fetch api q in
+  let ni = Cache.node cache cu.Xnf_ast.cu_node in
+  let schema = ni.Cache.ni_schema in
+  let env = Db.bind_env api.db in
+  let sets =
+    List.map (fun (col, e) -> (col, Binder.bind_expr env schema e)) cu.Xnf_ast.cu_sets
+  in
+  let ses = Udi.session api.db cache in
+  let count = ref 0 in
+  Udi.with_deferred ses (fun () ->
+      List.iter
+        (fun t ->
+          let updates =
+            List.map (fun (col, e) -> (col, Expr.eval t.Cache.t_row e)) sets
+          in
+          Udi.update ses ~node:cu.Xnf_ast.cu_node ~pos:t.Cache.t_pos updates;
+          incr count)
+        (Cache.live_tuples ni));
+  !count
+
+(** [exec api text] parses and executes one statement — XNF or plain SQL. *)
+let exec api text : outcome =
+  match Xnf_parser.parse_stmt text with
+  | Xnf_ast.X_query q -> Fetched (fetch api q)
+  | Xnf_ast.X_create_view (name, q) ->
+    View_registry.define api.reg ~name q;
+    View_defined name
+  | Xnf_ast.X_delete q -> Co_deleted (delete_co api q)
+  | Xnf_ast.X_update (q, cu) -> Co_updated (update_co api q cu)
+  | Xnf_ast.X_drop_view name -> begin
+    match View_registry.find_opt api.reg name with
+    | Some _ ->
+      View_registry.drop api.reg name;
+      View_dropped name
+    | None -> begin
+      (* fall through to tabular views *)
+      match Catalog.view_opt (Db.catalog api.db) name with
+      | Some _ ->
+        Catalog.drop_view (Db.catalog api.db) name;
+        View_dropped name
+      | None -> err "unknown view %s" name
+    end
+  end
+  | Xnf_ast.X_sql stmt -> Sql (Db.exec_stmt_ast api.db stmt)
+
+(** [session api cache] opens a manipulation session on a loaded CO. *)
+let session api cache = Udi.session api.db cache
+
+(** [fetch_count api] counts COs loaded so far. *)
+let fetch_count api = api.fetch_count

@@ -1,0 +1,47 @@
+(** The SQL/XNF application programming interface (Fig. 7 of the paper).
+
+    One [Api.t] is a session against a shared relational database: plain
+    SQL statements execute on the relational engine unchanged, XNF
+    statements go through composition → semantic rewrite → relational
+    execution → cache load. SQL applications and composite-object
+    applications share the same data. *)
+
+open Relational
+
+type t
+
+(** Result of executing one statement through {!exec}. *)
+type outcome =
+  | Fetched of Cache.t  (** an [OUT OF ... TAKE] query: the loaded CO *)
+  | Co_deleted of int  (** [OUT OF ... DELETE]: number of base rows removed *)
+  | Co_updated of int  (** [OUT OF ... UPDATE]: number of component tuples changed *)
+  | View_defined of string
+  | View_dropped of string
+  | Sql of Db.exec_result  (** a plain SQL statement's result *)
+
+exception Api_error of string
+
+(** [create db] opens an XNF session over [db]. *)
+val create : Db.t -> t
+
+(** [db api] is the underlying relational session. *)
+val db : t -> Db.t
+
+(** [registry api] is the XNF view registry. *)
+val registry : t -> View_registry.t
+
+(** [fetch ?fixpoint api q] evaluates a parsed XNF query into a cache. *)
+val fetch : ?fixpoint:Translate.fixpoint -> t -> Xnf_ast.query -> Cache.t
+
+(** [fetch_string api text] parses and evaluates an [OUT OF ... TAKE]
+    query. *)
+val fetch_string : ?fixpoint:Translate.fixpoint -> t -> string -> Cache.t
+
+(** [exec api text] parses and executes one statement — XNF or plain SQL. *)
+val exec : t -> string -> outcome
+
+(** [session api cache] opens a manipulation session on a loaded CO. *)
+val session : t -> Cache.t -> Udi.t
+
+(** [fetch_count api] counts composite objects loaded this session. *)
+val fetch_count : t -> int

@@ -1,0 +1,290 @@
+(* The XNF cache: an in-memory composite-object instance (§4.2).
+
+   A loaded CO holds, per node, a vector of tuples (with base-table
+   provenance when the node is updatable) and, per edge, a vector of
+   connections with adjacency lists in both directions — the "virtual
+   memory pointers" of the paper, realized as integer positions for
+   safety; dereference cost is the same O(1).
+
+   Tuples and connections are tombstoned ([live = false]) rather than
+   removed, so cursor positions and adjacency stay stable under udi
+   operations; [save]-time propagation and reachability maintenance live
+   in {!Udi}. *)
+
+open Relational
+
+type tuple = {
+  t_pos : int;  (** position in the node vector (stable identity) *)
+  mutable t_row : Row.t;
+  mutable t_rowid : int option;  (** provenance: base-table rowid, when updatable *)
+  mutable t_live : bool;
+  mutable t_dirty : bool;  (** modified in cache, not yet propagated *)
+}
+
+type node_inst = {
+  ni_name : string;
+  mutable ni_schema : Schema.t;
+  ni_tuples : tuple Vec.t;
+  mutable ni_upd : Semantic.node_updatability option;
+  ni_by_rowid : (int, int) Hashtbl.t;  (** base rowid -> position *)
+  mutable ni_locked_cols : int list;
+      (** columns used in relationship predicates: updatable only through
+          connect/disconnect (§3.7) *)
+}
+
+type conn = {
+  cn_parent : int;  (** position in the parent node *)
+  cn_child : int;  (** position in the child node *)
+  cn_attrs : Row.t;  (** relationship attributes *)
+  mutable cn_live : bool;
+}
+
+type edge_inst = {
+  ei_name : string;
+  ei_parent : string;
+  ei_child : string;
+  ei_parent_node : node_inst;  (** direct reference: cursor steps are O(1) *)
+  ei_child_node : node_inst;
+  ei_attr_schema : Schema.t;
+  ei_conns : conn Vec.t;
+  ei_children_of : (int, int list) Hashtbl.t;  (** parent pos -> conn indexes *)
+  ei_parents_of : (int, int list) Hashtbl.t;  (** child pos -> conn indexes *)
+  mutable ei_upd : Semantic.edge_updatability;
+}
+
+type t = {
+  c_def : Co_schema.t;
+  c_nodes : (string * node_inst) list;  (** in definition order *)
+  c_edges : (string * edge_inst) list;
+  mutable c_base_versions : (string * int) list;  (** staleness detection *)
+}
+
+exception Cache_error of string
+
+let err fmt = Fmt.kstr (fun s -> raise (Cache_error s)) fmt
+
+let dummy_tuple = { t_pos = -1; t_row = [||]; t_rowid = None; t_live = false; t_dirty = false }
+let dummy_conn = { cn_parent = -1; cn_child = -1; cn_attrs = [||]; cn_live = false }
+
+(** [node cache name] is the node instance named [name].
+    @raise Cache_error when absent. *)
+let node cache name =
+  let name = String.lowercase_ascii name in
+  match List.assoc_opt name cache.c_nodes with
+  | Some n -> n
+  | None -> err "no component table %s in this composite object" name
+
+(** [edge cache name] is the edge instance named [name].
+    @raise Cache_error when absent. *)
+let edge cache name =
+  let name = String.lowercase_ascii name in
+  match List.assoc_opt name cache.c_edges with
+  | Some e -> e
+  | None -> err "no relationship %s in this composite object" name
+
+(** [node_opt cache name] / [edge_opt cache name]: option-returning
+    lookups. *)
+let node_opt cache name = List.assoc_opt (String.lowercase_ascii name) cache.c_nodes
+
+let edge_opt cache name = List.assoc_opt (String.lowercase_ascii name) cache.c_edges
+
+(** [live_tuples ni] lists the node's live tuples in position order. *)
+let live_tuples ni =
+  List.rev (Vec.fold (fun acc t -> if t.t_live then t :: acc else acc) [] ni.ni_tuples)
+
+(** [live_count ni] counts live tuples. *)
+let live_count ni = Vec.fold (fun acc t -> if t.t_live then acc + 1 else acc) 0 ni.ni_tuples
+
+(** [tuple ni pos] is the tuple at [pos] (live or not).
+    @raise Cache_error on bad position. *)
+let tuple ni pos =
+  if pos < 0 || pos >= Vec.length ni.ni_tuples then err "bad tuple position %d in %s" pos ni.ni_name;
+  Vec.get ni.ni_tuples pos
+
+(** [conns_live ei] lists live connections. *)
+let conns_live ei =
+  List.rev (Vec.fold (fun acc c -> if c.cn_live then c :: acc else acc) [] ei.ei_conns)
+
+let adj tbl pos = Option.value ~default:[] (Hashtbl.find_opt tbl pos)
+
+(** [children cache ei parent_pos] is the positions of live child tuples
+    connected to the parent tuple at [parent_pos] (traversal
+    parent->child). The [cache] argument is unused but kept for symmetry
+    with call sites that traverse by name. *)
+let children _cache ei parent_pos =
+  List.filter_map
+    (fun ci ->
+      let c = Vec.get ei.ei_conns ci in
+      if c.cn_live && (Vec.get ei.ei_child_node.ni_tuples c.cn_child).t_live then Some c.cn_child
+      else None)
+    (adj ei.ei_children_of parent_pos)
+
+(** [parents cache ei child_pos] is the positions of live parent tuples
+    connected to the child tuple at [child_pos] (reverse traversal, which
+    XNF relationships permit). *)
+let parents _cache ei child_pos =
+  List.filter_map
+    (fun ci ->
+      let c = Vec.get ei.ei_conns ci in
+      if c.cn_live && (Vec.get ei.ei_parent_node.ni_tuples c.cn_parent).t_live then Some c.cn_parent
+      else None)
+    (adj ei.ei_parents_of child_pos)
+
+(** [related cache ei pos ~from] traverses edge [ei] from the node [from]:
+    forward when [from] is the parent side, backward when the child side.
+    @raise Cache_error when [from] is neither partner. *)
+let related cache ei ~from pos =
+  let from = String.lowercase_ascii from in
+  if String.equal from ei.ei_parent then (ei.ei_child, children cache ei pos)
+  else if String.equal from ei.ei_child then (ei.ei_parent, parents cache ei pos)
+  else err "relationship %s does not involve %s" ei.ei_name from
+
+(** [add_conn ei ~parent ~child ~attrs] appends a live connection and
+    updates adjacency; returns its index. *)
+let add_conn ei ~parent ~child ~attrs =
+  let idx = Vec.length ei.ei_conns in
+  Vec.push ei.ei_conns { cn_parent = parent; cn_child = child; cn_attrs = attrs; cn_live = true };
+  Hashtbl.replace ei.ei_children_of parent (idx :: adj ei.ei_children_of parent);
+  Hashtbl.replace ei.ei_parents_of child (idx :: adj ei.ei_parents_of child);
+  idx
+
+(** [add_tuple ni ~rowid row] appends a live tuple; returns its position. *)
+let add_tuple ni ~rowid row =
+  let pos = Vec.length ni.ni_tuples in
+  Vec.push ni.ni_tuples { t_pos = pos; t_row = row; t_rowid = rowid; t_live = true; t_dirty = false };
+  Option.iter (fun rid -> Hashtbl.replace ni.ni_by_rowid rid pos) rowid;
+  pos
+
+(** [recompute_reachability cache] re-applies the reachability constraint
+    inside the cache: tuples of root nodes seed a traversal along live
+    connections in parent->child direction; unreached tuples and the
+    connections touching dead tuples are tombstoned. Called after
+    restriction evaluation and after udi operations that can strand
+    tuples. *)
+let recompute_reachability cache =
+  let reached : (string, (int, unit) Hashtbl.t) Hashtbl.t = Hashtbl.create 8 in
+  let tbl name =
+    match Hashtbl.find_opt reached name with
+    | Some h -> h
+    | None ->
+      let h = Hashtbl.create 64 in
+      Hashtbl.replace reached name h;
+      h
+  in
+  let queue = Queue.create () in
+  let mark name pos =
+    let h = tbl name in
+    if not (Hashtbl.mem h pos) then begin
+      Hashtbl.replace h pos ();
+      Queue.push (name, pos) queue
+    end
+  in
+  let root_names =
+    match Co_schema.roots cache.c_def with
+    | [] ->
+      (* a projected instance may have no root component (evaluate-then-
+         project); its tuples stand on their own *)
+      List.map fst cache.c_nodes
+    | roots -> List.map (fun nd -> nd.Co_schema.nd_name) roots
+  in
+  List.iter
+    (fun name ->
+      let ni = node cache name in
+      Vec.iter (fun t -> if t.t_live then mark name t.t_pos) ni.ni_tuples)
+    root_names;
+  while not (Queue.is_empty queue) do
+    let name, pos = Queue.pop queue in
+    List.iter
+      (fun (_, ei) ->
+        if String.equal ei.ei_parent name then
+          List.iter (fun child -> mark ei.ei_child child) (children cache ei pos))
+      cache.c_edges
+  done;
+  (* tombstone unreached tuples *)
+  List.iter
+    (fun (name, ni) ->
+      let h = tbl name in
+      Vec.iter (fun t -> if t.t_live && not (Hashtbl.mem h t.t_pos) then t.t_live <- false) ni.ni_tuples)
+    cache.c_nodes;
+  (* tombstone connections touching dead tuples *)
+  List.iter
+    (fun (_, ei) ->
+      let pn = node cache ei.ei_parent and cn = node cache ei.ei_child in
+      Vec.iter
+        (fun c ->
+          if c.cn_live && (not (tuple pn c.cn_parent).t_live || not (tuple cn c.cn_child).t_live)
+          then c.cn_live <- false)
+        ei.ei_conns)
+    cache.c_edges
+
+(** [stale cache db] holds when any base table changed since the cache was
+    loaded (other than through this cache's own propagation — callers that
+    propagate refresh the recorded versions). *)
+let stale cache db =
+  List.exists
+    (fun (name, v) ->
+      match Catalog.table_opt (Db.catalog db) name with
+      | Some t -> Table.version t <> v
+      | None -> true)
+    cache.c_base_versions
+
+(** A snapshot lookup structure over one cached node: column value ->
+    positions of live tuples. Rebuild after udi operations that change the
+    keyed column. *)
+type key_index = { ki_node : string; ki_col : int; ki_map : (Value.t, int list) Hashtbl.t }
+
+(** [build_key_index cache ~node ~col] indexes the live tuples of [node] by
+    the value of column [col] — O(1) point access into the cache, as
+    OO1-style applications expect.
+    @raise Cache_error on unknown node or column. *)
+let build_key_index cache ~node:name ~col =
+  let ni = node cache name in
+  let ci =
+    match Schema.find_opt ni.ni_schema col with
+    | Some i -> i
+    | None -> err "no column %s in component %s" col name
+  in
+  let map = Hashtbl.create (max 16 (live_count ni)) in
+  Vec.iter
+    (fun t ->
+      if t.t_live then begin
+        let v = t.t_row.(ci) in
+        Hashtbl.replace map v (t.t_pos :: Option.value ~default:[] (Hashtbl.find_opt map v))
+      end)
+    ni.ni_tuples;
+  { ki_node = ni.ni_name; ki_col = ci; ki_map = map }
+
+(** [lookup_key cache ki v] is the positions of live tuples whose keyed
+    column equals [v] (stale entries for tombstoned tuples are filtered). *)
+let lookup_key cache ki v =
+  let ni = node cache ki.ki_node in
+  List.filter
+    (fun pos -> (tuple ni pos).t_live)
+    (Option.value ~default:[] (Hashtbl.find_opt ki.ki_map v))
+
+(** [lookup_key_one cache ki v] is the unique position for [v], if any. *)
+let lookup_key_one cache ki v =
+  match lookup_key cache ki v with pos :: _ -> Some pos | [] -> None
+
+(** [total_tuples cache] counts live tuples across all nodes. *)
+let total_tuples cache = List.fold_left (fun acc (_, ni) -> acc + live_count ni) 0 cache.c_nodes
+
+(** [total_conns cache] counts live connections across all edges. *)
+let total_conns cache =
+  List.fold_left
+    (fun acc (_, ei) ->
+      acc + Vec.fold (fun a c -> if c.cn_live then a + 1 else a) 0 ei.ei_conns)
+    0 cache.c_edges
+
+(** [pp] prints a summary: per node the live tuple count, per edge the live
+    connection count. *)
+let pp ppf cache =
+  Fmt.pf ppf "CO instance:@.";
+  List.iter
+    (fun (name, ni) -> Fmt.pf ppf "  %s: %d tuples@." name (live_count ni))
+    cache.c_nodes;
+  List.iter
+    (fun (name, ei) ->
+      let n = Vec.fold (fun a c -> if c.cn_live then a + 1 else a) 0 ei.ei_conns in
+      Fmt.pf ppf "  %s (%s -> %s): %d connections@." name ei.ei_parent ei.ei_child n)
+    cache.c_edges

@@ -1,0 +1,229 @@
+(* Composite-object schema graphs (§2 of the paper).
+
+   A CO definition is the fully composed form of an XNF view or query:
+   every node carries its (possibly restriction-wrapped) SQL derivation,
+   every edge its predicate, optional USING link table, optional attributes
+   and the aliases its predicate uses for the two partner tables.
+
+   View composition happens at this level: importing a view merges its
+   node and edge definitions, after which reachability is recomputed over
+   the merged graph — which is why adding the 'membership' relationship in
+   the paper's Fig. 3 makes employees e3/e4 appear even though they were
+   not part of ALL-DEPS. *)
+
+open Relational
+
+type node_def = {
+  nd_name : string;  (** lowercased component-table name *)
+  nd_query : Sql_ast.select;  (** derivation, including merged node restrictions *)
+  nd_cols : string list option;  (** TAKE column projection; [None] = all *)
+}
+
+type edge_def = {
+  ed_name : string;
+  ed_parent : string;  (** parent node name *)
+  ed_child : string;  (** child node name *)
+  ed_parent_alias : string;  (** qualifier for the parent in [ed_pred] *)
+  ed_child_alias : string;
+  ed_using : (string * string) option;  (** USING base table and its alias *)
+  ed_attrs : (Sql_ast.expr * string) list;  (** relationship attributes *)
+  ed_pred : Sql_ast.expr;  (** connection predicate over parent × child [× using] *)
+}
+
+type t = { co_nodes : node_def list; co_edges : edge_def list }
+
+exception Schema_error of string
+
+let err fmt = Fmt.kstr (fun s -> raise (Schema_error s)) fmt
+
+let empty = { co_nodes = []; co_edges = [] }
+
+(** [node def name] is the node definition for [name].
+    @raise Schema_error when absent. *)
+let node def name =
+  let name = String.lowercase_ascii name in
+  match List.find_opt (fun n -> String.equal n.nd_name name) def.co_nodes with
+  | Some n -> n
+  | None -> err "unknown component table %s" name
+
+(** [node_opt def name] is [node] returning an option. *)
+let node_opt def name =
+  let name = String.lowercase_ascii name in
+  List.find_opt (fun n -> String.equal n.nd_name name) def.co_nodes
+
+(** [edge def name] is the edge definition for [name].
+    @raise Schema_error when absent. *)
+let edge def name =
+  let name = String.lowercase_ascii name in
+  match List.find_opt (fun e -> String.equal e.ed_name name) def.co_edges with
+  | Some e -> e
+  | None -> err "unknown relationship %s" name
+
+(** [edge_opt def name] is [edge] returning an option. *)
+let edge_opt def name =
+  let name = String.lowercase_ascii name in
+  List.find_opt (fun e -> String.equal e.ed_name name) def.co_edges
+
+(** [incoming def name] lists edges whose child is [name]. *)
+let incoming def name =
+  let name = String.lowercase_ascii name in
+  List.filter (fun e -> String.equal e.ed_child name) def.co_edges
+
+(** [outgoing def name] lists edges whose parent is [name]. *)
+let outgoing def name =
+  let name = String.lowercase_ascii name in
+  List.filter (fun e -> String.equal e.ed_parent name) def.co_edges
+
+(** [roots def] lists root nodes — components with no incoming edge; the
+    reachability constraint makes their tuples the traversal sources. *)
+let roots def = List.filter (fun n -> incoming def n.nd_name = []) def.co_nodes
+
+(** [add_node def nd] adds a node. @raise Schema_error on duplicate name. *)
+let add_node def nd =
+  if node_opt def nd.nd_name <> None || edge_opt def nd.nd_name <> None then
+    err "duplicate component name %s" nd.nd_name;
+  { def with co_nodes = def.co_nodes @ [ nd ] }
+
+(** [add_edge def ed] adds an edge; partner tables must already be
+    component tables (well-formedness, §2).
+    @raise Schema_error on duplicates or unknown partners. *)
+let add_edge def ed =
+  if edge_opt def ed.ed_name <> None || node_opt def ed.ed_name <> None then
+    err "duplicate component name %s" ed.ed_name;
+  if node_opt def ed.ed_parent = None then
+    err "relationship %s: parent %s is not a component table" ed.ed_name ed.ed_parent;
+  if node_opt def ed.ed_child = None then
+    err "relationship %s: child %s is not a component table" ed.ed_name ed.ed_child;
+  { def with co_edges = def.co_edges @ [ ed ] }
+
+(** [merge a b] composes two definitions (view import).
+    @raise Schema_error when component names clash. *)
+let merge a b = List.fold_left add_edge (List.fold_left add_node a b.co_nodes) b.co_edges
+
+(** [is_recursive def] detects cycles in the schema graph (§2: recursive
+    COs). *)
+let is_recursive def =
+  (* DFS cycle detection over parent -> child edges *)
+  let color = Hashtbl.create 16 in
+  (* 0 = white (implicit), 1 = grey, 2 = black *)
+  let rec visit n =
+    match Hashtbl.find_opt color n with
+    | Some 1 -> true
+    | Some 2 -> false
+    | _ ->
+      Hashtbl.replace color n 1;
+      let cyc = List.exists (fun e -> visit e.ed_child) (outgoing def n) in
+      Hashtbl.replace color n 2;
+      cyc
+  in
+  List.exists (fun nd -> visit nd.nd_name) def.co_nodes
+
+(** [has_schema_sharing def] holds when some node has two incoming edges
+    (§2: schema sharing). *)
+let has_schema_sharing def =
+  List.exists (fun nd -> List.length (incoming def nd.nd_name) >= 2) def.co_nodes
+
+(** [topo_order def] orders nodes parents-before-children when the graph
+    is a DAG; [None] for recursive schemas (which need fixpoint
+    evaluation). *)
+let topo_order def =
+  if is_recursive def then None
+  else begin
+    let visited = Hashtbl.create 16 in
+    let order = ref [] in
+    let rec visit n =
+      if not (Hashtbl.mem visited n) then begin
+        Hashtbl.replace visited n ();
+        List.iter (fun e -> visit e.ed_child) (outgoing def n);
+        order := n :: !order
+      end
+    in
+    List.iter (fun nd -> visit nd.nd_name) (roots def);
+    (* nodes unreachable from any root still need slots (their extents are
+       empty by the reachability constraint) *)
+    List.iter (fun nd -> if not (Hashtbl.mem visited nd.nd_name) then order := !order @ [ nd.nd_name ])
+      def.co_nodes;
+    Some !order
+  end
+
+(** [validate def] checks global well-formedness: at least one node; every
+    edge's partners present (guaranteed by [add_edge], re-checked after
+    projection); a warning-level condition — no root — is an error because
+    such a CO is empty by reachability. *)
+let validate def =
+  if def.co_nodes = [] then err "composite object has no component tables";
+  List.iter
+    (fun e ->
+      if node_opt def e.ed_parent = None || node_opt def e.ed_child = None then
+        err "relationship %s references a projected-away component" e.ed_name)
+    def.co_edges;
+  if roots def = [] then err "composite object has no root table: every tuple would be unreachable"
+
+(** [project def take] applies a TAKE structural projection: keeps the
+    named components; edges survive only when both partners survive
+    (implicit discard, §3.3). *)
+let project def (take : Xnf_ast.take) =
+  match take with
+  | Xnf_ast.Take_star -> def
+  | Xnf_ast.Take_items items ->
+    let keep_nodes = Hashtbl.create 8 in
+    let keep_edges = Hashtbl.create 8 in
+    List.iter
+      (fun item ->
+        match item with
+        | Xnf_ast.Take_node (n, cols) -> begin
+          let n = String.lowercase_ascii n in
+          match node_opt def n, edge_opt def n, cols with
+          | Some _, _, _ -> Hashtbl.replace keep_nodes n cols
+          | None, Some _, Xnf_ast.Take_all_cols ->
+            (* "edge ( * )" is tolerated and means the edge itself *)
+            Hashtbl.replace keep_edges n ()
+          | None, Some _, Xnf_ast.Take_cols _ -> err "column projection on relationship %s" n
+          | None, None, _ -> err "TAKE references unknown component %s" n
+        end
+        | Xnf_ast.Take_edge e -> begin
+          let e = String.lowercase_ascii e in
+          match edge_opt def e, node_opt def e with
+          | Some _, _ -> Hashtbl.replace keep_edges e ()
+          | None, Some _ -> Hashtbl.replace keep_nodes e Xnf_ast.Take_all_cols
+          | None, None -> err "TAKE references unknown component %s" e
+        end)
+      items;
+    let co_nodes =
+      List.filter_map
+        (fun nd ->
+          match Hashtbl.find_opt keep_nodes nd.nd_name with
+          | None -> None
+          | Some Xnf_ast.Take_all_cols -> Some nd
+          | Some (Xnf_ast.Take_cols cols) -> Some { nd with nd_cols = Some cols })
+        def.co_nodes
+    in
+    let surviving n = List.exists (fun nd -> String.equal nd.nd_name n) co_nodes in
+    let co_edges =
+      List.filter
+        (fun e ->
+          Hashtbl.mem keep_edges e.ed_name && surviving e.ed_parent && surviving e.ed_child)
+        def.co_edges
+    in
+    (* an explicitly TAKEn edge whose partner was projected away violates
+       well-formedness: report rather than silently dropping *)
+    Hashtbl.iter
+      (fun e () ->
+        if not (List.exists (fun ed -> String.equal ed.ed_name e) co_edges) then
+          err "TAKE keeps relationship %s but drops one of its partner tables" e)
+      keep_edges;
+    { co_nodes; co_edges }
+
+(** [pp] prints the schema graph (nodes, then edges parent->child). *)
+let pp ppf def =
+  Fmt.pf ppf "CO schema:@.";
+  List.iter
+    (fun nd ->
+      let root = if incoming def nd.nd_name = [] then " (root)" else "" in
+      Fmt.pf ppf "  node %s%s := %a@." nd.nd_name root Sql_ast.pp_select nd.nd_query)
+    def.co_nodes;
+  List.iter
+    (fun e ->
+      Fmt.pf ppf "  edge %s : %s -> %s WHERE %a@." e.ed_name e.ed_parent e.ed_child
+        Sql_ast.pp_expr e.ed_pred)
+    def.co_edges

@@ -1,0 +1,83 @@
+(** Composite-object schema graphs (§2 of the paper).
+
+    A CO definition is the fully composed form of an XNF view or query:
+    every node carries its (possibly restriction-wrapped) SQL derivation,
+    every edge its predicate, optional USING link table, optional
+    attributes, and the aliases its predicate uses for the partner tables.
+    View composition merges definitions at this level, which is why adding
+    a relationship can make new tuples reachable (Fig. 3). *)
+
+open Relational
+
+type node_def = {
+  nd_name : string;  (** lowercased component-table name *)
+  nd_query : Sql_ast.select;  (** derivation, including merged node restrictions *)
+  nd_cols : string list option;  (** TAKE column projection; [None] = all *)
+}
+
+type edge_def = {
+  ed_name : string;
+  ed_parent : string;  (** parent node name *)
+  ed_child : string;  (** child node name *)
+  ed_parent_alias : string;  (** qualifier for the parent in [ed_pred] *)
+  ed_child_alias : string;
+  ed_using : (string * string) option;  (** USING base table and its alias *)
+  ed_attrs : (Sql_ast.expr * string) list;  (** relationship attributes *)
+  ed_pred : Sql_ast.expr;  (** connection predicate over parent x child [x using] *)
+}
+
+type t = { co_nodes : node_def list; co_edges : edge_def list }
+
+exception Schema_error of string
+
+val empty : t
+
+(** Lookups are case-insensitive. @raise Schema_error when absent. *)
+
+val node : t -> string -> node_def
+val node_opt : t -> string -> node_def option
+val edge : t -> string -> edge_def
+val edge_opt : t -> string -> edge_def option
+
+(** [incoming def name] / [outgoing def name]: edges by child / parent. *)
+
+val incoming : t -> string -> edge_def list
+val outgoing : t -> string -> edge_def list
+
+(** [roots def] lists components with no incoming edge — the reachability
+    sources. *)
+val roots : t -> node_def list
+
+(** [add_node def nd] / [add_edge def ed]: well-formedness is enforced —
+    unique component names, edge partners must be component tables.
+    @raise Schema_error on violations. *)
+
+val add_node : t -> node_def -> t
+val add_edge : t -> edge_def -> t
+
+(** [merge a b] composes two definitions (view import).
+    @raise Schema_error when component names clash. *)
+val merge : t -> t -> t
+
+(** [is_recursive def] detects schema-graph cycles (§2: recursive COs). *)
+val is_recursive : t -> bool
+
+(** [has_schema_sharing def] holds when some node has two incoming edges. *)
+val has_schema_sharing : t -> bool
+
+(** [topo_order def] orders nodes parents-before-children for DAGs; [None]
+    for recursive schemas. *)
+val topo_order : t -> string list option
+
+(** [validate def] checks global well-formedness (non-empty, edge partners
+    present, at least one root).
+    @raise Schema_error on violations. *)
+val validate : t -> unit
+
+(** [project def take] applies a TAKE structural projection: named
+    components survive; edges survive only when both partners do; an
+    explicitly kept edge with a dropped partner is an error.
+    @raise Schema_error on violations. *)
+val project : t -> Xnf_ast.take -> t
+
+val pp : Format.formatter -> t -> unit

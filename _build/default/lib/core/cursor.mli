@@ -1,0 +1,46 @@
+(** XNF cursors over the cache (§3.7, §4.2 of the paper).
+
+    Independent cursors enumerate all live tuples of a component table;
+    dependent cursors are bound to another cursor through a relationship or
+    a longer path and enumerate only tuples reachable from the parent
+    cursor's current tuple, recomputing whenever the parent moves. Cursor
+    steps are pure in-memory adjacency walks. *)
+
+exception Cursor_error of string
+
+type t
+
+(** [open_independent ?order cache node] opens a cursor over all live
+    tuples of [node]. [order] optionally sorts the enumeration by a column;
+    the default is cache position order.
+    @raise Cursor_error on unknown node or order column. *)
+val open_independent : ?order:string * [ `Asc | `Desc ] -> Cache.t -> string -> t
+
+(** [open_dependent ~parent path] opens a cursor bound to [parent] through
+    [path] (typically a single relationship step). The target node is
+    resolved statically; traversal direction is inferred per step.
+    @raise Cursor_error on an empty or unresolvable path. *)
+val open_dependent : parent:t -> Xnf_ast.step list -> t
+
+(** [via edge] is the single-step path crossing [edge]. *)
+val via : string -> Xnf_ast.step list
+
+(** [next c] advances to the next live tuple; [None] at end of enumeration.
+    A dependent cursor whose parent is unpositioned yields [None]. *)
+val next : t -> Cache.tuple option
+
+(** [current c] is the tuple the cursor is positioned on, if live. *)
+val current : t -> Cache.tuple option
+
+(** [reset c] rewinds to before the first tuple (dependent cursors
+    recompute from the parent's current position). *)
+val reset : t -> unit
+
+(** [node_name c] is the component table this cursor ranges over. *)
+val node_name : t -> string
+
+(** [iter f c] resets [c] and applies [f] to every enumerated tuple. *)
+val iter : (Cache.tuple -> unit) -> t -> unit
+
+(** [to_list c] resets [c] and collects the enumeration. *)
+val to_list : t -> Cache.tuple list

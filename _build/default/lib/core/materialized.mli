@@ -1,0 +1,38 @@
+(** Materialized composite objects — the "base (materialized)
+    relationships" the paper mentions in §5 but does not report: a named
+    XNF view whose instance is kept loaded, served from memory while the
+    underlying base tables are unchanged, and re-evaluated when they
+    change. *)
+
+open Relational
+
+type t
+
+exception Materialized_error of string
+
+(** [create db reg] is an empty materialization manager for the session. *)
+val create : Db.t -> View_registry.t -> t
+
+(** [define t ~name query] registers [query] for materialization (loaded
+    lazily on first {!get}).
+    @raise Materialized_error on duplicate name. *)
+val define : t -> name:string -> Xnf_ast.query -> unit
+
+(** [define_string t ~name text] parses and registers an
+    [OUT OF ... TAKE] query. *)
+val define_string : t -> name:string -> string -> unit
+
+(** [get t name] is the materialized instance, re-evaluated only when a
+    base table changed since the last load.
+    @raise Materialized_error on unknown name. *)
+val get : t -> string -> Cache.t
+
+(** [invalidate t name] drops the materialized instance; the next {!get}
+    reloads. *)
+val invalidate : t -> string -> unit
+
+(** [stats t name] is [(loads, hits)]. *)
+val stats : t -> string -> int * int
+
+(** [names t] lists registered materializations, sorted. *)
+val names : t -> string list

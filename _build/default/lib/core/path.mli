@@ -1,0 +1,38 @@
+(** Path expressions over a loaded composite object (§3.5 of the paper).
+
+    A path denotes a subset of the tuples of its target component: those
+    reachable from the start designator along the named relationships, with
+    qualified steps filtering intermediate tuples. Traversal direction is
+    inferred per step (forward from the parent side, backward from the
+    child side).
+
+    SUCH THAT predicates are evaluated here too: SQL expressions extended
+    with [COUNT(path)] and [EXISTS path] atoms, against an environment
+    binding restriction variables to cache tuples. *)
+
+open Relational
+
+exception Path_error of string
+
+(** A variable binding: a specific tuple of a component table. *)
+type binding = { b_node : string; b_pos : int }
+
+(** Evaluation environment: restriction / path variables, lowercased. *)
+type env = (string * binding) list
+
+(** [eval_xexpr cache env e] evaluates a predicate expression; boolean
+    results use the 3VL encoding (Bool/Null). *)
+val eval_xexpr : Cache.t -> env -> Xnf_ast.xexpr -> Value.t
+
+(** [eval_pred cache env e] evaluates [e] as a predicate. *)
+val eval_pred : Cache.t -> env -> Xnf_ast.xexpr -> Value.truth
+
+(** [eval_path cache env p] is the target component's name and the distinct
+    live positions the path denotes. *)
+val eval_path : Cache.t -> env -> Xnf_ast.path -> string * int list
+
+(** [eval_node_restriction cache ~node ~var pred] is the set of live
+    positions of [node] satisfying [pred], with [var] (default: the node
+    name) bound per tuple. *)
+val eval_node_restriction :
+  Cache.t -> node:string -> var:string option -> Xnf_ast.xexpr -> int list

@@ -1,0 +1,221 @@
+(* Semantic analysis for XNF: node and relationship updatability.
+
+   The paper's view-update philosophy (§3.7): nodes derived like ordinary
+   updatable views (single base table, column projection, restriction)
+   propagate udi operations to their base table; relationships defined by a
+   foreign-key equality support connect/disconnect by setting/nullifying
+   the FK; M:N relationships built over a USING link table connect by
+   inserting and disconnect by deleting the link tuple; anything else is
+   readable but not updatable — definitions are never restricted to
+   updatable ones. *)
+
+open Relational
+
+(** Updatability of a node: where its tuples come from and how output
+    columns map to base columns. *)
+type node_updatability = {
+  nu_table : string;  (** base table name *)
+  nu_col_map : int array;  (** node output column -> base column index *)
+}
+
+(** Updatability of a relationship. *)
+type edge_updatability =
+  | Upd_fk of {
+      fk_parent_col : int;  (** parent node column supplying the key *)
+      fk_child_col : int;  (** child node column holding the foreign key *)
+    }
+      (** 1:N relationship by FK equality: connect sets the child FK to the
+          parent key, disconnect nullifies it *)
+  | Upd_link of {
+      link_table : string;
+      parent_bind : (string * int) list;  (** (link column name, parent node col) *)
+      child_bind : (string * int) list;  (** (link column name, child node col) *)
+      attr_cols : (string * int) list;
+          (** (link column name, attribute position): attributes drawn
+              directly from the link table, settable at connect time *)
+    }
+      (** M:N relationship over a link table: connect inserts a link tuple,
+          disconnect deletes it *)
+  | Upd_readonly of string  (** reason the relationship is read-only *)
+
+(* ---- node analysis ---- *)
+
+(* A node query is updatable when it is a stack of star-selects (produced
+   by restriction merging) over a single-table select whose items are plain
+   columns or [*]. Returns the base table, column map and nothing else —
+   predicates only filter and do not affect propagation. *)
+let rec analyze_node_query catalog (q : Sql_ast.select) : node_updatability option =
+  if q.Sql_ast.sel_distinct || q.Sql_ast.sel_group_by <> [] || q.Sql_ast.sel_having <> None
+     || q.Sql_ast.sel_limit <> None || q.Sql_ast.sel_unions <> []
+  then None
+  else
+    match q.Sql_ast.sel_from with
+    | [ Sql_ast.From_table (table, _) ] -> begin
+      match Catalog.table_opt catalog table with
+      | None -> None (* a view, or unknown: not directly updatable *)
+      | Some base -> begin
+        let schema = Table.schema base in
+        match q.Sql_ast.sel_items with
+        | [ Sql_ast.Sel_star ] ->
+          Some { nu_table = Table.name base; nu_col_map = Array.init (Schema.arity schema) Fun.id }
+        | items -> begin
+          let cols =
+            List.map
+              (function
+                | Sql_ast.Sel_expr (Sql_ast.E_col (_, name), alias)
+                  when (match alias with
+                       | None -> true
+                       | Some a -> String.lowercase_ascii a = String.lowercase_ascii name) ->
+                  Schema.find_opt schema name
+                | Sql_ast.Sel_star | Sql_ast.Sel_table_star _ | Sql_ast.Sel_expr _ -> None)
+              items
+          in
+          if List.for_all Option.is_some cols then
+            Some { nu_table = Table.name base; nu_col_map = Array.of_list (List.map Option.get cols) }
+          else None
+        end
+      end
+    end
+    | [ Sql_ast.From_select (inner, _) ] -> begin
+      (* restriction wrapper: SELECT * FROM (inner) v WHERE pred *)
+      match q.Sql_ast.sel_items with
+      | [ Sql_ast.Sel_star ] -> analyze_node_query catalog inner
+      | _ -> None
+    end
+    | _ -> None
+
+(* ---- edge analysis ---- *)
+
+let qual_matches alias = function
+  | Some q -> String.equal (String.lowercase_ascii q) (String.lowercase_ascii alias)
+  | None -> false
+
+(* classify a column reference within an edge predicate *)
+let classify_col ~parent_alias ~child_alias ~using_alias (q, name) =
+  if qual_matches parent_alias q then `Parent name
+  else if qual_matches child_alias q then `Child name
+  else
+    match using_alias with
+    | Some u when qual_matches u q -> `Using name
+    | _ -> `Other
+
+(** [analyze_edge catalog def parent_schema child_schema] derives the
+    updatability of edge [def]; [parent_schema]/[child_schema] are the node
+    output schemas (post TAKE-projection: a projected-away FK makes the
+    edge read-only). *)
+let analyze_edge catalog (def : Co_schema.edge_def) ~(parent_schema : Schema.t)
+    ~(child_schema : Schema.t) : edge_updatability =
+  let pa = def.Co_schema.ed_parent_alias and ca = def.Co_schema.ed_child_alias in
+  let conjuncts =
+    let rec split = function
+      | Sql_ast.E_and (a, b) -> split a @ split b
+      | e -> [ e ]
+    in
+    split def.Co_schema.ed_pred
+  in
+  let classify = classify_col ~parent_alias:pa ~child_alias:ca in
+  match def.Co_schema.ed_using with
+  | None -> begin
+    (* FK form: exactly one equality parent.a = child.b *)
+    match conjuncts with
+    | [ Sql_ast.E_cmp (Expr.Eq, Sql_ast.E_col (qa, na), Sql_ast.E_col (qb, nb)) ] -> begin
+      let a = classify ~using_alias:None (qa, na) and b = classify ~using_alias:None (qb, nb) in
+      match a, b with
+      | `Parent pn, `Child cn | `Child cn, `Parent pn -> begin
+        match Schema.find_opt parent_schema pn, Schema.find_opt child_schema cn with
+        | Some pi, Some ci -> Upd_fk { fk_parent_col = pi; fk_child_col = ci }
+        | _ -> Upd_readonly "relationship columns projected away"
+      end
+      | _ -> Upd_readonly "predicate does not relate parent to child by equality"
+    end
+    | [ _ ] -> Upd_readonly "predicate is not a column equality"
+    | _ -> Upd_readonly "composite predicate without USING table"
+  end
+  | Some (link_table, link_alias) -> begin
+    match Catalog.table_opt catalog link_table with
+    | None -> Upd_readonly (Printf.sprintf "USING table %s is not a base table" link_table)
+    | Some link -> begin
+      let link_schema = Table.schema link in
+      let classify = classify ~using_alias:(Some link_alias) in
+      let exception Not_updatable of string in
+      try
+        let parent_bind = ref [] and child_bind = ref [] in
+        List.iter
+          (fun conj ->
+            match conj with
+            | Sql_ast.E_cmp (Expr.Eq, Sql_ast.E_col (qa, na), Sql_ast.E_col (qb, nb)) -> begin
+              match classify (qa, na), classify (qb, nb) with
+              | `Using un, `Parent pn | `Parent pn, `Using un -> begin
+                match Schema.find_opt link_schema un, Schema.find_opt parent_schema pn with
+                | Some _, Some pi -> parent_bind := (un, pi) :: !parent_bind
+                | _ -> raise (Not_updatable "binding column projected away")
+              end
+              | `Using un, `Child cn | `Child cn, `Using un -> begin
+                match Schema.find_opt link_schema un, Schema.find_opt child_schema cn with
+                | Some _, Some ci -> child_bind := (un, ci) :: !child_bind
+                | _ -> raise (Not_updatable "binding column projected away")
+              end
+              | _ -> raise (Not_updatable "predicate mixes partners beyond link bindings")
+            end
+            | _ -> raise (Not_updatable "non-equality conjunct in USING predicate"))
+          conjuncts;
+        if !parent_bind = [] || !child_bind = [] then
+          Upd_readonly "USING predicate does not bind both partners"
+        else begin
+          (* attributes drawn as plain link-table columns are settable *)
+          let attr_cols =
+            List.filteri
+              (fun _ (_ : Sql_ast.expr * string) -> true)
+              def.Co_schema.ed_attrs
+            |> List.mapi (fun i (e, _) ->
+                   match e with
+                   | Sql_ast.E_col (q, n)
+                     when qual_matches link_alias q && Schema.find_opt link_schema n <> None ->
+                     Some (n, i)
+                   | _ -> None)
+            |> List.filter_map Fun.id
+          in
+          Upd_link { link_table = Table.name link; parent_bind = !parent_bind;
+                     child_bind = !child_bind; attr_cols }
+        end
+      with Not_updatable reason -> Upd_readonly reason
+    end
+  end
+
+(** [relationship_columns def ~parent_schema ~child_schema] is, per side,
+    the node columns mentioned in the edge predicate — the columns whose
+    direct update is forbidden (they change only through
+    connect/disconnect, §3.7). Returns [(parent cols, child cols)]. *)
+let relationship_columns (def : Co_schema.edge_def) ~(parent_schema : Schema.t)
+    ~(child_schema : Schema.t) =
+  let pa = def.Co_schema.ed_parent_alias and ca = def.Co_schema.ed_child_alias in
+  let parent_cols = ref [] and child_cols = ref [] in
+  let rec walk (e : Sql_ast.expr) =
+    match e with
+    | Sql_ast.E_col (q, n) ->
+      if qual_matches pa q then
+        Option.iter (fun i -> parent_cols := i :: !parent_cols) (Schema.find_opt parent_schema n)
+      else if qual_matches ca q then
+        Option.iter (fun i -> child_cols := i :: !child_cols) (Schema.find_opt child_schema n)
+    | Sql_ast.E_lit _ | Sql_ast.E_count_star -> ()
+    | Sql_ast.E_cmp (_, a, b) | Sql_ast.E_arith (_, a, b) | Sql_ast.E_and (a, b)
+    | Sql_ast.E_or (a, b) | Sql_ast.E_like (a, b) ->
+      walk a;
+      walk b
+    | Sql_ast.E_neg a | Sql_ast.E_not a | Sql_ast.E_is_null a | Sql_ast.E_is_not_null a -> walk a
+    | Sql_ast.E_in_list (a, items) ->
+      walk a;
+      List.iter walk items
+    | Sql_ast.E_case (branches, else_) ->
+      List.iter
+        (fun (c, r) ->
+          walk c;
+          walk r)
+        branches;
+      Option.iter walk else_
+    | Sql_ast.E_fn (_, args) -> List.iter walk args
+    | Sql_ast.E_fn_distinct (_, a) -> walk a
+    | Sql_ast.E_exists _ | Sql_ast.E_in_query _ | Sql_ast.E_scalar _ -> ()
+  in
+  walk def.Co_schema.ed_pred;
+  (List.sort_uniq compare !parent_cols, List.sort_uniq compare !child_cols)

@@ -1,0 +1,52 @@
+(** Semantic analysis for XNF: node and relationship updatability (§3.7 of
+    the paper).
+
+    Nodes derived like ordinary updatable views (single base table, column
+    projection, restriction) propagate udi operations to their base table;
+    relationships defined by a foreign-key equality support
+    connect/disconnect by setting/nullifying the FK; M:N relationships over
+    a USING link table connect by inserting and disconnect by deleting the
+    link tuple; anything else is readable but not updatable. *)
+
+open Relational
+
+(** Updatability of a node: where its tuples come from and how output
+    columns map to base columns. *)
+type node_updatability = {
+  nu_table : string;  (** base table name *)
+  nu_col_map : int array;  (** node output column -> base column index *)
+}
+
+(** Updatability of a relationship. *)
+type edge_updatability =
+  | Upd_fk of {
+      fk_parent_col : int;  (** parent node column supplying the key *)
+      fk_child_col : int;  (** child node column holding the foreign key *)
+    }
+  | Upd_link of {
+      link_table : string;
+      parent_bind : (string * int) list;  (** (link column name, parent node col) *)
+      child_bind : (string * int) list;
+      attr_cols : (string * int) list;
+          (** (link column name, attribute position): attributes drawn
+              directly from the link table, settable at connect time *)
+    }
+  | Upd_readonly of string  (** reason the relationship is read-only *)
+
+(** [analyze_node_query catalog q] is the node updatability of derivation
+    [q], or [None] when the shape is not a simple view (joins, grouping,
+    expressions, alias renames, unions, ...). *)
+val analyze_node_query : Catalog.t -> Sql_ast.select -> node_updatability option
+
+(** [analyze_edge catalog def ~parent_schema ~child_schema] derives the
+    updatability of edge [def] against the node output schemas (a
+    projected-away FK makes the edge read-only). *)
+val analyze_edge :
+  Catalog.t -> Co_schema.edge_def -> parent_schema:Schema.t -> child_schema:Schema.t ->
+  edge_updatability
+
+(** [relationship_columns def ~parent_schema ~child_schema] is, per side,
+    the node columns mentioned in the edge predicate — the columns whose
+    direct update is forbidden (§3.7). *)
+val relationship_columns :
+  Co_schema.edge_def -> parent_schema:Schema.t -> child_schema:Schema.t -> int list * int list

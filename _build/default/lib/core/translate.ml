@@ -1,0 +1,830 @@
+(* The XNF semantic rewrite and cache loader (§4.3).
+
+   Translation formulates relational work per node and per relationship of
+   the composed CO definition, observing reachability:
+
+     - *root* extents are evaluated set-orientedly from their derivations;
+     - reachability runs as a semi-naive delta fixpoint over the schema
+       graph: per round, only the parent tuples discovered in the previous
+       round probe each outgoing relationship. DAG schemas converge in one
+       topological sweep; recursive schemas iterate. The naive variant
+       (re-probing from full reached sets, E6 ablation) is selectable
+       through [`Naive`];
+     - each probe is *access-path selected*, like the plan optimizer does
+       for parent/child joins ("in the plan optimizer handling of joins is
+       heavily used since parent child relationships are computed by
+       joins"): an FK-equality relationship whose child is a plain base
+       table with an index on the FK column runs as an index-nested-loop
+       probe; a USING relationship with indexed link bindings chains two
+       index lookups; everything else falls back to a generic plan — the
+       parent frontier and the child's materialized extent joined through
+       the relational engine (shared-temporary common subexpressions,
+       query rewrite and join-method selection included);
+     - non-root extents are therefore *lazy*: only reached tuples are ever
+       materialized, which is what makes working-set extraction at 10^-4
+       selectivity set-oriented AND cheap (E3);
+     - connection extents are computed per relationship after reachability,
+       with the same access-path choice.
+
+   All generic queries are QGM trees executed through the relational
+   engine, so query rewrite (predicate pushdown -> hash joins) and plan
+   optimization apply to them exactly as to user SQL — toggled per session
+   for the E7 ablation. *)
+
+open Relational
+open Xnf_ast
+
+exception Translate_error of string
+
+let err fmt = Fmt.kstr (fun s -> raise (Translate_error s)) fmt
+
+type fixpoint = Semi_naive | Naive
+
+(** Statistics of translation activity since the last [reset_stats]. *)
+type stats = {
+  mutable queries_issued : int;  (** relational queries / batch probes run *)
+  mutable fixpoint_rounds : int;
+  mutable tuples_probed : int;  (** total frontier sizes fed to edge probes *)
+  mutable indexed_probes : int;  (** edges served by index-nested-loop probes *)
+  mutable generic_probes : int;  (** edges served by generic join plans *)
+}
+
+let stats =
+  { queries_issued = 0; fixpoint_rounds = 0; tuples_probed = 0; indexed_probes = 0;
+    generic_probes = 0 }
+
+let reset_stats () =
+  stats.queries_issued <- 0;
+  stats.fixpoint_rounds <- 0;
+  stats.tuples_probed <- 0;
+  stats.indexed_probes <- 0;
+  stats.generic_probes <- 0
+
+let run_query db qgm =
+  stats.queries_issued <- stats.queries_issued + 1;
+  Db.run_qgm db qgm
+
+let clear_quals schema =
+  Schema.make (List.map (fun c -> { c with Schema.col_qualifier = "" }) (Schema.columns schema))
+
+(* ---- simple-node analysis: direct base-table access ----
+
+   A node derivation that is a stack of star-selects over one base-table
+   select (the shape restriction folding produces) evaluates as: scan or
+   index-probe the base table, filter with the combined predicate (bound
+   over the base row), project the named columns. Provenance (rowid) comes
+   for free, and probers can use the table's indexes. *)
+
+type simple = {
+  s_table : Table.t;
+  s_proj : int array;  (** node output column -> base column *)
+  s_pred : Expr.t option;  (** combined predicate over the base row *)
+}
+
+let rec analyze_simple db (q : Sql_ast.select) : (simple * Schema.t) option =
+  if q.Sql_ast.sel_distinct || q.Sql_ast.sel_group_by <> [] || q.Sql_ast.sel_having <> None
+     || q.Sql_ast.sel_limit <> None || q.Sql_ast.sel_order_by <> []
+     || q.Sql_ast.sel_unions <> []
+  then None
+  else
+    let env = Db.bind_env db in
+    match q.Sql_ast.sel_from with
+    | [ Sql_ast.From_table (table, alias) ] -> begin
+      match Catalog.table_opt (Db.catalog db) table with
+      | None -> None
+      | Some base -> begin
+        let alias = Option.value ~default:table alias in
+        let scan_schema = Schema.requalify alias (Table.schema base) in
+        let pred =
+          try Option.map (Binder.bind_expr env scan_schema) q.Sql_ast.sel_where
+          with Binder.Bind_error _ -> raise Exit
+        in
+        let proj =
+          match q.Sql_ast.sel_items with
+          | [ Sql_ast.Sel_star ] -> Some (Array.init (Schema.arity scan_schema) Fun.id)
+          | items ->
+            let cols =
+              List.map
+                (function
+                  | Sql_ast.Sel_expr (Sql_ast.E_col (_, n), alias)
+                    when (match alias with
+                         | None -> true
+                         | Some a -> String.lowercase_ascii a = String.lowercase_ascii n) ->
+                    Schema.find_opt scan_schema n
+                  | _ -> None)
+                items
+            in
+            if List.for_all Option.is_some cols then
+              Some (Array.of_list (List.map Option.get cols))
+            else None
+        in
+        match proj with
+        | None -> None
+        | Some proj ->
+          let out_schema =
+            clear_quals
+              (Schema.make (Array.to_list (Array.map (fun i -> Schema.col scan_schema i) proj)))
+          in
+          Some ({ s_table = base; s_proj = proj; s_pred = pred }, out_schema)
+      end
+    end
+    | [ Sql_ast.From_select (inner, alias) ] when q.Sql_ast.sel_items = [ Sql_ast.Sel_star ] -> begin
+      match analyze_simple db inner with
+      | None -> None
+      | Some (inner_simple, inner_schema) -> begin
+        let wrapper_schema = Schema.requalify alias inner_schema in
+        match
+          try Ok (Option.map (Binder.bind_expr env wrapper_schema) q.Sql_ast.sel_where)
+          with Binder.Bind_error e -> Error e
+        with
+        | Error _ -> None
+        | Ok wpred ->
+          (* rebase the wrapper predicate from projected positions to base
+             positions *)
+          let wpred = Option.map (Expr.map_cols (fun i -> inner_simple.s_proj.(i))) wpred in
+          let pred =
+            match inner_simple.s_pred, wpred with
+            | None, p | p, None -> p
+            | Some a, Some b -> Some (Expr.And (a, b))
+          in
+          Some ({ inner_simple with s_pred = pred }, inner_schema)
+      end
+    end
+    | _ -> None
+
+let analyze_simple db q = try analyze_simple db q with Exit -> None
+
+(* ---- per-node runtime state ---- *)
+
+type extent = {
+  x_schema : Schema.t;
+  x_rows : Row.t array;  (** node-output rows *)
+  x_rowids : int option array;
+}
+
+type node_rt = {
+  nr_def : Co_schema.node_def;
+  nr_simple : simple option;
+  nr_ni : Cache.node_inst;
+  mutable nr_extent : extent option;  (** full base extent (generic path only) *)
+  mutable nr_temp : Table.t option;  (** shared temp of [nr_extent] *)
+  nr_tid2pos : (int, int) Hashtbl.t;  (** extent index -> cache position *)
+}
+
+let node_schema db (nd : Co_schema.node_def) ~simple =
+  match simple with
+  | Some (_, schema) -> schema
+  | None ->
+    let qgm = Db.bind_select db nd.Co_schema.nd_query in
+    clear_quals (Qgm.schema_of (Db.catalog db) qgm)
+
+(* full base extent, for the generic probe path *)
+let ensure_extent db (rt : node_rt) : extent =
+  match rt.nr_extent with
+  | Some x -> x
+  | None ->
+    stats.queries_issued <- stats.queries_issued + 1;
+    let x =
+      match rt.nr_simple with
+      | Some s ->
+        let rows = ref [] in
+        Table.iter
+          (fun rowid row ->
+            let keep =
+              match s.s_pred with None -> true | Some p -> Value.is_true (Expr.eval_pred row p)
+            in
+            if keep then rows := (Row.project row s.s_proj, Some rowid) :: !rows)
+          s.s_table;
+        let rows = List.rev !rows in
+        { x_schema = rt.nr_ni.Cache.ni_schema; x_rows = Array.of_list (List.map fst rows);
+          x_rowids = Array.of_list (List.map snd rows) }
+      | None ->
+        let qgm = Db.bind_select db rt.nr_def.Co_schema.nd_query in
+        let rows = Array.of_seq (Db.run_qgm db qgm) in
+        { x_schema = rt.nr_ni.Cache.ni_schema; x_rows = rows;
+          x_rowids = Array.map (fun _ -> None) rows }
+    in
+    rt.nr_extent <- Some x;
+    x
+
+let tid_column = Schema.column ~nullable:false "__tid" Schema.Ty_int
+
+let temp_counter = ref 0
+
+let make_temp schema (rows : (int * Row.t) Seq.t) : Table.t =
+  incr temp_counter;
+  let cols =
+    tid_column
+    :: List.map (fun c -> { c with Schema.col_nullable = true; col_qualifier = "" })
+         (Schema.columns schema)
+  in
+  let t = Table.create ~name:(Printf.sprintf "__xnf_tmp%d" !temp_counter) (Schema.make cols) in
+  Seq.iter (fun (tid, row) -> ignore (Table.insert t (Array.append [| Value.Int tid |] row))) rows;
+  t
+
+let ensure_temp db rt =
+  match rt.nr_temp with
+  | Some t -> t
+  | None ->
+    let x = ensure_extent db rt in
+    let t =
+      make_temp x.x_schema
+        (Seq.zip (Seq.ints 0) (Array.to_seq x.x_rows) |> Seq.take (Array.length x.x_rows))
+    in
+    rt.nr_temp <- Some t;
+    t
+
+(* ---- probers ----
+
+   A prober answers "children of this parent tuple" for one relationship.
+   [P_indexed] resolves matches through base-table indexes in OCaml — the
+   executed form of an index-nested-loop plan; [P_generic] routes a
+   frontier batch through the relational engine. Both deliver, per match:
+   the child's base rowid (identity), the child's node-output row, and the
+   relationship-attribute row. *)
+
+type probe_hit = { ph_rowid : int; ph_row : Row.t; ph_attrs : Row.t }
+
+type prober =
+  | P_indexed of (Row.t -> probe_hit list)  (** applied to the parent node row *)
+  | P_generic
+
+let edge_conjuncts (ed : Co_schema.edge_def) =
+  let rec split = function
+    | Sql_ast.E_and (a, b) -> split a @ split b
+    | e -> [ e ]
+  in
+  split ed.Co_schema.ed_pred
+
+let qual_is alias = function
+  | Some q -> String.equal (String.lowercase_ascii q) alias
+  | None -> false
+
+(* try to build an index-nested-loop prober for [ed]; [parent_schema] is
+   the parent node's output schema, the child must be simple *)
+let build_indexed_prober db (ed : Co_schema.edge_def) ~(parent_schema : Schema.t)
+    ~(child : simple) : (Row.t -> probe_hit list) option =
+  let pa = ed.Co_schema.ed_parent_alias and ca = ed.Co_schema.ed_child_alias in
+  let child_base_schema = Table.schema child.s_table in
+  let conjuncts = edge_conjuncts ed in
+  (* the schema residual predicates and attributes bind over *)
+  let concat_schema =
+    let base = Schema.concat (Schema.requalify pa parent_schema) (Schema.requalify ca child_base_schema) in
+    match ed.Co_schema.ed_using with
+    | None -> base
+    | Some (t, a) -> begin
+      match Catalog.table_opt (Db.catalog db) t with
+      | Some link -> Schema.concat base (Schema.requalify a (Table.schema link))
+      | None -> base
+    end
+  in
+  let env = Db.bind_env db in
+  let bind_residual residual =
+    match residual with
+    | [] -> None
+    | cs -> Some (Binder.bind_expr env concat_schema (List.fold_left (fun a c -> Sql_ast.E_and (a, c)) (List.hd cs) (List.tl cs)))
+  in
+  let attr_fns =
+    List.map (fun (e, _) -> Binder.bind_expr env concat_schema e) ed.Co_schema.ed_attrs
+  in
+  let eval_attrs concat = Array.of_list (List.map (fun e -> Expr.eval concat e) attr_fns) in
+  let node_row base_row = Row.project base_row child.s_proj in
+  let child_ok base_row =
+    match child.s_pred with None -> true | Some p -> Value.is_true (Expr.eval_pred base_row p)
+  in
+  match ed.Co_schema.ed_using with
+  | None -> begin
+    (* FK form: find one equality parent.a = child.b with an index on b *)
+    let classify (q, n) =
+      if qual_is pa q then
+        Option.map (fun i -> `Parent i) (Schema.find_opt parent_schema n)
+      else if qual_is ca q then
+        Option.map (fun i -> `Child i) (Schema.find_opt child_base_schema n)
+      else None
+    in
+    let rec pick seen = function
+      | [] -> None
+      | (Sql_ast.E_cmp (Expr.Eq, Sql_ast.E_col (qa, na), Sql_ast.E_col (qb, nb)) as c) :: rest -> begin
+        match classify (qa, na), classify (qb, nb) with
+        | Some (`Parent p), Some (`Child ch) | Some (`Child ch), Some (`Parent p) -> begin
+          match Table.find_index child.s_table ~cols:[| ch |] with
+          | Some idx -> Some (p, idx, List.rev_append seen rest)
+          | None -> pick (c :: seen) rest
+        end
+        | _ -> pick (c :: seen) rest
+      end
+      | c :: rest -> pick (c :: seen) rest
+    in
+    match pick [] conjuncts with
+    | None -> None
+    | Some (parent_col, idx, residual) ->
+      let residual = bind_residual residual in
+      Some
+        (fun parent_row ->
+          let key = parent_row.(parent_col) in
+          if Value.is_null key then []
+          else
+            List.filter_map
+              (fun (rowid, base_row) ->
+                if not (child_ok base_row) then None
+                else begin
+                  let concat = Row.concat parent_row base_row in
+                  let keep =
+                    match residual with
+                    | None -> true
+                    | Some p -> Value.is_true (Expr.eval_pred concat p)
+                  in
+                  if keep then
+                    Some { ph_rowid = rowid; ph_row = node_row base_row; ph_attrs = eval_attrs concat }
+                  else None
+                end)
+              (Table.lookup_index child.s_table idx [| key |]))
+  end
+  | Some (link_name, la) -> begin
+    match Catalog.table_opt (Db.catalog db) link_name with
+    | None -> err "relationship %s: USING table %s does not exist" ed.Co_schema.ed_name link_name
+    | Some link -> begin
+      let link_schema = Table.schema link in
+      let la = String.lowercase_ascii la in
+      let classify (q, n) =
+        if qual_is pa q then Option.map (fun i -> `Parent i) (Schema.find_opt parent_schema n)
+        else if qual_is ca q then
+          Option.map (fun i -> `Child i) (Schema.find_opt child_base_schema n)
+        else if qual_is la q then Option.map (fun i -> `Link i) (Schema.find_opt link_schema n)
+        else None
+      in
+      (* split equality conjuncts into link-parent and link-child bindings *)
+      let parent_bind = ref [] and child_bind = ref [] and residual = ref [] in
+      List.iter
+        (fun c ->
+          match c with
+          | Sql_ast.E_cmp (Expr.Eq, Sql_ast.E_col (qa, na), Sql_ast.E_col (qb, nb)) -> begin
+            match classify (qa, na), classify (qb, nb) with
+            | Some (`Link l), Some (`Parent p) | Some (`Parent p), Some (`Link l) ->
+              parent_bind := (l, p) :: !parent_bind
+            | Some (`Link l), Some (`Child ch) | Some (`Child ch), Some (`Link l) ->
+              child_bind := (l, ch) :: !child_bind
+            | _ -> residual := c :: !residual
+          end
+          | c -> residual := c :: !residual)
+        conjuncts;
+      let parent_bind = List.rev !parent_bind and child_bind = List.rev !child_bind in
+      if parent_bind = [] || child_bind = [] then None
+      else begin
+        let link_key_cols = Array.of_list (List.map fst parent_bind) in
+        let child_key_cols = Array.of_list (List.map fst child_bind) in
+        match
+          ( Table.find_index link ~cols:link_key_cols,
+            Table.find_index child.s_table ~cols:(Array.of_list (List.map snd child_bind)) )
+        with
+        | Some link_idx, Some child_idx ->
+          ignore child_key_cols;
+          let residual = bind_residual (List.rev !residual) in
+          Some
+            (fun parent_row ->
+              let link_key = Array.of_list (List.map (fun (_, p) -> parent_row.(p)) parent_bind) in
+              if Array.exists Value.is_null link_key then []
+              else
+                List.concat_map
+                  (fun (_, link_row) ->
+                    let child_key =
+                      Array.of_list (List.map (fun (l, _) -> link_row.(l)) child_bind)
+                    in
+                    if Array.exists Value.is_null child_key then []
+                    else
+                      List.filter_map
+                        (fun (rowid, base_row) ->
+                          if not (child_ok base_row) then None
+                          else begin
+                            let concat = Row.concat (Row.concat parent_row base_row) link_row in
+                            let keep =
+                              match residual with
+                              | None -> true
+                              | Some p -> Value.is_true (Expr.eval_pred concat p)
+                            in
+                            if keep then
+                              Some { ph_rowid = rowid; ph_row = node_row base_row;
+                                     ph_attrs = eval_attrs concat }
+                            else None
+                          end)
+                        (Table.lookup_index child.s_table child_idx child_key))
+                  (Table.lookup_index link link_idx link_key))
+        | _ -> None
+      end
+    end
+  end
+
+(* the generic join tree for an edge, over [__tid]-bearing temps *)
+let edge_tree db (ed : Co_schema.edge_def) ~parent_temp ~child_temp =
+  let p = Qgm.Temp { table = parent_temp; alias = ed.Co_schema.ed_parent_alias } in
+  let c = Qgm.Temp { table = child_temp; alias = ed.Co_schema.ed_child_alias } in
+  let j = Qgm.Join { kind = Qgm.Inner; left = p; right = c; pred = None } in
+  let tree =
+    match ed.Co_schema.ed_using with
+    | None -> j
+    | Some (table, alias) ->
+      if Catalog.table_opt (Db.catalog db) table = None then
+        err "relationship %s: USING table %s does not exist" ed.Co_schema.ed_name table;
+      Qgm.Join { kind = Qgm.Inner; left = j; right = Qgm.Access { table; alias }; pred = None }
+  in
+  let schema = Qgm.schema_of (Db.catalog db) tree in
+  let pred = Binder.bind_expr (Db.bind_env db) schema ed.Co_schema.ed_pred in
+  (Qgm.Select { input = tree; pred }, schema)
+
+let probe_edge_generic db (ed : Co_schema.edge_def) ~parent_temp ~child_temp : int list =
+  let tree, schema = edge_tree db ed ~parent_temp ~child_temp in
+  let c_tid = Schema.find schema ~qualifier:ed.Co_schema.ed_child_alias "__tid" in
+  let qgm = Qgm.Project { input = tree; cols = [ (Expr.Col c_tid, tid_column) ] } in
+  run_query db qgm |> Seq.map (fun row -> Value.as_int row.(0)) |> List.of_seq
+
+let connections_generic db (ed : Co_schema.edge_def) ~parent_temp ~child_temp :
+    Schema.t * (int * int * Row.t) list =
+  let tree, schema = edge_tree db ed ~parent_temp ~child_temp in
+  let p_tid = Schema.find schema ~qualifier:ed.Co_schema.ed_parent_alias "__tid" in
+  let c_tid = Schema.find schema ~qualifier:ed.Co_schema.ed_child_alias "__tid" in
+  let env = Db.bind_env db in
+  let attr_cols =
+    List.map
+      (fun (e, name) ->
+        let bound = Binder.bind_expr env schema e in
+        let ty = Binder.infer_ty env schema bound in
+        (bound, Schema.column name ty))
+      ed.Co_schema.ed_attrs
+  in
+  let cols = (Expr.Col p_tid, tid_column) :: (Expr.Col c_tid, tid_column) :: attr_cols in
+  let qgm = Qgm.Project { input = tree; cols } in
+  let attr_schema = Schema.make (List.map snd attr_cols) in
+  let conns =
+    run_query db qgm
+    |> Seq.map (fun row ->
+           (Value.as_int row.(0), Value.as_int row.(1), Array.sub row 2 (Array.length row - 2)))
+    |> List.of_seq
+  in
+  (attr_schema, conns)
+
+(* attribute output schema, shared by both probe paths *)
+let attr_schema_of db (ed : Co_schema.edge_def) ~parent_schema ~child_schema =
+  let pa = ed.Co_schema.ed_parent_alias and ca = ed.Co_schema.ed_child_alias in
+  let base = Schema.concat (Schema.requalify pa parent_schema) (Schema.requalify ca child_schema) in
+  let schema =
+    match ed.Co_schema.ed_using with
+    | None -> base
+    | Some (t, a) -> begin
+      match Catalog.table_opt (Db.catalog db) t with
+      | Some link -> Schema.concat base (Schema.requalify a (Table.schema link))
+      | None -> base
+    end
+  in
+  let env = Db.bind_env db in
+  Schema.make
+    (List.map
+       (fun (e, name) ->
+         let bound = Binder.bind_expr env schema e in
+         Schema.column name (Binder.infer_ty env schema bound))
+       ed.Co_schema.ed_attrs)
+
+(* base tables a SELECT depends on (for staleness tracking) *)
+let rec tables_of_select catalog (q : Sql_ast.select) : string list =
+  let rec of_ref = function
+    | Sql_ast.From_table (t, _) ->
+      if Catalog.table_opt catalog t <> None then [ String.lowercase_ascii t ]
+      else begin
+        match Catalog.view_opt catalog t with
+        | Some v -> tables_of_select catalog v.Catalog.view_query
+        | None -> []
+      end
+    | Sql_ast.From_select (inner, _) -> tables_of_select catalog inner
+    | Sql_ast.From_join (l, _, r, _) -> of_ref l @ of_ref r
+  in
+  List.concat_map of_ref q.Sql_ast.sel_from
+
+(* ---- TAKE: structural projection of the evaluated instance ----
+
+   Projection is evaluate-then-project: the full CO (with reachability) is
+   computed first, then components are dropped from the output and node
+   columns projected — which is what makes a restriction on a
+   projected-away component meaningful (type-(3) XNF-to-NF queries). *)
+
+let apply_column_projection cache =
+  List.iter
+    (fun (name, ni) ->
+      let nd = Co_schema.node cache.Cache.c_def name in
+      match nd.Co_schema.nd_cols with
+      | None -> ()
+      | Some cols ->
+        let positions =
+          List.map
+            (fun c ->
+              match Schema.find_opt ni.Cache.ni_schema c with
+              | Some i -> i
+              | None -> err "TAKE projects unknown column %s of %s" c name)
+            cols
+        in
+        let idx = Array.of_list positions in
+        ni.Cache.ni_schema <-
+          Schema.make (List.map (fun i -> Schema.col ni.Cache.ni_schema i) positions);
+        Vec.iter (fun t -> t.Cache.t_row <- Row.project t.Cache.t_row idx) ni.Cache.ni_tuples;
+        ni.Cache.ni_upd <-
+          Option.map
+            (fun (u : Semantic.node_updatability) ->
+              { u with Semantic.nu_col_map = Array.map (fun i -> u.Semantic.nu_col_map.(i)) idx })
+            ni.Cache.ni_upd)
+    cache.Cache.c_nodes
+
+let apply_take cache (take : Xnf_ast.take) : Cache.t =
+  match take with
+  | Xnf_ast.Take_star -> cache
+  | Xnf_ast.Take_items _ ->
+    let def' = Co_schema.project cache.Cache.c_def take in
+    let keep_node n = Co_schema.node_opt def' n <> None in
+    let keep_edge e = Co_schema.edge_opt def' e <> None in
+    { cache with
+      Cache.c_def = def';
+      c_nodes = List.filter (fun (n, _) -> keep_node n) cache.Cache.c_nodes;
+      c_edges = List.filter (fun (e, _) -> keep_edge e) cache.Cache.c_edges }
+
+(* ---- the loader ---- *)
+
+(** [fetch_def ~fixpoint db def path_restrs] evaluates a composed CO
+    definition into a cache (before TAKE projection and final
+    updatability analysis). *)
+let fetch_def ~fixpoint db (def : Co_schema.t) (path_restrs : restriction list) : Cache.t =
+  let catalog = Db.catalog db in
+  (* 1. per-node runtime state with empty cache nodes *)
+  let nodes_rt =
+    List.map
+      (fun nd ->
+        let simple = analyze_simple db nd.Co_schema.nd_query in
+        let schema = node_schema db nd ~simple in
+        let upd = Semantic.analyze_node_query catalog nd.Co_schema.nd_query in
+        let ni =
+          { Cache.ni_name = nd.Co_schema.nd_name; ni_schema = schema;
+            ni_tuples = Vec.create ~dummy:Cache.dummy_tuple (); ni_upd = upd;
+            ni_by_rowid = Hashtbl.create 64; ni_locked_cols = [] }
+        in
+        ( nd.Co_schema.nd_name,
+          { nr_def = nd; nr_simple = Option.map fst simple; nr_ni = ni; nr_extent = None;
+            nr_temp = None; nr_tid2pos = Hashtbl.create 64 } ))
+      def.Co_schema.co_nodes
+  in
+  let rt name = List.assoc name nodes_rt in
+  (* 2. probers per edge *)
+  let probers =
+    List.map
+      (fun (ed : Co_schema.edge_def) ->
+        let parent_rt = rt ed.Co_schema.ed_parent and child_rt = rt ed.Co_schema.ed_child in
+        let prober =
+          match child_rt.nr_simple with
+          | Some child -> begin
+            match
+              build_indexed_prober db ed ~parent_schema:parent_rt.nr_ni.Cache.ni_schema ~child
+            with
+            | Some f ->
+              stats.indexed_probes <- stats.indexed_probes + 1;
+              P_indexed f
+            | None ->
+              stats.generic_probes <- stats.generic_probes + 1;
+              P_generic
+          end
+          | None ->
+            stats.generic_probes <- stats.generic_probes + 1;
+            P_generic
+        in
+        (ed.Co_schema.ed_name, prober))
+      def.Co_schema.co_edges
+  in
+  (* 3. roots: set-oriented evaluation of the derivations *)
+  let frontier : (string, int list) Hashtbl.t = Hashtbl.create 8 in
+  let push_frontier name pos =
+    Hashtbl.replace frontier name (pos :: Option.value ~default:[] (Hashtbl.find_opt frontier name))
+  in
+  List.iter
+    (fun (nd : Co_schema.node_def) ->
+      let r = rt nd.Co_schema.nd_name in
+      stats.queries_issued <- stats.queries_issued + 1;
+      (match r.nr_simple with
+      | Some s ->
+        Table.iter
+          (fun rowid row ->
+            let keep =
+              match s.s_pred with None -> true | Some p -> Value.is_true (Expr.eval_pred row p)
+            in
+            if keep then
+              push_frontier nd.Co_schema.nd_name
+                (Cache.add_tuple r.nr_ni ~rowid:(Some rowid) (Row.project row s.s_proj)))
+          s.s_table
+      | None ->
+        let x = ensure_extent db r in
+        Array.iteri
+          (fun tid row ->
+            let pos = Cache.add_tuple r.nr_ni ~rowid:x.x_rowids.(tid) row in
+            Hashtbl.replace r.nr_tid2pos tid pos;
+            push_frontier nd.Co_schema.nd_name pos)
+          x.x_rows))
+    (Co_schema.roots def);
+  (* 4. reachability: semi-naive (or naive) fixpoint *)
+  let add_child child_rt hit =
+    match Hashtbl.find_opt child_rt.nr_ni.Cache.ni_by_rowid hit.ph_rowid with
+    | Some _ -> None
+    | None -> Some (Cache.add_tuple child_rt.nr_ni ~rowid:(Some hit.ph_rowid) hit.ph_row)
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    stats.fixpoint_rounds <- stats.fixpoint_rounds + 1;
+    let this_round = Hashtbl.copy frontier in
+    Hashtbl.reset frontier;
+    List.iter
+      (fun (ed : Co_schema.edge_def) ->
+        let parent_rt = rt ed.Co_schema.ed_parent and child_rt = rt ed.Co_schema.ed_child in
+        let probe_set =
+          match fixpoint with
+          | Semi_naive ->
+            List.sort compare
+              (Option.value ~default:[] (Hashtbl.find_opt this_round ed.Co_schema.ed_parent))
+          | Naive ->
+            List.filter_map
+              (fun t -> if t.Cache.t_live then Some t.Cache.t_pos else None)
+              (List.of_seq (Vec.to_seq parent_rt.nr_ni.Cache.ni_tuples))
+        in
+        if probe_set <> [] then begin
+          stats.tuples_probed <- stats.tuples_probed + List.length probe_set;
+          match List.assoc ed.Co_schema.ed_name probers with
+          | P_indexed probe ->
+            stats.queries_issued <- stats.queries_issued + 1;
+            List.iter
+              (fun pos ->
+                let row = (Cache.tuple parent_rt.nr_ni pos).Cache.t_row in
+                List.iter
+                  (fun hit ->
+                    match add_child child_rt hit with
+                    | Some new_pos ->
+                      changed := true;
+                      push_frontier ed.Co_schema.ed_child new_pos
+                    | None -> ())
+                  (probe row))
+              probe_set
+          | P_generic ->
+            let child_temp = ensure_temp db child_rt in
+            let parent_temp =
+              make_temp parent_rt.nr_ni.Cache.ni_schema
+                (List.to_seq probe_set
+                |> Seq.map (fun pos -> (pos, (Cache.tuple parent_rt.nr_ni pos).Cache.t_row)))
+            in
+            let hits = probe_edge_generic db ed ~parent_temp ~child_temp in
+            let x = Option.get child_rt.nr_extent in
+            List.iter
+              (fun tid ->
+                if not (Hashtbl.mem child_rt.nr_tid2pos tid) then begin
+                  (* dedupe by rowid too, in case another (indexed) edge
+                     already reached this base row *)
+                  let dup =
+                    match x.x_rowids.(tid) with
+                    | Some rid -> Hashtbl.mem child_rt.nr_ni.Cache.ni_by_rowid rid
+                    | None -> false
+                  in
+                  if not dup then begin
+                    let pos =
+                      Cache.add_tuple child_rt.nr_ni ~rowid:x.x_rowids.(tid) x.x_rows.(tid)
+                    in
+                    Hashtbl.replace child_rt.nr_tid2pos tid pos;
+                    changed := true;
+                    push_frontier ed.Co_schema.ed_child pos
+                  end
+                end)
+              hits
+        end)
+      def.Co_schema.co_edges;
+    if fixpoint = Naive then Hashtbl.reset frontier
+  done;
+  (* 5. connection extents over the reached instance *)
+  let edges =
+    List.map
+      (fun (ed : Co_schema.edge_def) ->
+        let parent_rt = rt ed.Co_schema.ed_parent and child_rt = rt ed.Co_schema.ed_child in
+        let ei_of attr_schema conns =
+          let ei =
+            { Cache.ei_name = ed.Co_schema.ed_name; ei_parent = ed.Co_schema.ed_parent;
+              ei_child = ed.Co_schema.ed_child; ei_parent_node = parent_rt.nr_ni;
+              ei_child_node = child_rt.nr_ni; ei_attr_schema = attr_schema;
+              ei_conns = Vec.create ~dummy:Cache.dummy_conn ();
+              ei_children_of = Hashtbl.create 64; ei_parents_of = Hashtbl.create 64;
+              ei_upd = Semantic.Upd_readonly "pending analysis" }
+          in
+          List.iter
+            (fun (p, c, attrs) -> ignore (Cache.add_conn ei ~parent:p ~child:c ~attrs))
+            conns;
+          (ed.Co_schema.ed_name, ei)
+        in
+        match List.assoc ed.Co_schema.ed_name probers with
+        | P_indexed probe ->
+          stats.queries_issued <- stats.queries_issued + 1;
+          let attr_schema =
+            match child_rt.nr_simple with
+            | Some child ->
+              attr_schema_of db ed ~parent_schema:parent_rt.nr_ni.Cache.ni_schema
+                ~child_schema:(Table.schema child.s_table)
+            | None -> Schema.make []
+          in
+          let conns = ref [] in
+          Vec.iter
+            (fun t ->
+              if t.Cache.t_live then
+                List.iter
+                  (fun hit ->
+                    match Hashtbl.find_opt child_rt.nr_ni.Cache.ni_by_rowid hit.ph_rowid with
+                    | Some child_pos -> conns := (t.Cache.t_pos, child_pos, hit.ph_attrs) :: !conns
+                    | None -> ())
+                  (probe t.Cache.t_row))
+            parent_rt.nr_ni.Cache.ni_tuples;
+          ei_of attr_schema (List.rev !conns)
+        | P_generic ->
+          let temp_of rt_ =
+            make_temp rt_.nr_ni.Cache.ni_schema
+              (Vec.to_seq rt_.nr_ni.Cache.ni_tuples
+              |> Seq.filter (fun t -> t.Cache.t_live)
+              |> Seq.map (fun t -> (t.Cache.t_pos, t.Cache.t_row)))
+          in
+          let attr_schema, conns =
+            connections_generic db ed ~parent_temp:(temp_of parent_rt)
+              ~child_temp:(temp_of child_rt)
+          in
+          ei_of attr_schema conns)
+      def.Co_schema.co_edges
+  in
+  (* 6. staleness bookkeeping *)
+  let base_tables =
+    List.concat_map (fun nd -> tables_of_select catalog nd.Co_schema.nd_query) def.Co_schema.co_nodes
+    @ List.filter_map
+        (fun (ed : Co_schema.edge_def) ->
+          Option.map (fun (t, _) -> String.lowercase_ascii t) ed.Co_schema.ed_using)
+        def.Co_schema.co_edges
+    |> List.sort_uniq compare
+  in
+  let cache =
+    { Cache.c_def = def; c_nodes = List.map (fun (n, r) -> (n, r.nr_ni)) nodes_rt; c_edges = edges;
+      c_base_versions =
+        List.filter_map
+          (fun t -> Option.map (fun tbl -> (t, Table.version tbl)) (Catalog.table_opt catalog t))
+          base_tables }
+  in
+  (* 7. path-based restrictions over the instance, then reachability *)
+  if path_restrs <> [] then begin
+    List.iter
+      (fun r ->
+        match r with
+        | R_node { rn_node; rn_var; rn_pred } ->
+          let ni = Cache.node cache rn_node in
+          let keep = Path.eval_node_restriction cache ~node:rn_node ~var:rn_var rn_pred in
+          let keep_set = Hashtbl.create 64 in
+          List.iter (fun p -> Hashtbl.replace keep_set p ()) keep;
+          Vec.iter
+            (fun t ->
+              if t.Cache.t_live && not (Hashtbl.mem keep_set t.Cache.t_pos) then
+                t.Cache.t_live <- false)
+            ni.Cache.ni_tuples
+        | R_edge { re_edge; re_parent_var; re_child_var; re_pred } ->
+          let ei = Cache.edge cache re_edge in
+          Vec.iter
+            (fun c ->
+              if c.Cache.cn_live then begin
+                let env =
+                  [ (String.lowercase_ascii re_parent_var,
+                     { Path.b_node = ei.Cache.ei_parent; b_pos = c.Cache.cn_parent });
+                    (String.lowercase_ascii re_child_var,
+                     { Path.b_node = ei.Cache.ei_child; b_pos = c.Cache.cn_child }) ]
+                in
+                if not (Value.is_true (Path.eval_pred cache env re_pred)) then
+                  c.Cache.cn_live <- false
+              end)
+            ei.Cache.ei_conns)
+      path_restrs;
+    Cache.recompute_reachability cache
+  end;
+  cache
+
+(* column projection, then relationship-updatability and locked-column
+   analysis against the final (projected) schemas *)
+let finalize db cache =
+  let catalog = Db.catalog db in
+  apply_column_projection cache;
+  List.iter
+    (fun (name, ei) ->
+      let ed = Co_schema.edge cache.Cache.c_def name in
+      let parent_schema = (Cache.node cache ei.Cache.ei_parent).Cache.ni_schema in
+      let child_schema = (Cache.node cache ei.Cache.ei_child).Cache.ni_schema in
+      ei.Cache.ei_upd <- Semantic.analyze_edge catalog ed ~parent_schema ~child_schema;
+      let pcols, ccols = Semantic.relationship_columns ed ~parent_schema ~child_schema in
+      let pn = Cache.node cache ei.Cache.ei_parent and cn = Cache.node cache ei.Cache.ei_child in
+      pn.Cache.ni_locked_cols <- List.sort_uniq compare (pcols @ pn.Cache.ni_locked_cols);
+      cn.Cache.ni_locked_cols <- List.sort_uniq compare (ccols @ cn.Cache.ni_locked_cols))
+    cache.Cache.c_edges;
+  cache
+
+(** [fetch ?fixpoint db reg q] evaluates an XNF query: composes the CO
+    definition, translates it to relational work, enforces reachability,
+    evaluates path-based restrictions, applies the TAKE projection and
+    returns the loaded cache. *)
+let fetch ?(fixpoint = Semi_naive) db reg (q : query) : Cache.t =
+  let def, path_restrs, take = View_registry.compose reg q in
+  finalize db (apply_take (fetch_def ~fixpoint db def path_restrs) take)

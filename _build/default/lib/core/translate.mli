@@ -1,0 +1,56 @@
+(** The XNF semantic rewrite and cache loader (§4.3 of the paper).
+
+    Translation produces relational work per node and per relationship of
+    the composed CO definition, observing reachability:
+
+    - root extents are evaluated set-orientedly from their derivations;
+    - reachability runs as a semi-naive delta fixpoint over the schema
+      graph (DAGs converge in one topological sweep, recursive schemas
+      iterate); the naive re-probing variant is selectable for the E6
+      ablation;
+    - each relationship probe is access-path selected: FK-equality and
+      indexed USING patterns run as index-nested-loop probes, everything
+      else as generic QGM plans through the relational engine (rewrite and
+      plan optimization included);
+    - non-root extents are lazy: only reached tuples materialize;
+    - connection extents are computed per relationship after reachability;
+    - path-based restrictions are evaluated on the instance, then
+      reachability is re-established;
+    - structural projection is evaluate-then-project. *)
+
+open Relational
+
+exception Translate_error of string
+
+type fixpoint = Semi_naive | Naive
+
+(** Statistics of translation activity since the last {!reset_stats}. *)
+type stats = {
+  mutable queries_issued : int;  (** relational queries / batch probes run *)
+  mutable fixpoint_rounds : int;
+  mutable tuples_probed : int;  (** total frontier sizes fed to edge probes *)
+  mutable indexed_probes : int;  (** edges served by index-nested-loop probes *)
+  mutable generic_probes : int;  (** edges served by generic join plans *)
+}
+
+val stats : stats
+val reset_stats : unit -> unit
+
+(** [fetch ?fixpoint db reg q] evaluates an XNF query: composes the CO
+    definition, translates, enforces reachability, evaluates path-based
+    restrictions, applies the TAKE projection and returns the loaded
+    cache. *)
+val fetch : ?fixpoint:fixpoint -> Db.t -> View_registry.t -> Xnf_ast.query -> Cache.t
+
+(** [fetch_def ~fixpoint db def path_restrs] evaluates an already composed
+    CO definition (before TAKE projection and final updatability
+    analysis) — used by {!fetch} and by the baselines. *)
+val fetch_def : fixpoint:fixpoint -> Db.t -> Co_schema.t -> Xnf_ast.restriction list -> Cache.t
+
+(** [finalize db cache] applies column projection and the final
+    relationship-updatability / locked-column analysis. *)
+val finalize : Db.t -> Cache.t -> Cache.t
+
+(** [apply_take cache take] drops components not named by [take]
+    (evaluate-then-project). *)
+val apply_take : Cache.t -> Xnf_ast.take -> Cache.t

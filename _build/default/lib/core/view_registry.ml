@@ -1,0 +1,203 @@
+(* XNF view catalog and query composition (§3.2, §3.6).
+
+   An XNF view is a named CO definition plus any path-based restrictions
+   that could not be folded into SQL. Composition implements the closure
+   property: a query's OUT OF clause may import views (merging their
+   components), add fresh nodes/edges, restrict, and project — and the
+   result can itself be named as a view, to any depth.
+
+   SQL-expressible restrictions are folded at composition time:
+     - node restrictions wrap the node derivation in
+       [SELECT * FROM (q) var WHERE pred] — an updatable wrapper the
+       relational rewrite then merges and pushes down;
+     - edge restrictions are ANDed into the relationship predicate after
+       renaming the restriction variables to the edge's own aliases.
+   Path-containing restrictions are kept symbolic and evaluated against the
+   materialized instance by the translator. *)
+
+open Relational
+open Xnf_ast
+
+type view = {
+  v_name : string;
+  v_def : Co_schema.t;
+  v_path_restrs : restriction list;  (** restrictions containing path expressions *)
+}
+
+type t = { views : (string, view) Hashtbl.t }
+
+exception View_error of string
+
+let err fmt = Fmt.kstr (fun s -> raise (View_error s)) fmt
+
+(** [create ()] is an empty registry. *)
+let create () = { views = Hashtbl.create 16 }
+
+(** [find_opt reg name] looks a view up. *)
+let find_opt reg name = Hashtbl.find_opt reg.views (String.lowercase_ascii name)
+
+(** [drop reg name] removes a view. @raise View_error when absent. *)
+let drop reg name =
+  let key = String.lowercase_ascii name in
+  if not (Hashtbl.mem reg.views key) then err "unknown XNF view %s" name;
+  Hashtbl.remove reg.views key
+
+(** [names reg] lists registered view names, sorted. *)
+let names reg = List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) reg.views [])
+
+(* rename qualifiers in a SQL expression: used to align edge-restriction
+   variables with the edge's own predicate aliases *)
+let rec rename_quals (mapping : (string * string) list) (e : Sql_ast.expr) : Sql_ast.expr =
+  let r = rename_quals mapping in
+  match e with
+  | Sql_ast.E_col (Some q, n) -> begin
+    match List.assoc_opt (String.lowercase_ascii q) mapping with
+    | Some q' -> Sql_ast.E_col (Some q', n)
+    | None -> e
+  end
+  | Sql_ast.E_col (None, _) | Sql_ast.E_lit _ | Sql_ast.E_count_star -> e
+  | Sql_ast.E_cmp (op, a, b) -> Sql_ast.E_cmp (op, r a, r b)
+  | Sql_ast.E_arith (op, a, b) -> Sql_ast.E_arith (op, r a, r b)
+  | Sql_ast.E_neg a -> Sql_ast.E_neg (r a)
+  | Sql_ast.E_and (a, b) -> Sql_ast.E_and (r a, r b)
+  | Sql_ast.E_or (a, b) -> Sql_ast.E_or (r a, r b)
+  | Sql_ast.E_not a -> Sql_ast.E_not (r a)
+  | Sql_ast.E_is_null a -> Sql_ast.E_is_null (r a)
+  | Sql_ast.E_is_not_null a -> Sql_ast.E_is_not_null (r a)
+  | Sql_ast.E_like (a, p) -> Sql_ast.E_like (r a, r p)
+  | Sql_ast.E_in_list (a, items) -> Sql_ast.E_in_list (r a, List.map r items)
+  | Sql_ast.E_case (branches, else_) ->
+    Sql_ast.E_case (List.map (fun (c, x) -> (r c, r x)) branches, Option.map r else_)
+  | Sql_ast.E_fn (n, args) -> Sql_ast.E_fn (n, List.map r args)
+  | Sql_ast.E_fn_distinct (n, a) -> Sql_ast.E_fn_distinct (n, r a)
+  | Sql_ast.E_exists _ | Sql_ast.E_in_query _ | Sql_ast.E_scalar _ ->
+    err "subqueries are not allowed in SUCH THAT restrictions"
+
+(* wrap a node derivation with a restriction predicate *)
+let restrict_node_query (nd : Co_schema.node_def) ~var (pred : Sql_ast.expr) =
+  let var = Option.value ~default:nd.Co_schema.nd_name var in
+  let wrapped =
+    Sql_ast.simple_select [ Sql_ast.Sel_star ]
+      [ Sql_ast.From_select (nd.Co_schema.nd_query, var) ]
+      (Some pred)
+  in
+  { nd with Co_schema.nd_query = wrapped }
+
+(** [compose reg q] builds the fully composed (un-projected) CO definition
+    of query [q], the residual path-based restrictions, and the TAKE
+    clause. Structural projection applies to the evaluated instance
+    (evaluate-then-project): a restriction may reference a component the
+    TAKE clause drops from the output, as in the paper's type-(3)
+    XNF-to-NF queries.
+    @raise View_error / Co_schema.Schema_error on semantic errors. *)
+let compose reg (q : query) : Co_schema.t * restriction list * Xnf_ast.take =
+  (* 1. bindings *)
+  let def, imported_restrs =
+    List.fold_left
+      (fun (def, pending) b ->
+        match b with
+        | B_node { bn_name; bn_query } ->
+          ( Co_schema.add_node def
+              { Co_schema.nd_name = String.lowercase_ascii bn_name; nd_query = bn_query;
+                nd_cols = None },
+            pending )
+        | B_edge { be_name; be_parent; be_parent_var; be_child; be_child_var; be_attrs;
+                   be_using; be_pred } ->
+          let parent = String.lowercase_ascii be_parent in
+          let child = String.lowercase_ascii be_child in
+          let parent_alias =
+            String.lowercase_ascii (Option.value ~default:be_parent be_parent_var)
+          in
+          let child_alias = String.lowercase_ascii (Option.value ~default:be_child be_child_var) in
+          if String.equal parent_alias child_alias then
+            err "relationship %s: cyclic partners need distinct role names" be_name;
+          ( Co_schema.add_edge def
+              { Co_schema.ed_name = String.lowercase_ascii be_name; ed_parent = parent;
+                ed_child = child; ed_parent_alias = parent_alias; ed_child_alias = child_alias;
+                ed_using = Option.map (fun (t, a) -> (t, String.lowercase_ascii a)) be_using;
+                ed_attrs = be_attrs; ed_pred = be_pred },
+            pending )
+        | B_view name -> begin
+          match find_opt reg name with
+          | Some v -> (Co_schema.merge def v.v_def, pending @ v.v_path_restrs)
+          | None -> err "unknown XNF view %s" name
+        end)
+      (Co_schema.empty, []) q.q_out_of
+  in
+  (* 2. restrictions: fold the SQL-expressible ones, keep the rest *)
+  let fold_restriction (def, pending) r =
+    match r with
+    | R_node { rn_node; rn_var; rn_pred } -> begin
+      let node = String.lowercase_ascii rn_node in
+      if Co_schema.node_opt def node = None then err "restriction on unknown component %s" rn_node;
+      match sql_of_xexpr rn_pred with
+      | Some sql_pred ->
+        let def =
+          { def with
+            Co_schema.co_nodes =
+              List.map
+                (fun nd ->
+                  if String.equal nd.Co_schema.nd_name node then
+                    restrict_node_query nd ~var:rn_var sql_pred
+                  else nd)
+                def.Co_schema.co_nodes }
+        in
+        (def, pending)
+      | None -> (def, pending @ [ r ])
+    end
+    | R_edge { re_edge; re_parent_var; re_child_var; re_pred } -> begin
+      let edge_name = String.lowercase_ascii re_edge in
+      match Co_schema.edge_opt def edge_name with
+      | None -> err "restriction on unknown relationship %s" re_edge
+      | Some ed -> begin
+        match sql_of_xexpr re_pred with
+        | Some sql_pred ->
+          let mapping =
+            [ (String.lowercase_ascii re_parent_var, ed.Co_schema.ed_parent_alias);
+              (String.lowercase_ascii re_child_var, ed.Co_schema.ed_child_alias) ]
+          in
+          let renamed = rename_quals mapping sql_pred in
+          let def =
+            { def with
+              Co_schema.co_edges =
+                List.map
+                  (fun e ->
+                    if String.equal e.Co_schema.ed_name edge_name then
+                      { e with Co_schema.ed_pred = Sql_ast.E_and (e.Co_schema.ed_pred, renamed) }
+                    else e)
+                  def.Co_schema.co_edges }
+          in
+          (def, pending)
+        | None -> (def, pending @ [ r ])
+      end
+    end
+  in
+  let def, path_restrs = List.fold_left fold_restriction (def, imported_restrs) q.q_where in
+  Co_schema.validate def;
+  (* the TAKE clause is validated eagerly so errors surface at
+     composition time, but applied to the instance by the translator *)
+  ignore (Co_schema.project def q.q_take);
+  (def, path_restrs, q.q_take)
+
+(** [define reg ~name q] composes [q] and registers it as a view. A view's
+    TAKE clause is part of its definition: the view exports only the
+    projected components (schema-level projection), so its path
+    restrictions must reference surviving components.
+    @raise View_error on duplicate name. *)
+let define reg ~name (q : query) =
+  let key = String.lowercase_ascii name in
+  if Hashtbl.mem reg.views key then err "XNF view %s already exists" name;
+  let def, path_restrs, take = compose reg q in
+  let def = Co_schema.project def take in
+  Co_schema.validate def;
+  List.iter
+    (fun r ->
+      match r with
+      | R_node { rn_node; _ } ->
+        if Co_schema.node_opt def rn_node = None then
+          err "view %s: path restriction references projected-away component %s" name rn_node
+      | R_edge { re_edge; _ } ->
+        if Co_schema.edge_opt def re_edge = None then
+          err "view %s: path restriction references projected-away relationship %s" name re_edge)
+    path_restrs;
+  Hashtbl.replace reg.views key { v_name = name; v_def = def; v_path_restrs = path_restrs }

@@ -1,0 +1,51 @@
+(** XNF view catalog and query composition (§3.2, §3.6 of the paper).
+
+    An XNF view is a named CO definition plus any path-based restrictions
+    that cannot be folded into SQL. Composition implements the closure
+    property: a query may import views (merging their components), add
+    fresh nodes/edges, restrict, and project — and the result can itself be
+    named as a view, to any depth.
+
+    SQL-expressible restrictions are folded at composition time: node
+    restrictions wrap the node derivation in an updatable
+    [SELECT * FROM (q) var WHERE pred]; edge restrictions are ANDed into
+    the relationship predicate after variable renaming. Path-containing
+    restrictions stay symbolic and are evaluated against the materialized
+    instance by the translator. *)
+
+type view = {
+  v_name : string;
+  v_def : Co_schema.t;
+  v_path_restrs : Xnf_ast.restriction list;
+}
+
+type t
+
+exception View_error of string
+
+(** [create ()] is an empty registry. *)
+val create : unit -> t
+
+(** [find_opt reg name] looks a view up (case-insensitive). *)
+val find_opt : t -> string -> view option
+
+(** [drop reg name] removes a view. @raise View_error when absent. *)
+val drop : t -> string -> unit
+
+(** [names reg] lists registered view names, sorted. *)
+val names : t -> string list
+
+(** [compose reg q] builds the fully composed (un-projected) CO definition
+    of query [q], the residual path-based restrictions, and the TAKE
+    clause. Structural projection applies to the evaluated instance
+    (evaluate-then-project), so a restriction may reference a component the
+    TAKE clause drops.
+    @raise View_error / Co_schema.Schema_error on semantic errors. *)
+val compose : t -> Xnf_ast.query -> Co_schema.t * Xnf_ast.restriction list * Xnf_ast.take
+
+(** [define reg ~name q] composes [q] and registers it as a view. A view's
+    TAKE clause is part of its definition: the view exports only the
+    projected components.
+    @raise View_error on duplicate names or restrictions referencing
+    projected-away components. *)
+val define : t -> name:string -> Xnf_ast.query -> unit

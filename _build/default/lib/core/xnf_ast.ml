@@ -1,0 +1,266 @@
+(* Abstract syntax of the XNF language extensions (§3 of the paper).
+
+   An XNF query is the CO constructor
+
+     OUT OF <bindings> [WHERE <restrictions>] TAKE <take-list>
+
+   where bindings introduce component tables (nodes) from SQL derivations,
+   relationships (edges) from RELATE clauses, or import all components of a
+   previously defined XNF view. Restrictions qualify nodes or edges with
+   SUCH THAT predicates that may contain path expressions; the TAKE clause
+   is the structural projection.
+
+   Plain SQL fragments reuse {!Relational.Sql_ast} wholesale — XNF node
+   definitions are ordinary SQL SELECTs, as in the paper. *)
+
+open Relational
+
+(** Predicates in SUCH THAT clauses: SQL expressions extended with path
+    expressions (§3.5). *)
+type xexpr =
+  | X_col of string option * string
+  | X_lit of Value.t
+  | X_cmp of Expr.cmp * xexpr * xexpr
+  | X_arith of Expr.arith_op * xexpr * xexpr
+  | X_neg of xexpr
+  | X_and of xexpr * xexpr
+  | X_or of xexpr * xexpr
+  | X_not of xexpr
+  | X_is_null of xexpr
+  | X_is_not_null of xexpr
+  | X_like of xexpr * xexpr
+  | X_in_list of xexpr * xexpr list
+  | X_fn of string * xexpr list
+  | X_count_path of path  (** [COUNT(v->edge->...)]: number of distinct reachable target tuples *)
+  | X_exists_path of path  (** [EXISTS v->edge->...]: non-emptiness *)
+
+(** A path expression: a start designator followed by steps. The start is
+    either a variable bound by the enclosing restriction (tuple-rooted
+    path) or a node name (set-rooted path over all tuples of that node). *)
+and path = { p_start : string; p_steps : step list }
+
+(** One [->] step: crossing an edge by name, or landing on a node —
+    optionally binding a variable and qualifying with a predicate
+    ("qualified path expression"). Node steps also disambiguate direction
+    for cyclic relationships. *)
+and step =
+  | Step_edge of string
+  | Step_node of { sn_node : string; sn_var : string option; sn_pred : xexpr option }
+
+(** One OUT OF binding. *)
+type binding =
+  | B_node of { bn_name : string; bn_query : Sql_ast.select }
+      (** [name AS (SELECT ...)]; the shorthand [name AS table] parses as
+          [SELECT * FROM table] *)
+  | B_edge of {
+      be_name : string;
+      be_parent : string;
+      be_parent_var : string option;  (** role variable, required for cyclic edges *)
+      be_child : string;
+      be_child_var : string option;
+      be_attrs : (Sql_ast.expr * string) list;  (** WITH ATTRIBUTES expr [AS name] *)
+      be_using : (string * string) option;  (** USING base-table [alias] *)
+      be_pred : Sql_ast.expr;
+    }
+  | B_view of string  (** import all components of an XNF view *)
+
+(** A SUCH THAT restriction (§3.3). *)
+type restriction =
+  | R_node of { rn_node : string; rn_var : string option; rn_pred : xexpr }
+  | R_edge of { re_edge : string; re_parent_var : string; re_child_var : string; re_pred : xexpr }
+
+type take_cols = Take_all_cols | Take_cols of string list
+
+type take_item = Take_node of string * take_cols | Take_edge of string
+
+type take = Take_star | Take_items of take_item list
+
+type query = { q_out_of : binding list; q_where : restriction list; q_take : take }
+
+(** CO-level update: [SET] assignments applied to every tuple of one
+    component of the target CO (§3.7: "update, delete, and insert are
+    available at the CO level"). *)
+type co_update = { cu_node : string; cu_sets : (string * Sql_ast.expr) list }
+
+(** Top-level XNF statements. *)
+type stmt =
+  | X_query of query
+  | X_create_view of string * query
+  | X_delete of query  (** [OUT OF ... WHERE ... DELETE *]: CO deletion (§3.7) *)
+  | X_update of query * co_update
+      (** [OUT OF ... WHERE ... UPDATE node SET col = expr, ...] *)
+  | X_drop_view of string
+  | X_sql of Sql_ast.stmt  (** plain SQL falls through to the relational engine *)
+
+(* ---- pretty-printing (round-trip tested) ---- *)
+
+let rec pp_xexpr ppf = function
+  | X_col (None, n) -> Fmt.string ppf n
+  | X_col (Some q, n) -> Fmt.pf ppf "%s.%s" q n
+  | X_lit v -> Fmt.string ppf (Value.to_sql_literal v)
+  | X_cmp (op, a, b) -> Fmt.pf ppf "(%a %a %a)" pp_xexpr a Expr.pp_cmp op pp_xexpr b
+  | X_arith (op, a, b) -> Fmt.pf ppf "(%a %s %a)" pp_xexpr a (Sql_ast.arith_sym op) pp_xexpr b
+  | X_neg a -> Fmt.pf ppf "(-%a)" pp_xexpr a
+  | X_and (a, b) -> Fmt.pf ppf "(%a AND %a)" pp_xexpr a pp_xexpr b
+  | X_or (a, b) -> Fmt.pf ppf "(%a OR %a)" pp_xexpr a pp_xexpr b
+  | X_not a -> Fmt.pf ppf "(NOT %a)" pp_xexpr a
+  | X_is_null a -> Fmt.pf ppf "(%a IS NULL)" pp_xexpr a
+  | X_is_not_null a -> Fmt.pf ppf "(%a IS NOT NULL)" pp_xexpr a
+  | X_like (a, p) -> Fmt.pf ppf "(%a LIKE %a)" pp_xexpr a pp_xexpr p
+  | X_in_list (a, items) ->
+    Fmt.pf ppf "(%a IN (%a))" pp_xexpr a (Fmt.list ~sep:(Fmt.any ", ") pp_xexpr) items
+  | X_fn (name, args) -> Fmt.pf ppf "%s(%a)" name (Fmt.list ~sep:(Fmt.any ", ") pp_xexpr) args
+  | X_count_path p -> Fmt.pf ppf "COUNT(%a)" pp_path p
+  | X_exists_path p -> Fmt.pf ppf "(EXISTS %a)" pp_path p
+
+and pp_path ppf p =
+  Fmt.string ppf p.p_start;
+  List.iter (fun s -> Fmt.pf ppf "->%a" pp_step s) p.p_steps
+
+and pp_step ppf = function
+  | Step_edge e -> Fmt.string ppf e
+  | Step_node { sn_node; sn_var = None; sn_pred = None } -> Fmt.string ppf sn_node
+  | Step_node { sn_node; sn_var; sn_pred } ->
+    Fmt.pf ppf "(%s" sn_node;
+    Option.iter (fun v -> Fmt.pf ppf " %s" v) sn_var;
+    Option.iter (fun p -> Fmt.pf ppf " WHERE %a" pp_xexpr p) sn_pred;
+    Fmt.pf ppf ")"
+
+let pp_binding ppf = function
+  | B_node { bn_name; bn_query } -> Fmt.pf ppf "%s AS (%a)" bn_name Sql_ast.pp_select bn_query
+  | B_edge { be_name; be_parent; be_parent_var; be_child; be_child_var; be_attrs; be_using; be_pred } ->
+    Fmt.pf ppf "%s AS (RELATE %s%a, %s%a" be_name be_parent
+      (Fmt.option (fun ppf v -> Fmt.pf ppf " %s" v))
+      be_parent_var be_child
+      (Fmt.option (fun ppf v -> Fmt.pf ppf " %s" v))
+      be_child_var;
+    if be_attrs <> [] then
+      Fmt.pf ppf " WITH ATTRIBUTES %a"
+        (Fmt.list ~sep:(Fmt.any ", ") (fun ppf (e, n) -> Fmt.pf ppf "%a AS %s" Sql_ast.pp_expr e n))
+        be_attrs;
+    Option.iter (fun (t, a) -> Fmt.pf ppf " USING %s %s" t a) be_using;
+    Fmt.pf ppf " WHERE %a)" Sql_ast.pp_expr be_pred
+  | B_view v -> Fmt.string ppf v
+
+let pp_restriction ppf = function
+  | R_node { rn_node; rn_var; rn_pred } ->
+    Fmt.pf ppf "%s%a SUCH THAT %a" rn_node
+      (Fmt.option (fun ppf v -> Fmt.pf ppf " %s" v))
+      rn_var pp_xexpr rn_pred
+  | R_edge { re_edge; re_parent_var; re_child_var; re_pred } ->
+    Fmt.pf ppf "%s (%s, %s) SUCH THAT %a" re_edge re_parent_var re_child_var pp_xexpr re_pred
+
+let pp_take_item ppf = function
+  | Take_node (n, Take_all_cols) -> Fmt.pf ppf "%s(*)" n
+  | Take_node (n, Take_cols cols) ->
+    Fmt.pf ppf "%s(%a)" n (Fmt.list ~sep:(Fmt.any ", ") Fmt.string) cols
+  | Take_edge e -> Fmt.string ppf e
+
+let pp_query ppf q =
+  Fmt.pf ppf "OUT OF %a" (Fmt.list ~sep:(Fmt.any ", ") pp_binding) q.q_out_of;
+  if q.q_where <> [] then
+    Fmt.pf ppf " WHERE %a" (Fmt.list ~sep:(Fmt.any " AND ") pp_restriction) q.q_where;
+  match q.q_take with
+  | Take_star -> Fmt.pf ppf " TAKE *"
+  | Take_items items -> Fmt.pf ppf " TAKE %a" (Fmt.list ~sep:(Fmt.any ", ") pp_take_item) items
+
+let pp_stmt ppf = function
+  | X_query q -> pp_query ppf q
+  | X_create_view (name, q) -> Fmt.pf ppf "CREATE VIEW %s AS %a" name pp_query q
+  | X_delete q ->
+    Fmt.pf ppf "OUT OF %a" (Fmt.list ~sep:(Fmt.any ", ") pp_binding) q.q_out_of;
+    if q.q_where <> [] then
+      Fmt.pf ppf " WHERE %a" (Fmt.list ~sep:(Fmt.any " AND ") pp_restriction) q.q_where;
+    (match q.q_take with
+    | Take_star -> Fmt.pf ppf " DELETE *"
+    | Take_items items -> Fmt.pf ppf " DELETE %a" (Fmt.list ~sep:(Fmt.any ", ") pp_take_item) items)
+  | X_update (q, cu) ->
+    Fmt.pf ppf "OUT OF %a" (Fmt.list ~sep:(Fmt.any ", ") pp_binding) q.q_out_of;
+    if q.q_where <> [] then
+      Fmt.pf ppf " WHERE %a" (Fmt.list ~sep:(Fmt.any " AND ") pp_restriction) q.q_where;
+    let pp_set ppf (c, e) = Fmt.pf ppf "%s = %a" c Sql_ast.pp_expr e in
+    Fmt.pf ppf " UPDATE %s SET %a" cu.cu_node (Fmt.list ~sep:(Fmt.any ", ") pp_set) cu.cu_sets
+  | X_drop_view v -> Fmt.pf ppf "DROP VIEW %s" v
+  | X_sql s -> Sql_ast.pp_stmt ppf s
+
+(** [query_to_string q] renders [q] in re-parsable XNF syntax. *)
+let query_to_string q = Fmt.str "%a" pp_query q
+
+(** [stmt_to_string s] renders [s] in re-parsable XNF syntax. *)
+let stmt_to_string s = Fmt.str "%a" pp_stmt s
+
+(** [xexpr_of_sql e] embeds a plain SQL expression (path-free by
+    construction). Subqueries are not representable in SUCH THAT predicates
+    and raise [Invalid_argument]. *)
+let rec xexpr_of_sql (e : Sql_ast.expr) : xexpr =
+  match e with
+  | Sql_ast.E_col (q, n) -> X_col (q, n)
+  | Sql_ast.E_lit v -> X_lit v
+  | Sql_ast.E_cmp (op, a, b) -> X_cmp (op, xexpr_of_sql a, xexpr_of_sql b)
+  | Sql_ast.E_arith (op, a, b) -> X_arith (op, xexpr_of_sql a, xexpr_of_sql b)
+  | Sql_ast.E_neg a -> X_neg (xexpr_of_sql a)
+  | Sql_ast.E_and (a, b) -> X_and (xexpr_of_sql a, xexpr_of_sql b)
+  | Sql_ast.E_or (a, b) -> X_or (xexpr_of_sql a, xexpr_of_sql b)
+  | Sql_ast.E_not a -> X_not (xexpr_of_sql a)
+  | Sql_ast.E_is_null a -> X_is_null (xexpr_of_sql a)
+  | Sql_ast.E_is_not_null a -> X_is_not_null (xexpr_of_sql a)
+  | Sql_ast.E_like (a, p) -> X_like (xexpr_of_sql a, xexpr_of_sql p)
+  | Sql_ast.E_in_list (a, items) -> X_in_list (xexpr_of_sql a, List.map xexpr_of_sql items)
+  | Sql_ast.E_fn (n, args) -> X_fn (n, List.map xexpr_of_sql args)
+  | Sql_ast.E_case _ | Sql_ast.E_count_star | Sql_ast.E_fn_distinct _ | Sql_ast.E_exists _
+  | Sql_ast.E_in_query _ | Sql_ast.E_scalar _ ->
+    invalid_arg "Xnf_ast.xexpr_of_sql: unsupported construct in SUCH THAT predicate"
+
+(** [sql_of_xexpr e] is the inverse embedding; [None] when [e] contains a
+    path expression (such predicates are evaluated over the CO instance,
+    not pushed into SQL). *)
+let rec sql_of_xexpr (e : xexpr) : Sql_ast.expr option =
+  let open Sql_ast in
+  let ( let* ) = Option.bind in
+  match e with
+  | X_col (q, n) -> Some (E_col (q, n))
+  | X_lit v -> Some (E_lit v)
+  | X_cmp (op, a, b) ->
+    let* a = sql_of_xexpr a in
+    let* b = sql_of_xexpr b in
+    Some (E_cmp (op, a, b))
+  | X_arith (op, a, b) ->
+    let* a = sql_of_xexpr a in
+    let* b = sql_of_xexpr b in
+    Some (E_arith (op, a, b))
+  | X_neg a ->
+    let* a = sql_of_xexpr a in
+    Some (E_neg a)
+  | X_and (a, b) ->
+    let* a = sql_of_xexpr a in
+    let* b = sql_of_xexpr b in
+    Some (E_and (a, b))
+  | X_or (a, b) ->
+    let* a = sql_of_xexpr a in
+    let* b = sql_of_xexpr b in
+    Some (E_or (a, b))
+  | X_not a ->
+    let* a = sql_of_xexpr a in
+    Some (E_not a)
+  | X_is_null a ->
+    let* a = sql_of_xexpr a in
+    Some (E_is_null a)
+  | X_is_not_null a ->
+    let* a = sql_of_xexpr a in
+    Some (E_is_not_null a)
+  | X_like (a, p) ->
+    let* a = sql_of_xexpr a in
+    let* p = sql_of_xexpr p in
+    Some (E_like (a, p))
+  | X_in_list (a, items) ->
+    let* a = sql_of_xexpr a in
+    let items = List.map sql_of_xexpr items in
+    if List.exists Option.is_none items then None
+    else Some (E_in_list (a, List.map Option.get items))
+  | X_fn (n, args) ->
+    let args = List.map sql_of_xexpr args in
+    if List.exists Option.is_none args then None else Some (E_fn (n, List.map Option.get args))
+  | X_count_path _ | X_exists_path _ -> None
+
+(** [has_path e] holds when the predicate contains a path expression. *)
+let has_path e = Option.is_none (sql_of_xexpr e)

@@ -1,0 +1,471 @@
+(* Parser for the XNF language extensions.
+
+   Reuses the shared SQL lexer/cursor and calls back into the SQL parser
+   for embedded SELECTs (node derivations) and plain expressions (RELATE
+   predicates). SUCH THAT predicates get their own expression grammar
+   because they admit path expressions ([v->edge->(Node n WHERE p)->...])
+   in primary position and inside COUNT/EXISTS. *)
+
+open Relational
+open Xnf_ast
+
+module L = Sql_lexer
+
+let parse_error = L.error
+
+(* ---- SUCH THAT predicates (xexpr) ---- *)
+
+(* a path starts with IDENT followed by "->" *)
+let at_path c = (match L.peek c with L.IDENT _ -> true | _ -> false) && L.peek2 c = L.SYM "->"
+
+(* AND is both the predicate conjunction and the restriction separator
+   ("WHERE a SUCH THAT ... AND b SUCH THAT ..."). The predicate parser must
+   not swallow an AND that introduces the next restriction: look ahead for
+   the restriction shapes  ident [ident] SUCH  and  ident ( ident , ident )
+   SUCH. *)
+let looks_like_restriction (c : L.cursor) pos =
+  let get i = if pos + i < Array.length c.L.toks then c.L.toks.(pos + i) else L.EOF in
+  match get 0 with
+  | L.IDENT _ -> begin
+    match get 1 with
+    | L.KW "SUCH" -> true
+    | L.IDENT _ -> get 2 = L.KW "SUCH"
+    | L.SYM "(" -> begin
+      match get 2, get 3, get 4, get 5, get 6 with
+      | L.IDENT _, L.SYM ",", L.IDENT _, L.SYM ")", L.KW "SUCH" -> true
+      | _ -> false
+    end
+    | _ -> false
+  end
+  | _ -> false
+
+let rec parse_xexpr c : xexpr = parse_or c
+
+and parse_or c =
+  let lhs = parse_and c in
+  if L.accept_kw c "OR" then X_or (lhs, parse_or c) else lhs
+
+and parse_and c =
+  let lhs = parse_not c in
+  if L.at_kw c "AND" && not (looks_like_restriction c (c.L.pos + 1)) then begin
+    ignore (L.advance c);
+    X_and (lhs, parse_and c)
+  end
+  else lhs
+
+and parse_not c = if L.accept_kw c "NOT" then X_not (parse_not c) else parse_comparison c
+
+and parse_comparison c =
+  let lhs = parse_additive c in
+  let cmp op =
+    ignore (L.advance c);
+    X_cmp (op, lhs, parse_additive c)
+  in
+  match L.peek c with
+  | L.SYM "=" -> cmp Expr.Eq
+  | L.SYM "<>" -> cmp Expr.Ne
+  | L.SYM "<" -> cmp Expr.Lt
+  | L.SYM "<=" -> cmp Expr.Le
+  | L.SYM ">" -> cmp Expr.Gt
+  | L.SYM ">=" -> cmp Expr.Ge
+  | L.KW "IS" ->
+    ignore (L.advance c);
+    let negated = L.accept_kw c "NOT" in
+    L.expect_kw c "NULL";
+    if negated then X_is_not_null lhs else X_is_null lhs
+  | L.KW "LIKE" ->
+    ignore (L.advance c);
+    X_like (lhs, parse_additive c)
+  | L.KW "IN" ->
+    ignore (L.advance c);
+    L.expect_sym c "(";
+    let rec items acc =
+      let e = parse_xexpr c in
+      if L.accept_sym c "," then items (e :: acc) else List.rev (e :: acc)
+    in
+    let is = items [] in
+    L.expect_sym c ")";
+    X_in_list (lhs, is)
+  | _ -> lhs
+
+and parse_additive c =
+  let rec go lhs =
+    if L.at_sym c "+" then begin
+      ignore (L.advance c);
+      go (X_arith (Expr.Add, lhs, parse_multiplicative c))
+    end
+    else if L.at_sym c "-" then begin
+      ignore (L.advance c);
+      go (X_arith (Expr.Sub, lhs, parse_multiplicative c))
+    end
+    else lhs
+  in
+  go (parse_multiplicative c)
+
+and parse_multiplicative c =
+  let rec go lhs =
+    if L.at_sym c "*" then begin
+      ignore (L.advance c);
+      go (X_arith (Expr.Mul, lhs, parse_unary c))
+    end
+    else if L.at_sym c "/" then begin
+      ignore (L.advance c);
+      go (X_arith (Expr.Div, lhs, parse_unary c))
+    end
+    else if L.at_sym c "%" then begin
+      ignore (L.advance c);
+      go (X_arith (Expr.Mod, lhs, parse_unary c))
+    end
+    else lhs
+  in
+  go (parse_unary c)
+
+and parse_unary c = if L.accept_sym c "-" then X_neg (parse_unary c) else parse_primary c
+
+and parse_primary c =
+  match L.peek c with
+  | _ when at_path c -> begin
+    let p = parse_path c in
+    (* a bare path in predicate position means non-emptiness *)
+    X_exists_path p
+  end
+  | L.INT i ->
+    ignore (L.advance c);
+    X_lit (Value.Int i)
+  | L.FLOAT f ->
+    ignore (L.advance c);
+    X_lit (Value.Float f)
+  | L.STRING s ->
+    ignore (L.advance c);
+    X_lit (Value.Str s)
+  | L.KW "TRUE" ->
+    ignore (L.advance c);
+    X_lit (Value.Bool true)
+  | L.KW "FALSE" ->
+    ignore (L.advance c);
+    X_lit (Value.Bool false)
+  | L.KW "NULL" ->
+    ignore (L.advance c);
+    X_lit Value.Null
+  | L.KW "EXISTS" -> begin
+    ignore (L.advance c);
+    if L.accept_sym c "(" then begin
+      let e =
+        if at_path c then X_exists_path (parse_path c) else parse_xexpr c
+      in
+      L.expect_sym c ")";
+      e
+    end
+    else X_exists_path (parse_path c)
+  end
+  | L.SYM "(" ->
+    ignore (L.advance c);
+    let e = parse_xexpr c in
+    L.expect_sym c ")";
+    e
+  | L.IDENT name -> begin
+    ignore (L.advance c);
+    if L.at_sym c "(" then begin
+      ignore (L.advance c);
+      (* COUNT over a path or a normal function call *)
+      if String.lowercase_ascii name = "count" && at_path c then begin
+        let p = parse_path c in
+        L.expect_sym c ")";
+        X_count_path p
+      end
+      else begin
+        let rec args acc =
+          if L.at_sym c ")" then List.rev acc
+          else begin
+            let e = parse_xexpr c in
+            if L.accept_sym c "," then args (e :: acc) else List.rev (e :: acc)
+          end
+        in
+        let a = args [] in
+        L.expect_sym c ")";
+        X_fn (name, a)
+      end
+    end
+    else if L.at_sym c "." && (match L.peek2 c with L.IDENT _ -> true | _ -> false) then begin
+      ignore (L.advance c);
+      let col = L.expect_ident c in
+      X_col (Some name, col)
+    end
+    else X_col (None, name)
+  end
+  | _ -> parse_error c "expected predicate expression"
+
+(* path := start (-> step)+ *)
+and parse_path c : path =
+  let start = L.expect_ident c in
+  let rec steps acc =
+    if L.accept_sym c "->" then steps (parse_step c :: acc) else List.rev acc
+  in
+  let p_steps = steps [] in
+  if p_steps = [] then parse_error c "path expression needs at least one -> step";
+  { p_start = start; p_steps }
+
+and parse_step c : step =
+  if L.accept_sym c "(" then begin
+    (* qualified node step: (Node [var] [WHERE pred]) *)
+    let node = L.expect_ident c in
+    let var = match L.peek c with
+      | L.IDENT v ->
+        ignore (L.advance c);
+        Some v
+      | _ -> None
+    in
+    let pred = if L.accept_kw c "WHERE" then Some (parse_xexpr c) else None in
+    L.expect_sym c ")";
+    Step_node { sn_node = node; sn_var = var; sn_pred = pred }
+  end
+  else begin
+    let name = L.expect_ident c in
+    (* edge vs node is resolved semantically; parse as edge step and let
+       the semantic layer reinterpret node names *)
+    Step_edge name
+  end
+
+(* ---- bindings ---- *)
+
+let parse_attr c =
+  let e = Sql_parser.parse_expr c in
+  let name =
+    if L.accept_kw c "AS" then L.expect_ident c
+    else
+      match e with
+      | Sql_ast.E_col (_, n) -> n
+      | _ -> parse_error c "WITH ATTRIBUTES expression needs AS <name>"
+  in
+  (e, name)
+
+let parse_relate c =
+  L.expect_kw c "RELATE";
+  let parent = L.expect_ident c in
+  let parent_var = match L.peek c with
+    | L.IDENT v ->
+      ignore (L.advance c);
+      Some v
+    | _ -> None
+  in
+  L.expect_sym c ",";
+  let child = L.expect_ident c in
+  let child_var = match L.peek c with
+    | L.IDENT v ->
+      ignore (L.advance c);
+      Some v
+    | _ -> None
+  in
+  let attrs =
+    if L.accept_kw c "WITH" then begin
+      L.expect_kw c "ATTRIBUTES";
+      let rec go acc =
+        let a = parse_attr c in
+        if L.accept_sym c "," then go (a :: acc) else List.rev (a :: acc)
+      in
+      go []
+    end
+    else []
+  in
+  let using =
+    if L.accept_kw c "USING" then begin
+      let table = L.expect_ident c in
+      let alias = match L.peek c with
+        | L.IDENT a ->
+          ignore (L.advance c);
+          a
+        | _ -> table
+      in
+      Some (table, alias)
+    end
+    else None
+  in
+  L.expect_kw c "WHERE";
+  let pred = Sql_parser.parse_expr c in
+  (parent, parent_var, child, child_var, attrs, using, pred)
+
+let parse_binding c : binding =
+  let name = L.expect_ident c in
+  if L.accept_kw c "AS" then begin
+    if L.accept_sym c "(" then begin
+      if L.at_kw c "RELATE" then begin
+        let parent, parent_var, child, child_var, attrs, using, pred = parse_relate c in
+        L.expect_sym c ")";
+        B_edge
+          { be_name = name; be_parent = parent; be_parent_var = parent_var; be_child = child;
+            be_child_var = child_var; be_attrs = attrs; be_using = using; be_pred = pred }
+      end
+      else begin
+        let q = Sql_parser.parse_select_cursor c in
+        L.expect_sym c ")";
+        B_node { bn_name = name; bn_query = q }
+      end
+    end
+    else begin
+      (* shorthand: Xemp AS EMP *)
+      let table = L.expect_ident c in
+      B_node { bn_name = name; bn_query = Sql_ast.select_star_from table }
+    end
+  end
+  else B_view name
+
+(* ---- restrictions ---- *)
+
+let parse_restriction c : restriction =
+  let name = L.expect_ident c in
+  if L.accept_sym c "(" then begin
+    (* edge restriction: edge (p, c) SUCH THAT pred *)
+    let pv = L.expect_ident c in
+    L.expect_sym c ",";
+    let cv = L.expect_ident c in
+    L.expect_sym c ")";
+    L.expect_kw c "SUCH";
+    L.expect_kw c "THAT";
+    let pred = parse_xexpr c in
+    R_edge { re_edge = name; re_parent_var = pv; re_child_var = cv; re_pred = pred }
+  end
+  else begin
+    let var = match L.peek c with
+      | L.IDENT v when not (L.at_kw c "SUCH") ->
+        ignore (L.advance c);
+        Some v
+      | _ -> None
+    in
+    L.expect_kw c "SUCH";
+    L.expect_kw c "THAT";
+    let pred = parse_xexpr c in
+    R_node { rn_node = name; rn_var = var; rn_pred = pred }
+  end
+
+(* ---- TAKE ---- *)
+
+let parse_take_item c : take_item =
+  let name = L.expect_ident c in
+  if L.accept_sym c "(" then begin
+    if L.accept_sym c "*" then begin
+      L.expect_sym c ")";
+      Take_node (name, Take_all_cols)
+    end
+    else begin
+      let rec cols acc =
+        let col = L.expect_ident c in
+        if L.accept_sym c "," then cols (col :: acc) else List.rev (col :: acc)
+      in
+      let cs = cols [] in
+      L.expect_sym c ")";
+      Take_node (name, Take_cols cs)
+    end
+  end
+  else Take_edge name
+
+let parse_take c : take =
+  if L.accept_sym c "*" then Take_star
+  else begin
+    let rec items acc =
+      let item = parse_take_item c in
+      if L.accept_sym c "," then items (item :: acc) else List.rev (item :: acc)
+    in
+    Take_items (items [])
+  end
+
+(* ---- queries and statements ---- *)
+
+(** How an [OUT OF ...] construct ends. *)
+type co_tail =
+  | Tail_take  (** TAKE: a CO query *)
+  | Tail_delete  (** DELETE: CO deletion *)
+  | Tail_update of co_update  (** UPDATE node SET ...: CO-level update *)
+
+(** [parse_query_cursor c] parses an [OUT OF ... TAKE|DELETE|UPDATE ...]
+    construct at the cursor. *)
+let parse_query_cursor c : query * co_tail =
+  L.expect_kw c "OUT";
+  L.expect_kw c "OF";
+  let rec bindings acc =
+    let b = parse_binding c in
+    if L.accept_sym c "," then bindings (b :: acc) else List.rev (b :: acc)
+  in
+  let out_of = bindings [] in
+  let where =
+    if L.accept_kw c "WHERE" then begin
+      let rec go acc =
+        let r = parse_restriction c in
+        if L.accept_kw c "AND" then go (r :: acc) else List.rev (r :: acc)
+      in
+      go []
+    end
+    else []
+  in
+  if L.accept_kw c "TAKE" then
+    ({ q_out_of = out_of; q_where = where; q_take = parse_take c }, Tail_take)
+  else if L.accept_kw c "DELETE" then
+    ({ q_out_of = out_of; q_where = where; q_take = parse_take c }, Tail_delete)
+  else if L.accept_kw c "UPDATE" then begin
+    let node = L.expect_ident c in
+    L.expect_kw c "SET";
+    let rec sets acc =
+      let col = L.expect_ident c in
+      L.expect_sym c "=";
+      let e = Sql_parser.parse_expr c in
+      if L.accept_sym c "," then sets ((col, e) :: acc) else List.rev ((col, e) :: acc)
+    in
+    ( { q_out_of = out_of; q_where = where; q_take = Take_star },
+      Tail_update { cu_node = node; cu_sets = sets [] } )
+  end
+  else parse_error c "expected TAKE, DELETE or UPDATE"
+
+(** [parse_stmt s] parses one XNF statement; plain SQL statements fall
+    through to the relational parser ([X_sql]). CREATE VIEW dispatches on
+    the body: [OUT OF] makes an XNF view, anything else a tabular view. *)
+let parse_stmt s : stmt =
+  let c = L.cursor_of_string s in
+  let stmt =
+    match L.peek c with
+    | L.KW "OUT" -> begin
+      match parse_query_cursor c with
+      | q, Tail_take -> X_query q
+      | q, Tail_delete -> X_delete q
+      | q, Tail_update cu -> X_update (q, cu)
+    end
+    | L.KW "CREATE" when L.peek2 c = L.KW "VIEW" ->
+      let save = c.L.pos in
+      ignore (L.advance c);
+      ignore (L.advance c);
+      let name = L.expect_ident c in
+      L.expect_kw c "AS";
+      if L.at_kw c "OUT" then begin
+        match parse_query_cursor c with
+        | q, Tail_take -> X_create_view (name, q)
+        | _, (Tail_delete | Tail_update _) -> parse_error c "DML in view definition"
+      end
+      else begin
+        c.L.pos <- save;
+        X_sql (Sql_parser.parse_stmt_cursor c)
+      end
+    | L.KW "DROP" when L.peek2 c = L.KW "VIEW" -> begin
+      (* try XNF view first; the API layer falls back to SQL views *)
+      ignore (L.advance c);
+      ignore (L.advance c);
+      X_drop_view (L.expect_ident c)
+    end
+    | _ -> X_sql (Sql_parser.parse_stmt_cursor c)
+  in
+  ignore (L.accept_sym c ";");
+  (match L.peek c with
+  | L.EOF -> ()
+  | _ -> parse_error c "trailing input after statement");
+  stmt
+
+(** [parse_query s] parses exactly one [OUT OF ... TAKE] query. *)
+let parse_query s : query =
+  let c = L.cursor_of_string s in
+  let q =
+    match parse_query_cursor c with
+    | q, Tail_take -> q
+    | _, (Tail_delete | Tail_update _) -> parse_error c "expected TAKE, got CO DML"
+  in
+  ignore (L.accept_sym c ";");
+  (match L.peek c with
+  | L.EOF -> ()
+  | _ -> parse_error c "trailing input after query");
+  q

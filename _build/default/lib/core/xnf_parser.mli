@@ -1,0 +1,27 @@
+(** Parser for the XNF language extensions (§3 of the paper).
+
+    Reuses the shared SQL lexer and calls back into the SQL parser for
+    embedded SELECTs (node derivations) and plain expressions (RELATE
+    predicates). SUCH THAT predicates have their own grammar because they
+    admit path expressions. All entry points raise
+    {!Relational.Sql_lexer.Parse_error} on malformed input. *)
+
+(** [parse_xexpr c] parses a SUCH THAT predicate at the cursor. *)
+val parse_xexpr : Relational.Sql_lexer.cursor -> Xnf_ast.xexpr
+
+(** How an [OUT OF ...] construct ends. *)
+type co_tail =
+  | Tail_take  (** TAKE: a CO query *)
+  | Tail_delete  (** DELETE: CO deletion *)
+  | Tail_update of Xnf_ast.co_update  (** UPDATE node SET ...: CO-level update *)
+
+(** [parse_query_cursor c] parses an [OUT OF ... TAKE|DELETE|UPDATE ...]
+    construct at the cursor. *)
+val parse_query_cursor : Relational.Sql_lexer.cursor -> Xnf_ast.query * co_tail
+
+(** [parse_stmt s] parses one XNF statement; plain SQL statements fall
+    through as [X_sql]. *)
+val parse_stmt : string -> Xnf_ast.stmt
+
+(** [parse_query s] parses exactly one [OUT OF ... TAKE] query. *)
+val parse_query : string -> Xnf_ast.query

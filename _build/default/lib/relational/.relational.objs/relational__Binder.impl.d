@@ -1,0 +1,1 @@
+lib/relational/binder.ml: Catalog Expr Fmt Fun List Option Printf Qgm Row Schema Seq Sql_ast String Value

@@ -1,0 +1,1 @@
+lib/relational/binder.mli: Catalog Expr Qgm Row Schema Seq Sql_ast

@@ -1,0 +1,1 @@
+lib/relational/cost.ml: Catalog Expr Float List Qgm Schema Table

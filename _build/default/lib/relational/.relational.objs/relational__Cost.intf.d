@@ -1,0 +1,1 @@
+lib/relational/cost.mli: Catalog Expr Qgm

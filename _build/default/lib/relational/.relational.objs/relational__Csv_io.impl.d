@@ -1,0 +1,1 @@
+lib/relational/csv_io.ml: Array Buffer Db Fmt Fun List Schema String Table Value

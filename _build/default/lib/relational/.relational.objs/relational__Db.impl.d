@@ -1,0 +1,1 @@
+lib/relational/db.ml: Array Binder Catalog Expr Fmt Fun Index Lazy List Optimizer Option Plan Printf Qgm Rewrite Row Schema Sql_ast Sql_parser String Table Txn Value Wal

@@ -1,0 +1,1 @@
+lib/relational/db.mli: Binder Catalog Qgm Row Schema Seq Sql_ast Table Txn

@@ -1,0 +1,1 @@
+lib/relational/expr.ml: Array Char Float Fmt Hashtbl List Option Printf Row Seq String Value

@@ -1,0 +1,1 @@
+lib/relational/optimizer.ml: Array Catalog Expr Index List Option Plan Qgm Rewrite Schema Table

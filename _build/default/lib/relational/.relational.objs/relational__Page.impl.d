@@ -1,0 +1,1 @@
+lib/relational/page.ml: Buffer_pool Hashtbl List Seq Table

@@ -1,0 +1,1 @@
+lib/relational/page.mli: Buffer_pool Table

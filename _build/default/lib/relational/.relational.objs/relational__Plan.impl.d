@@ -1,0 +1,1 @@
+lib/relational/plan.ml: Array Expr Fmt Hashtbl Index Lazy List Option Row Seq Sql_ast String Table Value

@@ -1,0 +1,1 @@
+lib/relational/qgm.ml: Catalog Expr Fmt List Row Schema Sql_ast String Table

@@ -1,0 +1,1 @@
+lib/relational/qgm.mli: Catalog Expr Format Row Schema Sql_ast Table

@@ -1,0 +1,1 @@
+lib/relational/rewrite.ml: Array Expr List Option Qgm Schema String

@@ -1,0 +1,1 @@
+lib/relational/txn.ml: Catalog List Option Wal

@@ -1,0 +1,1 @@
+lib/relational/txn.mli: Catalog Wal

@@ -1,0 +1,1 @@
+lib/relational/value.ml: Buffer Float Fmt Hashtbl Printf String

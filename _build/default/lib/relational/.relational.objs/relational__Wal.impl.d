@@ -1,0 +1,1 @@
+lib/relational/wal.ml: Catalog Hashtbl List Row Table

@@ -1,0 +1,522 @@
+(* Name resolution and typing: SQL AST -> QGM.
+
+   The binder resolves table and column names against the catalog, expands
+   tabular views inline (the first half of "view merging"; the rewrite phase
+   then flattens the resulting operator stack), types projection outputs,
+   and lowers subqueries to subplan expression nodes.
+
+   Correlated subqueries may reference the immediately enclosing scope;
+   such references become [Expr.Param] indexes into the outer row, and the
+   subquery body is compiled through the [compile] callback supplied by the
+   session (this keeps the binder independent of the optimizer). *)
+
+open Sql_ast
+
+exception Bind_error of string
+
+let err fmt = Fmt.kstr (fun s -> raise (Bind_error s)) fmt
+
+type env = {
+  catalog : Catalog.t;
+  compile : Qgm.t -> Row.t -> Row.t Seq.t;
+      (** compile a (possibly parameterized) subquery body *)
+  outer : Schema.t option;  (** enclosing scope, for correlated subqueries *)
+  views_in_progress : string list;  (** cycle detection for view expansion *)
+}
+
+(** [make_env catalog ~compile] is a top-level binding environment. *)
+let make_env catalog ~compile = { catalog; compile; outer = None; views_in_progress = [] }
+
+let hint_of_ty = function
+  | Schema.Ty_int -> Expr.Hint_int
+  | Schema.Ty_float -> Expr.Hint_float
+  | Schema.Ty_string -> Expr.Hint_string
+  | Schema.Ty_bool -> Expr.Hint_bool
+
+let ty_of_hint = function
+  | Expr.Hint_int -> Schema.Ty_int
+  | Expr.Hint_float -> Schema.Ty_float
+  | Expr.Hint_string -> Schema.Ty_string
+  | Expr.Hint_bool -> Schema.Ty_bool
+
+(* ---- expression typing (over bound expressions) ---- *)
+
+let rec infer_ty env (schema : Schema.t) (e : Expr.t) : Schema.ty =
+  match e with
+  | Expr.Col i -> (Schema.col schema i).Schema.col_ty
+  | Expr.Param i -> begin
+    match env.outer with
+    | Some outer -> (Schema.col outer i).Schema.col_ty
+    | None -> err "parameter outside a subquery"
+  end
+  | Expr.Lit v -> begin
+    match v with
+    | Value.Int _ -> Schema.Ty_int
+    | Value.Float _ -> Schema.Ty_float
+    | Value.Str _ -> Schema.Ty_string
+    | Value.Bool _ -> Schema.Ty_bool
+    | Value.Null -> Schema.Ty_string (* polymorphic NULL: any type fits *)
+  end
+  | Expr.Cmp _ | Expr.And _ | Expr.Or _ | Expr.Not _ | Expr.Is_null _ | Expr.Is_not_null _
+  | Expr.Like _ | Expr.In_list _ | Expr.Exists_plan _ | Expr.In_plan _ ->
+    Schema.Ty_bool
+  | Expr.Arith (op, a, b) -> begin
+    match op, infer_ty env schema a, infer_ty env schema b with
+    | Expr.Add, Schema.Ty_string, _ -> Schema.Ty_string
+    | _, Schema.Ty_float, _ | _, _, Schema.Ty_float -> Schema.Ty_float
+    | _, _, _ -> Schema.Ty_int
+  end
+  | Expr.Neg a -> infer_ty env schema a
+  | Expr.Case (branches, else_) -> begin
+    match branches, else_ with
+    | (_, r) :: _, _ -> infer_ty env schema r
+    | [], Some e -> infer_ty env schema e
+    | [], None -> Schema.Ty_string
+  end
+  | Expr.Fn (name, args) -> begin
+    match String.lowercase_ascii name, args with
+    | ("lower" | "upper"), _ -> Schema.Ty_string
+    | "length", _ -> Schema.Ty_int
+    | "mod", _ -> Schema.Ty_int
+    | "abs", [ a ] -> infer_ty env schema a
+    | "coalesce", a :: _ -> infer_ty env schema a
+    | n, _ -> err "unknown function %s" n
+  end
+  | Expr.Scalar_plan sp -> ty_of_hint sp.Expr.sp_ty
+
+(* ---- helpers ---- *)
+
+let is_agg_fn name =
+  match String.lowercase_ascii name with
+  | "count" | "sum" | "avg" | "min" | "max" -> true
+  | _ -> false
+
+let agg_of_name name =
+  match String.lowercase_ascii name with
+  | "count" -> Expr.Count
+  | "sum" -> Expr.Sum
+  | "avg" -> Expr.Avg
+  | "min" -> Expr.Min
+  | "max" -> Expr.Max
+  | n -> err "not an aggregate: %s" n
+
+(* aggregate detection never descends into subqueries: those have their own
+   scope and their own grouping *)
+let rec contains_aggregate = function
+  | E_count_star -> true
+  | E_fn (name, _) when is_agg_fn name -> true
+  | E_fn_distinct _ -> true
+  | E_col _ | E_lit _ | E_exists _ | E_scalar _ -> false
+  | E_cmp (_, a, b) | E_arith (_, a, b) | E_and (a, b) | E_or (a, b) | E_like (a, b) ->
+    contains_aggregate a || contains_aggregate b
+  | E_neg a | E_not a | E_is_null a | E_is_not_null a -> contains_aggregate a
+  | E_in_list (a, items) -> contains_aggregate a || List.exists contains_aggregate items
+  | E_in_query (a, _) -> contains_aggregate a
+  | E_case (branches, else_) ->
+    List.exists (fun (c, r) -> contains_aggregate c || contains_aggregate r) branches
+    || (match else_ with Some e -> contains_aggregate e | None -> false)
+  | E_fn (_, args) -> List.exists contains_aggregate args
+
+let default_item_name i = function
+  | E_col (_, n) -> n
+  | E_fn (n, _) -> String.lowercase_ascii n
+  | E_count_star -> "count"
+  | _ -> Printf.sprintf "col%d" i
+
+(* ---- expression binding ---- *)
+
+let rec bind_expr env (schema : Schema.t) (e : expr) : Expr.t =
+  match e with
+  | E_col (qualifier, name) -> begin
+    match Schema.find schema ?qualifier name with
+    | i -> Expr.Col i
+    | exception Schema.Unknown_column _ -> begin
+      (* try the enclosing scope: correlated reference *)
+      match env.outer with
+      | Some outer -> begin
+        match Schema.find outer ?qualifier name with
+        | i -> Expr.Param i
+        | exception Schema.Unknown_column c -> err "unknown column %s" c
+      end
+      | None ->
+        err "unknown column %s"
+          (match qualifier with Some q -> q ^ "." ^ name | None -> name)
+    end
+    | exception Schema.Ambiguous_column c -> err "ambiguous column %s" c
+  end
+  | E_lit v -> Expr.Lit v
+  | E_cmp (op, a, b) -> Expr.Cmp (op, bind_expr env schema a, bind_expr env schema b)
+  | E_arith (op, a, b) -> Expr.Arith (op, bind_expr env schema a, bind_expr env schema b)
+  | E_neg a -> Expr.Neg (bind_expr env schema a)
+  | E_and (a, b) -> Expr.And (bind_expr env schema a, bind_expr env schema b)
+  | E_or (a, b) -> Expr.Or (bind_expr env schema a, bind_expr env schema b)
+  | E_not a -> Expr.Not (bind_expr env schema a)
+  | E_is_null a -> Expr.Is_null (bind_expr env schema a)
+  | E_is_not_null a -> Expr.Is_not_null (bind_expr env schema a)
+  | E_like (a, p) -> Expr.Like (bind_expr env schema a, bind_expr env schema p)
+  | E_in_list (a, items) ->
+    Expr.In_list (bind_expr env schema a, List.map (bind_expr env schema) items)
+  | E_case (branches, else_) ->
+    Expr.Case
+      ( List.map (fun (c, r) -> (bind_expr env schema c, bind_expr env schema r)) branches,
+        Option.map (bind_expr env schema) else_ )
+  | E_fn (name, _) when is_agg_fn name -> err "aggregate %s not allowed here" name
+  | E_fn_distinct (name, _) -> err "aggregate %s(DISTINCT) not allowed here" name
+  | E_count_star -> err "COUNT(*) not allowed here"
+  | E_fn (name, args) -> Expr.Fn (name, List.map (bind_expr env schema) args)
+  | E_exists q -> Expr.Exists_plan (bind_subplan env schema q)
+  | E_in_query (a, q) -> Expr.In_plan (bind_expr env schema a, bind_subplan env schema q)
+  | E_scalar q -> Expr.Scalar_plan (bind_subplan env schema q)
+
+and bind_subplan env (outer_schema : Schema.t) (q : select) : Expr.subplan =
+  let sub_env = { env with outer = Some outer_schema } in
+  let qgm = bind_select sub_env q in
+  let out = Qgm.schema_of env.catalog qgm in
+  let ty = if Schema.arity out > 0 then (Schema.col out 0).Schema.col_ty else Schema.Ty_bool in
+  { Expr.sp_eval = env.compile qgm; sp_descr = select_to_string q; sp_ty = hint_of_ty ty }
+
+(* ---- FROM clause ---- *)
+
+(** wrap [node] in an identity projection that renames all columns to
+    qualifier [alias] *)
+and requalify_node env alias node =
+  let schema = Qgm.schema_of env.catalog node in
+  let alias = String.lowercase_ascii alias in
+  let cols =
+    List.mapi
+      (fun i c -> (Expr.Col i, { c with Schema.col_qualifier = alias }))
+      (Schema.columns schema)
+  in
+  Qgm.Project { input = node; cols }
+
+and bind_table_ref env (tr : table_ref) : Qgm.t =
+  match tr with
+  | From_table (name, alias) -> begin
+    let alias = Option.value ~default:name alias in
+    match Catalog.view_opt env.catalog name with
+    | Some view ->
+      if List.mem (String.lowercase_ascii name) env.views_in_progress then
+        err "cyclic view definition: %s" name;
+      let env' =
+        { env with
+          views_in_progress = String.lowercase_ascii name :: env.views_in_progress;
+          outer = None }
+      in
+      requalify_node env alias (bind_select env' view.Catalog.view_query)
+    | None ->
+      if Catalog.table_opt env.catalog name = None then err "unknown table or view: %s" name;
+      Qgm.Access { table = name; alias }
+  end
+  | From_select (q, alias) ->
+    requalify_node env alias (bind_select { env with outer = None } q)
+  | From_join (l, kind, r, on) ->
+    let lq = bind_table_ref env l in
+    let rq = bind_table_ref env r in
+    let kind = match kind with Join_inner -> Qgm.Inner | Join_left -> Qgm.Left in
+    let joined = Qgm.Join { kind; left = lq; right = rq; pred = None } in
+    let schema = Qgm.schema_of env.catalog joined in
+    let pred = Option.map (bind_expr env schema) on in
+    Qgm.Join { kind; left = lq; right = rq; pred }
+
+(* ---- SELECT binding ---- *)
+
+and bind_select env (q : select) : Qgm.t =
+  if q.sel_unions = [] then bind_select_single env q
+  else begin
+    (* UNION chain: bind each branch independently, fold left-associatively
+       (UNION deduplicates everything accumulated so far, UNION ALL keeps
+       duplicates), then apply ORDER BY / LIMIT to the whole chain *)
+    let head =
+      bind_select_single env { q with sel_unions = []; sel_order_by = []; sel_limit = None }
+    in
+    let head_schema = Qgm.schema_of env.catalog head in
+    let folded =
+      List.fold_left
+        (fun acc (op, branch) ->
+          let b = bind_select_single env branch in
+          let bs = Qgm.schema_of env.catalog b in
+          if Schema.arity bs <> Schema.arity head_schema then
+            err "UNION branches produce different numbers of columns";
+          let u = Qgm.Union_all (acc, b) in
+          match op with Sql_ast.Union_all -> u | Sql_ast.Union_distinct -> Qgm.Distinct u)
+        head q.sel_unions
+    in
+    let node =
+      if q.sel_order_by = [] then folded
+      else begin
+        let bind_key (e, dir) =
+          match e with
+          | E_lit (Value.Int n) when n >= 1 && n <= Schema.arity head_schema ->
+            (Expr.Col (n - 1), dir)
+          | _ -> (bind_expr { env with outer = None } head_schema e, dir)
+        in
+        Qgm.Order { input = folded; keys = List.map bind_key q.sel_order_by }
+      end
+    in
+    match q.sel_limit with None -> node | Some n -> Qgm.Limit (node, n)
+  end
+
+and bind_select_single env (q : select) : Qgm.t =
+  (* 1. FROM *)
+  let from_node, from_schema =
+    match q.sel_from with
+    | [] ->
+      let schema = Schema.make [] in
+      (Qgm.Values { schema; rows = [ [||] ] }, schema)
+    | first :: rest ->
+      let node =
+        List.fold_left
+          (fun acc tr ->
+            Qgm.Join { kind = Qgm.Inner; left = acc; right = bind_table_ref env tr; pred = None })
+          (bind_table_ref env first) rest
+      in
+      (node, Qgm.schema_of env.catalog node)
+  in
+  (* 2. WHERE *)
+  let node =
+    match q.sel_where with
+    | None -> from_node
+    | Some w -> begin
+      if contains_aggregate w then err "aggregates are not allowed in WHERE";
+      Qgm.Select { input = from_node; pred = bind_expr env from_schema w }
+    end
+  in
+  (* 3. grouping decision *)
+  let grouped =
+    q.sel_group_by <> []
+    || (match q.sel_having with Some _ -> true | None -> false)
+    || List.exists
+         (function Sel_expr (e, _) -> contains_aggregate e | Sel_star | Sel_table_star _ -> false)
+         q.sel_items
+  in
+  let node, out_cols =
+    if not grouped then bind_plain_projection env from_schema node q
+    else bind_grouped env from_schema node q
+  in
+  (* ORDER BY: prefer keys over the output schema (aliases, positions,
+     item matches); keys naming non-projected input columns sort below the
+     projection (only possible for non-grouped queries). *)
+  let bind_order_above out_schema (e, dir) =
+    match e with
+    | E_lit (Value.Int n) when n >= 1 && n <= Schema.arity out_schema -> Some (Expr.Col (n - 1), dir)
+    | _ -> begin
+      match bind_expr { env with outer = None } out_schema e with
+      | bound -> Some (bound, dir)
+      | exception Bind_error _ -> begin
+        let indexed = List.mapi (fun i item -> (i, item)) q.sel_items in
+        match
+          List.find_opt
+            (function _, Sel_expr (ie, _) -> ie = e | _, (Sel_star | Sel_table_star _) -> false)
+            indexed
+        with
+        | Some (i, _) -> Some (Expr.Col i, dir)
+        | None -> None
+      end
+    end
+  in
+  let node =
+    if q.sel_order_by = [] then begin
+      let node = Qgm.Project { input = node; cols = out_cols } in
+      if q.sel_distinct then Qgm.Distinct node else node
+    end
+    else begin
+      let out_schema = Schema.make (List.map snd out_cols) in
+      let above = List.map (bind_order_above out_schema) q.sel_order_by in
+      if List.for_all Option.is_some above then begin
+        let node = Qgm.Project { input = node; cols = out_cols } in
+        let node = if q.sel_distinct then Qgm.Distinct node else node in
+        Qgm.Order { input = node; keys = List.map Option.get above }
+      end
+      else if grouped then err "cannot resolve ORDER BY expression over grouped output"
+      else begin
+        (* sort on the pre-projection row, then project (Distinct preserves
+           encounter order) *)
+        let keys =
+          List.map (fun (e, dir) -> (bind_expr { env with outer = None } from_schema e, dir))
+            q.sel_order_by
+        in
+        let node = Qgm.Project { input = Qgm.Order { input = node; keys }; cols = out_cols } in
+        if q.sel_distinct then Qgm.Distinct node else node
+      end
+    end
+  in
+  match q.sel_limit with None -> node | Some n -> Qgm.Limit (node, n)
+
+(* expand stars and bind plain (non-grouped) projection items *)
+and bind_plain_projection env from_schema node q =
+  let cols =
+    List.concat_map
+      (fun item ->
+        match item with
+        | Sel_star ->
+          List.mapi (fun i c -> (Expr.Col i, c)) (Schema.columns from_schema)
+        | Sel_table_star t ->
+          let t = String.lowercase_ascii t in
+          let matching =
+            List.filteri
+              (fun _ c -> String.equal c.Schema.col_qualifier t)
+              (Schema.columns from_schema)
+          in
+          if matching = [] then err "unknown table in %s.*" t;
+          List.filter_map
+            (fun (i, c) -> if String.equal c.Schema.col_qualifier t then Some (Expr.Col i, c) else None)
+            (List.mapi (fun i c -> (i, c)) (Schema.columns from_schema))
+        | Sel_expr (e, alias) ->
+          let bound = bind_expr env from_schema e in
+          let i = 0 in
+          let name = match alias with Some a -> a | None -> default_item_name i e in
+          let ty = infer_ty env from_schema bound in
+          let nullable =
+            match bound with
+            | Expr.Col i -> (Schema.col from_schema i).Schema.col_nullable
+            | _ -> true
+          in
+          [ (bound, Schema.column ~nullable name ty) ])
+      q.sel_items
+  in
+  (* deduplicate generated names (col0, col0 -> col0, col1) *)
+  let cols =
+    List.mapi
+      (fun i (e, c) ->
+        if String.length c.Schema.col_name > 3 && String.sub c.Schema.col_name 0 3 = "col" then
+          (e, { c with Schema.col_name = Printf.sprintf "col%d" i })
+        else (e, c))
+      cols
+  in
+  (node, cols)
+
+(* grouped query: build the Group box, then bind items/having over its
+   output *)
+and bind_grouped env from_schema node q =
+  List.iter
+    (function
+      | Sel_star | Sel_table_star _ -> err "SELECT * is not allowed with GROUP BY"
+      | Sel_expr _ -> ())
+    q.sel_items;
+  (* bind group keys over the input *)
+  let keys =
+    List.mapi
+      (fun i ast ->
+        let bound = bind_expr env from_schema ast in
+        let name =
+          match ast with E_col (_, n) -> n | _ -> Printf.sprintf "key%d" i
+        in
+        let ty = infer_ty env from_schema bound in
+        (ast, (bound, Schema.column name ty)))
+      q.sel_group_by
+  in
+  (* aggregates are collected on demand while binding post-group exprs *)
+  let aggs : Qgm.agg list ref = ref [] in
+  let agg_asts : expr list ref = ref [] in
+  let key_count = List.length keys in
+  let find_or_add_agg ast ~distinct fn arg_ast =
+    let existing =
+      List.find_opt (fun (a, _) -> a = ast) (List.combine !agg_asts (List.init (List.length !agg_asts) Fun.id))
+    in
+    match existing with
+    | Some (_, i) -> Expr.Col (key_count + i)
+    | None ->
+      let arg = Option.map (bind_expr env from_schema) arg_ast in
+      let name =
+        match ast with
+        | E_count_star -> "count"
+        | E_fn (n, _) | E_fn_distinct (n, _) -> String.lowercase_ascii n
+        | _ -> "agg"
+      in
+      let ty =
+        match fn, arg with
+        | Expr.Count_star, _ | Expr.Count, _ -> Schema.Ty_int
+        | Expr.Avg, _ -> Schema.Ty_float
+        | (Expr.Sum | Expr.Min | Expr.Max), Some a -> infer_ty env from_schema a
+        | (Expr.Sum | Expr.Min | Expr.Max), None -> err "aggregate needs an argument"
+      in
+      let idx = List.length !aggs in
+      aggs :=
+        !aggs
+        @ [ { Qgm.agg_fn = fn; agg_arg = arg; agg_distinct = distinct;
+              agg_out = Schema.column name ty } ];
+      agg_asts := !agg_asts @ [ ast ];
+      Expr.Col (key_count + idx)
+  in
+  (* bind an expression over the group output: group keys match by AST
+     equality; aggregate calls allocate output columns; anything else must
+     be built from those. *)
+  let rec bind_post (e : expr) : Expr.t =
+    match List.find_opt (fun (ast, _) -> ast = e) keys with
+    | Some (_, (_, col)) ->
+      let i =
+        match
+          List.find_opt (fun (_, (ast2, _)) -> ast2 = e) (List.mapi (fun i k -> (i, (fst k, ()))) keys)
+        with
+        | Some (i, _) -> i
+        | None -> assert false
+      in
+      ignore col;
+      Expr.Col i
+    | None -> begin
+      match e with
+      | E_count_star -> find_or_add_agg e ~distinct:false Expr.Count_star None
+      | E_fn (name, [ arg ]) when is_agg_fn name -> begin
+        if contains_aggregate arg then err "nested aggregates";
+        match String.lowercase_ascii name with
+        | "count" -> find_or_add_agg e ~distinct:false Expr.Count (Some arg)
+        | _ -> find_or_add_agg e ~distinct:false (agg_of_name name) (Some arg)
+      end
+      | E_fn_distinct (name, arg) when is_agg_fn name -> begin
+        if contains_aggregate arg then err "nested aggregates";
+        match String.lowercase_ascii name with
+        | "count" -> find_or_add_agg e ~distinct:true Expr.Count (Some arg)
+        | _ -> find_or_add_agg e ~distinct:true (agg_of_name name) (Some arg)
+      end
+      | E_fn_distinct (name, _) -> err "%s does not take DISTINCT" name
+      | E_fn (name, args) ->
+        if is_agg_fn name then err "aggregate %s takes one argument" name
+        else Expr.Fn (name, List.map bind_post args)
+      | E_col (q_, n) ->
+        err "column %s must appear in GROUP BY or inside an aggregate"
+          (match q_ with Some q_ -> q_ ^ "." ^ n | None -> n)
+      | E_lit v -> Expr.Lit v
+      | E_cmp (op, a, b) -> Expr.Cmp (op, bind_post a, bind_post b)
+      | E_arith (op, a, b) -> Expr.Arith (op, bind_post a, bind_post b)
+      | E_neg a -> Expr.Neg (bind_post a)
+      | E_and (a, b) -> Expr.And (bind_post a, bind_post b)
+      | E_or (a, b) -> Expr.Or (bind_post a, bind_post b)
+      | E_not a -> Expr.Not (bind_post a)
+      | E_is_null a -> Expr.Is_null (bind_post a)
+      | E_is_not_null a -> Expr.Is_not_null (bind_post a)
+      | E_like (a, p) -> Expr.Like (bind_post a, bind_post p)
+      | E_in_list (a, items) -> Expr.In_list (bind_post a, List.map bind_post items)
+      | E_case (branches, else_) ->
+        Expr.Case
+          ( List.map (fun (c, r) -> (bind_post c, bind_post r)) branches,
+            Option.map bind_post else_ )
+      | E_exists _ | E_in_query _ | E_scalar _ -> err "subqueries over grouped output are unsupported"
+    end
+  in
+  let bound_items =
+    List.mapi
+      (fun i item ->
+        match item with
+        | Sel_expr (e, alias) ->
+          let bound = bind_post e in
+          let name = match alias with Some a -> a | None -> default_item_name i e in
+          (e, bound, name)
+        | Sel_star | Sel_table_star _ -> assert false)
+      q.sel_items
+  in
+  let bound_having = Option.map bind_post q.sel_having in
+  (* the Group box is complete only now that all aggregates are known *)
+  let group = Qgm.Group { input = node; keys = List.map snd keys; aggs = !aggs } in
+  let group_schema = Qgm.schema_of env.catalog group in
+  let node = match bound_having with None -> group | Some pred -> Qgm.Select { input = group; pred } in
+  let out_cols =
+    List.map
+      (fun (_, bound, name) ->
+        let ty = infer_ty env group_schema bound in
+        (bound, Schema.column name ty))
+      bound_items
+  in
+  (node, out_cols)
+
+(** [bind env q] binds a parsed SELECT to QGM. *)
+let bind env q = bind_select env q

@@ -1,0 +1,29 @@
+(** Name resolution and typing: SQL AST -> QGM.
+
+    The binder resolves table and column names against the catalog, expands
+    tabular views inline, types projection outputs, lowers subqueries to
+    subplan expression nodes, and folds UNION chains. Correlated subqueries
+    may reference the immediately enclosing scope; such references become
+    {!Expr.Param} indexes into the outer row, and subquery bodies are
+    compiled through the [compile] callback supplied by the session (which
+    keeps the binder independent of the optimizer). *)
+
+exception Bind_error of string
+
+type env
+
+(** [make_env catalog ~compile] is a top-level binding environment;
+    [compile] turns a (possibly parameterized) subquery body into its
+    evaluation function. *)
+val make_env : Catalog.t -> compile:(Qgm.t -> Row.t -> Row.t Seq.t) -> env
+
+(** [bind_expr env schema e] resolves and binds one expression against
+    [schema]. @raise Bind_error on unknown/ambiguous names. *)
+val bind_expr : env -> Schema.t -> Sql_ast.expr -> Expr.t
+
+(** [infer_ty env schema e] is the static type of a bound expression. *)
+val infer_ty : env -> Schema.t -> Expr.t -> Schema.ty
+
+(** [bind env q] binds a parsed SELECT to QGM.
+    @raise Bind_error on semantic errors. *)
+val bind : env -> Sql_ast.select -> Qgm.t

@@ -1,0 +1,60 @@
+(* LRU buffer pool over simulated pages.
+
+   The paged-storage simulation (experiment E4) maps every row of the
+   database to a page id through a {!Page.layout}; the executor's row
+   accesses are funneled here via {!Table.set_touch}. The pool tracks hits
+   and faults; a fault on a full pool evicts the least recently used page.
+   There is no data movement — only accounting — because the observable of
+   the clustering experiment is the fault count, not the bytes. *)
+
+type t = {
+  capacity : int;  (** number of page frames *)
+  mutable clock : int;
+  resident : (int, int) Hashtbl.t;  (** page id -> last-use time *)
+  mutable faults : int;
+  mutable hits : int;
+}
+
+(** [create ~capacity] is an empty pool with [capacity] frames. *)
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Buffer_pool.create";
+  { capacity; clock = 0; resident = Hashtbl.create (2 * capacity); faults = 0; hits = 0 }
+
+(** [access pool page] records an access to [page], faulting it in (with
+    LRU eviction) when non-resident. *)
+let access pool page =
+  pool.clock <- pool.clock + 1;
+  match Hashtbl.find_opt pool.resident page with
+  | Some _ ->
+    pool.hits <- pool.hits + 1;
+    Hashtbl.replace pool.resident page pool.clock
+  | None ->
+    pool.faults <- pool.faults + 1;
+    if Hashtbl.length pool.resident >= pool.capacity then begin
+      (* evict the LRU page *)
+      let victim =
+        Hashtbl.fold
+          (fun p t acc ->
+            match acc with
+            | Some (_, bt) when bt <= t -> acc
+            | _ -> Some (p, t))
+          pool.resident None
+      in
+      match victim with
+      | Some (p, _) -> Hashtbl.remove pool.resident p
+      | None -> ()
+    end;
+    Hashtbl.replace pool.resident page pool.clock
+
+(** [faults pool] is the number of page faults since creation/reset. *)
+let faults pool = pool.faults
+
+(** [hits pool] is the number of hits since creation/reset. *)
+let hits pool = pool.hits
+
+(** [reset pool] clears residency and counters. *)
+let reset pool =
+  Hashtbl.reset pool.resident;
+  pool.clock <- 0;
+  pool.faults <- 0;
+  pool.hits <- 0

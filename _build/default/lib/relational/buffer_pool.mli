@@ -1,0 +1,23 @@
+(** LRU buffer pool over simulated pages.
+
+    The paged-storage simulation (experiment E4) maps every row to a page
+    id through a {!Page} layout; row accesses are funneled here via
+    {!Table.set_touch}. The pool tracks hits and faults; a fault on a full
+    pool evicts the least recently used page. Only accounting — no data
+    moves — because the clustering experiments observe fault counts. *)
+
+type t
+
+(** [create ~capacity] is an empty pool with [capacity] frames.
+    @raise Invalid_argument when [capacity <= 0]. *)
+val create : capacity:int -> t
+
+(** [access pool page] records an access, faulting the page in (with LRU
+    eviction) when non-resident. *)
+val access : t -> int -> unit
+
+val faults : t -> int
+val hits : t -> int
+
+(** [reset pool] clears residency and counters. *)
+val reset : t -> unit

@@ -1,0 +1,72 @@
+(* The database catalog: named tables and (tabular) view definitions.
+
+   View definitions are stored as unbound SQL ASTs and expanded by the
+   binder; XNF views live in their own registry (lib/core/view_registry). *)
+
+type view = {
+  view_name : string;
+  view_query : Sql_ast.select;  (** the defining query, re-bound on use *)
+}
+
+type t = {
+  tables : (string, Table.t) Hashtbl.t;
+  views : (string, view) Hashtbl.t;
+}
+
+exception Unknown_table of string
+exception Duplicate_name of string
+
+(** [create ()] is an empty catalog. *)
+let create () = { tables = Hashtbl.create 16; views = Hashtbl.create 16 }
+
+let norm = String.lowercase_ascii
+
+(** [add_table cat table] registers [table].
+    @raise Duplicate_name when the name is taken. *)
+let add_table cat table =
+  let key = norm (Table.name table) in
+  if Hashtbl.mem cat.tables key || Hashtbl.mem cat.views key then raise (Duplicate_name key);
+  Hashtbl.replace cat.tables key table
+
+(** [create_table cat ~name schema] creates, registers and returns a fresh
+    table. *)
+let create_table cat ~name schema =
+  let table = Table.create ~name schema in
+  add_table cat table;
+  table
+
+(** [table cat name] looks a table up. @raise Unknown_table when absent. *)
+let table cat name =
+  match Hashtbl.find_opt cat.tables (norm name) with
+  | Some t -> t
+  | None -> raise (Unknown_table name)
+
+(** [table_opt cat name] is [table] returning an option. *)
+let table_opt cat name = Hashtbl.find_opt cat.tables (norm name)
+
+(** [drop_table cat name] unregisters a table.
+    @raise Unknown_table when absent. *)
+let drop_table cat name =
+  let key = norm name in
+  if not (Hashtbl.mem cat.tables key) then raise (Unknown_table name);
+  Hashtbl.remove cat.tables key
+
+(** [add_view cat ~name query] registers a tabular view.
+    @raise Duplicate_name when the name is taken. *)
+let add_view cat ~name query =
+  let key = norm name in
+  if Hashtbl.mem cat.tables key || Hashtbl.mem cat.views key then raise (Duplicate_name key);
+  Hashtbl.replace cat.views key { view_name = name; view_query = query }
+
+(** [view_opt cat name] is the view definition, if registered. *)
+let view_opt cat name = Hashtbl.find_opt cat.views (norm name)
+
+(** [drop_view cat name] unregisters a view. *)
+let drop_view cat name = Hashtbl.remove cat.views (norm name)
+
+(** [tables cat] lists registered tables (unordered). *)
+let tables cat = Hashtbl.fold (fun _ t acc -> t :: acc) cat.tables []
+
+(** [table_names cat] lists registered table names, sorted. *)
+let table_names cat =
+  List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) cat.tables [])

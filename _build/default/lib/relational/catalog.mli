@@ -1,0 +1,37 @@
+(** The database catalog: named tables and tabular view definitions.
+
+    View definitions are stored as unbound SQL ASTs and expanded inline by
+    the binder; XNF views live in their own registry
+    ({!Xnf.View_registry}). Names are case-insensitive. *)
+
+type view = { view_name : string; view_query : Sql_ast.select }
+
+type t
+
+exception Unknown_table of string
+exception Duplicate_name of string
+
+val create : unit -> t
+
+(** @raise Duplicate_name when the name is taken by a table or view. *)
+val add_table : t -> Table.t -> unit
+
+(** [create_table cat ~name schema] creates, registers and returns a fresh
+    table. *)
+val create_table : t -> name:string -> Schema.t -> Table.t
+
+(** @raise Unknown_table when absent. *)
+val table : t -> string -> Table.t
+
+val table_opt : t -> string -> Table.t option
+
+(** @raise Unknown_table when absent. *)
+val drop_table : t -> string -> unit
+
+(** @raise Duplicate_name when the name is taken. *)
+val add_view : t -> name:string -> Sql_ast.select -> unit
+
+val view_opt : t -> string -> view option
+val drop_view : t -> string -> unit
+val tables : t -> Table.t list
+val table_names : t -> string list

@@ -1,0 +1,89 @@
+(* Cardinality estimation over QGM trees.
+
+   Estimates drive join-method selection in the optimizer. They use exact
+   base-table cardinalities (tables are in memory) and textbook default
+   selectivities: 1/distinct for equality against a literal, 1/10 for other
+   comparisons, independence across conjuncts. *)
+
+let default_ineq_selectivity = 0.3
+let default_pred_selectivity = 0.1
+
+(* selectivity of one conjunct over [node]'s output *)
+let rec conjunct_selectivity catalog node (e : Expr.t) =
+  match e with
+  | Expr.Cmp (Expr.Eq, Expr.Col i, Expr.Lit _)
+  | Expr.Cmp (Expr.Eq, Expr.Lit _, Expr.Col i)
+  | Expr.Cmp (Expr.Eq, Expr.Col i, Expr.Param _)
+  | Expr.Cmp (Expr.Eq, Expr.Param _, Expr.Col i) ->
+    1.0 /. float_of_int (distinct_of catalog node i)
+  | Expr.Cmp (Expr.Eq, Expr.Col i, Expr.Col j) ->
+    1.0 /. float_of_int (max (distinct_of catalog node i) (distinct_of catalog node j))
+  | Expr.Cmp ((Expr.Lt | Expr.Le | Expr.Gt | Expr.Ge), _, _) -> default_ineq_selectivity
+  | Expr.Cmp (Expr.Ne, _, _) -> 0.9
+  | Expr.And (a, b) -> conjunct_selectivity catalog node a *. conjunct_selectivity catalog node b
+  | Expr.Or (a, b) ->
+    let sa = conjunct_selectivity catalog node a and sb = conjunct_selectivity catalog node b in
+    min 1.0 (sa +. sb)
+  | Expr.Not a -> 1.0 -. conjunct_selectivity catalog node a
+  | Expr.Is_null _ -> 0.05
+  | Expr.Is_not_null _ -> 0.95
+  | Expr.In_list (_, items) -> min 1.0 (0.05 *. float_of_int (List.length items))
+  | _ -> default_pred_selectivity
+
+(* distinct-count estimate for output column [i] of [node]: resolved down to
+   a base-table column when the column is a direct passthrough *)
+and distinct_of catalog node i =
+  match node with
+  | Qgm.Access { table; _ } -> Table.distinct_estimate (Catalog.table catalog table) i
+  | Qgm.Temp { table; _ } -> Table.distinct_estimate table i
+  | Qgm.Select { input; _ } | Qgm.Distinct input | Qgm.Order { input; _ } -> distinct_of catalog input i
+  | Qgm.Limit (input, _) -> distinct_of catalog input i
+  | Qgm.Project { input; cols } -> begin
+    match List.nth_opt cols i with
+    | Some (Expr.Col j, _) -> distinct_of catalog input j
+    | _ -> max 1 (int_of_float (estimate catalog node) / 10)
+  end
+  | Qgm.Join { kind; left; right; _ } -> begin
+    let lw = Schema.arity (Qgm.schema_of catalog left) in
+    match kind with
+    | Qgm.Semi | Qgm.Anti -> distinct_of catalog left i
+    | Qgm.Inner | Qgm.Left ->
+      if i < lw then distinct_of catalog left i else distinct_of catalog right (i - lw)
+  end
+  | Qgm.Group _ | Qgm.Values _ | Qgm.Union_all _ ->
+    max 1 (int_of_float (estimate catalog node) / 10)
+
+(** [estimate catalog node] is the estimated output cardinality of
+    [node]. *)
+and estimate catalog node =
+  match node with
+  | Qgm.Access { table; _ } -> float_of_int (Table.cardinality (Catalog.table catalog table))
+  | Qgm.Temp { table; _ } -> float_of_int (Table.cardinality table)
+  | Qgm.Values { rows; _ } -> float_of_int (List.length rows)
+  | Qgm.Select { input; pred } ->
+    estimate catalog input *. conjunct_selectivity catalog input pred
+  | Qgm.Project { input; _ } -> estimate catalog input
+  | Qgm.Join { kind; left; right; pred } -> begin
+    let cl = estimate catalog left and cr = estimate catalog right in
+    match kind with
+    | Qgm.Semi -> cl *. 0.5
+    | Qgm.Anti -> cl *. 0.5
+    | Qgm.Inner | Qgm.Left ->
+      let cross = cl *. cr in
+      let sel =
+        match pred with
+        | None -> 1.0
+        | Some p ->
+          (* join-predicate selectivity over the concatenated schema *)
+          let joined = Qgm.Join { kind = Qgm.Inner; left; right; pred = None } in
+          conjunct_selectivity catalog joined p
+      in
+      let est = cross *. sel in
+      if kind = Qgm.Left then Float.max est cl else est
+  end
+  | Qgm.Group { input; keys; _ } ->
+    if keys = [] then 1.0 else Float.min (estimate catalog input) (estimate catalog input /. 3.0)
+  | Qgm.Distinct input -> estimate catalog input *. 0.9
+  | Qgm.Order { input; _ } -> estimate catalog input
+  | Qgm.Limit (input, n) -> Float.min (float_of_int n) (estimate catalog input)
+  | Qgm.Union_all (a, b) -> estimate catalog a +. estimate catalog b

@@ -1,0 +1,18 @@
+(** Cardinality estimation over QGM trees.
+
+    Estimates drive join-method selection in the optimizer. They use exact
+    base-table cardinalities (tables are in memory) and textbook default
+    selectivities: 1/distinct for equality, fixed fractions for other
+    predicate shapes, independence across conjuncts. *)
+
+(** [estimate catalog node] is the estimated output cardinality of
+    [node]. *)
+val estimate : Catalog.t -> Qgm.t -> float
+
+(** [conjunct_selectivity catalog node pred] estimates the fraction of
+    [node]'s output satisfying [pred]. *)
+val conjunct_selectivity : Catalog.t -> Qgm.t -> Expr.t -> float
+
+(** [distinct_of catalog node col] estimates the number of distinct values
+    in output column [col]. *)
+val distinct_of : Catalog.t -> Qgm.t -> int -> int

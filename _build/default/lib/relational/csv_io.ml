@@ -1,0 +1,166 @@
+(* CSV import/export for tables — the "bulk I/O capabilities" the paper
+   counts among the industrial-strength RDBMS features worth reusing (§1).
+
+   Format: RFC-4180-style quoting (fields containing the separator, quotes
+   or newlines are wrapped in double quotes; embedded quotes double).
+   Export writes a header row of column names; import can consume or skip
+   it. NULL is represented by the empty unquoted field; typed parsing
+   follows the target table's schema. *)
+
+exception Csv_error of string
+
+let err fmt = Fmt.kstr (fun s -> raise (Csv_error s)) fmt
+
+let needs_quoting ~sep s =
+  String.exists (fun c -> c = sep || c = '"' || c = '\n' || c = '\r') s
+
+let quote_field ~sep s =
+  if not (needs_quoting ~sep s) then s
+  else begin
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+
+let field_of_value ~sep (v : Value.t) =
+  match v with
+  | Value.Null -> ""
+  | Value.Str "" -> "\"\""  (* quoted empty: distinct from NULL *)
+  | Value.Str s -> quote_field ~sep s
+  | v -> quote_field ~sep (Value.to_string v)
+
+(** [export ?sep table] renders [table]'s live rows as CSV text with a
+    header row of column names. *)
+let export ?(sep = ',') table =
+  let buf = Buffer.create 4096 in
+  let schema = Table.schema table in
+  Buffer.add_string buf
+    (String.concat (String.make 1 sep)
+       (List.map (fun c -> quote_field ~sep c.Schema.col_name) (Schema.columns schema)));
+  Buffer.add_char buf '\n';
+  Table.iter
+    (fun _ row ->
+      Buffer.add_string buf
+        (String.concat (String.make 1 sep)
+           (List.map (field_of_value ~sep) (Array.to_list row)));
+      Buffer.add_char buf '\n')
+    table;
+  Buffer.contents buf
+
+(** [export_file ?sep table path] writes {!export} output to [path]. *)
+let export_file ?sep table path =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (export ?sep table))
+
+(* parse one CSV text into rows of raw fields; [None] field = unquoted
+   empty = NULL, [Some s] = literal text *)
+let parse ?(sep = ',') (text : string) : string option list list =
+  let rows = ref [] in
+  let fields = ref [] in
+  let buf = Buffer.create 32 in
+  let quoted = ref false in
+  (* whether the current field ever entered quotes: distinguishes the empty
+     unquoted field (NULL) from "" (empty string) *)
+  let saw_quote = ref false in
+  let n = String.length text in
+  let flush_field () =
+    let s = Buffer.contents buf in
+    let field = if s = "" && not !saw_quote then None else Some s in
+    fields := field :: !fields;
+    Buffer.clear buf;
+    saw_quote := false
+  in
+  let flush_row () =
+    flush_field ();
+    rows := List.rev !fields :: !rows;
+    fields := []
+  in
+  let i = ref 0 in
+  while !i < n do
+    let c = text.[!i] in
+    if !quoted then begin
+      if c = '"' then
+        if !i + 1 < n && text.[!i + 1] = '"' then begin
+          Buffer.add_char buf '"';
+          incr i
+        end
+        else quoted := false
+      else Buffer.add_char buf c
+    end
+    else if c = '"' then begin
+      quoted := true;
+      saw_quote := true
+    end
+    else if c = sep then flush_field ()
+    else if c = '\n' then flush_row ()
+    else if c = '\r' then () (* tolerate CRLF *)
+    else Buffer.add_char buf c;
+    incr i
+  done;
+  if !quoted then err "unterminated quoted field";
+  if Buffer.length buf > 0 || !saw_quote || !fields <> [] then flush_row ();
+  List.rev !rows
+
+let value_of_field ty (field : string option) : Value.t =
+  match field with
+  | None -> Value.Null
+  | Some s -> begin
+    match ty with
+    | Schema.Ty_int -> begin
+      match int_of_string_opt (String.trim s) with
+      | Some i -> Value.Int i
+      | None -> err "not an integer: %S" s
+    end
+    | Schema.Ty_float -> begin
+      match float_of_string_opt (String.trim s) with
+      | Some f -> Value.Float f
+      | None -> err "not a float: %S" s
+    end
+    | Schema.Ty_bool -> begin
+      match String.lowercase_ascii (String.trim s) with
+      | "true" | "t" | "1" -> Value.Bool true
+      | "false" | "f" | "0" -> Value.Bool false
+      | _ -> err "not a boolean: %S" s
+    end
+    | Schema.Ty_string -> Value.Str s
+  end
+
+(** [import ?sep ?header db table text] parses [text] and inserts every row
+    into [table] (through the session's DML path: WAL-logged, PK-enforced).
+    [header] (default true) skips the first row. Returns the number of rows
+    inserted.
+    @raise Csv_error on malformed input, arity or type mismatches. *)
+let import ?(sep = ',') ?(header = true) db table text =
+  let schema = Table.schema table in
+  let rows = parse ~sep text in
+  let rows = if header then match rows with _ :: r -> r | [] -> [] else rows in
+  let count = ref 0 in
+  List.iteri
+    (fun lineno fields ->
+      if List.length fields <> Schema.arity schema then
+        err "row %d: expected %d fields, got %d" (lineno + 1) (Schema.arity schema)
+          (List.length fields);
+      let row =
+        Array.of_list
+          (List.mapi (fun i f -> value_of_field (Schema.col schema i).Schema.col_ty f) fields)
+      in
+      ignore (Db.insert_row db table row);
+      incr count)
+    rows;
+  !count
+
+(** [import_file ?sep ?header db table path] is {!import} over the contents
+    of [path]. *)
+let import_file ?sep ?header db table path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let len = in_channel_length ic in
+      let text = really_input_string ic len in
+      import ?sep ?header db table text)

@@ -1,0 +1,28 @@
+(** CSV import/export for tables — bulk I/O (§1 of the paper counts bulk
+    I/O among the industrial-strength RDBMS features worth reusing).
+
+    RFC-4180-style quoting; NULL is the empty unquoted field, the empty
+    string is [""]; typed parsing follows the target table's schema. *)
+
+exception Csv_error of string
+
+(** [export ?sep table] renders the live rows as CSV text with a header row
+    of column names. *)
+val export : ?sep:char -> Table.t -> string
+
+(** [export_file ?sep table path] writes {!export} output to [path]. *)
+val export_file : ?sep:char -> Table.t -> string -> unit
+
+(** [parse ?sep text] splits CSV text into rows of raw fields ([None] =
+    unquoted empty = NULL). @raise Csv_error on malformed quoting. *)
+val parse : ?sep:char -> string -> string option list list
+
+(** [import ?sep ?header db table text] inserts every parsed row through
+    the session's DML path (WAL-logged, PK-enforced). [header] (default
+    true) skips the first row. Returns the number of rows inserted.
+    @raise Csv_error on malformed input, arity or type mismatches. *)
+val import : ?sep:char -> ?header:bool -> Db.t -> Table.t -> string -> int
+
+(** [import_file ?sep ?header db table path] is {!import} over the file
+    contents. *)
+val import_file : ?sep:char -> ?header:bool -> Db.t -> Table.t -> string -> int

@@ -1,0 +1,268 @@
+(* The engine facade: a database session.
+
+   [exec] takes SQL text through the full pipeline of Fig. 8 — parse, bind
+   (semantic checking), query rewrite, plan optimization, execution — and
+   is also the entry point the XNF layer and the "regular SQL interface"
+   baseline call into. Rewrite can be disabled per session for the E7
+   ablation; [stmt_count]/[rows_touched] feed the benchmark harness. *)
+
+type t = {
+  catalog : Catalog.t;
+  txn : Txn.t;
+  mutable rewrite_enabled : bool;
+  mutable stmt_count : int;  (** statements executed through [exec]/[query] *)
+}
+
+type result = { rschema : Schema.t; rrows : Row.t list }
+
+type exec_result =
+  | Rows of result
+  | Affected of int
+  | Done of string  (** DDL / transaction-control acknowledgement *)
+
+exception Exec_error of string
+
+let err fmt = Fmt.kstr (fun s -> raise (Exec_error s)) fmt
+
+(** [create ()] is a fresh, empty database session. *)
+let create () =
+  let catalog = Catalog.create () in
+  { catalog; txn = Txn.create catalog; rewrite_enabled = true; stmt_count = 0 }
+
+(** [catalog db] exposes the catalog (for the XNF layer and tests). *)
+let catalog db = db.catalog
+
+(** [txn db] exposes the transaction manager. *)
+let txn db = db.txn
+
+(** [set_rewrite db flag] enables/disables the QGM rewrite phase. *)
+let set_rewrite db flag = db.rewrite_enabled <- flag
+
+(** [stmt_count db] counts statements executed so far (the per-call cost
+    the XNF cache avoids — measured in E1/E2). *)
+let stmt_count db = db.stmt_count
+
+(* the binder's subquery-compile callback: optimize lazily, memoize
+   uncorrelated results *)
+let rec compile_qgm db qgm =
+  let plan = lazy (Optimizer.optimize ~rewrite:db.rewrite_enabled db.catalog qgm) in
+  let memo = ref None in
+  fun (outer : Row.t) ->
+    let plan = Lazy.force plan in
+    if Plan.has_params plan then Plan.run (Plan.subst_params outer plan)
+    else begin
+      match !memo with
+      | Some rows -> List.to_seq rows
+      | None ->
+        let rows = List.of_seq (Plan.run plan) in
+        memo := Some rows;
+        List.to_seq rows
+    end
+
+(** [bind_env db] is a binder environment for this session. *)
+and bind_env db = Binder.make_env db.catalog ~compile:(compile_qgm db)
+
+(** [bind_select db q] binds a parsed SELECT to QGM. *)
+let bind_select db q = Binder.bind (bind_env db) q
+
+(** [run_qgm db qgm] optimizes and runs a QGM tree (the XNF translator's
+    entry point). *)
+let run_qgm db qgm =
+  Plan.run (Optimizer.optimize ~rewrite:db.rewrite_enabled db.catalog qgm)
+
+(** [query_ast db q] executes a parsed SELECT. *)
+let query_ast db q =
+  db.stmt_count <- db.stmt_count + 1;
+  let qgm = bind_select db q in
+  let schema = Qgm.schema_of db.catalog qgm in
+  { rschema = schema; rrows = List.of_seq (run_qgm db qgm) }
+
+(** [query db sql] parses and executes a SELECT, returning all rows. *)
+let query db sql = query_ast db (Sql_parser.parse_select sql)
+
+(** [explain_ast db q] returns the rewritten QGM and physical plan of a
+    parsed SELECT as text. *)
+let explain_ast db q =
+  let qgm = bind_select db q in
+  let rewritten =
+    if db.rewrite_enabled then Rewrite.rewrite db.catalog qgm else qgm
+  in
+  let plan = Optimizer.lower db.catalog rewritten in
+  Fmt.str "QGM:@.%sPlan:@.%s" (Qgm.to_string rewritten) (Plan.to_string plan)
+
+(** [explain db sql] parses a SELECT and returns its plans as text. *)
+let explain db sql = explain_ast db (Sql_parser.parse_select sql)
+
+(* ---- DML helpers ---- *)
+
+let eval_const db (e : Sql_ast.expr) : Value.t =
+  let bound = Binder.bind_expr (bind_env db) (Schema.make []) e in
+  Expr.eval [||] bound
+
+let check_pk_unique table row ~except =
+  match Table.primary_key table with
+  | None -> ()
+  | Some cols -> begin
+    let key = Row.project row cols in
+    if Array.exists Value.is_null key then
+      err "NULL in primary key of %s" (Table.name table);
+    match Table.find_index table ~cols with
+    | None -> ()
+    | Some idx ->
+      let hits = Index.lookup idx key in
+      let hits = match except with None -> hits | Some rid -> List.filter (fun i -> i <> rid) hits in
+      if hits <> [] then
+        err "duplicate primary key %s in %s" (Row.to_string key) (Table.name table)
+  end
+
+(** [insert_row db table row] inserts with PK enforcement and WAL logging;
+    returns the new rowid. Used by the executor and by the XNF udi layer. *)
+let insert_row db table row =
+  check_pk_unique table row ~except:None;
+  let rowid = Table.insert table row in
+  Txn.log_dml db.txn (Wal.R_insert { table = Table.name table; rowid; row });
+  rowid
+
+(** [delete_row db table rowid] deletes with WAL logging; returns whether a
+    live row was removed. *)
+let delete_row db table rowid =
+  match Table.delete table rowid with
+  | None -> false
+  | Some row ->
+    Txn.log_dml db.txn (Wal.R_delete { table = Table.name table; rowid; row });
+    true
+
+(** [update_row db table rowid row] updates with PK enforcement and WAL
+    logging; returns whether the row existed. *)
+let update_row db table rowid row =
+  check_pk_unique table row ~except:(Some rowid);
+  match Table.update table rowid row with
+  | None -> false
+  | Some before ->
+    Txn.log_dml db.txn (Wal.R_update { table = Table.name table; rowid; before; after = row });
+    true
+
+(* rows matching a WHERE clause on a single table, as (rowid, row) *)
+let matching_rows db table where =
+  let schema = Schema.requalify (Table.name table) (Table.schema table) in
+  let pred = Option.map (Binder.bind_expr (bind_env db) schema) where in
+  List.filter
+    (fun (_, row) ->
+      match pred with None -> true | Some p -> Value.is_true (Expr.eval_pred row p))
+    (List.of_seq (Table.to_seq table))
+
+(* ---- statement execution ---- *)
+
+let exec_create_table db (name, col_defs) =
+  let cols =
+    List.map
+      (fun cd ->
+        Schema.column ~nullable:cd.Sql_ast.cd_nullable cd.Sql_ast.cd_name cd.Sql_ast.cd_ty)
+      col_defs
+  in
+  let table = Catalog.create_table db.catalog ~name (Schema.make cols) in
+  let pk_cols =
+    List.filteri (fun _ cd -> cd.Sql_ast.cd_primary) col_defs
+    |> List.map (fun cd -> Schema.find (Table.schema table) cd.Sql_ast.cd_name)
+  in
+  if pk_cols <> [] then begin
+    let cols = Array.of_list pk_cols in
+    Table.set_primary_key table cols;
+    ignore (Table.add_index table ~name:(name ^ "_pk") ~cols Index.Hash)
+  end;
+  Done (Printf.sprintf "created table %s" name)
+
+let exec_stmt_ast db (stmt : Sql_ast.stmt) : exec_result =
+  db.stmt_count <- db.stmt_count + 1;
+  match stmt with
+  | Sql_ast.S_select q ->
+    db.stmt_count <- db.stmt_count - 1;
+    (* query_ast counts it *)
+    Rows (query_ast db q)
+  | Sql_ast.S_insert { ins_table; ins_cols; ins_values } ->
+    let table = Catalog.table db.catalog ins_table in
+    let schema = Table.schema table in
+    let positions =
+      match ins_cols with
+      | None -> List.init (Schema.arity schema) Fun.id
+      | Some cols -> List.map (fun c -> Schema.find schema c) cols
+    in
+    let count = ref 0 in
+    List.iter
+      (fun exprs ->
+        if List.length exprs <> List.length positions then
+          err "INSERT arity mismatch on %s" ins_table;
+        let row = Array.make (Schema.arity schema) Value.Null in
+        List.iter2 (fun pos e -> row.(pos) <- eval_const db e) positions exprs;
+        ignore (insert_row db table row);
+        incr count)
+      ins_values;
+    Affected !count
+  | Sql_ast.S_update { upd_table; upd_sets; upd_where } ->
+    let table = Catalog.table db.catalog upd_table in
+    let schema = Schema.requalify (Table.name table) (Table.schema table) in
+    let env = bind_env db in
+    let sets =
+      List.map (fun (c, e) -> (Schema.find schema c, Binder.bind_expr env schema e)) upd_sets
+    in
+    let victims = matching_rows db table upd_where in
+    List.iter
+      (fun (rowid, row) ->
+        let row' = Array.copy row in
+        List.iter (fun (pos, e) -> row'.(pos) <- Expr.eval row e) sets;
+        ignore (update_row db table rowid row'))
+      victims;
+    Affected (List.length victims)
+  | Sql_ast.S_delete { del_table; del_where } ->
+    let table = Catalog.table db.catalog del_table in
+    let victims = matching_rows db table del_where in
+    List.iter (fun (rowid, _) -> ignore (delete_row db table rowid)) victims;
+    Affected (List.length victims)
+  | Sql_ast.S_create_table { ct_name; ct_cols } -> exec_create_table db (ct_name, ct_cols)
+  | Sql_ast.S_create_index { ci_name; ci_table; ci_cols; ci_ordered } ->
+    let table = Catalog.table db.catalog ci_table in
+    let schema = Table.schema table in
+    let cols = Array.of_list (List.map (fun c -> Schema.find schema c) ci_cols) in
+    let kind = if ci_ordered then Index.Ordered else Index.Hash in
+    ignore (Table.add_index table ~name:ci_name ~cols kind);
+    Done (Printf.sprintf "created index %s" ci_name)
+  | Sql_ast.S_create_view { cv_name; cv_query } ->
+    (* validate eagerly so errors surface at definition time *)
+    ignore (bind_select db cv_query);
+    Catalog.add_view db.catalog ~name:cv_name cv_query;
+    Done (Printf.sprintf "created view %s" cv_name)
+  | Sql_ast.S_drop_table name ->
+    Catalog.drop_table db.catalog name;
+    Done (Printf.sprintf "dropped table %s" name)
+  | Sql_ast.S_drop_view name ->
+    Catalog.drop_view db.catalog name;
+    Done (Printf.sprintf "dropped view %s" name)
+  | Sql_ast.S_explain q -> Done (explain_ast db q)
+  | Sql_ast.S_begin ->
+    Txn.begin_txn db.txn;
+    Done "transaction started"
+  | Sql_ast.S_commit ->
+    Txn.commit db.txn;
+    Done "committed"
+  | Sql_ast.S_rollback ->
+    Txn.rollback db.txn;
+    Done "rolled back"
+
+(** [exec db sql] parses and executes one statement. *)
+let exec db sql = exec_stmt_ast db (Sql_parser.parse_stmt sql)
+
+(** [exec_script db sql] executes a ';'-separated script, returning the
+    last result. *)
+let exec_script db sql =
+  let stmts =
+    String.split_on_char ';' sql
+    |> List.map String.trim
+    |> List.filter (fun s -> s <> "")
+  in
+  match stmts with
+  | [] -> Done "empty script"
+  | _ -> List.fold_left (fun _ s -> exec db s) (Done "") stmts
+
+(** [rows_of db sql] runs a SELECT and returns only the rows (test
+    convenience). *)
+let rows_of db sql = (query db sql).rrows

@@ -1,0 +1,75 @@
+(** The engine facade: a database session.
+
+    {!exec} takes SQL text through the full pipeline of the paper's Fig. 8
+    — parse, bind (semantic checking), query rewrite, plan optimization,
+    execution — and is the entry point both the XNF layer and the "regular
+    SQL interface" baseline call into. *)
+
+type t
+
+type result = { rschema : Schema.t; rrows : Row.t list }
+
+type exec_result =
+  | Rows of result
+  | Affected of int
+  | Done of string  (** DDL / transaction-control acknowledgement *)
+
+exception Exec_error of string
+
+(** [create ()] is a fresh, empty database session. *)
+val create : unit -> t
+
+val catalog : t -> Catalog.t
+val txn : t -> Txn.t
+
+(** [set_rewrite db flag] enables/disables the QGM rewrite phase (the E7
+    ablation). *)
+val set_rewrite : t -> bool -> unit
+
+(** [stmt_count db] counts statements executed through [exec]/[query]. *)
+val stmt_count : t -> int
+
+(** [bind_env db] is a binder environment for this session (subqueries are
+    compiled through the session's optimizer). *)
+val bind_env : t -> Binder.env
+
+(** [bind_select db q] binds a parsed SELECT to QGM. *)
+val bind_select : t -> Sql_ast.select -> Qgm.t
+
+(** [run_qgm db qgm] optimizes and runs a QGM tree — the XNF translator's
+    entry point. *)
+val run_qgm : t -> Qgm.t -> Row.t Seq.t
+
+(** [query_ast db q] executes a parsed SELECT. *)
+val query_ast : t -> Sql_ast.select -> result
+
+(** [query db sql] parses and executes a SELECT. *)
+val query : t -> string -> result
+
+(** [explain_ast db q] returns the rewritten QGM and physical plan of a
+    parsed SELECT as text. *)
+val explain_ast : t -> Sql_ast.select -> string
+
+(** [explain db sql] parses a SELECT and returns its plans as text (also
+    reachable as the [EXPLAIN SELECT ...] statement). *)
+val explain : t -> string -> string
+
+(** Row-level DML with primary-key enforcement and WAL logging — used by
+    the executor and by the XNF udi layer. *)
+
+val insert_row : t -> Table.t -> Row.t -> int
+val delete_row : t -> Table.t -> int -> bool
+val update_row : t -> Table.t -> int -> Row.t -> bool
+
+(** [exec_stmt_ast db stmt] executes one parsed statement. *)
+val exec_stmt_ast : t -> Sql_ast.stmt -> exec_result
+
+(** [exec db sql] parses and executes one statement. *)
+val exec : t -> string -> exec_result
+
+(** [exec_script db sql] executes a ';'-separated script, returning the
+    last result. *)
+val exec_script : t -> string -> exec_result
+
+(** [rows_of db sql] runs a SELECT and returns only the rows. *)
+val rows_of : t -> string -> Row.t list

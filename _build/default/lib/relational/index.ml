@@ -1,0 +1,108 @@
+(* Secondary indexes: hash (equality) and ordered (range) multimaps from
+   key rows to row ids. Indexes are maintained by {!Table} on every DML
+   operation; they never own the data. *)
+
+module Key = struct
+  type t = Row.t
+
+  let compare = Row.compare
+  let equal = Row.equal
+  let hash = Row.hash
+end
+
+module KeyHash = Hashtbl.Make (Key)
+module KeyMap = Map.Make (Key)
+
+type kind = Hash | Ordered
+
+type t = {
+  idx_name : string;
+  idx_cols : int array;  (** key column positions in the indexed table *)
+  idx_kind : kind;
+  hash : int list KeyHash.t;  (** used when [idx_kind = Hash] *)
+  mutable ordered : int list KeyMap.t;  (** used when [idx_kind = Ordered] *)
+}
+
+(** [create ~name ~cols kind] is an empty index over key columns [cols]. *)
+let create ~name ~cols kind =
+  { idx_name = name; idx_cols = cols; idx_kind = kind; hash = KeyHash.create 64; ordered = KeyMap.empty }
+
+let name t = t.idx_name
+let cols t = t.idx_cols
+let kind t = t.idx_kind
+
+(** [key_of_row t row] extracts the index key from a full table row. *)
+let key_of_row t (row : Row.t) : Key.t = Row.project row t.idx_cols
+
+(** [insert t row rowid] registers [rowid] under [row]'s key. *)
+let insert t row rowid =
+  let key = key_of_row t row in
+  match t.idx_kind with
+  | Hash ->
+    let cur = Option.value ~default:[] (KeyHash.find_opt t.hash key) in
+    KeyHash.replace t.hash key (rowid :: cur)
+  | Ordered ->
+    let cur = Option.value ~default:[] (KeyMap.find_opt key t.ordered) in
+    t.ordered <- KeyMap.add key (rowid :: cur) t.ordered
+
+(** [remove t row rowid] unregisters [rowid] from [row]'s key. *)
+let remove t row rowid =
+  let key = key_of_row t row in
+  match t.idx_kind with
+  | Hash -> begin
+    match KeyHash.find_opt t.hash key with
+    | None -> ()
+    | Some ids ->
+      let ids = List.filter (fun id -> id <> rowid) ids in
+      if ids = [] then KeyHash.remove t.hash key else KeyHash.replace t.hash key ids
+  end
+  | Ordered -> begin
+    match KeyMap.find_opt key t.ordered with
+    | None -> ()
+    | Some ids ->
+      let ids = List.filter (fun id -> id <> rowid) ids in
+      t.ordered <-
+        (if ids = [] then KeyMap.remove key t.ordered else KeyMap.add key ids t.ordered)
+  end
+
+(** [lookup t key] is the row ids whose key equals [key]. *)
+let lookup t (key : Key.t) : int list =
+  match t.idx_kind with
+  | Hash -> Option.value ~default:[] (KeyHash.find_opt t.hash key)
+  | Ordered -> Option.value ~default:[] (KeyMap.find_opt key t.ordered)
+
+(** [range t ?lo ?hi ()] enumerates row ids with keys in the interval;
+    bounds are inclusive when the flag is [`Incl], exclusive for [`Excl].
+    Only valid on [Ordered] indexes. *)
+let range t ?lo ?hi () : int list =
+  match t.idx_kind with
+  | Hash -> invalid_arg "Index.range: hash index"
+  | Ordered ->
+    let in_lo key =
+      match lo with
+      | None -> true
+      | Some (`Incl k) -> Row.compare key k >= 0
+      | Some (`Excl k) -> Row.compare key k > 0
+    in
+    let in_hi key =
+      match hi with
+      | None -> true
+      | Some (`Incl k) -> Row.compare key k <= 0
+      | Some (`Excl k) -> Row.compare key k < 0
+    in
+    KeyMap.fold
+      (fun key ids acc -> if in_lo key && in_hi key then List.rev_append ids acc else acc)
+      t.ordered []
+    |> List.rev
+
+(** [distinct_keys t] counts distinct keys currently present. *)
+let distinct_keys t =
+  match t.idx_kind with
+  | Hash -> KeyHash.length t.hash
+  | Ordered -> KeyMap.cardinal t.ordered
+
+(** [clear t] empties the index. *)
+let clear t =
+  match t.idx_kind with
+  | Hash -> KeyHash.reset t.hash
+  | Ordered -> t.ordered <- KeyMap.empty

@@ -1,0 +1,36 @@
+(** Secondary indexes: hash (equality) and ordered (range) multimaps from
+    key rows to row ids. Maintained by {!Table} on every DML operation;
+    they never own the data. *)
+
+type kind = Hash | Ordered
+
+type t
+
+(** [create ~name ~cols kind] is an empty index over the key column
+    positions [cols] of the indexed table. *)
+val create : name:string -> cols:int array -> kind -> t
+
+val name : t -> string
+val cols : t -> int array
+val kind : t -> kind
+
+(** [key_of_row t row] extracts the index key from a full table row. *)
+val key_of_row : t -> Row.t -> Row.t
+
+(** [insert t row rowid] registers [rowid] under [row]'s key. *)
+val insert : t -> Row.t -> int -> unit
+
+(** [remove t row rowid] unregisters [rowid] from [row]'s key. *)
+val remove : t -> Row.t -> int -> unit
+
+(** [lookup t key] is the row ids whose key equals [key]. *)
+val lookup : t -> Row.t -> int list
+
+(** [range t ?lo ?hi ()] enumerates row ids with keys in the interval.
+    @raise Invalid_argument on hash indexes. *)
+val range : t -> ?lo:[ `Incl of Row.t | `Excl of Row.t ] -> ?hi:[ `Incl of Row.t | `Excl of Row.t ] -> unit -> int list
+
+(** [distinct_keys t] counts distinct keys currently present. *)
+val distinct_keys : t -> int
+
+val clear : t -> unit

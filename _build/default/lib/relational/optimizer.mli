@@ -1,0 +1,18 @@
+(** Plan optimization: QGM -> physical plan.
+
+    Responsibilities, in the spirit of the Starburst plan optimizer the
+    paper reuses (§4.3): access-path selection (constant equality
+    predicates become index scans when a matching index exists) and
+    join-method selection (indexed nested-loop when the inner side is a
+    base table with an index on the equi-join key, hash join for other
+    equi-joins, nested loop otherwise). Join ordering is inherited from the
+    rewritten QGM. *)
+
+exception Plan_error of string
+
+(** [lower catalog node] translates (rewritten) QGM to a physical plan. *)
+val lower : Catalog.t -> Qgm.t -> Plan.t
+
+(** [optimize ?rewrite catalog node] runs query rewrite (unless disabled)
+    and lowers to a physical plan. *)
+val optimize : ?rewrite:bool -> Catalog.t -> Qgm.t -> Plan.t

@@ -1,0 +1,32 @@
+(** Simulated page layouts (experiment E4).
+
+    A layout assigns every row of every table to a page id, mirroring the
+    clustering discussion of the paper (§4): [table_clustered] gives each
+    table its own run of pages in row order (naive relational clustering);
+    [co_clustered] interleaves parents with their children (like
+    Starburst's IMS attachment / DB2 catalog clusters). [rows_per_page]
+    abstracts page size; rows are treated as equal width so fault counts
+    stay interpretable. *)
+
+type t
+
+(** [page_of layout table rowid] is the page holding that row; rows the
+    layout never placed land on a per-table overflow page. *)
+val page_of : t -> Table.t -> int -> int
+
+(** [page_count layout] is the number of pages allocated. *)
+val page_count : t -> int
+
+(** [table_clustered ~rows_per_page tables] lays each table out
+    contiguously in row-id order. *)
+val table_clustered : rows_per_page:int -> Table.t list -> t
+
+(** [co_clustered ~rows_per_page ~order tables] lays rows out in the order
+    produced by [order] — typically a parent-children interleaving from a
+    CO instance — then appends unvisited rows table-clustered. *)
+val co_clustered : rows_per_page:int -> order:(Table.t * int) list -> Table.t list -> t
+
+(** [attach layout pool tables] wires the layout to a buffer pool: every
+    row access on [tables] becomes a page access. Returns the detach
+    function. *)
+val attach : t -> Buffer_pool.t -> Table.t list -> unit -> unit

@@ -1,0 +1,386 @@
+(* Physical plans and their execution.
+
+   Plans are trees of iterator-style operators; [run] compiles a plan to a
+   lazy row sequence. Blocking operators (hash build, sort, group) force
+   their input on first demand. All expressions are positional over the
+   operator's input row; join predicates see the concatenation of the left
+   and right rows.
+
+   NULL semantics for equi-joins follow SQL: a NULL key never matches. *)
+
+type join_kind = Inner | Left | Semi | Anti
+
+(** (function, argument, distinct): [distinct] dedupes argument values per
+    group before aggregating, e.g. COUNT(DISTINCT x). *)
+type agg_spec = Expr.agg_fn * Expr.t option * bool
+
+type t =
+  | Seq_scan of Table.t
+  | Index_scan of { table : Table.t; index : Index.t; key : Expr.t list }
+      (** point lookup with a key built from literals/parameters *)
+  | Values of Row.t list
+  | Filter of t * Expr.t
+  | Project of t * Expr.t array
+  | Nl_join of { kind : join_kind; left : t; right : t; pred : Expr.t option; right_width : int }
+  | Index_nl_join of {
+      kind : join_kind;
+      left : t;
+      table : Table.t;
+      index : Index.t;
+      key_of_left : Expr.t list;  (** evaluated against each left row *)
+      extra : Expr.t option;  (** residual predicate over the concat row *)
+      right_width : int;
+    }
+  | Hash_join of {
+      kind : join_kind;
+      left : t;
+      right : t;
+      left_keys : Expr.t list;
+      right_keys : Expr.t list;
+      extra : Expr.t option;
+      right_width : int;
+    }
+  | Group of { input : t; keys : Expr.t list; aggs : agg_spec list }
+  | Sort of { input : t; keys : (Expr.t * Sql_ast.order_dir) list }
+  | Distinct of t
+  | Limit of t * int
+  | Union_all of t * t
+
+(* ---- parameter substitution (correlated subplans) ---- *)
+
+(** [subst_params env p] replaces every [Expr.Param i] with the value
+    [env.(i)] throughout the plan. *)
+let rec subst_params env p =
+  let s = Expr.subst_params env in
+  match p with
+  | Seq_scan _ | Values _ -> p
+  | Index_scan r -> Index_scan { r with key = List.map s r.key }
+  | Filter (input, pred) -> Filter (subst_params env input, s pred)
+  | Project (input, exprs) -> Project (subst_params env input, Array.map s exprs)
+  | Nl_join r ->
+    Nl_join
+      { r with left = subst_params env r.left; right = subst_params env r.right;
+        pred = Option.map s r.pred }
+  | Index_nl_join r ->
+    Index_nl_join
+      { r with left = subst_params env r.left; key_of_left = List.map s r.key_of_left;
+        extra = Option.map s r.extra }
+  | Hash_join r ->
+    Hash_join
+      { r with left = subst_params env r.left; right = subst_params env r.right;
+        left_keys = List.map s r.left_keys; right_keys = List.map s r.right_keys;
+        extra = Option.map s r.extra }
+  | Group r ->
+    Group { input = subst_params env r.input; keys = List.map s r.keys;
+            aggs = List.map (fun (f, a, d) -> (f, Option.map s a, d)) r.aggs }
+  | Sort r ->
+    Sort { input = subst_params env r.input; keys = List.map (fun (e, d) -> (s e, d)) r.keys }
+  | Distinct input -> Distinct (subst_params env input)
+  | Limit (input, n) -> Limit (subst_params env input, n)
+  | Union_all (a, b) -> Union_all (subst_params env a, subst_params env b)
+
+(** [has_params p] tests whether any expression still contains parameters
+    (used to memoize uncorrelated subplans). *)
+let rec has_params p =
+  let h = Expr.has_param in
+  let ho = function Some e -> h e | None -> false in
+  match p with
+  | Seq_scan _ | Values _ -> false
+  | Index_scan r -> List.exists h r.key
+  | Filter (input, pred) -> h pred || has_params input
+  | Project (input, exprs) -> Array.exists h exprs || has_params input
+  | Nl_join r -> ho r.pred || has_params r.left || has_params r.right
+  | Index_nl_join r -> List.exists h r.key_of_left || ho r.extra || has_params r.left
+  | Hash_join r ->
+    List.exists h r.left_keys || List.exists h r.right_keys || ho r.extra || has_params r.left
+    || has_params r.right
+  | Group r ->
+    List.exists h r.keys
+    || List.exists (fun (_, a, _) -> ho a) r.aggs
+    || has_params r.input
+  | Sort r -> List.exists (fun (e, _) -> h e) r.keys || has_params r.input
+  | Distinct input -> has_params input
+  | Limit (input, _) -> has_params input
+  | Union_all (a, b) -> has_params a || has_params b
+
+(* ---- aggregation states ---- *)
+
+type agg_state = {
+  mutable count : int;
+  mutable sum_i : int;
+  mutable sum_f : float;
+  mutable saw_float : bool;
+  mutable minmax : Value.t;  (** Null until the first non-null input *)
+  seen : (int * Value.t, unit) Hashtbl.t option;  (** DISTINCT deduplication *)
+}
+
+let new_agg_state (_, _, distinct) =
+  { count = 0; sum_i = 0; sum_f = 0.; saw_float = false; minmax = Value.Null;
+    seen = (if distinct then Some (Hashtbl.create 16) else None) }
+
+let agg_feed (fn, arg, _) st (row : Row.t) =
+  match fn, arg with
+  | Expr.Count_star, _ -> st.count <- st.count + 1
+  | _, None -> invalid_arg "Plan: aggregate without argument"
+  | fn, Some e -> begin
+    let v = Expr.eval row e in
+    let fresh =
+      match st.seen with
+      | None -> true
+      | Some tbl ->
+        let key = (Value.hash v, v) in
+        if Hashtbl.mem tbl key then false
+        else begin
+          Hashtbl.add tbl key ();
+          true
+        end
+    in
+    if fresh && not (Value.is_null v) then begin
+      st.count <- st.count + 1;
+      match fn with
+      | Expr.Count -> ()
+      | Expr.Sum | Expr.Avg -> begin
+        match v with
+        | Value.Int i ->
+          st.sum_i <- st.sum_i + i;
+          st.sum_f <- st.sum_f +. float_of_int i
+        | Value.Float f ->
+          st.saw_float <- true;
+          st.sum_f <- st.sum_f +. f
+        | _ -> invalid_arg "Plan: SUM/AVG over non-numeric value"
+      end
+      | Expr.Min ->
+        if Value.is_null st.minmax || Value.compare_total v st.minmax < 0 then st.minmax <- v
+      | Expr.Max ->
+        if Value.is_null st.minmax || Value.compare_total v st.minmax > 0 then st.minmax <- v
+      | Expr.Count_star -> assert false
+    end
+  end
+
+let agg_result ((fn, _, _) : agg_spec) st : Value.t =
+  match fn with
+  | Expr.Count_star | Expr.Count -> Value.Int st.count
+  | Expr.Sum ->
+    if st.count = 0 then Value.Null
+    else if st.saw_float then Value.Float st.sum_f
+    else Value.Int st.sum_i
+  | Expr.Avg -> if st.count = 0 then Value.Null else Value.Float (st.sum_f /. float_of_int st.count)
+  | Expr.Min | Expr.Max -> st.minmax
+
+(* ---- execution ---- *)
+
+let null_row width : Row.t = Array.make width Value.Null
+
+let key_values row keys = List.map (fun e -> Expr.eval row e) keys
+
+let key_has_null vs = List.exists Value.is_null vs
+
+module RowKey = struct
+  type t = Value.t list
+
+  let equal a b = List.length a = List.length b && List.for_all2 Value.equal a b
+  let hash vs = List.fold_left (fun acc v -> (acc * 31) + Value.hash v) 7 vs
+end
+
+module RowKeyTbl = Hashtbl.Make (RowKey)
+
+(** [run p] compiles [p] to a lazy row sequence. The plan must be free of
+    parameters (see {!subst_params}). *)
+let rec run (p : t) : Row.t Seq.t =
+  match p with
+  | Seq_scan table -> Seq.map snd (Table.to_seq table)
+  | Index_scan { table; index; key } ->
+    fun () ->
+      let kv = Array.of_list (List.map (fun e -> Expr.eval [||] e) key) in
+      List.to_seq (List.map snd (Table.lookup_index table index kv)) ()
+  | Values rows -> List.to_seq rows
+  | Filter (input, pred) ->
+    Seq.filter (fun row -> Value.is_true (Expr.eval_pred row pred)) (run input)
+  | Project (input, exprs) ->
+    Seq.map (fun row -> Array.map (fun e -> Expr.eval row e) exprs) (run input)
+  | Nl_join { kind; left; right; pred; right_width } ->
+    let right_rows = lazy (List.of_seq (run right)) in
+    let matches l =
+      List.filter
+        (fun r ->
+          let joined = Row.concat l r in
+          match pred with None -> true | Some e -> Value.is_true (Expr.eval_pred joined e))
+        (Lazy.force right_rows)
+    in
+    join_emit kind right_width matches (run left)
+  | Index_nl_join { kind; left; table; index; key_of_left; extra; right_width } ->
+    let matches l =
+      let kv = Array.of_list (List.map (fun e -> Expr.eval l e) key_of_left) in
+      if Array.exists Value.is_null kv then []
+      else
+        List.filter_map
+          (fun (_, r) ->
+            let joined = Row.concat l r in
+            match extra with
+            | None -> Some r
+            | Some e -> if Value.is_true (Expr.eval_pred joined e) then Some r else None)
+          (Table.lookup_index table index kv)
+    in
+    join_emit kind right_width matches (run left)
+  | Hash_join { kind; left; right; left_keys; right_keys; extra; right_width } ->
+    let build =
+      lazy
+        (let tbl = RowKeyTbl.create 256 in
+         Seq.iter
+           (fun r ->
+             let kv = key_values r right_keys in
+             if not (key_has_null kv) then
+               RowKeyTbl.replace tbl kv (r :: (Option.value ~default:[] (RowKeyTbl.find_opt tbl kv))))
+           (run right);
+         tbl)
+    in
+    let matches l =
+      let kv = key_values l left_keys in
+      if key_has_null kv then []
+      else
+        let candidates = Option.value ~default:[] (RowKeyTbl.find_opt (Lazy.force build) kv) in
+        List.filter
+          (fun r ->
+            match extra with
+            | None -> true
+            | Some e -> Value.is_true (Expr.eval_pred (Row.concat l r) e))
+          candidates
+    in
+    join_emit kind right_width matches (run left)
+  | Group { input; keys; aggs } ->
+    fun () ->
+      let groups = RowKeyTbl.create 64 in
+      let order = ref [] in
+      Seq.iter
+        (fun row ->
+          let kv = key_values row keys in
+          let states =
+            match RowKeyTbl.find_opt groups kv with
+            | Some st -> st
+            | None ->
+              let st = List.map new_agg_state aggs in
+              RowKeyTbl.add groups kv st;
+              order := kv :: !order;
+              st
+          in
+          List.iter2 (fun spec st -> agg_feed spec st row) aggs states)
+        (run input);
+      let emit kv =
+        let states = RowKeyTbl.find groups kv in
+        Array.of_list (kv @ List.map2 agg_result aggs states)
+      in
+      let result =
+        if RowKeyTbl.length groups = 0 && keys = [] then
+          (* global aggregate over an empty input: one default row *)
+          [ Array.of_list (List.map (fun spec -> agg_result spec (new_agg_state spec)) aggs) ]
+        else List.rev_map emit !order
+      in
+      List.to_seq result ()
+  | Sort { input; keys } ->
+    fun () ->
+      let rows = List.of_seq (run input) in
+      let cmp a b =
+        let rec go = function
+          | [] -> 0
+          | (e, dir) :: rest ->
+            let c = Value.compare_total (Expr.eval a e) (Expr.eval b e) in
+            let c = match dir with Sql_ast.Asc -> c | Sql_ast.Desc -> -c in
+            if c <> 0 then c else go rest
+        in
+        go keys
+      in
+      List.to_seq (List.stable_sort cmp rows) ()
+  | Distinct input ->
+    fun () ->
+      let seen = Hashtbl.create 256 in
+      Seq.filter
+        (fun row ->
+          let key = (Row.hash row, Array.to_list row) in
+          if Hashtbl.mem seen key then false
+          else begin
+            Hashtbl.add seen key ();
+            true
+          end)
+        (run input)
+        ()
+  | Limit (input, n) -> Seq.take n (run input)
+  | Union_all (a, b) -> Seq.append (run a) (run b)
+
+and join_emit kind right_width matches left_seq : Row.t Seq.t =
+  match kind with
+  | Inner -> Seq.concat_map (fun l -> List.to_seq (List.map (fun r -> Row.concat l r) (matches l))) left_seq
+  | Left ->
+    Seq.concat_map
+      (fun l ->
+        match matches l with
+        | [] -> Seq.return (Row.concat l (null_row right_width))
+        | rs -> List.to_seq (List.map (fun r -> Row.concat l r) rs))
+      left_seq
+  | Semi -> Seq.filter (fun l -> matches l <> []) left_seq
+  | Anti -> Seq.filter (fun l -> matches l = []) left_seq
+
+(** [run_with_params env p] substitutes [env] for the parameters and runs. *)
+let run_with_params env p = run (subst_params env p)
+
+let kind_name = function Inner -> "inner" | Left -> "left" | Semi -> "semi" | Anti -> "anti"
+
+(** [pp] prints an indented physical plan. *)
+let pp ppf p =
+  let rec go indent p =
+    let pad = String.make indent ' ' in
+    match p with
+    | Seq_scan t -> Fmt.pf ppf "%sSeqScan %s@." pad (Table.name t)
+    | Index_scan { table; index; key } ->
+      Fmt.pf ppf "%sIndexScan %s.%s key=[%a]@." pad (Table.name table) (Index.name index)
+        (Fmt.list ~sep:(Fmt.any ", ") Expr.pp) key
+    | Values rows -> Fmt.pf ppf "%sValues (%d rows)@." pad (List.length rows)
+    | Filter (input, pred) ->
+      Fmt.pf ppf "%sFilter %a@." pad Expr.pp pred;
+      go (indent + 2) input
+    | Project (input, exprs) ->
+      Fmt.pf ppf "%sProject [%a]@." pad (Fmt.array ~sep:(Fmt.any ", ") Expr.pp) exprs;
+      go (indent + 2) input
+    | Nl_join { kind; left; right; pred; _ } ->
+      Fmt.pf ppf "%sNLJoin(%s)%a@." pad (kind_name kind)
+        (Fmt.option (fun ppf e -> Fmt.pf ppf " on %a" Expr.pp e))
+        pred;
+      go (indent + 2) left;
+      go (indent + 2) right
+    | Index_nl_join { kind; left; table; index; key_of_left; extra; _ } ->
+      Fmt.pf ppf "%sIndexNLJoin(%s) %s.%s key=[%a]%a@." pad (kind_name kind) (Table.name table)
+        (Index.name index)
+        (Fmt.list ~sep:(Fmt.any ", ") Expr.pp)
+        key_of_left
+        (Fmt.option (fun ppf e -> Fmt.pf ppf " extra %a" Expr.pp e))
+        extra;
+      go (indent + 2) left
+    | Hash_join { kind; left; right; left_keys; right_keys; _ } ->
+      Fmt.pf ppf "%sHashJoin(%s) [%a]=[%a]@." pad (kind_name kind)
+        (Fmt.list ~sep:(Fmt.any ", ") Expr.pp)
+        left_keys
+        (Fmt.list ~sep:(Fmt.any ", ") Expr.pp)
+        right_keys;
+      go (indent + 2) left;
+      go (indent + 2) right
+    | Group { input; keys; aggs } ->
+      Fmt.pf ppf "%sGroup keys=[%a] (%d aggs)@." pad (Fmt.list ~sep:(Fmt.any ", ") Expr.pp) keys
+        (List.length aggs);
+      go (indent + 2) input
+    | Sort { input; _ } ->
+      Fmt.pf ppf "%sSort@." pad;
+      go (indent + 2) input
+    | Distinct input ->
+      Fmt.pf ppf "%sDistinct@." pad;
+      go (indent + 2) input
+    | Limit (input, n) ->
+      Fmt.pf ppf "%sLimit %d@." pad n;
+      go (indent + 2) input
+    | Union_all (a, b) ->
+      Fmt.pf ppf "%sUnionAll@." pad;
+      go (indent + 2) a;
+      go (indent + 2) b
+  in
+  go 0 p
+
+(** [to_string p] renders the plan for EXPLAIN-style output. *)
+let to_string p = Fmt.str "%a" pp p

@@ -1,0 +1,68 @@
+(** Physical plans and their execution.
+
+    Plans are trees of iterator-style operators; {!run} compiles a plan to
+    a lazy row sequence. Blocking operators (hash build, sort, group) force
+    their input on first demand. Join predicates see the concatenation of
+    the left and right rows; NULL equi-join keys never match (SQL
+    semantics). *)
+
+type join_kind = Inner | Left | Semi | Anti
+
+(** (function, argument, distinct): [distinct] dedupes argument values per
+    group before aggregating (COUNT(DISTINCT x)). *)
+type agg_spec = Expr.agg_fn * Expr.t option * bool
+
+type t =
+  | Seq_scan of Table.t
+  | Index_scan of { table : Table.t; index : Index.t; key : Expr.t list }
+      (** point lookup with a key built from literals/parameters *)
+  | Values of Row.t list
+  | Filter of t * Expr.t
+  | Project of t * Expr.t array
+  | Nl_join of { kind : join_kind; left : t; right : t; pred : Expr.t option; right_width : int }
+  | Index_nl_join of {
+      kind : join_kind;
+      left : t;
+      table : Table.t;
+      index : Index.t;
+      key_of_left : Expr.t list;  (** evaluated against each left row *)
+      extra : Expr.t option;  (** residual predicate over the concat row *)
+      right_width : int;
+    }
+  | Hash_join of {
+      kind : join_kind;
+      left : t;
+      right : t;
+      left_keys : Expr.t list;
+      right_keys : Expr.t list;
+      extra : Expr.t option;
+      right_width : int;
+    }
+  | Group of { input : t; keys : Expr.t list; aggs : agg_spec list }
+  | Sort of { input : t; keys : (Expr.t * Sql_ast.order_dir) list }
+  | Distinct of t
+  | Limit of t * int
+  | Union_all of t * t
+
+(** [subst_params env p] replaces every [Expr.Param i] with [env.(i)]
+    throughout the plan. *)
+val subst_params : Value.t array -> t -> t
+
+(** [has_params p] tests whether any expression still contains parameters
+    (used to memoize uncorrelated subplans). *)
+val has_params : t -> bool
+
+(** [run p] compiles [p] to a lazy row sequence; the plan must be free of
+    parameters. *)
+val run : t -> Row.t Seq.t
+
+(** [run_with_params env p] substitutes [env] and runs. *)
+val run_with_params : Value.t array -> t -> Row.t Seq.t
+
+val kind_name : join_kind -> string
+
+(** [pp] prints an indented physical plan; [to_string] renders it
+    (EXPLAIN-style output). *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,129 @@
+(* Query Graph Model — the engine's internal query representation.
+
+   Starburst's QGM represents a query as boxes (SELECT, GROUP BY, UNION)
+   whose bodies range over quantifiers; here each box is a node of a logical
+   operator tree and quantifiers correspond to join inputs: F-quantifiers
+   are [Inner]/[Left] joins, E- and A-quantifiers are [Semi] and [Anti]
+   joins. The XNF translator (lib/core) produces trees in this
+   representation, exactly as the paper's "XNF semantic rewrite" targets
+   QGM SELECT operators (§4.3).
+
+   Expressions are positional over the node's input row; [Project] and
+   [Group] carry their output schemas (computed by the binder) so that
+   schema derivation needs no type inference. *)
+
+type join_kind = Inner | Left | Semi | Anti
+
+type agg = {
+  agg_fn : Expr.agg_fn;
+  agg_arg : Expr.t option;  (** [None] only for [Count_star] *)
+  agg_distinct : bool;  (** aggregate over distinct argument values *)
+  agg_out : Schema.column;
+}
+
+type t =
+  | Access of { table : string; alias : string }  (** base-table quantifier *)
+  | Temp of { table : Table.t; alias : string }
+      (** shared materialized intermediate — the common-subexpression
+          mechanism used by the XNF translator *)
+  | Values of { schema : Schema.t; rows : Row.t list }
+  | Select of { input : t; pred : Expr.t }
+  | Project of { input : t; cols : (Expr.t * Schema.column) list }
+  | Join of { kind : join_kind; left : t; right : t; pred : Expr.t option }
+  | Group of { input : t; keys : (Expr.t * Schema.column) list; aggs : agg list }
+  | Distinct of t
+  | Order of { input : t; keys : (Expr.t * Sql_ast.order_dir) list }
+  | Limit of t * int
+  | Union_all of t * t
+
+(** [schema_of catalog q] derives the output schema of [q]. *)
+let rec schema_of catalog q =
+  match q with
+  | Access { table; alias } -> Schema.requalify alias (Table.schema (Catalog.table catalog table))
+  | Temp { table; alias } -> Schema.requalify alias (Table.schema table)
+  | Values { schema; _ } -> schema
+  | Select { input; _ } -> schema_of catalog input
+  | Project { cols; _ } -> Schema.make (List.map snd cols)
+  | Join { kind; left; right; _ } -> begin
+    match kind with
+    | Inner -> Schema.concat (schema_of catalog left) (schema_of catalog right)
+    | Left ->
+      let r = schema_of catalog right in
+      let r = Schema.make (List.map (fun c -> { c with Schema.col_nullable = true }) (Schema.columns r)) in
+      Schema.concat (schema_of catalog left) r
+    | Semi | Anti -> schema_of catalog left
+  end
+  | Group { keys; aggs; _ } ->
+    Schema.make (List.map snd keys @ List.map (fun a -> a.agg_out) aggs)
+  | Distinct input -> schema_of catalog input
+  | Order { input; _ } -> schema_of catalog input
+  | Limit (input, _) -> schema_of catalog input
+  | Union_all (left, _) -> schema_of catalog left
+
+let kind_to_string = function Inner -> "JOIN" | Left -> "LEFT JOIN" | Semi -> "SEMIJOIN" | Anti -> "ANTIJOIN"
+
+let agg_to_string a =
+  let fn =
+    match a.agg_fn with
+    | Expr.Count_star -> "COUNT(*)"
+    | Expr.Count -> "COUNT"
+    | Expr.Sum -> "SUM"
+    | Expr.Avg -> "AVG"
+    | Expr.Min -> "MIN"
+    | Expr.Max -> "MAX"
+  in
+  match a.agg_arg with
+  | None -> fn
+  | Some e -> Fmt.str "%s(%a)" fn Expr.pp e
+
+(** [pp] prints an indented operator tree (for plan inspection and tests). *)
+let pp ppf q =
+  let rec go indent q =
+    let pad = String.make indent ' ' in
+    match q with
+    | Access { table; alias } -> Fmt.pf ppf "%sAccess %s as %s@." pad table alias
+    | Temp { table; alias } ->
+      Fmt.pf ppf "%sTemp %s as %s (%d rows)@." pad (Table.name table) alias (Table.cardinality table)
+    | Values { rows; _ } -> Fmt.pf ppf "%sValues (%d rows)@." pad (List.length rows)
+    | Select { input; pred } ->
+      Fmt.pf ppf "%sSelect %a@." pad Expr.pp pred;
+      go (indent + 2) input
+    | Project { input; cols } ->
+      Fmt.pf ppf "%sProject %a@." pad
+        (Fmt.list ~sep:(Fmt.any ", ") (fun ppf (e, c) -> Fmt.pf ppf "%a as %s" Expr.pp e c.Schema.col_name))
+        cols;
+      go (indent + 2) input
+    | Join { kind; left; right; pred } ->
+      Fmt.pf ppf "%s%s%a@." pad (kind_to_string kind)
+        (Fmt.option (fun ppf e -> Fmt.pf ppf " on %a" Expr.pp e))
+        pred;
+      go (indent + 2) left;
+      go (indent + 2) right
+    | Group { input; keys; aggs } ->
+      Fmt.pf ppf "%sGroup keys=[%a] aggs=[%a]@." pad
+        (Fmt.list ~sep:(Fmt.any ", ") (fun ppf (e, _) -> Expr.pp ppf e))
+        keys
+        (Fmt.list ~sep:(Fmt.any ", ") (fun ppf a -> Fmt.string ppf (agg_to_string a)))
+        aggs;
+      go (indent + 2) input
+    | Distinct input ->
+      Fmt.pf ppf "%sDistinct@." pad;
+      go (indent + 2) input
+    | Order { input; keys } ->
+      Fmt.pf ppf "%sOrder %a@." pad
+        (Fmt.list ~sep:(Fmt.any ", ") (fun ppf (e, d) ->
+             Fmt.pf ppf "%a%s" Expr.pp e (match d with Sql_ast.Asc -> "" | Sql_ast.Desc -> " DESC")))
+        keys;
+      go (indent + 2) input
+    | Limit (input, n) ->
+      Fmt.pf ppf "%sLimit %d@." pad n;
+      go (indent + 2) input
+    | Union_all (left, right) ->
+      Fmt.pf ppf "%sUnionAll@." pad;
+      go (indent + 2) left;
+      go (indent + 2) right
+  in
+  go 0 q
+
+(** [to_string q] renders the tree for debugging. *)
+let to_string q = Fmt.str "%a" pp q

@@ -1,0 +1,43 @@
+(** Query Graph Model — the engine's internal query representation.
+
+    Starburst's QGM represents a query as boxes (SELECT, GROUP BY, UNION)
+    ranging over quantifiers; here each box is a node of a logical operator
+    tree and quantifiers correspond to join inputs (F-quantifiers are
+    [Inner]/[Left] joins, E- and A-quantifiers [Semi] and [Anti] joins).
+    The XNF translator produces trees in this representation, exactly as
+    the paper's "XNF semantic rewrite" targets QGM operators (§4.3).
+
+    Expressions are positional over the node's input row; [Project] and
+    [Group] carry their output schemas (computed by the binder). *)
+
+type join_kind = Inner | Left | Semi | Anti
+
+type agg = {
+  agg_fn : Expr.agg_fn;
+  agg_arg : Expr.t option;  (** [None] only for [Count_star] *)
+  agg_distinct : bool;  (** aggregate over distinct argument values *)
+  agg_out : Schema.column;
+}
+
+type t =
+  | Access of { table : string; alias : string }  (** base-table quantifier *)
+  | Temp of { table : Table.t; alias : string }
+      (** shared materialized intermediate — the common-subexpression
+          mechanism used by the XNF translator *)
+  | Values of { schema : Schema.t; rows : Row.t list }
+  | Select of { input : t; pred : Expr.t }
+  | Project of { input : t; cols : (Expr.t * Schema.column) list }
+  | Join of { kind : join_kind; left : t; right : t; pred : Expr.t option }
+  | Group of { input : t; keys : (Expr.t * Schema.column) list; aggs : agg list }
+  | Distinct of t
+  | Order of { input : t; keys : (Expr.t * Sql_ast.order_dir) list }
+  | Limit of t * int
+  | Union_all of t * t
+
+(** [schema_of catalog q] derives the output schema of [q]. *)
+val schema_of : Catalog.t -> t -> Schema.t
+
+(** [pp] prints an indented operator tree; [to_string] renders it. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

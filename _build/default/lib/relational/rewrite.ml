@@ -1,0 +1,190 @@
+(* QGM query rewrite — the rule-based rewrite stage of Fig. 8.
+
+   The XNF semantic rewrite (lib/core) deliberately emits straightforward
+   operator stacks and defers cleanup here, exactly as the paper describes:
+   "we were able to go for straightforward transformations from XNF to SQL
+   QGM operators; any optimization of the resulting QGM can be deferred to
+   the query rewrite step".
+
+   Rules (applied to fixpoint, bounded):
+     - select-merge:         Select(Select(x)) = Select(x, p1 AND p2)
+     - select-through-project: remap predicate columns through projections
+     - select-through-join:  push conjuncts to the side(s) they mention;
+                             conjuncts spanning both sides of an inner join
+                             become join predicates (enables hash joins)
+     - select-through-group: push key-only conjuncts below the group box
+     - select-through-setops: push into Distinct / Order / Union_all
+     - project-merge:        Project(Project(x)) composes the expressions
+     - identity-project elimination (name-preserving only)
+
+   Predicates containing subplans or parameters are never moved: a subplan's
+   correlation closure captures the row layout at its bind position. *)
+
+let movable pred = not (Expr.has_subplan pred || Expr.has_param pred)
+
+(* substitute project expressions into a predicate: every Col i becomes the
+   i-th projection expression *)
+let subst_through_project cols pred =
+  let arr = Array.of_list (List.map fst cols) in
+  let rec go = function
+    | Expr.Col i -> arr.(i)
+    | Expr.Param _ | Expr.Lit _ as e -> e
+    | Expr.Cmp (op, a, b) -> Expr.Cmp (op, go a, go b)
+    | Expr.Arith (op, a, b) -> Expr.Arith (op, go a, go b)
+    | Expr.Neg a -> Expr.Neg (go a)
+    | Expr.And (a, b) -> Expr.And (go a, go b)
+    | Expr.Or (a, b) -> Expr.Or (go a, go b)
+    | Expr.Not a -> Expr.Not (go a)
+    | Expr.Is_null a -> Expr.Is_null (go a)
+    | Expr.Is_not_null a -> Expr.Is_not_null (go a)
+    | Expr.Like (a, p) -> Expr.Like (go a, go p)
+    | Expr.In_list (a, items) -> Expr.In_list (go a, List.map go items)
+    | Expr.Case (branches, else_) ->
+      Expr.Case (List.map (fun (c, r) -> (go c, go r)) branches, Option.map go else_)
+    | Expr.Fn (name, args) -> Expr.Fn (name, List.map go args)
+    | Expr.Exists_plan _ | Expr.In_plan _ | Expr.Scalar_plan _ as e -> e
+  in
+  go pred
+
+type stats = { mutable applied : int }
+
+let rec pass catalog stats node =
+  let recurse = pass catalog stats in
+  match node with
+  | Qgm.Access _ | Qgm.Temp _ | Qgm.Values _ -> node
+  | Qgm.Select { input; pred } -> begin
+    let hit () = stats.applied <- stats.applied + 1 in
+    match input with
+    | Qgm.Select { input = inner; pred = p2 } ->
+      hit ();
+      recurse (Qgm.Select { input = inner; pred = Expr.And (p2, pred) })
+    | Qgm.Project { input = inner; cols }
+      when movable pred
+           && not (List.exists (fun (e, _) -> Expr.has_subplan e || Expr.has_param e) cols) ->
+      hit ();
+      let pred' = subst_through_project cols pred in
+      recurse (Qgm.Project { input = Qgm.Select { input = inner; pred = pred' }; cols })
+    | Qgm.Join { kind; left; right; pred = jpred } -> begin
+      let lw = Schema.arity (Qgm.schema_of catalog left) in
+      let rw =
+        match kind with
+        | Qgm.Inner | Qgm.Left -> Schema.arity (Qgm.schema_of catalog right)
+        | Qgm.Semi | Qgm.Anti -> 0
+      in
+      let classify c =
+        if not (movable c) then `Keep
+        else begin
+          let cols = Expr.cols c in
+          let left_only = List.for_all (fun i -> i < lw) cols in
+          let right_only = rw > 0 && List.for_all (fun i -> i >= lw) cols in
+          if left_only then `Left
+          else if right_only && kind = Qgm.Inner then `Right
+          else if kind = Qgm.Inner then `Join
+          else `Keep
+        end
+      in
+      let groups = List.map (fun c -> (classify c, c)) (Expr.conjuncts pred) in
+      let pick tag = List.filter_map (fun (t, c) -> if t = tag then Some c else None) groups in
+      let to_left = pick `Left and to_right = pick `Right and to_join = pick `Join in
+      let keep = pick `Keep in
+      if to_left = [] && to_right = [] && to_join = [] then
+        Qgm.Select { input = recurse input; pred }
+      else begin
+        stats.applied <- stats.applied + 1;
+        let left = if to_left = [] then left else Qgm.Select { input = left; pred = Expr.conjoin to_left } in
+        let right =
+          if to_right = [] then right
+          else
+            Qgm.Select
+              { input = right; pred = Expr.conjoin (List.map (Expr.shift (-lw)) to_right) }
+        in
+        let jpred =
+          match jpred, to_join with
+          | p, [] -> p
+          | None, js -> Some (Expr.conjoin js)
+          | Some p, js -> Some (Expr.And (p, Expr.conjoin js))
+        in
+        let joined = Qgm.Join { kind; left = recurse left; right = recurse right; pred = jpred } in
+        if keep = [] then joined else Qgm.Select { input = joined; pred = Expr.conjoin keep }
+      end
+    end
+    | Qgm.Group { input = inner; keys; aggs } -> begin
+      let key_count = List.length keys in
+      let key_exprs = Array.of_list (List.map fst keys) in
+      let pushable c =
+        movable c && List.for_all (fun i -> i < key_count) (Expr.cols c)
+      in
+      let push, keep = List.partition pushable (Expr.conjuncts pred) in
+      if push = [] then Qgm.Select { input = recurse input; pred }
+      else begin
+        stats.applied <- stats.applied + 1;
+        let remap c =
+          subst_through_project
+            (Array.to_list (Array.map (fun e -> (e, Schema.column "k" Schema.Ty_int)) key_exprs))
+            c
+        in
+        let inner' = Qgm.Select { input = inner; pred = Expr.conjoin (List.map remap push) } in
+        let grouped = Qgm.Group { input = recurse inner'; keys; aggs } in
+        if keep = [] then grouped else Qgm.Select { input = grouped; pred = Expr.conjoin keep }
+      end
+    end
+    | Qgm.Distinct inner when movable pred ->
+      hit ();
+      Qgm.Distinct (recurse (Qgm.Select { input = inner; pred }))
+    | Qgm.Order { input = inner; keys } when movable pred ->
+      hit ();
+      Qgm.Order { input = recurse (Qgm.Select { input = inner; pred }); keys }
+    | Qgm.Union_all (a, b) when movable pred ->
+      hit ();
+      Qgm.Union_all
+        (recurse (Qgm.Select { input = a; pred }), recurse (Qgm.Select { input = b; pred }))
+    | _ -> Qgm.Select { input = recurse input; pred }
+  end
+  | Qgm.Project { input; cols } -> begin
+    match input with
+    | Qgm.Project { input = inner; cols = inner_cols }
+      when not (List.exists (fun (e, _) -> Expr.has_subplan e) (cols @ inner_cols)) ->
+      stats.applied <- stats.applied + 1;
+      let cols' = List.map (fun (e, c) -> (subst_through_project inner_cols e, c)) cols in
+      recurse (Qgm.Project { input = inner; cols = cols' })
+    | _ -> begin
+      let input' = recurse input in
+      (* identity-projection elimination, only when names survive *)
+      let in_schema = Qgm.schema_of catalog input' in
+      let identity =
+        List.length cols = Schema.arity in_schema
+        && List.for_all2
+             (fun (i, (e, c)) ic ->
+               e = Expr.Col i
+               && String.equal c.Schema.col_name ic.Schema.col_name
+               && String.equal c.Schema.col_qualifier ic.Schema.col_qualifier)
+             (List.mapi (fun i col -> (i, col)) cols)
+             (Schema.columns in_schema)
+      in
+      if identity then begin
+        stats.applied <- stats.applied + 1;
+        input'
+      end
+      else Qgm.Project { input = input'; cols }
+    end
+  end
+  | Qgm.Join { kind; left; right; pred } ->
+    Qgm.Join { kind; left = recurse left; right = recurse right; pred }
+  | Qgm.Group { input; keys; aggs } -> Qgm.Group { input = recurse input; keys; aggs }
+  | Qgm.Distinct input -> Qgm.Distinct (recurse input)
+  | Qgm.Order { input; keys } -> Qgm.Order { input = recurse input; keys }
+  | Qgm.Limit (input, n) -> Qgm.Limit (recurse input, n)
+  | Qgm.Union_all (a, b) -> Qgm.Union_all (recurse a, recurse b)
+
+(** [rewrite catalog node] applies the rule set to fixpoint (bounded at 10
+    passes) and returns the rewritten tree. *)
+let rewrite catalog node =
+  let rec go n node =
+    if n = 0 then node
+    else begin
+      let stats = { applied = 0 } in
+      let node' = pass catalog stats node in
+      if stats.applied = 0 then node' else go (n - 1) node'
+    end
+  in
+  go 10 node

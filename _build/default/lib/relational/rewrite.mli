@@ -1,0 +1,16 @@
+(** QGM query rewrite — the rule-based rewrite stage of the paper's Fig. 8.
+
+    Rules, applied to fixpoint (bounded): select-merge, select-through-
+    project (column remapping), select-through-join (per-side pushdown;
+    conjuncts spanning an inner join become join predicates, enabling hash
+    joins), select-through-group (key-only conjuncts), pushdown into
+    Distinct/Order/Union, project-merge, and name-preserving identity-
+    projection elimination. Predicates containing subplans or parameters
+    are never moved (their correlation closures capture the bind layout).
+
+    The XNF translator deliberately emits straightforward operator stacks
+    and defers cleanup here, exactly as the paper describes (§4.3). *)
+
+(** [rewrite catalog node] applies the rule set to fixpoint and returns the
+    rewritten tree. *)
+val rewrite : Catalog.t -> Qgm.t -> Qgm.t

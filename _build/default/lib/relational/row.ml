@@ -1,0 +1,43 @@
+(* Rows are flat arrays of values; row identity inside a table is an
+   integer row id (slot index), stable until the row is deleted. *)
+
+type t = Value.t array
+
+(** Row ids identify a row slot within one table. *)
+type rowid = int
+
+(** [concat a b] concatenates two rows — the runtime counterpart of
+    {!Schema.concat}. *)
+let concat (a : t) (b : t) : t = Array.append a b
+
+(** [equal a b] is pointwise {!Value.equal}. *)
+let equal (a : t) (b : t) =
+  Array.length a = Array.length b
+  && begin
+    let rec go i = i >= Array.length a || (Value.equal a.(i) b.(i) && go (i + 1)) in
+    go 0
+  end
+
+(** [compare a b] is lexicographic {!Value.compare_total}. *)
+let compare (a : t) (b : t) =
+  let n = min (Array.length a) (Array.length b) in
+  let rec go i =
+    if i >= n then compare (Array.length a) (Array.length b)
+    else
+      let c = Value.compare_total a.(i) b.(i) in
+      if c <> 0 then c else go (i + 1)
+  in
+  go 0
+
+(** [hash r] hashes consistently with [equal]. *)
+let hash (r : t) = Array.fold_left (fun acc v -> (acc * 31) + Value.hash v) 7 r
+
+(** [project r idxs] extracts the columns at [idxs] in order. *)
+let project (r : t) (idxs : int array) : t = Array.map (fun i -> r.(i)) idxs
+
+(** [pp] prints a row as [(v1, v2, ...)]. *)
+let pp ppf (r : t) =
+  Fmt.pf ppf "(%a)" (Fmt.array ~sep:(Fmt.any ", ") Value.pp) r
+
+(** [to_string r] is [pp] rendered to a string. *)
+let to_string (r : t) = Fmt.str "%a" pp r

@@ -1,0 +1,24 @@
+(** Rows are flat arrays of values; row identity inside a table is an
+    integer row id (slot index), stable until the row is deleted. *)
+
+type t = Value.t array
+
+type rowid = int
+
+(** [concat a b] is the runtime counterpart of {!Schema.concat}. *)
+val concat : t -> t -> t
+
+(** Pointwise {!Value.equal}. *)
+val equal : t -> t -> bool
+
+(** Lexicographic {!Value.compare_total}. *)
+val compare : t -> t -> int
+
+(** Consistent with {!equal}. *)
+val hash : t -> int
+
+(** [project r idxs] extracts the columns at [idxs], in order. *)
+val project : t -> int array -> t
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

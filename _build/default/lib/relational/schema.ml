@@ -1,0 +1,102 @@
+(* Table schemas: column names, types, nullability.
+
+   A schema is an ordered array of columns. Column lookup is by
+   (optionally qualified) name; joins concatenate schemas, keeping the
+   qualifier of each side so that ambiguous names can be resolved. *)
+
+type ty = Ty_int | Ty_float | Ty_string | Ty_bool
+
+(** [ty_to_string ty] is the SQL spelling of [ty]. *)
+let ty_to_string = function
+  | Ty_int -> "INTEGER"
+  | Ty_float -> "FLOAT"
+  | Ty_string -> "VARCHAR"
+  | Ty_bool -> "BOOLEAN"
+
+type column = {
+  col_name : string;      (** unqualified column name (lowercased) *)
+  col_qualifier : string; (** table alias the column comes from ("" if none) *)
+  col_ty : ty;
+  col_nullable : bool;
+}
+
+type t = { cols : column array }
+
+(** [column ?qualifier ?nullable name ty] builds a column definition. *)
+let column ?(qualifier = "") ?(nullable = true) name ty =
+  { col_name = String.lowercase_ascii name; col_qualifier = String.lowercase_ascii qualifier;
+    col_ty = ty; col_nullable = nullable }
+
+(** [make cols] is a schema from a column list. *)
+let make cols = { cols = Array.of_list cols }
+
+(** [arity s] is the number of columns. *)
+let arity s = Array.length s.cols
+
+(** [col s i] is the [i]-th column definition. *)
+let col s i = s.cols.(i)
+
+(** [columns s] lists the column definitions in order. *)
+let columns s = Array.to_list s.cols
+
+(** [requalify alias s] re-tags all columns of [s] with [alias] — used when
+    a table is brought into scope under an alias. *)
+let requalify alias s =
+  let alias = String.lowercase_ascii alias in
+  { cols = Array.map (fun c -> { c with col_qualifier = alias }) s.cols }
+
+(** [concat a b] is the schema of a join output: columns of [a] then [b]. *)
+let concat a b = { cols = Array.append a.cols b.cols }
+
+exception Ambiguous_column of string
+exception Unknown_column of string
+
+(** [find s ?qualifier name] is the index of the column named [name]
+    (restricted to [qualifier] if given).
+    @raise Unknown_column when absent.
+    @raise Ambiguous_column when several match. *)
+let find s ?qualifier name =
+  let name = String.lowercase_ascii name in
+  let qualifier = Option.map String.lowercase_ascii qualifier in
+  let matches =
+    List.filter
+      (fun (_, c) ->
+        String.equal c.col_name name
+        && match qualifier with None -> true | Some q -> String.equal c.col_qualifier q)
+      (List.mapi (fun i c -> (i, c)) (Array.to_list s.cols))
+  in
+  match matches with
+  | [ (i, _) ] -> i
+  | [] ->
+    let shown = match qualifier with Some q -> q ^ "." ^ name | None -> name in
+    raise (Unknown_column shown)
+  | _ :: _ ->
+    let shown = match qualifier with Some q -> q ^ "." ^ name | None -> name in
+    raise (Ambiguous_column shown)
+
+(** [find_opt s ?qualifier name] is [find] returning [None] when absent or
+    ambiguous. *)
+let find_opt s ?qualifier name =
+  match find s ?qualifier name with
+  | i -> Some i
+  | exception (Unknown_column _ | Ambiguous_column _) -> None
+
+(** [pp] prints a schema as [(name TYPE, ...)]. *)
+let pp ppf s =
+  let pp_col ppf c =
+    if String.equal c.col_qualifier "" then
+      Fmt.pf ppf "%s %s" c.col_name (ty_to_string c.col_ty)
+    else Fmt.pf ppf "%s.%s %s" c.col_qualifier c.col_name (ty_to_string c.col_ty)
+  in
+  Fmt.pf ppf "(%a)" (Fmt.list ~sep:(Fmt.any ", ") pp_col) (columns s)
+
+(** [value_matches ty v] checks that value [v] inhabits type [ty] (NULL
+    inhabits every type; Int widens into Float columns). *)
+let value_matches ty (v : Value.t) =
+  match ty, v with
+  | _, Value.Null -> true
+  | Ty_int, Value.Int _ -> true
+  | Ty_float, (Value.Float _ | Value.Int _) -> true
+  | Ty_string, Value.Str _ -> true
+  | Ty_bool, Value.Bool _ -> true
+  | (Ty_int | Ty_float | Ty_string | Ty_bool), _ -> false

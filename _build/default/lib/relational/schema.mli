@@ -1,0 +1,49 @@
+(** Table schemas: ordered columns with names, types, nullability and the
+    qualifier (table alias) they are visible under. Joins concatenate
+    schemas; qualified lookup resolves ambiguity. *)
+
+type ty = Ty_int | Ty_float | Ty_string | Ty_bool
+
+val ty_to_string : ty -> string
+
+type column = {
+  col_name : string;  (** unqualified column name (lowercased) *)
+  col_qualifier : string;  (** table alias the column comes from ("" if none) *)
+  col_ty : ty;
+  col_nullable : bool;
+}
+
+type t
+
+(** [column ?qualifier ?nullable name ty] builds a column definition
+    (names are lowercased; [nullable] defaults to [true]). *)
+val column : ?qualifier:string -> ?nullable:bool -> string -> ty -> column
+
+val make : column list -> t
+val arity : t -> int
+val col : t -> int -> column
+val columns : t -> column list
+
+(** [requalify alias s] re-tags all columns with [alias] — used when a
+    table comes into scope under an alias. *)
+val requalify : string -> t -> t
+
+(** [concat a b] is the schema of a join output. *)
+val concat : t -> t -> t
+
+exception Ambiguous_column of string
+exception Unknown_column of string
+
+(** [find s ?qualifier name] is the index of the named column.
+    @raise Unknown_column when absent.
+    @raise Ambiguous_column when several match. *)
+val find : t -> ?qualifier:string -> string -> int
+
+(** [find_opt] is {!find} returning [None] when absent or ambiguous. *)
+val find_opt : t -> ?qualifier:string -> string -> int option
+
+val pp : Format.formatter -> t -> unit
+
+(** [value_matches ty v] checks that [v] inhabits [ty] (NULL inhabits every
+    type; Int widens into Float columns). *)
+val value_matches : ty -> Value.t -> bool

@@ -1,0 +1,207 @@
+(* Unbound SQL abstract syntax.
+
+   This is the parser's output; names are unresolved and expressions are
+   untyped. The binder (see {!Binder}) turns it into QGM. The XNF language
+   (lib/core) embeds [select] and [expr] wholesale — the CO constructor's
+   node definitions are ordinary SQL derivations, per the paper (§3). *)
+
+type expr =
+  | E_col of string option * string  (** optionally qualified column ref *)
+  | E_lit of Value.t
+  | E_cmp of Expr.cmp * expr * expr
+  | E_arith of Expr.arith_op * expr * expr
+  | E_neg of expr
+  | E_and of expr * expr
+  | E_or of expr * expr
+  | E_not of expr
+  | E_is_null of expr
+  | E_is_not_null of expr
+  | E_like of expr * expr
+  | E_in_list of expr * expr list
+  | E_case of (expr * expr) list * expr option
+  | E_fn of string * expr list  (** scalar function or aggregate, resolved at bind time *)
+  | E_fn_distinct of string * expr  (** aggregate over distinct inputs, e.g. COUNT(DISTINCT x) *)
+  | E_count_star
+  | E_exists of select
+  | E_in_query of expr * select
+  | E_scalar of select  (** scalar subquery *)
+
+and select_item =
+  | Sel_star  (** [*] *)
+  | Sel_table_star of string  (** [t.*] *)
+  | Sel_expr of expr * string option  (** expression with optional alias *)
+
+and join_kind = Join_inner | Join_left
+
+and table_ref =
+  | From_table of string * string option  (** table or view name, alias *)
+  | From_select of select * string  (** derived table with mandatory alias *)
+  | From_join of table_ref * join_kind * table_ref * expr option  (** explicit JOIN ... ON *)
+
+and order_dir = Asc | Desc
+
+and set_op = Union_all | Union_distinct
+
+and select = {
+  sel_distinct : bool;
+  sel_items : select_item list;
+  sel_from : table_ref list;  (** comma-separated FROM list *)
+  sel_where : expr option;
+  sel_group_by : expr list;
+  sel_having : expr option;
+  sel_unions : (set_op * select) list;
+      (** UNION branches, left-associative; branches carry no ORDER BY or
+          LIMIT of their own — those of the head select apply to the whole
+          chain, as in standard SQL *)
+  sel_order_by : (expr * order_dir) list;
+  sel_limit : int option;
+}
+
+type column_def = {
+  cd_name : string;
+  cd_ty : Schema.ty;
+  cd_nullable : bool;
+  cd_primary : bool;  (** PRIMARY KEY marker: implies NOT NULL + hash index *)
+}
+
+type stmt =
+  | S_select of select
+  | S_insert of { ins_table : string; ins_cols : string list option; ins_values : expr list list }
+  | S_update of { upd_table : string; upd_sets : (string * expr) list; upd_where : expr option }
+  | S_delete of { del_table : string; del_where : expr option }
+  | S_create_table of { ct_name : string; ct_cols : column_def list }
+  | S_create_index of {
+      ci_name : string;
+      ci_table : string;
+      ci_cols : string list;
+      ci_ordered : bool;  (** [USING ORDERED]; default hash *)
+    }
+  | S_create_view of { cv_name : string; cv_query : select }
+  | S_drop_table of string
+  | S_drop_view of string
+  | S_explain of select  (** show the rewritten QGM and the physical plan *)
+  | S_begin
+  | S_commit
+  | S_rollback
+
+(** [simple_select items from where] builds a bare SELECT. *)
+let simple_select ?(distinct = false) items from where =
+  { sel_distinct = distinct; sel_items = items; sel_from = from; sel_where = where;
+    sel_group_by = []; sel_having = None; sel_unions = []; sel_order_by = []; sel_limit = None }
+
+(** [select_star_from table] is [SELECT * FROM table]. *)
+let select_star_from table = simple_select [ Sel_star ] [ From_table (table, None) ] None
+
+let pp_cmp = Expr.pp_cmp
+
+let arith_sym = function
+  | Expr.Add -> "+" | Expr.Sub -> "-" | Expr.Mul -> "*" | Expr.Div -> "/" | Expr.Mod -> "%"
+
+(** [pp_expr] prints an expression in re-parsable SQL syntax. *)
+let rec pp_expr ppf = function
+  | E_col (None, n) -> Fmt.string ppf n
+  | E_col (Some q, n) -> Fmt.pf ppf "%s.%s" q n
+  | E_lit v -> Fmt.string ppf (Value.to_sql_literal v)
+  | E_cmp (op, a, b) -> Fmt.pf ppf "(%a %a %a)" pp_expr a pp_cmp op pp_expr b
+  | E_arith (op, a, b) -> Fmt.pf ppf "(%a %s %a)" pp_expr a (arith_sym op) pp_expr b
+  | E_neg a -> Fmt.pf ppf "(-%a)" pp_expr a
+  | E_and (a, b) -> Fmt.pf ppf "(%a AND %a)" pp_expr a pp_expr b
+  | E_or (a, b) -> Fmt.pf ppf "(%a OR %a)" pp_expr a pp_expr b
+  | E_not a -> Fmt.pf ppf "(NOT %a)" pp_expr a
+  | E_is_null a -> Fmt.pf ppf "(%a IS NULL)" pp_expr a
+  | E_is_not_null a -> Fmt.pf ppf "(%a IS NOT NULL)" pp_expr a
+  | E_like (a, p) -> Fmt.pf ppf "(%a LIKE %a)" pp_expr a pp_expr p
+  | E_in_list (a, items) ->
+    Fmt.pf ppf "(%a IN (%a))" pp_expr a (Fmt.list ~sep:(Fmt.any ", ") pp_expr) items
+  | E_case (branches, else_) ->
+    Fmt.pf ppf "CASE";
+    List.iter (fun (c, r) -> Fmt.pf ppf " WHEN %a THEN %a" pp_expr c pp_expr r) branches;
+    Option.iter (fun e -> Fmt.pf ppf " ELSE %a" pp_expr e) else_;
+    Fmt.pf ppf " END"
+  | E_fn (name, args) -> Fmt.pf ppf "%s(%a)" name (Fmt.list ~sep:(Fmt.any ", ") pp_expr) args
+  | E_fn_distinct (name, arg) -> Fmt.pf ppf "%s(DISTINCT %a)" name pp_expr arg
+  | E_count_star -> Fmt.string ppf "COUNT(*)"
+  | E_exists q -> Fmt.pf ppf "EXISTS (%a)" pp_select q
+  | E_in_query (a, q) -> Fmt.pf ppf "(%a IN (%a))" pp_expr a pp_select q
+  | E_scalar q -> Fmt.pf ppf "(%a)" pp_select q
+
+and pp_item ppf = function
+  | Sel_star -> Fmt.string ppf "*"
+  | Sel_table_star t -> Fmt.pf ppf "%s.*" t
+  | Sel_expr (e, None) -> pp_expr ppf e
+  | Sel_expr (e, Some a) -> Fmt.pf ppf "%a AS %s" pp_expr e a
+
+and pp_table_ref ppf = function
+  | From_table (n, None) -> Fmt.string ppf n
+  | From_table (n, Some a) -> Fmt.pf ppf "%s %s" n a
+  | From_select (q, a) -> Fmt.pf ppf "(%a) %s" pp_select q a
+  | From_join (l, k, r, on) ->
+    let kw = match k with Join_inner -> "JOIN" | Join_left -> "LEFT JOIN" in
+    Fmt.pf ppf "%a %s %a" pp_table_ref l kw pp_table_ref r;
+    Option.iter (fun e -> Fmt.pf ppf " ON %a" pp_expr e) on
+
+and pp_select ppf q =
+  Fmt.pf ppf "SELECT %s%a"
+    (if q.sel_distinct then "DISTINCT " else "")
+    (Fmt.list ~sep:(Fmt.any ", ") pp_item)
+    q.sel_items;
+  if q.sel_from <> [] then
+    Fmt.pf ppf " FROM %a" (Fmt.list ~sep:(Fmt.any ", ") pp_table_ref) q.sel_from;
+  Option.iter (fun e -> Fmt.pf ppf " WHERE %a" pp_expr e) q.sel_where;
+  if q.sel_group_by <> [] then
+    Fmt.pf ppf " GROUP BY %a" (Fmt.list ~sep:(Fmt.any ", ") pp_expr) q.sel_group_by;
+  Option.iter (fun e -> Fmt.pf ppf " HAVING %a" pp_expr e) q.sel_having;
+  List.iter
+    (fun (op, branch) ->
+      Fmt.pf ppf " %s %a"
+        (match op with Union_all -> "UNION ALL" | Union_distinct -> "UNION")
+        pp_select branch)
+    q.sel_unions;
+  if q.sel_order_by <> [] then begin
+    let pp_key ppf (e, d) =
+      Fmt.pf ppf "%a%s" pp_expr e (match d with Asc -> "" | Desc -> " DESC")
+    in
+    Fmt.pf ppf " ORDER BY %a" (Fmt.list ~sep:(Fmt.any ", ") pp_key) q.sel_order_by
+  end;
+  Option.iter (fun n -> Fmt.pf ppf " LIMIT %d" n) q.sel_limit
+
+(** [pp_stmt] prints a statement in re-parsable SQL syntax. *)
+let pp_stmt ppf = function
+  | S_select q -> pp_select ppf q
+  | S_insert { ins_table; ins_cols; ins_values } ->
+    Fmt.pf ppf "INSERT INTO %s" ins_table;
+    Option.iter (fun cols -> Fmt.pf ppf " (%a)" (Fmt.list ~sep:(Fmt.any ", ") Fmt.string) cols) ins_cols;
+    let pp_tuple ppf vs = Fmt.pf ppf "(%a)" (Fmt.list ~sep:(Fmt.any ", ") pp_expr) vs in
+    Fmt.pf ppf " VALUES %a" (Fmt.list ~sep:(Fmt.any ", ") pp_tuple) ins_values
+  | S_update { upd_table; upd_sets; upd_where } ->
+    let pp_set ppf (c, e) = Fmt.pf ppf "%s = %a" c pp_expr e in
+    Fmt.pf ppf "UPDATE %s SET %a" upd_table (Fmt.list ~sep:(Fmt.any ", ") pp_set) upd_sets;
+    Option.iter (fun e -> Fmt.pf ppf " WHERE %a" pp_expr e) upd_where
+  | S_delete { del_table; del_where } ->
+    Fmt.pf ppf "DELETE FROM %s" del_table;
+    Option.iter (fun e -> Fmt.pf ppf " WHERE %a" pp_expr e) del_where
+  | S_create_table { ct_name; ct_cols } ->
+    let pp_col ppf cd =
+      Fmt.pf ppf "%s %s%s%s" cd.cd_name (Schema.ty_to_string cd.cd_ty)
+        (if cd.cd_primary then " PRIMARY KEY" else "")
+        (if (not cd.cd_nullable) && not cd.cd_primary then " NOT NULL" else "")
+    in
+    Fmt.pf ppf "CREATE TABLE %s (%a)" ct_name (Fmt.list ~sep:(Fmt.any ", ") pp_col) ct_cols
+  | S_create_index { ci_name; ci_table; ci_cols; ci_ordered } ->
+    Fmt.pf ppf "CREATE INDEX %s ON %s (%a)%s" ci_name ci_table
+      (Fmt.list ~sep:(Fmt.any ", ") Fmt.string)
+      ci_cols
+      (if ci_ordered then " USING ORDERED" else "")
+  | S_create_view { cv_name; cv_query } -> Fmt.pf ppf "CREATE VIEW %s AS %a" cv_name pp_select cv_query
+  | S_drop_table n -> Fmt.pf ppf "DROP TABLE %s" n
+  | S_drop_view n -> Fmt.pf ppf "DROP VIEW %s" n
+  | S_explain q -> Fmt.pf ppf "EXPLAIN %a" pp_select q
+  | S_begin -> Fmt.string ppf "BEGIN"
+  | S_commit -> Fmt.string ppf "COMMIT"
+  | S_rollback -> Fmt.string ppf "ROLLBACK"
+
+(** [select_to_string q] renders [q] as SQL text. *)
+let select_to_string q = Fmt.str "%a" pp_select q
+
+(** [stmt_to_string s] renders [s] as SQL text. *)
+let stmt_to_string s = Fmt.str "%a" pp_stmt s

@@ -1,0 +1,194 @@
+(* Hand-written lexer shared by the SQL and XNF parsers.
+
+   Keywords cover both plain SQL and the XNF extensions (OUT OF, TAKE,
+   RELATE, SUCH THAT, ...) so that the XNF parser (lib/core) can reuse the
+   same token stream. The token cursor with one-token lookahead lives here
+   too, together with the error type both parsers raise. *)
+
+type token =
+  | IDENT of string  (** lowercased identifier *)
+  | KW of string  (** uppercased keyword *)
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  | SYM of string  (** punctuation / operator, e.g. "(", ",", "<=", "->" *)
+  | EOF
+
+exception Parse_error of string
+
+let keywords =
+  [ (* SQL *)
+    "SELECT"; "DISTINCT"; "FROM"; "WHERE"; "GROUP"; "BY"; "HAVING"; "ORDER"; "ASC"; "DESC";
+    "LIMIT"; "AND"; "OR"; "NOT"; "NULL"; "IS"; "LIKE"; "IN"; "EXISTS"; "BETWEEN"; "CASE";
+    "WHEN"; "THEN"; "ELSE"; "END"; "AS"; "JOIN"; "LEFT"; "INNER"; "ON"; "TRUE"; "FALSE";
+    "INSERT"; "INTO"; "VALUES"; "UPDATE"; "SET"; "DELETE"; "CREATE"; "TABLE"; "INDEX"; "VIEW";
+    "DROP"; "PRIMARY"; "KEY"; "INTEGER"; "INT"; "FLOAT"; "VARCHAR"; "BOOLEAN"; "USING";
+    "ORDERED"; "UNION"; "ALL"; "BEGIN"; "COMMIT"; "ROLLBACK"; "EXPLAIN" ;
+    (* XNF extensions *)
+    "OUT"; "OF"; "TAKE"; "RELATE"; "SUCH"; "THAT"; "WITH"; "ATTRIBUTES"; "CONNECT";
+    "DISCONNECT" ]
+
+let keyword_set : (string, unit) Hashtbl.t =
+  let h = Hashtbl.create 64 in
+  List.iter (fun k -> Hashtbl.replace h k ()) keywords;
+  h
+
+(** [tokenize s] lexes [s] into tokens terminated by [EOF].
+    @raise Parse_error on malformed input. *)
+let tokenize (s : string) : token array =
+  let n = String.length s in
+  let toks = ref [] in
+  let emit t = toks := t :: !toks in
+  let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' in
+  let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9') || c = '-' in
+  (* '-' inside identifiers supports the paper's view names like ALL-DEPS;
+     a '-' is part of an identifier only when letters surround it. *)
+  let i = ref 0 in
+  while !i < n do
+    let c = s.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if c = '-' && !i + 1 < n && s.[!i + 1] = '-' then begin
+      (* line comment *)
+      while !i < n && s.[!i] <> '\n' do
+        incr i
+      done
+    end
+    else if is_ident_start c then begin
+      let start = !i in
+      while
+        !i < n
+        && is_ident_char s.[!i]
+        && not (s.[!i] = '-' && not (!i + 1 < n && is_ident_start s.[!i + 1]))
+      do
+        incr i
+      done;
+      let word = String.sub s start (!i - start) in
+      let upper = String.uppercase_ascii word in
+      if Hashtbl.mem keyword_set upper then emit (KW upper)
+      else emit (IDENT (String.lowercase_ascii word))
+    end
+    else if c >= '0' && c <= '9' then begin
+      let start = !i in
+      while !i < n && s.[!i] >= '0' && s.[!i] <= '9' do
+        incr i
+      done;
+      if !i < n && s.[!i] = '.' && !i + 1 < n && s.[!i + 1] >= '0' && s.[!i + 1] <= '9' then begin
+        incr i;
+        while !i < n && s.[!i] >= '0' && s.[!i] <= '9' do
+          incr i
+        done;
+        emit (FLOAT (float_of_string (String.sub s start (!i - start))))
+      end
+      else emit (INT (int_of_string (String.sub s start (!i - start))))
+    end
+    else if c = '\'' then begin
+      (* SQL string literal with '' escaping *)
+      let buf = Buffer.create 16 in
+      incr i;
+      let closed = ref false in
+      while not !closed do
+        if !i >= n then raise (Parse_error "unterminated string literal");
+        if s.[!i] = '\'' then
+          if !i + 1 < n && s.[!i + 1] = '\'' then begin
+            Buffer.add_char buf '\'';
+            i := !i + 2
+          end
+          else begin
+            closed := true;
+            incr i
+          end
+        else begin
+          Buffer.add_char buf s.[!i];
+          incr i
+        end
+      done;
+      emit (STRING (Buffer.contents buf))
+    end
+    else begin
+      let two = if !i + 1 < n then String.sub s !i 2 else "" in
+      match two with
+      | "<=" | ">=" | "<>" | "!=" | "->" ->
+        emit (SYM (if two = "!=" then "<>" else two));
+        i := !i + 2
+      | _ -> begin
+        match c with
+        | '(' | ')' | ',' | '.' | '*' | '=' | '<' | '>' | '+' | '-' | '/' | '%' | ';' ->
+          emit (SYM (String.make 1 c));
+          incr i
+        | _ -> raise (Parse_error (Printf.sprintf "unexpected character %C at offset %d" c !i))
+      end
+    end
+  done;
+  emit EOF;
+  Array.of_list (List.rev !toks)
+
+(** Token cursors: mutable position over a token array, shared by the SQL
+    and XNF recursive-descent parsers. *)
+type cursor = { toks : token array; mutable pos : int }
+
+(** [cursor_of_string s] tokenizes [s] and positions a cursor at the
+    start. *)
+let cursor_of_string s = { toks = tokenize s; pos = 0 }
+
+let token_to_string = function
+  | IDENT s -> Printf.sprintf "identifier %S" s
+  | KW s -> s
+  | INT i -> string_of_int i
+  | FLOAT f -> string_of_float f
+  | STRING s -> Printf.sprintf "'%s'" s
+  | SYM s -> Printf.sprintf "%S" s
+  | EOF -> "end of input"
+
+(** [peek c] is the current token without consuming it. *)
+let peek c = c.toks.(c.pos)
+
+(** [peek2 c] is the token after the current one. *)
+let peek2 c = if c.pos + 1 < Array.length c.toks then c.toks.(c.pos + 1) else EOF
+
+(** [advance c] consumes and returns the current token. *)
+let advance c =
+  let t = c.toks.(c.pos) in
+  if t <> EOF then c.pos <- c.pos + 1;
+  t
+
+(** [error c msg] raises a parse error mentioning the current token. *)
+let error c msg =
+  raise (Parse_error (Printf.sprintf "%s (at %s)" msg (token_to_string (peek c))))
+
+(** [accept_kw c kw] consumes the keyword if present; returns whether it
+    did. *)
+let accept_kw c kw =
+  match peek c with
+  | KW k when String.equal k kw ->
+    ignore (advance c);
+    true
+  | _ -> false
+
+(** [expect_kw c kw] consumes the keyword or fails. *)
+let expect_kw c kw = if not (accept_kw c kw) then error c (Printf.sprintf "expected %s" kw)
+
+(** [accept_sym c sym] consumes the symbol if present; returns whether it
+    did. *)
+let accept_sym c sym =
+  match peek c with
+  | SYM s when String.equal s sym ->
+    ignore (advance c);
+    true
+  | _ -> false
+
+(** [expect_sym c sym] consumes the symbol or fails. *)
+let expect_sym c sym = if not (accept_sym c sym) then error c (Printf.sprintf "expected %S" sym)
+
+(** [expect_ident c] consumes and returns an identifier or fails. *)
+let expect_ident c =
+  match peek c with
+  | IDENT name ->
+    ignore (advance c);
+    name
+  | _ -> error c "expected identifier"
+
+(** [at_kw c kw] tests the current token without consuming. *)
+let at_kw c kw = match peek c with KW k -> String.equal k kw | _ -> false
+
+(** [at_sym c sym] tests the current token without consuming. *)
+let at_sym c sym = match peek c with SYM s -> String.equal s sym | _ -> false

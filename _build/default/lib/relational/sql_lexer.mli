@@ -1,0 +1,55 @@
+(** Hand-written lexer shared by the SQL and XNF parsers, plus the token
+    cursor both recursive-descent parsers drive.
+
+    Keywords cover plain SQL and the XNF extensions (OUT OF, TAKE, RELATE,
+    SUCH THAT, ...). Identifiers may contain hyphens between letters (the
+    paper's [ALL-DEPS] style); [--] starts a line comment; strings use SQL
+    [''] escaping. *)
+
+type token =
+  | IDENT of string  (** lowercased identifier *)
+  | KW of string  (** uppercased keyword *)
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  | SYM of string  (** punctuation / operator, e.g. "(", ",", "<=", "->" *)
+  | EOF
+
+exception Parse_error of string
+
+(** [tokenize s] lexes [s] into tokens terminated by [EOF].
+    @raise Parse_error on malformed input. *)
+val tokenize : string -> token array
+
+(** Mutable cursor with arbitrary lookahead over a token array. *)
+type cursor = { toks : token array; mutable pos : int }
+
+val cursor_of_string : string -> cursor
+val token_to_string : token -> string
+
+(** [peek c] / [peek2 c]: current and next token, without consuming. *)
+
+val peek : cursor -> token
+val peek2 : cursor -> token
+
+(** [advance c] consumes and returns the current token ([EOF] sticks). *)
+val advance : cursor -> token
+
+(** [error c msg] raises a parse error mentioning the current token. *)
+val error : cursor -> string -> 'a
+
+(** [accept_kw] / [accept_sym] consume the token if it matches and report
+    whether they did; [expect_*] fail instead. *)
+
+val accept_kw : cursor -> string -> bool
+val expect_kw : cursor -> string -> unit
+val accept_sym : cursor -> string -> bool
+val expect_sym : cursor -> string -> unit
+
+(** [expect_ident c] consumes and returns an identifier or fails. *)
+val expect_ident : cursor -> string
+
+(** [at_kw] / [at_sym] test the current token without consuming. *)
+
+val at_kw : cursor -> string -> bool
+val at_sym : cursor -> string -> bool

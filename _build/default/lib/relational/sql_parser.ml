@@ -1,0 +1,544 @@
+(* Recursive-descent SQL parser.
+
+   Entry points take either a string or a token cursor; the cursor entry
+   points are shared with the XNF parser (lib/core), which parses embedded
+   SELECTs and predicates by calling back in here.
+
+   Expression precedence, loosest first:
+     OR < AND < NOT < comparison / IS / LIKE / IN / BETWEEN
+        < + -  <  * / %  < unary - < primary *)
+
+open Sql_ast
+
+module L = Sql_lexer
+
+let parse_error = L.error
+
+(* ---- expressions ---- *)
+
+let rec parse_expr c : expr = parse_or c
+
+and parse_or c =
+  let lhs = parse_and c in
+  if L.accept_kw c "OR" then E_or (lhs, parse_or c) else lhs
+
+and parse_and c =
+  let lhs = parse_not c in
+  if L.accept_kw c "AND" then E_and (lhs, parse_and c) else lhs
+
+and parse_not c = if L.accept_kw c "NOT" then E_not (parse_not c) else parse_comparison c
+
+and parse_comparison c =
+  let lhs = parse_additive c in
+  let cmp op =
+    ignore (L.advance c);
+    E_cmp (op, lhs, parse_additive c)
+  in
+  match L.peek c with
+  | L.SYM "=" -> cmp Expr.Eq
+  | L.SYM "<>" -> cmp Expr.Ne
+  | L.SYM "<" -> cmp Expr.Lt
+  | L.SYM "<=" -> cmp Expr.Le
+  | L.SYM ">" -> cmp Expr.Gt
+  | L.SYM ">=" -> cmp Expr.Ge
+  | L.KW "IS" ->
+    ignore (L.advance c);
+    let negated = L.accept_kw c "NOT" in
+    L.expect_kw c "NULL";
+    if negated then E_is_not_null lhs else E_is_null lhs
+  | L.KW "LIKE" ->
+    ignore (L.advance c);
+    E_like (lhs, parse_additive c)
+  | L.KW "BETWEEN" ->
+    ignore (L.advance c);
+    let lo = parse_additive c in
+    L.expect_kw c "AND";
+    let hi = parse_additive c in
+    E_and (E_cmp (Expr.Ge, lhs, lo), E_cmp (Expr.Le, lhs, hi))
+  | L.KW "NOT" when L.peek2 c = L.KW "IN" ->
+    ignore (L.advance c);
+    ignore (L.advance c);
+    E_not (parse_in_rhs c lhs)
+  | L.KW "NOT" when L.peek2 c = L.KW "LIKE" ->
+    ignore (L.advance c);
+    ignore (L.advance c);
+    E_not (E_like (lhs, parse_additive c))
+  | L.KW "IN" ->
+    ignore (L.advance c);
+    parse_in_rhs c lhs
+  | _ -> lhs
+
+and parse_in_rhs c lhs =
+  L.expect_sym c "(";
+  let result =
+    if L.at_kw c "SELECT" then E_in_query (lhs, parse_select_cursor c)
+    else begin
+      let rec items acc =
+        let e = parse_expr c in
+        if L.accept_sym c "," then items (e :: acc) else List.rev (e :: acc)
+      in
+      E_in_list (lhs, items [])
+    end
+  in
+  L.expect_sym c ")";
+  result
+
+and parse_additive c =
+  let rec go lhs =
+    if L.at_sym c "+" then begin
+      ignore (L.advance c);
+      go (E_arith (Expr.Add, lhs, parse_multiplicative c))
+    end
+    else if L.at_sym c "-" then begin
+      ignore (L.advance c);
+      go (E_arith (Expr.Sub, lhs, parse_multiplicative c))
+    end
+    else lhs
+  in
+  go (parse_multiplicative c)
+
+and parse_multiplicative c =
+  let rec go lhs =
+    if L.at_sym c "*" then begin
+      ignore (L.advance c);
+      go (E_arith (Expr.Mul, lhs, parse_unary c))
+    end
+    else if L.at_sym c "/" then begin
+      ignore (L.advance c);
+      go (E_arith (Expr.Div, lhs, parse_unary c))
+    end
+    else if L.at_sym c "%" then begin
+      ignore (L.advance c);
+      go (E_arith (Expr.Mod, lhs, parse_unary c))
+    end
+    else lhs
+  in
+  go (parse_unary c)
+
+and parse_unary c = if L.accept_sym c "-" then E_neg (parse_unary c) else parse_primary c
+
+and parse_primary c =
+  match L.peek c with
+  | L.INT i ->
+    ignore (L.advance c);
+    E_lit (Value.Int i)
+  | L.FLOAT f ->
+    ignore (L.advance c);
+    E_lit (Value.Float f)
+  | L.STRING s ->
+    ignore (L.advance c);
+    E_lit (Value.Str s)
+  | L.KW "TRUE" ->
+    ignore (L.advance c);
+    E_lit (Value.Bool true)
+  | L.KW "FALSE" ->
+    ignore (L.advance c);
+    E_lit (Value.Bool false)
+  | L.KW "NULL" ->
+    ignore (L.advance c);
+    E_lit Value.Null
+  | L.KW "CASE" ->
+    ignore (L.advance c);
+    let rec branches acc =
+      if L.accept_kw c "WHEN" then begin
+        let cond = parse_expr c in
+        L.expect_kw c "THEN";
+        let result = parse_expr c in
+        branches ((cond, result) :: acc)
+      end
+      else List.rev acc
+    in
+    let bs = branches [] in
+    if bs = [] then parse_error c "CASE without WHEN";
+    let else_ = if L.accept_kw c "ELSE" then Some (parse_expr c) else None in
+    L.expect_kw c "END";
+    E_case (bs, else_)
+  | L.KW "EXISTS" ->
+    ignore (L.advance c);
+    L.expect_sym c "(";
+    let q = parse_select_cursor c in
+    L.expect_sym c ")";
+    E_exists q
+  | L.SYM "(" ->
+    ignore (L.advance c);
+    if L.at_kw c "SELECT" then begin
+      let q = parse_select_cursor c in
+      L.expect_sym c ")";
+      E_scalar q
+    end
+    else begin
+      let e = parse_expr c in
+      L.expect_sym c ")";
+      e
+    end
+  | L.IDENT name -> begin
+    ignore (L.advance c);
+    if L.at_sym c "(" then begin
+      (* function call, possibly aggregate *)
+      ignore (L.advance c);
+      if String.lowercase_ascii name = "count" && L.accept_sym c "*" then begin
+        L.expect_sym c ")";
+        E_count_star
+      end
+      else if L.accept_kw c "DISTINCT" then begin
+        let e = parse_expr c in
+        L.expect_sym c ")";
+        E_fn_distinct (name, e)
+      end
+      else begin
+        let rec args acc =
+          if L.at_sym c ")" then List.rev acc
+          else begin
+            let e = parse_expr c in
+            if L.accept_sym c "," then args (e :: acc) else List.rev (e :: acc)
+          end
+        in
+        let a = args [] in
+        L.expect_sym c ")";
+        E_fn (name, a)
+      end
+    end
+    else if L.at_sym c "." && (match L.peek2 c with L.IDENT _ -> true | _ -> false) then begin
+      ignore (L.advance c);
+      let col = L.expect_ident c in
+      E_col (Some name, col)
+    end
+    else E_col (None, name)
+  end
+  | _ -> parse_error c "expected expression"
+
+(* ---- SELECT ---- *)
+
+and parse_select_item c =
+  if L.accept_sym c "*" then Sel_star
+  else
+    match L.peek c, L.peek2 c with
+    | L.IDENT t, L.SYM "." when (c.L.pos + 2 < Array.length c.L.toks && c.L.toks.(c.L.pos + 2) = L.SYM "*") ->
+      ignore (L.advance c);
+      ignore (L.advance c);
+      ignore (L.advance c);
+      Sel_table_star t
+    | _ ->
+      let e = parse_expr c in
+      let alias =
+        if L.accept_kw c "AS" then Some (L.expect_ident c)
+        else match L.peek c with
+          | L.IDENT a when not (L.at_sym c ",") ->
+            ignore (L.advance c);
+            Some a
+          | _ -> None
+      in
+      Sel_expr (e, alias)
+
+and parse_table_ref c =
+  let base =
+    if L.accept_sym c "(" then begin
+      let q = parse_select_cursor c in
+      L.expect_sym c ")";
+      ignore (L.accept_kw c "AS");
+      let alias = L.expect_ident c in
+      From_select (q, alias)
+    end
+    else begin
+      let name = L.expect_ident c in
+      let alias =
+        if L.accept_kw c "AS" then Some (L.expect_ident c)
+        else match L.peek c with
+          | L.IDENT a ->
+            ignore (L.advance c);
+            Some a
+          | _ -> None
+      in
+      From_table (name, alias)
+    end
+  in
+  parse_join_tail c base
+
+and parse_join_tail c lhs =
+  if L.at_kw c "JOIN" || L.at_kw c "INNER" || L.at_kw c "LEFT" then begin
+    let kind =
+      if L.accept_kw c "LEFT" then Join_left
+      else begin
+        ignore (L.accept_kw c "INNER");
+        Join_inner
+      end
+    in
+    L.expect_kw c "JOIN";
+    let rhs =
+      if L.accept_sym c "(" then begin
+        let q = parse_select_cursor c in
+        L.expect_sym c ")";
+        ignore (L.accept_kw c "AS");
+        let alias = L.expect_ident c in
+        From_select (q, alias)
+      end
+      else begin
+        let name = L.expect_ident c in
+        let alias =
+          if L.accept_kw c "AS" then Some (L.expect_ident c)
+          else match L.peek c with
+            | L.IDENT a ->
+              ignore (L.advance c);
+              Some a
+            | _ -> None
+        in
+        From_table (name, alias)
+      end
+    in
+    let on = if L.accept_kw c "ON" then Some (parse_expr c) else None in
+    parse_join_tail c (From_join (lhs, kind, rhs, on))
+  end
+  else lhs
+
+(* one SELECT "core": everything up to (but excluding) UNION / ORDER BY /
+   LIMIT, which belong to the whole union chain *)
+and parse_select_core c : select =
+  L.expect_kw c "SELECT";
+  let distinct = L.accept_kw c "DISTINCT" in
+  let rec items acc =
+    let item = parse_select_item c in
+    if L.accept_sym c "," then items (item :: acc) else List.rev (item :: acc)
+  in
+  let sel_items = items [] in
+  let sel_from =
+    if L.accept_kw c "FROM" then begin
+      let rec refs acc =
+        let r = parse_table_ref c in
+        if L.accept_sym c "," then refs (r :: acc) else List.rev (r :: acc)
+      in
+      refs []
+    end
+    else []
+  in
+  let sel_where = if L.accept_kw c "WHERE" then Some (parse_expr c) else None in
+  let sel_group_by =
+    if L.accept_kw c "GROUP" then begin
+      L.expect_kw c "BY";
+      let rec keys acc =
+        let e = parse_expr c in
+        if L.accept_sym c "," then keys (e :: acc) else List.rev (e :: acc)
+      in
+      keys []
+    end
+    else []
+  in
+  let sel_having = if L.accept_kw c "HAVING" then Some (parse_expr c) else None in
+  { sel_distinct = distinct; sel_items; sel_from; sel_where; sel_group_by; sel_having;
+    sel_unions = []; sel_order_by = []; sel_limit = None }
+
+(** [parse_select_cursor c] parses a SELECT starting at the cursor (the
+    [SELECT] keyword must be next), including any UNION chain; ORDER BY and
+    LIMIT apply to the whole chain. Shared with the XNF parser. *)
+and parse_select_cursor c : select =
+  let head = parse_select_core c in
+  let rec unions acc =
+    if L.accept_kw c "UNION" then begin
+      let op = if L.accept_kw c "ALL" then Union_all else Union_distinct in
+      unions ((op, parse_select_core c) :: acc)
+    end
+    else List.rev acc
+  in
+  let sel_unions = unions [] in
+  let sel_order_by =
+    if L.accept_kw c "ORDER" then begin
+      L.expect_kw c "BY";
+      let rec keys acc =
+        let e = parse_expr c in
+        let dir = if L.accept_kw c "DESC" then Desc else begin ignore (L.accept_kw c "ASC"); Asc end in
+        if L.accept_sym c "," then keys ((e, dir) :: acc) else List.rev ((e, dir) :: acc)
+      in
+      keys []
+    end
+    else []
+  in
+  let sel_limit =
+    if L.accept_kw c "LIMIT" then begin
+      match L.advance c with
+      | L.INT n -> Some n
+      | _ -> parse_error c "expected integer after LIMIT"
+    end
+    else None
+  in
+  { head with sel_unions; sel_order_by; sel_limit }
+
+(* ---- statements ---- *)
+
+let parse_column_def c =
+  let name = L.expect_ident c in
+  let ty =
+    match L.advance c with
+    | L.KW "INTEGER" | L.KW "INT" -> Schema.Ty_int
+    | L.KW "FLOAT" -> Schema.Ty_float
+    | L.KW "VARCHAR" ->
+      (* optional length, ignored *)
+      if L.accept_sym c "(" then begin
+        (match L.advance c with L.INT _ -> () | _ -> parse_error c "expected length");
+        L.expect_sym c ")"
+      end;
+      Schema.Ty_string
+    | L.KW "BOOLEAN" -> Schema.Ty_bool
+    | _ -> parse_error c "expected column type"
+  in
+  let primary = ref false in
+  let nullable = ref true in
+  let rec modifiers () =
+    if L.accept_kw c "PRIMARY" then begin
+      L.expect_kw c "KEY";
+      primary := true;
+      nullable := false;
+      modifiers ()
+    end
+    else if L.accept_kw c "NOT" then begin
+      L.expect_kw c "NULL";
+      nullable := false;
+      modifiers ()
+    end
+  in
+  modifiers ();
+  { cd_name = name; cd_ty = ty; cd_nullable = !nullable; cd_primary = !primary }
+
+(** [parse_stmt_cursor c] parses one statement at the cursor (shared with
+    the XNF parser for the plain-SQL statement forms). *)
+let parse_stmt_cursor c : stmt =
+  match L.peek c with
+  | L.KW "SELECT" -> S_select (parse_select_cursor c)
+  | L.KW "INSERT" ->
+    ignore (L.advance c);
+    L.expect_kw c "INTO";
+    let table = L.expect_ident c in
+    let cols =
+      if L.at_sym c "(" then begin
+        ignore (L.advance c);
+        let rec go acc =
+          let col = L.expect_ident c in
+          if L.accept_sym c "," then go (col :: acc) else List.rev (col :: acc)
+        in
+        let cs = go [] in
+        L.expect_sym c ")";
+        Some cs
+      end
+      else None
+    in
+    L.expect_kw c "VALUES";
+    let parse_tuple () =
+      L.expect_sym c "(";
+      let rec go acc =
+        let e = parse_expr c in
+        if L.accept_sym c "," then go (e :: acc) else List.rev (e :: acc)
+      in
+      let vs = go [] in
+      L.expect_sym c ")";
+      vs
+    in
+    let rec tuples acc =
+      let t = parse_tuple () in
+      if L.accept_sym c "," then tuples (t :: acc) else List.rev (t :: acc)
+    in
+    S_insert { ins_table = table; ins_cols = cols; ins_values = tuples [] }
+  | L.KW "UPDATE" ->
+    ignore (L.advance c);
+    let table = L.expect_ident c in
+    L.expect_kw c "SET";
+    let rec sets acc =
+      let col = L.expect_ident c in
+      L.expect_sym c "=";
+      let e = parse_expr c in
+      if L.accept_sym c "," then sets ((col, e) :: acc) else List.rev ((col, e) :: acc)
+    in
+    let upd_sets = sets [] in
+    let upd_where = if L.accept_kw c "WHERE" then Some (parse_expr c) else None in
+    S_update { upd_table = table; upd_sets; upd_where }
+  | L.KW "DELETE" ->
+    ignore (L.advance c);
+    L.expect_kw c "FROM";
+    let table = L.expect_ident c in
+    let del_where = if L.accept_kw c "WHERE" then Some (parse_expr c) else None in
+    S_delete { del_table = table; del_where }
+  | L.KW "CREATE" -> begin
+    ignore (L.advance c);
+    match L.advance c with
+    | L.KW "TABLE" ->
+      let name = L.expect_ident c in
+      L.expect_sym c "(";
+      let rec cols acc =
+        let cd = parse_column_def c in
+        if L.accept_sym c "," then cols (cd :: acc) else List.rev (cd :: acc)
+      in
+      let ct_cols = cols [] in
+      L.expect_sym c ")";
+      S_create_table { ct_name = name; ct_cols }
+    | L.KW "INDEX" ->
+      let name = L.expect_ident c in
+      L.expect_kw c "ON";
+      let table = L.expect_ident c in
+      L.expect_sym c "(";
+      let rec cols acc =
+        let col = L.expect_ident c in
+        if L.accept_sym c "," then cols (col :: acc) else List.rev (col :: acc)
+      in
+      let ci_cols = cols [] in
+      L.expect_sym c ")";
+      let ordered =
+        if L.accept_kw c "USING" then begin
+          L.expect_kw c "ORDERED";
+          true
+        end
+        else false
+      in
+      S_create_index { ci_name = name; ci_table = table; ci_cols; ci_ordered = ordered }
+    | L.KW "VIEW" ->
+      let name = L.expect_ident c in
+      L.expect_kw c "AS";
+      let q = parse_select_cursor c in
+      S_create_view { cv_name = name; cv_query = q }
+    | _ -> parse_error c "expected TABLE, INDEX or VIEW after CREATE"
+  end
+  | L.KW "DROP" -> begin
+    ignore (L.advance c);
+    match L.advance c with
+    | L.KW "TABLE" -> S_drop_table (L.expect_ident c)
+    | L.KW "VIEW" -> S_drop_view (L.expect_ident c)
+    | _ -> parse_error c "expected TABLE or VIEW after DROP"
+  end
+  | L.KW "EXPLAIN" ->
+    ignore (L.advance c);
+    S_explain (parse_select_cursor c)
+  | L.KW "BEGIN" ->
+    ignore (L.advance c);
+    S_begin
+  | L.KW "COMMIT" ->
+    ignore (L.advance c);
+    S_commit
+  | L.KW "ROLLBACK" ->
+    ignore (L.advance c);
+    S_rollback
+  | _ -> parse_error c "expected statement"
+
+let finish c =
+  ignore (L.accept_sym c ";");
+  match L.peek c with
+  | L.EOF -> ()
+  | _ -> parse_error c "trailing input after statement"
+
+(** [parse_stmt s] parses exactly one statement from [s].
+    @raise Sql_lexer.Parse_error on malformed input. *)
+let parse_stmt s =
+  let c = L.cursor_of_string s in
+  let stmt = parse_stmt_cursor c in
+  finish c;
+  stmt
+
+(** [parse_select s] parses exactly one SELECT query from [s]. *)
+let parse_select s =
+  let c = L.cursor_of_string s in
+  let q = parse_select_cursor c in
+  finish c;
+  q
+
+(** [parse_expr_string s] parses a standalone expression (used in tests and
+    by the XNF parser for predicates supplied as strings). *)
+let parse_expr_string s =
+  let c = L.cursor_of_string s in
+  let e = parse_expr c in
+  (match L.peek c with L.EOF -> () | _ -> parse_error c "trailing input after expression");
+  e

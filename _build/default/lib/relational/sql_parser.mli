@@ -1,0 +1,24 @@
+(** Recursive-descent SQL parser.
+
+    Cursor-based entry points are shared with the XNF parser, which parses
+    embedded SELECTs and predicates by calling back in here. All entry
+    points raise {!Sql_lexer.Parse_error} on malformed input. *)
+
+(** [parse_expr c] parses an expression at the cursor. *)
+val parse_expr : Sql_lexer.cursor -> Sql_ast.expr
+
+(** [parse_select_cursor c] parses a SELECT starting at the cursor (the
+    [SELECT] keyword must be next). *)
+val parse_select_cursor : Sql_lexer.cursor -> Sql_ast.select
+
+(** [parse_stmt_cursor c] parses one statement at the cursor. *)
+val parse_stmt_cursor : Sql_lexer.cursor -> Sql_ast.stmt
+
+(** [parse_stmt s] parses exactly one statement from [s]. *)
+val parse_stmt : string -> Sql_ast.stmt
+
+(** [parse_select s] parses exactly one SELECT query from [s]. *)
+val parse_select : string -> Sql_ast.select
+
+(** [parse_expr_string s] parses a standalone expression. *)
+val parse_expr_string : string -> Sql_ast.expr

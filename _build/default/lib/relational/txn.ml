@@ -1,0 +1,64 @@
+(* Transaction manager: explicit BEGIN/COMMIT/ROLLBACK with WAL-based undo.
+
+   Outside an explicit transaction every statement auto-commits. Inside
+   one, DML records accumulate; ROLLBACK undoes them newest-first using the
+   before-images in the log. The single-session engine needs no locking;
+   the XNF cache layer (lib/core) adds optimistic validation on top via
+   table versions. *)
+
+type t = {
+  wal : Wal.t;
+  catalog : Catalog.t;
+  mutable active : int option;  (** current transaction id *)
+  mutable next_id : int;
+  mutable pending : Wal.record list;  (** records of the active txn, newest first *)
+}
+
+exception Txn_error of string
+
+(** [create catalog] is a transaction manager logging to a fresh WAL. *)
+let create catalog = { wal = Wal.create (); catalog; active = None; next_id = 1; pending = [] }
+
+(** [wal t] exposes the log (for recovery tests and inspection). *)
+let wal t = t.wal
+
+(** [in_txn t] is whether an explicit transaction is open. *)
+let in_txn t = Option.is_some t.active
+
+(** [begin_txn t] opens a transaction.
+    @raise Txn_error if one is already open. *)
+let begin_txn t =
+  if in_txn t then raise (Txn_error "transaction already in progress");
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  t.active <- Some id;
+  t.pending <- [];
+  ignore (Wal.append t.wal (Wal.R_begin id))
+
+(** [commit t] commits the open transaction.
+    @raise Txn_error if none is open. *)
+let commit t =
+  match t.active with
+  | None -> raise (Txn_error "no transaction in progress")
+  | Some id ->
+    ignore (Wal.append t.wal (Wal.R_commit id));
+    t.active <- None;
+    t.pending <- []
+
+(** [rollback t] undoes and closes the open transaction.
+    @raise Txn_error if none is open. *)
+let rollback t =
+  match t.active with
+  | None -> raise (Txn_error "no transaction in progress")
+  | Some id ->
+    List.iter (Wal.undo_record t.catalog) t.pending;
+    ignore (Wal.append t.wal (Wal.R_abort id));
+    t.active <- None;
+    t.pending <- []
+
+(** [log_dml t r] appends a DML record, tracking it for rollback when a
+    transaction is open. Call after validating, before or after applying —
+    records carry explicit images so ordering does not matter here. *)
+let log_dml t r =
+  ignore (Wal.append t.wal r);
+  if in_txn t then t.pending <- r :: t.pending

@@ -1,0 +1,29 @@
+(** Transaction manager: explicit BEGIN/COMMIT/ROLLBACK with WAL-based
+    undo. Outside an explicit transaction every statement auto-commits. *)
+
+type t
+
+exception Txn_error of string
+
+(** [create catalog] is a transaction manager logging to a fresh WAL. *)
+val create : Catalog.t -> t
+
+(** [wal t] exposes the log (recovery tests, inspection). *)
+val wal : t -> Wal.t
+
+(** [in_txn t] is whether an explicit transaction is open. *)
+val in_txn : t -> bool
+
+(** @raise Txn_error if a transaction is already open. *)
+val begin_txn : t -> unit
+
+(** @raise Txn_error if none is open. *)
+val commit : t -> unit
+
+(** Undoes the open transaction's DML newest-first using the log's
+    before-images. @raise Txn_error if none is open. *)
+val rollback : t -> unit
+
+(** [log_dml t r] appends a DML record, tracking it for rollback when a
+    transaction is open. *)
+val log_dml : t -> Wal.record -> unit

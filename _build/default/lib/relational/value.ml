@@ -1,0 +1,146 @@
+(* SQL values and three-valued logic.
+
+   Values are dynamically typed at this layer; static typing is enforced by
+   the binder. Comparison follows SQL semantics: any comparison involving
+   NULL is [Unknown]; numeric values compare across Int/Float. *)
+
+type t =
+  | Null
+  | Int of int
+  | Float of float
+  | Str of string
+  | Bool of bool
+
+(** Three-valued logic truth values (SQL's TRUE / FALSE / UNKNOWN). *)
+type truth = True | False | Unknown
+
+(** [truth_of_bool b] embeds booleans into 3VL. *)
+let truth_of_bool b = if b then True else False
+
+(** [is_true t] holds only for [True] — the filter semantics of SQL WHERE
+    (UNKNOWN rows are rejected). *)
+let is_true = function True -> true | False | Unknown -> false
+
+(** [truth_and a b] is Kleene conjunction. *)
+let truth_and a b =
+  match a, b with
+  | False, _ | _, False -> False
+  | True, True -> True
+  | Unknown, (True | Unknown) | True, Unknown -> Unknown
+
+(** [truth_or a b] is Kleene disjunction. *)
+let truth_or a b =
+  match a, b with
+  | True, _ | _, True -> True
+  | False, False -> False
+  | Unknown, (False | Unknown) | False, Unknown -> Unknown
+
+(** [truth_not a] is Kleene negation. *)
+let truth_not = function True -> False | False -> True | Unknown -> Unknown
+
+(** [is_null v] holds for [Null]. *)
+let is_null = function Null -> true | Int _ | Float _ | Str _ | Bool _ -> false
+
+(** [compare_total a b] is a total order used for sorting and index keys.
+    NULLs sort first; numbers compare across Int/Float; distinct runtime
+    types are ordered by an arbitrary fixed rank. *)
+let compare_total a b =
+  let rank = function
+    | Null -> 0 | Bool _ -> 1 | Int _ -> 2 | Float _ -> 2 | Str _ -> 3
+  in
+  match a, b with
+  | Null, Null -> 0
+  | Int x, Int y -> compare x y
+  | Float x, Float y -> compare x y
+  | Int x, Float y -> compare (float_of_int x) y
+  | Float x, Int y -> compare x (float_of_int y)
+  | Str x, Str y -> compare x y
+  | Bool x, Bool y -> compare x y
+  | _ -> compare (rank a) (rank b)
+
+(** [compare_sql a b] is SQL comparison: [None] when either side is NULL
+    (the comparison is UNKNOWN), otherwise [Some c] with [c] as in
+    [compare_total]. *)
+let compare_sql a b =
+  if is_null a || is_null b then None else Some (compare_total a b)
+
+(** [equal a b] is structural equality under the total order (used for
+    grouping and index keys, where NULL = NULL). *)
+let equal a b = compare_total a b = 0
+
+(** [hash v] hashes consistently with [equal] (Int 1 and Float 1.0 collide
+    intentionally since they compare equal). *)
+let hash = function
+  | Null -> 17
+  | Bool b -> Hashtbl.hash b
+  | Int i -> Hashtbl.hash (float_of_int i)
+  | Float f -> Hashtbl.hash f
+  | Str s -> Hashtbl.hash s
+
+(** [to_string v] renders [v] for display (not SQL-quoted). *)
+let to_string = function
+  | Null -> "NULL"
+  | Int i -> string_of_int i
+  | Float f -> Printf.sprintf "%g" f
+  | Str s -> s
+  | Bool b -> if b then "TRUE" else "FALSE"
+
+(** [to_sql_literal v] renders [v] as a SQL literal (strings quoted). *)
+let to_sql_literal = function
+  | Str s ->
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '\'';
+    String.iter (fun c -> if c = '\'' then Buffer.add_string buf "''" else Buffer.add_char buf c) s;
+    Buffer.add_char buf '\'';
+    Buffer.contents buf
+  | v -> to_string v
+
+(** [pp] is a {!Fmt} pretty-printer for values. *)
+let pp ppf v = Fmt.string ppf (to_string v)
+
+(** [as_float v] coerces numeric values to float. @raise Invalid_argument
+    on non-numeric input. *)
+let as_float = function
+  | Int i -> float_of_int i
+  | Float f -> f
+  | Null | Str _ | Bool _ -> invalid_arg "Value.as_float"
+
+(** [as_int v] coerces to int (floats truncate). @raise Invalid_argument on
+    non-numeric input. *)
+let as_int = function
+  | Int i -> i
+  | Float f -> int_of_float f
+  | Null | Str _ | Bool _ -> invalid_arg "Value.as_int"
+
+(** [as_string v] extracts a string. @raise Invalid_argument otherwise. *)
+let as_string = function
+  | Str s -> s
+  | Null | Int _ | Float _ | Bool _ -> invalid_arg "Value.as_string"
+
+(** [arith op a b] applies integer/float arithmetic with SQL NULL
+    propagation: any NULL operand yields NULL. Division by zero yields NULL
+    (engines vary; NULL keeps queries total). [op] is one of
+    [`Add | `Sub | `Mul | `Div | `Mod]. *)
+let arith op a b =
+  match a, b with
+  | Null, _ | _, Null -> Null
+  | Int x, Int y -> begin
+    match op with
+    | `Add -> Int (x + y)
+    | `Sub -> Int (x - y)
+    | `Mul -> Int (x * y)
+    | `Div -> if y = 0 then Null else Int (x / y)
+    | `Mod -> if y = 0 then Null else Int (x mod y)
+  end
+  | (Int _ | Float _), (Int _ | Float _) ->
+    let x = as_float a and y = as_float b in
+    begin
+      match op with
+      | `Add -> Float (x +. y)
+      | `Sub -> Float (x -. y)
+      | `Mul -> Float (x *. y)
+      | `Div -> if y = 0. then Null else Float (x /. y)
+      | `Mod -> if y = 0. then Null else Float (Float.rem x y)
+    end
+  | Str x, Str y when op = `Add -> Str (x ^ y)
+  | _ -> invalid_arg "Value.arith: type mismatch"

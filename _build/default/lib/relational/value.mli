@@ -1,0 +1,65 @@
+(** SQL values and three-valued logic.
+
+    Values are dynamically typed at this layer; static typing is enforced
+    by the binder. Comparison follows SQL semantics: any comparison
+    involving NULL is unknown; numeric values compare across Int/Float. *)
+
+type t =
+  | Null
+  | Int of int
+  | Float of float
+  | Str of string
+  | Bool of bool
+
+(** SQL's TRUE / FALSE / UNKNOWN. *)
+type truth = True | False | Unknown
+
+val truth_of_bool : bool -> truth
+
+(** [is_true t] holds only for [True] — SQL WHERE semantics (UNKNOWN rows
+    are rejected). *)
+val is_true : truth -> bool
+
+(** Kleene conjunction / disjunction / negation. *)
+
+val truth_and : truth -> truth -> truth
+val truth_or : truth -> truth -> truth
+val truth_not : truth -> truth
+
+val is_null : t -> bool
+
+(** [compare_total a b] is a total order used for sorting and index keys:
+    NULLs first, numbers compare across Int/Float, distinct runtime types
+    in a fixed arbitrary order. *)
+val compare_total : t -> t -> int
+
+(** [compare_sql a b] is SQL comparison: [None] when either side is NULL,
+    otherwise [Some c] as in {!compare_total}. *)
+val compare_sql : t -> t -> int option
+
+(** Equality under the total order (NULL = NULL; [Int 1] = [Float 1.]). *)
+val equal : t -> t -> bool
+
+(** Hashing consistent with {!equal}. *)
+val hash : t -> int
+
+val to_string : t -> string
+
+(** [to_sql_literal v] renders [v] as a SQL literal (strings quoted and
+    escaped). *)
+val to_sql_literal : t -> string
+
+val pp : Format.formatter -> t -> unit
+
+(** Numeric coercions. @raise Invalid_argument on non-numeric input. *)
+
+val as_float : t -> float
+val as_int : t -> int
+
+(** @raise Invalid_argument on non-strings. *)
+val as_string : t -> string
+
+(** [arith op a b] applies SQL arithmetic with NULL propagation; division
+    by zero yields NULL; [`Add] on strings concatenates.
+    @raise Invalid_argument on type mismatches. *)
+val arith : [ `Add | `Sub | `Mul | `Div | `Mod ] -> t -> t -> t

@@ -1,0 +1,86 @@
+(* Growable arrays.
+
+   OCaml 5.1 does not ship [Dynarray]; this small module provides the subset
+   we need: amortized O(1) push, O(1) random access, in-place iteration. *)
+
+type 'a t = { mutable data : 'a array; mutable len : int; dummy : 'a }
+
+(** [create ~dummy ()] is an empty vector. [dummy] fills unused slots; it is
+    never observable through the public API. *)
+let create ~dummy () = { data = Array.make 8 dummy; len = 0; dummy }
+
+(** [length v] is the number of elements pushed and not truncated. *)
+let length v = v.len
+
+let ensure v n =
+  if n > Array.length v.data then begin
+    let cap = max n (2 * Array.length v.data) in
+    let data = Array.make cap v.dummy in
+    Array.blit v.data 0 data 0 v.len;
+    v.data <- data
+  end
+
+(** [push v x] appends [x] at index [length v]. *)
+let push v x =
+  ensure v (v.len + 1);
+  v.data.(v.len) <- x;
+  v.len <- v.len + 1
+
+(** [get v i] is the element at index [i]. @raise Invalid_argument when out
+    of bounds. *)
+let get v i =
+  if i < 0 || i >= v.len then invalid_arg "Vec.get";
+  v.data.(i)
+
+(** [set v i x] replaces the element at index [i]. *)
+let set v i x =
+  if i < 0 || i >= v.len then invalid_arg "Vec.set";
+  v.data.(i) <- x
+
+(** [iter f v] applies [f] to every element in index order. *)
+let iter f v =
+  for i = 0 to v.len - 1 do
+    f v.data.(i)
+  done
+
+(** [iteri f v] is [iter] with the index passed first. *)
+let iteri f v =
+  for i = 0 to v.len - 1 do
+    f i v.data.(i)
+  done
+
+(** [fold f acc v] folds over elements in index order. *)
+let fold f acc v =
+  let acc = ref acc in
+  for i = 0 to v.len - 1 do
+    acc := f !acc v.data.(i)
+  done;
+  !acc
+
+(** [to_list v] is the elements in index order. *)
+let to_list v = List.init v.len (fun i -> v.data.(i))
+
+(** [of_list ~dummy xs] is a vector holding [xs] in order. *)
+let of_list ~dummy xs =
+  let v = create ~dummy () in
+  List.iter (push v) xs;
+  v
+
+(** [clear v] removes all elements (capacity is kept). *)
+let clear v = v.len <- 0
+
+(** [truncate v n] keeps only the first [n] elements. *)
+let truncate v n =
+  if n < 0 || n > v.len then invalid_arg "Vec.truncate";
+  v.len <- n
+
+(** [exists p v] tests whether some element satisfies [p]. *)
+let exists p v =
+  let rec go i = i < v.len && (p v.data.(i) || go (i + 1)) in
+  go 0
+
+(** [to_seq v] enumerates elements lazily; the vector must not shrink while
+    the sequence is being consumed. *)
+let to_seq v =
+  let rec go i () = if i >= v.len then Seq.Nil else Seq.Cons (v.data.(i), go (i + 1)) in
+  go 0

@@ -1,0 +1,35 @@
+(** Growable arrays: amortized O(1) push, O(1) random access. (OCaml 5.1
+    does not ship [Dynarray].) *)
+
+type 'a t
+
+(** [create ~dummy ()] is an empty vector. [dummy] fills unused capacity;
+    it is never observable through the API. *)
+val create : dummy:'a -> unit -> 'a t
+
+val length : 'a t -> int
+
+(** [push v x] appends [x] at index [length v]. *)
+val push : 'a t -> 'a -> unit
+
+(** @raise Invalid_argument when out of bounds. *)
+val get : 'a t -> int -> 'a
+
+(** @raise Invalid_argument when out of bounds. *)
+val set : 'a t -> int -> 'a -> unit
+
+val iter : ('a -> unit) -> 'a t -> unit
+val iteri : (int -> 'a -> unit) -> 'a t -> unit
+val fold : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+val to_list : 'a t -> 'a list
+val of_list : dummy:'a -> 'a list -> 'a t
+val clear : 'a t -> unit
+
+(** [truncate v n] keeps only the first [n] elements. *)
+val truncate : 'a t -> int -> unit
+
+val exists : ('a -> bool) -> 'a t -> bool
+
+(** [to_seq v] enumerates lazily; the vector must not shrink during
+    consumption. *)
+val to_seq : 'a t -> 'a Seq.t

@@ -1,0 +1,69 @@
+(* Write-ahead log.
+
+   Every DML operation appends a logical log record before the table is
+   touched. The log serves two purposes: transaction rollback (undo, in
+   {!Txn}) and recovery replay ([replay] re-applies a committed history
+   onto empty tables — exercised by the recovery tests). Records carry
+   before-images so that undo needs no further table reads. *)
+
+type record =
+  | R_insert of { table : string; rowid : int; row : Row.t }
+  | R_delete of { table : string; rowid : int; row : Row.t  (** before-image *) }
+  | R_update of { table : string; rowid : int; before : Row.t; after : Row.t }
+  | R_begin of int  (** transaction id *)
+  | R_commit of int
+  | R_abort of int
+
+type t = { mutable records : record list  (** newest first *); mutable lsn : int }
+
+(** [create ()] is an empty log. *)
+let create () = { records = []; lsn = 0 }
+
+(** [append log r] appends [r] and returns its LSN. *)
+let append log r =
+  log.records <- r :: log.records;
+  log.lsn <- log.lsn + 1;
+  log.lsn
+
+(** [records log] lists records oldest-first. *)
+let records log = List.rev log.records
+
+(** [length log] is the number of records. *)
+let length log = log.lsn
+
+(** [undo_record catalog r] reverses the effect of a DML record on the
+    current table state. *)
+let undo_record catalog = function
+  | R_insert { table; rowid; _ } -> ignore (Table.delete (Catalog.table catalog table) rowid)
+  | R_delete { table; rowid; row } -> Table.restore (Catalog.table catalog table) rowid row
+  | R_update { table; rowid; before; _ } ->
+    ignore (Table.update (Catalog.table catalog table) rowid before)
+  | R_begin _ | R_commit _ | R_abort _ -> ()
+
+(** [replay log catalog] re-applies the committed history onto [catalog]
+    (whose tables must be empty with the right schemas): records of
+    transactions that committed are redone; records of aborted or
+    unfinished transactions are skipped. Auto-committed records (outside
+    any BEGIN) are always redone. *)
+let replay log catalog =
+  (* first pass: outcome of each txn id *)
+  let committed = Hashtbl.create 16 in
+  List.iter
+    (function R_commit id -> Hashtbl.replace committed id true | _ -> ())
+    (records log);
+  let current_txn = ref None in
+  let should_apply () =
+    match !current_txn with None -> true | Some id -> Hashtbl.mem committed id
+  in
+  List.iter
+    (fun r ->
+      match r with
+      | R_begin id -> current_txn := Some id
+      | R_commit _ | R_abort _ -> current_txn := None
+      | R_insert { table; row; _ } ->
+        if should_apply () then ignore (Table.insert (Catalog.table catalog table) row)
+      | R_delete { table; rowid; _ } ->
+        if should_apply () then ignore (Table.delete (Catalog.table catalog table) rowid)
+      | R_update { table; rowid; after; _ } ->
+        if should_apply () then ignore (Table.update (Catalog.table catalog table) rowid after))
+    (records log)

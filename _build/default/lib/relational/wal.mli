@@ -1,0 +1,32 @@
+(** Write-ahead log: logical records with before-images, serving
+    transaction rollback (undo) and recovery replay. *)
+
+type record =
+  | R_insert of { table : string; rowid : int; row : Row.t }
+  | R_delete of { table : string; rowid : int; row : Row.t  (** before-image *) }
+  | R_update of { table : string; rowid : int; before : Row.t; after : Row.t }
+  | R_begin of int  (** transaction id *)
+  | R_commit of int
+  | R_abort of int
+
+type t
+
+val create : unit -> t
+
+(** [append log r] appends [r] and returns its LSN. *)
+val append : t -> record -> int
+
+(** [records log] lists records oldest-first. *)
+val records : t -> record list
+
+val length : t -> int
+
+(** [undo_record catalog r] reverses the effect of a DML record on the
+    current table state. *)
+val undo_record : Catalog.t -> record -> unit
+
+(** [replay log catalog] re-applies the committed history onto [catalog]
+    (whose tables must be empty with the right schemas): committed and
+    auto-committed records are redone; aborted/unfinished transactions are
+    skipped. *)
+val replay : t -> Catalog.t -> unit

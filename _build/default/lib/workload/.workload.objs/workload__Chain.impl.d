@@ -1,0 +1,1 @@
+lib/workload/chain.ml: Buffer Catalog Db Printf Relational Rng Table Value

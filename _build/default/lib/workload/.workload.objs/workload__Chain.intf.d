@@ -1,0 +1,1 @@
+lib/workload/chain.mli: Db Relational

@@ -1,0 +1,1 @@
+lib/workload/company.ml: Array Catalog Db List Printf Relational Rng Table Value Xnf

@@ -1,0 +1,1 @@
+lib/workload/company.mli: Db Relational Xnf

@@ -1,0 +1,1 @@
+lib/workload/design.ml: Catalog Db List Printf Relational Rng Table Value

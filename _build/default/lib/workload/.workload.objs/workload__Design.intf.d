@@ -1,0 +1,1 @@
+lib/workload/design.mli: Db Relational

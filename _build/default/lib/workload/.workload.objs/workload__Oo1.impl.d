@@ -1,0 +1,1 @@
+lib/workload/oo1.ml: Catalog Db List Relational Rng Table Value

@@ -1,0 +1,1 @@
+lib/workload/oo1.mli: Db Relational Rng Row

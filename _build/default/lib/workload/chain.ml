@@ -1,0 +1,76 @@
+(* Synthetic chain/hierarchy databases for the translation ablations
+   (E5: common-subexpression sharing, E7: rewrite, E8: blocked delivery).
+
+   A chain of depth d is a set of tables t0 .. td where every t(i+1) row
+   points to a t(i) parent by FK; the CO relates each level to the next.
+   Roots are restricted by a tag column so extraction is selective. *)
+
+open Relational
+
+(** [populate db ~seed ~depth ~n_roots ~fanout] creates tables
+    [t0..t<depth>]: [n_roots] tagged roots (plus as many untagged ones) and
+    [fanout] children per parent at every level. [indexes:false] omits the
+    FK indexes, forcing the translator's generic (engine-planned) probe
+    path — used by the rewrite ablation E7. *)
+let populate ?(indexes = true) db ~seed ~depth ~n_roots ~fanout =
+  let rng = Rng.create seed in
+  ignore (Db.exec db "CREATE TABLE t0 (k0 INTEGER PRIMARY KEY, tag INTEGER, payload INTEGER)");
+  for level = 1 to depth do
+    ignore
+      (Db.exec db
+         (Printf.sprintf "CREATE TABLE t%d (k%d INTEGER PRIMARY KEY, parent%d INTEGER, payload INTEGER)"
+            level level level));
+    if indexes then
+      ignore
+        (Db.exec db (Printf.sprintf "CREATE INDEX t%d_parent ON t%d (parent%d)" level level level))
+  done;
+  let t0 = Catalog.table (Db.catalog db) "t0" in
+  for i = 0 to (2 * n_roots) - 1 do
+    ignore
+      (Table.insert t0
+         [| Value.Int i; Value.Int (if i < n_roots then 1 else 0); Value.Int (Rng.int rng 1000) |])
+  done;
+  let prev_count = ref (2 * n_roots) in
+  for level = 1 to depth do
+    let t = Catalog.table (Db.catalog db) (Printf.sprintf "t%d" level) in
+    let n = !prev_count * fanout in
+    for i = 0 to n - 1 do
+      ignore
+        (Table.insert t [| Value.Int i; Value.Int (i / fanout); Value.Int (Rng.int rng 1000) |])
+    done;
+    prev_count := n
+  done
+
+(** [co_query ~depth] is the XNF query extracting the tagged chain CO. *)
+let co_query ~depth =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "OUT OF x0 AS (SELECT * FROM t0 WHERE tag = 1)";
+  for level = 1 to depth do
+    Buffer.add_string buf (Printf.sprintf ", x%d AS T%d" level level)
+  done;
+  for level = 1 to depth do
+    Buffer.add_string buf
+      (Printf.sprintf ", link%d AS (RELATE x%d, x%d WHERE x%d.k%d = x%d.parent%d)" level (level - 1)
+         level (level - 1) (level - 1) level level)
+  done;
+  Buffer.add_string buf " TAKE *";
+  Buffer.contents buf
+
+(** [mgmt_chain db ~chain_len] builds an employee table forming [chain_len]-
+    long management chains under a single root — the recursive-CO workload
+    for the fixpoint ablation (E6). *)
+let mgmt_chain db ~chain_len =
+  ignore (Db.exec db "CREATE TABLE memp (eno INTEGER PRIMARY KEY, mgrno INTEGER, payload INTEGER)");
+  ignore (Db.exec db "CREATE INDEX memp_mgr ON memp (mgrno)");
+  let t = Catalog.table (Db.catalog db) "memp" in
+  ignore (Table.insert t [| Value.Int 0; Value.Null; Value.Int 0 |]);
+  for i = 1 to chain_len - 1 do
+    ignore (Table.insert t [| Value.Int i; Value.Int (i - 1); Value.Int i |])
+  done
+
+(** [mgmt_query] is the recursive CO over [memp]: the root plus the
+    transitive 'manages' closure. *)
+let mgmt_query =
+  "OUT OF Xroot AS (SELECT * FROM memp WHERE mgrno IS NULL), Xemp AS MEMP, \
+   top AS (RELATE Xroot r, Xemp e WHERE r.eno = e.mgrno), \
+   manages AS (RELATE Xemp m, Xemp r WHERE m.eno = r.mgrno) TAKE *"

@@ -1,0 +1,23 @@
+(** Synthetic chain/hierarchy databases for the translation ablations
+    (E5: common-subexpression sharing, E6: fixpoint strategy, E7: rewrite,
+    E8: blocked delivery). *)
+
+open Relational
+
+(** [populate db ~seed ~depth ~n_roots ~fanout] creates tables
+    [t0..t<depth>]: [n_roots] tagged roots (plus as many untagged ones) and
+    [fanout] children per parent at every level, linked by foreign keys.
+    [indexes:false] omits the FK indexes, forcing the translator's generic
+    (engine-planned) probe path. *)
+val populate : ?indexes:bool -> Db.t -> seed:int -> depth:int -> n_roots:int -> fanout:int -> unit
+
+(** [co_query ~depth] is the XNF query extracting the tagged chain CO. *)
+val co_query : depth:int -> string
+
+(** [mgmt_chain db ~chain_len] builds an employee table forming one
+    [chain_len]-long management chain — the recursive-CO workload. *)
+val mgmt_chain : Db.t -> chain_len:int -> unit
+
+(** The recursive CO over the management chain: the root plus the
+    transitive 'manages' closure. *)
+val mgmt_query : string

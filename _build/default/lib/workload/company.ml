@@ -1,0 +1,165 @@
+(* The paper's running example: the company database (Figs. 1-4).
+
+   Two representations of the same information, as in Fig. 2:
+     - CDB1 (implicit / FK): EMP.edno references DEPT, PROJ.pdno references
+       DEPT, PROJ.pmgrno references EMP;
+     - CDB2 (explicit link table): DEPTEMP(dedno, deeno) carries the
+       EMPLOYMENT relationship.
+   Skills and project membership are M:N link tables in both.
+
+   [register_views] defines the paper's XNF views §3.2-§3.4 (ALL-DEPS,
+   ALL-DEPS-ORG, EXT-ALL-DEPS-ORG) over whichever representation was
+   populated. *)
+
+open Relational
+
+type scale = {
+  n_depts : int;
+  emps_per_dept : int;
+  projs_per_dept : int;
+  n_skills : int;
+  skills_per_emp : int;
+  skills_per_proj : int;
+  emps_per_proj : int;
+}
+
+(** [small] is the hand-checkable scale used by tests and examples. *)
+let small =
+  { n_depts = 3; emps_per_dept = 2; projs_per_dept = 2; n_skills = 5; skills_per_emp = 2;
+    skills_per_proj = 2; emps_per_proj = 2 }
+
+(** [medium] is the default benchmark scale. *)
+let medium =
+  { n_depts = 50; emps_per_dept = 20; projs_per_dept = 5; n_skills = 100; skills_per_emp = 3;
+    skills_per_proj = 2; emps_per_proj = 4 }
+
+let locations = [| "NY"; "SF"; "LA"; "CHI"; "AUS" |]
+
+type representation = Cdb1 | Cdb2
+
+(** [populate db ~seed ~scale ~repr] creates and fills the company schema.
+    [Cdb1] stores EMPLOYMENT implicitly (EMP.edno); [Cdb2] adds the
+    explicit DEPTEMP link table and leaves EMP.edno NULL. *)
+let populate db ~seed ~(scale : scale) ~repr =
+  let rng = Rng.create seed in
+  List.iter
+    (fun s -> ignore (Db.exec db s))
+    [ "CREATE TABLE dept (dno INTEGER PRIMARY KEY, dname VARCHAR, loc VARCHAR, budget INTEGER, dmgrno INTEGER)";
+      "CREATE TABLE emp (eno INTEGER PRIMARY KEY, ename VARCHAR, sal INTEGER, edno INTEGER, descr VARCHAR)";
+      "CREATE TABLE proj (pno INTEGER PRIMARY KEY, pname VARCHAR, pdno INTEGER, pmgrno INTEGER, pbudget INTEGER)";
+      "CREATE TABLE skills (sno INTEGER PRIMARY KEY, sname VARCHAR, slevel INTEGER)";
+      "CREATE TABLE empskill (eseno INTEGER, essno INTEGER)";
+      "CREATE TABLE projskill (pspno INTEGER, pssno INTEGER)";
+      "CREATE TABLE empproj (epeno INTEGER, eppno INTEGER, percentage INTEGER)";
+      "CREATE INDEX emp_edno ON emp (edno)";
+      "CREATE INDEX proj_pdno ON proj (pdno)";
+      "CREATE INDEX empproj_eno ON empproj (epeno)";
+      "CREATE INDEX empproj_pno ON empproj (eppno)" ];
+  if repr = Cdb2 then begin
+    ignore (Db.exec db "CREATE TABLE deptemp (dedno INTEGER, deeno INTEGER)");
+    ignore (Db.exec db "CREATE INDEX deptemp_dno ON deptemp (dedno)")
+  end;
+  let catalog = Db.catalog db in
+  let dept = Catalog.table catalog "dept"
+  and emp = Catalog.table catalog "emp"
+  and proj = Catalog.table catalog "proj"
+  and skills = Catalog.table catalog "skills"
+  and empskill = Catalog.table catalog "empskill"
+  and projskill = Catalog.table catalog "projskill"
+  and empproj = Catalog.table catalog "empproj" in
+  for s = 0 to scale.n_skills - 1 do
+    ignore
+      (Table.insert skills
+         [| Value.Int s; Value.Str (Printf.sprintf "skill%d" s); Value.Int (Rng.in_range rng 1 5) |])
+  done;
+  let eno = ref 0 and pno = ref 0 in
+  let all_emps = ref [] in
+  for d = 0 to scale.n_depts - 1 do
+    let demps = ref [] in
+    for _ = 1 to scale.emps_per_dept do
+      let e = !eno in
+      incr eno;
+      demps := e :: !demps;
+      all_emps := e :: !all_emps;
+      let edno = match repr with Cdb1 -> Value.Int d | Cdb2 -> Value.Null in
+      ignore
+        (Table.insert emp
+           [| Value.Int e; Value.Str (Printf.sprintf "emp%d" e);
+              Value.Int (Rng.in_range rng 500 5000); edno;
+              Value.Str (if Rng.bool rng 0.2 then "staff" else "regular") |]);
+      if repr = Cdb2 then
+        ignore
+          (Table.insert (Catalog.table catalog "deptemp") [| Value.Int d; Value.Int e |]);
+      for _ = 1 to scale.skills_per_emp do
+        ignore
+          (Table.insert empskill [| Value.Int e; Value.Int (Rng.int rng scale.n_skills) |])
+      done
+    done;
+    let demps = Array.of_list !demps in
+    ignore
+      (Table.insert dept
+         [| Value.Int d; Value.Str (Printf.sprintf "dept%d" d); Value.Str (Rng.choice rng locations);
+            Value.Int (Rng.in_range rng 100 5000); Value.Int (Rng.choice rng demps) |]);
+    for _ = 1 to scale.projs_per_dept do
+      let p = !pno in
+      incr pno;
+      ignore
+        (Table.insert proj
+           [| Value.Int p; Value.Str (Printf.sprintf "proj%d" p); Value.Int d;
+              Value.Int (Rng.choice rng demps); Value.Int (Rng.in_range rng 50 3000) |]);
+      for _ = 1 to scale.skills_per_proj do
+        ignore (Table.insert projskill [| Value.Int p; Value.Int (Rng.int rng scale.n_skills) |])
+      done;
+      let members = Array.of_list !all_emps in
+      for _ = 1 to scale.emps_per_proj do
+        ignore
+          (Table.insert empproj
+             [| Value.Int (Rng.choice rng members); Value.Int p; Value.Int (Rng.in_range rng 10 100) |])
+      done
+    done
+  done
+
+(** The paper's ALL-DEPS view (§3.2), for the CDB1 representation. *)
+let all_deps_cdb1 =
+  "CREATE VIEW ALL-DEPS AS OUT OF Xdept AS DEPT, Xemp AS EMP, Xproj AS PROJ, \
+   employment AS (RELATE Xdept, Xemp WHERE Xdept.dno = Xemp.edno), \
+   ownership AS (RELATE Xdept, Xproj WHERE Xdept.dno = Xproj.pdno) TAKE *"
+
+(** ALL-DEPS over the CDB2 representation: the EMPLOYMENT relationship is
+    derived from the DEPTEMP link table instead of the FK — same abstract
+    CO, different derivation (Fig. 2). *)
+let all_deps_cdb2 =
+  "CREATE VIEW ALL-DEPS AS OUT OF Xdept AS DEPT, Xemp AS EMP, Xproj AS PROJ, \
+   employment AS (RELATE Xdept, Xemp USING DEPTEMP de \
+   WHERE Xdept.dno = de.dedno AND Xemp.eno = de.deeno), \
+   ownership AS (RELATE Xdept, Xproj WHERE Xdept.dno = Xproj.pdno) TAKE *"
+
+(** ALL-DEPS-ORG (§3.2): adds the attributed M:N 'membership' relationship
+    over EMPPROJ. *)
+let all_deps_org =
+  "CREATE VIEW ALL-DEPS-ORG AS OUT OF ALL-DEPS, \
+   membership AS (RELATE Xproj, Xemp WITH ATTRIBUTES ep.percentage AS percentage \
+   USING EMPPROJ ep WHERE Xproj.pno = ep.eppno AND Xemp.eno = ep.epeno) TAKE *"
+
+(** EXT-ALL-DEPS-ORG (§3.4): adds 'projmanagement', closing a cycle with
+    'membership' — a structurally recursive CO. *)
+let ext_all_deps_org =
+  "CREATE VIEW EXT-ALL-DEPS-ORG AS OUT OF ALL-DEPS-ORG, \
+   projmanagement AS (RELATE Xemp, Xproj WHERE Xemp.eno = Xproj.pmgrno) TAKE *"
+
+(** The full-organization view with skills, matching Fig. 1. *)
+let org_unit =
+  "CREATE VIEW ORG-UNIT AS OUT OF ALL-DEPS, Xskill AS SKILLS, \
+   empproperty AS (RELATE Xemp, Xskill USING EMPSKILL es \
+   WHERE Xemp.eno = es.eseno AND Xskill.sno = es.essno), \
+   projproperty AS (RELATE Xproj, Xskill USING PROJSKILL ps \
+   WHERE Xproj.pno = ps.pspno AND Xskill.sno = ps.pssno) TAKE *"
+
+(** [register_views api ~repr] defines the paper's views for the chosen
+    representation. *)
+let register_views api ~repr =
+  let defs =
+    [ (match repr with Cdb1 -> all_deps_cdb1 | Cdb2 -> all_deps_cdb2);
+      all_deps_org; ext_all_deps_org; org_unit ]
+  in
+  List.iter (fun d -> ignore (Xnf.Api.exec api d)) defs

@@ -1,0 +1,42 @@
+(** The paper's running example: the company database (Figs. 1–4).
+
+    Two representations of the same information, as in Fig. 2 of the paper:
+    [Cdb1] stores the EMPLOYMENT relationship implicitly (EMP.edno foreign
+    key); [Cdb2] stores it explicitly in the DEPTEMP link table. Skills and
+    project membership are M:N link tables in both. *)
+
+open Relational
+
+type scale = {
+  n_depts : int;
+  emps_per_dept : int;
+  projs_per_dept : int;
+  n_skills : int;
+  skills_per_emp : int;
+  skills_per_proj : int;
+  emps_per_proj : int;
+}
+
+(** Hand-checkable scale used by tests and examples (3 departments). *)
+val small : scale
+
+(** Default benchmark scale (50 departments, 1000 employees). *)
+val medium : scale
+
+type representation = Cdb1 | Cdb2
+
+(** [populate db ~seed ~scale ~repr] creates and fills the company schema
+    (tables, FK indexes, link tables) deterministically. *)
+val populate : Db.t -> seed:int -> scale:scale -> repr:representation -> unit
+
+(** The XNF view definitions of §3.2–§3.4, as statement text. *)
+
+val all_deps_cdb1 : string
+val all_deps_cdb2 : string
+val all_deps_org : string
+val ext_all_deps_org : string
+val org_unit : string
+
+(** [register_views api ~repr] defines ALL-DEPS (for the chosen
+    representation), ALL-DEPS-ORG, EXT-ALL-DEPS-ORG and ORG-UNIT. *)
+val register_views : Xnf.Api.t -> repr:representation -> unit

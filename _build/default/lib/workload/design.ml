@@ -1,0 +1,107 @@
+(* A CAD/design database with versions, alternatives and configurations —
+   the working-set scenario of the paper's introduction.
+
+   Documents have versions; versions aggregate components; a configuration
+   selects one version of each of a few documents. The working set of an
+   application is one configuration: its versions, their components, and
+   the referenced documents. With many configurations and large documents
+   the working-set selectivity reaches the 10^-4..10^-5 regime the paper
+   quotes for design databases (E3). *)
+
+open Relational
+
+type scale = {
+  n_docs : int;
+  versions_per_doc : int;
+  components_per_version : int;
+  n_configs : int;
+  docs_per_config : int;
+}
+
+(** [scale_for ~selectivity ~working_set_rows] derives a database size such
+    that one configuration's rows are roughly [working_set_rows] and the
+    working set is the fraction [selectivity] of the database. *)
+let scale_for ~selectivity ~working_set_rows =
+  let docs_per_config = 4 in
+  let components_per_version = max 1 ((working_set_rows / docs_per_config) - 2) in
+  let total_rows = int_of_float (float_of_int working_set_rows /. selectivity) in
+  let rows_per_doc_version = components_per_version + 2 in
+  let n_versions = max docs_per_config (total_rows / rows_per_doc_version) in
+  let versions_per_doc = 4 in
+  { n_docs = max 1 (n_versions / versions_per_doc); versions_per_doc; components_per_version;
+    n_configs = 1; docs_per_config }
+
+(** [populate db ~seed ~scale] creates and fills DOC/VERSION/COMPONENT/
+    CONFIG/CONFIGVER. *)
+let populate db ~seed ~(scale : scale) =
+  let rng = Rng.create seed in
+  List.iter
+    (fun s -> ignore (Db.exec db s))
+    [ "CREATE TABLE doc (docid INTEGER PRIMARY KEY, title VARCHAR, dtype VARCHAR)";
+      "CREATE TABLE version (vid INTEGER PRIMARY KEY, vdocid INTEGER, vnum INTEGER, status VARCHAR)";
+      "CREATE TABLE component (cid INTEGER PRIMARY KEY, cvid INTEGER, cname VARCHAR, weight INTEGER)";
+      "CREATE TABLE config (cfgid INTEGER PRIMARY KEY, cfgname VARCHAR)";
+      "CREATE TABLE configver (cvcfgid INTEGER, cvvid INTEGER)";
+      "CREATE INDEX version_doc ON version (vdocid)";
+      "CREATE INDEX component_vid ON component (cvid)";
+      "CREATE INDEX configver_cfg ON configver (cvcfgid)" ];
+  let catalog = Db.catalog db in
+  let doc = Catalog.table catalog "doc"
+  and version = Catalog.table catalog "version"
+  and component = Catalog.table catalog "component"
+  and config = Catalog.table catalog "config"
+  and configver = Catalog.table catalog "configver" in
+  let vid = ref 0 and cid = ref 0 in
+  let dtypes = [| "wing"; "fuselage"; "engine"; "gear" |] in
+  for d = 0 to scale.n_docs - 1 do
+    ignore
+      (Table.insert doc
+         [| Value.Int d; Value.Str (Printf.sprintf "doc%d" d); Value.Str (Rng.choice rng dtypes) |]);
+    for v = 0 to scale.versions_per_doc - 1 do
+      let this_vid = !vid in
+      incr vid;
+      ignore
+        (Table.insert version
+           [| Value.Int this_vid; Value.Int d; Value.Int v;
+              Value.Str (if v = scale.versions_per_doc - 1 then "current" else "frozen") |]);
+      for _ = 1 to scale.components_per_version do
+        let this_cid = !cid in
+        incr cid;
+        ignore
+          (Table.insert component
+             [| Value.Int this_cid; Value.Int this_vid; Value.Str (Printf.sprintf "c%d" this_cid);
+                Value.Int (Rng.in_range rng 1 500) |])
+      done
+    done
+  done;
+  (* configurations pick one version of [docs_per_config] random docs *)
+  for cfg = 0 to scale.n_configs - 1 do
+    ignore (Table.insert config [| Value.Int cfg; Value.Str (Printf.sprintf "cfg%d" cfg) |]);
+    for _ = 1 to scale.docs_per_config do
+      let d = Rng.int rng scale.n_docs in
+      let v = Rng.int rng scale.versions_per_doc in
+      let picked_vid = (d * scale.versions_per_doc) + v in
+      ignore (Table.insert configver [| Value.Int cfg; Value.Int picked_vid |])
+    done
+  done
+
+(** [working_set_query cfgid] is the XNF query extracting configuration
+    [cfgid]'s working set as one composite object. *)
+let working_set_query cfgid =
+  Printf.sprintf
+    "OUT OF Xcfg AS (SELECT * FROM config WHERE cfgid = %d), Xver AS VERSION, \
+     Xcomp AS COMPONENT, Xdoc AS DOC, \
+     selection AS (RELATE Xcfg, Xver USING CONFIGVER cv \
+     WHERE Xcfg.cfgid = cv.cvcfgid AND Xver.vid = cv.cvvid), \
+     content AS (RELATE Xver, Xcomp WHERE Xver.vid = Xcomp.cvid), \
+     described_by AS (RELATE Xver, Xdoc WHERE Xver.vdocid = Xdoc.docid) TAKE *"
+    cfgid
+
+(** [total_rows db] is the database size in rows (for selectivity
+    reporting). *)
+let total_rows db =
+  let catalog = Db.catalog db in
+  List.fold_left
+    (fun acc name -> acc + Table.cardinality (Catalog.table catalog name))
+    0
+    [ "doc"; "version"; "component"; "config"; "configver" ]

@@ -1,0 +1,34 @@
+(** A CAD/design database with versions and configurations — the
+    working-set scenario of the paper's introduction (experiment E3).
+
+    Documents have versions; versions aggregate components; a configuration
+    selects one version of each of a few documents. The working set of an
+    application is one configuration: its versions, their components, and
+    the referenced documents. *)
+
+open Relational
+
+type scale = {
+  n_docs : int;
+  versions_per_doc : int;
+  components_per_version : int;
+  n_configs : int;
+  docs_per_config : int;
+}
+
+(** [scale_for ~selectivity ~working_set_rows] derives a database size such
+    that one configuration holds roughly [working_set_rows] rows at the
+    given selectivity. *)
+val scale_for : selectivity:float -> working_set_rows:int -> scale
+
+(** [populate db ~seed ~scale] creates and fills
+    DOC/VERSION/COMPONENT/CONFIG/CONFIGVER with FK indexes. *)
+val populate : Db.t -> seed:int -> scale:scale -> unit
+
+(** [working_set_query cfgid] is the XNF query extracting configuration
+    [cfgid]'s working set as one composite object. *)
+val working_set_query : int -> string
+
+(** [total_rows db] is the database size in rows, for selectivity
+    reporting. *)
+val total_rows : Db.t -> int

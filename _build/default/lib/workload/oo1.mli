@@ -1,0 +1,30 @@
+(** The Cattell OO1 ("Sun") engineering-database benchmark.
+
+    Regenerates the published benchmark database — PART with N parts,
+    CONNECTION with exactly 3 outgoing connections per part, 90% of them
+    within the nearest 1% of part ids — and the draw sequences for its
+    lookup / traversal / insert workloads (used by experiment E2). *)
+
+open Relational
+
+(** [populate db ~seed ~n_parts] creates PART/CONNECTION (with indexes on
+    both connection endpoints) and fills them per the OO1 rules. *)
+val populate : Db.t -> seed:int -> n_parts:int -> unit
+
+(** The OO1 database as a composite object: PART is the root component and
+    CONNECTION is schema-shared between the 'outgoing' (source side) and
+    'target' (destination side) relationships; a traversal hop crosses
+    'outgoing' forward and 'target' backward. *)
+val parts_co_query : string
+
+(** [lookup_ids rng ~n_parts ~count] draws the id sequence for the lookup
+    workload. *)
+val lookup_ids : Rng.t -> n_parts:int -> count:int -> int list
+
+(** [traversal_roots rng ~n_parts ~count] draws the start parts for the
+    traversal workload. *)
+val traversal_roots : Rng.t -> n_parts:int -> count:int -> int list
+
+(** [insert_batch rng ~n_parts ~count] builds the insert workload: [count]
+    new parts (fresh ids from [n_parts]) each with 3 connection targets. *)
+val insert_batch : Rng.t -> n_parts:int -> count:int -> (Row.t * int list) list

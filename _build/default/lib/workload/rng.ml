@@ -1,0 +1,49 @@
+(* Deterministic splittable PRNG (splitmix64).
+
+   Every workload generator and benchmark draw goes through this module so
+   that all experiments are bit-for-bit reproducible across runs and
+   machines. *)
+
+type t = { mutable state : int64 }
+
+(** [create seed] is a generator seeded with [seed]. *)
+let create seed = { state = Int64.of_int seed }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(** [int t bound] is uniform in [0, bound). *)
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int";
+  Int64.to_int (Int64.rem (Int64.shift_right_logical (next_int64 t) 1) (Int64.of_int bound))
+
+(** [in_range t lo hi] is uniform in [lo, hi] inclusive. *)
+let in_range t lo hi = lo + int t (hi - lo + 1)
+
+(** [float t] is uniform in [0, 1). *)
+let float t = Int64.to_float (Int64.shift_right_logical (next_int64 t) 11) /. 9007199254740992.0
+
+(** [bool t p] is true with probability [p]. *)
+let bool t p = float t < p
+
+(** [choice t arr] picks a uniform element of [arr]. *)
+let choice t arr = arr.(int t (Array.length arr))
+
+(** [split t] derives an independent generator (for parallel streams that
+    must not perturb each other's sequences). *)
+let split t = { state = next_int64 t }
+
+(** [shuffle t arr] shuffles [arr] in place (Fisher–Yates). *)
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done

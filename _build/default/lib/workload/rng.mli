@@ -1,0 +1,33 @@
+(** Deterministic splittable PRNG (splitmix64).
+
+    Every workload generator and benchmark draw goes through this module so
+    that all experiments are bit-for-bit reproducible across runs and
+    machines. *)
+
+type t
+
+(** [create seed] is a generator seeded with [seed]. *)
+val create : int -> t
+
+(** [int t bound] is uniform in [0, bound).
+    @raise Invalid_argument when [bound <= 0]. *)
+val int : t -> int -> int
+
+(** [in_range t lo hi] is uniform in [lo, hi] inclusive. *)
+val in_range : t -> int -> int -> int
+
+(** [float t] is uniform in [0, 1). *)
+val float : t -> float
+
+(** [bool t p] is [true] with probability [p]. *)
+val bool : t -> float -> bool
+
+(** [choice t arr] picks a uniform element of [arr]. *)
+val choice : t -> 'a array -> 'a
+
+(** [split t] derives an independent generator whose draws do not perturb
+    [t]'s stream. *)
+val split : t -> t
+
+(** [shuffle t arr] shuffles [arr] in place (Fisher–Yates). *)
+val shuffle : t -> 'a array -> unit

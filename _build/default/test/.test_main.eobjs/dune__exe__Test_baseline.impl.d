@@ -1,0 +1,1 @@
+test/test_baseline.ml: Alcotest Baseline Db List Relational Row Workload Xnf

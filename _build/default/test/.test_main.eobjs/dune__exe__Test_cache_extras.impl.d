@@ -1,0 +1,1 @@
+test/test_cache_extras.ml: Alcotest Array Db List Option Relational Value Xnf

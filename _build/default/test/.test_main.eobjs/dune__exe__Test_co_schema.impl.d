@@ -1,0 +1,1 @@
+test/test_co_schema.ml: Alcotest Co_schema List Relational String Xnf Xnf_ast

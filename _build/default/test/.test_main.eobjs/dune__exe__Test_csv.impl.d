@@ -1,0 +1,1 @@
+test/test_csv.ml: Alcotest Array Catalog Csv_io Db List Relational Row Table Value

@@ -1,0 +1,1 @@
+test/test_cursor_udi.ml: Alcotest Array Db List Relational Txn Value Wal Xnf

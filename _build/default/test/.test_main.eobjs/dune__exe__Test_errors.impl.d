@@ -1,0 +1,1 @@
+test/test_errors.ml: Alcotest Binder Catalog Db List Relational Sql_parser Value Xnf

@@ -1,0 +1,1 @@
+test/test_exec.ml: Alcotest Array Binder Db List Qgm Relational Sql_parser String Value

@@ -1,0 +1,1 @@
+test/test_expr.ml: Alcotest Expr List Relational Seq Value

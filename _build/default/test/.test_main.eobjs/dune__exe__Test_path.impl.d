@@ -1,0 +1,1 @@
+test/test_path.ml: Alcotest Array Db List Printf Relational Value Xnf

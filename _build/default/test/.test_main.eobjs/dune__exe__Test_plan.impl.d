@@ -1,0 +1,1 @@
+test/test_plan.ml: Alcotest Array Expr Index List Plan Relational Row Schema Sql_ast Table Value

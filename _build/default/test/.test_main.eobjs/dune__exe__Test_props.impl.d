@@ -1,0 +1,1 @@
+test/test_props.ml: Array Baseline Catalog Db Expr Float Index List Printf QCheck QCheck_alcotest Relational Row Schema String Table Value Workload Xnf

@@ -1,0 +1,1 @@
+test/test_props2.ml: Array Db Fun List Printf QCheck QCheck_alcotest Relational Row Value Workload Xnf

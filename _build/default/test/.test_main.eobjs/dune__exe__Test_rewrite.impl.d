@@ -1,0 +1,1 @@
+test/test_rewrite.ml: Alcotest Db Expr List Qgm Relational Rewrite Row Sql_parser String Value

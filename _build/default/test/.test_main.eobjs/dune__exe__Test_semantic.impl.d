@@ -1,0 +1,1 @@
+test/test_semantic.ml: Alcotest Catalog Db List Relational Schema Sql_parser Table Xnf

@@ -1,0 +1,1 @@
+test/test_sql_parser.ml: Alcotest Array Expr List Relational Sql_ast Sql_lexer Sql_parser

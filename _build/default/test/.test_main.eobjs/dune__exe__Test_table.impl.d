@@ -1,0 +1,1 @@
+test/test_table.ml: Alcotest Array Index List Option Relational Row Schema Table Value Vec

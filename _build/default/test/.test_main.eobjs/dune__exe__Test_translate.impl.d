@@ -1,0 +1,1 @@
+test/test_translate.ml: Alcotest Array Db List Printf Relational Schema Value Xnf

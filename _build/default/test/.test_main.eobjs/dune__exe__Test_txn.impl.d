@@ -1,0 +1,1 @@
+test/test_txn.ml: Alcotest Array Buffer_pool Db List Page Relational Row Schema Table Txn Value Wal

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Catalog Db Fun List Printf Relational Table Value Workload Xnf

@@ -1,0 +1,1 @@
+test/test_xnf_parser.ml: Alcotest List Relational Xnf Xnf_ast Xnf_parser

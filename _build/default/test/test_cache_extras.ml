@@ -1,0 +1,135 @@
+(* Unit tests: cache key indexes, ordered cursors, materialized COs. *)
+
+open Relational
+
+let mk () =
+  let db = Db.create () in
+  List.iter
+    (fun s -> ignore (Db.exec db s))
+    [ "CREATE TABLE dept (dno INTEGER PRIMARY KEY, dname VARCHAR, budget INTEGER)";
+      "CREATE TABLE emp (eno INTEGER PRIMARY KEY, ename VARCHAR, sal INTEGER, edno INTEGER)";
+      "INSERT INTO dept VALUES (1, 'd1', 100), (2, 'd2', 200)";
+      "INSERT INTO emp VALUES (1, 'c', 900, 1), (2, 'a', 300, 1), (3, 'b', 500, 2), (4, 'a', 100, 2)" ];
+  let api = Xnf.Api.create db in
+  ignore
+    (Xnf.Api.exec api
+       "CREATE VIEW V AS OUT OF Xdept AS DEPT, Xemp AS EMP, \
+        employment AS (RELATE Xdept, Xemp WHERE Xdept.dno = Xemp.edno) TAKE *");
+  (db, api)
+
+let test_key_index () =
+  let _, api = mk () in
+  let cache = Xnf.Api.fetch_string api "OUT OF V TAKE *" in
+  let ki = Xnf.Cache.build_key_index cache ~node:"xemp" ~col:"ename" in
+  Alcotest.(check int) "two a's" 2 (List.length (Xnf.Cache.lookup_key cache ki (Value.Str "a")));
+  Alcotest.(check int) "one b" 1 (List.length (Xnf.Cache.lookup_key cache ki (Value.Str "b")));
+  Alcotest.(check bool) "missing" true (Xnf.Cache.lookup_key_one cache ki (Value.Str "z") = None);
+  (* tombstoned tuples are filtered out of lookups *)
+  let ni = Xnf.Cache.node cache "xemp" in
+  let b_pos = Option.get (Xnf.Cache.lookup_key_one cache ki (Value.Str "b")) in
+  (Xnf.Cache.tuple ni b_pos).Xnf.Cache.t_live <- false;
+  Alcotest.(check int) "dead filtered" 0 (List.length (Xnf.Cache.lookup_key cache ki (Value.Str "b")))
+
+let test_key_index_errors () =
+  let _, api = mk () in
+  let cache = Xnf.Api.fetch_string api "OUT OF V TAKE *" in
+  (try
+     ignore (Xnf.Cache.build_key_index cache ~node:"xemp" ~col:"nosuch");
+     Alcotest.fail "expected unknown column"
+   with Xnf.Cache.Cache_error _ -> ());
+  try
+    ignore (Xnf.Cache.build_key_index cache ~node:"nosuch" ~col:"eno");
+    Alcotest.fail "expected unknown node"
+  with Xnf.Cache.Cache_error _ -> ()
+
+let names c = List.map (fun t -> Value.as_string t.Xnf.Cache.t_row.(1)) (Xnf.Cursor.to_list c)
+
+let test_ordered_cursor () =
+  let _, api = mk () in
+  let cache = Xnf.Api.fetch_string api "OUT OF V TAKE *" in
+  let asc = Xnf.Cursor.open_independent ~order:("ename", `Asc) cache "xemp" in
+  Alcotest.(check (list string)) "ascending" [ "a"; "a"; "b"; "c" ] (names asc);
+  let desc = Xnf.Cursor.open_independent ~order:("sal", `Desc) cache "xemp" in
+  Alcotest.(check (list string)) "by salary desc" [ "c"; "b"; "a"; "a" ] (names desc);
+  (* reset keeps the ordering *)
+  Xnf.Cursor.reset desc;
+  Alcotest.(check (list string)) "after reset" [ "c"; "b"; "a"; "a" ] (names desc)
+
+let test_ordered_cursor_unknown_column () =
+  let _, api = mk () in
+  let cache = Xnf.Api.fetch_string api "OUT OF V TAKE *" in
+  try
+    ignore (Xnf.Cursor.open_independent ~order:("zzz", `Asc) cache "xemp");
+    Alcotest.fail "expected cursor error"
+  with Xnf.Cursor.Cursor_error _ -> ()
+
+let test_materialized_serves_fresh () =
+  let db, api = mk () in
+  let mat = Xnf.Materialized.create db (Xnf.Api.registry api) in
+  Xnf.Materialized.define_string mat ~name:"orgs" "OUT OF V TAKE *";
+  let c1 = Xnf.Materialized.get mat "orgs" in
+  let c2 = Xnf.Materialized.get mat "orgs" in
+  Alcotest.(check bool) "same instance while fresh" true (c1 == c2);
+  Alcotest.(check (pair int int)) "one load, one hit" (1, 1) (Xnf.Materialized.stats mat "orgs")
+
+let test_materialized_reloads_on_change () =
+  let db, api = mk () in
+  let mat = Xnf.Materialized.create db (Xnf.Api.registry api) in
+  Xnf.Materialized.define_string mat ~name:"orgs" "OUT OF V TAKE *";
+  let c1 = Xnf.Materialized.get mat "orgs" in
+  ignore (Db.exec db "INSERT INTO emp VALUES (9, 'z', 50, 1)");
+  let c2 = Xnf.Materialized.get mat "orgs" in
+  Alcotest.(check bool) "reloaded" true (not (c1 == c2));
+  Alcotest.(check int) "sees the new employee" 5
+    (Xnf.Cache.live_count (Xnf.Cache.node c2 "xemp"))
+
+let test_materialized_own_writes_stay_fresh () =
+  let db, api = mk () in
+  let mat = Xnf.Materialized.create db (Xnf.Api.registry api) in
+  Xnf.Materialized.define_string mat ~name:"orgs" "OUT OF V TAKE *";
+  let c1 = Xnf.Materialized.get mat "orgs" in
+  (* a udi session on the materialized instance refreshes the snapshot *)
+  let ses = Xnf.Udi.session db c1 in
+  Xnf.Udi.with_deferred ses (fun () ->
+      Xnf.Udi.update ses ~node:"xemp" ~pos:0 [ ("sal", Value.Int 901) ]);
+  let c2 = Xnf.Materialized.get mat "orgs" in
+  Alcotest.(check bool) "own write does not invalidate" true (c1 == c2)
+
+let test_materialized_invalidate_and_errors () =
+  let db, api = mk () in
+  let mat = Xnf.Materialized.create db (Xnf.Api.registry api) in
+  Xnf.Materialized.define_string mat ~name:"orgs" "OUT OF V TAKE *";
+  let c1 = Xnf.Materialized.get mat "orgs" in
+  Xnf.Materialized.invalidate mat "orgs";
+  let c2 = Xnf.Materialized.get mat "orgs" in
+  Alcotest.(check bool) "invalidate forces reload" true (not (c1 == c2));
+  (try
+     Xnf.Materialized.define_string mat ~name:"orgs" "OUT OF V TAKE *";
+     Alcotest.fail "expected duplicate error"
+   with Xnf.Materialized.Materialized_error _ -> ());
+  try
+    ignore (Xnf.Materialized.get mat "nosuch");
+    Alcotest.fail "expected unknown error"
+  with Xnf.Materialized.Materialized_error _ -> ()
+
+let test_recompute_reachability_rootless () =
+  let _, api = mk () in
+  (* evaluate-then-project: the output drops the root; maintenance must not
+     wipe the instance *)
+  let cache = Xnf.Api.fetch_string api "OUT OF V WHERE Xdept SUCH THAT budget > 150 TAKE Xemp(*)" in
+  Alcotest.(check int) "emps of big dept" 2 (Xnf.Cache.live_count (Xnf.Cache.node cache "xemp"));
+  Xnf.Cache.recompute_reachability cache;
+  Alcotest.(check int) "still there" 2 (Xnf.Cache.live_count (Xnf.Cache.node cache "xemp"))
+
+let suite =
+  [ Alcotest.test_case "key index" `Quick test_key_index;
+    Alcotest.test_case "key index errors" `Quick test_key_index_errors;
+    Alcotest.test_case "ordered cursor" `Quick test_ordered_cursor;
+    Alcotest.test_case "ordered cursor unknown column" `Quick test_ordered_cursor_unknown_column;
+    Alcotest.test_case "materialized: fresh hits" `Quick test_materialized_serves_fresh;
+    Alcotest.test_case "materialized: reload on change" `Quick test_materialized_reloads_on_change;
+    Alcotest.test_case "materialized: own writes stay fresh" `Quick
+      test_materialized_own_writes_stay_fresh;
+    Alcotest.test_case "materialized: invalidate and errors" `Quick
+      test_materialized_invalidate_and_errors;
+    Alcotest.test_case "rootless projected instance" `Quick test_recompute_reachability_rootless ]

@@ -1,0 +1,155 @@
+(* Unit tests: CO schema graphs (§2) — structure, well-formedness,
+   recursion, sharing, projection. *)
+
+open Xnf
+
+let nd name query =
+  { Co_schema.nd_name = name; nd_query = Relational.Sql_parser.parse_select query; nd_cols = None }
+
+let ed name parent child pred =
+  { Co_schema.ed_name = name; ed_parent = parent; ed_child = child; ed_parent_alias = parent;
+    ed_child_alias = child; ed_using = None; ed_attrs = [];
+    ed_pred = Relational.Sql_parser.parse_expr_string pred }
+
+let sample () =
+  (* dept -> emp, dept -> proj, emp -> skill, proj -> skill (Fig. 1) *)
+  let def = Co_schema.empty in
+  let def = Co_schema.add_node def (nd "xdept" "SELECT * FROM dept") in
+  let def = Co_schema.add_node def (nd "xemp" "SELECT * FROM emp") in
+  let def = Co_schema.add_node def (nd "xproj" "SELECT * FROM proj") in
+  let def = Co_schema.add_node def (nd "xskill" "SELECT * FROM skills") in
+  let def = Co_schema.add_edge def (ed "employment" "xdept" "xemp" "xdept.dno = xemp.edno") in
+  let def = Co_schema.add_edge def (ed "ownership" "xdept" "xproj" "xdept.dno = xproj.pdno") in
+  let def = Co_schema.add_edge def (ed "empskill" "xemp" "xskill" "xemp.eno = xskill.sno") in
+  let def = Co_schema.add_edge def (ed "projskill" "xproj" "xskill" "xproj.pno = xskill.sno") in
+  def
+
+let test_roots () =
+  let def = sample () in
+  Alcotest.(check (list string)) "dept is the only root" [ "xdept" ]
+    (List.map (fun n -> n.Co_schema.nd_name) (Co_schema.roots def))
+
+let test_incoming_outgoing () =
+  let def = sample () in
+  Alcotest.(check int) "skill has two incoming" 2 (List.length (Co_schema.incoming def "xskill"));
+  Alcotest.(check int) "dept has two outgoing" 2 (List.length (Co_schema.outgoing def "xdept"));
+  Alcotest.(check int) "dept has no incoming" 0 (List.length (Co_schema.incoming def "xdept"))
+
+let test_sharing_and_recursion () =
+  let def = sample () in
+  Alcotest.(check bool) "schema sharing (skill)" true (Co_schema.has_schema_sharing def);
+  Alcotest.(check bool) "not recursive" false (Co_schema.is_recursive def);
+  (* close a cycle: skill -> emp *)
+  let cyclic = Co_schema.add_edge def (ed "back" "xskill" "xemp" "xskill.sno = xemp.eno") in
+  Alcotest.(check bool) "recursive after back edge" true (Co_schema.is_recursive cyclic);
+  Alcotest.(check bool) "no topo order for recursive" true (Co_schema.topo_order cyclic = None)
+
+let test_topo_order () =
+  let def = sample () in
+  match Co_schema.topo_order def with
+  | None -> Alcotest.fail "expected a topological order"
+  | Some order ->
+    let pos n =
+      let rec go i = function
+        | [] -> Alcotest.failf "%s missing from order" n
+        | x :: _ when String.equal x n -> i
+        | _ :: rest -> go (i + 1) rest
+      in
+      go 0 order
+    in
+    Alcotest.(check bool) "dept before emp" true (pos "xdept" < pos "xemp");
+    Alcotest.(check bool) "emp before skill" true (pos "xemp" < pos "xskill");
+    Alcotest.(check bool) "proj before skill" true (pos "xproj" < pos "xskill")
+
+let test_well_formedness () =
+  (* an edge may only relate component tables *)
+  let def = Co_schema.add_node Co_schema.empty (nd "a" "SELECT * FROM a") in
+  (try
+     ignore (Co_schema.add_edge def (ed "e" "a" "missing" "a.x = missing.y"));
+     Alcotest.fail "expected schema error"
+   with Co_schema.Schema_error _ -> ());
+  (* duplicate component names are rejected, across nodes and edges *)
+  (try
+     ignore (Co_schema.add_node def (nd "a" "SELECT * FROM other"));
+     Alcotest.fail "expected duplicate error"
+   with Co_schema.Schema_error _ -> ());
+  let def2 = Co_schema.add_node def (nd "b" "SELECT * FROM b") in
+  let def2 = Co_schema.add_edge def2 (ed "a_b" "a" "b" "a.x = b.y") in
+  try
+    ignore (Co_schema.add_node def2 (nd "a_b" "SELECT * FROM c"));
+    Alcotest.fail "expected duplicate edge/node name error"
+  with Co_schema.Schema_error _ -> ()
+
+let test_validate_requires_root () =
+  let def = Co_schema.add_node Co_schema.empty (nd "a" "SELECT * FROM a") in
+  let def = Co_schema.add_node def (nd "b" "SELECT * FROM b") in
+  let def = Co_schema.add_edge def (ed "ab" "a" "b" "a.x = b.y") in
+  let def = Co_schema.add_edge def (ed "ba" "b" "a" "b.y = a.x") in
+  try
+    Co_schema.validate def;
+    Alcotest.fail "expected no-root error"
+  with Co_schema.Schema_error _ -> ()
+
+let test_merge () =
+  let left = Co_schema.add_node Co_schema.empty (nd "a" "SELECT * FROM a") in
+  let right = Co_schema.add_node Co_schema.empty (nd "b" "SELECT * FROM b") in
+  let merged = Co_schema.merge left right in
+  Alcotest.(check int) "two nodes" 2 (List.length merged.Co_schema.co_nodes);
+  try
+    ignore (Co_schema.merge left left);
+    Alcotest.fail "expected clash"
+  with Co_schema.Schema_error _ -> ()
+
+let test_projection_drops_incident_edges () =
+  let def = sample () in
+  let take =
+    Xnf_ast.Take_items
+      [ Xnf_ast.Take_node ("xdept", Xnf_ast.Take_all_cols);
+        Xnf_ast.Take_node ("xemp", Xnf_ast.Take_all_cols); Xnf_ast.Take_edge "employment" ]
+  in
+  let projected = Co_schema.project def take in
+  Alcotest.(check int) "two nodes" 2 (List.length projected.Co_schema.co_nodes);
+  Alcotest.(check int) "one edge" 1 (List.length projected.Co_schema.co_edges);
+  Alcotest.(check bool) "ownership gone" true (Co_schema.edge_opt projected "ownership" = None)
+
+let test_projection_keeps_edge_without_partner_fails () =
+  let def = sample () in
+  let take =
+    Xnf_ast.Take_items
+      [ Xnf_ast.Take_node ("xdept", Xnf_ast.Take_all_cols); Xnf_ast.Take_edge "employment" ]
+  in
+  try
+    ignore (Co_schema.project def take);
+    Alcotest.fail "expected well-formedness error"
+  with Co_schema.Schema_error _ -> ()
+
+let test_projection_column_list () =
+  let def = sample () in
+  let take =
+    Xnf_ast.Take_items [ Xnf_ast.Take_node ("xdept", Xnf_ast.Take_cols [ "dno"; "dname" ]) ]
+  in
+  let projected = Co_schema.project def take in
+  match (Co_schema.node projected "xdept").Co_schema.nd_cols with
+  | Some [ "dno"; "dname" ] -> ()
+  | _ -> Alcotest.fail "column projection not recorded"
+
+let test_projection_unknown_component () =
+  let def = sample () in
+  try
+    ignore (Co_schema.project def (Xnf_ast.Take_items [ Xnf_ast.Take_edge "nope" ]));
+    Alcotest.fail "expected unknown component error"
+  with Co_schema.Schema_error _ -> ()
+
+let suite =
+  [ Alcotest.test_case "roots" `Quick test_roots;
+    Alcotest.test_case "incoming/outgoing" `Quick test_incoming_outgoing;
+    Alcotest.test_case "sharing and recursion" `Quick test_sharing_and_recursion;
+    Alcotest.test_case "topological order" `Quick test_topo_order;
+    Alcotest.test_case "edge well-formedness" `Quick test_well_formedness;
+    Alcotest.test_case "validation requires a root" `Quick test_validate_requires_root;
+    Alcotest.test_case "merge" `Quick test_merge;
+    Alcotest.test_case "projection drops incident edges" `Quick test_projection_drops_incident_edges;
+    Alcotest.test_case "projection cannot orphan an edge" `Quick
+      test_projection_keeps_edge_without_partner_fails;
+    Alcotest.test_case "projection column list" `Quick test_projection_column_list;
+    Alcotest.test_case "projection unknown component" `Quick test_projection_unknown_component ]

@@ -1,0 +1,110 @@
+(* Language conformance: every construct documented in LANGUAGE.md parses
+   and executes against the demo company database. This suite pins the
+   documented surface — if a grammar change breaks a documented form, it
+   fails here first. *)
+
+let mk () =
+  let db = Relational.Db.create () in
+  Workload.Company.populate db ~seed:77 ~scale:Workload.Company.small
+    ~repr:Workload.Company.Cdb1;
+  let api = Xnf.Api.create db in
+  Workload.Company.register_views api ~repr:Workload.Company.Cdb1;
+  api
+
+let sql_statements =
+  [ "SELECT * FROM dept";
+    "SELECT DISTINCT loc FROM dept";
+    "SELECT d.* FROM dept d";
+    "SELECT dname AS n FROM dept WHERE loc = 'NY' OR budget > 100";
+    "SELECT * FROM dept d, emp e WHERE d.dno = e.edno";
+    "SELECT * FROM dept d INNER JOIN emp e ON d.dno = e.edno";
+    "SELECT * FROM dept d LEFT JOIN emp e ON d.dno = e.edno";
+    "SELECT * FROM (SELECT dno FROM dept) sub WHERE sub.dno >= 0";
+    "SELECT edno, COUNT(*), SUM(sal), AVG(sal), MIN(sal), MAX(sal) FROM emp GROUP BY edno HAVING COUNT(*) >= 1";
+    "SELECT COUNT(DISTINCT loc) FROM dept";
+    "SELECT dno FROM dept UNION ALL SELECT eno FROM emp";
+    "SELECT dno FROM dept UNION SELECT dno FROM dept ORDER BY 1 LIMIT 2";
+    "SELECT * FROM emp ORDER BY sal DESC, ename LIMIT 3";
+    "SELECT * FROM emp WHERE sal BETWEEN 100 AND 10000";
+    "SELECT * FROM emp WHERE ename LIKE 'emp%' AND edno IS NOT NULL";
+    "SELECT * FROM emp WHERE edno IN (0, 1, 2)";
+    "SELECT * FROM emp WHERE edno IN (SELECT dno FROM dept WHERE budget > 0)";
+    "SELECT * FROM emp WHERE edno NOT IN (SELECT dno FROM dept WHERE budget < 0)";
+    "SELECT * FROM dept d WHERE EXISTS (SELECT * FROM emp e WHERE e.edno = d.dno)";
+    "SELECT * FROM dept d WHERE NOT EXISTS (SELECT * FROM emp e WHERE e.edno = d.dno AND e.sal > 999999)";
+    "SELECT (SELECT MAX(sal) FROM emp) FROM dept";
+    "SELECT CASE WHEN budget > 1000 THEN 'big' ELSE 'small' END FROM dept";
+    "SELECT ABS(0 - dno), LOWER(dname), UPPER(loc), LENGTH(dname), MOD(dno, 2), COALESCE(NULL, dno) FROM dept";
+    "INSERT INTO skills (sno, sname) VALUES (900, 'conformance')";
+    "UPDATE skills SET slevel = 1 WHERE sno = 900";
+    "DELETE FROM skills WHERE sno = 900";
+    "CREATE TABLE conf_t (id INTEGER PRIMARY KEY, v VARCHAR(10) NOT NULL, f FLOAT, b BOOLEAN)";
+    "CREATE INDEX conf_i ON conf_t (v) USING ORDERED";
+    "CREATE VIEW conf_v AS SELECT id FROM conf_t";
+    "SELECT * FROM conf_v";
+    "DROP VIEW conf_v";
+    "DROP TABLE conf_t";
+    "EXPLAIN SELECT * FROM dept WHERE dno = 1";
+    "BEGIN";
+    "INSERT INTO skills (sno, sname) VALUES (901, 'txn')";
+    "ROLLBACK" ]
+
+let xnf_statements =
+  [ (* constructor forms *)
+    "OUT OF x AS DEPT TAKE *";
+    "OUT OF x AS (SELECT * FROM dept WHERE loc = 'NY') TAKE *";
+    "OUT OF x AS DEPT, y AS EMP, e AS (RELATE x, y WHERE x.dno = y.edno) TAKE *";
+    "OUT OF x AS DEPT, y AS EMP, e AS (RELATE x p, y c WHERE p.dno = c.edno) TAKE *";
+    "OUT OF p AS PROJ, e AS EMP, m AS (RELATE p, e WITH ATTRIBUTES ep.percentage AS pct \
+     USING EMPPROJ ep WHERE p.pno = ep.eppno AND e.eno = ep.epeno) TAKE *";
+    (* view import, closure *)
+    "OUT OF ALL-DEPS TAKE *";
+    "OUT OF ALL-DEPS-ORG TAKE *";
+    "OUT OF EXT-ALL-DEPS-ORG TAKE *";
+    "OUT OF ORG-UNIT TAKE *";
+    (* restrictions *)
+    "OUT OF ALL-DEPS WHERE Xemp e SUCH THAT e.sal < 5000 TAKE *";
+    "OUT OF ALL-DEPS WHERE Xdept SUCH THAT budget > 0 TAKE *";
+    "OUT OF ALL-DEPS WHERE employment (d, e) SUCH THAT e.sal < d.budget * 100 TAKE *";
+    "OUT OF ALL-DEPS WHERE Xemp e SUCH THAT e.sal < 5000 AND Xdept SUCH THAT budget > 0 TAKE *";
+    (* path expressions *)
+    "OUT OF ALL-DEPS WHERE Xdept d SUCH THAT COUNT(d->employment) >= 0 TAKE *";
+    "OUT OF ALL-DEPS WHERE Xdept d SUCH THAT EXISTS d->employment TAKE *";
+    "OUT OF EXT-ALL-DEPS-ORG WHERE Xdept d SUCH THAT \
+     EXISTS d->employment->(Xemp e WHERE e.sal > 0)->projmanagement TAKE *";
+    "OUT OF ALL-DEPS WHERE Xdept d SUCH THAT COUNT(d->employment->Xemp) >= 0 TAKE *";
+    (* projection *)
+    "OUT OF ALL-DEPS TAKE Xdept(*), Xemp(*), employment";
+    "OUT OF ALL-DEPS TAKE Xdept(dname), Xemp(ename, sal), employment";
+    "OUT OF ALL-DEPS WHERE Xdept SUCH THAT loc = 'NY' TAKE Xemp(*)";
+    (* views *)
+    "CREATE VIEW CONF-V AS OUT OF ALL-DEPS WHERE Xemp e SUCH THAT e.sal > 0 TAKE *";
+    "OUT OF CONF-V TAKE *";
+    "DROP VIEW CONF-V";
+    (* CO DML *)
+    "OUT OF x AS (SELECT * FROM skills WHERE sno < 0) DELETE *";
+    "OUT OF ALL-DEPS UPDATE Xemp SET sal = sal + 0" ]
+
+let test_sql () =
+  let api = mk () in
+  List.iter
+    (fun s ->
+      match Xnf.Api.exec api s with
+      | _ -> ()
+      | exception e ->
+        Alcotest.failf "documented SQL failed: %s (%s)" s (Printexc.to_string e))
+    sql_statements
+
+let test_xnf () =
+  let api = mk () in
+  List.iter
+    (fun s ->
+      match Xnf.Api.exec api s with
+      | _ -> ()
+      | exception e ->
+        Alcotest.failf "documented XNF failed: %s (%s)" s (Printexc.to_string e))
+    xnf_statements
+
+let suite =
+  [ Alcotest.test_case "documented SQL surface" `Quick test_sql;
+    Alcotest.test_case "documented XNF surface" `Quick test_xnf ]

@@ -1,0 +1,78 @@
+(* Unit tests: CSV import/export. *)
+
+open Relational
+
+let mk_db () =
+  let db = Db.create () in
+  ignore
+    (Db.exec db
+       "CREATE TABLE t (id INTEGER PRIMARY KEY, name VARCHAR, score FLOAT, ok BOOLEAN)");
+  db
+
+let test_roundtrip () =
+  let db = mk_db () in
+  ignore
+    (Db.exec db
+       "INSERT INTO t VALUES (1, 'plain', 1.5, TRUE), (2, 'with,comma', NULL, FALSE), \
+        (3, 'with \"quotes\"', 2.25, TRUE), (4, '', NULL, NULL), (5, NULL, 0.5, FALSE)");
+  let table = Catalog.table (Db.catalog db) "t" in
+  let csv = Csv_io.export table in
+  (* re-import into a fresh database *)
+  let db2 = mk_db () in
+  let table2 = Catalog.table (Db.catalog db2) "t" in
+  let n = Csv_io.import db2 table2 csv in
+  Alcotest.(check int) "five rows" 5 n;
+  let a = List.sort Row.compare (Table.rows table) in
+  let b = List.sort Row.compare (Table.rows table2) in
+  List.iter2 (fun x y -> Alcotest.(check bool) "row round-trips" true (Row.equal x y)) a b
+
+let test_null_vs_empty_string () =
+  let db = mk_db () in
+  let table = Catalog.table (Db.catalog db) "t" in
+  ignore (Csv_io.import db table "id,name,score,ok\n1,,,\n2,\"\",,\n");
+  let rows = Db.rows_of db "SELECT name FROM t ORDER BY id" in
+  Alcotest.(check bool) "unquoted empty is NULL" true (Value.is_null (List.nth rows 0).(0));
+  Alcotest.(check bool) "quoted empty is ''" true
+    (Value.equal (List.nth rows 1).(0) (Value.Str ""))
+
+let test_quoting_edge_cases () =
+  let parsed = Csv_io.parse "a,\"b\"\"c\",\"multi\nline\"\n" in
+  match parsed with
+  | [ [ Some "a"; Some "b\"c"; Some "multi\nline" ] ] -> ()
+  | _ -> Alcotest.fail "quoting parse wrong"
+
+let test_crlf_and_no_trailing_newline () =
+  let parsed = Csv_io.parse "a,b\r\nc,d" in
+  Alcotest.(check int) "two rows" 2 (List.length parsed)
+
+let test_errors () =
+  let db = mk_db () in
+  let table = Catalog.table (Db.catalog db) "t" in
+  (try
+     ignore (Csv_io.import db table "id,name,score,ok\nnotanint,x,1.0,true\n");
+     Alcotest.fail "expected type error"
+   with Csv_io.Csv_error _ -> ());
+  (try
+     ignore (Csv_io.import db table "id,name,score,ok\n1,onlytwo\n");
+     Alcotest.fail "expected arity error"
+   with Csv_io.Csv_error _ -> ());
+  try
+    ignore (Csv_io.parse "\"unterminated\n");
+    Alcotest.fail "expected parse error"
+  with Csv_io.Csv_error _ -> ()
+
+let test_import_respects_pk () =
+  let db = mk_db () in
+  let table = Catalog.table (Db.catalog db) "t" in
+  try
+    ignore (Csv_io.import db table "id,name,score,ok\n1,a,,\n1,b,,\n");
+    Alcotest.fail "expected duplicate key"
+  with Db.Exec_error _ -> ()
+
+let suite =
+  [ Alcotest.test_case "export/import round-trip" `Quick test_roundtrip;
+    Alcotest.test_case "NULL vs empty string" `Quick test_null_vs_empty_string;
+    Alcotest.test_case "quoting edge cases" `Quick test_quoting_edge_cases;
+    Alcotest.test_case "CRLF and missing trailing newline" `Quick test_crlf_and_no_trailing_newline;
+    Alcotest.test_case "import errors" `Quick test_errors;
+    Alcotest.test_case "import respects primary keys" `Quick test_import_respects_pk ]

@@ -1,0 +1,198 @@
+(* Failure-injection tests: every user-facing error path raises the typed
+   exception with a usable message, and never a generic crash. *)
+
+open Relational
+
+let mk () =
+  let db = Db.create () in
+  List.iter
+    (fun s -> ignore (Db.exec db s))
+    [ "CREATE TABLE dept (dno INTEGER PRIMARY KEY, dname VARCHAR, loc VARCHAR)";
+      "CREATE TABLE emp (eno INTEGER PRIMARY KEY, ename VARCHAR, sal INTEGER, edno INTEGER)";
+      "INSERT INTO dept VALUES (1, 'd1', 'NY')";
+      "INSERT INTO emp VALUES (1, 'e1', 100, 1)" ];
+  (db, Xnf.Api.create db)
+
+let expect_bind db sql =
+  match Db.rows_of db sql with
+  | _ -> Alcotest.failf "expected bind error for: %s" sql
+  | exception Binder.Bind_error _ -> ()
+
+let test_binder_errors () =
+  let db, _ = mk () in
+  expect_bind db "SELECT nosuch FROM dept";
+  expect_bind db "SELECT * FROM nosuch";
+  expect_bind db "SELECT d.dname FROM dept d, dept d2 WHERE dname = 'x'";
+  (* ambiguous *)
+  expect_bind db "SELECT * FROM emp WHERE SUM(sal) > 1";
+  (* aggregate in WHERE *)
+  expect_bind db "SELECT * FROM emp GROUP BY edno";
+  (* star with group by *)
+  expect_bind db "SELECT ename FROM emp GROUP BY edno";
+  (* non-key column outside aggregate *)
+  expect_bind db "SELECT dno FROM dept UNION SELECT dno, dname FROM dept"
+(* arity mismatch *)
+
+let test_cyclic_tabular_view () =
+  let db, _ = mk () in
+  (* v2 -> v1 -> v2 *)
+  Catalog.add_view (Db.catalog db) ~name:"v1" (Sql_parser.parse_select "SELECT * FROM v2");
+  Catalog.add_view (Db.catalog db) ~name:"v2" (Sql_parser.parse_select "SELECT * FROM v1");
+  expect_bind db "SELECT * FROM v1"
+
+let test_catalog_errors () =
+  let db, _ = mk () in
+  (try
+     ignore (Db.exec db "CREATE TABLE dept (x INTEGER)");
+     Alcotest.fail "expected duplicate"
+   with Catalog.Duplicate_name _ -> ());
+  try
+    ignore (Db.exec db "DROP TABLE nosuch");
+    Alcotest.fail "expected unknown table"
+  with Catalog.Unknown_table _ -> ()
+
+let expect_compose api q =
+  match Xnf.Api.fetch_string api q with
+  | _ -> Alcotest.failf "expected composition error for: %s" q
+  | exception (Xnf.View_registry.View_error _ | Xnf.Co_schema.Schema_error _) -> ()
+
+let test_compose_errors () =
+  let _, api = mk () in
+  (* unknown view import *)
+  expect_compose api "OUT OF NOSUCH-VIEW TAKE *";
+  (* duplicate component names *)
+  expect_compose api "OUT OF x AS DEPT, x AS EMP TAKE *";
+  (* edge partner is not a component *)
+  expect_compose api "OUT OF x AS DEPT, e AS (RELATE x, ghost WHERE x.dno = ghost.a) TAKE *";
+  (* cyclic relationship without role names *)
+  expect_compose api "OUT OF x AS EMP, m AS (RELATE x, x WHERE x.eno = x.edno) TAKE *";
+  (* restriction on unknown component *)
+  expect_compose api "OUT OF x AS DEPT WHERE ghost SUCH THAT dno = 1 TAKE *";
+  (* restriction on unknown relationship *)
+  expect_compose api "OUT OF x AS DEPT WHERE ghost (a, b) SUCH THAT a.dno = 1 TAKE *";
+  (* TAKE of unknown component *)
+  expect_compose api "OUT OF x AS DEPT TAKE ghost";
+  (* no root: mutual recursion with no entry point *)
+  expect_compose api
+    "OUT OF a AS DEPT, b AS EMP, ab AS (RELATE a, b WHERE a.dno = b.edno), \
+     ba AS (RELATE b, a WHERE b.edno = a.dno) TAKE *";
+  (* explicitly kept edge with projected-away partner *)
+  expect_compose api
+    "OUT OF a AS DEPT, b AS EMP, ab AS (RELATE a, b WHERE a.dno = b.edno) TAKE a(*), ab"
+
+let test_duplicate_xnf_view () =
+  let _, api = mk () in
+  ignore (Xnf.Api.exec api "CREATE VIEW W AS OUT OF x AS DEPT TAKE *");
+  try
+    ignore (Xnf.Api.exec api "CREATE VIEW W AS OUT OF x AS DEPT TAKE *");
+    Alcotest.fail "expected duplicate view error"
+  with Xnf.View_registry.View_error _ -> ()
+
+let test_translate_missing_using_table () =
+  let _, api = mk () in
+  try
+    ignore
+      (Xnf.Api.fetch_string api
+         "OUT OF a AS DEPT, b AS EMP, \
+          e AS (RELATE a, b USING ghostlink g WHERE a.dno = g.x AND b.eno = g.y) TAKE *");
+    Alcotest.fail "expected translate error"
+  with Xnf.Translate.Translate_error _ -> ()
+
+let test_take_unknown_column () =
+  let _, api = mk () in
+  try
+    ignore (Xnf.Api.fetch_string api "OUT OF a AS DEPT TAKE a(ghostcol)");
+    Alcotest.fail "expected translate error"
+  with Xnf.Translate.Translate_error _ -> ()
+
+let test_udi_errors () =
+  let db, api = mk () in
+  let cache =
+    Xnf.Api.fetch_string api
+      "OUT OF a AS DEPT, b AS EMP, e AS (RELATE a, b WHERE a.dno = b.edno) TAKE *"
+  in
+  let ses = Xnf.Udi.session db cache in
+  (* wrong arity on insert *)
+  (try
+     ignore (Xnf.Udi.insert ses ~node:"b" [| Value.Int 9 |]);
+     Alcotest.fail "expected arity error"
+   with Xnf.Udi.Udi_error _ -> ());
+  (* disconnect a connection that does not exist *)
+  (try
+     Xnf.Udi.disconnect ses ~edge:"e" ~parent:0 ~child:0;
+     (* parent 0 / child 0 IS connected (e1 in d1) — disconnect again fails *)
+     Xnf.Udi.disconnect ses ~edge:"e" ~parent:0 ~child:0;
+     Alcotest.fail "expected missing-connection error"
+   with Xnf.Udi.Udi_error _ -> ());
+  (* operations on a dead tuple *)
+  let ni = Xnf.Cache.node cache "b" in
+  let t = Xnf.Cache.tuple ni 0 in
+  Alcotest.(check bool) "tuple left CO after disconnect" false t.Xnf.Cache.t_live;
+  (try
+     Xnf.Udi.update ses ~node:"b" ~pos:0 [ ("sal", Value.Int 7) ];
+     Alcotest.fail "expected dead-tuple error"
+   with Xnf.Udi.Udi_error _ -> ());
+  (* unknown column in update *)
+  let cache2 =
+    Xnf.Api.fetch_string api
+      "OUT OF a AS DEPT, b AS EMP, e AS (RELATE a, b WHERE a.dno = b.edno) TAKE *"
+  in
+  let ses2 = Xnf.Udi.session db cache2 in
+  try
+    Xnf.Udi.update ses2 ~node:"a" ~pos:0 [ ("ghost", Value.Int 1) ];
+    Alcotest.fail "expected unknown column error"
+  with Xnf.Udi.Udi_error _ -> ()
+
+let test_readonly_edge_connect () =
+  let db, api = mk () in
+  let cache =
+    Xnf.Api.fetch_string api
+      "OUT OF a AS DEPT, b AS EMP, e AS (RELATE a, b WHERE a.dno < b.edno + 1) TAKE *"
+  in
+  let ses = Xnf.Udi.session db cache in
+  try
+    Xnf.Udi.connect ses ~edge:"e" ~parent:0 ~child:0 ();
+    Alcotest.fail "expected read-only edge error"
+  with Xnf.Udi.Udi_error _ -> ()
+
+let test_api_drop_unknown_view () =
+  let _, api = mk () in
+  try
+    ignore (Xnf.Api.exec api "DROP VIEW ghost");
+    Alcotest.fail "expected api error"
+  with Xnf.Api.Api_error _ -> ()
+
+let test_co_delete_readonly_component () =
+  let _, api = mk () in
+  try
+    ignore
+      (Xnf.Api.exec api
+         "OUT OF a AS (SELECT loc, COUNT(*) AS n FROM dept GROUP BY loc) DELETE *");
+    Alcotest.fail "expected non-updatable error"
+  with Xnf.Api.Api_error _ -> ()
+
+let test_cursor_errors () =
+  let _, api = mk () in
+  let cache = Xnf.Api.fetch_string api "OUT OF a AS DEPT TAKE *" in
+  (try
+     ignore (Xnf.Cursor.open_dependent ~parent:(Xnf.Cursor.open_independent cache "a") []);
+     Alcotest.fail "expected empty-path error"
+   with Xnf.Cursor.Cursor_error _ -> ());
+  try
+    ignore (Xnf.Cache.node cache "ghost");
+    Alcotest.fail "expected cache error"
+  with Xnf.Cache.Cache_error _ -> ()
+
+let suite =
+  [ Alcotest.test_case "binder errors" `Quick test_binder_errors;
+    Alcotest.test_case "cyclic tabular views" `Quick test_cyclic_tabular_view;
+    Alcotest.test_case "catalog errors" `Quick test_catalog_errors;
+    Alcotest.test_case "composition errors" `Quick test_compose_errors;
+    Alcotest.test_case "duplicate XNF view" `Quick test_duplicate_xnf_view;
+    Alcotest.test_case "missing USING table" `Quick test_translate_missing_using_table;
+    Alcotest.test_case "TAKE of unknown column" `Quick test_take_unknown_column;
+    Alcotest.test_case "udi errors" `Quick test_udi_errors;
+    Alcotest.test_case "read-only edge connect" `Quick test_readonly_edge_connect;
+    Alcotest.test_case "drop unknown view" `Quick test_api_drop_unknown_view;
+    Alcotest.test_case "CO DELETE on read-only component" `Quick test_co_delete_readonly_component;
+    Alcotest.test_case "cursor/cache errors" `Quick test_cursor_errors ]

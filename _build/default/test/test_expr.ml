@@ -1,0 +1,126 @@
+(* Unit tests: bound expression evaluation. *)
+
+open Relational
+
+let row = [| Value.Int 10; Value.Str "abc"; Value.Null; Value.Float 2.5; Value.Bool true |]
+
+let eval e = Expr.eval row e
+
+let test_col_and_lit () =
+  Alcotest.(check bool) "col" true (eval (Expr.Col 0) = Value.Int 10);
+  Alcotest.(check bool) "lit" true (eval (Expr.Lit (Value.Str "x")) = Value.Str "x")
+
+let test_cmp_3vl () =
+  Alcotest.(check bool) "10 = 10" true (eval Expr.(Cmp (Eq, Col 0, Lit (Value.Int 10))) = Value.Bool true);
+  Alcotest.(check bool) "null cmp is null" true
+    (eval Expr.(Cmp (Eq, Col 2, Lit (Value.Int 1))) = Value.Null);
+  Alcotest.(check bool) "10 < 2.5 false" true
+    (eval Expr.(Cmp (Lt, Col 0, Col 3)) = Value.Bool false)
+
+let test_and_or_short_3vl () =
+  (* FALSE AND UNKNOWN = FALSE, TRUE OR UNKNOWN = TRUE *)
+  let unknown = Expr.(Cmp (Eq, Col 2, Lit (Value.Int 1))) in
+  Alcotest.(check bool) "false and unknown" true
+    (eval Expr.(And (Lit (Value.Bool false), unknown)) = Value.Bool false);
+  Alcotest.(check bool) "true or unknown" true
+    (eval Expr.(Or (Lit (Value.Bool true), unknown)) = Value.Bool true);
+  Alcotest.(check bool) "true and unknown" true (eval Expr.(And (Lit (Value.Bool true), unknown)) = Value.Null)
+
+let test_is_null () =
+  Alcotest.(check bool) "is null" true (eval Expr.(Is_null (Col 2)) = Value.Bool true);
+  Alcotest.(check bool) "is not null" true (eval Expr.(Is_not_null (Col 0)) = Value.Bool true)
+
+let test_like () =
+  let like s p = Expr.(Like (Lit (Value.Str s), Lit (Value.Str p))) in
+  Alcotest.(check bool) "prefix" true (eval (like "hello" "he%") = Value.Bool true);
+  Alcotest.(check bool) "underscore" true (eval (like "cat" "c_t") = Value.Bool true);
+  Alcotest.(check bool) "middle" true (eval (like "xyz" "%y%") = Value.Bool true);
+  Alcotest.(check bool) "no match" true (eval (like "abc" "b%") = Value.Bool false);
+  Alcotest.(check bool) "empty pattern vs empty" true (eval (like "" "") = Value.Bool true);
+  Alcotest.(check bool) "percent matches empty" true (eval (like "" "%") = Value.Bool true)
+
+let test_in_list_unknown () =
+  (* 1 IN (2, NULL) is UNKNOWN; 1 IN (1, NULL) is TRUE *)
+  let e items = Expr.(In_list (Lit (Value.Int 1), List.map (fun v -> Expr.Lit v) items)) in
+  Alcotest.(check bool) "unknown" true (eval (e [ Value.Int 2; Value.Null ]) = Value.Null);
+  Alcotest.(check bool) "found" true (eval (e [ Value.Int 1; Value.Null ]) = Value.Bool true);
+  Alcotest.(check bool) "not found" true (eval (e [ Value.Int 2; Value.Int 3 ]) = Value.Bool false)
+
+let test_case () =
+  let c =
+    Expr.(
+      Case
+        ( [ (Cmp (Gt, Col 0, Lit (Value.Int 100)), Lit (Value.Str "big"));
+            (Cmp (Gt, Col 0, Lit (Value.Int 5)), Lit (Value.Str "mid")) ],
+          Some (Lit (Value.Str "small")) ))
+  in
+  Alcotest.(check bool) "case picks mid" true (eval c = Value.Str "mid")
+
+let test_functions () =
+  Alcotest.(check bool) "lower" true
+    (eval Expr.(Fn ("LOWER", [ Lit (Value.Str "ABC") ])) = Value.Str "abc");
+  Alcotest.(check bool) "length" true (eval Expr.(Fn ("length", [ Col 1 ])) = Value.Int 3);
+  Alcotest.(check bool) "abs" true (eval Expr.(Fn ("abs", [ Lit (Value.Int (-4)) ])) = Value.Int 4);
+  Alcotest.(check bool) "coalesce" true
+    (eval Expr.(Fn ("coalesce", [ Col 2; Lit (Value.Int 7) ])) = Value.Int 7)
+
+let test_shift_and_map_cols () =
+  let e = Expr.(Cmp (Eq, Col 1, Arith (Add, Col 0, Lit (Value.Int 1)))) in
+  let shifted = Expr.shift 3 e in
+  Alcotest.(check (list int)) "shifted cols" [ 3; 4 ] (Expr.cols shifted);
+  let mapped = Expr.map_cols (fun i -> i * 10) e in
+  Alcotest.(check (list int)) "mapped cols" [ 0; 10 ] (Expr.cols mapped)
+
+let test_conjuncts_roundtrip () =
+  let a = Expr.Lit (Value.Bool true)
+  and b = Expr.(Cmp (Eq, Col 0, Col 1))
+  and c = Expr.(Is_null (Col 2)) in
+  let e = Expr.And (Expr.And (a, b), c) in
+  Alcotest.(check int) "three conjuncts" 3 (List.length (Expr.conjuncts e));
+  let rebuilt = Expr.conjoin (Expr.conjuncts e) in
+  Alcotest.(check int) "rebuild count" 3 (List.length (Expr.conjuncts rebuilt))
+
+let test_subst_params () =
+  let e = Expr.(Cmp (Eq, Col 0, Param 1)) in
+  Alcotest.(check bool) "has param" true (Expr.has_param e);
+  let s = Expr.subst_params [| Value.Int 0; Value.Int 10 |] e in
+  Alcotest.(check bool) "no param after subst" false (Expr.has_param s);
+  Alcotest.(check bool) "evaluates" true (Expr.eval row s = Value.Bool true)
+
+let test_scalar_subplan () =
+  let sp =
+    { Expr.sp_eval = (fun _ -> List.to_seq [ [| Value.Int 99 |] ]); sp_descr = "test";
+      sp_ty = Expr.Hint_int }
+  in
+  Alcotest.(check bool) "scalar" true (eval (Expr.Scalar_plan sp) = Value.Int 99);
+  let empty = { sp with Expr.sp_eval = (fun _ -> Seq.empty) } in
+  Alcotest.(check bool) "empty scalar is null" true (eval (Expr.Scalar_plan empty) = Value.Null);
+  Alcotest.(check bool) "exists" true (eval (Expr.Exists_plan sp) = Value.Bool true);
+  Alcotest.(check bool) "not exists" true (eval (Expr.Exists_plan empty) = Value.Bool false)
+
+let test_in_plan_null_semantics () =
+  let sp vals =
+    { Expr.sp_eval = (fun _ -> List.to_seq (List.map (fun v -> [| v |]) vals)); sp_descr = "t";
+      sp_ty = Expr.Hint_int }
+  in
+  Alcotest.(check bool) "in finds" true
+    (eval (Expr.In_plan (Expr.Col 0, sp [ Value.Int 10 ])) = Value.Bool true);
+  Alcotest.(check bool) "in with null is unknown" true
+    (eval (Expr.In_plan (Expr.Col 0, sp [ Value.Int 1; Value.Null ])) = Value.Null);
+  Alcotest.(check bool) "in empty is false" true
+    (eval (Expr.In_plan (Expr.Col 0, sp [])) = Value.Bool false)
+
+let suite =
+  [ Alcotest.test_case "column and literal" `Quick test_col_and_lit;
+    Alcotest.test_case "comparison 3VL" `Quick test_cmp_3vl;
+    Alcotest.test_case "AND/OR with UNKNOWN" `Quick test_and_or_short_3vl;
+    Alcotest.test_case "IS NULL" `Quick test_is_null;
+    Alcotest.test_case "LIKE patterns" `Quick test_like;
+    Alcotest.test_case "IN list with NULL" `Quick test_in_list_unknown;
+    Alcotest.test_case "CASE" `Quick test_case;
+    Alcotest.test_case "scalar functions" `Quick test_functions;
+    Alcotest.test_case "shift and map_cols" `Quick test_shift_and_map_cols;
+    Alcotest.test_case "conjuncts/conjoin" `Quick test_conjuncts_roundtrip;
+    Alcotest.test_case "parameter substitution" `Quick test_subst_params;
+    Alcotest.test_case "scalar/exists subplans" `Quick test_scalar_subplan;
+    Alcotest.test_case "IN subplan NULL semantics" `Quick test_in_plan_null_semantics ]

@@ -1,0 +1,26 @@
+(* Test runner: all suites. *)
+
+let () =
+  Alcotest.run "sqlxnf"
+    [ ("value", Test_value.suite);
+      ("expr", Test_expr.suite);
+      ("table", Test_table.suite);
+      ("plan", Test_plan.suite);
+      ("sql-parser", Test_sql_parser.suite);
+      ("sql-exec", Test_exec.suite);
+      ("rewrite-optimizer", Test_rewrite.suite);
+      ("txn-storage", Test_txn.suite);
+      ("co-schema", Test_co_schema.suite);
+      ("xnf-parser", Test_xnf_parser.suite);
+      ("xnf-semantic", Test_semantic.suite);
+      ("xnf-translate", Test_translate.suite);
+      ("xnf-path", Test_path.suite);
+      ("xnf-cursor-udi", Test_cursor_udi.suite);
+      ("xnf-cache-extras", Test_cache_extras.suite);
+      ("workload", Test_workload.suite);
+      ("baselines", Test_baseline.suite);
+      ("conformance", Test_conformance.suite);
+      ("csv", Test_csv.suite);
+      ("errors", Test_errors.suite);
+      ("properties", Test_props.suite);
+      ("properties-2", Test_props2.suite) ]

@@ -1,0 +1,176 @@
+(* Unit tests: path expressions and SUCH THAT predicate evaluation over a
+   loaded composite object (§3.5). *)
+
+open Relational
+
+(* d1 -> {e1, e2}; d2 -> {e3}; e2 manages p1, p2; e3 manages p3;
+   membership: e1 on p1, e3 on p1 *)
+let mk () =
+  let db = Db.create () in
+  List.iter
+    (fun s -> ignore (Db.exec db s))
+    [ "CREATE TABLE dept (dno INTEGER PRIMARY KEY, dname VARCHAR, budget INTEGER)";
+      "CREATE TABLE emp (eno INTEGER PRIMARY KEY, ename VARCHAR, sal INTEGER, edno INTEGER, descr VARCHAR)";
+      "CREATE TABLE proj (pno INTEGER PRIMARY KEY, pname VARCHAR, pmgrno INTEGER, pbudget INTEGER)";
+      "CREATE TABLE empproj (epeno INTEGER, eppno INTEGER)";
+      "INSERT INTO dept VALUES (1, 'd1', 1000), (2, 'd2', 2000)";
+      "INSERT INTO emp VALUES (1, 'e1', 500, 1, 'staff'), (2, 'e2', 900, 1, 'regular'), (3, 'e3', 700, 2, 'staff')";
+      "INSERT INTO proj VALUES (1, 'p1', 2, 1500), (2, 'p2', 2, 400), (3, 'p3', 3, 900)";
+      "INSERT INTO empproj VALUES (1, 1), (3, 1)" ];
+  let api = Xnf.Api.create db in
+  let cache =
+    Xnf.Api.fetch_string api
+      "OUT OF Xdept AS DEPT, Xemp AS EMP, Xproj AS PROJ, \
+       employment AS (RELATE Xdept, Xemp WHERE Xdept.dno = Xemp.edno), \
+       projmanagement AS (RELATE Xemp, Xproj WHERE Xemp.eno = Xproj.pmgrno), \
+       membership AS (RELATE Xproj, Xemp USING EMPPROJ ep \
+       WHERE Xproj.pno = ep.eppno AND Xemp.eno = ep.epeno) TAKE *"
+  in
+  cache
+
+let pos_of cache node k =
+  let ni = Xnf.Cache.node cache node in
+  (List.find (fun t -> Value.equal t.Xnf.Cache.t_row.(0) (Value.Int k)) (Xnf.Cache.live_tuples ni))
+    .Xnf.Cache.t_pos
+
+(* reuse the parser by wrapping the path in a predicate *)
+let parse_path src =
+  match
+    Xnf.Xnf_parser.parse_stmt
+      (Printf.sprintf "OUT OF v WHERE x SUCH THAT EXISTS %s TAKE *" src)
+  with
+  | Xnf.Xnf_ast.X_query
+      { q_where = [ Xnf.Xnf_ast.R_node { rn_pred = Xnf.Xnf_ast.X_exists_path p; _ } ]; _ } ->
+    p
+  | _ -> Alcotest.fail "could not parse path"
+
+let eval_path cache env src = Xnf.Path.eval_path cache env (parse_path src)
+
+let env_d cache k = [ ("d", { Xnf.Path.b_node = "xdept"; b_pos = pos_of cache "xdept" k }) ]
+
+let keys cache (node, positions) =
+  let ni = Xnf.Cache.node cache node in
+  List.map (fun p -> Value.as_int (Xnf.Cache.tuple ni p).Xnf.Cache.t_row.(0)) positions
+  |> List.sort compare
+
+let test_tuple_rooted_path () =
+  let cache = mk () in
+  let result = eval_path cache (env_d cache 1) "d->employment" in
+  Alcotest.(check string) "lands on emp" "xemp" (fst result);
+  Alcotest.(check (list int)) "d1's employees" [ 1; 2 ] (keys cache result)
+
+let test_reduced_path () =
+  let cache = mk () in
+  (* edge -> edge without the node in between (paper's reduced form) *)
+  let result = eval_path cache (env_d cache 1) "d->employment->projmanagement" in
+  Alcotest.(check (list int)) "projects managed by d1 staff" [ 1; 2 ] (keys cache result)
+
+let test_full_path_equals_reduced () =
+  let cache = mk () in
+  let full = eval_path cache (env_d cache 1) "d->employment->Xemp->projmanagement->Xproj" in
+  let reduced = eval_path cache (env_d cache 1) "d->employment->projmanagement" in
+  Alcotest.(check (list int)) "same denotation" (keys cache reduced) (keys cache full)
+
+let test_set_rooted_path () =
+  let cache = mk () in
+  (* starting from the node name: all departments *)
+  let result = eval_path cache [] "Xdept->employment->projmanagement" in
+  Alcotest.(check (list int)) "all managed projects" [ 1; 2; 3 ] (keys cache result)
+
+let test_qualified_path () =
+  let cache = mk () in
+  let result =
+    eval_path cache (env_d cache 1) "d->employment->(Xemp e WHERE e.sal > 600)->projmanagement"
+  in
+  Alcotest.(check (list int)) "only via e2" [ 1; 2 ] (keys cache result)
+
+let test_qualified_path_outer_var () =
+  let cache = mk () in
+  (* the qualification references the outer variable d *)
+  let result =
+    eval_path cache (env_d cache 1)
+      "d->employment->projmanagement->(Xproj p WHERE p.pbudget > d.budget)"
+  in
+  Alcotest.(check (list int)) "projects bigger than d1's budget" [ 1 ] (keys cache result)
+
+let test_reverse_traversal_path () =
+  let cache = mk () in
+  (* from a project back to the employees working on it, then to employers *)
+  let env = [ ("p", { Xnf.Path.b_node = "xproj"; b_pos = pos_of cache "xproj" 1 }) ] in
+  let members = eval_path cache env "p->membership" in
+  Alcotest.(check (list int)) "members of p1" [ 1; 3 ] (keys cache members);
+  let employers = eval_path cache env "p->membership->employment" in
+  Alcotest.(check (list int)) "their employers" [ 1; 2 ] (keys cache employers)
+
+let test_path_dedupes () =
+  let cache = mk () in
+  (* both e1 and e3 work on p1: the target set contains p1 once *)
+  let env = [ ("d", { Xnf.Path.b_node = "xdept"; b_pos = pos_of cache "xdept" 1 }) ] in
+  let result = eval_path cache env "d->employment->membership" in
+  (* e1 works on p1 (e2 works on none) *)
+  Alcotest.(check (list int)) "distinct projects" [ 1 ] (keys cache result)
+
+let test_count_and_exists () =
+  let cache = mk () in
+  let eval e = Xnf.Path.eval_xexpr cache (env_d cache 1) e in
+  let parse s =
+    match
+      Xnf.Xnf_parser.parse_stmt (Printf.sprintf "OUT OF v WHERE x SUCH THAT %s TAKE *" s)
+    with
+    | Xnf.Xnf_ast.X_query { q_where = [ Xnf.Xnf_ast.R_node { rn_pred; _ } ]; _ } -> rn_pred
+    | _ -> Alcotest.fail "parse"
+  in
+  Alcotest.(check bool) "count" true
+    (Value.equal (eval (parse "COUNT(d->employment)")) (Value.Int 2));
+  Alcotest.(check bool) "exists true" true
+    (Value.equal (eval (parse "EXISTS d->employment")) (Value.Bool true));
+  Alcotest.(check bool) "count in arithmetic" true
+    (Value.equal (eval (parse "COUNT(d->employment->projmanagement) + 1")) (Value.Int 3))
+
+let test_predicate_mix () =
+  let cache = mk () in
+  let parse s =
+    match
+      Xnf.Xnf_parser.parse_stmt (Printf.sprintf "OUT OF v WHERE x SUCH THAT %s TAKE *" s)
+    with
+    | Xnf.Xnf_ast.X_query { q_where = [ Xnf.Xnf_ast.R_node { rn_pred; _ } ]; _ } -> rn_pred
+    | _ -> Alcotest.fail "parse"
+  in
+  let holds k s =
+    Value.is_true (Xnf.Path.eval_pred cache (env_d cache k) (parse s))
+  in
+  Alcotest.(check bool) "d1 qualifies" true
+    (holds 1 "COUNT(d->employment) >= 2 AND d.budget < 1500");
+  Alcotest.(check bool) "d2 fails the count" false
+    (holds 2 "COUNT(d->employment) >= 2 AND d.budget < 5000");
+  Alcotest.(check bool) "OR with path" true (holds 2 "COUNT(d->employment) >= 2 OR d.budget = 2000");
+  Alcotest.(check bool) "NOT EXISTS" false (holds 1 "NOT EXISTS d->employment")
+
+let test_errors () =
+  let cache = mk () in
+  (try
+     ignore (eval_path cache [] "nosuch->employment");
+     Alcotest.fail "expected unknown start error"
+   with Xnf.Path.Path_error _ -> ());
+  (try
+     ignore (eval_path cache (env_d cache 1) "d->nosuchedge");
+     Alcotest.fail "expected unknown edge error"
+   with Xnf.Path.Path_error _ -> ());
+  try
+    (* node checkpoint that does not match the current component *)
+    ignore (eval_path cache (env_d cache 1) "d->employment->Xproj");
+    Alcotest.fail "expected mismatch error"
+  with Xnf.Path.Path_error _ -> ()
+
+let suite =
+  [ Alcotest.test_case "tuple-rooted path" `Quick test_tuple_rooted_path;
+    Alcotest.test_case "reduced path (edge->edge)" `Quick test_reduced_path;
+    Alcotest.test_case "full form equals reduced form" `Quick test_full_path_equals_reduced;
+    Alcotest.test_case "set-rooted path" `Quick test_set_rooted_path;
+    Alcotest.test_case "qualified path" `Quick test_qualified_path;
+    Alcotest.test_case "qualification sees outer variables" `Quick test_qualified_path_outer_var;
+    Alcotest.test_case "reverse traversal" `Quick test_reverse_traversal_path;
+    Alcotest.test_case "target sets are distinct" `Quick test_path_dedupes;
+    Alcotest.test_case "COUNT and EXISTS atoms" `Quick test_count_and_exists;
+    Alcotest.test_case "mixed predicates" `Quick test_predicate_mix;
+    Alcotest.test_case "path errors" `Quick test_errors ]

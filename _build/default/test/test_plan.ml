@@ -1,0 +1,167 @@
+(* Unit tests: physical operators, constructed directly. *)
+
+open Relational
+
+let mk_table name rows_spec =
+  let cols = List.map (fun (n, ty) -> Schema.column n ty) rows_spec in
+  Table.create ~name (Schema.make cols)
+
+let fill t rows = List.iter (fun r -> ignore (Table.insert t (Array.of_list r))) rows
+
+let run p = List.of_seq (Plan.run p)
+
+let ab () =
+  let a = mk_table "a" [ ("x", Schema.Ty_int); ("y", Schema.Ty_int) ] in
+  fill a [ [ Value.Int 1; Value.Int 10 ]; [ Value.Int 2; Value.Int 20 ]; [ Value.Int 3; Value.Int 30 ] ];
+  let b = mk_table "b" [ ("u", Schema.Ty_int); ("v", Schema.Ty_string) ] in
+  fill b [ [ Value.Int 1; Value.Str "one" ]; [ Value.Int 3; Value.Str "three" ];
+           [ Value.Int 4; Value.Str "four" ] ];
+  (a, b)
+
+let test_scan_filter_project () =
+  let a, _ = ab () in
+  let p =
+    Plan.Project
+      ( Plan.Filter (Plan.Seq_scan a, Expr.(Cmp (Ge, Col 1, Lit (Value.Int 20)))),
+        [| Expr.Col 0 |] )
+  in
+  Alcotest.(check int) "two rows" 2 (List.length (run p));
+  Alcotest.(check bool) "projected" true (Row.equal (List.hd (run p)) [| Value.Int 2 |])
+
+let nl kind a b pred =
+  Plan.Nl_join { kind; left = Plan.Seq_scan a; right = Plan.Seq_scan b; pred;
+                 right_width = Schema.arity (Table.schema b) }
+
+let eq_pred = Expr.(Cmp (Eq, Col 0, Col 2))
+
+let test_nl_join_kinds () =
+  let a, b = ab () in
+  Alcotest.(check int) "inner: 2 matches" 2 (List.length (run (nl Plan.Inner a b (Some eq_pred))));
+  let left = run (nl Plan.Left a b (Some eq_pred)) in
+  Alcotest.(check int) "left: all 3" 3 (List.length left);
+  let unmatched = List.find (fun r -> Value.equal r.(0) (Value.Int 2)) left in
+  Alcotest.(check bool) "padded with nulls" true
+    (Value.is_null unmatched.(2) && Value.is_null unmatched.(3));
+  Alcotest.(check int) "semi: 2" 2 (List.length (run (nl Plan.Semi a b (Some eq_pred))));
+  let anti = run (nl Plan.Anti a b (Some eq_pred)) in
+  Alcotest.(check int) "anti: 1" 1 (List.length anti);
+  Alcotest.(check bool) "anti keeps x=2" true (Value.equal (List.hd anti).(0) (Value.Int 2));
+  Alcotest.(check bool) "semi/anti keep left arity" true
+    (Array.length (List.hd anti) = 2)
+
+let hash kind a b =
+  Plan.Hash_join
+    { kind; left = Plan.Seq_scan a; right = Plan.Seq_scan b; left_keys = [ Expr.Col 0 ];
+      right_keys = [ Expr.Col 0 ]; extra = None; right_width = Schema.arity (Table.schema b) }
+
+let test_hash_join_matches_nl () =
+  let a, b = ab () in
+  List.iter
+    (fun kind ->
+      let h = List.sort Row.compare (run (hash kind a b)) in
+      let n = List.sort Row.compare (run (nl kind a b (Some eq_pred))) in
+      Alcotest.(check int) "same cardinality" (List.length n) (List.length h);
+      List.iter2 (fun x y -> Alcotest.(check bool) "same rows" true (Row.equal x y)) n h)
+    [ Plan.Inner; Plan.Left; Plan.Semi; Plan.Anti ]
+
+let test_hash_join_null_keys_never_match () =
+  let a = mk_table "a" [ ("x", Schema.Ty_int) ] in
+  fill a [ [ Value.Null ]; [ Value.Int 1 ] ];
+  let b = mk_table "b" [ ("u", Schema.Ty_int) ] in
+  fill b [ [ Value.Null ]; [ Value.Int 1 ] ];
+  let p =
+    Plan.Hash_join
+      { kind = Plan.Inner; left = Plan.Seq_scan a; right = Plan.Seq_scan b;
+        left_keys = [ Expr.Col 0 ]; right_keys = [ Expr.Col 0 ]; extra = None; right_width = 1 }
+  in
+  Alcotest.(check int) "only 1=1" 1 (List.length (run p))
+
+let test_index_scan_and_join () =
+  let a, b = ab () in
+  let idx = Table.add_index b ~name:"b_u" ~cols:[| 0 |] Index.Hash in
+  let scan = Plan.Index_scan { table = b; index = idx; key = [ Expr.Lit (Value.Int 3) ] } in
+  Alcotest.(check int) "point lookup" 1 (List.length (run scan));
+  let j =
+    Plan.Index_nl_join
+      { kind = Plan.Inner; left = Plan.Seq_scan a; table = b; index = idx;
+        key_of_left = [ Expr.Col 0 ]; extra = None; right_width = 2 }
+  in
+  let h = List.sort Row.compare (run (hash Plan.Inner a b)) in
+  let ij = List.sort Row.compare (run j) in
+  Alcotest.(check int) "index join = hash join" (List.length h) (List.length ij);
+  List.iter2 (fun x y -> Alcotest.(check bool) "rows agree" true (Row.equal x y)) h ij
+
+let test_group () =
+  let a = mk_table "a" [ ("g", Schema.Ty_string); ("v", Schema.Ty_int) ] in
+  fill a
+    [ [ Value.Str "x"; Value.Int 1 ]; [ Value.Str "y"; Value.Int 2 ]; [ Value.Str "x"; Value.Int 3 ];
+      [ Value.Str "x"; Value.Null ] ];
+  let p =
+    Plan.Group
+      { input = Plan.Seq_scan a; keys = [ Expr.Col 0 ];
+        aggs =
+          [ (Expr.Count_star, None, false); (Expr.Count, Some (Expr.Col 1), false);
+            (Expr.Sum, Some (Expr.Col 1), false); (Expr.Avg, Some (Expr.Col 1), false);
+            (Expr.Min, Some (Expr.Col 1), false); (Expr.Max, Some (Expr.Col 1), false) ] }
+  in
+  let rows = run p in
+  Alcotest.(check int) "two groups" 2 (List.length rows);
+  let x = List.find (fun r -> Value.equal r.(0) (Value.Str "x")) rows in
+  Alcotest.(check bool) "count*" true (Value.equal x.(1) (Value.Int 3));
+  Alcotest.(check bool) "count v skips null" true (Value.equal x.(2) (Value.Int 2));
+  Alcotest.(check bool) "sum" true (Value.equal x.(3) (Value.Int 4));
+  Alcotest.(check bool) "avg" true (Value.equal x.(4) (Value.Float 2.0));
+  Alcotest.(check bool) "min" true (Value.equal x.(5) (Value.Int 1));
+  Alcotest.(check bool) "max" true (Value.equal x.(6) (Value.Int 3))
+
+let test_group_global_empty () =
+  let a = mk_table "a" [ ("v", Schema.Ty_int) ] in
+  let p =
+    Plan.Group
+      { input = Plan.Seq_scan a; keys = [];
+        aggs = [ (Expr.Count_star, None, false); (Expr.Sum, Some (Expr.Col 0), false) ] }
+  in
+  match run p with
+  | [ row ] ->
+    Alcotest.(check bool) "count 0" true (Value.equal row.(0) (Value.Int 0));
+    Alcotest.(check bool) "sum null" true (Value.is_null row.(1))
+  | rows -> Alcotest.failf "expected one row, got %d" (List.length rows)
+
+let test_sort_distinct_limit_union () =
+  let a = mk_table "a" [ ("v", Schema.Ty_int) ] in
+  fill a [ [ Value.Int 3 ]; [ Value.Int 1 ]; [ Value.Int 3 ]; [ Value.Null ]; [ Value.Int 2 ] ];
+  let sorted = run (Plan.Sort { input = Plan.Seq_scan a; keys = [ (Expr.Col 0, Sql_ast.Asc) ] }) in
+  Alcotest.(check bool) "nulls first" true (Value.is_null (List.hd sorted).(0));
+  let desc = run (Plan.Sort { input = Plan.Seq_scan a; keys = [ (Expr.Col 0, Sql_ast.Desc) ] }) in
+  Alcotest.(check bool) "desc starts at 3" true (Value.equal (List.hd desc).(0) (Value.Int 3));
+  Alcotest.(check int) "distinct" 4 (List.length (run (Plan.Distinct (Plan.Seq_scan a))));
+  Alcotest.(check int) "limit" 2 (List.length (run (Plan.Limit (Plan.Seq_scan a, 2))));
+  Alcotest.(check int) "union all" 10
+    (List.length (run (Plan.Union_all (Plan.Seq_scan a, Plan.Seq_scan a))))
+
+let test_params () =
+  let a, b = ab () in
+  ignore b;
+  let p = Plan.Filter (Plan.Seq_scan a, Expr.(Cmp (Eq, Col 0, Param 0))) in
+  Alcotest.(check bool) "has params" true (Plan.has_params p);
+  let bound = Plan.subst_params [| Value.Int 2 |] p in
+  Alcotest.(check bool) "no params" false (Plan.has_params bound);
+  Alcotest.(check int) "one row" 1 (List.length (run bound));
+  Alcotest.(check int) "run_with_params" 1
+    (List.length (List.of_seq (Plan.run_with_params [| Value.Int 2 |] p)))
+
+let test_values_materialize () =
+  let p = Plan.Values [ [| Value.Int 1 |]; [| Value.Int 2 |] ] in
+  Alcotest.(check int) "two rows" 2 (List.length (run p))
+
+let suite =
+  [ Alcotest.test_case "scan/filter/project" `Quick test_scan_filter_project;
+    Alcotest.test_case "NL join kinds" `Quick test_nl_join_kinds;
+    Alcotest.test_case "hash join = NL join" `Quick test_hash_join_matches_nl;
+    Alcotest.test_case "NULL keys never match" `Quick test_hash_join_null_keys_never_match;
+    Alcotest.test_case "index scan and index NL join" `Quick test_index_scan_and_join;
+    Alcotest.test_case "group aggregates" `Quick test_group;
+    Alcotest.test_case "global aggregate over empty" `Quick test_group_global_empty;
+    Alcotest.test_case "sort/distinct/limit/union" `Quick test_sort_distinct_limit_union;
+    Alcotest.test_case "parameter substitution" `Quick test_params;
+    Alcotest.test_case "values" `Quick test_values_materialize ]

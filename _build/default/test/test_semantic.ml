@@ -1,0 +1,134 @@
+(* Unit tests: updatability analysis (§3.7). *)
+
+open Relational
+
+let mk_catalog () =
+  let db = Db.create () in
+  List.iter
+    (fun s -> ignore (Db.exec db s))
+    [ "CREATE TABLE dept (dno INTEGER PRIMARY KEY, dname VARCHAR, budget INTEGER)";
+      "CREATE TABLE emp (eno INTEGER PRIMARY KEY, ename VARCHAR, sal INTEGER, edno INTEGER)";
+      "CREATE TABLE empproj (epeno INTEGER, eppno INTEGER, percentage INTEGER)" ];
+  Db.catalog db
+
+let analyze cat s = Xnf.Semantic.analyze_node_query cat (Sql_parser.parse_select s)
+
+let test_node_star () =
+  let cat = mk_catalog () in
+  match analyze cat "SELECT * FROM emp" with
+  | Some u ->
+    Alcotest.(check string) "base" "emp" u.Xnf.Semantic.nu_table;
+    Alcotest.(check (array int)) "identity map" [| 0; 1; 2; 3 |] u.Xnf.Semantic.nu_col_map
+  | None -> Alcotest.fail "star select should be updatable"
+
+let test_node_column_projection () =
+  let cat = mk_catalog () in
+  match analyze cat "SELECT ename, sal FROM emp" with
+  | Some u -> Alcotest.(check (array int)) "col map" [| 1; 2 |] u.Xnf.Semantic.nu_col_map
+  | None -> Alcotest.fail "column projection should be updatable"
+
+let test_node_restriction_wrapper () =
+  let cat = mk_catalog () in
+  (* the shape View_registry produces when folding node restrictions *)
+  match analyze cat "SELECT * FROM (SELECT * FROM emp WHERE sal > 100) e WHERE e.sal < 900" with
+  | Some u -> Alcotest.(check string) "unwraps to emp" "emp" u.Xnf.Semantic.nu_table
+  | None -> Alcotest.fail "wrapped restriction should stay updatable"
+
+let test_node_not_updatable () =
+  let cat = mk_catalog () in
+  Alcotest.(check bool) "join" true (analyze cat "SELECT * FROM emp, dept" = None);
+  Alcotest.(check bool) "group" true (analyze cat "SELECT edno FROM emp GROUP BY edno" = None);
+  Alcotest.(check bool) "distinct" true (analyze cat "SELECT DISTINCT sal FROM emp" = None);
+  Alcotest.(check bool) "expression item" true (analyze cat "SELECT sal + 1 FROM emp" = None);
+  Alcotest.(check bool) "alias rename" true (analyze cat "SELECT sal AS pay FROM emp" = None);
+  Alcotest.(check bool) "unknown table" true (analyze cat "SELECT * FROM nosuch" = None)
+
+let edge_def ?using ?(attrs = []) pred =
+  { Xnf.Co_schema.ed_name = "e"; ed_parent = "xdept"; ed_child = "xemp";
+    ed_parent_alias = "xdept"; ed_child_alias = "xemp"; ed_using = using; ed_attrs = attrs;
+    ed_pred = Sql_parser.parse_expr_string pred }
+
+let schemas cat =
+  let dept = Schema.requalify "" (Table.schema (Catalog.table cat "dept")) in
+  let emp = Schema.requalify "" (Table.schema (Catalog.table cat "emp")) in
+  (dept, emp)
+
+let test_edge_fk () =
+  let cat = mk_catalog () in
+  let dept, emp = schemas cat in
+  match
+    Xnf.Semantic.analyze_edge cat (edge_def "xdept.dno = xemp.edno") ~parent_schema:dept
+      ~child_schema:emp
+  with
+  | Xnf.Semantic.Upd_fk { fk_parent_col = 0; fk_child_col = 3 } -> ()
+  | _ -> Alcotest.fail "expected FK updatability"
+
+let test_edge_fk_flipped () =
+  let cat = mk_catalog () in
+  let dept, emp = schemas cat in
+  (* equality written child-first still resolves: FK stays on the child *)
+  match
+    Xnf.Semantic.analyze_edge cat (edge_def "xemp.edno = xdept.dno") ~parent_schema:dept
+      ~child_schema:emp
+  with
+  | Xnf.Semantic.Upd_fk { fk_parent_col = 0; fk_child_col = 3 } -> ()
+  | _ -> Alcotest.fail "expected FK updatability"
+
+let test_edge_link () =
+  let cat = mk_catalog () in
+  let dept, emp = schemas cat in
+  match
+    Xnf.Semantic.analyze_edge cat
+      (edge_def ~using:("empproj", "ep")
+         ~attrs:[ (Sql_parser.parse_expr_string "ep.percentage", "percentage") ]
+         "xdept.dno = ep.eppno AND xemp.eno = ep.epeno")
+      ~parent_schema:dept ~child_schema:emp
+  with
+  | Xnf.Semantic.Upd_link { link_table = "empproj"; parent_bind = [ ("eppno", 0) ];
+                            child_bind = [ ("epeno", 0) ]; attr_cols = [ ("percentage", 0) ] } ->
+    ()
+  | Xnf.Semantic.Upd_link _ -> Alcotest.fail "link bindings wrong"
+  | _ -> Alcotest.fail "expected link updatability"
+
+let test_edge_readonly_cases () =
+  let cat = mk_catalog () in
+  let dept, emp = schemas cat in
+  let readonly def =
+    match Xnf.Semantic.analyze_edge cat def ~parent_schema:dept ~child_schema:emp with
+    | Xnf.Semantic.Upd_readonly _ -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "inequality" true (readonly (edge_def "xdept.dno < xemp.edno"));
+  Alcotest.(check bool) "composite without USING" true
+    (readonly (edge_def "xdept.dno = xemp.edno AND xdept.budget > xemp.sal"));
+  Alcotest.(check bool) "expression predicate" true
+    (readonly (edge_def "xdept.dno = xemp.edno + 1"));
+  (* projected-away FK column makes the edge read-only *)
+  let narrow_emp = Schema.make [ Schema.column "eno" Schema.Ty_int ] in
+  match
+    Xnf.Semantic.analyze_edge cat (edge_def "xdept.dno = xemp.edno") ~parent_schema:dept
+      ~child_schema:narrow_emp
+  with
+  | Xnf.Semantic.Upd_readonly _ -> ()
+  | _ -> Alcotest.fail "projected FK should be read-only"
+
+let test_relationship_columns () =
+  let cat = mk_catalog () in
+  let dept, emp = schemas cat in
+  let pcols, ccols =
+    Xnf.Semantic.relationship_columns (edge_def "xdept.dno = xemp.edno") ~parent_schema:dept
+      ~child_schema:emp
+  in
+  Alcotest.(check (list int)) "parent cols" [ 0 ] pcols;
+  Alcotest.(check (list int)) "child cols" [ 3 ] ccols
+
+let suite =
+  [ Alcotest.test_case "node: star select" `Quick test_node_star;
+    Alcotest.test_case "node: column projection" `Quick test_node_column_projection;
+    Alcotest.test_case "node: restriction wrapper" `Quick test_node_restriction_wrapper;
+    Alcotest.test_case "node: non-updatable shapes" `Quick test_node_not_updatable;
+    Alcotest.test_case "edge: FK form" `Quick test_edge_fk;
+    Alcotest.test_case "edge: FK form, flipped equality" `Quick test_edge_fk_flipped;
+    Alcotest.test_case "edge: USING link form" `Quick test_edge_link;
+    Alcotest.test_case "edge: read-only cases" `Quick test_edge_readonly_cases;
+    Alcotest.test_case "relationship columns" `Quick test_relationship_columns ]

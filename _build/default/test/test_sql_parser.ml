@@ -1,0 +1,123 @@
+(* Unit tests: SQL lexer and parser, including pretty-print round trips. *)
+
+open Relational
+
+let parses s =
+  match Sql_parser.parse_stmt s with
+  | _ -> true
+  | exception Sql_lexer.Parse_error _ -> false
+
+let roundtrip s =
+  (* parse, print, re-parse: the two ASTs must agree *)
+  let ast1 = Sql_parser.parse_stmt s in
+  let printed = Sql_ast.stmt_to_string ast1 in
+  let ast2 = Sql_parser.parse_stmt printed in
+  ast1 = ast2
+
+let test_lexer_basics () =
+  let toks = Sql_lexer.tokenize "SELECT a, 'it''s', 3.5, 42 FROM t WHERE x <= 1" in
+  Alcotest.(check bool) "keyword" true (Array.exists (fun t -> t = Sql_lexer.KW "SELECT") toks);
+  Alcotest.(check bool) "string escape" true
+    (Array.exists (fun t -> t = Sql_lexer.STRING "it's") toks);
+  Alcotest.(check bool) "float" true (Array.exists (fun t -> t = Sql_lexer.FLOAT 3.5) toks);
+  Alcotest.(check bool) "le" true (Array.exists (fun t -> t = Sql_lexer.SYM "<=") toks)
+
+let test_lexer_hyphenated_names () =
+  (* the paper spells view names like ALL-DEPS *)
+  let toks = Sql_lexer.tokenize "ALL-DEPS" in
+  Alcotest.(check bool) "one identifier" true (toks.(0) = Sql_lexer.IDENT "all-deps");
+  (* but digits after a hyphen terminate the identifier (arithmetic) *)
+  let toks2 = Sql_lexer.tokenize "budget-100" in
+  Alcotest.(check int) "three tokens + eof" 4 (Array.length toks2)
+
+let test_lexer_comments () =
+  let toks = Sql_lexer.tokenize "SELECT a -- trailing comment\nFROM t" in
+  Alcotest.(check bool) "comment skipped" true
+    (not (Array.exists (fun t -> t = Sql_lexer.IDENT "trailing") toks))
+
+let test_select_forms () =
+  List.iter
+    (fun s -> Alcotest.(check bool) s true (parses s))
+    [ "SELECT * FROM t";
+      "SELECT DISTINCT a, b AS bee FROM t WHERE a > 1";
+      "SELECT t.* FROM t";
+      "SELECT a FROM t1, t2 WHERE t1.x = t2.y";
+      "SELECT a FROM t1 JOIN t2 ON t1.x = t2.y LEFT JOIN t3 ON t2.z = t3.w";
+      "SELECT a, COUNT(*), SUM(b) FROM t GROUP BY a HAVING COUNT(*) > 2";
+      "SELECT a FROM t ORDER BY a DESC, b LIMIT 10";
+      "SELECT a FROM t WHERE b IN (1, 2, 3)";
+      "SELECT a FROM t WHERE b IN (SELECT c FROM u)";
+      "SELECT a FROM t WHERE EXISTS (SELECT * FROM u WHERE u.x = t.a)";
+      "SELECT a FROM t WHERE b BETWEEN 1 AND 10";
+      "SELECT a FROM t WHERE name LIKE 'ab%' AND x IS NOT NULL";
+      "SELECT CASE WHEN a > 1 THEN 'x' ELSE 'y' END FROM t";
+      "SELECT a FROM (SELECT * FROM t) sub WHERE sub.a = 1";
+      "SELECT (SELECT MAX(x) FROM u) FROM t" ]
+
+let test_dml_ddl_forms () =
+  List.iter
+    (fun s -> Alcotest.(check bool) s true (parses s))
+    [ "INSERT INTO t VALUES (1, 'a'), (2, 'b')";
+      "INSERT INTO t (a, b) VALUES (1, 2)";
+      "UPDATE t SET a = a + 1, b = 'x' WHERE c < 3";
+      "DELETE FROM t WHERE a = 1";
+      "CREATE TABLE t (id INTEGER PRIMARY KEY, name VARCHAR(30) NOT NULL, f FLOAT, b BOOLEAN)";
+      "CREATE INDEX i ON t (a, b) USING ORDERED";
+      "CREATE VIEW v AS SELECT a FROM t";
+      "DROP TABLE t";
+      "DROP VIEW v";
+      "BEGIN";
+      "COMMIT";
+      "ROLLBACK" ]
+
+let test_precedence () =
+  (* a OR b AND c parses as a OR (b AND c) *)
+  match Sql_parser.parse_expr_string "x = 1 OR y = 2 AND z = 3" with
+  | Sql_ast.E_or (_, Sql_ast.E_and (_, _)) -> ()
+  | _ -> Alcotest.fail "precedence wrong"
+
+let test_arith_precedence () =
+  (* 1 + 2 * 3 = 1 + (2 * 3) *)
+  match Sql_parser.parse_expr_string "1 + 2 * 3" with
+  | Sql_ast.E_arith (Expr.Add, _, Sql_ast.E_arith (Expr.Mul, _, _)) -> ()
+  | _ -> Alcotest.fail "arith precedence wrong"
+
+let test_not_in () =
+  match Sql_parser.parse_expr_string "a NOT IN (1, 2)" with
+  | Sql_ast.E_not (Sql_ast.E_in_list _) -> ()
+  | _ -> Alcotest.fail "NOT IN wrong"
+
+let test_roundtrips () =
+  List.iter
+    (fun s -> Alcotest.(check bool) ("roundtrip: " ^ s) true (roundtrip s))
+    [ "SELECT DISTINCT a, b AS bee FROM t WHERE (a > 1) AND (b LIKE 'x%')";
+      "SELECT a, COUNT(*) FROM t GROUP BY a HAVING COUNT(*) > 2 ORDER BY a DESC LIMIT 5";
+      "SELECT t1.a FROM t1 LEFT JOIN t2 ON t1.x = t2.y";
+      "INSERT INTO t (a, b) VALUES (1, 'it''s')";
+      "UPDATE t SET a = (a + 1) WHERE c IS NULL";
+      "DELETE FROM t WHERE a IN (SELECT b FROM u)";
+      "CREATE TABLE t (id INTEGER PRIMARY KEY, name VARCHAR)";
+      "CREATE VIEW v AS SELECT a FROM t WHERE a > 0";
+      "SELECT a FROM t UNION ALL SELECT b FROM u UNION SELECT c FROM w ORDER BY 1 LIMIT 3" ]
+
+let test_errors () =
+  List.iter
+    (fun s -> Alcotest.(check bool) ("rejects: " ^ s) false (parses s))
+    [ "SELECT"; "SELECT FROM t"; "SELECT * FROM"; "INSERT t VALUES (1)";
+      "SELECT * FROM t WHERE"; "SELECT * FROM t GROUP"; "CREATE t"; "SELECT * FROM t extra garbage (" ]
+
+let test_unterminated_string () =
+  Alcotest.(check bool) "unterminated" false (parses "SELECT 'oops FROM t")
+
+let suite =
+  [ Alcotest.test_case "lexer basics" `Quick test_lexer_basics;
+    Alcotest.test_case "hyphenated identifiers" `Quick test_lexer_hyphenated_names;
+    Alcotest.test_case "line comments" `Quick test_lexer_comments;
+    Alcotest.test_case "SELECT forms" `Quick test_select_forms;
+    Alcotest.test_case "DML/DDL forms" `Quick test_dml_ddl_forms;
+    Alcotest.test_case "boolean precedence" `Quick test_precedence;
+    Alcotest.test_case "arithmetic precedence" `Quick test_arith_precedence;
+    Alcotest.test_case "NOT IN" `Quick test_not_in;
+    Alcotest.test_case "pretty-print round trips" `Quick test_roundtrips;
+    Alcotest.test_case "parse errors" `Quick test_errors;
+    Alcotest.test_case "unterminated string" `Quick test_unterminated_string ]

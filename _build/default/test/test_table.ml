@@ -1,0 +1,160 @@
+(* Unit tests: tables, indexes, schemas, rows, vec. *)
+
+open Relational
+
+let mk_schema () =
+  Schema.make
+    [ Schema.column ~nullable:false "id" Schema.Ty_int;
+      Schema.column "name" Schema.Ty_string;
+      Schema.column "score" Schema.Ty_float ]
+
+let mk_table () = Table.create ~name:"t" (mk_schema ())
+
+let test_insert_get_delete () =
+  let t = mk_table () in
+  let r1 = Table.insert t [| Value.Int 1; Value.Str "a"; Value.Float 1.5 |] in
+  let r2 = Table.insert t [| Value.Int 2; Value.Str "b"; Value.Null |] in
+  Alcotest.(check int) "cardinality" 2 (Table.cardinality t);
+  Alcotest.(check bool) "get r1" true (Option.is_some (Table.get t r1));
+  ignore (Table.delete t r1);
+  Alcotest.(check int) "after delete" 1 (Table.cardinality t);
+  Alcotest.(check bool) "tombstoned" true (Table.get t r1 = None);
+  Alcotest.(check bool) "r2 intact" true (Option.is_some (Table.get t r2))
+
+let test_schema_violations () =
+  let t = mk_table () in
+  Alcotest.check_raises "arity" (Table.Schema_violation "t: arity 3, got 2") (fun () ->
+      ignore (Table.insert t [| Value.Int 1; Value.Str "a" |]));
+  (try
+     ignore (Table.insert t [| Value.Str "bad"; Value.Str "a"; Value.Null |]);
+     Alcotest.fail "expected type violation"
+   with Table.Schema_violation _ -> ());
+  try
+    ignore (Table.insert t [| Value.Null; Value.Str "a"; Value.Null |]);
+    Alcotest.fail "expected NOT NULL violation"
+  with Table.Schema_violation _ -> ()
+
+let test_update_restore () =
+  let t = mk_table () in
+  let r = Table.insert t [| Value.Int 1; Value.Str "a"; Value.Null |] in
+  ignore (Table.update t r [| Value.Int 1; Value.Str "b"; Value.Null |]);
+  (match Table.get t r with
+  | Some row -> Alcotest.(check bool) "updated" true (Value.equal row.(1) (Value.Str "b"))
+  | None -> Alcotest.fail "row missing");
+  let old = Option.get (Table.delete t r) in
+  Table.restore t r old;
+  Alcotest.(check int) "restored" 1 (Table.cardinality t);
+  Alcotest.(check bool) "restored content" true
+    (match Table.get t r with Some row -> Value.equal row.(1) (Value.Str "b") | None -> false)
+
+let test_version_bumps () =
+  let t = mk_table () in
+  let v0 = Table.version t in
+  let r = Table.insert t [| Value.Int 1; Value.Null; Value.Null |] in
+  let v1 = Table.version t in
+  ignore (Table.update t r [| Value.Int 2; Value.Null; Value.Null |]);
+  let v2 = Table.version t in
+  ignore (Table.delete t r);
+  let v3 = Table.version t in
+  Alcotest.(check bool) "monotone" true (v0 < v1 && v1 < v2 && v2 < v3)
+
+let test_hash_index_maintenance () =
+  let t = mk_table () in
+  let idx = Table.add_index t ~name:"by_name" ~cols:[| 1 |] Index.Hash in
+  let r1 = Table.insert t [| Value.Int 1; Value.Str "x"; Value.Null |] in
+  let _r2 = Table.insert t [| Value.Int 2; Value.Str "x"; Value.Null |] in
+  Alcotest.(check int) "two hits" 2 (List.length (Table.lookup_index t idx [| Value.Str "x" |]));
+  ignore (Table.delete t r1);
+  Alcotest.(check int) "one hit after delete" 1
+    (List.length (Table.lookup_index t idx [| Value.Str "x" |]));
+  ignore
+    (Table.update t _r2 [| Value.Int 2; Value.Str "y"; Value.Null |]);
+  Alcotest.(check int) "zero after update" 0
+    (List.length (Table.lookup_index t idx [| Value.Str "x" |]));
+  Alcotest.(check int) "moved to new key" 1
+    (List.length (Table.lookup_index t idx [| Value.Str "y" |]))
+
+let test_index_backfill () =
+  let t = mk_table () in
+  for i = 1 to 10 do
+    ignore (Table.insert t [| Value.Int i; Value.Str (string_of_int (i mod 3)); Value.Null |])
+  done;
+  let idx = Table.add_index t ~name:"late" ~cols:[| 1 |] Index.Hash in
+  (* i mod 3 = 1 for i in {1, 4, 7, 10} *)
+  Alcotest.(check int) "backfilled" 4 (List.length (Table.lookup_index t idx [| Value.Str "1" |]))
+
+let test_ordered_index_range () =
+  let idx = Index.create ~name:"ord" ~cols:[| 0 |] Index.Ordered in
+  List.iteri (fun i v -> Index.insert idx [| Value.Int v |] i) [ 5; 1; 9; 3; 7 ];
+  let hits = Index.range idx ~lo:(`Incl [| Value.Int 3 |]) ~hi:(`Excl [| Value.Int 9 |]) () in
+  Alcotest.(check int) "range [3,9)" 3 (List.length hits);
+  Alcotest.(check int) "distinct keys" 5 (Index.distinct_keys idx)
+
+let test_schema_lookup () =
+  let s = mk_schema () in
+  Alcotest.(check int) "find name" 1 (Schema.find s "name");
+  Alcotest.(check int) "find NAME case-insensitive" 1 (Schema.find s "NAME");
+  Alcotest.check_raises "unknown" (Schema.Unknown_column "zzz") (fun () ->
+      ignore (Schema.find s "zzz"));
+  let s2 = Schema.concat (Schema.requalify "a" s) (Schema.requalify "b" s) in
+  Alcotest.(check int) "qualified b.name" 4 (Schema.find s2 ~qualifier:"b" "name");
+  Alcotest.check_raises "ambiguous" (Schema.Ambiguous_column "name") (fun () ->
+      ignore (Schema.find s2 "name"))
+
+let test_row_ops () =
+  let a = [| Value.Int 1; Value.Str "x" |] and b = [| Value.Int 1; Value.Str "x" |] in
+  Alcotest.(check bool) "equal" true (Row.equal a b);
+  Alcotest.(check int) "hash equal" (Row.hash a) (Row.hash b);
+  Alcotest.(check bool) "project" true
+    (Row.equal (Row.project a [| 1 |]) [| Value.Str "x" |]);
+  Alcotest.(check bool) "concat" true (Array.length (Row.concat a b) = 4);
+  Alcotest.(check bool) "lexicographic" true (Row.compare a [| Value.Int 2; Value.Str "a" |] < 0)
+
+let test_vec () =
+  let v = Vec.create ~dummy:0 () in
+  for i = 0 to 99 do
+    Vec.push v i
+  done;
+  Alcotest.(check int) "length" 100 (Vec.length v);
+  Alcotest.(check int) "get" 42 (Vec.get v 42);
+  Vec.set v 42 1000;
+  Alcotest.(check int) "set" 1000 (Vec.get v 42);
+  Alcotest.(check int) "fold sum" (4950 - 42 + 1000) (Vec.fold ( + ) 0 v);
+  Vec.truncate v 10;
+  Alcotest.(check int) "truncate" 10 (Vec.length v);
+  Alcotest.check_raises "oob" (Invalid_argument "Vec.get") (fun () -> ignore (Vec.get v 10))
+
+let test_distinct_estimate () =
+  let t = mk_table () in
+  for i = 0 to 29 do
+    ignore (Table.insert t [| Value.Int i; Value.Str (string_of_int (i mod 7)); Value.Null |])
+  done;
+  Alcotest.(check int) "distinct names" 7 (Table.distinct_estimate t 1);
+  Alcotest.(check int) "distinct ids" 30 (Table.distinct_estimate t 0)
+
+let test_touch_hook () =
+  let t = mk_table () in
+  for i = 0 to 9 do
+    ignore (Table.insert t [| Value.Int i; Value.Null; Value.Null |])
+  done;
+  let touched = ref 0 in
+  Table.set_touch t (Some (fun _ -> incr touched));
+  Table.iter (fun _ _ -> ()) t;
+  Alcotest.(check int) "scan touches all" 10 !touched;
+  Table.set_touch t None;
+  Table.iter (fun _ _ -> ()) t;
+  Alcotest.(check int) "hook removed" 10 !touched
+
+let suite =
+  [ Alcotest.test_case "insert/get/delete" `Quick test_insert_get_delete;
+    Alcotest.test_case "schema violations" `Quick test_schema_violations;
+    Alcotest.test_case "update and restore" `Quick test_update_restore;
+    Alcotest.test_case "version bumps" `Quick test_version_bumps;
+    Alcotest.test_case "hash index maintenance" `Quick test_hash_index_maintenance;
+    Alcotest.test_case "index backfill" `Quick test_index_backfill;
+    Alcotest.test_case "ordered index range" `Quick test_ordered_index_range;
+    Alcotest.test_case "schema lookup" `Quick test_schema_lookup;
+    Alcotest.test_case "row operations" `Quick test_row_ops;
+    Alcotest.test_case "vec" `Quick test_vec;
+    Alcotest.test_case "distinct estimate" `Quick test_distinct_estimate;
+    Alcotest.test_case "touch hook" `Quick test_touch_hook ]

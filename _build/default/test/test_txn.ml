@@ -1,0 +1,155 @@
+(* Unit tests: WAL, transactions, recovery, buffer pool, page layouts. *)
+
+open Relational
+
+let mk_db () =
+  let db = Db.create () in
+  ignore (Db.exec db "CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)");
+  ignore (Db.exec db "INSERT INTO t VALUES (1, 10), (2, 20)");
+  db
+
+let test_rollback_insert () =
+  let db = mk_db () in
+  ignore (Db.exec db "BEGIN");
+  ignore (Db.exec db "INSERT INTO t VALUES (3, 30)");
+  Alcotest.(check int) "visible in txn" 3 (List.length (Db.rows_of db "SELECT * FROM t"));
+  ignore (Db.exec db "ROLLBACK");
+  Alcotest.(check int) "gone after rollback" 2 (List.length (Db.rows_of db "SELECT * FROM t"))
+
+let test_rollback_update_delete () =
+  let db = mk_db () in
+  ignore (Db.exec db "BEGIN");
+  ignore (Db.exec db "UPDATE t SET v = 99 WHERE id = 1");
+  ignore (Db.exec db "DELETE FROM t WHERE id = 2");
+  ignore (Db.exec db "ROLLBACK");
+  let rows = Db.rows_of db "SELECT v FROM t ORDER BY id" in
+  Alcotest.(check int) "both rows back" 2 (List.length rows);
+  Alcotest.(check bool) "value restored" true (Value.equal (List.hd rows).(0) (Value.Int 10))
+
+let test_commit_persists () =
+  let db = mk_db () in
+  ignore (Db.exec db "BEGIN");
+  ignore (Db.exec db "UPDATE t SET v = 99 WHERE id = 1");
+  ignore (Db.exec db "COMMIT");
+  Alcotest.(check bool) "committed" true
+    (Value.equal (List.hd (Db.rows_of db "SELECT v FROM t WHERE id = 1")).(0) (Value.Int 99))
+
+let test_rollback_restores_indexes () =
+  let db = mk_db () in
+  ignore (Db.exec db "CREATE INDEX t_v ON t (v)");
+  ignore (Db.exec db "BEGIN");
+  ignore (Db.exec db "UPDATE t SET v = 999 WHERE id = 1");
+  ignore (Db.exec db "ROLLBACK");
+  (* index lookup must see the restored value *)
+  Alcotest.(check int) "index sees old value" 1
+    (List.length (Db.rows_of db "SELECT * FROM t WHERE v = 10"))
+
+let test_nested_begin_rejected () =
+  let db = mk_db () in
+  ignore (Db.exec db "BEGIN");
+  (try
+     ignore (Db.exec db "BEGIN");
+     Alcotest.fail "expected nested-begin error"
+   with Txn.Txn_error _ -> ());
+  ignore (Db.exec db "ROLLBACK")
+
+let test_commit_without_begin () =
+  let db = mk_db () in
+  try
+    ignore (Db.exec db "COMMIT");
+    Alcotest.fail "expected error"
+  with Txn.Txn_error _ -> ()
+
+let test_recovery_replay () =
+  let db = mk_db () in
+  (* committed txn + aborted txn + autocommit ops *)
+  ignore (Db.exec db "BEGIN");
+  ignore (Db.exec db "INSERT INTO t VALUES (3, 30)");
+  ignore (Db.exec db "COMMIT");
+  ignore (Db.exec db "BEGIN");
+  ignore (Db.exec db "INSERT INTO t VALUES (4, 40)");
+  ignore (Db.exec db "ROLLBACK");
+  ignore (Db.exec db "UPDATE t SET v = 11 WHERE id = 1");
+  (* replay the log onto a fresh catalog with empty same-schema tables *)
+  let db2 = Db.create () in
+  ignore (Db.exec db2 "CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)");
+  Wal.replay (Txn.wal (Db.txn db)) (Db.catalog db2);
+  let dump d = Db.rows_of d "SELECT id, v FROM t ORDER BY id" in
+  let a = dump db and b = dump db2 in
+  Alcotest.(check int) "same cardinality" (List.length a) (List.length b);
+  List.iter2 (fun x y -> Alcotest.(check bool) "same row" true (Row.equal x y)) a b
+
+let test_wal_grows () =
+  let db = mk_db () in
+  let before = Wal.length (Txn.wal (Db.txn db)) in
+  ignore (Db.exec db "INSERT INTO t VALUES (5, 50)");
+  Alcotest.(check bool) "logged" true (Wal.length (Txn.wal (Db.txn db)) > before)
+
+(* ---- buffer pool and page layouts (E4 machinery) ---- *)
+
+let test_buffer_pool_lru () =
+  let pool = Buffer_pool.create ~capacity:2 in
+  Buffer_pool.access pool 1;
+  Buffer_pool.access pool 2;
+  Buffer_pool.access pool 1;
+  (* 1 is MRU *)
+  Buffer_pool.access pool 3;
+  (* evicts 2 *)
+  Buffer_pool.access pool 2;
+  (* fault *)
+  Alcotest.(check int) "faults" 4 (Buffer_pool.faults pool);
+  Alcotest.(check int) "hits" 1 (Buffer_pool.hits pool)
+
+let test_table_clustered_layout () =
+  let t = Table.create ~name:"x" (Schema.make [ Schema.column "a" Schema.Ty_int ]) in
+  for i = 0 to 9 do
+    ignore (Table.insert t [| Value.Int i |])
+  done;
+  let layout = Page.table_clustered ~rows_per_page:4 [ t ] in
+  Alcotest.(check int) "3 pages for 10 rows" 3 (Page.page_count layout);
+  Alcotest.(check int) "row 0 page" (Page.page_of layout t 0) (Page.page_of layout t 3);
+  Alcotest.(check bool) "row 4 different page" true
+    (Page.page_of layout t 4 <> Page.page_of layout t 0)
+
+let test_co_clustered_layout_interleaves () =
+  let a = Table.create ~name:"pa" (Schema.make [ Schema.column "k" Schema.Ty_int ]) in
+  let b = Table.create ~name:"ch" (Schema.make [ Schema.column "k" Schema.Ty_int ]) in
+  for i = 0 to 3 do
+    ignore (Table.insert a [| Value.Int i |]);
+    ignore (Table.insert b [| Value.Int i |])
+  done;
+  (* interleave parent i with child i *)
+  let order = List.concat_map (fun i -> [ (a, i); (b, i) ]) [ 0; 1; 2; 3 ] in
+  let layout = Page.co_clustered ~rows_per_page:2 ~order [ a; b ] in
+  Alcotest.(check int) "parent 0 and child 0 share a page" (Page.page_of layout a 0)
+    (Page.page_of layout b 0);
+  Alcotest.(check bool) "pairs separated" true
+    (Page.page_of layout a 0 <> Page.page_of layout a 1)
+
+let test_layout_attach_counts_faults () =
+  let t = Table.create ~name:"y" (Schema.make [ Schema.column "a" Schema.Ty_int ]) in
+  for i = 0 to 19 do
+    ignore (Table.insert t [| Value.Int i |])
+  done;
+  let layout = Page.table_clustered ~rows_per_page:5 [ t ] in
+  let pool = Buffer_pool.create ~capacity:100 in
+  let detach = Page.attach layout pool [ t ] in
+  Table.iter (fun _ _ -> ()) t;
+  detach ();
+  (* a full scan of 20 rows on 4 pages = 4 faults, 16 hits *)
+  Alcotest.(check int) "4 faults" 4 (Buffer_pool.faults pool);
+  Alcotest.(check int) "16 hits" 16 (Buffer_pool.hits pool)
+
+let suite =
+  [ Alcotest.test_case "rollback undoes insert" `Quick test_rollback_insert;
+    Alcotest.test_case "rollback undoes update+delete" `Quick test_rollback_update_delete;
+    Alcotest.test_case "commit persists" `Quick test_commit_persists;
+    Alcotest.test_case "rollback restores indexes" `Quick test_rollback_restores_indexes;
+    Alcotest.test_case "nested BEGIN rejected" `Quick test_nested_begin_rejected;
+    Alcotest.test_case "COMMIT without BEGIN" `Quick test_commit_without_begin;
+    Alcotest.test_case "recovery replay" `Quick test_recovery_replay;
+    Alcotest.test_case "WAL grows" `Quick test_wal_grows;
+    Alcotest.test_case "buffer pool LRU" `Quick test_buffer_pool_lru;
+    Alcotest.test_case "table-clustered layout" `Quick test_table_clustered_layout;
+    Alcotest.test_case "CO-clustered layout" `Quick test_co_clustered_layout_interleaves;
+    Alcotest.test_case "layout+pool fault counting" `Quick test_layout_attach_counts_faults ]

@@ -1,0 +1,72 @@
+(* Unit tests: SQL values and three-valued logic. *)
+
+open Relational
+
+let check_truth = Alcotest.(check bool)
+
+let test_truth_tables () =
+  let open Value in
+  (* Kleene AND *)
+  Alcotest.(check bool) "T and T" true (truth_and True True = True);
+  Alcotest.(check bool) "T and U" true (truth_and True Unknown = Unknown);
+  Alcotest.(check bool) "F and U" true (truth_and False Unknown = False);
+  Alcotest.(check bool) "U and U" true (truth_and Unknown Unknown = Unknown);
+  (* Kleene OR *)
+  Alcotest.(check bool) "T or U" true (truth_or True Unknown = True);
+  Alcotest.(check bool) "F or U" true (truth_or False Unknown = Unknown);
+  Alcotest.(check bool) "F or F" true (truth_or False False = False);
+  (* NOT *)
+  Alcotest.(check bool) "not U" true (truth_not Unknown = Unknown);
+  Alcotest.(check bool) "not T" true (truth_not True = False)
+
+let test_compare_sql_null () =
+  Alcotest.(check bool) "null vs int" true (Value.compare_sql Value.Null (Value.Int 1) = None);
+  Alcotest.(check bool) "int vs null" true (Value.compare_sql (Value.Int 1) Value.Null = None);
+  Alcotest.(check bool) "1 < 2" true (Value.compare_sql (Value.Int 1) (Value.Int 2) = Some (-1))
+
+let test_numeric_cross_compare () =
+  Alcotest.(check bool) "1 = 1.0" true (Value.compare_sql (Value.Int 1) (Value.Float 1.0) = Some 0);
+  Alcotest.(check bool) "2 > 1.5" true
+    (match Value.compare_sql (Value.Int 2) (Value.Float 1.5) with Some c -> c > 0 | None -> false)
+
+let test_total_order_nulls_first () =
+  Alcotest.(check bool) "null first" true (Value.compare_total Value.Null (Value.Int (-100)) < 0);
+  Alcotest.(check bool) "null = null" true (Value.compare_total Value.Null Value.Null = 0)
+
+let test_hash_consistent_with_equal () =
+  let a = Value.Int 42 and b = Value.Float 42.0 in
+  Alcotest.(check bool) "equal cross-type" true (Value.equal a b);
+  Alcotest.(check int) "hash matches" (Value.hash a) (Value.hash b)
+
+let test_arith_null_propagation () =
+  Alcotest.(check bool) "null + 1" true (Value.arith `Add Value.Null (Value.Int 1) = Value.Null);
+  Alcotest.(check bool) "1 / 0 is null" true (Value.arith `Div (Value.Int 1) (Value.Int 0) = Value.Null);
+  Alcotest.(check bool) "7 mod 3" true (Value.arith `Mod (Value.Int 7) (Value.Int 3) = Value.Int 1)
+
+let test_arith_mixed_types () =
+  Alcotest.(check bool) "int+float widens" true
+    (Value.arith `Add (Value.Int 1) (Value.Float 0.5) = Value.Float 1.5);
+  Alcotest.(check bool) "string concat" true
+    (Value.arith `Add (Value.Str "a") (Value.Str "b") = Value.Str "ab")
+
+let test_sql_literal_quoting () =
+  Alcotest.(check string) "escaped quote" "'it''s'" (Value.to_sql_literal (Value.Str "it's"));
+  Alcotest.(check string) "null literal" "NULL" (Value.to_sql_literal Value.Null)
+
+let test_is_true_strict () =
+  Alcotest.(check bool) "unknown is not true" false (Value.is_true Value.Unknown);
+  Alcotest.(check bool) "false is not true" false (Value.is_true Value.False);
+  Alcotest.(check bool) "true is true" true (Value.is_true Value.True)
+
+let suite =
+  [ Alcotest.test_case "3VL truth tables" `Quick test_truth_tables;
+    Alcotest.test_case "SQL compare with NULL" `Quick test_compare_sql_null;
+    Alcotest.test_case "numeric cross-type compare" `Quick test_numeric_cross_compare;
+    Alcotest.test_case "total order: NULLs first" `Quick test_total_order_nulls_first;
+    Alcotest.test_case "hash consistent with equal" `Quick test_hash_consistent_with_equal;
+    Alcotest.test_case "arithmetic NULL propagation" `Quick test_arith_null_propagation;
+    Alcotest.test_case "arithmetic type widening" `Quick test_arith_mixed_types;
+    Alcotest.test_case "SQL literal quoting" `Quick test_sql_literal_quoting;
+    Alcotest.test_case "is_true strictness" `Quick test_is_true_strict ]
+
+let () = ignore check_truth

@@ -1,0 +1,155 @@
+(* Unit tests: workload generators and the deterministic PRNG. *)
+
+open Relational
+
+let test_rng_deterministic () =
+  let a = Workload.Rng.create 42 and b = Workload.Rng.create 42 in
+  let seq r = List.init 50 (fun _ -> Workload.Rng.int r 1000) in
+  Alcotest.(check (list int)) "same seed, same stream" (seq a) (seq b);
+  let c = Workload.Rng.create 43 in
+  Alcotest.(check bool) "different seed differs" true (seq (Workload.Rng.create 42) <> seq c)
+
+let test_rng_ranges () =
+  let r = Workload.Rng.create 7 in
+  for _ = 1 to 1000 do
+    let v = Workload.Rng.in_range r 5 10 in
+    Alcotest.(check bool) "in range" true (v >= 5 && v <= 10);
+    let f = Workload.Rng.float r in
+    Alcotest.(check bool) "unit float" true (f >= 0. && f < 1.)
+  done
+
+let test_rng_split_independent () =
+  let r = Workload.Rng.create 1 in
+  let s = Workload.Rng.split r in
+  (* drawing from the split does not perturb the parent's stream *)
+  let r2 = Workload.Rng.create 1 in
+  let _ = Workload.Rng.split r2 in
+  ignore (Workload.Rng.int s 100);
+  ignore (Workload.Rng.int s 100);
+  Alcotest.(check int) "parent stream unperturbed" (Workload.Rng.int r2 1000000)
+    (Workload.Rng.int r 1000000)
+
+let test_rng_shuffle_permutes () =
+  let r = Workload.Rng.create 5 in
+  let arr = Array.init 20 Fun.id in
+  Workload.Rng.shuffle r arr;
+  Alcotest.(check (list int)) "same multiset" (List.init 20 Fun.id)
+    (List.sort compare (Array.to_list arr))
+
+let test_company_cardinalities () =
+  let db = Db.create () in
+  let scale = Workload.Company.medium in
+  Workload.Company.populate db ~seed:9 ~scale ~repr:Workload.Company.Cdb1;
+  let count t = Table.cardinality (Catalog.table (Db.catalog db) t) in
+  Alcotest.(check int) "depts" scale.Workload.Company.n_depts (count "dept");
+  Alcotest.(check int) "emps"
+    (scale.Workload.Company.n_depts * scale.Workload.Company.emps_per_dept)
+    (count "emp");
+  Alcotest.(check int) "projs"
+    (scale.Workload.Company.n_depts * scale.Workload.Company.projs_per_dept)
+    (count "proj");
+  Alcotest.(check int) "skills" scale.Workload.Company.n_skills (count "skills");
+  (* every employee's edno references an existing department (CDB1) *)
+  Alcotest.(check int) "FK closure" 0
+    (List.length
+       (Db.rows_of db "SELECT * FROM emp WHERE edno NOT IN (SELECT dno FROM dept)"))
+
+let test_company_cdb2_representation () =
+  let db = Db.create () in
+  Workload.Company.populate db ~seed:9 ~scale:Workload.Company.small ~repr:Workload.Company.Cdb2;
+  (* employment lives in the link table, not in emp.edno *)
+  Alcotest.(check int) "edno all null"
+    (Table.cardinality (Catalog.table (Db.catalog db) "emp"))
+    (List.length (Db.rows_of db "SELECT * FROM emp WHERE edno IS NULL"));
+  Alcotest.(check bool) "deptemp populated" true
+    (Table.cardinality (Catalog.table (Db.catalog db) "deptemp") > 0)
+
+let test_oo1_invariants () =
+  let db = Db.create () in
+  let n_parts = 500 in
+  Workload.Oo1.populate db ~seed:13 ~n_parts;
+  Alcotest.(check int) "parts" n_parts
+    (Table.cardinality (Catalog.table (Db.catalog db) "part"));
+  Alcotest.(check int) "3 connections per part" (3 * n_parts)
+    (Table.cardinality (Catalog.table (Db.catalog db) "connection"));
+  (* every part has exactly 3 outgoing connections *)
+  let rows =
+    Db.rows_of db "SELECT from_id, COUNT(*) FROM connection GROUP BY from_id HAVING COUNT(*) <> 3"
+  in
+  Alcotest.(check int) "uniform out-degree" 0 (List.length rows);
+  (* locality: most connections stay within the reference zone *)
+  let zone = n_parts / 100 in
+  let local =
+    Db.rows_of db
+      (Printf.sprintf
+         "SELECT COUNT(*) FROM connection WHERE ABS(from_id - to_id) <= %d OR ABS(from_id - to_id) >= %d"
+         zone (n_parts - zone))
+  in
+  let local_count = Value.as_int (List.hd local).(0) in
+  Alcotest.(check bool) "~90% locality" true
+    (float_of_int local_count /. float_of_int (3 * n_parts) > 0.8)
+
+let test_design_selectivity () =
+  let db = Db.create () in
+  let scale =
+    { Workload.Design.n_docs = 100; versions_per_doc = 3; components_per_version = 5;
+      n_configs = 2; docs_per_config = 4 }
+  in
+  Workload.Design.populate db ~seed:21 ~scale;
+  let count t = Table.cardinality (Catalog.table (Db.catalog db) t) in
+  Alcotest.(check int) "docs" 100 (count "doc");
+  Alcotest.(check int) "versions" 300 (count "version");
+  Alcotest.(check int) "components" 1500 (count "component");
+  Alcotest.(check int) "configver rows" 8 (count "configver");
+  Alcotest.(check int) "total" (Workload.Design.total_rows db)
+    (count "doc" + count "version" + count "component" + count "config" + count "configver")
+
+let test_design_working_set () =
+  let db = Db.create () in
+  let scale =
+    { Workload.Design.n_docs = 50; versions_per_doc = 3; components_per_version = 4;
+      n_configs = 1; docs_per_config = 3 }
+  in
+  Workload.Design.populate db ~seed:22 ~scale;
+  let api = Xnf.Api.create db in
+  let ws = Xnf.Api.fetch_string api (Workload.Design.working_set_query 0) in
+  (* 1 config + 3 versions + 12 components + <=3 docs *)
+  let n = Xnf.Cache.total_tuples ws in
+  Alcotest.(check bool) "working set size plausible" true (n >= 17 && n <= 19);
+  Alcotest.(check int) "3 selected versions" 3
+    (Xnf.Cache.live_count (Xnf.Cache.node ws "xver"))
+
+let test_chain_structure () =
+  let db = Db.create () in
+  Workload.Chain.populate db ~seed:3 ~depth:3 ~n_roots:2 ~fanout:3;
+  let count t = Table.cardinality (Catalog.table (Db.catalog db) t) in
+  Alcotest.(check int) "t0" 4 (count "t0");
+  Alcotest.(check int) "t1" 12 (count "t1");
+  Alcotest.(check int) "t3" 108 (count "t3");
+  let api = Xnf.Api.create db in
+  let cache = Xnf.Api.fetch_string api (Workload.Chain.co_query ~depth:3) in
+  (* tagged half: 2 roots, then 6, 18, 54 *)
+  Alcotest.(check int) "CO tuples" (2 + 6 + 18 + 54) (Xnf.Cache.total_tuples cache)
+
+let test_mgmt_chain () =
+  let db = Db.create () in
+  Workload.Chain.mgmt_chain db ~chain_len:10;
+  let api = Xnf.Api.create db in
+  let cache = Xnf.Api.fetch_string api Workload.Chain.mgmt_query in
+  (* root + all 9 subordinates reachable through the recursive edge *)
+  Alcotest.(check int) "whole chain reachable" 10
+    (Xnf.Cache.live_count (Xnf.Cache.node cache "xroot")
+    + Xnf.Cache.live_count (Xnf.Cache.node cache "xemp"))
+
+let suite =
+  [ Alcotest.test_case "rng determinism" `Quick test_rng_deterministic;
+    Alcotest.test_case "rng ranges" `Quick test_rng_ranges;
+    Alcotest.test_case "rng split independence" `Quick test_rng_split_independent;
+    Alcotest.test_case "rng shuffle" `Quick test_rng_shuffle_permutes;
+    Alcotest.test_case "company cardinalities" `Quick test_company_cardinalities;
+    Alcotest.test_case "company CDB2 representation" `Quick test_company_cdb2_representation;
+    Alcotest.test_case "OO1 invariants" `Quick test_oo1_invariants;
+    Alcotest.test_case "design database" `Quick test_design_selectivity;
+    Alcotest.test_case "design working set" `Quick test_design_working_set;
+    Alcotest.test_case "chain structure" `Quick test_chain_structure;
+    Alcotest.test_case "management chain" `Quick test_mgmt_chain ]

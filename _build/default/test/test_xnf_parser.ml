@@ -1,0 +1,147 @@
+(* Unit tests: XNF parser and pretty-printer round trips. *)
+
+open Xnf
+open Xnf_ast
+
+let parse = Xnf_parser.parse_stmt
+
+let parses s =
+  match parse s with
+  | _ -> true
+  | exception Relational.Sql_lexer.Parse_error _ -> false
+
+let roundtrip s =
+  let ast1 = parse s in
+  let ast2 = parse (stmt_to_string ast1) in
+  ast1 = ast2
+
+let test_basic_constructor () =
+  match
+    parse
+      "OUT OF Xdept AS (SELECT * FROM dept WHERE loc = 'NY'), Xemp AS EMP, \
+       employment AS (RELATE Xdept, Xemp WHERE Xdept.dno = Xemp.edno) TAKE *"
+  with
+  | X_query q ->
+    Alcotest.(check int) "three bindings" 3 (List.length q.q_out_of);
+    Alcotest.(check bool) "take star" true (q.q_take = Take_star);
+    (match List.nth q.q_out_of 1 with
+    | B_node { bn_name = "xemp"; bn_query } ->
+      Alcotest.(check bool) "shorthand expands" true
+        (bn_query = Relational.Sql_ast.select_star_from "emp")
+    | _ -> Alcotest.fail "shorthand binding wrong")
+  | _ -> Alcotest.fail "expected query"
+
+let test_relate_with_attributes_using () =
+  match
+    parse
+      "OUT OF Xproj AS PROJ, Xemp AS EMP, membership AS (RELATE Xproj, Xemp \
+       WITH ATTRIBUTES ep.percentage AS percentage USING EMPPROJ ep \
+       WHERE Xproj.pno = ep.eppno AND Xemp.eno = ep.epeno) TAKE *"
+  with
+  | X_query q -> begin
+    match List.nth q.q_out_of 2 with
+    | B_edge e ->
+      Alcotest.(check int) "one attribute" 1 (List.length e.be_attrs);
+      Alcotest.(check bool) "using table" true (e.be_using = Some ("empproj", "ep"))
+    | _ -> Alcotest.fail "expected edge binding"
+  end
+  | _ -> Alcotest.fail "expected query"
+
+let test_node_restriction () =
+  match parse "OUT OF ALL-DEPS WHERE Xemp e SUCH THAT e.sal < 2000 TAKE *" with
+  | X_query { q_where = [ R_node { rn_node = "xemp"; rn_var = Some "e"; _ } ]; _ } -> ()
+  | _ -> Alcotest.fail "node restriction AST wrong"
+
+let test_edge_restriction () =
+  match
+    parse
+      "OUT OF ALL-DEPS WHERE employment (d, e) SUCH THAT e.sal < d.budget / 100 TAKE *"
+  with
+  | X_query
+      { q_where = [ R_edge { re_edge = "employment"; re_parent_var = "d"; re_child_var = "e"; _ } ];
+        _ } ->
+    ()
+  | _ -> Alcotest.fail "edge restriction AST wrong"
+
+let test_take_projection () =
+  match parse "OUT OF ALL-DEPS TAKE Xdept(*), Xemp(ename, sal), employment" with
+  | X_query { q_take = Take_items items; _ } ->
+    Alcotest.(check int) "three items" 3 (List.length items);
+    (match List.nth items 1 with
+    | Take_node ("xemp", Take_cols [ "ename"; "sal" ]) -> ()
+    | _ -> Alcotest.fail "column projection wrong")
+  | _ -> Alcotest.fail "take items wrong"
+
+let test_path_in_restriction () =
+  match
+    parse
+      "OUT OF EXT-ALL-DEPS-ORG WHERE Xdept d SUCH THAT \
+       COUNT(d->employment->projmanagement) > 2 AND d.budget > 1000 TAKE *"
+  with
+  | X_query { q_where = [ R_node { rn_pred; _ } ]; _ } ->
+    Alcotest.(check bool) "has path" true (has_path rn_pred);
+    (match rn_pred with
+    | X_and (X_cmp (Relational.Expr.Gt, X_count_path p, _), _) ->
+      Alcotest.(check string) "path start" "d" p.p_start;
+      Alcotest.(check int) "two steps" 2 (List.length p.p_steps)
+    | _ -> Alcotest.fail "COUNT(path) shape wrong")
+  | _ -> Alcotest.fail "path restriction wrong"
+
+let test_qualified_path () =
+  match
+    parse
+      "OUT OF V WHERE Xdept d SUCH THAT EXISTS d->employment->\
+       (Xemp e WHERE e.descr = 'staff')->projmanagement->\
+       (Xproj p WHERE p.pbudget > d.budget) TAKE *"
+  with
+  | X_query { q_where = [ R_node { rn_pred = X_exists_path p; _ } ]; _ } ->
+    Alcotest.(check int) "four steps" 4 (List.length p.p_steps);
+    (match List.nth p.p_steps 1 with
+    | Step_node { sn_node = "xemp"; sn_var = Some "e"; sn_pred = Some _ } -> ()
+    | _ -> Alcotest.fail "qualified step wrong")
+  | _ -> Alcotest.fail "qualified path wrong"
+
+let test_create_view_and_delete () =
+  (match parse "CREATE VIEW ALL-DEPS AS OUT OF Xdept AS DEPT TAKE *" with
+  | X_create_view ("all-deps", _) -> ()
+  | _ -> Alcotest.fail "create view wrong");
+  match parse "OUT OF ALL-DEPS WHERE Xemp e SUCH THAT e.sal < 2000 DELETE *" with
+  | X_delete _ -> ()
+  | _ -> Alcotest.fail "CO delete wrong"
+
+let test_sql_passthrough () =
+  (match parse "SELECT * FROM t" with
+  | X_sql (Relational.Sql_ast.S_select _) -> ()
+  | _ -> Alcotest.fail "select passthrough");
+  match parse "CREATE VIEW v AS SELECT a FROM t" with
+  | X_sql (Relational.Sql_ast.S_create_view _) -> ()
+  | _ -> Alcotest.fail "sql view passthrough"
+
+let test_roundtrips () =
+  List.iter
+    (fun s -> Alcotest.(check bool) ("roundtrip: " ^ s) true (roundtrip s))
+    [ "OUT OF xdept AS (SELECT * FROM dept), xemp AS (SELECT * FROM emp), employment AS \
+       (RELATE xdept, xemp WHERE (xdept.dno = xemp.edno)) TAKE *";
+      "OUT OF all-deps WHERE xemp e SUCH THAT (e.sal < 2000) TAKE xdept(*), xemp(ename), employment";
+      "OUT OF v WHERE employment (d, e) SUCH THAT (e.sal < (d.budget / 100)) TAKE *";
+      "CREATE VIEW x AS OUT OF v, pm AS (RELATE xemp m, xproj p WHERE (m.eno = p.pmgrno)) TAKE *";
+      "OUT OF all-deps WHERE xemp e SUCH THAT (e.sal < 2000) DELETE *" ]
+
+let test_errors () =
+  List.iter
+    (fun s -> Alcotest.(check bool) ("rejects: " ^ s) false (parses s))
+    [ "OUT OF TAKE *"; "OUT OF x AS"; "OUT OF x AS (RELATE a) TAKE *";
+      "OUT OF x AS DEPT WHERE TAKE *"; "OUT OF x AS DEPT"; "OUT OF x AS DEPT TAKE" ]
+
+let suite =
+  [ Alcotest.test_case "CO constructor" `Quick test_basic_constructor;
+    Alcotest.test_case "RELATE with attributes/USING" `Quick test_relate_with_attributes_using;
+    Alcotest.test_case "node restriction" `Quick test_node_restriction;
+    Alcotest.test_case "edge restriction" `Quick test_edge_restriction;
+    Alcotest.test_case "TAKE projection" `Quick test_take_projection;
+    Alcotest.test_case "COUNT(path) restriction" `Quick test_path_in_restriction;
+    Alcotest.test_case "qualified path expression" `Quick test_qualified_path;
+    Alcotest.test_case "CREATE VIEW and DELETE" `Quick test_create_view_and_delete;
+    Alcotest.test_case "plain SQL passthrough" `Quick test_sql_passthrough;
+    Alcotest.test_case "pretty-print round trips" `Quick test_roundtrips;
+    Alcotest.test_case "parse errors" `Quick test_errors ]
