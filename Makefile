@@ -1,0 +1,24 @@
+# Convenience targets for the SQL/XNF reproduction.
+#
+#   make build   - compile everything (libraries, shell, bench, tests)
+#   make test    - run the test suites (tier-1 gate)
+#   make check   - build + test + bench smoke (what CI runs)
+#   make bench   - run the full benchmark suite
+#   make clean   - remove build artifacts
+
+.PHONY: build test check bench clean
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+check: build test
+	dune exec bench/main.exe -- --list
+
+bench:
+	dune exec bench/main.exe
+
+clean:
+	dune clean

@@ -685,6 +685,23 @@ let e10 () =
   pr "   (the root scan is the only O(database) term; probes touch only the@.";
   pr "    working set — extraction stays near-flat as the database grows 16x)@."
 
+(* per-experiment observability line: per-stage pipeline time from the
+   span.* histograms and the cache hit rate from the counters, both
+   sourced from lib/obs *)
+let with_obs f =
+  let stage n = Obs.Metrics.hist_sum_get ("span." ^ n) in
+  let hits () = Obs.Metrics.counter_get "xnf.cache.nav_hits" + Obs.Metrics.counter_get "xnf.fetchcache.hits" in
+  let misses () = Obs.Metrics.counter_get "xnf.cache.nav_misses" + Obs.Metrics.counter_get "xnf.fetchcache.misses" in
+  let tr0 = stage "translate" and op0 = stage "optimize" and ex0 = stage "execute" in
+  let h0 = hits () and m0 = misses () in
+  f ();
+  let ms v = v /. 1e6 in
+  let h = hits () - h0 and m = misses () - m0 in
+  let rate = if h + m = 0 then 0. else 100. *. float_of_int h /. float_of_int (h + m) in
+  pr "   obs: translate %.1f ms, optimize %.1f ms, execute %.1f ms, cache hit-rate %.1f%% (%d/%d)@."
+    (ms (stage "translate" -. tr0)) (ms (stage "optimize" -. op0)) (ms (stage "execute" -. ex0))
+    rate h (h + m)
+
 (* ---- driver ---- *)
 
 let experiments =
@@ -723,5 +740,18 @@ let () =
     end;
     pr "SQL/XNF benchmark suite — reproduction of the paper's performance claims@.";
     pr "(see DESIGN.md section 4 for the experiment index, EXPERIMENTS.md for discussion)@.";
-    List.iter (fun (_, _, f) -> f ()) selected
+    List.iter (fun (_, _, f) -> with_obs f) selected;
+    let rec find_json = function
+      | "--json" :: path :: _ -> Some path
+      | _ :: rest -> find_json rest
+      | [] -> None
+    in
+    match find_json args with
+    | None -> ()
+    | Some path ->
+      let oc = open_out path in
+      output_string oc (Obs.Metrics.to_json ());
+      output_char oc '\n';
+      close_out oc;
+      pr "@.metrics written to %s@." path
   end

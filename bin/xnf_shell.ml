@@ -13,9 +13,16 @@
      \fetch <query>   load a CO and keep it as the current cache
      \show            print the current cache
      \stats           translation statistics of the last fetch
+     \metrics         dump nonzero metrics (\metrics json / \metrics prom)
+     \trace           print the span tree of the last traced statement
+     \walk <edge>     cursor-walk the current cache across <edge>
      \export <t> <f>  write table t to CSV file f
      \import <t> <f>  bulk-load CSV file f into table t
-     \q               quit *)
+     \q               quit
+
+   EXPLAIN ANALYZE <query> (XNF or SQL SELECT) runs the statement under
+   the instrumented executor and prints per-stage timings plus
+   per-operator row counts. *)
 
 open Relational
 
@@ -91,6 +98,34 @@ let handle_meta api current line =
       Fmt.pr "imported %d rows into %s@." n table
     | _ -> Fmt.pr "usage: \\import <table> <file>@."
   end
+  else if line = "\\metrics json" then Fmt.pr "%s@." (Obs.Metrics.to_json ())
+  else if line = "\\metrics prom" then Fmt.pr "%s@." (Obs.Metrics.to_prometheus ())
+  else if line = "\\metrics" then Fmt.pr "%a" Obs.Metrics.dump ()
+  else if line = "\\trace" then begin
+    match Obs.Trace.last () with
+    | Some sp -> Fmt.pr "%s@." (Obs.Trace.to_string sp)
+    | None -> Fmt.pr "no trace recorded yet@."
+  end
+  else if String.length line > 6 && String.sub line 0 6 = "\\walk " then begin
+    match !current with
+    | None -> Fmt.pr "no composite object loaded (use \\fetch)@."
+    | Some cache -> begin
+      match Xnf.Cache.edge_opt cache (strip "\\walk ") with
+      | None -> Fmt.pr "unknown relationship %s@." (strip "\\walk ")
+      | Some ei ->
+        (* the E1-style browsing pattern: step the parent, expand children *)
+        let parent = Xnf.Cursor.open_independent cache ei.Xnf.Cache.ei_parent in
+        let child = Xnf.Cursor.open_dependent ~parent (Xnf.Cursor.via ei.Xnf.Cache.ei_name) in
+        let steps = ref 0 and hits = ref 0 in
+        Xnf.Cursor.iter
+          (fun _ ->
+            incr steps;
+            Xnf.Cursor.iter (fun _ -> incr hits) child)
+          parent;
+        Fmt.pr "walked %d %s tuples, %d %s tuples via %s@." !steps
+          ei.Xnf.Cache.ei_parent !hits ei.Xnf.Cache.ei_child ei.Xnf.Cache.ei_name
+    end
+  end
   else if line = "\\stats" then begin
     let s = Xnf.Translate.stats in
     Fmt.pr "queries issued: %d, fixpoint rounds: %d, tuples probed: %d@."
@@ -104,6 +139,14 @@ let run_line api current line =
   let line = String.trim line in
   if line = "" then ()
   else if line.[0] = '\\' then handle_meta api current line
+  else if String.length line > 16 && String.lowercase_ascii (String.sub line 0 16) = "explain analyze " then begin
+    let body = String.trim (String.sub line 16 (String.length line - 16)) in
+    try Fmt.pr "%s@." (Xnf.Api.explain_analyze api body) with
+    | Sql_lexer.Parse_error msg -> Fmt.pr "parse error: %s@." msg
+    | Binder.Bind_error msg -> Fmt.pr "semantic error: %s@." msg
+    | Xnf.Api.Api_error msg -> Fmt.pr "error: %s@." msg
+    | Xnf.Translate.Translate_error msg -> Fmt.pr "translation error: %s@." msg
+  end
   else
     try print_outcome current (Xnf.Api.exec api line) with
     | Sql_lexer.Parse_error msg -> Fmt.pr "parse error: %s@." msg
@@ -120,7 +163,7 @@ let run_line api current line =
 
 let repl api =
   let current = ref None in
-  Fmt.pr "SQL/XNF shell — \\q quits, \\d lists tables, \\co lists XNF views@.";
+  Fmt.pr "SQL/XNF shell — \\q quits, \\d lists tables, \\co lists XNF views, \\metrics and \\trace observe@.";
   try
     while true do
       Fmt.pr "xnf> %!";
@@ -149,6 +192,9 @@ let run_file api path =
 let main demo file =
   let db = Db.create () in
   let api = Xnf.Api.create db in
+  (* keep a few recent fetch results so repeated OUT OF queries hit the
+     cache (observable via \metrics as the xnf.fetchcache counters) *)
+  Xnf.Api.set_result_cache api 8;
   if demo then load_demo api;
   match file with Some path -> run_file api path | None -> repl api
 

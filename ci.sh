@@ -1,0 +1,16 @@
+#!/bin/sh
+# Minimal CI entry point: build everything, run the test suites, and
+# smoke-test that the benchmark harness still starts. Exits non-zero on
+# the first failure. Equivalent to `make check`.
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "== build =="
+dune build @all
+
+echo "== test =="
+dune runtest
+
+echo "== bench smoke =="
+dune exec bench/main.exe -- --list

@@ -13,6 +13,8 @@ type t = {
   db : Db.t;
   reg : View_registry.t;
   mutable fetch_count : int;  (** composite objects loaded this session *)
+  mutable rc_cap : int;  (** fetch-result cache capacity; 0 = disabled *)
+  mutable rc : (string * Cache.t) list;  (** MRU-first result cache *)
 }
 
 (** Result of executing one statement through [exec]. *)
@@ -28,8 +30,13 @@ exception Api_error of string
 
 let err fmt = Fmt.kstr (fun s -> raise (Api_error s)) fmt
 
+let m_fetches = Obs.Metrics.counter "xnf.fetches"
+let m_rc_hits = Obs.Metrics.counter "xnf.fetchcache.hits"
+let m_rc_misses = Obs.Metrics.counter "xnf.fetchcache.misses"
+let m_rc_evictions = Obs.Metrics.counter "xnf.fetchcache.evictions"
+
 (** [create db] opens an XNF session over [db]. *)
-let create db = { db; reg = View_registry.create (); fetch_count = 0 }
+let create db = { db; reg = View_registry.create (); fetch_count = 0; rc_cap = 0; rc = [] }
 
 (** [db api] is the underlying relational session. *)
 let db api = api.db
@@ -40,11 +47,50 @@ let registry api = api.reg
 (** [fetch ?fixpoint api q] evaluates a parsed XNF query into a cache. *)
 let fetch ?fixpoint api q =
   api.fetch_count <- api.fetch_count + 1;
+  Obs.Metrics.incr m_fetches;
   Translate.fetch ?fixpoint api.db api.reg q
 
+(** [set_result_cache api n] enables an LRU cache of the last [n] fetch
+    results, keyed by query text and validated against base-table
+    versions; [0] (the default) disables it, preserving fetch-per-call
+    semantics. Any resize clears the cache. *)
+let set_result_cache api n =
+  api.rc_cap <- max 0 n;
+  api.rc <- []
+
+(* the result cache must not serve definitions that changed under it *)
+let invalidate_result_cache api = api.rc <- []
+
+(* fetch through the result cache: a hit is a cached, still-fresh cache
+   for the same (trimmed) query text; stale entries count as misses and
+   are re-fetched *)
+let fetch_cached_parsed ?fixpoint api key q =
+  if api.rc_cap = 0 then fetch ?fixpoint api q
+  else begin
+    match List.assoc_opt key api.rc with
+    | Some cache when not (Cache.stale cache api.db) ->
+      Obs.Metrics.incr m_rc_hits;
+      api.rc <- (key, cache) :: List.remove_assoc key api.rc;
+      cache
+    | _ ->
+      Obs.Metrics.incr m_rc_misses;
+      let cache = fetch ?fixpoint api q in
+      let rc = (key, cache) :: List.remove_assoc key api.rc in
+      let rc =
+        if List.length rc > api.rc_cap then begin
+          Obs.Metrics.incr m_rc_evictions;
+          List.filteri (fun i _ -> i < api.rc_cap) rc
+        end
+        else rc
+      in
+      api.rc <- rc;
+      cache
+  end
+
 (** [fetch_string api sql] parses and evaluates an [OUT OF ... TAKE]
-    query. *)
-let fetch_string ?fixpoint api sql = fetch ?fixpoint api (Xnf_parser.parse_query sql)
+    query (through the result cache when enabled). *)
+let fetch_string ?fixpoint api sql =
+  fetch_cached_parsed ?fixpoint api (String.trim sql) (Xnf_parser.parse_query sql)
 
 (* CO deletion (§3.7): all component tuples of the target CO are removed
    from their base tables. Every component must be updatable. *)
@@ -99,9 +145,10 @@ let update_co api (q : Xnf_ast.query) (cu : Xnf_ast.co_update) =
 (** [exec api text] parses and executes one statement — XNF or plain SQL. *)
 let exec api text : outcome =
   match Xnf_parser.parse_stmt text with
-  | Xnf_ast.X_query q -> Fetched (fetch api q)
+  | Xnf_ast.X_query q -> Fetched (fetch_cached_parsed api (String.trim text) q)
   | Xnf_ast.X_create_view (name, q) ->
     View_registry.define api.reg ~name q;
+    invalidate_result_cache api;
     View_defined name
   | Xnf_ast.X_delete q -> Co_deleted (delete_co api q)
   | Xnf_ast.X_update (q, cu) -> Co_updated (update_co api q cu)
@@ -109,6 +156,7 @@ let exec api text : outcome =
     match View_registry.find_opt api.reg name with
     | Some _ ->
       View_registry.drop api.reg name;
+      invalidate_result_cache api;
       View_dropped name
     | None -> begin
       (* fall through to tabular views *)
@@ -120,6 +168,36 @@ let exec api text : outcome =
     end
   end
   | Xnf_ast.X_sql stmt -> Sql (Db.exec_stmt_ast api.db stmt)
+
+(** [explain_analyze api text] runs [text] — an XNF [OUT OF ... TAKE]
+    query or a SQL SELECT — under the instrumented executor and returns a
+    report: the pipeline span tree with per-stage timings plus per-operator
+    actual row counts (cached nodes/edges for XNF, the physical plan for
+    SQL). *)
+let explain_analyze api text =
+  match Xnf_parser.parse_stmt text with
+  | Xnf_ast.X_query q ->
+    let cache = fetch api q in
+    let b = Buffer.create 256 in
+    (match Obs.Trace.last () with
+    | Some sp ->
+      Buffer.add_string b "Stages:\n";
+      Buffer.add_string b (Obs.Trace.to_string sp)
+    | None -> ());
+    Buffer.add_string b "Operators:\n";
+    List.iter
+      (fun (name, ni) ->
+        Printf.bprintf b "  node %-24s rows=%d\n" name (Cache.live_count ni))
+      cache.Cache.c_nodes;
+    List.iter
+      (fun (name, ei) ->
+        Printf.bprintf b "  edge %-24s conns=%d\n" name (List.length (Cache.conns_live ei)))
+      cache.Cache.c_edges;
+    Printf.bprintf b "(%d tuples, %d connections)\n" (Cache.total_tuples cache)
+      (Cache.total_conns cache);
+    Buffer.contents b
+  | Xnf_ast.X_sql (Sql_ast.S_select sel) -> Db.explain_analyze_ast api.db sel
+  | _ -> err "EXPLAIN ANALYZE expects an XNF query or a SQL SELECT"
 
 (** [session api cache] opens a manipulation session on a loaded CO. *)
 let session api cache = Udi.session api.db cache

@@ -34,8 +34,20 @@ val registry : t -> View_registry.t
 val fetch : ?fixpoint:Translate.fixpoint -> t -> Xnf_ast.query -> Cache.t
 
 (** [fetch_string api text] parses and evaluates an [OUT OF ... TAKE]
-    query. *)
+    query (through the result cache when enabled). *)
 val fetch_string : ?fixpoint:Translate.fixpoint -> t -> string -> Cache.t
+
+(** [set_result_cache api n] enables an LRU cache of the last [n] fetch
+    results, keyed by query text and validated against base-table versions
+    before reuse; [0] (the default) disables it. Hits/misses/evictions are
+    counted as [xnf.fetchcache.*] in the metrics registry. *)
+val set_result_cache : t -> int -> unit
+
+(** [explain_analyze api text] runs [text] — an XNF [OUT OF ... TAKE]
+    query or a SQL SELECT — under the instrumented executor and returns a
+    report: the pipeline span tree with per-stage timings plus per-operator
+    actual row counts. *)
+val explain_analyze : t -> string -> string
 
 (** [exec api text] parses and executes one statement — XNF or plain SQL. *)
 val exec : t -> string -> outcome

@@ -63,6 +63,20 @@ exception Cache_error of string
 
 let err fmt = Fmt.kstr (fun s -> raise (Cache_error s)) fmt
 
+(* navigation / lifetime counters in the process-global metrics registry:
+   a hit is a traversal or key lookup that found live partners, a miss one
+   that found none; evictions are tuples tombstoned by reachability *)
+let m_nav_hits = Obs.Metrics.counter "xnf.cache.nav_hits"
+let m_nav_misses = Obs.Metrics.counter "xnf.cache.nav_misses"
+let m_key_hits = Obs.Metrics.counter "xnf.cache.key_hits"
+let m_key_misses = Obs.Metrics.counter "xnf.cache.key_misses"
+let m_evictions = Obs.Metrics.counter "xnf.cache.evictions"
+let m_stale_checks = Obs.Metrics.counter "xnf.cache.stale_checks"
+
+let note_nav = function
+  | [] -> Obs.Metrics.incr m_nav_misses; []
+  | hits -> Obs.Metrics.incr m_nav_hits; hits
+
 let dummy_tuple = { t_pos = -1; t_row = [||]; t_rowid = None; t_live = false; t_dirty = false }
 let dummy_conn = { cn_parent = -1; cn_child = -1; cn_attrs = [||]; cn_live = false }
 
@@ -112,23 +126,25 @@ let adj tbl pos = Option.value ~default:[] (Hashtbl.find_opt tbl pos)
     parent->child). The [cache] argument is unused but kept for symmetry
     with call sites that traverse by name. *)
 let children _cache ei parent_pos =
-  List.filter_map
-    (fun ci ->
-      let c = Vec.get ei.ei_conns ci in
-      if c.cn_live && (Vec.get ei.ei_child_node.ni_tuples c.cn_child).t_live then Some c.cn_child
-      else None)
-    (adj ei.ei_children_of parent_pos)
+  note_nav
+    (List.filter_map
+       (fun ci ->
+         let c = Vec.get ei.ei_conns ci in
+         if c.cn_live && (Vec.get ei.ei_child_node.ni_tuples c.cn_child).t_live then Some c.cn_child
+         else None)
+       (adj ei.ei_children_of parent_pos))
 
 (** [parents cache ei child_pos] is the positions of live parent tuples
     connected to the child tuple at [child_pos] (reverse traversal, which
     XNF relationships permit). *)
 let parents _cache ei child_pos =
-  List.filter_map
-    (fun ci ->
-      let c = Vec.get ei.ei_conns ci in
-      if c.cn_live && (Vec.get ei.ei_parent_node.ni_tuples c.cn_parent).t_live then Some c.cn_parent
-      else None)
-    (adj ei.ei_parents_of child_pos)
+  note_nav
+    (List.filter_map
+       (fun ci ->
+         let c = Vec.get ei.ei_conns ci in
+         if c.cn_live && (Vec.get ei.ei_parent_node.ni_tuples c.cn_parent).t_live then Some c.cn_parent
+         else None)
+       (adj ei.ei_parents_of child_pos))
 
 (** [related cache ei pos ~from] traverses edge [ei] from the node [from]:
     forward when [from] is the parent side, backward when the child side.
@@ -204,7 +220,13 @@ let recompute_reachability cache =
   List.iter
     (fun (name, ni) ->
       let h = tbl name in
-      Vec.iter (fun t -> if t.t_live && not (Hashtbl.mem h t.t_pos) then t.t_live <- false) ni.ni_tuples)
+      Vec.iter
+        (fun t ->
+          if t.t_live && not (Hashtbl.mem h t.t_pos) then begin
+            t.t_live <- false;
+            Obs.Metrics.incr m_evictions
+          end)
+        ni.ni_tuples)
     cache.c_nodes;
   (* tombstone connections touching dead tuples *)
   List.iter
@@ -221,6 +243,7 @@ let recompute_reachability cache =
     loaded (other than through this cache's own propagation — callers that
     propagate refresh the recorded versions). *)
 let stale cache db =
+  Obs.Metrics.incr m_stale_checks;
   List.exists
     (fun (name, v) ->
       match Catalog.table_opt (Db.catalog db) name with
@@ -258,9 +281,13 @@ let build_key_index cache ~node:name ~col =
     column equals [v] (stale entries for tombstoned tuples are filtered). *)
 let lookup_key cache ki v =
   let ni = node cache ki.ki_node in
-  List.filter
-    (fun pos -> (tuple ni pos).t_live)
-    (Option.value ~default:[] (Hashtbl.find_opt ki.ki_map v))
+  let hits =
+    List.filter
+      (fun pos -> (tuple ni pos).t_live)
+      (Option.value ~default:[] (Hashtbl.find_opt ki.ki_map v))
+  in
+  Obs.Metrics.incr (match hits with [] -> m_key_misses | _ -> m_key_hits);
+  hits
 
 (** [lookup_key_one cache ki v] is the unique position for [v], if any. *)
 let lookup_key_one cache ki v =

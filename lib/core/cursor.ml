@@ -14,6 +14,12 @@ exception Cursor_error of string
 
 let err fmt = Fmt.kstr (fun s -> raise (Cursor_error s)) fmt
 
+(* browsing activity: [opens] per cursor opened, [steps] per next-call,
+   [expansions] per dependent re-enumeration after a parent move *)
+let m_opens = Obs.Metrics.counter "xnf.cursor.opens"
+let m_steps = Obs.Metrics.counter "xnf.cursor.steps"
+let m_expansions = Obs.Metrics.counter "xnf.cursor.expansions"
+
 type kind =
   | Independent of { ind_order : (string * [ `Asc | `Desc ]) option }
   | Dependent of { dep_parent : t; dep_path : step list; mutable dep_parent_pos : int option }
@@ -70,6 +76,7 @@ let enumerate cache node order =
   List.map (fun t -> t.Cache.t_pos) tuples
 
 let open_independent ?order cache node =
+  Obs.Metrics.incr m_opens;
   let ni = Cache.node cache node in
   { cur_cache = cache; cur_node = ni.Cache.ni_name;
     cur_positions = enumerate cache ni.Cache.ni_name order; cur_current = None;
@@ -80,6 +87,7 @@ let open_independent ?order cache node =
     enumerates tuples reachable from the parent's current tuple; it resets
     automatically when the parent moves. *)
 let open_dependent ~parent (path : step list) =
+  Obs.Metrics.incr m_opens;
   if path = [] then err "dependent cursor needs a non-empty path";
   let node = target_node parent.cur_cache parent.cur_node path in
   { cur_cache = parent.cur_cache; cur_node = node; cur_positions = [];
@@ -101,6 +109,7 @@ let refresh_dependent c =
       match ppos with
       | None -> c.cur_positions <- []
       | Some pos ->
+        Obs.Metrics.incr m_expansions;
         let env =
           [ ("__cursor", { Path.b_node = d.dep_parent.cur_node; b_pos = pos }) ]
         in
@@ -115,6 +124,7 @@ let refresh_dependent c =
     of enumeration. A dependent cursor whose parent is unpositioned yields
     [None]. *)
 let rec next c =
+  Obs.Metrics.incr m_steps;
   refresh_dependent c;
   match c.cur_positions with
   | [] ->

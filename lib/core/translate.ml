@@ -60,8 +60,20 @@ let reset_stats () =
   stats.indexed_probes <- 0;
   stats.generic_probes <- 0
 
-let run_query db qgm =
+(* the same activity, mirrored into the process-global metrics registry
+   (the [stats] record stays per-module for the existing harness API) *)
+let m_queries = Obs.Metrics.counter "xnf.translate.queries"
+let m_rounds = Obs.Metrics.counter "xnf.translate.rounds"
+let m_tuples_probed = Obs.Metrics.counter "xnf.translate.tuples_probed"
+let m_indexed_probes = Obs.Metrics.counter "xnf.translate.indexed_probes"
+let m_generic_probes = Obs.Metrics.counter "xnf.translate.generic_probes"
+
+let note_query () =
   stats.queries_issued <- stats.queries_issued + 1;
+  Obs.Metrics.incr m_queries
+
+let run_query db qgm =
+  note_query ();
   Db.run_qgm db qgm
 
 let clear_quals schema =
@@ -183,7 +195,7 @@ let ensure_extent db (rt : node_rt) : extent =
   match rt.nr_extent with
   | Some x -> x
   | None ->
-    stats.queries_issued <- stats.queries_issued + 1;
+    note_query ();
     let x =
       match rt.nr_simple with
       | Some s ->
@@ -550,7 +562,10 @@ let apply_take cache (take : Xnf_ast.take) : Cache.t =
     updatability analysis). *)
 let fetch_def ~fixpoint db (def : Co_schema.t) (path_restrs : restriction list) : Cache.t =
   let catalog = Db.catalog db in
-  (* 1. per-node runtime state with empty cache nodes *)
+  (* 1+2 (under the "translate" span): per-node runtime state and per-edge
+     access-path selection — the formulation of the relational work *)
+  let nodes_rt, probers =
+    Obs.Trace.with_span "translate" @@ fun () ->
   let nodes_rt =
     List.map
       (fun nd ->
@@ -581,47 +596,60 @@ let fetch_def ~fixpoint db (def : Co_schema.t) (path_restrs : restriction list) 
             with
             | Some f ->
               stats.indexed_probes <- stats.indexed_probes + 1;
+              Obs.Metrics.incr m_indexed_probes;
               P_indexed f
             | None ->
               stats.generic_probes <- stats.generic_probes + 1;
+              Obs.Metrics.incr m_generic_probes;
               P_generic
           end
           | None ->
             stats.generic_probes <- stats.generic_probes + 1;
+            Obs.Metrics.incr m_generic_probes;
             P_generic
         in
         (ed.Co_schema.ed_name, prober))
       def.Co_schema.co_edges
   in
+  (nodes_rt, probers)
+  in
+  let rt name = List.assoc name nodes_rt in
+  (* 3–5 run under the "cache-fill" span: roots, reachability fixpoint,
+     connection extents *)
+  let edges =
+    Obs.Trace.with_span "cache-fill" @@ fun () ->
   (* 3. roots: set-oriented evaluation of the derivations *)
   let frontier : (string, int list) Hashtbl.t = Hashtbl.create 8 in
   let push_frontier name pos =
     Hashtbl.replace frontier name (pos :: Option.value ~default:[] (Hashtbl.find_opt frontier name))
   in
-  List.iter
-    (fun (nd : Co_schema.node_def) ->
-      let r = rt nd.Co_schema.nd_name in
-      stats.queries_issued <- stats.queries_issued + 1;
-      (match r.nr_simple with
-      | Some s ->
-        Table.iter
-          (fun rowid row ->
-            let keep =
-              match s.s_pred with None -> true | Some p -> Value.is_true (Expr.eval_pred row p)
-            in
-            if keep then
-              push_frontier nd.Co_schema.nd_name
-                (Cache.add_tuple r.nr_ni ~rowid:(Some rowid) (Row.project row s.s_proj)))
-          s.s_table
-      | None ->
-        let x = ensure_extent db r in
-        Array.iteri
-          (fun tid row ->
-            let pos = Cache.add_tuple r.nr_ni ~rowid:x.x_rowids.(tid) row in
-            Hashtbl.replace r.nr_tid2pos tid pos;
-            push_frontier nd.Co_schema.nd_name pos)
-          x.x_rows))
-    (Co_schema.roots def);
+  Obs.Trace.with_span "roots" (fun () ->
+      List.iter
+        (fun (nd : Co_schema.node_def) ->
+          Obs.Trace.with_span ("node:" ^ nd.Co_schema.nd_name) @@ fun () ->
+          let r = rt nd.Co_schema.nd_name in
+          note_query ();
+          (match r.nr_simple with
+          | Some s ->
+            Table.iter
+              (fun rowid row ->
+                let keep =
+                  match s.s_pred with None -> true | Some p -> Value.is_true (Expr.eval_pred row p)
+                in
+                if keep then
+                  push_frontier nd.Co_schema.nd_name
+                    (Cache.add_tuple r.nr_ni ~rowid:(Some rowid) (Row.project row s.s_proj)))
+              s.s_table
+          | None ->
+            let x = ensure_extent db r in
+            Array.iteri
+              (fun tid row ->
+                let pos = Cache.add_tuple r.nr_ni ~rowid:x.x_rowids.(tid) row in
+                Hashtbl.replace r.nr_tid2pos tid pos;
+                push_frontier nd.Co_schema.nd_name pos)
+              x.x_rows);
+          Obs.Trace.add_meta "rows" (string_of_int (Cache.live_count r.nr_ni)))
+        (Co_schema.roots def));
   (* 4. reachability: semi-naive (or naive) fixpoint *)
   let add_child child_rt hit =
     match Hashtbl.find_opt child_rt.nr_ni.Cache.ni_by_rowid hit.ph_rowid with
@@ -629,9 +657,11 @@ let fetch_def ~fixpoint db (def : Co_schema.t) (path_restrs : restriction list) 
     | None -> Some (Cache.add_tuple child_rt.nr_ni ~rowid:(Some hit.ph_rowid) hit.ph_row)
   in
   let changed = ref true in
+  let run_fixpoint () =
   while !changed do
     changed := false;
     stats.fixpoint_rounds <- stats.fixpoint_rounds + 1;
+    Obs.Metrics.incr m_rounds;
     let this_round = Hashtbl.copy frontier in
     Hashtbl.reset frontier;
     List.iter
@@ -649,9 +679,10 @@ let fetch_def ~fixpoint db (def : Co_schema.t) (path_restrs : restriction list) 
         in
         if probe_set <> [] then begin
           stats.tuples_probed <- stats.tuples_probed + List.length probe_set;
+          Obs.Metrics.incr ~by:(List.length probe_set) m_tuples_probed;
           match List.assoc ed.Co_schema.ed_name probers with
           | P_indexed probe ->
-            stats.queries_issued <- stats.queries_issued + 1;
+            note_query ();
             List.iter
               (fun pos ->
                 let row = (Cache.tuple parent_rt.nr_ni pos).Cache.t_row in
@@ -696,11 +727,18 @@ let fetch_def ~fixpoint db (def : Co_schema.t) (path_restrs : restriction list) 
         end)
       def.Co_schema.co_edges;
     if fixpoint = Naive then Hashtbl.reset frontier
-  done;
+  done
+  in
+  Obs.Trace.with_span "fixpoint" (fun () ->
+      let round0 = stats.fixpoint_rounds in
+      run_fixpoint ();
+      Obs.Trace.add_meta "rounds" (string_of_int (stats.fixpoint_rounds - round0)));
   (* 5. connection extents over the reached instance *)
   let edges =
+    Obs.Trace.with_span "connections" @@ fun () ->
     List.map
       (fun (ed : Co_schema.edge_def) ->
+        Obs.Trace.with_span ("edge:" ^ ed.Co_schema.ed_name) @@ fun () ->
         let parent_rt = rt ed.Co_schema.ed_parent and child_rt = rt ed.Co_schema.ed_child in
         let ei_of attr_schema conns =
           let ei =
@@ -714,11 +752,12 @@ let fetch_def ~fixpoint db (def : Co_schema.t) (path_restrs : restriction list) 
           List.iter
             (fun (p, c, attrs) -> ignore (Cache.add_conn ei ~parent:p ~child:c ~attrs))
             conns;
+          Obs.Trace.add_meta "conns" (string_of_int (Vec.length ei.Cache.ei_conns));
           (ed.Co_schema.ed_name, ei)
         in
         match List.assoc ed.Co_schema.ed_name probers with
         | P_indexed probe ->
-          stats.queries_issued <- stats.queries_issued + 1;
+          note_query ();
           let attr_schema =
             match child_rt.nr_simple with
             | Some child ->
@@ -752,6 +791,8 @@ let fetch_def ~fixpoint db (def : Co_schema.t) (path_restrs : restriction list) 
           ei_of attr_schema conns)
       def.Co_schema.co_edges
   in
+  edges
+  in
   (* 6. staleness bookkeeping *)
   let base_tables =
     List.concat_map (fun nd -> tables_of_select catalog nd.Co_schema.nd_query) def.Co_schema.co_nodes
@@ -769,7 +810,7 @@ let fetch_def ~fixpoint db (def : Co_schema.t) (path_restrs : restriction list) 
           base_tables }
   in
   (* 7. path-based restrictions over the instance, then reachability *)
-  if path_restrs <> [] then begin
+  if path_restrs <> [] then Obs.Trace.with_span "restrictions" (fun () ->
     List.iter
       (fun r ->
         match r with
@@ -799,13 +840,13 @@ let fetch_def ~fixpoint db (def : Co_schema.t) (path_restrs : restriction list) 
               end)
             ei.Cache.ei_conns)
       path_restrs;
-    Cache.recompute_reachability cache
-  end;
+    Cache.recompute_reachability cache);
   cache
 
 (* column projection, then relationship-updatability and locked-column
    analysis against the final (projected) schemas *)
 let finalize db cache =
+  Obs.Trace.with_span "finalize" @@ fun () ->
   let catalog = Db.catalog db in
   apply_column_projection cache;
   List.iter
@@ -826,5 +867,8 @@ let finalize db cache =
     evaluates path-based restrictions, applies the TAKE projection and
     returns the loaded cache. *)
 let fetch ?(fixpoint = Semi_naive) db reg (q : query) : Cache.t =
-  let def, path_restrs, take = View_registry.compose reg q in
+  Obs.Trace.with_span "xnf.fetch" @@ fun () ->
+  let def, path_restrs, take =
+    Obs.Trace.with_span "semantic" (fun () -> View_registry.compose reg q)
+  in
   finalize db (apply_take (fetch_def ~fixpoint db def path_restrs) take)

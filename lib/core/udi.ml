@@ -32,6 +32,16 @@ exception Udi_error of string
 
 let err fmt = Fmt.kstr (fun s -> raise (Udi_error s)) fmt
 
+(* manipulation and propagation activity, in the global metrics registry *)
+let m_updates = Obs.Metrics.counter "xnf.udi.updates"
+let m_inserts = Obs.Metrics.counter "xnf.udi.inserts"
+let m_deletes = Obs.Metrics.counter "xnf.udi.deletes"
+let m_connects = Obs.Metrics.counter "xnf.udi.connects"
+let m_disconnects = Obs.Metrics.counter "xnf.udi.disconnects"
+let m_base_writes = Obs.Metrics.counter "xnf.udi.base_writes"
+let m_saves = Obs.Metrics.counter "xnf.udi.saves"
+let m_conflicts = Obs.Metrics.counter "xnf.udi.conflicts"
+
 type pending =
   | P_delete of { table : string; rowid : int }
   | P_insert of { table : string; row : Row.t; node : string; pos : int }
@@ -71,6 +81,7 @@ let check_conflict ses table =
     let name = String.lowercase_ascii (Table.name table) in
     match Hashtbl.find_opt ses.u_expected name with
     | Some v when v <> Table.version table ->
+      Obs.Metrics.incr m_conflicts;
       err "concurrent modification of %s since this composite object was loaded: refetch and reapply"
         (Table.name table)
     | _ -> ()
@@ -90,18 +101,21 @@ let record_write ses table =
 
 let write_update ses table rowid row =
   check_conflict ses table;
+  Obs.Metrics.incr m_base_writes;
   let r = Db.update_row ses.u_db table rowid row in
   record_write ses table;
   r
 
 let write_insert ses table row =
   check_conflict ses table;
+  Obs.Metrics.incr m_base_writes;
   let rowid = Db.insert_row ses.u_db table row in
   record_write ses table;
   rowid
 
 let write_delete ses table rowid =
   check_conflict ses table;
+  Obs.Metrics.incr m_base_writes;
   let r = Db.delete_row ses.u_db table rowid in
   record_write ses table;
   r
@@ -173,6 +187,7 @@ let live_tuple ni pos =
     are rejected (change them with {!connect}/{!disconnect}).
     @raise Udi_error on non-updatable nodes or locked columns. *)
 let update ses ~node ~pos (updates : (string * Value.t) list) =
+  Obs.Metrics.incr m_updates;
   let ni = Cache.node ses.u_cache node in
   let t = live_tuple ni pos in
   ignore (node_table ses ni);
@@ -244,6 +259,7 @@ let do_disconnect ses ei (c : Cache.conn) ~deleting_child =
     attached relationship instances, deletes the base row, and re-applies
     reachability in the cache. *)
 let delete ses ~node ~pos =
+  Obs.Metrics.incr m_deletes;
   let node = String.lowercase_ascii node in
   let ni = Cache.node ses.u_cache node in
   let t = live_tuple ni pos in
@@ -270,6 +286,7 @@ let delete ses ~node ~pos =
     reachable — until then it lives in the cache but is not part of the CO
     by the reachability constraint. Returns its cache position. *)
 let insert ses ~node (row : Row.t) =
+  Obs.Metrics.incr m_inserts;
   let ni = Cache.node ses.u_cache node in
   let table = node_table ses ni in
   let upd = Option.get ni.Cache.ni_upd in
@@ -289,6 +306,7 @@ let insert ses ~node (row : Row.t) =
     assignment or link-tuple insertion). [attrs] sets relationship
     attributes on USING relationships. *)
 let connect ses ~edge ~parent ~child ?(attrs = []) () =
+  Obs.Metrics.incr m_connects;
   let ei = Cache.edge ses.u_cache edge in
   let parent_ni = Cache.node ses.u_cache ei.Cache.ei_parent in
   let child_ni = Cache.node ses.u_cache ei.Cache.ei_child in
@@ -326,6 +344,7 @@ let connect ses ~edge ~parent ~child ?(attrs = []) () =
     instance(s) between the two tuples; the child may become unreachable
     and leave the CO (reachability is re-applied). *)
 let disconnect ses ~edge ~parent ~child =
+  Obs.Metrics.incr m_disconnects;
   let ei = Cache.edge ses.u_cache edge in
   let found = ref false in
   Vec.iter
@@ -348,6 +367,8 @@ let pending_count ses = List.length ses.u_pending + List.length ses.u_dirty
     update each; queued inserts/deletes/link operations apply in issue
     order. Refreshes the cache's staleness baseline afterwards. *)
 let save ses =
+  Obs.Metrics.incr m_saves;
+  Obs.Trace.with_span "udi.save" @@ fun () ->
   (* coalesced updates first: a tuple updated k times writes once *)
   let seen = Hashtbl.create 16 in
   List.iter

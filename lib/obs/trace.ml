@@ -1,0 +1,101 @@
+(* Lightweight pipeline tracing.
+
+   [with_span ~name f] times [f] and records a node in the current trace
+   tree; nested calls build the parse → semantic → translate → rewrite →
+   optimize → execute → cache-fill hierarchy that EXPLAIN ANALYZE prints.
+   Completed root spans land in a small ring buffer ([recent]) and every
+   span completion also feeds the latency histogram ["span.<name>"] in
+   {!Metrics}, which is where per-stage aggregate timings come from.
+
+   Spans carry string metadata ([add_meta]) — operators report
+   "rows=<n>" through it. Tracing is on by default; the cost per span is
+   two clock reads and one allocation. [set_enabled false] turns the whole
+   layer into a no-op passthrough. *)
+
+type span = {
+  sp_name : string;
+  mutable sp_elapsed_ns : float;  (** inclusive (children included) *)
+  mutable sp_meta : (string * string) list;  (** in insertion order *)
+  mutable sp_children : span list;  (** newest first while open; in order once closed *)
+}
+
+let enabled = ref true
+let set_enabled flag = enabled := flag
+let is_enabled () = !enabled
+
+(* innermost-first stack of open spans *)
+let stack : span list ref = ref []
+
+let ring_capacity = 32
+let completed : span list ref = ref []  (* newest first, capped *)
+
+let rec take n = function [] -> [] | x :: xs -> if n = 0 then [] else x :: take (n - 1) xs
+
+let record_root sp =
+  completed := sp :: take (ring_capacity - 1) !completed
+
+(** [clear ()] drops the ring buffer (open spans are untouched). *)
+let clear () = completed := []
+
+(** [recent ()] lists completed root spans, newest first. *)
+let recent () = !completed
+
+(** [last ()] is the most recently completed root span. *)
+let last () = match !completed with sp :: _ -> Some sp | [] -> None
+
+(** [add_meta key value] attaches metadata to the innermost open span
+    (no-op outside any span or when tracing is off). *)
+let add_meta key value =
+  match !stack with
+  | sp :: _ -> sp.sp_meta <- sp.sp_meta @ [ (key, value) ]
+  | [] -> ()
+
+(** [with_span ?meta name f] runs [f] inside a span named [name]. The span
+    is closed — and its time observed in the ["span.<name>"] histogram —
+    even when [f] raises. *)
+let with_span ?(meta = []) name f =
+  if not !enabled then f ()
+  else begin
+    let sp = { sp_name = name; sp_elapsed_ns = 0.; sp_meta = meta; sp_children = [] } in
+    (match !stack with parent :: _ -> parent.sp_children <- sp :: parent.sp_children | [] -> ());
+    stack := sp :: !stack;
+    let t0 = Metrics.now_ns () in
+    Fun.protect
+      ~finally:(fun () ->
+        sp.sp_elapsed_ns <- Metrics.now_ns () -. t0;
+        sp.sp_children <- List.rev sp.sp_children;
+        (match !stack with s :: rest when s == sp -> stack := rest | _ -> ());
+        if !stack = [] then record_root sp;
+        Metrics.observe (Metrics.histogram ("span." ^ name)) sp.sp_elapsed_ns)
+      f
+  end
+
+(* ---- rendering ---- *)
+
+let pp_meta ppf meta =
+  List.iter (fun (k, v) -> Format.fprintf ppf "  %s=%s" k v) meta
+
+(** [pp ppf sp] prints the span tree with per-span inclusive timings:
+    one line per span, indented by depth, metadata trailing. *)
+let pp ppf sp =
+  let rec go depth sp =
+    let label = String.make (2 * depth) ' ' ^ sp.sp_name in
+    Format.fprintf ppf "%-36s %10.3f ms%a@." label (sp.sp_elapsed_ns /. 1e6) pp_meta sp.sp_meta;
+    List.iter (go (depth + 1)) sp.sp_children
+  in
+  go 0 sp
+
+let to_string sp = Format.asprintf "%a" pp sp
+
+(** [find sp name] is the first span named [name] in a pre-order walk of
+    [sp] (tests and reports drill into stages with it). *)
+let rec find sp name =
+  if String.equal sp.sp_name name then Some sp
+  else
+    List.fold_left
+      (fun acc child -> match acc with Some _ -> acc | None -> find child name)
+      None sp.sp_children
+
+(** [meta sp key] is the last value recorded for [key] on [sp]. *)
+let meta sp key =
+  List.fold_left (fun acc (k, v) -> if String.equal k key then Some v else acc) None sp.sp_meta

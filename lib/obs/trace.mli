@@ -1,0 +1,48 @@
+(** Lightweight pipeline tracing: nested timed spans.
+
+    [with_span name f] times [f] as one node of the current trace tree;
+    completed root spans land in a ring buffer and every completion feeds
+    the ["span.<name>"] latency histogram in {!Metrics}. EXPLAIN ANALYZE
+    and the shell's [\trace] print these trees. *)
+
+type span = {
+  sp_name : string;
+  mutable sp_elapsed_ns : float;  (** inclusive (children included) *)
+  mutable sp_meta : (string * string) list;
+  mutable sp_children : span list;
+}
+
+(** [set_enabled flag] turns tracing on/off (default on); off makes
+    [with_span] a passthrough. *)
+val set_enabled : bool -> unit
+
+val is_enabled : unit -> bool
+
+(** [with_span ?meta name f] runs [f] inside a span named [name]; the span
+    closes (and is observed) even when [f] raises. *)
+val with_span : ?meta:(string * string) list -> string -> (unit -> 'a) -> 'a
+
+(** [add_meta key value] attaches metadata to the innermost open span
+    (no-op outside any span). Operators report ["rows"] counts this way. *)
+val add_meta : string -> string -> unit
+
+(** [recent ()] lists completed root spans, newest first (ring of 32). *)
+val recent : unit -> span list
+
+(** [last ()] is the most recently completed root span. *)
+val last : unit -> span option
+
+(** [clear ()] drops the ring buffer. *)
+val clear : unit -> unit
+
+(** [pp ppf sp] prints the span tree, one line per span with inclusive
+    milliseconds and trailing metadata. *)
+val pp : Format.formatter -> span -> unit
+
+val to_string : span -> string
+
+(** [find sp name] is the first span named [name] in pre-order. *)
+val find : span -> string -> span option
+
+(** [meta sp key] is the last metadata value recorded for [key]. *)
+val meta : span -> string -> string option

@@ -13,12 +13,21 @@ type t = {
   resident : (int, int) Hashtbl.t;  (** page id -> last-use time *)
   mutable faults : int;
   mutable hits : int;
+  mutable evictions : int;
 }
+
+(* every pool also feeds the process-global metrics registry, so
+   [\metrics] and the benchmark harness see aggregate hit/miss/eviction
+   traffic without holding a pool reference *)
+let m_hits = Obs.Metrics.counter "bufpool.hits"
+let m_faults = Obs.Metrics.counter "bufpool.faults"
+let m_evictions = Obs.Metrics.counter "bufpool.evictions"
 
 (** [create ~capacity] is an empty pool with [capacity] frames. *)
 let create ~capacity =
   if capacity <= 0 then invalid_arg "Buffer_pool.create";
-  { capacity; clock = 0; resident = Hashtbl.create (2 * capacity); faults = 0; hits = 0 }
+  { capacity; clock = 0; resident = Hashtbl.create (2 * capacity); faults = 0; hits = 0;
+    evictions = 0 }
 
 (** [access pool page] records an access to [page], faulting it in (with
     LRU eviction) when non-resident. *)
@@ -27,9 +36,11 @@ let access pool page =
   match Hashtbl.find_opt pool.resident page with
   | Some _ ->
     pool.hits <- pool.hits + 1;
+    Obs.Metrics.incr m_hits;
     Hashtbl.replace pool.resident page pool.clock
   | None ->
     pool.faults <- pool.faults + 1;
+    Obs.Metrics.incr m_faults;
     if Hashtbl.length pool.resident >= pool.capacity then begin
       (* evict the LRU page *)
       let victim =
@@ -41,20 +52,33 @@ let access pool page =
           pool.resident None
       in
       match victim with
-      | Some (p, _) -> Hashtbl.remove pool.resident p
+      | Some (p, _) ->
+        pool.evictions <- pool.evictions + 1;
+        Obs.Metrics.incr m_evictions;
+        Hashtbl.remove pool.resident p
       | None -> ()
     end;
     Hashtbl.replace pool.resident page pool.clock
 
-(** [faults pool] is the number of page faults since creation/reset. *)
+(** [faults pool] is the number of page faults (misses) since
+    creation/reset. *)
 let faults pool = pool.faults
 
 (** [hits pool] is the number of hits since creation/reset. *)
 let hits pool = pool.hits
 
-(** [reset pool] clears residency and counters. *)
+(** [misses pool] is a synonym for {!faults} — the miss side of the
+    hit/miss pair. *)
+let misses pool = pool.faults
+
+(** [evictions pool] counts LRU evictions since creation/reset. *)
+let evictions pool = pool.evictions
+
+(** [reset pool] clears residency and per-pool counters (the global
+    metrics registry is left alone — reset it via [Obs.Metrics.reset]). *)
 let reset pool =
   Hashtbl.reset pool.resident;
   pool.clock <- 0;
   pool.faults <- 0;
-  pool.hits <- 0
+  pool.hits <- 0;
+  pool.evictions <- 0

@@ -13,11 +13,21 @@ type t
 val create : capacity:int -> t
 
 (** [access pool page] records an access, faulting the page in (with LRU
-    eviction) when non-resident. *)
+    eviction) when non-resident. Every access also feeds the global
+    metrics registry ([bufpool.hits] / [bufpool.faults] /
+    [bufpool.evictions]). *)
 val access : t -> int -> unit
 
 val faults : t -> int
 val hits : t -> int
 
-(** [reset pool] clears residency and counters. *)
+(** [misses pool] is a synonym for {!faults} — the miss side of the
+    hit/miss pair. *)
+val misses : t -> int
+
+(** [evictions pool] counts LRU evictions since creation/reset. *)
+val evictions : t -> int
+
+(** [reset pool] clears residency and per-pool counters (global metrics
+    are left alone). *)
 val reset : t -> unit

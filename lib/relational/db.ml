@@ -24,6 +24,9 @@ exception Exec_error of string
 
 let err fmt = Fmt.kstr (fun s -> raise (Exec_error s)) fmt
 
+let m_stmts = Obs.Metrics.counter "db.stmts"
+let m_rows_returned = Obs.Metrics.counter "db.rows_returned"
+
 (** [create ()] is a fresh, empty database session. *)
 let create () =
   let catalog = Catalog.create () in
@@ -65,20 +68,39 @@ and bind_env db = Binder.make_env db.catalog ~compile:(compile_qgm db)
 (** [bind_select db q] binds a parsed SELECT to QGM. *)
 let bind_select db q = Binder.bind (bind_env db) q
 
+(* rewrite + lower, each under its pipeline span *)
+let plan_of_qgm db qgm =
+  let qgm =
+    if db.rewrite_enabled then
+      Obs.Trace.with_span "rewrite" (fun () -> Rewrite.rewrite db.catalog qgm)
+    else qgm
+  in
+  Obs.Trace.with_span "optimize" (fun () -> Optimizer.lower db.catalog qgm)
+
 (** [run_qgm db qgm] optimizes and runs a QGM tree (the XNF translator's
-    entry point). *)
+    entry point). The result is materialized inside the "execute" span so
+    per-stage timings are attributed correctly; every current caller
+    consumes the sequence eagerly anyway. *)
 let run_qgm db qgm =
-  Plan.run (Optimizer.optimize ~rewrite:db.rewrite_enabled db.catalog qgm)
+  let plan = plan_of_qgm db qgm in
+  Obs.Trace.with_span "execute" (fun () ->
+      let rows = List.of_seq (Plan.run plan) in
+      Obs.Trace.add_meta "rows" (string_of_int (List.length rows));
+      Obs.Metrics.incr ~by:(List.length rows) m_rows_returned;
+      List.to_seq rows)
 
 (** [query_ast db q] executes a parsed SELECT. *)
 let query_ast db q =
   db.stmt_count <- db.stmt_count + 1;
-  let qgm = bind_select db q in
-  let schema = Qgm.schema_of db.catalog qgm in
-  { rschema = schema; rrows = List.of_seq (run_qgm db qgm) }
+  Obs.Metrics.incr m_stmts;
+  Obs.Trace.with_span "sql.query" (fun () ->
+      let qgm = Obs.Trace.with_span "semantic" (fun () -> bind_select db q) in
+      let schema = Qgm.schema_of db.catalog qgm in
+      { rschema = schema; rrows = List.of_seq (run_qgm db qgm) })
 
 (** [query db sql] parses and executes a SELECT, returning all rows. *)
-let query db sql = query_ast db (Sql_parser.parse_select sql)
+let query db sql =
+  query_ast db (Obs.Trace.with_span "parse" (fun () -> Sql_parser.parse_select sql))
 
 (** [explain_ast db q] returns the rewritten QGM and physical plan of a
     parsed SELECT as text. *)
@@ -92,6 +114,42 @@ let explain_ast db q =
 
 (** [explain db sql] parses a SELECT and returns its plans as text. *)
 let explain db sql = explain_ast db (Sql_parser.parse_select sql)
+
+(** [explain_analyze_ast db q] executes a parsed SELECT under the analyzed
+    executor and reports per-operator actual rows/time plus the pipeline
+    span tree. *)
+let explain_analyze_ast db q =
+  db.stmt_count <- db.stmt_count + 1;
+  Obs.Metrics.incr m_stmts;
+  let rows, analyzed =
+    Obs.Trace.with_span "sql.query" (fun () ->
+        let qgm = Obs.Trace.with_span "semantic" (fun () -> bind_select db q) in
+        let plan = plan_of_qgm db qgm in
+        let seq, analyzed = Plan.run_analyzed plan in
+        let rows =
+          Obs.Trace.with_span "execute" (fun () ->
+              let rows = List.of_seq seq in
+              Obs.Trace.add_meta "rows" (string_of_int (List.length rows));
+              rows)
+        in
+        (rows, analyzed))
+  in
+  let b = Buffer.create 256 in
+  Buffer.add_string b "Plan (actual):\n";
+  Buffer.add_string b (Plan.analyzed_to_string analyzed);
+  (match Obs.Trace.last () with
+  | Some sp ->
+    Buffer.add_string b "Stages:\n";
+    Buffer.add_string b (Obs.Trace.to_string sp)
+  | None -> ());
+  Buffer.add_string b (Printf.sprintf "(%d rows)\n" (List.length rows));
+  Buffer.contents b
+
+(** [explain_analyze db sql] parses a SELECT, runs it instrumented, and
+    returns the report. *)
+let explain_analyze db sql =
+  explain_analyze_ast db
+    (Obs.Trace.with_span "parse" (fun () -> Sql_parser.parse_select sql))
 
 (* ---- DML helpers ---- *)
 

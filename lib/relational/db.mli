@@ -54,6 +54,15 @@ val explain_ast : t -> Sql_ast.select -> string
     reachable as the [EXPLAIN SELECT ...] statement). *)
 val explain : t -> string -> string
 
+(** [explain_analyze_ast db q] executes a parsed SELECT under the
+    instrumented executor and returns a report with per-operator actual
+    row counts and timings plus the pipeline span tree. *)
+val explain_analyze_ast : t -> Sql_ast.select -> string
+
+(** [explain_analyze db sql] parses a SELECT, runs it instrumented, and
+    returns the report. *)
+val explain_analyze : t -> string -> string
+
 (** Row-level DML with primary-key enforcement and WAL logging — used by
     the executor and by the XNF udi layer. *)
 

@@ -185,8 +185,13 @@ end
 module RowKeyTbl = Hashtbl.Make (RowKey)
 
 (** [run p] compiles [p] to a lazy row sequence. The plan must be free of
-    parameters (see {!subst_params}). *)
-let rec run (p : t) : Row.t Seq.t =
+    parameters (see {!subst_params}). [exec ~recur] is the one-level
+    compiler — [run] ties the knot directly; {!run_analyzed} ties it
+    through per-operator row/time accounting. *)
+let rec run (p : t) : Row.t Seq.t = exec ~recur:run p
+
+and exec ~(recur : t -> Row.t Seq.t) (p : t) : Row.t Seq.t =
+  let run = recur in
   match p with
   | Seq_scan table -> Seq.map snd (Table.to_seq table)
   | Index_scan { table; index; key } ->
@@ -324,63 +329,119 @@ let run_with_params env p = run (subst_params env p)
 
 let kind_name = function Inner -> "inner" | Left -> "left" | Semi -> "semi" | Anti -> "anti"
 
+(** [children p] lists the direct operator inputs of [p] (in the order
+    {!exec} recurses into them). *)
+let children = function
+  | Seq_scan _ | Index_scan _ | Values _ -> []
+  | Filter (input, _) | Project (input, _) | Distinct input | Limit (input, _) -> [ input ]
+  | Nl_join { left; right; _ } | Hash_join { left; right; _ } | Union_all (left, right) ->
+    [ left; right ]
+  | Index_nl_join { left; _ } -> [ left ]
+  | Group { input; _ } | Sort { input; _ } -> [ input ]
+
+(** [label p] is the one-line operator header (no children). *)
+let label = function
+  | Seq_scan t -> Fmt.str "SeqScan %s" (Table.name t)
+  | Index_scan { table; index; key } ->
+    Fmt.str "IndexScan %s.%s key=[%a]" (Table.name table) (Index.name index)
+      (Fmt.list ~sep:(Fmt.any ", ") Expr.pp) key
+  | Values rows -> Fmt.str "Values (%d rows)" (List.length rows)
+  | Filter (_, pred) -> Fmt.str "Filter %a" Expr.pp pred
+  | Project (_, exprs) -> Fmt.str "Project [%a]" (Fmt.array ~sep:(Fmt.any ", ") Expr.pp) exprs
+  | Nl_join { kind; pred; _ } ->
+    Fmt.str "NLJoin(%s)%a" (kind_name kind)
+      (Fmt.option (fun ppf e -> Fmt.pf ppf " on %a" Expr.pp e))
+      pred
+  | Index_nl_join { kind; table; index; key_of_left; extra; _ } ->
+    Fmt.str "IndexNLJoin(%s) %s.%s key=[%a]%a" (kind_name kind) (Table.name table)
+      (Index.name index)
+      (Fmt.list ~sep:(Fmt.any ", ") Expr.pp)
+      key_of_left
+      (Fmt.option (fun ppf e -> Fmt.pf ppf " extra %a" Expr.pp e))
+      extra
+  | Hash_join { kind; left_keys; right_keys; _ } ->
+    Fmt.str "HashJoin(%s) [%a]=[%a]" (kind_name kind)
+      (Fmt.list ~sep:(Fmt.any ", ") Expr.pp)
+      left_keys
+      (Fmt.list ~sep:(Fmt.any ", ") Expr.pp)
+      right_keys
+  | Group { keys; aggs; _ } ->
+    Fmt.str "Group keys=[%a] (%d aggs)" (Fmt.list ~sep:(Fmt.any ", ") Expr.pp) keys
+      (List.length aggs)
+  | Sort _ -> "Sort"
+  | Distinct _ -> "Distinct"
+  | Limit (_, n) -> Fmt.str "Limit %d" n
+  | Union_all _ -> "UnionAll"
+
 (** [pp] prints an indented physical plan. *)
 let pp ppf p =
   let rec go indent p =
-    let pad = String.make indent ' ' in
-    match p with
-    | Seq_scan t -> Fmt.pf ppf "%sSeqScan %s@." pad (Table.name t)
-    | Index_scan { table; index; key } ->
-      Fmt.pf ppf "%sIndexScan %s.%s key=[%a]@." pad (Table.name table) (Index.name index)
-        (Fmt.list ~sep:(Fmt.any ", ") Expr.pp) key
-    | Values rows -> Fmt.pf ppf "%sValues (%d rows)@." pad (List.length rows)
-    | Filter (input, pred) ->
-      Fmt.pf ppf "%sFilter %a@." pad Expr.pp pred;
-      go (indent + 2) input
-    | Project (input, exprs) ->
-      Fmt.pf ppf "%sProject [%a]@." pad (Fmt.array ~sep:(Fmt.any ", ") Expr.pp) exprs;
-      go (indent + 2) input
-    | Nl_join { kind; left; right; pred; _ } ->
-      Fmt.pf ppf "%sNLJoin(%s)%a@." pad (kind_name kind)
-        (Fmt.option (fun ppf e -> Fmt.pf ppf " on %a" Expr.pp e))
-        pred;
-      go (indent + 2) left;
-      go (indent + 2) right
-    | Index_nl_join { kind; left; table; index; key_of_left; extra; _ } ->
-      Fmt.pf ppf "%sIndexNLJoin(%s) %s.%s key=[%a]%a@." pad (kind_name kind) (Table.name table)
-        (Index.name index)
-        (Fmt.list ~sep:(Fmt.any ", ") Expr.pp)
-        key_of_left
-        (Fmt.option (fun ppf e -> Fmt.pf ppf " extra %a" Expr.pp e))
-        extra;
-      go (indent + 2) left
-    | Hash_join { kind; left; right; left_keys; right_keys; _ } ->
-      Fmt.pf ppf "%sHashJoin(%s) [%a]=[%a]@." pad (kind_name kind)
-        (Fmt.list ~sep:(Fmt.any ", ") Expr.pp)
-        left_keys
-        (Fmt.list ~sep:(Fmt.any ", ") Expr.pp)
-        right_keys;
-      go (indent + 2) left;
-      go (indent + 2) right
-    | Group { input; keys; aggs } ->
-      Fmt.pf ppf "%sGroup keys=[%a] (%d aggs)@." pad (Fmt.list ~sep:(Fmt.any ", ") Expr.pp) keys
-        (List.length aggs);
-      go (indent + 2) input
-    | Sort { input; _ } ->
-      Fmt.pf ppf "%sSort@." pad;
-      go (indent + 2) input
-    | Distinct input ->
-      Fmt.pf ppf "%sDistinct@." pad;
-      go (indent + 2) input
-    | Limit (input, n) ->
-      Fmt.pf ppf "%sLimit %d@." pad n;
-      go (indent + 2) input
-    | Union_all (a, b) ->
-      Fmt.pf ppf "%sUnionAll@." pad;
-      go (indent + 2) a;
-      go (indent + 2) b
+    Fmt.pf ppf "%s%s@." (String.make indent ' ') (label p);
+    List.iter (go (indent + 2)) (children p)
   in
   go 0 p
 
 (** [to_string p] renders the plan for EXPLAIN-style output. *)
 let to_string p = Fmt.str "%a" pp p
+
+(* ---- analyzed execution (EXPLAIN ANALYZE) ----
+
+   [run_analyzed] mirrors [run] but threads every operator's output
+   through a counting/timing shim, so after the sequence is drained each
+   operator knows how many rows it emitted and how long pulls through it
+   took (inclusive of its inputs, like EXPLAIN ANALYZE "actual time").
+   The shim costs one clock pair per pull, so this path is for
+   diagnostics; the plain [run] stays untouched. *)
+
+type op_stats = { mutable rows_out : int; mutable elapsed_ns : float }
+
+type analyzed = { a_plan : t; a_stats : op_stats; a_children : analyzed list }
+
+let rec annotate p =
+  { a_plan = p; a_stats = { rows_out = 0; elapsed_ns = 0. };
+    a_children = List.map annotate (children p) }
+
+let counted st (s : Row.t Seq.t) : Row.t Seq.t =
+  let rec go s () =
+    let t0 = Obs.Metrics.now_ns () in
+    let node = s () in
+    st.elapsed_ns <- st.elapsed_ns +. (Obs.Metrics.now_ns () -. t0);
+    match node with
+    | Seq.Nil -> Seq.Nil
+    | Seq.Cons (row, rest) ->
+      st.rows_out <- st.rows_out + 1;
+      Seq.Cons (row, go rest)
+  in
+  go s
+
+let rec analyzed_seq a : Row.t Seq.t =
+  let recur q =
+    (* children are matched by physical identity; a subplan synthesized
+       after annotation (none today) would fall back to the plain runner *)
+    let rec find = function
+      | [] -> run q
+      | c :: rest -> if c.a_plan == q then analyzed_seq c else find rest
+    in
+    find a.a_children
+  in
+  counted a.a_stats (exec ~recur a.a_plan)
+
+(** [run_analyzed p] is [run p] plus per-operator accounting: returns the
+    row sequence and the annotated tree; stats are final once the sequence
+    is drained. *)
+let run_analyzed p =
+  let a = annotate p in
+  (analyzed_seq a, a)
+
+(** [pp_analyzed] prints the plan with per-operator actuals:
+    [(rows=N time=T ms)], time inclusive of the operator's inputs. *)
+let pp_analyzed ppf a =
+  let rec go indent a =
+    Fmt.pf ppf "%s%s  (rows=%d time=%.3f ms)@." (String.make indent ' ') (label a.a_plan)
+      a.a_stats.rows_out
+      (a.a_stats.elapsed_ns /. 1e6);
+    List.iter (go (indent + 2)) a.a_children
+  in
+  go 0 a
+
+let analyzed_to_string a = Fmt.str "%a" pp_analyzed a

@@ -61,8 +61,34 @@ val run_with_params : Value.t array -> t -> Row.t Seq.t
 
 val kind_name : join_kind -> string
 
+(** [children p] lists the direct operator inputs of [p]. *)
+val children : t -> t list
+
+(** [label p] is the one-line operator header (no children). *)
+val label : t -> string
+
 (** [pp] prints an indented physical plan; [to_string] renders it
     (EXPLAIN-style output). *)
 
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string
+
+(** {2 Analyzed execution (EXPLAIN ANALYZE)} *)
+
+(** Per-operator actuals, final once the analyzed sequence is drained. *)
+type op_stats = { mutable rows_out : int; mutable elapsed_ns : float }
+
+(** The plan tree annotated with {!op_stats}; [elapsed_ns] is inclusive of
+    the operator's inputs (EXPLAIN ANALYZE "actual time"). *)
+type analyzed = { a_plan : t; a_stats : op_stats; a_children : analyzed list }
+
+(** [run_analyzed p] is {!run} plus per-operator row/time accounting:
+    returns the row sequence and the annotated tree. The shim costs one
+    clock pair per pull — a diagnostics path; {!run} stays untouched. *)
+val run_analyzed : t -> Row.t Seq.t * analyzed
+
+(** [pp_analyzed] prints the plan with [(rows=N time=T ms)] per operator;
+    [analyzed_to_string] renders it. *)
+
+val pp_analyzed : Format.formatter -> analyzed -> unit
+val analyzed_to_string : analyzed -> string

@@ -16,6 +16,10 @@ type t = {
 
 exception Txn_error of string
 
+let m_begins = Obs.Metrics.counter "txn.begins"
+let m_commits = Obs.Metrics.counter "txn.commits"
+let m_aborts = Obs.Metrics.counter "txn.aborts"
+
 (** [create catalog] is a transaction manager logging to a fresh WAL. *)
 let create catalog = { wal = Wal.create (); catalog; active = None; next_id = 1; pending = [] }
 
@@ -33,6 +37,7 @@ let begin_txn t =
   t.next_id <- id + 1;
   t.active <- Some id;
   t.pending <- [];
+  Obs.Metrics.incr m_begins;
   ignore (Wal.append t.wal (Wal.R_begin id))
 
 (** [commit t] commits the open transaction.
@@ -41,6 +46,7 @@ let commit t =
   match t.active with
   | None -> raise (Txn_error "no transaction in progress")
   | Some id ->
+    Obs.Metrics.incr m_commits;
     ignore (Wal.append t.wal (Wal.R_commit id));
     t.active <- None;
     t.pending <- []
@@ -51,6 +57,7 @@ let rollback t =
   match t.active with
   | None -> raise (Txn_error "no transaction in progress")
   | Some id ->
+    Obs.Metrics.incr m_aborts;
     List.iter (Wal.undo_record t.catalog) t.pending;
     ignore (Wal.append t.wal (Wal.R_abort id));
     t.active <- None;

@@ -16,13 +16,21 @@ type record =
 
 type t = { mutable records : record list  (** newest first *); mutable lsn : int }
 
+let m_appends = Obs.Metrics.counter "wal.appends"
+let m_syncs = Obs.Metrics.counter "wal.syncs"
+let m_replayed = Obs.Metrics.counter "wal.records_replayed"
+
 (** [create ()] is an empty log. *)
 let create () = { records = []; lsn = 0 }
 
-(** [append log r] appends [r] and returns its LSN. *)
+(** [append log r] appends [r] and returns its LSN. Appends feed
+    [wal.appends]; commit/abort records additionally count as
+    [wal.syncs] — the points where a durable log would fsync. *)
 let append log r =
   log.records <- r :: log.records;
   log.lsn <- log.lsn + 1;
+  Obs.Metrics.incr m_appends;
+  (match r with R_commit _ | R_abort _ -> Obs.Metrics.incr m_syncs | _ -> ());
   log.lsn
 
 (** [records log] lists records oldest-first. *)
@@ -57,6 +65,7 @@ let replay log catalog =
   in
   List.iter
     (fun r ->
+      Obs.Metrics.incr m_replayed;
       match r with
       | R_begin id -> current_txn := Some id
       | R_commit _ | R_abort _ -> current_txn := None

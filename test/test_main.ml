@@ -22,5 +22,6 @@ let () =
       ("conformance", Test_conformance.suite);
       ("csv", Test_csv.suite);
       ("errors", Test_errors.suite);
+      ("observability", Test_obs.suite);
       ("properties", Test_props.suite);
       ("properties-2", Test_props2.suite) ]
