@@ -2,7 +2,7 @@
 #
 #   make build   - compile everything (libraries, shell, bench, tests)
 #   make test    - run the test suites (tier-1 gate)
-#   make check   - build + test + bench smoke (what CI runs)
+#   make check   - build + test (validators on) + lint corpus + bench smoke (what CI runs)
 #   make bench   - run the full benchmark suite
 #   make clean   - remove build artifacts
 
@@ -15,6 +15,8 @@ test:
 	dune runtest
 
 check: build test
+	XNF_CHECK=1 dune runtest --force
+	dune exec bin/xnf_shell.exe -- --demo --lint examples/corpus.xnf
 	dune exec bench/main.exe -- --list
 
 bench:

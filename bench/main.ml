@@ -717,6 +717,7 @@ let experiments =
     ("E10", "extraction scaling with database size", e10) ]
 
 let () =
+  ignore (Check.Pipeline.install_from_env ());
   let args = Array.to_list Sys.argv in
   if List.mem "--list" args then
     List.iter (fun (id, title, _) -> pr "%s  %s@." id title) experiments

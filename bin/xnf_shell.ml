@@ -13,6 +13,8 @@
      \fetch <query>   load a CO and keep it as the current cache
      \show            print the current cache
      \stats           translation statistics of the last fetch
+     \lint <query>    statically check an XNF/SQL statement, report diagnostics
+     \check on|off    toggle the pipeline invariant validators
      \metrics         dump nonzero metrics (\metrics json / \metrics prom)
      \trace           print the span tree of the last traced statement
      \walk <edge>     cursor-walk the current cache across <edge>
@@ -73,6 +75,25 @@ let handle_meta api current line =
   end
   else if String.length line > 9 && String.sub line 0 9 = "\\explain " then
     Fmt.pr "%s@." (Db.explain db (strip "\\explain "))
+  else if String.length line > 6 && String.sub line 0 6 = "\\lint " then begin
+    let src = strip "\\lint " in
+    match Check.Lint.lint_string db (Xnf.Api.registry api) src with
+    | [] -> Fmt.pr "no diagnostics@."
+    | ds ->
+      Fmt.pr "%a" Diag.pp_list (Diag.sort ds);
+      Fmt.pr "%d error(s), %d warning(s)@." (Diag.count_errors ds) (Diag.count_warnings ds)
+  end
+  else if line = "\\check on" then begin
+    Check.Pipeline.install ();
+    Fmt.pr "pipeline invariant validators enabled@."
+  end
+  else if line = "\\check off" then begin
+    Check.Pipeline.uninstall ();
+    Fmt.pr "pipeline invariant validators disabled@."
+  end
+  else if line = "\\check" then
+    Fmt.pr "pipeline invariant validators are %s@."
+      (if Check.Pipeline.installed () then "on" else "off")
   else if String.length line > 7 && String.sub line 0 7 = "\\fetch " then begin
     Xnf.Translate.reset_stats ();
     let cache = Xnf.Api.fetch_string api (strip "\\fetch ") in
@@ -160,6 +181,8 @@ let run_line api current line =
     | Txn.Txn_error msg -> Fmt.pr "transaction error: %s@." msg
     | Catalog.Unknown_table t -> Fmt.pr "unknown table: %s@." t
     | Catalog.Duplicate_name n -> Fmt.pr "duplicate name: %s@." n
+    | Check.Pipeline.Invariant_violation ds ->
+      Fmt.pr "internal invariant violation:@.%a" Diag.pp_list ds
 
 let repl api =
   let current = ref None in
@@ -189,14 +212,51 @@ let run_file api path =
         done
       with End_of_file -> ())
 
-let main demo file =
+(* Batch linter over a statement file: lint every non-comment line,
+   print diagnostics with their line number, exit nonzero when any
+   error-severity diagnostic is found. Clean CREATE VIEW statements are
+   registered so later statements can import them. *)
+let lint_file api path =
+  let db = Xnf.Api.db api in
+  let reg = Xnf.Api.registry api in
+  let ic = open_in path in
+  let errors = ref 0 and warnings = ref 0 and stmts = ref 0 and lineno = ref 0 in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      try
+        while true do
+          let line = String.trim (input_line ic) in
+          incr lineno;
+          if line <> "" && not (String.length line >= 2 && String.sub line 0 2 = "--") then begin
+            incr stmts;
+            let ds = Check.Lint.lint_string db reg line in
+            errors := !errors + Diag.count_errors ds;
+            warnings := !warnings + Diag.count_warnings ds;
+            List.iter (fun d -> Fmt.pr "%s:%d: %a@." path !lineno Diag.pp d) (Diag.sort ds);
+            if not (Diag.has_errors ds) then begin
+              match Xnf.Xnf_parser.parse_stmt line with
+              | Xnf.Xnf_ast.X_create_view _ -> ignore (Xnf.Api.exec api line)
+              | _ | (exception _) -> ()
+            end
+          end
+        done
+      with End_of_file -> ());
+  Fmt.pr "%s: %d statement(s), %d error(s), %d warning(s)@." path !stmts !errors !warnings;
+  if !errors > 0 then exit 1
+
+let main demo lint file =
   let db = Db.create () in
   let api = Xnf.Api.create db in
   (* keep a few recent fetch results so repeated OUT OF queries hit the
      cache (observable via \metrics as the xnf.fetchcache counters) *)
   Xnf.Api.set_result_cache api 8;
+  ignore (Check.Pipeline.install_from_env ());
   if demo then load_demo api;
-  match file with Some path -> run_file api path | None -> repl api
+  match (lint, file) with
+  | Some path, _ -> lint_file api path
+  | None, Some path -> run_file api path
+  | None, None -> repl api
 
 let cmd =
   let open Cmdliner in
@@ -207,12 +267,17 @@ let cmd =
     Arg.(value & opt (some string) None & info [ "f"; "file" ] ~docv:"FILE"
            ~doc:"Execute statements from $(docv) instead of reading stdin.")
   in
+  let lint =
+    Arg.(value & opt (some string) None & info [ "lint" ] ~docv:"FILE"
+           ~doc:"Statically check every statement in $(docv) and exit; nonzero exit status \
+                 when any error-severity diagnostic is reported.")
+  in
   let info =
     Cmd.info "xnf_shell" ~doc:"Interactive SQL/XNF shell"
       ~man:[ `S Manpage.s_description;
              `P "A shared relational database with the XNF composite-object extensions: \
                  plain SQL and OUT OF ... TAKE queries at the same prompt." ]
   in
-  Cmd.v info Term.(const main $ demo $ file)
+  Cmd.v info Term.(const main $ demo $ lint $ file)
 
 let () = exit (Cmdliner.Cmd.eval cmd)

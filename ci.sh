@@ -1,7 +1,10 @@
 #!/bin/sh
-# Minimal CI entry point: build everything, run the test suites, and
-# smoke-test that the benchmark harness still starts. Exits non-zero on
-# the first failure. Equivalent to `make check`.
+# Minimal CI entry point: build everything, run the test suites (twice:
+# once as-is, once with the pipeline invariant validators forced on via
+# XNF_CHECK), lint the statement corpus, and smoke-test that the
+# benchmark harness still starts. Exits non-zero on the first failure —
+# including any error-severity lint diagnostic. Equivalent to
+# `make check`.
 set -eu
 
 cd "$(dirname "$0")"
@@ -11,6 +14,12 @@ dune build @all
 
 echo "== test =="
 dune runtest
+
+echo "== test (pipeline validators installed) =="
+XNF_CHECK=1 dune runtest --force
+
+echo "== lint corpus =="
+dune exec bin/xnf_shell.exe -- --demo --lint examples/corpus.xnf
 
 echo "== bench smoke =="
 dune exec bench/main.exe -- --list

@@ -1,0 +1,103 @@
+(* Shared diagnostics core for the static checker.
+
+   A Diag.t is one finding: a stable code, a severity, a message, and
+   optionally a source span (from the shared lexer) and a hint. Code
+   families are documented in LANGUAGE.md §6:
+
+     XNF0xx  CO/XNF semantic lint findings (user-facing)
+     QGM1xx  QGM well-formedness violations (internal invariants)
+     PLAN2xx physical-plan validation violations (internal invariants)
+
+   Codes are stable across releases; tests assert on them. *)
+
+type severity = Error | Warning | Info
+
+type t = {
+  code : string;  (** stable code, e.g. ["XNF011"] *)
+  severity : severity;
+  message : string;
+  span : Relational.Srcloc.span option;
+  hint : string option;
+}
+
+(** [make ~code ~severity ?span ?hint msg] builds a diagnostic. *)
+let make ~code ~severity ?span ?hint message = { code; severity; message; span; hint }
+
+(** [err] / [warn] / [info] build a diagnostic of the given severity. *)
+let err ~code ?span ?hint message = make ~code ~severity:Error ?span ?hint message
+
+let warn ~code ?span ?hint message = make ~code ~severity:Warning ?span ?hint message
+let info ~code ?span ?hint message = make ~code ~severity:Info ?span ?hint message
+
+(** [of_parse_error ?span msg] wraps a parser/lexer failure as the XNF000
+    syntax diagnostic. *)
+let of_parse_error ?span message = err ~code:"XNF000" ?span message
+
+let severity_to_string = function Error -> "error" | Warning -> "warning" | Info -> "info"
+
+(** [is_error d] holds for severity [Error]. *)
+let is_error d = d.severity = Error
+
+(** [has_errors ds] holds when any diagnostic is an error. *)
+let has_errors ds = List.exists is_error ds
+
+(** [count_errors ds] / [count_warnings ds] tally by severity. *)
+let count_errors ds = List.length (List.filter is_error ds)
+
+let count_warnings ds = List.length (List.filter (fun d -> d.severity = Warning) ds)
+
+(** [sort ds] orders errors before warnings before infos, keeping the
+    original order within a severity. *)
+let sort ds =
+  let rank d = match d.severity with Error -> 0 | Warning -> 1 | Info -> 2 in
+  List.stable_sort (fun a b -> compare (rank a) (rank b)) ds
+
+(** [pp] renders the human form:
+    [error[XNF011]: message (line 1, column 42). hint] *)
+let pp ppf d =
+  Fmt.pf ppf "%s[%s]: %s" (severity_to_string d.severity) d.code d.message;
+  (match d.span with
+  | Some sp -> Fmt.pf ppf " (%a)" Relational.Srcloc.pp sp
+  | None -> ());
+  match d.hint with Some h -> Fmt.pf ppf ". %s" h | None -> ()
+
+(** [to_string d] is [pp] as a string. *)
+let to_string d = Fmt.str "%a" pp d
+
+(** [pp_list] renders one diagnostic per line, errors first. *)
+let pp_list ppf ds = List.iter (fun d -> Fmt.pf ppf "%a@." pp d) (sort ds)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_of_diag d =
+  let span_json =
+    match d.span with
+    | None -> ""
+    | Some sp ->
+      Printf.sprintf ",\"line\":%d,\"col\":%d,\"end_line\":%d,\"end_col\":%d"
+        sp.Relational.Srcloc.sp_line sp.Relational.Srcloc.sp_col sp.Relational.Srcloc.sp_end_line
+        sp.Relational.Srcloc.sp_end_col
+  in
+  let hint_json =
+    match d.hint with None -> "" | Some h -> Printf.sprintf ",\"hint\":\"%s\"" (json_escape h)
+  in
+  Printf.sprintf "{\"code\":\"%s\",\"severity\":\"%s\",\"message\":\"%s\"%s%s}" d.code
+    (severity_to_string d.severity)
+    (json_escape d.message) span_json hint_json
+
+(** [to_json ds] renders a JSON array of diagnostics (errors first), each
+    with code, severity, message, and optional span/hint fields. *)
+let to_json ds = "[" ^ String.concat "," (List.map json_of_diag (sort ds)) ^ "]"

@@ -1,0 +1,67 @@
+(** Shared diagnostics core for the static checker.
+
+    A {!t} is one finding: a stable code, a severity, a message, and
+    optionally a source span (from the shared lexer) and a hint. Code
+    families (documented in LANGUAGE.md §6):
+
+    - [XNF0xx] — CO/XNF semantic lint findings (user-facing)
+    - [QGM1xx] — QGM well-formedness violations (internal invariants)
+    - [PLAN2xx] — physical-plan validation violations (internal
+      invariants)
+
+    Codes are stable across releases; tests assert on them. *)
+
+type severity = Error | Warning | Info
+
+type t = {
+  code : string;  (** stable code, e.g. ["XNF011"] *)
+  severity : severity;
+  message : string;
+  span : Relational.Srcloc.span option;
+  hint : string option;
+}
+
+(** [make ~code ~severity ?span ?hint msg] builds a diagnostic; [err] /
+    [warn] / [info] fix the severity. *)
+
+val make :
+  code:string ->
+  severity:severity ->
+  ?span:Relational.Srcloc.span ->
+  ?hint:string ->
+  string ->
+  t
+
+val err : code:string -> ?span:Relational.Srcloc.span -> ?hint:string -> string -> t
+val warn : code:string -> ?span:Relational.Srcloc.span -> ?hint:string -> string -> t
+val info : code:string -> ?span:Relational.Srcloc.span -> ?hint:string -> string -> t
+
+(** [of_parse_error ?span msg] wraps a parser/lexer failure as the XNF000
+    syntax diagnostic. *)
+val of_parse_error : ?span:Relational.Srcloc.span -> string -> t
+
+val severity_to_string : severity -> string
+
+(** [is_error d] / [has_errors ds] / [count_errors ds] /
+    [count_warnings ds]: severity queries. *)
+
+val is_error : t -> bool
+val has_errors : t list -> bool
+val count_errors : t list -> int
+val count_warnings : t list -> int
+
+(** [sort ds] orders errors before warnings before infos, keeping the
+    original order within a severity. *)
+val sort : t list -> t list
+
+(** Human renderers: [pp] is
+    [error[XNF011]: message (line 1, column 42). hint]; [pp_list] prints
+    one per line, errors first. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+val pp_list : Format.formatter -> t list -> unit
+
+(** [to_json ds] renders a JSON array of diagnostics (errors first), each
+    with code, severity, message, and optional span/hint fields. *)
+val to_json : t list -> string

@@ -1,0 +1,661 @@
+(* CO/XNF semantic linter (XNF0xx).
+
+   Statically checks the paper's well-formedness rules on an XNF statement
+   against the resolved schema: component/relationship declarations
+   (duplicates, dangling RELATE endpoints, USING base tables, role
+   variables), the reachability constraint (orphan components never
+   reached from a root), predicate scoping and column resolution, path
+   expressions following schema edges with Path.eval's exact step
+   semantics, TAKE projections, and view closure. It mirrors
+   View_registry.compose / Co_schema / Path but collects diagnostics
+   instead of raising on the first problem, and attaches source spans by
+   re-tokenizing the query text with the span-aware lexer.
+
+   Node derivations are resolved through the real binder (Db.bind_select),
+   so lint results always agree with execution. *)
+
+open Relational
+module A = Xnf.Xnf_ast
+module CS = Xnf.Co_schema
+module VR = Xnf.View_registry
+
+let m_runs = Obs.Metrics.counter "check.lint.runs"
+let m_errors = Obs.Metrics.counter "check.lint.errors"
+
+type ctx = {
+  db : Db.t;
+  reg : VR.t;
+  src : string option;  (** original query text, for source spans *)
+  mutable diags : Diag.t list;  (** reversed *)
+  schemas : (string, Schema.t option) Hashtbl.t;  (** node name -> resolved schema *)
+}
+
+let lc = String.lowercase_ascii
+let add ctx d = ctx.diags <- d :: ctx.diags
+
+(* Span of the first occurrence of an identifier in the query text. Good
+   enough in practice: lint messages name the construct, the span locates
+   it. *)
+let ident_span ctx name =
+  match ctx.src with
+  | None -> None
+  | Some s -> begin
+    match Sql_lexer.tokenize_spanned s with
+    | exception Sql_lexer.Parse_error _ -> None
+    | toks, spans ->
+      let name = lc name in
+      let n = Array.length toks in
+      let rec find i =
+        if i >= n then None
+        else
+          match toks.(i) with
+          | Sql_lexer.IDENT id when String.equal id name -> Some spans.(i)
+          | _ -> find (i + 1)
+      in
+      find 0
+  end
+
+(* [about] names the identifier whose span the diagnostic points at *)
+let err ctx ~code ?about ?hint fmt =
+  Fmt.kstr (fun msg -> add ctx (Diag.err ~code ?span:(Option.bind about (ident_span ctx)) ?hint msg)) fmt
+
+let warn ctx ~code ?about ?hint fmt =
+  Fmt.kstr (fun msg -> add ctx (Diag.warn ~code ?span:(Option.bind about (ident_span ctx)) ?hint msg)) fmt
+
+(* ---- node schema resolution (through the real binder) ---- *)
+
+let node_schema ctx (nd : CS.node_def) : Schema.t option =
+  match Hashtbl.find_opt ctx.schemas nd.CS.nd_name with
+  | Some cached -> cached
+  | None ->
+    let resolved =
+      match Db.bind_select ctx.db nd.CS.nd_query with
+      | qgm -> Some (Qgm.schema_of (Db.catalog ctx.db) qgm)
+      | exception Binder.Bind_error msg ->
+        err ctx ~code:"XNF009" ~about:nd.CS.nd_name "component %s: invalid derivation: %s"
+          nd.CS.nd_name msg;
+        None
+      | exception Catalog.Unknown_table t ->
+        err ctx ~code:"XNF009" ~about:nd.CS.nd_name "component %s: derivation reads unknown table %s"
+          nd.CS.nd_name t;
+        None
+    in
+    Hashtbl.replace ctx.schemas nd.CS.nd_name resolved;
+    resolved
+
+let schema_of_name ctx def name =
+  Option.bind (CS.node_opt def name) (fun nd -> node_schema ctx nd)
+
+(* ---- phase 1: build the CO definition from the bindings ---- *)
+
+(* Co_schema.add_node/add_edge semantics, but diagnosing instead of
+   raising: bad components are reported and skipped, so later checks run
+   on the well-formed remainder. *)
+let build_def ctx (q : A.query) : CS.t =
+  let def = ref CS.empty in
+  let add_node_checked nd =
+    if CS.node_opt !def nd.CS.nd_name <> None || CS.edge_opt !def nd.CS.nd_name <> None then
+      err ctx ~code:"XNF001" ~about:nd.CS.nd_name "duplicate component name %s" nd.CS.nd_name
+    else def := { !def with CS.co_nodes = !def.CS.co_nodes @ [ nd ] }
+  in
+  let add_edge_checked ed =
+    let ok = ref true in
+    if CS.edge_opt !def ed.CS.ed_name <> None || CS.node_opt !def ed.CS.ed_name <> None then begin
+      err ctx ~code:"XNF001" ~about:ed.CS.ed_name "duplicate component name %s" ed.CS.ed_name;
+      ok := false
+    end;
+    if CS.node_opt !def ed.CS.ed_parent = None then begin
+      err ctx ~code:"XNF002" ~about:ed.CS.ed_parent
+        ~hint:"RELATE partners must be component tables declared earlier in the OUT OF clause"
+        "relationship %s: parent %s is not a declared component table" ed.CS.ed_name ed.CS.ed_parent;
+      ok := false
+    end;
+    if CS.node_opt !def ed.CS.ed_child = None then begin
+      err ctx ~code:"XNF002" ~about:ed.CS.ed_child
+        ~hint:"RELATE partners must be component tables declared earlier in the OUT OF clause"
+        "relationship %s: child %s is not a declared component table" ed.CS.ed_name ed.CS.ed_child;
+      ok := false
+    end;
+    if !ok then def := { !def with CS.co_edges = !def.CS.co_edges @ [ ed ] }
+  in
+  List.iter
+    (fun b ->
+      match b with
+      | A.B_node { bn_name; bn_query } ->
+        add_node_checked { CS.nd_name = lc bn_name; nd_query = bn_query; nd_cols = None }
+      | A.B_edge { be_name; be_parent; be_parent_var; be_child; be_child_var; be_attrs; be_using;
+                   be_pred } ->
+        let parent_alias = lc (Option.value ~default:be_parent be_parent_var) in
+        let child_alias = lc (Option.value ~default:be_child be_child_var) in
+        if String.equal parent_alias child_alias then
+          err ctx ~code:"XNF004" ~about:be_name
+            ~hint:"give each partner a role variable, e.g. RELATE emp m, emp r"
+            "relationship %s: cyclic partners need distinct role names" be_name;
+        (match be_using with
+        | Some (t, _) ->
+          if Catalog.table_opt (Db.catalog ctx.db) t = None then
+            err ctx ~code:"XNF005" ~about:t "relationship %s: USING table %s is not a base table"
+              be_name t
+        | None -> ());
+        add_edge_checked
+          { CS.ed_name = lc be_name; ed_parent = lc be_parent; ed_child = lc be_child;
+            ed_parent_alias = parent_alias; ed_child_alias = child_alias;
+            ed_using = Option.map (fun (t, a) -> (t, lc a)) be_using; ed_attrs = be_attrs;
+            ed_pred = be_pred }
+      | A.B_view name -> begin
+        match VR.find_opt ctx.reg name with
+        | None -> err ctx ~code:"XNF003" ~about:name "unknown XNF view %s" name
+        | Some v ->
+          List.iter add_node_checked v.VR.v_def.CS.co_nodes;
+          List.iter add_edge_checked v.VR.v_def.CS.co_edges
+      end)
+    q.A.q_out_of;
+  !def
+
+(* ---- phase 2: RELATE predicate scoping and endpoint types ---- *)
+
+(* resolve a SQL column ref against the edge scope (alias -> schema);
+   returns its type when uniquely resolved *)
+let resolve_scoped ctx ~what (scope : (string * Schema.t option) list) qualifier name :
+    Schema.ty option =
+  let name = lc name in
+  match qualifier with
+  | Some q -> begin
+    match List.assoc_opt (lc q) scope with
+    | None ->
+      err ctx ~code:"XNF006" ~about:q "%s references %s.%s, but %s is not in scope (in scope: %s)"
+        what q name q
+        (String.concat ", " (List.map fst scope));
+      None
+    | Some None -> None
+    | Some (Some s) -> begin
+      match Schema.find_opt s name with
+      | Some i -> Some (Schema.col s i).Schema.col_ty
+      | None ->
+        err ctx ~code:"XNF007" ~about:name "%s: no column %s in %s" what name (lc q);
+        None
+    end
+  end
+  | None -> begin
+    let hits =
+      List.filter_map
+        (fun (_, s) -> Option.bind s (fun s -> Option.map (fun i -> (Schema.col s i).Schema.col_ty) (Schema.find_opt s name)))
+        scope
+    in
+    let unknown_schemas = List.exists (fun (_, s) -> s = None) scope in
+    match hits with
+    | [ ty ] -> Some ty
+    | [] ->
+      if not unknown_schemas then
+        err ctx ~code:"XNF007" ~about:name "%s: unknown column %s" what name;
+      None
+    | _ :: _ :: _ ->
+      err ctx ~code:"XNF007" ~about:name "%s: ambiguous column %s (qualify it)" what name;
+      None
+  end
+
+(* walk a SQL expression, resolving every column against the scope;
+   subqueries are skipped (they carry their own scopes) *)
+let rec check_sql_expr ctx ~what scope (e : Sql_ast.expr) =
+  let r = check_sql_expr ctx ~what scope in
+  match e with
+  | Sql_ast.E_col (q, n) -> ignore (resolve_scoped ctx ~what scope q n)
+  | Sql_ast.E_lit _ | Sql_ast.E_count_star -> ()
+  | Sql_ast.E_cmp (_, a, b) | Sql_ast.E_arith (_, a, b) | Sql_ast.E_and (a, b)
+  | Sql_ast.E_or (a, b) | Sql_ast.E_like (a, b) ->
+    r a;
+    r b
+  | Sql_ast.E_neg a | Sql_ast.E_not a | Sql_ast.E_is_null a | Sql_ast.E_is_not_null a
+  | Sql_ast.E_fn_distinct (_, a) ->
+    r a
+  | Sql_ast.E_in_list (a, items) ->
+    r a;
+    List.iter r items
+  | Sql_ast.E_case (branches, else_) ->
+    List.iter
+      (fun (c, v) ->
+        r c;
+        r v)
+      branches;
+    Option.iter r else_
+  | Sql_ast.E_fn (_, args) -> List.iter r args
+  | Sql_ast.E_exists _ | Sql_ast.E_in_query _ | Sql_ast.E_scalar _ -> ()
+
+(* top-level equality conjuncts with plain columns on both sides: flag
+   joins that can never match because the endpoint types are
+   incompatible *)
+let rec check_eq_types ctx ~edge scope (e : Sql_ast.expr) =
+  match e with
+  | Sql_ast.E_and (a, b) ->
+    check_eq_types ctx ~edge scope a;
+    check_eq_types ctx ~edge scope b
+  | Sql_ast.E_cmp (Expr.Eq, Sql_ast.E_col (q1, n1), Sql_ast.E_col (q2, n2)) -> begin
+    (* re-resolution without re-reporting: scope errors were already
+       diagnosed by check_sql_expr *)
+    let quiet = { ctx with diags = []; schemas = ctx.schemas } in
+    let t1 = resolve_scoped quiet ~what:"" scope q1 n1 in
+    let t2 = resolve_scoped quiet ~what:"" scope q2 n2 in
+    match (t1, t2) with
+    | Some a, Some b when not (Qgm_check.ty_compatible a b) ->
+      err ctx ~code:"XNF008" ~about:n1
+        ~hint:"the relationship joins values of incompatible types and can never connect tuples"
+        "relationship %s: %s (%s) and %s (%s) are type-incompatible" edge n1
+        (Schema.ty_to_string a) n2 (Schema.ty_to_string b)
+    | _ -> ()
+  end
+  | _ -> ()
+
+let check_edge ctx def ed =
+  let scope =
+    [ (ed.CS.ed_parent_alias, schema_of_name ctx def ed.CS.ed_parent);
+      (ed.CS.ed_child_alias, schema_of_name ctx def ed.CS.ed_child) ]
+    @ (match ed.CS.ed_using with
+      | Some (t, a) -> [ (a, Option.map Table.schema (Catalog.table_opt (Db.catalog ctx.db) t)) ]
+      | None -> [])
+  in
+  let what = Printf.sprintf "relationship %s" ed.CS.ed_name in
+  check_sql_expr ctx ~what scope ed.CS.ed_pred;
+  List.iter (fun (e, _) -> check_sql_expr ctx ~what:(what ^ " attribute") scope e) ed.CS.ed_attrs;
+  check_eq_types ctx ~edge:ed.CS.ed_name scope ed.CS.ed_pred
+
+(* ---- phase 3: graph checks (reachability, recursion) ---- *)
+
+(* nodes reachable from [seeds] following parent -> child edges, the
+   direction the translator materializes extents in *)
+let reachable_from def seeds =
+  let seen = Hashtbl.create 16 in
+  let rec visit n =
+    if not (Hashtbl.mem seen n) then begin
+      Hashtbl.replace seen n ();
+      List.iter (fun e -> visit e.CS.ed_child) (CS.outgoing def n)
+    end
+  in
+  List.iter visit seeds;
+  seen
+
+let check_graph ctx (def : CS.t) =
+  if def.CS.co_nodes = [] then
+    err ctx ~code:"XNF010" "composite object has no component tables"
+  else begin
+    let roots = CS.roots def in
+    if roots = [] then
+      err ctx ~code:"XNF010"
+        ~hint:"every component is the child of some relationship, so every tuple is unreachable"
+        "composite object has no root component table"
+    else begin
+      let reached = reachable_from def (List.map (fun nd -> nd.CS.nd_name) roots) in
+      List.iter
+        (fun nd ->
+          if not (Hashtbl.mem reached nd.CS.nd_name) then
+            err ctx ~code:"XNF011" ~about:nd.CS.nd_name
+              ~hint:"under the reachability constraint its extent is always empty; RELATE it to a reachable component"
+              "component table %s is unreachable from any root by a RELATE chain" nd.CS.nd_name)
+        def.CS.co_nodes
+    end;
+    (* an edge closing a cycle whose predicate does not mention both
+       partners lets the fixpoint grow without a join constraint *)
+    List.iter
+      (fun ed ->
+        let closes_cycle = Hashtbl.mem (reachable_from def [ ed.CS.ed_child ]) ed.CS.ed_parent in
+        if closes_cycle then begin
+          let rec quals acc (e : Sql_ast.expr) =
+            match e with
+            | Sql_ast.E_col (Some q, _) -> lc q :: acc
+            | Sql_ast.E_col (None, _) | Sql_ast.E_lit _ | Sql_ast.E_count_star -> acc
+            | Sql_ast.E_cmp (_, a, b) | Sql_ast.E_arith (_, a, b) | Sql_ast.E_and (a, b)
+            | Sql_ast.E_or (a, b) | Sql_ast.E_like (a, b) ->
+              quals (quals acc a) b
+            | Sql_ast.E_neg a | Sql_ast.E_not a | Sql_ast.E_is_null a | Sql_ast.E_is_not_null a
+            | Sql_ast.E_fn_distinct (_, a) ->
+              quals acc a
+            | Sql_ast.E_in_list (a, items) -> List.fold_left quals (quals acc a) items
+            | Sql_ast.E_case (branches, else_) ->
+              let acc = List.fold_left (fun acc (c, v) -> quals (quals acc c) v) acc branches in
+              Option.fold ~none:acc ~some:(quals acc) else_
+            | Sql_ast.E_fn (_, args) -> List.fold_left quals acc args
+            | Sql_ast.E_exists _ | Sql_ast.E_in_query _ | Sql_ast.E_scalar _ -> acc
+          in
+          let qs = quals [] ed.CS.ed_pred in
+          if not (List.mem ed.CS.ed_parent_alias qs && List.mem ed.CS.ed_child_alias qs) then
+            warn ctx ~code:"XNF012" ~about:ed.CS.ed_name
+              ~hint:"guard the recursion with a predicate relating both role variables"
+              "recursive relationship %s does not constrain both partners" ed.CS.ed_name
+        end)
+      def.CS.co_edges
+  end
+
+(* ---- phase 4: SUCH THAT predicates and path expressions ---- *)
+
+(* env: restriction/path variable -> node name, mirroring Path.env *)
+let rec check_xexpr ctx def (env : (string * string) list) (e : A.xexpr) =
+  let r = check_xexpr ctx def env in
+  match e with
+  | A.X_col (q, n) -> begin
+    let n = lc n in
+    match q with
+    | Some q -> begin
+      match List.assoc_opt (lc q) env with
+      | None ->
+        err ctx ~code:"XNF014" ~about:q
+          "SUCH THAT predicate references %s.%s, but %s is not a bound variable (in scope: %s)" q n
+          q
+          (String.concat ", " (List.map fst env))
+      | Some node -> begin
+        match schema_of_name ctx def node with
+        | None -> ()
+        | Some s ->
+          if Schema.find_opt s n = None then
+            err ctx ~code:"XNF007" ~about:n "no column %s in component %s" n node
+      end
+    end
+    | None -> begin
+      let known = ref true in
+      let hits =
+        List.filter
+          (fun (_, node) ->
+            match schema_of_name ctx def node with
+            | None ->
+              known := false;
+              false
+            | Some s -> Schema.find_opt s n <> None)
+          env
+      in
+      match hits with
+      | [ _ ] -> ()
+      | [] ->
+        if !known then
+          err ctx ~code:"XNF007" ~about:n "unknown column %s in SUCH THAT predicate" n
+      | _ :: _ :: _ ->
+        err ctx ~code:"XNF007" ~about:n "ambiguous column %s in SUCH THAT predicate (qualify it)" n
+    end
+  end
+  | A.X_lit _ -> ()
+  | A.X_cmp (_, a, b) | A.X_arith (_, a, b) | A.X_and (a, b) | A.X_or (a, b) | A.X_like (a, b) ->
+    r a;
+    r b
+  | A.X_neg a | A.X_not a | A.X_is_null a | A.X_is_not_null a -> r a
+  | A.X_in_list (a, items) ->
+    r a;
+    List.iter r items
+  | A.X_fn (_, args) -> List.iter r args
+  | A.X_count_path p | A.X_exists_path p -> check_path ctx def env p
+
+(* Path.eval's exact step semantics, statically: an edge step moves to the
+   other partner (direction inferred); a bare node name or an explicit
+   node step is a checkpoint on the current component, never a move. *)
+and check_path ctx def env (p : A.path) =
+  let start = lc p.A.p_start in
+  let cur =
+    match List.assoc_opt start env with
+    | Some node -> Some node
+    | None -> begin
+      match CS.node_opt def start with
+      | Some _ -> Some start
+      | None ->
+        err ctx ~code:"XNF014" ~about:p.A.p_start
+          "path start %s is neither a bound variable nor a component table" p.A.p_start;
+        None
+    end
+  in
+  let checkpoint cur name =
+    (* [cur] = None means an earlier step already failed; stay quiet *)
+    (match cur with
+    | Some cn when not (String.equal cn (lc name)) ->
+      err ctx ~code:"XNF015" ~about:name "path step %s does not match current component %s" name cn
+    | _ -> ());
+    Some (lc name)
+  in
+  let step cur (s : A.step) =
+    match s with
+    | A.Step_edge name -> begin
+      match CS.edge_opt def name with
+      | Some ed -> begin
+        match cur with
+        | None -> None
+        | Some cn ->
+          if String.equal cn ed.CS.ed_parent then Some ed.CS.ed_child
+          else if String.equal cn ed.CS.ed_child then Some ed.CS.ed_parent
+          else begin
+            err ctx ~code:"XNF015" ~about:name
+              ~hint:"path steps must follow RELATE relationships of the schema graph"
+              "path step %s does not connect component %s (it relates %s to %s)" name cn
+              ed.CS.ed_parent ed.CS.ed_child;
+            None
+          end
+      end
+      | None -> begin
+        match CS.node_opt def name with
+        | Some _ -> checkpoint cur name
+        | None ->
+          err ctx ~code:"XNF013" ~about:name "unknown relationship or component %s in path" name;
+          None
+      end
+    end
+    | A.Step_node { sn_node; sn_var; sn_pred } -> begin
+      match CS.node_opt def sn_node with
+      | None ->
+        err ctx ~code:"XNF013" ~about:sn_node "unknown component %s in path" sn_node;
+        None
+      | Some _ ->
+        let cur = checkpoint cur sn_node in
+        (match sn_pred with
+        | Some pred ->
+          let var = lc (Option.value ~default:sn_node sn_var) in
+          check_xexpr ctx def ((var, lc sn_node) :: env) pred
+        | None -> ());
+        cur
+    end
+  in
+  ignore (List.fold_left step cur p.A.p_steps)
+
+let check_restrictions ctx def (q : A.query) =
+  List.iter
+    (fun r ->
+      match r with
+      | A.R_node { rn_node; rn_var; rn_pred } -> begin
+        match CS.node_opt def rn_node with
+        | None -> err ctx ~code:"XNF013" ~about:rn_node "restriction on unknown component %s" rn_node
+        | Some nd ->
+          let var = lc (Option.value ~default:nd.CS.nd_name rn_var) in
+          check_xexpr ctx def [ (var, nd.CS.nd_name) ] rn_pred
+      end
+      | A.R_edge { re_edge; re_parent_var; re_child_var; re_pred } -> begin
+        match CS.edge_opt def re_edge with
+        | None ->
+          err ctx ~code:"XNF013" ~about:re_edge "restriction on unknown relationship %s" re_edge
+        | Some ed ->
+          check_xexpr ctx def
+            [ (lc re_parent_var, ed.CS.ed_parent); (lc re_child_var, ed.CS.ed_child) ]
+            re_pred
+      end)
+    q.A.q_where
+
+(* ---- phase 5: TAKE projection ---- *)
+
+(* mirrors Co_schema.project; returns the surviving (nodes, edges) for the
+   view-closure check *)
+let check_take ctx def (take : A.take) : (string list * string list) =
+  match take with
+  | A.Take_star ->
+    ( List.map (fun nd -> nd.CS.nd_name) def.CS.co_nodes,
+      List.map (fun e -> e.CS.ed_name) def.CS.co_edges )
+  | A.Take_items items ->
+    let seen = Hashtbl.create 8 in
+    let kept_nodes = ref [] and kept_edges = ref [] in
+    let keep_node n = if not (List.mem n !kept_nodes) then kept_nodes := n :: !kept_nodes in
+    let keep_edge e = if not (List.mem e !kept_edges) then kept_edges := e :: !kept_edges in
+    let dup name =
+      if Hashtbl.mem seen (lc name) then
+        warn ctx ~code:"XNF017" ~about:name "duplicate TAKE item %s" name;
+      Hashtbl.replace seen (lc name) ()
+    in
+    let check_cols node cols =
+      match cols with
+      | A.Take_all_cols -> ()
+      | A.Take_cols cs -> begin
+        let col_seen = Hashtbl.create 8 in
+        List.iter
+          (fun c ->
+            if Hashtbl.mem col_seen (lc c) then
+              warn ctx ~code:"XNF017" ~about:c "duplicate column %s in TAKE projection of %s" c node;
+            Hashtbl.replace col_seen (lc c) ();
+            match schema_of_name ctx def node with
+            | None -> ()
+            | Some s ->
+              if Schema.find_opt s (lc c) = None then
+                err ctx ~code:"XNF007" ~about:c "TAKE projects unknown column %s of %s" c node)
+          cs
+      end
+    in
+    List.iter
+      (fun item ->
+        match item with
+        | A.Take_node (n, cols) -> begin
+          dup n;
+          match (CS.node_opt def n, CS.edge_opt def n, cols) with
+          | Some _, _, _ ->
+            keep_node (lc n);
+            check_cols (lc n) cols
+          | None, Some _, A.Take_all_cols -> keep_edge (lc n)
+          | None, Some _, A.Take_cols _ ->
+            err ctx ~code:"XNF018" ~about:n "column projection on relationship %s" n
+          | None, None, _ -> err ctx ~code:"XNF016" ~about:n "TAKE references unknown component %s" n
+        end
+        | A.Take_edge e -> begin
+          dup e;
+          match (CS.edge_opt def e, CS.node_opt def e) with
+          | Some _, _ -> keep_edge (lc e)
+          | None, Some _ -> keep_node (lc e)
+          | None, None -> err ctx ~code:"XNF016" ~about:e "TAKE references unknown component %s" e
+        end)
+      items;
+    (* an explicitly kept edge whose partner is projected away *)
+    List.iter
+      (fun e ->
+        match CS.edge_opt def e with
+        | None -> ()
+        | Some ed ->
+          List.iter
+            (fun partner ->
+              if not (List.mem partner !kept_nodes) then
+                err ctx ~code:"XNF019" ~about:e
+                  "TAKE keeps relationship %s but drops its partner %s" e partner)
+            (List.sort_uniq compare [ ed.CS.ed_parent; ed.CS.ed_child ]))
+      !kept_edges;
+    (!kept_nodes, !kept_edges)
+
+(* ---- entry points ---- *)
+
+let lint_query_ctx ctx (q : A.query) : CS.t * (string list * string list) =
+  let def = build_def ctx q in
+  List.iter (fun nd -> ignore (node_schema ctx nd)) def.CS.co_nodes;
+  List.iter (check_edge ctx def) def.CS.co_edges;
+  check_graph ctx def;
+  check_restrictions ctx def q;
+  let surviving = check_take ctx def q.A.q_take in
+  (def, surviving)
+
+let make_ctx db reg src = { db; reg; src; diags = []; schemas = Hashtbl.create 16 }
+
+let finish ctx =
+  let ds = List.rev ctx.diags in
+  Obs.Metrics.incr m_runs;
+  Obs.Metrics.incr ~by:(Diag.count_errors ds) m_errors;
+  ds
+
+(** [lint_query db reg ?src q] lints one OUT OF query; [src] (the original
+    text) enables source spans. *)
+let lint_query db reg ?src (q : A.query) : Diag.t list =
+  let ctx = make_ctx db reg src in
+  ignore (lint_query_ctx ctx q);
+  finish ctx
+
+(* path-based restrictions of [q] itself plus those imported from views;
+   these stay symbolic past composition, so view closure must keep their
+   components *)
+let path_restrictions reg (q : A.query) =
+  let own = List.filter (fun r ->
+      match r with
+      | A.R_node { rn_pred; _ } -> A.has_path rn_pred
+      | A.R_edge { re_pred; _ } -> A.has_path re_pred)
+      q.A.q_where
+  in
+  let imported =
+    List.concat_map
+      (fun b ->
+        match b with
+        | A.B_view name ->
+          (match VR.find_opt reg name with Some v -> v.VR.v_path_restrs | None -> [])
+        | A.B_node _ | A.B_edge _ -> [])
+      q.A.q_out_of
+  in
+  own @ imported
+
+(** [lint_stmt db reg ?src stmt] lints one XNF statement. *)
+let lint_stmt db reg ?src (stmt : A.stmt) : Diag.t list =
+  let ctx = make_ctx db reg src in
+  (match stmt with
+  | A.X_query q | A.X_delete q -> ignore (lint_query_ctx ctx q)
+  | A.X_create_view (name, q) ->
+    if VR.find_opt reg name <> None then
+      err ctx ~code:"XNF021" ~about:name "XNF view %s already exists" name;
+    let def, (kept_nodes, kept_edges) = lint_query_ctx ctx q in
+    ignore def;
+    (* a view's TAKE is schema-level projection: its residual path
+       restrictions must reference surviving components *)
+    List.iter
+      (fun r ->
+        match r with
+        | A.R_node { rn_node; _ } ->
+          if not (List.mem (lc rn_node) kept_nodes) then
+            err ctx ~code:"XNF020" ~about:rn_node
+              "view %s: path restriction references projected-away component %s" name rn_node
+        | A.R_edge { re_edge; _ } ->
+          if not (List.mem (lc re_edge) kept_edges) then
+            err ctx ~code:"XNF020" ~about:re_edge
+              "view %s: path restriction references projected-away relationship %s" name re_edge)
+      (path_restrictions reg q)
+  | A.X_update (q, cu) ->
+    let def, _ = lint_query_ctx ctx q in
+    (match CS.node_opt def cu.A.cu_node with
+    | None ->
+      err ctx ~code:"XNF013" ~about:cu.A.cu_node "UPDATE targets unknown component %s" cu.A.cu_node
+    | Some nd -> begin
+      match node_schema ctx nd with
+      | None -> ()
+      | Some s ->
+        List.iter
+          (fun (col, _) ->
+            if Schema.find_opt s (lc col) = None then
+              err ctx ~code:"XNF007" ~about:col "UPDATE sets unknown column %s of %s" col
+                cu.A.cu_node)
+          cu.A.cu_sets
+    end)
+  | A.X_drop_view name ->
+    if VR.find_opt reg name = None && Catalog.view_opt (Db.catalog db) name = None then
+      err ctx ~code:"XNF003" ~about:name "unknown XNF view %s" name
+  | A.X_sql (Sql_ast.S_select q) -> begin
+    match Db.bind_select db q with
+    | (_ : Qgm.t) -> ()
+    | exception Binder.Bind_error msg -> err ctx ~code:"XNF009" "invalid SQL query: %s" msg
+    | exception Catalog.Unknown_table t -> err ctx ~code:"XNF009" "unknown table %s" t
+  end
+  | A.X_sql _ -> ());
+  finish ctx
+
+(** [lint_string db reg src] parses and lints one statement; parse
+    failures come back as an [XNF000] diagnostic and semantic exceptions
+    out of shared helpers as [XNF099]. Never raises. *)
+let lint_string db reg (src : string) : Diag.t list =
+  match Xnf.Xnf_parser.parse_stmt_diag src with
+  | Error d ->
+    Obs.Metrics.incr m_runs;
+    Obs.Metrics.incr m_errors;
+    [ d ]
+  | Ok stmt -> begin
+    match lint_stmt db reg ~src stmt with
+    | ds -> ds
+    | exception CS.Schema_error msg -> [ Diag.err ~code:"XNF099" msg ]
+    | exception VR.View_error msg -> [ Diag.err ~code:"XNF099" msg ]
+    | exception Invalid_argument msg -> [ Diag.err ~code:"XNF099" msg ]
+  end

@@ -1,0 +1,30 @@
+(** CO/XNF semantic linter (XNF0xx diagnostics).
+
+    Statically validates an XNF statement against the resolved relational
+    schema before (or instead of) executing it: component and relationship
+    declarations, the reachability constraint of §2 of the paper
+    (components unreachable from any root can never hold tuples),
+    predicate scoping and column resolution, path expressions following
+    schema-graph edges, TAKE projections, and view closure. The checks
+    mirror the executable semantics of {!Xnf.View_registry.compose},
+    {!Xnf.Co_schema} and {!Xnf.Path}, so a clean lint means composition
+    will not fail on these rules — but reported as a full diagnostic list
+    with source spans, not a first-error exception.
+
+    Node derivations are resolved through the real binder, so column and
+    type information always agrees with execution. *)
+
+open Relational
+
+(** [lint_query db reg ?src q] lints one [OUT OF ... TAKE] query; [src]
+    (the original query text) enables source spans on diagnostics. *)
+val lint_query : Db.t -> Xnf.View_registry.t -> ?src:string -> Xnf.Xnf_ast.query -> Diag.t list
+
+(** [lint_stmt db reg ?src stmt] lints one XNF statement (queries, view
+    definitions, CO updates/deletes, plain SQL). *)
+val lint_stmt : Db.t -> Xnf.View_registry.t -> ?src:string -> Xnf.Xnf_ast.stmt -> Diag.t list
+
+(** [lint_string db reg src] parses and lints one statement. Parse
+    failures come back as a single [XNF000] diagnostic; stray semantic
+    exceptions from shared helpers as [XNF099]. Never raises. *)
+val lint_string : Db.t -> Xnf.View_registry.t -> string -> Diag.t list

@@ -1,0 +1,61 @@
+(* Pipeline invariant validators: installation and policy.
+
+   Wires Qgm_check/Plan_check into the stage-boundary hooks that db.ml
+   calls after binding, after the QGM rewrite, and after optimizer
+   lowering. Violations increment lib/obs counters; error-severity
+   violations abort the statement with Invariant_violation. Tests install
+   unconditionally; the shell and bench install when XNF_CHECK=1 (or
+   \check on). *)
+
+exception Invariant_violation of Diag.t list
+
+let () =
+  Printexc.register_printer (function
+    | Invariant_violation ds ->
+      Some (Printf.sprintf "Invariant_violation:\n%s" (String.concat "\n" (List.map Diag.to_string ds)))
+    | _ -> None)
+
+let m_qgm = Obs.Metrics.counter "check.qgm.violations"
+let m_plan = Obs.Metrics.counter "check.plan.violations"
+let m_runs = Obs.Metrics.counter "check.validations"
+
+let installed_flag = ref false
+
+let report ~counter diags =
+  match diags with
+  | [] -> ()
+  | ds ->
+    Obs.Metrics.incr ~by:(List.length ds) counter;
+    if Diag.has_errors ds then raise (Invariant_violation ds)
+
+let validate_qgm catalog qgm =
+  Obs.Metrics.incr m_runs;
+  report ~counter:m_qgm (Qgm_check.check catalog qgm)
+
+let validate_plan _catalog plan =
+  Obs.Metrics.incr m_runs;
+  report ~counter:m_plan (Plan_check.check plan)
+
+(** [install ()] enables the validators at all three hook points. *)
+let install () =
+  Relational.Hooks.post_bind := validate_qgm;
+  Relational.Hooks.post_rewrite := validate_qgm;
+  Relational.Hooks.post_optimize := validate_plan;
+  installed_flag := true
+
+(** [uninstall ()] restores the no-op hooks. *)
+let uninstall () =
+  Relational.Hooks.reset ();
+  installed_flag := false
+
+(** [installed ()] reports whether the validators are active. *)
+let installed () = !installed_flag
+
+(** [install_from_env ()] installs when [XNF_CHECK] is [1]/[true]/[on]
+    (case-insensitive); returns whether it did. *)
+let install_from_env () =
+  match Sys.getenv_opt "XNF_CHECK" with
+  | Some v when List.mem (String.lowercase_ascii v) [ "1"; "true"; "on"; "yes" ] ->
+    install ();
+    true
+  | _ -> false

@@ -1,0 +1,28 @@
+(** Pipeline invariant validators: installation and policy.
+
+    Wires {!Qgm_check} / {!Plan_check} into the stage-boundary hooks
+    ({!Relational.Hooks}) that the query pipeline calls after binding,
+    after the QGM rewrite, and after optimizer lowering. Violations
+    increment the [check.qgm.violations] / [check.plan.violations]
+    counters; error-severity violations abort the statement with
+    {!Invariant_violation}. *)
+
+exception Invariant_violation of Diag.t list
+
+(** The validator bodies the hooks run (exposed so tests can drive them
+    directly against hand-built malformed structures). *)
+
+val validate_qgm : Relational.Catalog.t -> Relational.Qgm.t -> unit
+val validate_plan : Relational.Catalog.t -> Relational.Plan.t -> unit
+
+(** [install ()] enables the validators at all three hook points;
+    [uninstall ()] restores the no-op hooks; [installed ()] reports the
+    current state. *)
+
+val install : unit -> unit
+val uninstall : unit -> unit
+val installed : unit -> bool
+
+(** [install_from_env ()] installs when [XNF_CHECK] is [1]/[true]/[on]
+    (case-insensitive); returns whether it did. *)
+val install_from_env : unit -> bool

@@ -1,0 +1,147 @@
+(* Physical-plan validator (PLAN2xx).
+
+   Checks that operator input/output widths line up after optimizer
+   lowering: every column index lands inside its operator's input width,
+   every join's cached right_width agrees with the actual right input,
+   join key lists agree in arity with each other / with the index they
+   probe, UNION ALL branches have equal widths. Plans embed their tables,
+   so no catalog is needed. Expr.Param is NOT flagged: correlated subquery
+   subplans legitimately contain parameters. *)
+
+open Relational
+
+let check (p : Plan.t) : Diag.t list =
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  let table_width t = Schema.arity (Table.schema t) in
+  (* [width] is None when not statically known (empty VALUES, or an
+     already-reported violation below this operator). *)
+  let check_expr ~what width e =
+    match width with
+    | None -> ()
+    | Some n ->
+      List.iter
+        (fun i ->
+          if i < 0 || i >= n then
+            add
+              (Diag.err ~code:"PLAN201"
+                 (Printf.sprintf "%s references column $%d outside its input width %d" what i n)))
+        (Expr.cols e)
+  in
+  let check_right_width ~op ~declared actual =
+    match actual with
+    | Some w when w <> declared ->
+      add
+        (Diag.err ~code:"PLAN202"
+           (Printf.sprintf "%s declares right_width %d but its right input has width %d" op declared w))
+    | _ -> ()
+  in
+  let sum a b = match (a, b) with Some a, Some b -> Some (a + b) | _ -> None in
+  let rec width p =
+    match p with
+    | Plan.Seq_scan t -> Some (table_width t)
+    | Plan.Index_scan { table; index; key } ->
+      let keylen = List.length key and idxlen = Array.length (Index.cols index) in
+      if keylen <> idxlen then
+        add
+          (Diag.err ~code:"PLAN203"
+             (Printf.sprintf "Index_scan probes %s with %d key expressions, index has %d columns"
+                (Index.name index) keylen idxlen));
+      Some (table_width table)
+    | Plan.Values rows -> begin
+      match rows with
+      | [] -> None
+      | r0 :: rest ->
+        let w = Array.length r0 in
+        List.iteri
+          (fun i r ->
+            if Array.length r <> w then
+              add
+                (Diag.err ~code:"PLAN206"
+                   (Printf.sprintf "VALUES row %d has width %d, row 0 has width %d" (i + 1)
+                      (Array.length r) w)))
+          rest;
+        Some w
+    end
+    | Plan.Filter (input, pred) ->
+      let w = width input in
+      check_expr ~what:"Filter predicate" w pred;
+      w
+    | Plan.Project (input, exprs) ->
+      let w = width input in
+      Array.iter (fun e -> check_expr ~what:"Project expression" w e) exprs;
+      Some (Array.length exprs)
+    | Plan.Nl_join { kind; left; right; pred; right_width } ->
+      let lw = width left and rw = width right in
+      check_right_width ~op:"Nl_join" ~declared:right_width rw;
+      (match pred with
+      | Some p -> check_expr ~what:"Nl_join predicate" (sum lw (Some right_width)) p
+      | None -> ());
+      (match kind with
+      | Plan.Semi | Plan.Anti -> lw
+      | Plan.Inner | Plan.Left -> sum lw (Some right_width))
+    | Plan.Index_nl_join { kind; left; table; index; key_of_left; extra; right_width } ->
+      let lw = width left in
+      let tw = table_width table in
+      check_right_width ~op:"Index_nl_join" ~declared:right_width (Some tw);
+      let keylen = List.length key_of_left and idxlen = Array.length (Index.cols index) in
+      if keylen <> idxlen then
+        add
+          (Diag.err ~code:"PLAN203"
+             (Printf.sprintf "Index_nl_join probes %s with %d key expressions, index has %d columns"
+                (Index.name index) keylen idxlen));
+      List.iter (fun e -> check_expr ~what:"Index_nl_join key" lw e) key_of_left;
+      (match extra with
+      | Some e -> check_expr ~what:"Index_nl_join residual predicate" (sum lw (Some tw)) e
+      | None -> ());
+      (match kind with
+      | Plan.Semi | Plan.Anti -> lw
+      | Plan.Inner | Plan.Left -> sum lw (Some tw))
+    | Plan.Hash_join { kind; left; right; left_keys; right_keys; extra; right_width } ->
+      let lw = width left and rw = width right in
+      check_right_width ~op:"Hash_join" ~declared:right_width rw;
+      if List.length left_keys <> List.length right_keys then
+        add
+          (Diag.err ~code:"PLAN203"
+             (Printf.sprintf "Hash_join has %d left keys but %d right keys" (List.length left_keys)
+                (List.length right_keys)));
+      List.iter (fun e -> check_expr ~what:"Hash_join left key" lw e) left_keys;
+      List.iter (fun e -> check_expr ~what:"Hash_join right key" rw e) right_keys;
+      (match extra with
+      | Some e -> check_expr ~what:"Hash_join residual predicate" (sum lw (Some right_width)) e
+      | None -> ());
+      (match kind with
+      | Plan.Semi | Plan.Anti -> lw
+      | Plan.Inner | Plan.Left -> sum lw (Some right_width))
+    | Plan.Group { input; keys; aggs } ->
+      let w = width input in
+      List.iter (fun e -> check_expr ~what:"Group key" w e) keys;
+      List.iter
+        (fun (fn, arg, _distinct) ->
+          match arg with
+          | Some e -> check_expr ~what:"Group aggregate argument" w e
+          | None ->
+            if fn <> Expr.Count_star then
+              add (Diag.err ~code:"PLAN205" "Group aggregate other than COUNT(*) has no argument"))
+        aggs;
+      Some (List.length keys + List.length aggs)
+    | Plan.Sort { input; keys } ->
+      let w = width input in
+      List.iter (fun (e, _) -> check_expr ~what:"Sort key" w e) keys;
+      w
+    | Plan.Distinct input -> width input
+    | Plan.Limit (input, _) -> width input
+    | Plan.Union_all (a, b) -> begin
+      let wa = width a and wb = width b in
+      match (wa, wb) with
+      | Some x, Some y when x <> y ->
+        add
+          (Diag.err ~code:"PLAN204"
+             (Printf.sprintf "UNION ALL branches have widths %d and %d" x y));
+        Some x
+      | Some _, _ -> wa
+      | None, _ -> wb
+    end
+  in
+  ignore (width p);
+  List.rev !diags

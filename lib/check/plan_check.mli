@@ -1,0 +1,11 @@
+(** Physical-plan validator ([PLAN2xx]).
+
+    Checks that operator input/output widths line up after optimizer
+    lowering: no unbound column indexes, join [right_width] caches that
+    agree with the actual right input, join key lists of matching arity,
+    UNION ALL branches of equal width. [Expr.Param] is not flagged —
+    correlated subquery subplans legitimately contain parameters. *)
+
+(** [check p] returns all violations found in [p] (empty when valid).
+    Never raises. *)
+val check : Relational.Plan.t -> Diag.t list

@@ -1,0 +1,140 @@
+(* QGM well-formedness validator (QGM1xx).
+
+   Checks the Starburst-style internal invariants on a bound or rewritten
+   QGM tree: every column reference ("quantifier ref") lands inside its
+   box's input arity, arity/type agreement across box boundaries (VALUES
+   rows vs. declared schema, UNION ALL branches), aggregates carry their
+   arguments, and base-table quantifiers resolve in the catalog. Run by the
+   pipeline hooks after binding and after the rewrite; a violation here is
+   an engine bug, not a user error. *)
+
+open Relational
+
+(* Int and Float interconvert in comparisons and arithmetic; everything
+   else must match exactly. *)
+let ty_compatible a b =
+  let numeric = function Schema.Ty_int | Schema.Ty_float -> true | _ -> false in
+  a = b || (numeric a && numeric b)
+
+let check (catalog : Catalog.t) (q : Qgm.t) : Diag.t list =
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  let schema_opt q = try Some (Qgm.schema_of catalog q) with _ -> None in
+  let arity_opt q = Option.map Schema.arity (schema_opt q) in
+  (* [arity] None means the subtree's schema is not derivable (already
+     reported deeper down); skip dependent checks instead of cascading. *)
+  let check_expr ~what arity e =
+    (match arity with
+    | Some n ->
+      List.iter
+        (fun i ->
+          if i < 0 || i >= n then
+            add
+              (Diag.err ~code:"QGM101"
+                 (Printf.sprintf "%s references column $%d outside its input arity %d" what i n)))
+        (Expr.cols e)
+    | None -> ());
+    if Expr.has_param e then
+      add (Diag.err ~code:"QGM101" (Printf.sprintf "%s contains an unbound correlation parameter" what))
+  in
+  let rec walk q =
+    match q with
+    | Qgm.Access { table; alias = _ } -> begin
+      match Catalog.table_opt catalog table with
+      | None ->
+        add (Diag.err ~code:"QGM104" (Printf.sprintf "Access box references unknown base table %s" table))
+      | Some _ -> ()
+    end
+    | Qgm.Temp _ -> ()
+    | Qgm.Values { schema; rows } ->
+      let n = Schema.arity schema in
+      List.iteri
+        (fun ri row ->
+          if Array.length row <> n then
+            add
+              (Diag.err ~code:"QGM102"
+                 (Printf.sprintf "VALUES row %d has width %d, declared schema arity is %d" ri
+                    (Array.length row) n))
+          else
+            Array.iteri
+              (fun ci v ->
+                if not (Schema.value_matches (Schema.col schema ci).Schema.col_ty v) then
+                  add
+                    (Diag.err ~code:"QGM103"
+                       (Printf.sprintf "VALUES row %d column %d: %s does not inhabit type %s" ri ci
+                          (Value.to_string v)
+                          (Schema.ty_to_string (Schema.col schema ci).Schema.col_ty))))
+              row)
+        rows
+    | Qgm.Select { input; pred } ->
+      walk input;
+      check_expr ~what:"selection predicate" (arity_opt input) pred
+    | Qgm.Project { input; cols } ->
+      walk input;
+      let ar = arity_opt input in
+      List.iter
+        (fun (e, c) ->
+          check_expr ~what:(Printf.sprintf "projection of output column %s" c.Schema.col_name) ar e)
+        cols
+    | Qgm.Join { kind = _; left; right; pred } -> begin
+      walk left;
+      walk right;
+      (* join predicates see the concatenation of both inputs, whatever
+         the join kind's output schema is *)
+      match pred with
+      | None -> ()
+      | Some p ->
+        let ar =
+          match (arity_opt left, arity_opt right) with
+          | Some a, Some b -> Some (a + b)
+          | _ -> None
+        in
+        check_expr ~what:"join predicate" ar p
+    end
+    | Qgm.Group { input; keys; aggs } ->
+      walk input;
+      let ar = arity_opt input in
+      List.iter (fun (e, _) -> check_expr ~what:"grouping key" ar e) keys;
+      List.iter
+        (fun a ->
+          match a.Qgm.agg_arg with
+          | Some e -> check_expr ~what:"aggregate argument" ar e
+          | None ->
+            if a.Qgm.agg_fn <> Expr.Count_star then
+              add
+                (Diag.err ~code:"QGM105"
+                   (Printf.sprintf "aggregate output %s has no argument" a.Qgm.agg_out.Schema.col_name)))
+        aggs
+    | Qgm.Distinct input -> walk input
+    | Qgm.Order { input; keys } ->
+      walk input;
+      let ar = arity_opt input in
+      List.iter (fun (e, _) -> check_expr ~what:"sort key" ar e) keys
+    | Qgm.Limit (input, n) ->
+      walk input;
+      if n < 0 then add (Diag.err ~code:"QGM106" (Printf.sprintf "LIMIT is negative (%d)" n))
+    | Qgm.Union_all (a, b) -> begin
+      walk a;
+      walk b;
+      match (schema_opt a, schema_opt b) with
+      | Some sa, Some sb ->
+        if Schema.arity sa <> Schema.arity sb then
+          add
+            (Diag.err ~code:"QGM102"
+               (Printf.sprintf "UNION ALL branches have arities %d and %d" (Schema.arity sa)
+                  (Schema.arity sb)))
+        else
+          List.iteri
+            (fun i (ca, cb) ->
+              if not (ty_compatible ca.Schema.col_ty cb.Schema.col_ty) then
+                add
+                  (Diag.err ~code:"QGM103"
+                     (Printf.sprintf "UNION ALL column %d has incompatible types %s and %s" i
+                        (Schema.ty_to_string ca.Schema.col_ty)
+                        (Schema.ty_to_string cb.Schema.col_ty))))
+            (List.combine (Schema.columns sa) (Schema.columns sb))
+      | _ -> ()
+    end
+  in
+  walk q;
+  List.rev !diags

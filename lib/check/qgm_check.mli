@@ -1,0 +1,14 @@
+(** QGM well-formedness validator ([QGM1xx]).
+
+    Checks the internal invariants on a bound or rewritten QGM tree:
+    column references inside their box's input arity (no dangling
+    quantifier refs), arity/type agreement across box boundaries, every
+    aggregate carrying its argument, base-table quantifiers resolving in
+    the catalog. A violation here is an engine bug, not a user error. *)
+
+(** [ty_compatible a b]: equal types, or both numeric. *)
+val ty_compatible : Relational.Schema.ty -> Relational.Schema.ty -> bool
+
+(** [check catalog q] returns all violations found in [q] (empty when
+    well-formed). Never raises. *)
+val check : Relational.Catalog.t -> Relational.Qgm.t -> Diag.t list

@@ -44,7 +44,7 @@ let node def name =
   let name = String.lowercase_ascii name in
   match List.find_opt (fun n -> String.equal n.nd_name name) def.co_nodes with
   | Some n -> n
-  | None -> err "unknown component table %s" name
+  | None -> err "[XNF013] unknown component table %s" name
 
 (** [node_opt def name] is [node] returning an option. *)
 let node_opt def name =
@@ -57,7 +57,7 @@ let edge def name =
   let name = String.lowercase_ascii name in
   match List.find_opt (fun e -> String.equal e.ed_name name) def.co_edges with
   | Some e -> e
-  | None -> err "unknown relationship %s" name
+  | None -> err "[XNF013] unknown relationship %s" name
 
 (** [edge_opt def name] is [edge] returning an option. *)
 let edge_opt def name =
@@ -81,7 +81,7 @@ let roots def = List.filter (fun n -> incoming def n.nd_name = []) def.co_nodes
 (** [add_node def nd] adds a node. @raise Schema_error on duplicate name. *)
 let add_node def nd =
   if node_opt def nd.nd_name <> None || edge_opt def nd.nd_name <> None then
-    err "duplicate component name %s" nd.nd_name;
+    err "[XNF001] duplicate component name %s" nd.nd_name;
   { def with co_nodes = def.co_nodes @ [ nd ] }
 
 (** [add_edge def ed] adds an edge; partner tables must already be
@@ -89,11 +89,11 @@ let add_node def nd =
     @raise Schema_error on duplicates or unknown partners. *)
 let add_edge def ed =
   if edge_opt def ed.ed_name <> None || node_opt def ed.ed_name <> None then
-    err "duplicate component name %s" ed.ed_name;
+    err "[XNF001] duplicate component name %s" ed.ed_name;
   if node_opt def ed.ed_parent = None then
-    err "relationship %s: parent %s is not a component table" ed.ed_name ed.ed_parent;
+    err "[XNF002] relationship %s: parent %s is not a component table" ed.ed_name ed.ed_parent;
   if node_opt def ed.ed_child = None then
-    err "relationship %s: child %s is not a component table" ed.ed_name ed.ed_child;
+    err "[XNF002] relationship %s: child %s is not a component table" ed.ed_name ed.ed_child;
   { def with co_edges = def.co_edges @ [ ed ] }
 
 (** [merge a b] composes two definitions (view import).
@@ -151,13 +151,13 @@ let topo_order def =
     projection); a warning-level condition — no root — is an error because
     such a CO is empty by reachability. *)
 let validate def =
-  if def.co_nodes = [] then err "composite object has no component tables";
+  if def.co_nodes = [] then err "[XNF010] composite object has no component tables";
   List.iter
     (fun e ->
       if node_opt def e.ed_parent = None || node_opt def e.ed_child = None then
-        err "relationship %s references a projected-away component" e.ed_name)
+        err "[XNF019] relationship %s references a projected-away component" e.ed_name)
     def.co_edges;
-  if roots def = [] then err "composite object has no root table: every tuple would be unreachable"
+  if roots def = [] then err "[XNF010] composite object has no root table: every tuple would be unreachable"
 
 (** [project def take] applies a TAKE structural projection: keeps the
     named components; edges survive only when both partners survive
@@ -178,15 +178,15 @@ let project def (take : Xnf_ast.take) =
           | None, Some _, Xnf_ast.Take_all_cols ->
             (* "edge ( * )" is tolerated and means the edge itself *)
             Hashtbl.replace keep_edges n ()
-          | None, Some _, Xnf_ast.Take_cols _ -> err "column projection on relationship %s" n
-          | None, None, _ -> err "TAKE references unknown component %s" n
+          | None, Some _, Xnf_ast.Take_cols _ -> err "[XNF018] column projection on relationship %s" n
+          | None, None, _ -> err "[XNF016] TAKE references unknown component %s" n
         end
         | Xnf_ast.Take_edge e -> begin
           let e = String.lowercase_ascii e in
           match edge_opt def e, node_opt def e with
           | Some _, _ -> Hashtbl.replace keep_edges e ()
           | None, Some _ -> Hashtbl.replace keep_nodes e Xnf_ast.Take_all_cols
-          | None, None -> err "TAKE references unknown component %s" e
+          | None, None -> err "[XNF016] TAKE references unknown component %s" e
         end)
       items;
     let co_nodes =
@@ -210,7 +210,7 @@ let project def (take : Xnf_ast.take) =
     Hashtbl.iter
       (fun e () ->
         if not (List.exists (fun ed -> String.equal ed.ed_name e) co_edges) then
-          err "TAKE keeps relationship %s but drops one of its partner tables" e)
+          err "[XNF019] TAKE keeps relationship %s but drops one of its partner tables" e)
       keep_edges;
     { co_nodes; co_edges }
 

@@ -38,15 +38,15 @@ let resolve_col cache (env : env) qualifier name =
       let ni = Cache.node cache b.b_node in
       match Schema.find_opt ni.Cache.ni_schema name with
       | Some i -> (b, i)
-      | None -> err "no column %s in component %s" name b.b_node
+      | None -> err "[XNF007] no column %s in component %s" name b.b_node
     end
-    | None -> err "unknown variable %s in path predicate" q
+    | None -> err "[XNF014] unknown variable %s in path predicate" q
   end
   | None -> begin
     match List.filter_map find_in env with
     | [ (_, b, i) ] -> (b, i)
-    | [] -> err "unknown column %s in path predicate" name
-    | _ :: _ -> err "ambiguous column %s in path predicate" name
+    | [] -> err "[XNF007] unknown column %s in path predicate" name
+    | _ :: _ -> err "[XNF007] ambiguous column %s in path predicate" name
   end
 
 (** [eval_xexpr cache env e] evaluates a SUCH THAT predicate expression;
@@ -140,7 +140,7 @@ and eval_path cache (env : env) (p : path) : string * int list =
     | None -> begin
       match Cache.node_opt cache start with
       | Some ni -> (start, List.map (fun t -> t.Cache.t_pos) (Cache.live_tuples ni))
-      | None -> err "path start %s is neither a variable nor a component table" p.p_start
+      | None -> err "[XNF014] path start %s is neither a variable nor a component table" p.p_start
     end
   in
   List.fold_left (step cache env) (node_name, positions) p.p_steps
@@ -175,13 +175,13 @@ and step cache env (current_node, positions) s =
       | Some _ ->
         step cache env (current_node, positions)
           (Step_node { sn_node = name; sn_var = None; sn_pred = None })
-      | None -> err "unknown relationship or component %s in path" name
+      | None -> err "[XNF013] unknown relationship or component %s in path" name
     end
   end
   | Step_node { sn_node; sn_var; sn_pred } -> begin
     let sn = String.lowercase_ascii sn_node in
     if not (String.equal sn (String.lowercase_ascii current_node)) then
-      err "path step %s does not match current component %s" sn_node current_node;
+      err "[XNF015] path step %s does not match current component %s" sn_node current_node;
     match sn_pred with
     | None -> (current_node, positions)
     | Some pred ->

@@ -354,7 +354,7 @@ let build_indexed_prober db (ed : Co_schema.edge_def) ~(parent_schema : Schema.t
   end
   | Some (link_name, la) -> begin
     match Catalog.table_opt (Db.catalog db) link_name with
-    | None -> err "relationship %s: USING table %s does not exist" ed.Co_schema.ed_name link_name
+    | None -> err "[XNF005] relationship %s: USING table %s does not exist" ed.Co_schema.ed_name link_name
     | Some link -> begin
       let link_schema = Table.schema link in
       let la = String.lowercase_ascii la in
@@ -436,7 +436,7 @@ let edge_tree db (ed : Co_schema.edge_def) ~parent_temp ~child_temp =
     | None -> j
     | Some (table, alias) ->
       if Catalog.table_opt (Db.catalog db) table = None then
-        err "relationship %s: USING table %s does not exist" ed.Co_schema.ed_name table;
+        err "[XNF005] relationship %s: USING table %s does not exist" ed.Co_schema.ed_name table;
       Qgm.Join { kind = Qgm.Inner; left = j; right = Qgm.Access { table; alias }; pred = None }
   in
   let schema = Qgm.schema_of (Db.catalog db) tree in
@@ -529,7 +529,7 @@ let apply_column_projection cache =
             (fun c ->
               match Schema.find_opt ni.Cache.ni_schema c with
               | Some i -> i
-              | None -> err "TAKE projects unknown column %s of %s" c name)
+              | None -> err "[XNF007] TAKE projects unknown column %s of %s" c name)
             cols
         in
         let idx = Array.of_list positions in

@@ -39,7 +39,7 @@ let find_opt reg name = Hashtbl.find_opt reg.views (String.lowercase_ascii name)
 (** [drop reg name] removes a view. @raise View_error when absent. *)
 let drop reg name =
   let key = String.lowercase_ascii name in
-  if not (Hashtbl.mem reg.views key) then err "unknown XNF view %s" name;
+  if not (Hashtbl.mem reg.views key) then err "[XNF003] unknown XNF view %s" name;
   Hashtbl.remove reg.views key
 
 (** [names reg] lists registered view names, sorted. *)
@@ -71,7 +71,7 @@ let rec rename_quals (mapping : (string * string) list) (e : Sql_ast.expr) : Sql
   | Sql_ast.E_fn (n, args) -> Sql_ast.E_fn (n, List.map r args)
   | Sql_ast.E_fn_distinct (n, a) -> Sql_ast.E_fn_distinct (n, r a)
   | Sql_ast.E_exists _ | Sql_ast.E_in_query _ | Sql_ast.E_scalar _ ->
-    err "subqueries are not allowed in SUCH THAT restrictions"
+    err "[XNF099] subqueries are not allowed in SUCH THAT restrictions"
 
 (* wrap a node derivation with a restriction predicate *)
 let restrict_node_query (nd : Co_schema.node_def) ~var (pred : Sql_ast.expr) =
@@ -110,7 +110,7 @@ let compose reg (q : query) : Co_schema.t * restriction list * Xnf_ast.take =
           in
           let child_alias = String.lowercase_ascii (Option.value ~default:be_child be_child_var) in
           if String.equal parent_alias child_alias then
-            err "relationship %s: cyclic partners need distinct role names" be_name;
+            err "[XNF004] relationship %s: cyclic partners need distinct role names" be_name;
           ( Co_schema.add_edge def
               { Co_schema.ed_name = String.lowercase_ascii be_name; ed_parent = parent;
                 ed_child = child; ed_parent_alias = parent_alias; ed_child_alias = child_alias;
@@ -120,7 +120,7 @@ let compose reg (q : query) : Co_schema.t * restriction list * Xnf_ast.take =
         | B_view name -> begin
           match find_opt reg name with
           | Some v -> (Co_schema.merge def v.v_def, pending @ v.v_path_restrs)
-          | None -> err "unknown XNF view %s" name
+          | None -> err "[XNF003] unknown XNF view %s" name
         end)
       (Co_schema.empty, []) q.q_out_of
   in
@@ -129,7 +129,7 @@ let compose reg (q : query) : Co_schema.t * restriction list * Xnf_ast.take =
     match r with
     | R_node { rn_node; rn_var; rn_pred } -> begin
       let node = String.lowercase_ascii rn_node in
-      if Co_schema.node_opt def node = None then err "restriction on unknown component %s" rn_node;
+      if Co_schema.node_opt def node = None then err "[XNF013] restriction on unknown component %s" rn_node;
       match sql_of_xexpr rn_pred with
       | Some sql_pred ->
         let def =
@@ -148,7 +148,7 @@ let compose reg (q : query) : Co_schema.t * restriction list * Xnf_ast.take =
     | R_edge { re_edge; re_parent_var; re_child_var; re_pred } -> begin
       let edge_name = String.lowercase_ascii re_edge in
       match Co_schema.edge_opt def edge_name with
-      | None -> err "restriction on unknown relationship %s" re_edge
+      | None -> err "[XNF013] restriction on unknown relationship %s" re_edge
       | Some ed -> begin
         match sql_of_xexpr re_pred with
         | Some sql_pred ->
@@ -186,7 +186,7 @@ let compose reg (q : query) : Co_schema.t * restriction list * Xnf_ast.take =
     @raise View_error on duplicate name. *)
 let define reg ~name (q : query) =
   let key = String.lowercase_ascii name in
-  if Hashtbl.mem reg.views key then err "XNF view %s already exists" name;
+  if Hashtbl.mem reg.views key then err "[XNF021] XNF view %s already exists" name;
   let def, path_restrs, take = compose reg q in
   let def = Co_schema.project def take in
   Co_schema.validate def;
@@ -195,9 +195,9 @@ let define reg ~name (q : query) =
       match r with
       | R_node { rn_node; _ } ->
         if Co_schema.node_opt def rn_node = None then
-          err "view %s: path restriction references projected-away component %s" name rn_node
+          err "[XNF020] view %s: path restriction references projected-away component %s" name rn_node
       | R_edge { re_edge; _ } ->
         if Co_schema.edge_opt def re_edge = None then
-          err "view %s: path restriction references projected-away relationship %s" name re_edge)
+          err "[XNF020] view %s: path restriction references projected-away relationship %s" name re_edge)
     path_restrs;
   Hashtbl.replace reg.views key { v_name = name; v_def = def; v_path_restrs = path_restrs }

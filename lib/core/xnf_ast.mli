@@ -1,0 +1,123 @@
+(** Abstract syntax of the XNF language extensions (§3 of the paper).
+
+    An XNF query is the CO constructor
+
+    {[ OUT OF <bindings> [WHERE <restrictions>] TAKE <take-list> ]}
+
+    where bindings introduce component tables (nodes) from SQL
+    derivations, relationships (edges) from RELATE clauses, or import all
+    components of a previously defined XNF view. Restrictions qualify
+    nodes or edges with SUCH THAT predicates that may contain path
+    expressions; the TAKE clause is the structural projection.
+
+    Plain SQL fragments reuse {!Relational.Sql_ast} wholesale — XNF node
+    definitions are ordinary SQL SELECTs, as in the paper. *)
+
+open Relational
+
+(** Predicates in SUCH THAT clauses: SQL expressions extended with path
+    expressions (§3.5). *)
+type xexpr =
+  | X_col of string option * string
+  | X_lit of Value.t
+  | X_cmp of Expr.cmp * xexpr * xexpr
+  | X_arith of Expr.arith_op * xexpr * xexpr
+  | X_neg of xexpr
+  | X_and of xexpr * xexpr
+  | X_or of xexpr * xexpr
+  | X_not of xexpr
+  | X_is_null of xexpr
+  | X_is_not_null of xexpr
+  | X_like of xexpr * xexpr
+  | X_in_list of xexpr * xexpr list
+  | X_fn of string * xexpr list
+  | X_count_path of path
+      (** [COUNT(v->edge->...)]: number of distinct reachable target
+          tuples *)
+  | X_exists_path of path  (** [EXISTS v->edge->...]: non-emptiness *)
+
+(** A path expression: a start designator followed by steps. The start is
+    either a variable bound by the enclosing restriction (tuple-rooted
+    path) or a node name (set-rooted path over all tuples of that node). *)
+and path = { p_start : string; p_steps : step list }
+
+(** One [->] step: crossing an edge by name, or landing on a node —
+    optionally binding a variable and qualifying with a predicate
+    ("qualified path expression"). Node steps also disambiguate direction
+    for cyclic relationships. *)
+and step =
+  | Step_edge of string
+  | Step_node of { sn_node : string; sn_var : string option; sn_pred : xexpr option }
+
+(** One OUT OF binding. *)
+type binding =
+  | B_node of { bn_name : string; bn_query : Sql_ast.select }
+      (** [name AS (SELECT ...)]; the shorthand [name AS table] parses as
+          [SELECT * FROM table] *)
+  | B_edge of {
+      be_name : string;
+      be_parent : string;
+      be_parent_var : string option;  (** role variable, required for cyclic edges *)
+      be_child : string;
+      be_child_var : string option;
+      be_attrs : (Sql_ast.expr * string) list;  (** WITH ATTRIBUTES expr [AS name] *)
+      be_using : (string * string) option;  (** USING base-table [alias] *)
+      be_pred : Sql_ast.expr;
+    }
+  | B_view of string  (** import all components of an XNF view *)
+
+(** A SUCH THAT restriction (§3.3). *)
+type restriction =
+  | R_node of { rn_node : string; rn_var : string option; rn_pred : xexpr }
+  | R_edge of { re_edge : string; re_parent_var : string; re_child_var : string; re_pred : xexpr }
+
+type take_cols = Take_all_cols | Take_cols of string list
+type take_item = Take_node of string * take_cols | Take_edge of string
+type take = Take_star | Take_items of take_item list
+type query = { q_out_of : binding list; q_where : restriction list; q_take : take }
+
+(** CO-level update: [SET] assignments applied to every tuple of one
+    component of the target CO (§3.7). *)
+type co_update = { cu_node : string; cu_sets : (string * Sql_ast.expr) list }
+
+(** Top-level XNF statements. *)
+type stmt =
+  | X_query of query
+  | X_create_view of string * query
+  | X_delete of query  (** [OUT OF ... WHERE ... DELETE *]: CO deletion (§3.7) *)
+  | X_update of query * co_update
+      (** [OUT OF ... WHERE ... UPDATE node SET col = expr, ...] *)
+  | X_drop_view of string
+  | X_sql of Sql_ast.stmt  (** plain SQL falls through to the relational engine *)
+
+(** Pretty-printers (round-trip tested against the XNF parser). *)
+
+val pp_xexpr : Format.formatter -> xexpr -> unit
+val pp_path : Format.formatter -> path -> unit
+val pp_step : Format.formatter -> step -> unit
+val pp_binding : Format.formatter -> binding -> unit
+val pp_restriction : Format.formatter -> restriction -> unit
+val pp_take_item : Format.formatter -> take_item -> unit
+val pp_query : Format.formatter -> query -> unit
+val pp_stmt : Format.formatter -> stmt -> unit
+
+(** [query_to_string q] / [stmt_to_string s] render re-parsable XNF
+    syntax. *)
+
+val query_to_string : query -> string
+val stmt_to_string : stmt -> string
+
+(** [xexpr_of_sql e] embeds a plain SQL expression (path-free by
+    construction).
+    @raise Invalid_argument
+      on constructs not representable in SUCH THAT predicates
+      (subqueries, CASE, aggregates). *)
+val xexpr_of_sql : Sql_ast.expr -> xexpr
+
+(** [sql_of_xexpr e] is the inverse embedding; [None] when [e] contains a
+    path expression (such predicates are evaluated over the CO instance,
+    not pushed into SQL). *)
+val sql_of_xexpr : xexpr -> Sql_ast.expr option
+
+(** [has_path e] holds when the predicate contains a path expression. *)
+val has_path : xexpr -> bool

@@ -414,11 +414,11 @@ let parse_query_cursor c : query * co_tail =
   end
   else parse_error c "expected TAKE, DELETE or UPDATE"
 
-(** [parse_stmt s] parses one XNF statement; plain SQL statements fall
-    through to the relational parser ([X_sql]). CREATE VIEW dispatches on
-    the body: [OUT OF] makes an XNF view, anything else a tabular view. *)
-let parse_stmt s : stmt =
-  let c = L.cursor_of_string s in
+(** [parse_stmt_at c] parses one XNF statement at the cursor; plain SQL
+    statements fall through to the relational parser ([X_sql]). CREATE
+    VIEW dispatches on the body: [OUT OF] makes an XNF view, anything else
+    a tabular view. *)
+let parse_stmt_at (c : L.cursor) : stmt =
   let stmt =
     match L.peek c with
     | L.KW "OUT" -> begin
@@ -455,6 +455,23 @@ let parse_stmt s : stmt =
   | L.EOF -> ()
   | _ -> parse_error c "trailing input after statement");
   stmt
+
+(** [parse_stmt s] parses one XNF statement from a string. *)
+let parse_stmt s : stmt = parse_stmt_at (L.cursor_of_string s)
+
+(** [parse_stmt_diag s] parses one statement, turning parse failures into
+    an [XNF000] diagnostic that carries the offending token's source
+    span. *)
+let parse_stmt_diag s : (stmt, Diag.t) result =
+  match L.cursor_of_string s with
+  | exception L.Parse_error msg -> Error (Diag.of_parse_error msg)
+  | c -> begin
+    (* the cursor does not advance past the token an error points at, so
+       its current span locates the failure *)
+    match parse_stmt_at c with
+    | stmt -> Ok stmt
+    | exception L.Parse_error msg -> Error (Diag.of_parse_error ~span:(L.span c) msg)
+  end
 
 (** [parse_query s] parses exactly one [OUT OF ... TAKE] query. *)
 let parse_query s : query =

@@ -19,9 +19,17 @@ type co_tail =
     construct at the cursor. *)
 val parse_query_cursor : Relational.Sql_lexer.cursor -> Xnf_ast.query * co_tail
 
-(** [parse_stmt s] parses one XNF statement; plain SQL statements fall
-    through as [X_sql]. *)
+(** [parse_stmt_at c] parses one XNF statement at the cursor; plain SQL
+    statements fall through as [X_sql]. *)
+val parse_stmt_at : Relational.Sql_lexer.cursor -> Xnf_ast.stmt
+
+(** [parse_stmt s] parses one XNF statement from a string. *)
 val parse_stmt : string -> Xnf_ast.stmt
+
+(** [parse_stmt_diag s] parses one statement, turning parse failures into
+    an [XNF000] diagnostic that carries the offending token's source
+    span. *)
+val parse_stmt_diag : string -> (Xnf_ast.stmt, Diag.t) result
 
 (** [parse_query s] parses exactly one [OUT OF ... TAKE] query. *)
 val parse_query : string -> Xnf_ast.query

@@ -65,17 +65,25 @@ let rec compile_qgm db qgm =
 (** [bind_env db] is a binder environment for this session. *)
 and bind_env db = Binder.make_env db.catalog ~compile:(compile_qgm db)
 
-(** [bind_select db q] binds a parsed SELECT to QGM. *)
-let bind_select db q = Binder.bind (bind_env db) q
+(** [bind_select db q] binds a parsed SELECT to QGM and runs the post-bind
+    validation hook on the result. *)
+let bind_select db q =
+  let qgm = Binder.bind (bind_env db) q in
+  !Hooks.post_bind db.catalog qgm;
+  qgm
 
-(* rewrite + lower, each under its pipeline span *)
+(* rewrite + lower, each under its pipeline span, with the stage-boundary
+   validation hooks run on each stage's output *)
 let plan_of_qgm db qgm =
   let qgm =
     if db.rewrite_enabled then
       Obs.Trace.with_span "rewrite" (fun () -> Rewrite.rewrite db.catalog qgm)
     else qgm
   in
-  Obs.Trace.with_span "optimize" (fun () -> Optimizer.lower db.catalog qgm)
+  !Hooks.post_rewrite db.catalog qgm;
+  let plan = Obs.Trace.with_span "optimize" (fun () -> Optimizer.lower db.catalog qgm) in
+  !Hooks.post_optimize db.catalog plan;
+  plan
 
 (** [run_qgm db qgm] optimizes and runs a QGM tree (the XNF translator's
     entry point). The result is materialized inside the "execute" span so
@@ -109,7 +117,9 @@ let explain_ast db q =
   let rewritten =
     if db.rewrite_enabled then Rewrite.rewrite db.catalog qgm else qgm
   in
+  !Hooks.post_rewrite db.catalog rewritten;
   let plan = Optimizer.lower db.catalog rewritten in
+  !Hooks.post_optimize db.catalog plan;
   Fmt.str "QGM:@.%sPlan:@.%s" (Qgm.to_string rewritten) (Plan.to_string plan)
 
 (** [explain db sql] parses a SELECT and returns its plans as text. *)

@@ -1,0 +1,20 @@
+(* Stage-boundary validation hook points.
+
+   The query pipeline (db.ml) invokes these after binding, after the QGM
+   rewrite, and after optimizer lowering. They default to no-ops; lib/check
+   installs invariant validators here (lib/check depends on this library,
+   so the dependency cannot point the other way). Hook bodies may raise to
+   abort the statement. *)
+
+let nop_qgm : Catalog.t -> Qgm.t -> unit = fun _ _ -> ()
+let nop_plan : Catalog.t -> Plan.t -> unit = fun _ _ -> ()
+
+let post_bind = ref nop_qgm
+let post_rewrite = ref nop_qgm
+let post_optimize = ref nop_plan
+
+(** [reset ()] restores all hooks to no-ops. *)
+let reset () =
+  post_bind := nop_qgm;
+  post_rewrite := nop_qgm;
+  post_optimize := nop_plan

@@ -1,0 +1,14 @@
+(** Stage-boundary validation hook points.
+
+    The query pipeline calls these after binding ([post_bind]), after the
+    QGM rewrite ([post_rewrite]), and after optimizer lowering
+    ([post_optimize]). All default to no-ops; [lib/check] installs
+    invariant validators here. Hook bodies may raise to abort the
+    statement. *)
+
+val post_bind : (Catalog.t -> Qgm.t -> unit) ref
+val post_rewrite : (Catalog.t -> Qgm.t -> unit) ref
+val post_optimize : (Catalog.t -> Plan.t -> unit) ref
+
+(** [reset ()] restores all hooks to no-ops. *)
+val reset : unit -> unit

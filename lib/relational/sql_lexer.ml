@@ -3,7 +3,10 @@
    Keywords cover both plain SQL and the XNF extensions (OUT OF, TAKE,
    RELATE, SUCH THAT, ...) so that the XNF parser (lib/core) can reuse the
    same token stream. The token cursor with one-token lookahead lives here
-   too, together with the error type both parsers raise. *)
+   too, together with the error type both parsers raise.
+
+   Every token carries a Srcloc.span so parse errors and lib/check
+   diagnostics can point at the offending line/column. *)
 
 type token =
   | IDENT of string  (** lowercased identifier *)
@@ -33,12 +36,42 @@ let keyword_set : (string, unit) Hashtbl.t =
   List.iter (fun k -> Hashtbl.replace h k ()) keywords;
   h
 
-(** [tokenize s] lexes [s] into tokens terminated by [EOF].
-    @raise Parse_error on malformed input. *)
-let tokenize (s : string) : token array =
+(* Offsets of the first character of each line, for offset -> line/column
+   translation. *)
+let line_starts s =
   let n = String.length s in
+  let starts = ref [ 0 ] in
+  for i = 0 to n - 1 do
+    if s.[i] = '\n' then starts := (i + 1) :: !starts
+  done;
+  Array.of_list (List.rev !starts)
+
+(* (line, col) of an offset, both 1-based: binary-search the largest line
+   start <= off. *)
+let loc_of starts off =
+  let lo = ref 0 and hi = ref (Array.length starts - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi + 1) / 2 in
+    if starts.(mid) <= off then lo := mid else hi := mid - 1
+  done;
+  (!lo + 1, off - starts.(!lo) + 1)
+
+(** [tokenize_spanned s] lexes [s] into tokens terminated by [EOF], with a
+    source span per token (same length as the token array).
+    @raise Parse_error on malformed input. *)
+let tokenize_spanned (s : string) : token array * Srcloc.span array =
+  let n = String.length s in
+  let starts = line_starts s in
+  let span_of ~start ~stop =
+    let line, col = loc_of starts start in
+    let end_line, end_col = loc_of starts stop in
+    Srcloc.make ~line ~col ~end_line ~end_col
+  in
+  let fail_at off msg =
+    let line, col = loc_of starts off in
+    raise (Parse_error (Printf.sprintf "%s at line %d, column %d" msg line col))
+  in
   let toks = ref [] in
-  let emit t = toks := t :: !toks in
   let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' in
   let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9') || c = '-' in
   (* '-' inside identifiers supports the paper's view names like ALL-DEPS;
@@ -46,6 +79,9 @@ let tokenize (s : string) : token array =
   let i = ref 0 in
   while !i < n do
     let c = s.[!i] in
+    let tok_start = !i in
+    (* emit after [i] has been advanced past the token *)
+    let emit t = toks := (t, span_of ~start:tok_start ~stop:!i) :: !toks in
     if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
     else if c = '-' && !i + 1 < n && s.[!i + 1] = '-' then begin
       (* line comment *)
@@ -87,7 +123,7 @@ let tokenize (s : string) : token array =
       incr i;
       let closed = ref false in
       while not !closed do
-        if !i >= n then raise (Parse_error "unterminated string literal");
+        if !i >= n then fail_at tok_start "unterminated string literal";
         if s.[!i] = '\'' then
           if !i + 1 < n && s.[!i + 1] = '\'' then begin
             Buffer.add_char buf '\'';
@@ -108,27 +144,35 @@ let tokenize (s : string) : token array =
       let two = if !i + 1 < n then String.sub s !i 2 else "" in
       match two with
       | "<=" | ">=" | "<>" | "!=" | "->" ->
-        emit (SYM (if two = "!=" then "<>" else two));
-        i := !i + 2
+        i := !i + 2;
+        emit (SYM (if two = "!=" then "<>" else two))
       | _ -> begin
         match c with
         | '(' | ')' | ',' | '.' | '*' | '=' | '<' | '>' | '+' | '-' | '/' | '%' | ';' ->
-          emit (SYM (String.make 1 c));
-          incr i
-        | _ -> raise (Parse_error (Printf.sprintf "unexpected character %C at offset %d" c !i))
+          incr i;
+          emit (SYM (String.make 1 c))
+        | _ -> fail_at !i (Printf.sprintf "unexpected character %C" c)
       end
     end
   done;
-  emit EOF;
-  Array.of_list (List.rev !toks)
+  let eof_line, eof_col = loc_of starts n in
+  toks := (EOF, Srcloc.point ~line:eof_line ~col:eof_col) :: !toks;
+  let pairs = Array.of_list (List.rev !toks) in
+  (Array.map fst pairs, Array.map snd pairs)
+
+(** [tokenize s] lexes [s] into tokens terminated by [EOF].
+    @raise Parse_error on malformed input. *)
+let tokenize (s : string) : token array = fst (tokenize_spanned s)
 
 (** Token cursors: mutable position over a token array, shared by the SQL
-    and XNF recursive-descent parsers. *)
-type cursor = { toks : token array; mutable pos : int }
+    and XNF recursive-descent parsers. [spans] is parallel to [toks]. *)
+type cursor = { toks : token array; spans : Srcloc.span array; mutable pos : int }
 
 (** [cursor_of_string s] tokenizes [s] and positions a cursor at the
     start. *)
-let cursor_of_string s = { toks = tokenize s; pos = 0 }
+let cursor_of_string s =
+  let toks, spans = tokenize_spanned s in
+  { toks; spans; pos = 0 }
 
 let token_to_string = function
   | IDENT s -> Printf.sprintf "identifier %S" s
@@ -145,15 +189,23 @@ let peek c = c.toks.(c.pos)
 (** [peek2 c] is the token after the current one. *)
 let peek2 c = if c.pos + 1 < Array.length c.toks then c.toks.(c.pos + 1) else EOF
 
+(** [span c] is the source span of the current token. *)
+let span c = c.spans.(c.pos)
+
 (** [advance c] consumes and returns the current token. *)
 let advance c =
   let t = c.toks.(c.pos) in
   if t <> EOF then c.pos <- c.pos + 1;
   t
 
-(** [error c msg] raises a parse error mentioning the current token. *)
+(** [error c msg] raises a parse error carrying the current token's
+    line/column. *)
 let error c msg =
-  raise (Parse_error (Printf.sprintf "%s (at %s)" msg (token_to_string (peek c))))
+  let sp = span c in
+  raise
+    (Parse_error
+       (Printf.sprintf "%s at line %d, column %d (found %s)" msg sp.Srcloc.sp_line
+          sp.Srcloc.sp_col (token_to_string (peek c))))
 
 (** [accept_kw c kw] consumes the keyword if present; returns whether it
     did. *)

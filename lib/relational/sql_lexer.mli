@@ -4,7 +4,10 @@
     Keywords cover plain SQL and the XNF extensions (OUT OF, TAKE, RELATE,
     SUCH THAT, ...). Identifiers may contain hyphens between letters (the
     paper's [ALL-DEPS] style); [--] starts a line comment; strings use SQL
-    [''] escaping. *)
+    [''] escaping.
+
+    Every token carries a {!Srcloc.span}; parse errors include the
+    line/column of the offending token. *)
 
 type token =
   | IDENT of string  (** lowercased identifier *)
@@ -21,8 +24,14 @@ exception Parse_error of string
     @raise Parse_error on malformed input. *)
 val tokenize : string -> token array
 
-(** Mutable cursor with arbitrary lookahead over a token array. *)
-type cursor = { toks : token array; mutable pos : int }
+(** [tokenize_spanned s] additionally returns the source span of each
+    token (the arrays have equal length).
+    @raise Parse_error on malformed input. *)
+val tokenize_spanned : string -> token array * Srcloc.span array
+
+(** Mutable cursor with arbitrary lookahead over a token array. [spans] is
+    parallel to [toks]. *)
+type cursor = { toks : token array; spans : Srcloc.span array; mutable pos : int }
 
 val cursor_of_string : string -> cursor
 val token_to_string : token -> string
@@ -32,10 +41,14 @@ val token_to_string : token -> string
 val peek : cursor -> token
 val peek2 : cursor -> token
 
+(** [span c] is the source span of the current token. *)
+val span : cursor -> Srcloc.span
+
 (** [advance c] consumes and returns the current token ([EOF] sticks). *)
 val advance : cursor -> token
 
-(** [error c msg] raises a parse error mentioning the current token. *)
+(** [error c msg] raises a parse error carrying the current token's
+    line/column. *)
 val error : cursor -> string -> 'a
 
 (** [accept_kw] / [accept_sym] consume the token if it matches and report

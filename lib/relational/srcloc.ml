@@ -1,0 +1,26 @@
+(* Source locations for diagnostics.
+
+   The shared SQL/XNF lexer attaches one span per token; parsers and the
+   static checker (lib/check) carry them into error messages and Diag
+   values. Lines and columns are 1-based; a span covers [start, stop) in
+   character terms but is rendered by its start position. *)
+
+type span = {
+  sp_line : int;  (** 1-based line of the first character *)
+  sp_col : int;  (** 1-based column of the first character *)
+  sp_end_line : int;
+  sp_end_col : int;  (** column one past the last character *)
+}
+
+(** [make ~line ~col ~end_line ~end_col] builds a span. *)
+let make ~line ~col ~end_line ~end_col =
+  { sp_line = line; sp_col = col; sp_end_line = end_line; sp_end_col = end_col }
+
+(** [point ~line ~col] is a zero-width span (end = start). *)
+let point ~line ~col = { sp_line = line; sp_col = col; sp_end_line = line; sp_end_col = col }
+
+(** [pp] renders as [line L, column C]. *)
+let pp ppf s = Fmt.pf ppf "line %d, column %d" s.sp_line s.sp_col
+
+(** [to_string s] is [pp] as a string. *)
+let to_string s = Fmt.str "%a" pp s

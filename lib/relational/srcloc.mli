@@ -1,0 +1,24 @@
+(** Source locations for diagnostics.
+
+    The shared SQL/XNF lexer attaches one span per token; parsers and the
+    static checker (lib/check) carry them into error messages and [Diag]
+    values. Lines and columns are 1-based. *)
+
+type span = {
+  sp_line : int;  (** 1-based line of the first character *)
+  sp_col : int;  (** 1-based column of the first character *)
+  sp_end_line : int;
+  sp_end_col : int;  (** column one past the last character *)
+}
+
+(** [make ~line ~col ~end_line ~end_col] builds a span. *)
+val make : line:int -> col:int -> end_line:int -> end_col:int -> span
+
+(** [point ~line ~col] is a zero-width span (end = start). *)
+val point : line:int -> col:int -> span
+
+(** [pp] renders as [line L, column C]; [to_string] is the same as a
+    string. *)
+
+val pp : Format.formatter -> span -> unit
+val to_string : span -> string

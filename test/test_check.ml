@@ -1,0 +1,310 @@
+(* lib/check: CO/XNF semantic linter and pipeline invariant validators.
+
+   Table-driven bad-query fixtures assert the exact diagnostic code; the
+   workload view corpus must lint clean; each of the three pipeline hook
+   points is driven with a hand-built malformed structure and must report
+   the expected QGM1xx/PLAN2xx diagnostic. *)
+
+open Relational
+
+let mk () =
+  let db = Db.create () in
+  Workload.Company.populate db ~seed:1 ~scale:Workload.Company.small ~repr:Workload.Company.Cdb1;
+  let api = Xnf.Api.create db in
+  Workload.Company.register_views api ~repr:Workload.Company.Cdb1;
+  (db, api)
+
+let codes ds = List.map (fun d -> d.Diag.code) ds
+
+let contains ~affix s =
+  let n = String.length affix and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = affix || go (i + 1)) in
+  n = 0 || go 0
+
+let lint api src =
+  Check.Lint.lint_string (Xnf.Api.db api) (Xnf.Api.registry api) src
+
+(* ---- bad-query fixtures: one expected code each ---- *)
+
+let bad_fixtures =
+  [ ("syntax error", "OUT OF x AS DEPT TAK *", "XNF000");
+    ("duplicate component", "OUT OF x AS DEPT, x AS EMP TAKE *", "XNF001");
+    ("dangling RELATE endpoint", "OUT OF x AS DEPT, e AS (RELATE x, y WHERE x.dno = x.dno) TAKE *",
+     "XNF002");
+    ("RELATE before partner declared",
+     "OUT OF e AS (RELATE x, y WHERE 1 = 1), x AS DEPT, y AS EMP TAKE *", "XNF002");
+    ("unknown view import", "OUT OF NO-SUCH-VIEW TAKE *", "XNF003");
+    ("cyclic partners without roles", "OUT OF x AS EMP, e AS (RELATE x, x WHERE x.eno = x.edno) TAKE *",
+     "XNF004");
+    ("USING not a base table",
+     "OUT OF x AS DEPT, y AS EMP, e AS (RELATE x, y USING NOSUCH n WHERE x.dno = y.edno) TAKE *",
+     "XNF005");
+    ("RELATE predicate alias out of scope",
+     "OUT OF x AS DEPT, y AS EMP, e AS (RELATE x, y WHERE z.dno = y.edno) TAKE *", "XNF006");
+    ("RELATE predicate unknown column",
+     "OUT OF x AS DEPT, y AS EMP, e AS (RELATE x, y WHERE x.nosuch = y.edno) TAKE *", "XNF007");
+    ("type-incompatible RELATE equality",
+     "OUT OF x AS DEPT, y AS EMP, e AS (RELATE x, y WHERE x.dname = y.eno) TAKE *", "XNF008");
+    ("invalid derivation", "OUT OF x AS (SELECT nosuch FROM dept) TAKE *", "XNF009");
+    ("no root component",
+     "OUT OF a AS EMP, b AS DEPT, e1 AS (RELATE a, b WHERE a.edno = b.dno), \
+      e2 AS (RELATE b, a WHERE b.dno = a.edno) TAKE *", "XNF010");
+    ("orphan unreachable from roots",
+     "OUT OF a AS DEPT, b AS EMP, c AS PROJ, e1 AS (RELATE b, c WHERE b.eno = c.pno), \
+      e2 AS (RELATE c, b WHERE c.pno = b.eno) TAKE *", "XNF011");
+    ("unguarded recursion",
+     "OUT OF r0 AS (SELECT * FROM emp WHERE sal < 0), x AS EMP, \
+      top AS (RELATE r0 a, x b WHERE a.eno = b.eno), \
+      mgmt AS (RELATE x m, x r WHERE m.eno = 0) TAKE *", "XNF012");
+    ("restriction on unknown component", "OUT OF ALL-DEPS WHERE Nosuch SUCH THAT sal > 0 TAKE *",
+     "XNF013");
+    ("unknown path step", "OUT OF ALL-DEPS WHERE Xdept d SUCH THAT EXISTS d->nosuch TAKE *",
+     "XNF013");
+    ("restriction variable out of scope",
+     "OUT OF ALL-DEPS WHERE Xemp e SUCH THAT z.sal > 0 TAKE *", "XNF014");
+    ("path start unbound", "OUT OF ALL-DEPS WHERE Xdept d SUCH THAT EXISTS q->employment TAKE *",
+     "XNF014");
+    ("path step does not follow schema edge",
+     "OUT OF ALL-DEPS WHERE Xemp e SUCH THAT EXISTS e->ownership TAKE *", "XNF015");
+    ("restriction unknown column", "OUT OF ALL-DEPS WHERE Xemp e SUCH THAT e.nosuch > 0 TAKE *",
+     "XNF007");
+    ("TAKE unknown component", "OUT OF ALL-DEPS TAKE Xdept(*), Xemp(*), nosuch", "XNF016");
+    ("duplicate TAKE item", "OUT OF ALL-DEPS TAKE Xdept(*), Xdept(*), Xemp(*), employment",
+     "XNF017");
+    ("column projection on relationship",
+     "OUT OF ALL-DEPS TAKE Xdept(*), Xemp(*), employment(dno)", "XNF018");
+    ("TAKE keeps edge, drops partner", "OUT OF ALL-DEPS TAKE Xdept(*), employment", "XNF019");
+    ("TAKE unknown column", "OUT OF ALL-DEPS TAKE Xdept(nosuch), Xemp(*), employment", "XNF007");
+    ("duplicate view name", "CREATE VIEW ALL-DEPS AS OUT OF x AS DEPT TAKE *", "XNF021");
+    ("UPDATE on unknown component", "OUT OF ALL-DEPS UPDATE Nosuch SET sal = 1", "XNF013");
+    ("UPDATE sets unknown column", "OUT OF ALL-DEPS UPDATE Xemp SET nosuch = 1", "XNF007");
+    ("DROP of unknown view", "DROP VIEW NOSUCH", "XNF003");
+    ("SQL binding failure", "SELECT nosuch FROM dept", "XNF009") ]
+
+let test_bad_fixtures () =
+  let _, api = mk () in
+  List.iter
+    (fun (name, src, code) ->
+      let ds = lint api src in
+      if not (List.mem code (codes ds)) then
+        Alcotest.failf "%s: expected %s in diagnostics of %S, got [%s]" name code src
+          (String.concat "; " (codes ds)))
+    bad_fixtures
+
+let test_severities () =
+  let _, api = mk () in
+  (* XNF012 / XNF017 are warnings, not errors *)
+  let ds =
+    lint api
+      "OUT OF r0 AS (SELECT * FROM emp WHERE sal < 0), x AS EMP, \
+       top AS (RELATE r0 a, x b WHERE a.eno = b.eno), \
+       mgmt AS (RELATE x m, x r WHERE m.eno = 0) TAKE *"
+  in
+  Alcotest.(check int) "unguarded recursion: no errors" 0 (Diag.count_errors ds);
+  Alcotest.(check bool) "unguarded recursion: warning" true (Diag.count_warnings ds >= 1);
+  let ds = lint api "OUT OF ALL-DEPS TAKE Xdept(*), Xdept(*), Xemp(*), employment" in
+  Alcotest.(check int) "duplicate TAKE: no errors" 0 (Diag.count_errors ds)
+
+(* the acceptance scenario: an orphan-component query reports the
+   reachability violation with a source span *)
+let test_orphan_span () =
+  let _, api = mk () in
+  let src =
+    "OUT OF a AS DEPT, b AS EMP, c AS PROJ, e1 AS (RELATE b, c WHERE b.eno = c.pno), \
+     e2 AS (RELATE c, b WHERE c.pno = b.eno) TAKE *"
+  in
+  let ds = lint api src in
+  match List.find_opt (fun d -> d.Diag.code = "XNF011") ds with
+  | None -> Alcotest.fail "expected XNF011"
+  | Some d ->
+    Alcotest.(check bool) "has span" true (d.Diag.span <> None);
+    Alcotest.(check bool) "span rendered" true (contains ~affix:"line 1" (Diag.to_string d))
+
+(* ---- corpus cleanliness ---- *)
+
+let clean_queries =
+  [ "OUT OF x AS DEPT TAKE *";
+    "OUT OF x AS (SELECT * FROM dept WHERE loc = 'NY') TAKE *";
+    "OUT OF x AS DEPT, y AS EMP, e AS (RELATE x, y WHERE x.dno = y.edno) TAKE *";
+    "OUT OF x AS DEPT, y AS EMP, e AS (RELATE x p, y c WHERE p.dno = c.edno) TAKE *";
+    "OUT OF p AS PROJ, e AS EMP, m AS (RELATE p, e WITH ATTRIBUTES ep.percentage AS pct \
+     USING EMPPROJ ep WHERE p.pno = ep.eppno AND e.eno = ep.epeno) TAKE *";
+    "OUT OF ALL-DEPS TAKE *";
+    "OUT OF ALL-DEPS-ORG TAKE *";
+    "OUT OF EXT-ALL-DEPS-ORG TAKE *";
+    "OUT OF ORG-UNIT TAKE *";
+    "OUT OF ALL-DEPS WHERE Xemp e SUCH THAT e.sal < 5000 TAKE *";
+    "OUT OF ALL-DEPS WHERE Xdept SUCH THAT budget > 0 TAKE *";
+    "OUT OF ALL-DEPS WHERE employment (d, e) SUCH THAT e.sal < d.budget * 100 TAKE *";
+    "OUT OF ALL-DEPS WHERE Xdept d SUCH THAT COUNT(d->employment) >= 0 TAKE *";
+    "OUT OF ALL-DEPS WHERE Xdept d SUCH THAT EXISTS d->employment TAKE *";
+    "OUT OF ALL-DEPS WHERE Xdept d SUCH THAT COUNT(d->employment->Xemp) >= 0 TAKE *";
+    "OUT OF ALL-DEPS TAKE Xdept(*), Xemp(*), employment";
+    "OUT OF ALL-DEPS TAKE Xdept(dname), Xemp(ename, sal), employment";
+    "OUT OF ALL-DEPS WHERE Xdept SUCH THAT loc = 'NY' TAKE Xemp(*)";
+    "OUT OF x AS (SELECT * FROM skills WHERE sno < 0) DELETE *";
+    "OUT OF ALL-DEPS UPDATE Xemp SET sal = sal + 0";
+    "SELECT dname, budget FROM dept WHERE budget > 100" ]
+
+let expect_clean api src =
+  let ds = lint api src in
+  if ds <> [] then
+    Alcotest.failf "expected clean lint for %S, got:\n%s" src
+      (String.concat "\n" (List.map Diag.to_string ds))
+
+let test_clean_corpus () =
+  let _, api = mk () in
+  List.iter (expect_clean api) clean_queries
+
+(* the workload's paper views lint clean on both representations, checked
+   before each definition is registered (views build on earlier ones) *)
+let test_workload_views_clean () =
+  List.iter
+    (fun repr ->
+      let db = Db.create () in
+      Workload.Company.populate db ~seed:1 ~scale:Workload.Company.small ~repr;
+      let api = Xnf.Api.create db in
+      List.iter
+        (fun def ->
+          expect_clean api def;
+          ignore (Xnf.Api.exec api def))
+        [ (match repr with
+          | Workload.Company.Cdb1 -> Workload.Company.all_deps_cdb1
+          | Workload.Company.Cdb2 -> Workload.Company.all_deps_cdb2);
+          Workload.Company.all_deps_org; Workload.Company.ext_all_deps_org;
+          Workload.Company.org_unit ])
+    [ Workload.Company.Cdb1; Workload.Company.Cdb2 ]
+
+(* ---- pipeline invariant validators at the three hook points ---- *)
+
+let one_col_schema = Schema.make [ Schema.column "c" Schema.Ty_int ]
+let one_col_values = Qgm.Values { schema = one_col_schema; rows = [ [| Value.Int 1 |] ] }
+
+let expect_violation code f =
+  match f () with
+  | () -> Alcotest.failf "expected Invariant_violation %s" code
+  | exception Check.Pipeline.Invariant_violation ds ->
+    if not (List.mem code (codes ds)) then
+      Alcotest.failf "expected %s, got [%s]" code (String.concat "; " (codes ds))
+
+let test_hook_post_bind () =
+  let db, _ = mk () in
+  Check.Pipeline.install ();
+  (* a well-formed statement passes through the installed hooks *)
+  ignore (Db.rows_of db "SELECT dname FROM dept WHERE budget > 0");
+  (* the post-bind hook rejects a pred referencing column 9 of a
+     1-column input *)
+  expect_violation "QGM101" (fun () ->
+      !Hooks.post_bind (Db.catalog db) (Qgm.Select { input = one_col_values; pred = Expr.Col 9 }))
+
+let test_hook_post_rewrite () =
+  let db, _ = mk () in
+  Check.Pipeline.install ();
+  (* arity mismatch under UNION ALL *)
+  let two_col =
+    Qgm.Values
+      { schema = Schema.make [ Schema.column "a" Schema.Ty_int; Schema.column "b" Schema.Ty_int ];
+        rows = [] }
+  in
+  expect_violation "QGM102" (fun () ->
+      !Hooks.post_rewrite (Db.catalog db) (Qgm.Union_all (one_col_values, two_col)));
+  expect_violation "QGM104" (fun () ->
+      !Hooks.post_rewrite (Db.catalog db) (Qgm.Access { table = "nosuch"; alias = "n" }))
+
+let test_hook_post_optimize () =
+  let db, _ = mk () in
+  Check.Pipeline.install ();
+  expect_violation "PLAN201" (fun () ->
+      !Hooks.post_optimize (Db.catalog db)
+        (Plan.Filter (Plan.Values [ [| Value.Int 1 |] ], Expr.Col 5)));
+  expect_violation "PLAN202" (fun () ->
+      !Hooks.post_optimize (Db.catalog db)
+        (Plan.Nl_join
+           { kind = Plan.Inner; left = Plan.Values [ [| Value.Int 1 |] ];
+             right = Plan.Values [ [| Value.Int 2 |] ]; pred = None; right_width = 3 }))
+
+let test_validators_direct () =
+  let db, _ = mk () in
+  (* exposed validator bodies work without installation *)
+  expect_violation "QGM106" (fun () ->
+      Check.Pipeline.validate_qgm (Db.catalog db) (Qgm.Limit (one_col_values, -1)));
+  expect_violation "PLAN204" (fun () ->
+      Check.Pipeline.validate_plan (Db.catalog db)
+        (Plan.Union_all
+           (Plan.Values [ [| Value.Int 1 |] ], Plan.Values [ [| Value.Int 1; Value.Int 2 |] ])));
+  (* violation counters moved *)
+  let before = Obs.Metrics.counter_get "check.qgm.violations" in
+  (try Check.Pipeline.validate_qgm (Db.catalog db) (Qgm.Limit (one_col_values, -1))
+   with Check.Pipeline.Invariant_violation _ -> ());
+  Alcotest.(check bool) "counter incremented" true
+    (Obs.Metrics.counter_get "check.qgm.violations" > before)
+
+let test_pipeline_end_to_end () =
+  (* with validators installed, the whole workload corpus still executes *)
+  let _, api = mk () in
+  Check.Pipeline.install ();
+  let before = Obs.Metrics.counter_get "check.validations" in
+  ignore (Xnf.Api.fetch_string api "OUT OF ALL-DEPS WHERE Xemp e SUCH THAT e.sal < 5000 TAKE *");
+  ignore (Db.rows_of (Xnf.Api.db api) "SELECT COUNT(*) FROM emp");
+  Alcotest.(check bool) "validations counted" true
+    (Obs.Metrics.counter_get "check.validations" > before)
+
+(* ---- diagnostic rendering ---- *)
+
+let test_diag_render () =
+  let d =
+    Diag.err ~code:"XNF011" ~span:(Srcloc.make ~line:1 ~col:42 ~end_line:1 ~end_col:43)
+      ~hint:"relate it" "component b is unreachable"
+  in
+  let s = Diag.to_string d in
+  List.iter
+    (fun affix ->
+      Alcotest.(check bool) (Printf.sprintf "renders %S" affix) true
+        (contains ~affix s))
+    [ "error[XNF011]"; "line 1, column 42"; "relate it" ];
+  let j = Diag.to_json [ d; Diag.warn ~code:"XNF017" "dup \"take\"" ] in
+  List.iter
+    (fun affix ->
+      Alcotest.(check bool) (Printf.sprintf "json has %S" affix) true
+        (contains ~affix j))
+    [ "\"XNF011\""; "\"error\""; "\"warning\""; "\\\"take\\\"" ];
+  (* parse errors carry line/column through Diag *)
+  match Xnf.Xnf_parser.parse_stmt_diag "OUT OF x AS DEPT TAK *" with
+  | Ok _ -> Alcotest.fail "expected parse error"
+  | Error d ->
+    Alcotest.(check string) "code" "XNF000" d.Diag.code;
+    Alcotest.(check bool) "position in message" true
+      (contains ~affix:"line 1" (Diag.to_string d))
+
+let test_diag_sort () =
+  let w = Diag.warn ~code:"XNF017" "w" in
+  let e = Diag.err ~code:"XNF011" "e" in
+  match Diag.sort [ w; e ] with
+  | [ first; second ] ->
+    Alcotest.(check string) "errors first" "XNF011" first.Diag.code;
+    Alcotest.(check string) "warnings after" "XNF017" second.Diag.code
+  | _ -> Alcotest.fail "expected two diagnostics"
+
+let test_lint_metrics () =
+  let _, api = mk () in
+  let runs = Obs.Metrics.counter_get "check.lint.runs" in
+  let errs = Obs.Metrics.counter_get "check.lint.errors" in
+  ignore (lint api "OUT OF x AS DEPT TAKE *");
+  ignore (lint api "OUT OF x AS DEPT, x AS EMP TAKE *");
+  Alcotest.(check bool) "runs counted" true (Obs.Metrics.counter_get "check.lint.runs" >= runs + 2);
+  Alcotest.(check bool) "errors counted" true (Obs.Metrics.counter_get "check.lint.errors" > errs)
+
+let suite =
+  [ Alcotest.test_case "bad-query fixtures report exact codes" `Quick test_bad_fixtures;
+    Alcotest.test_case "warning severities" `Quick test_severities;
+    Alcotest.test_case "orphan diagnostic carries a source span" `Quick test_orphan_span;
+    Alcotest.test_case "clean corpus stays clean" `Quick test_clean_corpus;
+    Alcotest.test_case "workload views lint clean (both reprs)" `Quick test_workload_views_clean;
+    Alcotest.test_case "post-bind hook rejects malformed QGM" `Quick test_hook_post_bind;
+    Alcotest.test_case "post-rewrite hook rejects malformed QGM" `Quick test_hook_post_rewrite;
+    Alcotest.test_case "post-optimize hook rejects malformed plan" `Quick test_hook_post_optimize;
+    Alcotest.test_case "validators usable directly" `Quick test_validators_direct;
+    Alcotest.test_case "validators pass the live pipeline" `Quick test_pipeline_end_to_end;
+    Alcotest.test_case "diagnostic rendering (human + json)" `Quick test_diag_render;
+    Alcotest.test_case "diagnostic sorting" `Quick test_diag_sort;
+    Alcotest.test_case "lint metrics counters" `Quick test_lint_metrics ]

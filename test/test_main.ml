@@ -1,6 +1,9 @@
-(* Test runner: all suites. *)
+(* Test runner: all suites. The pipeline invariant validators are
+   installed unconditionally, so every statement any suite executes is
+   checked at the post-bind / post-rewrite / post-optimize boundaries. *)
 
 let () =
+  Check.Pipeline.install ();
   Alcotest.run "sqlxnf"
     [ ("value", Test_value.suite);
       ("expr", Test_expr.suite);
@@ -24,4 +27,5 @@ let () =
       ("errors", Test_errors.suite);
       ("observability", Test_obs.suite);
       ("properties", Test_props.suite);
-      ("properties-2", Test_props2.suite) ]
+      ("properties-2", Test_props2.suite);
+      ("check", Test_check.suite) ]
