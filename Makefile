@@ -3,10 +3,11 @@
 #   make build   - compile everything (libraries, shell, bench, tests)
 #   make test    - run the test suites (tier-1 gate)
 #   make check   - build + test (validators on) + lint corpus + bench smoke (what CI runs)
+#   make fuzz    - differential fuzzing: seeded run + corpus replay + mutation smoke
 #   make bench   - run the full benchmark suite
 #   make clean   - remove build artifacts
 
-.PHONY: build test check bench clean
+.PHONY: build test check fuzz bench clean
 
 build:
 	dune build @all
@@ -18,6 +19,12 @@ check: build test
 	XNF_CHECK=1 dune runtest --force
 	dune exec bin/xnf_shell.exe -- --demo --lint examples/corpus.xnf
 	dune exec bench/main.exe -- --list
+
+fuzz: build
+	dune exec bin/xnf_fuzz.exe -- --seed 42 --iters $${FUZZ_ITERS:-500} --quiet
+	dune exec bin/xnf_fuzz.exe -- --replay-dir examples/fuzz-corpus
+	dune exec bin/xnf_fuzz.exe -- --seed 42 --iters 25 --mutate drop-conn --no-shrink --quiet
+	dune exec bin/xnf_fuzz.exe -- --seed 42 --iters 25 --mutate drop-tuple --no-shrink --quiet
 
 bench:
 	dune exec bench/main.exe

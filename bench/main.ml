@@ -464,6 +464,8 @@ let e5 () =
         let api = Xnf.Api.create db in
         let q = Xnf.Xnf_parser.parse_query (Workload.Chain.co_query ~depth) in
         let def, _, _ = Xnf.View_registry.compose (Xnf.Api.registry api) q in
+        (* chain COs are DAGs by construction; classify rather than catch *)
+        assert (Baseline.Naive_translate.supported def);
         (* warm both paths once before measuring *)
         ignore (Xnf.Api.fetch api q);
         ignore (Baseline.Naive_translate.extract_unshared db def);

@@ -1,0 +1,179 @@
+(* Differential fuzzing driver.
+
+   Modes:
+     xnf_fuzz --seed 42 --iters 500            fuzz; shrink + record failures
+     xnf_fuzz --replay examples/fuzz-corpus/case-42-7.xnf
+     xnf_fuzz --replay-dir examples/fuzz-corpus
+     xnf_fuzz --mutate drop-conn --no-shrink   smoke-test: exit 0 iff every
+                                               injected defect is caught
+
+   Exit status 0 means no divergence (or, with --mutate, no missed
+   mutation); 1 means the harness found something. *)
+
+let print_failure (f : Fuzz.Driver.failure) =
+  Printf.printf "FAIL %s [%s]\n" f.Fuzz.Driver.fl_label (String.concat " " f.Fuzz.Driver.fl_kinds);
+  Printf.printf "  %s\n" f.Fuzz.Driver.fl_detail;
+  (match f.Fuzz.Driver.fl_file with
+  | Some p -> Printf.printf "  corpus: %s (replay with: xnf_fuzz --replay %s)\n" p p
+  | None ->
+    Printf.printf "  -- shrunk scenario --\n";
+    List.iter (Printf.printf "  %s\n") f.Fuzz.Driver.fl_scenario.Fuzz.Gen.sc_setup;
+    Printf.printf "  %s\n" f.Fuzz.Driver.fl_scenario.Fuzz.Gen.sc_query)
+
+let print_outcome path (o : Fuzz.Oracle.outcome) =
+  if o.Fuzz.Oracle.o_divs = [] then begin
+    Printf.printf "%s: ok\n" path;
+    true
+  end
+  else begin
+    Printf.printf "%s: DIVERGED\n" path;
+    List.iter
+      (fun d -> Printf.printf "  [%s] %s\n" d.Fuzz.Oracle.d_kind d.Fuzz.Oracle.d_detail)
+      o.Fuzz.Oracle.o_divs;
+    false
+  end
+
+let main seed iters replay replay_dir corpus save_cases mutate no_shrink max_nodes max_rows quiet =
+  Check.Pipeline.install ();
+  let mutation =
+    match mutate with
+    | None -> None
+    | Some s -> begin
+      match Fuzz.Oracle.mutation_of_string s with
+      | Some m -> Some m
+      | None ->
+        Printf.eprintf "unknown mutation %S (expected drop-conn or drop-tuple)\n" s;
+        exit 2
+    end
+  in
+  let log = if quiet then fun _ -> () else fun s -> Printf.printf "%s\n%!" s in
+  match (replay, replay_dir, save_cases) with
+  | _, _, Some spec ->
+    (* seed the regression corpus: render the named cases of this stream
+       and persist the clean ones *)
+    let dir = Option.value ~default:"examples/fuzz-corpus" corpus in
+    let ok = ref true in
+    List.iter
+      (fun s ->
+        let index = int_of_string (String.trim s) in
+        let case = Fuzz.Gen.generate ~seed ~index () in
+        let sc = Fuzz.Gen.render case in
+        let o = Fuzz.Oracle.run ~extra_restr:(Fuzz.Gen.mono_restriction case) sc in
+        if o.Fuzz.Oracle.o_divs = [] then
+          Printf.printf "saved %s\n" (Fuzz.Corpus.write ~dir sc)
+        else begin
+          Printf.printf "case %d-%d diverges; not saved\n" seed index;
+          ok := false
+        end)
+      (String.split_on_char ',' spec);
+    if !ok then 0 else 1
+  | Some path, _, None ->
+    if print_outcome path (Fuzz.Driver.replay ?mutation path) then 0 else 1
+  | None, Some dir, None ->
+    let results = Fuzz.Driver.replay_dir ?mutation dir in
+    if results = [] then begin
+      Printf.printf "no corpus entries under %s\n" dir;
+      0
+    end
+    else begin
+      let ok = List.for_all (fun (p, o) -> print_outcome p o) results in
+      Printf.printf "%d corpus entries replayed\n" (List.length results);
+      if ok then 0 else 1
+    end
+  | None, None, None ->
+    let config =
+      { Fuzz.Gen.default with Fuzz.Gen.max_nodes; Fuzz.Gen.max_rows }
+    in
+    let report =
+      Fuzz.Driver.run ~config ?mutation ?corpus_dir:corpus ~shrink:(not no_shrink) ~log ~seed
+        ~iters ()
+    in
+    Printf.printf "%d cases (seed %d)\n" report.Fuzz.Driver.r_cases seed;
+    Printf.printf "coverage:%s\n"
+      (String.concat ""
+         (List.map (fun (k, n) -> Printf.sprintf " %s=%d" k n) report.Fuzz.Driver.r_coverage));
+    (match mutation with
+    | Some m ->
+      Printf.printf "mutation %s: injected into %d cases, caught in %d\n"
+        (Fuzz.Oracle.mutation_name m) report.Fuzz.Driver.r_mutated report.Fuzz.Driver.r_caught;
+      if report.Fuzz.Driver.r_mutated = 0 then begin
+        Printf.printf "mutation never applied -- nothing verified\n";
+        1
+      end
+      else if report.Fuzz.Driver.r_caught < report.Fuzz.Driver.r_mutated then begin
+        Printf.printf "MISSED %d mutated cases\n"
+          (report.Fuzz.Driver.r_mutated - report.Fuzz.Driver.r_caught);
+        1
+      end
+      else 0
+    | None ->
+      List.iter print_failure report.Fuzz.Driver.r_failures;
+      if report.Fuzz.Driver.r_failures = [] then begin
+        Printf.printf "no divergences\n";
+        0
+      end
+      else begin
+        Printf.printf "%d divergent cases (%d shrink attempts)\n"
+          (List.length report.Fuzz.Driver.r_failures)
+          report.Fuzz.Driver.r_shrink_attempts;
+        1
+      end)
+
+open Cmdliner
+
+let seed_t = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"Stream seed.")
+let iters_t = Arg.(value & opt int 200 & info [ "iters" ] ~docv:"N" ~doc:"Cases to generate.")
+
+let replay_t =
+  Arg.(value & opt (some file) None & info [ "replay" ] ~docv:"FILE" ~doc:"Replay one corpus entry.")
+
+let replay_dir_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "replay-dir" ] ~docv:"DIR" ~doc:"Replay every corpus entry under $(docv).")
+
+let corpus_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "corpus" ] ~docv:"DIR" ~doc:"Write shrunk failing cases under $(docv).")
+
+let save_cases_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "save-cases" ] ~docv:"I,J,..."
+        ~doc:
+          "Render the named case indexes of this seed's stream and write them as corpus entries \
+           (to --corpus, default examples/fuzz-corpus).")
+
+let mutate_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "mutate" ] ~docv:"KIND"
+        ~doc:"Inject a defect (drop-conn or drop-tuple) into every case; exit 0 iff caught.")
+
+let no_shrink_t = Arg.(value & flag & info [ "no-shrink" ] ~doc:"Skip failure minimization.")
+
+let max_nodes_t =
+  Arg.(value & opt int Fuzz.Gen.default.Fuzz.Gen.max_nodes
+       & info [ "max-nodes" ] ~docv:"N" ~doc:"Node tables per case.")
+
+let max_rows_t =
+  Arg.(value & opt int Fuzz.Gen.default.Fuzz.Gen.max_rows
+       & info [ "max-rows" ] ~docv:"N" ~doc:"Rows per node table.")
+
+let quiet_t = Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"Suppress progress lines.")
+
+let cmd =
+  let info =
+    Cmd.info "xnf_fuzz" ~doc:"Differential fuzzing of the XNF pipeline against the naive oracles"
+  in
+  Cmd.v info
+    Term.(
+      const main $ seed_t $ iters_t $ replay_t $ replay_dir_t $ corpus_t $ save_cases_t $ mutate_t
+      $ no_shrink_t $ max_nodes_t $ max_rows_t $ quiet_t)
+
+let () = exit (Cmdliner.Cmd.eval' cmd)

@@ -21,5 +21,18 @@ XNF_CHECK=1 dune runtest --force
 echo "== lint corpus =="
 dune exec bin/xnf_shell.exe -- --demo --lint examples/corpus.xnf
 
+echo "== fuzz (differential, seed 42) =="
+# short budget by default; raise with FUZZ_ITERS for nightly-style runs
+dune exec bin/xnf_fuzz.exe -- --seed 42 --iters "${FUZZ_ITERS:-500}" --quiet
+
+echo "== fuzz corpus replay =="
+dune exec bin/xnf_fuzz.exe -- --replay-dir examples/fuzz-corpus
+
+echo "== fuzz mutation smoke =="
+# inject a defect into every delivered instance; xnf_fuzz exits non-zero
+# unless the harness catches every injected defect
+dune exec bin/xnf_fuzz.exe -- --seed 42 --iters 25 --mutate drop-conn --no-shrink --quiet
+dune exec bin/xnf_fuzz.exe -- --seed 42 --iters 25 --mutate drop-tuple --no-shrink --quiet
+
 echo "== bench smoke =="
 dune exec bench/main.exe -- --list

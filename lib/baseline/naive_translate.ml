@@ -16,6 +16,10 @@ open Relational
 
 exception Unsupported of string
 
+(* inlining ancestor derivations diverges on cycles, so only DAG schemas
+   are supported; callers classify up front instead of catching *)
+let supported (def : Xnf.Co_schema.t) : bool = not (Xnf.Co_schema.is_recursive def)
+
 (* the reachable extent of a node as one self-contained SQL query:
      root:      its derivation;
      non-root:  SELECT DISTINCT c.* FROM (parent-extent) p, (derivation) c
@@ -54,7 +58,7 @@ type result = {
 (** [extract_unshared db def] evaluates [def] without shared temporaries.
     @raise Unsupported on recursive schemas. *)
 let extract_unshared db (def : Xnf.Co_schema.t) : result =
-  if Xnf.Co_schema.is_recursive def then
+  if not (supported def) then
     raise (Unsupported "unshared inlining diverges on recursive composite objects");
   let queries = ref 0 in
   let run q =

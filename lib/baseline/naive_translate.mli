@@ -7,6 +7,11 @@ open Relational
 
 exception Unsupported of string
 
+(** [supported def] holds when [def] is a DAG; callers should classify
+    schemas with this predicate up front rather than catching
+    {!Unsupported}. *)
+val supported : Xnf.Co_schema.t -> bool
+
 type result = {
   node_rows : (string * Row.t list) list;  (** deduplicated reachable extents *)
   edge_rows : (string * Row.t list) list;  (** parent-row ++ child-row pairs *)

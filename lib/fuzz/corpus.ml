@@ -1,0 +1,52 @@
+(* Replayable corpus entries.
+
+   One file per failing case, line-oriented: `--` comment lines carry the
+   label and divergence kinds, every other non-blank line is a setup
+   statement, and the LAST non-comment line is the query under test.
+   [Api.exec] dispatches both SQL and XNF, so replay is just "execute
+   every line, cross-check the last". *)
+
+let file_name label = "case-" ^ label ^ ".xnf"
+
+let write ~dir ?(kinds = []) (sc : Gen.scenario) : string =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let path = Filename.concat dir (file_name sc.Gen.sc_label) in
+  let oc = open_out path in
+  Printf.fprintf oc "-- fuzz case %s\n" sc.Gen.sc_label;
+  if kinds <> [] then Printf.fprintf oc "-- kinds: %s\n" (String.concat " " kinds);
+  List.iter (fun s -> Printf.fprintf oc "%s\n" s) sc.Gen.sc_setup;
+  Printf.fprintf oc "%s\n" sc.Gen.sc_query;
+  close_out oc;
+  path
+
+let load (path : string) : Gen.scenario =
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> close_in ic);
+  let stmts =
+    List.rev !lines
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "" && not (String.length l >= 2 && String.sub l 0 2 = "--"))
+  in
+  let label =
+    let base = Filename.remove_extension (Filename.basename path) in
+    if String.length base > 5 && String.sub base 0 5 = "case-" then
+      String.sub base 5 (String.length base - 5)
+    else base
+  in
+  match List.rev stmts with
+  | [] -> invalid_arg (path ^ ": empty corpus entry")
+  | query :: setup_rev ->
+    { Gen.sc_label = label; Gen.sc_setup = List.rev setup_rev; Gen.sc_query = query }
+
+let files (dir : string) : string list =
+  if not (Sys.file_exists dir && Sys.is_directory dir) then []
+  else
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".xnf")
+    |> List.sort compare
+    |> List.map (Filename.concat dir)

@@ -1,0 +1,16 @@
+(** Replayable corpus entries: one line-oriented [.xnf] file per failing
+    case ([--] comments, setup statements in order, the query under test
+    last). *)
+
+(** [write ~dir ?kinds sc] writes [sc] under [dir] (created on demand) as
+    [case-<label>.xnf], recording the divergence [kinds] in a comment;
+    returns the path. *)
+val write : dir:string -> ?kinds:string list -> Gen.scenario -> string
+
+(** [load path] parses a corpus entry back into a scenario.
+    @raise Invalid_argument on an empty file. *)
+val load : string -> Gen.scenario
+
+(** [files dir] lists corpus entries under [dir], sorted; [[]] when the
+    directory does not exist. *)
+val files : string -> string list

@@ -1,0 +1,44 @@
+(** The fuzzing loop: generate cases, cross-check against the oracles,
+    shrink failures and persist them as replayable corpus entries.
+    Deterministic for a given (seed, iters, config). *)
+
+type failure = {
+  fl_label : string;
+  fl_kinds : string list;  (** divergence kinds (of the shrunk case) *)
+  fl_detail : string;
+  fl_file : string option;  (** corpus entry, when a directory was given *)
+  fl_scenario : Gen.scenario;  (** the shrunk scenario *)
+}
+
+type report = {
+  r_cases : int;
+  r_failures : failure list;
+  r_mutated : int;  (** mutation runs where the injection found something to break *)
+  r_caught : int;  (** of those, runs where the harness reported a divergence *)
+  r_coverage : (string * int) list;  (** feature/oracle hit counts *)
+  r_shrink_attempts : int;
+}
+
+(** [run ~seed ~iters ()] fuzzes [iters] cases of stream [seed]. With
+    [mutation], every case runs with the defect injected and the report
+    counts caught vs. missed instead of recording failures. [corpus_dir]
+    persists shrunk failures; [shrink:false] skips minimization;
+    [log] receives progress lines. *)
+val run :
+  ?config:Gen.config ->
+  ?mutation:Oracle.mutation ->
+  ?corpus_dir:string ->
+  ?shrink:bool ->
+  ?shrink_budget:int ->
+  ?log:(string -> unit) ->
+  seed:int ->
+  iters:int ->
+  unit ->
+  report
+
+(** [replay path] re-executes one corpus entry through the oracles. *)
+val replay : ?mutation:Oracle.mutation -> string -> Oracle.outcome
+
+(** [replay_dir dir] replays every corpus entry under [dir]. *)
+val replay_dir :
+  ?mutation:Oracle.mutation -> ?log:(string -> unit) -> string -> (string * Oracle.outcome) list

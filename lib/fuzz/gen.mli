@@ -1,0 +1,51 @@
+(** Seeded, deterministic generator of random composite-object scenarios:
+    schema graphs (DAGs and cyclic, FK / general-predicate / USING link
+    edges), base-table populations, secondary indexes, XNF views over
+    views and a query under test with node/edge/path restrictions and
+    TAKE projections. Cases are structured (tables + ASTs) so the
+    shrinker can transform them; {!render} pretty-prints to concrete
+    syntax so the real lexer/parser/binder run on every case. *)
+
+open Relational
+open Xnf
+open Xnf_ast
+
+type config = {
+  max_nodes : int;  (** node tables per case, >= 2 *)
+  max_rows : int;  (** rows per node table, >= 2 *)
+  allow_recursive : bool;  (** back edges and self loops *)
+  allow_views : bool;  (** wrap schema prefixes into views (views over views) *)
+  allow_paths : bool;  (** path expressions in restrictions *)
+}
+
+val default : config
+
+type table = {
+  tb_name : string;
+  tb_ddl : string;  (** CREATE TABLE statement *)
+  tb_rows : Value.t array list;  (** materialized rows, rendered as INSERTs *)
+}
+
+type case = {
+  cs_label : string;  (** "seed-index" provenance *)
+  cs_tables : table list;
+  cs_indexes : (string * string) list;  (** table, column *)
+  cs_views : (string * query) list;  (** in definition order *)
+  cs_query : query;
+}
+
+(** A rendered case: setup statements (DDL, indexes, inserts, view
+    definitions — executed in order) and the OUT OF query under test. *)
+type scenario = { sc_label : string; sc_setup : string list; sc_query : string }
+
+(** [generate ~seed ~index ()] is the [index]-th case of stream [seed];
+    the same pair always produces the same case. *)
+val generate : ?config:config -> seed:int -> index:int -> unit -> case
+
+(** [mono_restriction case] is a strengthening SQL restriction on a node
+    every generated case contains, used for the restriction-monotonicity
+    metamorphic check. *)
+val mono_restriction : case -> restriction
+
+(** [render case] pretty-prints the case to concrete syntax. *)
+val render : case -> scenario

@@ -1,0 +1,490 @@
+(* Differential oracles for generated scenarios.
+
+   One [run] executes the scenario's setup through the API layer (the
+   same dispatch the shell uses), then cross-checks the full pipeline
+   against every oracle that supports the composed definition:
+
+     - semi-naive vs naive reachability fixpoint (always);
+     - the unshared per-node derivation of [Baseline.Naive_translate]
+       against the pre-TAKE instance (DAG schemas; set semantics, so both
+       sides are value-deduplicated);
+     - the LW90 object-at-a-time instantiation against the same instance
+       (DAG schemas);
+     - structural invariants: live connections join live tuples, and in
+       the pre-TAKE instance every live non-root tuple has a live
+       incoming connection;
+     - lint cleanliness of every generated XNF statement;
+     - metamorphic properties: a strengthened query yields a sub-instance
+       (when every path restriction is monotone), TAKE projection of a
+       full fetch equals the projecting fetch, and a result-cache hit
+       equals the cold fetch.
+
+   [mutation] injects a deliberate defect into the system-under-test
+   caches after loading — the smoke test that proves divergences are
+   detectable end to end. *)
+
+open Relational
+open Xnf
+open Xnf_ast
+
+type mutation = Drop_conn | Drop_tuple
+
+let mutation_name = function Drop_conn -> "drop-conn" | Drop_tuple -> "drop-tuple"
+
+let mutation_of_string = function
+  | "drop-conn" -> Some Drop_conn
+  | "drop-tuple" -> Some Drop_tuple
+  | _ -> None
+
+type divergence = { d_kind : string; d_detail : string }
+
+type flags = {
+  f_recursive : bool;
+  f_sharing : bool;
+  f_views : bool;
+  f_using : bool;
+  f_paths : bool;
+  f_naive : bool;  (** unshared-derivation oracle compared *)
+  f_lw90 : bool;
+  f_mono : bool;  (** monotonicity property compared *)
+  f_mutated : bool;  (** the injected mutation found something to break *)
+}
+
+let no_flags =
+  { f_recursive = false; f_sharing = false; f_views = false; f_using = false; f_paths = false;
+    f_naive = false; f_lw90 = false; f_mono = false; f_mutated = false }
+
+type outcome = { o_divs : divergence list; o_flags : flags }
+
+(* ---- comparators (also used by the conformance suite) ---- *)
+
+let node_extent cache name =
+  Cache.live_tuples (Cache.node cache name)
+  |> List.map (fun t -> t.Cache.t_row)
+  |> List.sort Row.compare
+
+let conn_extent ?(attrs = true) cache name =
+  let ei = Cache.edge cache name in
+  Cache.conns_live ei
+  |> List.map (fun c ->
+         let p = (Cache.tuple ei.Cache.ei_parent_node c.Cache.cn_parent).Cache.t_row in
+         let ch = (Cache.tuple ei.Cache.ei_child_node c.Cache.cn_child).Cache.t_row in
+         let base = Row.concat p ch in
+         if attrs then Row.concat base c.Cache.cn_attrs else base)
+  |> List.sort Row.compare
+
+let dedupe sorted_rows =
+  let rec go = function
+    | a :: (b :: _ as rest) -> if Row.equal a b then go rest else a :: go rest
+    | short -> short
+  in
+  go sorted_rows
+
+let rows_diff ~what a b =
+  if List.length a <> List.length b then
+    Some (Printf.sprintf "%s: %d vs %d rows" what (List.length a) (List.length b))
+  else begin
+    match List.find_opt (fun (x, y) -> not (Row.equal x y)) (List.combine a b) with
+    | Some (x, y) ->
+      Some (Printf.sprintf "%s: row %s vs %s" what (Row.to_string x) (Row.to_string y))
+    | None -> None
+  end
+
+(* every element of (sorted) [a] consumed by (sorted) [b] *)
+let rows_subset ~what a b =
+  let rec go a b =
+    match a, b with
+    | [], _ -> None
+    | x :: _, [] -> Some (Printf.sprintf "%s: extra row %s" what (Row.to_string x))
+    | x :: arest, y :: brest ->
+      let c = Row.compare x y in
+      if c = 0 then go arest brest
+      else if c > 0 then go a brest
+      else Some (Printf.sprintf "%s: extra row %s" what (Row.to_string x))
+  in
+  go a b
+
+let sorted_names l = List.sort compare (List.map fst l)
+
+let first_some f l = List.fold_left (fun acc x -> match acc with Some _ -> acc | None -> f x) None l
+
+(** [compare_caches a b] is [None] when both caches hold the same
+    components with identical extents and connection sets (attributes
+    included), or a description of the first difference. *)
+let compare_caches (a : Cache.t) (b : Cache.t) : string option =
+  if sorted_names a.Cache.c_nodes <> sorted_names b.Cache.c_nodes then
+    Some
+      (Printf.sprintf "components differ: [%s] vs [%s]"
+         (String.concat " " (sorted_names a.Cache.c_nodes))
+         (String.concat " " (sorted_names b.Cache.c_nodes)))
+  else if sorted_names a.Cache.c_edges <> sorted_names b.Cache.c_edges then
+    Some
+      (Printf.sprintf "relationships differ: [%s] vs [%s]"
+         (String.concat " " (sorted_names a.Cache.c_edges))
+         (String.concat " " (sorted_names b.Cache.c_edges)))
+  else begin
+    match
+      first_some
+        (fun (n, _) -> rows_diff ~what:("extent " ^ n) (node_extent a n) (node_extent b n))
+        a.Cache.c_nodes
+    with
+    | Some d -> Some d
+    | None ->
+      first_some
+        (fun (e, _) -> rows_diff ~what:("connections " ^ e) (conn_extent a e) (conn_extent b e))
+        a.Cache.c_edges
+  end
+
+(** [subset_caches a b] checks that [a] is a sub-instance of [b]: same
+    components, every extent row and connection of [a] also in [b]. *)
+let subset_caches (a : Cache.t) (b : Cache.t) : string option =
+  if sorted_names a.Cache.c_nodes <> sorted_names b.Cache.c_nodes
+     || sorted_names a.Cache.c_edges <> sorted_names b.Cache.c_edges
+  then Some "components differ"
+  else begin
+    match
+      first_some
+        (fun (n, _) -> rows_subset ~what:("extent " ^ n) (node_extent a n) (node_extent b n))
+        a.Cache.c_nodes
+    with
+    | Some d -> Some d
+    | None ->
+      first_some
+        (fun (e, _) -> rows_subset ~what:("connections " ^ e) (conn_extent a e) (conn_extent b e))
+        a.Cache.c_edges
+  end
+
+(** [check_conn_liveness cache] verifies that every live connection joins
+    two live tuples. *)
+let check_conn_liveness (cache : Cache.t) : string option =
+  first_some
+    (fun (name, ei) ->
+      first_some
+        (fun (c : Cache.conn) ->
+          let pt = Cache.tuple ei.Cache.ei_parent_node c.Cache.cn_parent in
+          let ct = Cache.tuple ei.Cache.ei_child_node c.Cache.cn_child in
+          if not pt.Cache.t_live then
+            Some (Printf.sprintf "%s: live connection from dead parent tuple %d" name c.Cache.cn_parent)
+          else if not ct.Cache.t_live then
+            Some (Printf.sprintf "%s: live connection to dead child tuple %d" name c.Cache.cn_child)
+          else None)
+        (Cache.conns_live ei))
+    cache.Cache.c_edges
+
+(** [check_reachability cache] verifies the reachability invariant on a
+    pre-TAKE instance: every live tuple of a node with incoming
+    relationships has at least one live incoming connection. (Post-TAKE
+    instances may legitimately violate this: evaluate-then-project can
+    drop the justifying relationship.) *)
+let check_reachability (cache : Cache.t) : string option =
+  first_some
+    (fun (name, ni) ->
+      let incoming = List.filter (fun (_, ei) -> String.equal ei.Cache.ei_child name) cache.Cache.c_edges in
+      if incoming = [] then None
+      else
+        first_some
+          (fun (t : Cache.tuple) ->
+            if List.exists (fun (_, ei) -> Cache.parents cache ei t.Cache.t_pos <> []) incoming
+            then None
+            else
+              Some
+                (Printf.sprintf "%s: live non-root tuple %d has no live incoming connection" name
+                   t.Cache.t_pos))
+          (Cache.live_tuples ni))
+    cache.Cache.c_nodes
+
+(* ---- mutation injection ---- *)
+
+let apply_mutation (m : mutation) (cache : Cache.t) : bool =
+  let last = function [] -> None | l -> Some (List.nth l (List.length l - 1)) in
+  match m with
+  | Drop_conn ->
+    List.fold_left
+      (fun done_ (_, ei) ->
+        if done_ then done_
+        else begin
+          match last (Cache.conns_live ei) with
+          | Some c ->
+            c.Cache.cn_live <- false;
+            true
+          | None -> false
+        end)
+      false cache.Cache.c_edges
+  | Drop_tuple ->
+    List.fold_left
+      (fun done_ (name, ni) ->
+        if done_ || Co_schema.incoming cache.Cache.c_def name = [] then done_
+        else begin
+          match last (Cache.live_tuples ni) with
+          | Some t ->
+            t.Cache.t_live <- false;
+            true
+          | None -> false
+        end)
+      false cache.Cache.c_nodes
+
+(* ---- monotonicity eligibility ---- *)
+
+(* a restriction predicate is monotone when shrinking the instance can
+   only shrink the set of qualifying tuples: every path atom must appear
+   in positive polarity and COUNT(path) only as a lower bound *)
+let rec monotone_pred ~pos (e : xexpr) : bool =
+  match e with
+  | X_and (a, b) | X_or (a, b) -> monotone_pred ~pos a && monotone_pred ~pos b
+  | X_not a -> monotone_pred ~pos:(not pos) a
+  | X_exists_path _ -> pos
+  | X_count_path _ -> false
+  | X_cmp (op, X_count_path _, rhs) ->
+    pos && (not (has_path rhs)) && (op = Expr.Ge || op = Expr.Gt)
+  | X_cmp (op, lhs, X_count_path _) ->
+    pos && (not (has_path lhs)) && (op = Expr.Le || op = Expr.Lt)
+  | X_cmp (_, a, b) | X_arith (_, a, b) | X_like (a, b) -> not (has_path a || has_path b)
+  | X_neg a | X_is_null a | X_is_not_null a -> not (has_path a)
+  | X_in_list (a, items) -> not (List.exists has_path (a :: items))
+  | X_fn (_, args) -> not (List.exists has_path args)
+  | X_col _ | X_lit _ -> true
+
+let monotone_restrictions restrs =
+  List.for_all
+    (fun r ->
+      match r with
+      | R_node { rn_pred; _ } -> monotone_pred ~pos:true rn_pred
+      | R_edge { re_pred; _ } -> monotone_pred ~pos:true re_pred)
+    restrs
+
+(* ---- LW90 forest flattening ---- *)
+
+let lw90_collect (objs : Baseline.Lw90.obj list) =
+  let nodes : (string, Row.t list ref) Hashtbl.t = Hashtbl.create 8 in
+  let edges : (string, Row.t list ref) Hashtbl.t = Hashtbl.create 8 in
+  let push tbl key row =
+    match Hashtbl.find_opt tbl key with
+    | Some r -> r := row :: !r
+    | None -> Hashtbl.add tbl key (ref [ row ])
+  in
+  let rec walk (o : Baseline.Lw90.obj) =
+    push nodes o.Baseline.Lw90.o_node o.Baseline.Lw90.o_row;
+    List.iter
+      (fun (ename, children) ->
+        List.iter
+          (fun (ch : Baseline.Lw90.obj) ->
+            push edges ename (Row.concat o.Baseline.Lw90.o_row ch.Baseline.Lw90.o_row);
+            walk ch)
+          children)
+      o.Baseline.Lw90.o_children
+  in
+  List.iter walk objs;
+  let get tbl key =
+    match Hashtbl.find_opt tbl key with
+    | Some r -> dedupe (List.sort Row.compare !r)
+    | None -> []
+  in
+  (get nodes, get edges)
+
+(* ---- the oracle run ---- *)
+
+let m_cases = Obs.Metrics.counter "fuzz.cases"
+let m_divergences = Obs.Metrics.counter "fuzz.divergences"
+
+let run ?mutation ?extra_restr (sc : Gen.scenario) : outcome =
+  Obs.Metrics.incr m_cases;
+  let divs = ref [] in
+  let add kind detail = divs := { d_kind = kind; d_detail = detail } :: !divs in
+  let guard kind f = try f () with e -> add kind ("exception: " ^ Printexc.to_string e) in
+  let finish flags =
+    let o_divs = List.rev !divs in
+    List.iter (fun _ -> Obs.Metrics.incr m_divergences) o_divs;
+    { o_divs; o_flags = flags }
+  in
+  let db = Db.create () in
+  let api = Api.create db in
+  let reg = Api.registry api in
+  (* setup: DDL, rows, indexes, views — XNF view definitions are linted
+     before they are registered *)
+  List.iter
+    (fun stmt ->
+      guard "setup" (fun () ->
+          (match Xnf_parser.parse_stmt stmt with
+          | X_create_view _ ->
+            let ds = Check.Lint.lint_string db reg stmt in
+            if Diag.has_errors ds then
+              add "lint"
+                (Printf.sprintf "view definition: %s"
+                   (Diag.to_string (List.find Diag.is_error ds)))
+          | _ -> ());
+          ignore (Api.exec api stmt)))
+    sc.sc_setup;
+  if !divs <> [] then finish no_flags
+  else begin
+    match Xnf_parser.parse_query sc.sc_query with
+    | exception e ->
+      add "parse" ("exception: " ^ Printexc.to_string e);
+      finish no_flags
+    | q -> begin
+      guard "lint" (fun () ->
+          let ds = Check.Lint.lint_string db reg sc.sc_query in
+          if Diag.has_errors ds then add "lint" (Diag.to_string (List.find Diag.is_error ds)));
+      match View_registry.compose reg q with
+      | exception e ->
+        add "compose" ("exception: " ^ Printexc.to_string e);
+        finish no_flags
+      | def, path_restrs, _take -> begin
+        let flags =
+          { no_flags with
+            f_recursive = Co_schema.is_recursive def;
+            f_sharing = Co_schema.has_schema_sharing def;
+            f_views = List.exists (function B_view _ -> true | _ -> false) q.q_out_of;
+            f_using = List.exists (fun e -> e.Co_schema.ed_using <> None) def.Co_schema.co_edges;
+            f_paths = path_restrs <> [] }
+        in
+        match Api.fetch api q with
+        | exception e ->
+          add "fetch" ("exception: " ^ Printexc.to_string e);
+          finish flags
+        | sut -> begin
+          (* the injected defect goes into the delivered instance only:
+             there the fixpoint, take-commute and refetch oracles always
+             recompute an unmutated comparison point *)
+          let flags =
+            { flags with
+              f_mutated =
+                (match mutation with Some m -> apply_mutation m sut | None -> false) }
+          in
+          (* structural invariant on the delivered instance *)
+          (match check_conn_liveness sut with
+          | Some d -> add "reachability" d
+          | None -> ());
+          (* oracle 1: naive reachability fixpoint, full pipeline *)
+          guard "fixpoint" (fun () ->
+              let nf = Api.fetch ~fixpoint:Translate.Naive api q in
+              match compare_caches sut nf with
+              | Some d -> add "fixpoint" d
+              | None -> ());
+          (* the pre-TAKE, pre-path-restriction instance the per-node
+             derivation oracles are defined on *)
+          let pre = ref None in
+          guard "pre" (fun () ->
+              pre := Some (Translate.fetch_def ~fixpoint:Translate.Semi_naive db def []));
+          let flags =
+            match !pre with
+            | None -> flags
+            | Some pre -> begin
+              (match check_conn_liveness pre with
+              | Some d -> add "reachability" d
+              | None -> ());
+              (match check_reachability pre with
+              | Some d -> add "reachability" d
+              | None -> ());
+              (* oracle 2: unshared per-node derivations (DAG only);
+                 callers classify up front via the shared predicate *)
+              let f_naive =
+                if Baseline.Naive_translate.supported def then begin
+                  guard "unshared" (fun () ->
+                      let nres = Baseline.Naive_translate.extract_unshared db def in
+                      (match
+                         first_some
+                           (fun (name, rows) ->
+                             rows_diff ~what:("extent " ^ name)
+                               (dedupe (node_extent pre name))
+                               (List.sort Row.compare rows))
+                           nres.Baseline.Naive_translate.node_rows
+                       with
+                      | Some d -> add "unshared" d
+                      | None -> ());
+                      match
+                        first_some
+                          (fun (name, rows) ->
+                            rows_diff ~what:("connections " ^ name)
+                              (dedupe (conn_extent ~attrs:false pre name))
+                              (List.sort Row.compare rows))
+                          nres.Baseline.Naive_translate.edge_rows
+                      with
+                      | Some d -> add "unshared" d
+                      | None -> ());
+                  true
+                end
+                else begin
+                  (* the classifier and the implementation must agree *)
+                  guard "unshared-classifier" (fun () ->
+                      match Baseline.Naive_translate.extract_unshared db def with
+                      | _ ->
+                        add "unshared-classifier"
+                          "extract_unshared succeeded on a schema classified unsupported"
+                      | exception Baseline.Naive_translate.Unsupported _ -> ());
+                  false
+                end
+              in
+              (* oracle 3: LW90 object-at-a-time instantiation (DAG only) *)
+              let f_lw90 =
+                if Baseline.Lw90.supported def then begin
+                  guard "lw90" (fun () ->
+                      let nav = Baseline.Sql_navigator.create db in
+                      let objs = Baseline.Lw90.instantiate nav def in
+                      let node_rows, edge_rows = lw90_collect objs in
+                      (match
+                         first_some
+                           (fun (nd : Co_schema.node_def) ->
+                             let name = nd.Co_schema.nd_name in
+                             rows_diff ~what:("extent " ^ name)
+                               (dedupe (node_extent pre name))
+                               (node_rows name))
+                           def.Co_schema.co_nodes
+                       with
+                      | Some d -> add "lw90" d
+                      | None -> ());
+                      match
+                        first_some
+                          (fun (ed : Co_schema.edge_def) ->
+                            let name = ed.Co_schema.ed_name in
+                            rows_diff ~what:("connections " ^ name)
+                              (dedupe (conn_extent ~attrs:false pre name))
+                              (edge_rows name))
+                          def.Co_schema.co_edges
+                      with
+                      | Some d -> add "lw90" d
+                      | None -> ());
+                  true
+                end
+                else false
+              in
+              { flags with f_naive; f_lw90 }
+            end
+          in
+          (* metamorphic: a strengthened query yields a sub-instance *)
+          let flags =
+            match extra_restr with
+            | Some r when monotone_restrictions path_restrs ->
+              guard "monotonic" (fun () ->
+                  let plus = Api.fetch api { q with q_where = q.q_where @ [ r ] } in
+                  match subset_caches plus sut with
+                  | Some d -> add "monotonic" d
+                  | None -> ());
+              { flags with f_mono = true }
+            | _ -> flags
+          in
+          (* metamorphic: TAKE of a full fetch equals the projecting fetch
+             (evaluate-then-project; with TAKE * this is a determinism
+             check) *)
+          guard "take-commute" (fun () ->
+              let star = Api.fetch api { q with q_take = Take_star } in
+              let alt = Translate.finalize db (Translate.apply_take star q.q_take) in
+              match compare_caches sut alt with
+              | Some d -> add "take-commute" d
+              | None -> ());
+          (* metamorphic: a result-cache hit equals the cold fetch *)
+          guard "refetch" (fun () ->
+              Api.set_result_cache api 4;
+              let h0 = Obs.Metrics.counter_get "xnf.fetchcache.hits" in
+              ignore (Api.fetch_string api sc.sc_query);
+              let hot = Api.fetch_string api sc.sc_query in
+              let h1 = Obs.Metrics.counter_get "xnf.fetchcache.hits" in
+              if h1 - h0 < 1 then add "refetch" "second fetch missed the result cache";
+              (match compare_caches hot sut with
+              | Some d -> add "refetch" d
+              | None -> ());
+              Api.set_result_cache api 0);
+          finish flags
+        end
+      end
+    end
+  end

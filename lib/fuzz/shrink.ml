@@ -1,0 +1,258 @@
+(* Greedy structural shrinking of failing cases.
+
+   Candidates are tried in a fixed order — inline views, drop the TAKE
+   projection, drop restrictions, drop edges, drop nodes, shrink rows,
+   drop indexes — and the first candidate on which the caller's predicate
+   still holds (same divergence kind reproduces) becomes the new current
+   case. Candidates need not preserve semantics: one that breaks the case
+   outright produces a different divergence kind and is rejected by the
+   predicate. Every accepted step strictly shrinks the case, so the loop
+   terminates even without the attempt budget. *)
+
+open Xnf
+open Xnf_ast
+
+(* ---- name collection: which nodes/edges a restriction touches ---- *)
+
+let path_names (p : path) acc =
+  List.fold_left
+    (fun acc s ->
+      match s with
+      | Step_edge e -> e :: acc
+      | Step_node { sn_node; _ } -> sn_node :: acc)
+    (p.p_start :: acc) p.p_steps
+
+let rec pred_names (e : xexpr) acc =
+  match e with
+  | X_cmp (_, a, b) | X_arith (_, a, b) | X_and (a, b) | X_or (a, b) | X_like (a, b) ->
+    pred_names a (pred_names b acc)
+  | X_not a | X_neg a | X_is_null a | X_is_not_null a -> pred_names a acc
+  | X_in_list (a, l) -> List.fold_left (fun acc x -> pred_names x acc) (pred_names a acc) l
+  | X_fn (_, l) -> List.fold_left (fun acc x -> pred_names x acc) acc l
+  | X_count_path p | X_exists_path p -> path_names p acc
+  | X_col _ | X_lit _ -> acc
+
+let restr_names = function
+  | R_node { rn_node; rn_pred; _ } -> rn_node :: pred_names rn_pred []
+  | R_edge { re_edge; re_pred; _ } -> re_edge :: pred_names re_pred []
+
+let mentions_any names r = List.exists (fun n -> List.mem n (restr_names r)) names
+
+let prune_take names take =
+  match take with
+  | Take_star -> Take_star
+  | Take_items items -> begin
+    match
+      List.filter
+        (function
+          | Take_node (n, _) -> not (List.mem n names)
+          | Take_edge e -> not (List.mem e names))
+        items
+    with
+    | [] -> Take_star
+    | kept -> Take_items kept
+  end
+
+let map_queries f (case : Gen.case) =
+  { case with
+    Gen.cs_views = List.map (fun (n, q) -> (n, f q)) case.Gen.cs_views;
+    Gen.cs_query = f case.Gen.cs_query }
+
+let queries_nonempty (case : Gen.case) =
+  case.Gen.cs_query.q_out_of <> []
+  && List.for_all (fun (_, q) -> q.q_out_of <> []) case.Gen.cs_views
+
+(* ---- candidate transformations ---- *)
+
+(* inline the last view into the main query (views form a chain, so
+   repeating this unwinds all of them); only Take_star views inline *)
+let inline_last_view (case : Gen.case) : Gen.case option =
+  match List.rev case.Gen.cs_views with
+  | [] -> None
+  | (vname, vq) :: rest_rev ->
+    if vq.q_take <> Take_star then None
+    else if not (List.exists (function B_view v -> String.equal v vname | _ -> false)
+                   case.Gen.cs_query.q_out_of)
+    then None
+    else begin
+      let q = case.Gen.cs_query in
+      let out_of =
+        List.concat_map
+          (function B_view v when String.equal v vname -> vq.q_out_of | b -> [ b ])
+          q.q_out_of
+      in
+      Some
+        { case with
+          Gen.cs_views = List.rev rest_rev;
+          Gen.cs_query = { q with q_out_of = out_of; q_where = vq.q_where @ q.q_where } }
+    end
+
+let take_to_star (case : Gen.case) : Gen.case option =
+  if case.Gen.cs_query.q_take = Take_star then None
+  else Some { case with Gen.cs_query = { case.Gen.cs_query with q_take = Take_star } }
+
+(* one candidate per restriction, across views and the main query *)
+let drop_restrictions (case : Gen.case) : Gen.case list =
+  let drop_nth q i = { q with q_where = List.filteri (fun j _ -> j <> i) q.q_where } in
+  let in_main =
+    List.mapi
+      (fun i _ -> { case with Gen.cs_query = drop_nth case.Gen.cs_query i })
+      case.Gen.cs_query.q_where
+  in
+  let in_views =
+    List.concat_map
+      (fun (vn, vq) ->
+        List.mapi
+          (fun i _ ->
+            { case with
+              Gen.cs_views =
+                List.map
+                  (fun (n, q) -> if String.equal n vn then (n, drop_nth q i) else (n, q))
+                  case.Gen.cs_views })
+          vq.q_where)
+      case.Gen.cs_views
+  in
+  in_main @ in_views
+
+let all_bindings (case : Gen.case) =
+  List.concat_map (fun (_, q) -> q.q_out_of) case.Gen.cs_views @ case.Gen.cs_query.q_out_of
+
+(* drop one edge binding plus everything referencing it; a USING edge
+   takes its link table (and that table's indexes) with it *)
+let drop_edge (case : Gen.case) (en : string) : Gen.case option =
+  let using_tables =
+    List.filter_map
+      (function
+        | B_edge b when String.equal b.be_name en ->
+          Option.map fst b.be_using
+        | _ -> None)
+      (all_bindings case)
+  in
+  let case =
+    map_queries
+      (fun q ->
+        { q_out_of =
+            List.filter (function B_edge b -> not (String.equal b.be_name en) | _ -> true) q.q_out_of;
+          q_where = List.filter (fun r -> not (mentions_any [ en ] r)) q.q_where;
+          q_take = prune_take [ en ] q.q_take })
+      case
+  in
+  let case =
+    { case with
+      Gen.cs_tables =
+        List.filter (fun t -> not (List.mem t.Gen.tb_name using_tables)) case.Gen.cs_tables;
+      Gen.cs_indexes =
+        List.filter (fun (t, _) -> not (List.mem t using_tables)) case.Gen.cs_indexes }
+  in
+  if queries_nonempty case then Some case else None
+
+(* drop one node binding plus its edges, restrictions, TAKE items and
+   base table *)
+let drop_node (case : Gen.case) (nn : string) : Gen.case option =
+  let dead_edges =
+    List.filter_map
+      (function
+        | B_edge b when String.equal b.be_parent nn || String.equal b.be_child nn ->
+          Some b.be_name
+        | _ -> None)
+      (all_bindings case)
+  in
+  let dead_links =
+    List.filter_map
+      (function
+        | B_edge b when List.mem b.be_name dead_edges -> Option.map fst b.be_using
+        | _ -> None)
+      (all_bindings case)
+  in
+  let names = nn :: dead_edges in
+  let tbl = "t" ^ String.sub nn 1 (String.length nn - 1) in
+  let dead_tables = tbl :: dead_links in
+  let case =
+    map_queries
+      (fun q ->
+        { q_out_of =
+            List.filter
+              (function
+                | B_node b -> not (String.equal b.bn_name nn)
+                | B_edge b -> not (List.mem b.be_name dead_edges)
+                | B_view _ -> true)
+              q.q_out_of;
+          q_where = List.filter (fun r -> not (mentions_any names r)) q.q_where;
+          q_take = prune_take names q.q_take })
+      case
+  in
+  let case =
+    { case with
+      Gen.cs_tables =
+        List.filter (fun t -> not (List.mem t.Gen.tb_name dead_tables)) case.Gen.cs_tables;
+      Gen.cs_indexes =
+        List.filter (fun (t, _) -> not (List.mem t dead_tables)) case.Gen.cs_indexes }
+  in
+  if queries_nonempty case then Some case else None
+
+(* halve a table's population, or drop single rows once it is small *)
+let shrink_rows (case : Gen.case) : Gen.case list =
+  let with_rows tb rows =
+    { case with
+      Gen.cs_tables =
+        List.map
+          (fun t -> if String.equal t.Gen.tb_name tb then { t with Gen.tb_rows = rows } else t)
+          case.Gen.cs_tables }
+  in
+  List.concat_map
+    (fun t ->
+      let rows = t.Gen.tb_rows in
+      let len = List.length rows in
+      if len = 0 then []
+      else if len > 4 then [ with_rows t.Gen.tb_name (List.filteri (fun i _ -> i < len / 2) rows) ]
+      else
+        List.init len (fun i -> with_rows t.Gen.tb_name (List.filteri (fun j _ -> j <> i) rows)))
+    case.Gen.cs_tables
+
+let drop_indexes (case : Gen.case) : Gen.case list =
+  match case.Gen.cs_indexes with
+  | [] -> []
+  | [ _ ] -> [ { case with Gen.cs_indexes = [] } ]
+  | ixs ->
+    { case with Gen.cs_indexes = [] }
+    :: List.mapi (fun i _ -> { case with Gen.cs_indexes = List.filteri (fun j _ -> j <> i) ixs }) ixs
+
+let candidates (case : Gen.case) : Gen.case list =
+  let opt f = Option.to_list (f case) in
+  let edge_names =
+    List.filter_map (function B_edge b -> Some b.be_name | _ -> None) (all_bindings case)
+  in
+  let node_names =
+    List.filter_map (function B_node b -> Some b.bn_name | _ -> None) (all_bindings case)
+  in
+  opt inline_last_view
+  @ opt take_to_star
+  @ drop_restrictions case
+  @ List.filter_map (drop_edge case) edge_names
+  @ List.filter_map (drop_node case) node_names
+  @ shrink_rows case
+  @ drop_indexes case
+
+let case_size (case : Gen.case) =
+  List.length (all_bindings case)
+  + List.fold_left (fun n t -> n + List.length t.Gen.tb_rows) 0 case.Gen.cs_tables
+  + List.length case.Gen.cs_indexes
+
+let minimize ~budget ~pred (case : Gen.case) : Gen.case * int =
+  let attempts = ref 0 in
+  let try_pred c =
+    if !attempts >= budget then false
+    else begin
+      incr attempts;
+      pred c
+    end
+  in
+  let rec loop case =
+    match List.find_opt try_pred (candidates case) with
+    | Some smaller -> loop smaller
+    | None -> case
+  in
+  (* bind before pairing: tuple components evaluate right-to-left, which
+     would read [!attempts] before the loop runs *)
+  let shrunk = loop case in
+  (shrunk, !attempts)

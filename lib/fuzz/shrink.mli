@@ -1,0 +1,14 @@
+(** Greedy structural shrinking of failing cases: inline views, drop the
+    TAKE projection, drop restrictions/edges/nodes (cascading dependents),
+    shrink base-table rows, drop indexes — keeping any transformation on
+    which [pred] still holds. *)
+
+(** [minimize ~budget ~pred case] greedily shrinks [case] while [pred]
+    (typically "the same divergence kind reproduces") accepts the
+    candidate, spending at most [budget] predicate evaluations. Returns
+    the smallest accepted case and the number of attempts spent. *)
+val minimize : budget:int -> pred:(Gen.case -> bool) -> Gen.case -> Gen.case * int
+
+(** [case_size case] is a rough size measure (bindings + rows + indexes)
+    used for reporting shrink progress. *)
+val case_size : Gen.case -> int

@@ -76,6 +76,29 @@ let test_lw90_rejects_recursion () =
   let def, _, _ = compose api q in
   Alcotest.(check bool) "recursive CO unsupported" false (Baseline.Lw90.supported def)
 
+(* the shared classifier agrees with what extract_unshared accepts: the
+   supported branch runs, the unsupported branch raises Unsupported *)
+let test_unshared_classifier_supported () =
+  let db, api = mk () in
+  let q = Xnf.Xnf_parser.parse_query "OUT OF ALL-DEPS TAKE *" in
+  let def, _, _ = compose api q in
+  Alcotest.(check bool) "DAG classified supported" true
+    (Baseline.Naive_translate.supported def);
+  let naive = Baseline.Naive_translate.extract_unshared db def in
+  Alcotest.(check bool) "supported schema evaluates" true
+    (naive.Baseline.Naive_translate.queries_issued > 0)
+
+let test_unshared_classifier_unsupported () =
+  let db, api = mk () in
+  let q = Xnf.Xnf_parser.parse_query "OUT OF EXT-ALL-DEPS-ORG TAKE *" in
+  let def, _, _ = compose api q in
+  Alcotest.(check bool) "recursive CO classified unsupported" false
+    (Baseline.Naive_translate.supported def);
+  Alcotest.check_raises "extract_unshared raises on recursive schemas"
+    (Baseline.Naive_translate.Unsupported
+       "unshared inlining diverges on recursive composite objects")
+    (fun () -> ignore (Baseline.Naive_translate.extract_unshared db def))
+
 let test_modeled_ipc () =
   let db, _ = mk () in
   let nav = Baseline.Sql_navigator.create db in
@@ -91,4 +114,8 @@ let suite =
     Alcotest.test_case "navigational extraction counts" `Quick test_navigational_extraction_counts;
     Alcotest.test_case "LW90 instantiation" `Quick test_lw90_instantiation;
     Alcotest.test_case "LW90 rejects recursion" `Quick test_lw90_rejects_recursion;
+    Alcotest.test_case "unshared classifier: supported branch" `Quick
+      test_unshared_classifier_supported;
+    Alcotest.test_case "unshared classifier: unsupported branch" `Quick
+      test_unshared_classifier_unsupported;
     Alcotest.test_case "modeled IPC accounting" `Quick test_modeled_ipc ]

@@ -105,6 +105,82 @@ let test_xnf () =
         Alcotest.failf "documented XNF failed: %s (%s)" s (Printexc.to_string e))
     xnf_statements
 
+(* ---- path expressions inside COUNT/EXISTS (paper §3, Fig. 6) ----
+
+   Reduced (ending on a relationship) and qualified (node checkpoint with
+   a predicate) path forms, cross-checked three ways with the fuzz oracle
+   comparators: equivalent formulations must produce identical instances,
+   both reachability fixpoints must agree, and the delivered instance
+   must satisfy the structural invariants. *)
+
+let test_path_expr_oracle () =
+  let api = mk () in
+  let equivalent_pairs =
+    [ (* COUNT >= 1 is EXISTS *)
+      ( "OUT OF ALL-DEPS WHERE Xdept d SUCH THAT COUNT(d->employment) >= 1 TAKE *",
+        "OUT OF ALL-DEPS WHERE Xdept d SUCH THAT EXISTS d->employment TAKE *" );
+      (* a reduced path is its node-checkpointed form *)
+      ( "OUT OF ALL-DEPS WHERE Xdept d SUCH THAT COUNT(d->employment) >= 2 TAKE *",
+        "OUT OF ALL-DEPS WHERE Xdept d SUCH THAT COUNT(d->employment->Xemp) >= 2 TAKE *" );
+      (* a qualified step with a tautological predicate reduces away *)
+      ( "OUT OF ALL-DEPS WHERE Xdept d SUCH THAT \
+         EXISTS d->employment->(Xemp e WHERE e.eno = e.eno) TAKE *",
+        "OUT OF ALL-DEPS WHERE Xdept d SUCH THAT EXISTS d->employment TAKE *" );
+      (* qualified COUNT keeps only children passing the predicate *)
+      ( "OUT OF ALL-DEPS WHERE Xdept d SUCH THAT \
+         COUNT(d->employment->(Xemp e WHERE e.sal >= 0)) >= 1 TAKE *",
+        "OUT OF ALL-DEPS WHERE Xdept d SUCH THAT \
+         EXISTS d->employment->(Xemp e WHERE e.sal >= 0) TAKE *" ) ]
+  in
+  List.iter
+    (fun (qa, qb) ->
+      let a = Xnf.Api.fetch_string api qa in
+      let b = Xnf.Api.fetch_string api qb in
+      (match Fuzz.Oracle.compare_caches a b with
+      | Some d -> Alcotest.failf "equivalent path queries diverge:\n  %s\n  %s\n  %s" qa qb d
+      | None -> ());
+      (match Fuzz.Oracle.check_conn_liveness a with
+      | Some d -> Alcotest.failf "conn liveness violated by %s: %s" qa d
+      | None -> ());
+      match Fuzz.Oracle.check_reachability a with
+      | Some d -> Alcotest.failf "reachability violated by %s: %s" qa d
+      | None -> ())
+    equivalent_pairs;
+  (* both fixpoint strategies agree on a qualified two-step path *)
+  let q =
+    "OUT OF ALL-DEPS WHERE Xdept d SUCH THAT \
+     EXISTS d->employment->(Xemp e WHERE e.sal > 0) TAKE *"
+  in
+  let semi = Xnf.Api.fetch_string ~fixpoint:Xnf.Translate.Semi_naive api q in
+  let naive = Xnf.Api.fetch_string ~fixpoint:Xnf.Translate.Naive api q in
+  match Fuzz.Oracle.compare_caches semi naive with
+  | Some d -> Alcotest.failf "fixpoints diverge on %s: %s" q d
+  | None -> ()
+
+(* the COUNT threshold matches independent adjacency counting on the
+   unrestricted instance *)
+let test_count_path_threshold () =
+  let api = mk () in
+  let base = Xnf.Api.fetch_string api "OUT OF ALL-DEPS TAKE *" in
+  let ei = Xnf.Cache.edge base "employment" in
+  let expected =
+    Xnf.Cache.live_tuples (Xnf.Cache.node base "xdept")
+    |> List.filter (fun t -> List.length (Xnf.Cache.children base ei t.Xnf.Cache.t_pos) >= 2)
+    |> List.map (fun t -> t.Xnf.Cache.t_row)
+    |> List.sort Relational.Row.compare
+  in
+  let restricted =
+    Xnf.Api.fetch_string api
+      "OUT OF ALL-DEPS WHERE Xdept d SUCH THAT COUNT(d->employment) >= 2 TAKE *"
+  in
+  let got = Fuzz.Oracle.node_extent restricted "xdept" in
+  Alcotest.(check int) "dept count" (List.length expected) (List.length got);
+  List.iter2
+    (fun a b -> Alcotest.(check bool) "dept row" true (Relational.Row.equal a b))
+    expected got
+
 let suite =
   [ Alcotest.test_case "documented SQL surface" `Quick test_sql;
-    Alcotest.test_case "documented XNF surface" `Quick test_xnf ]
+    Alcotest.test_case "documented XNF surface" `Quick test_xnf;
+    Alcotest.test_case "path expressions in COUNT/EXISTS vs oracle" `Quick test_path_expr_oracle;
+    Alcotest.test_case "COUNT(path) threshold vs adjacency" `Quick test_count_path_threshold ]

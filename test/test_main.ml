@@ -2,8 +2,24 @@
    installed unconditionally, so every statement any suite executes is
    checked at the post-bind / post-rewrite / post-optimize boundaries. *)
 
+(* Property suites derive their qcheck random states from one session
+   seed. It is printed before the run so a CI failure reproduces locally
+   with QCHECK_SEED=<printed value>. *)
+let qcheck_seed =
+  match Sys.getenv_opt "QCHECK_SEED" with
+  | Some s -> begin
+    match int_of_string_opt (String.trim s) with
+    | Some n -> n
+    | None -> invalid_arg "QCHECK_SEED must be an integer"
+  end
+  | None ->
+    Random.self_init ();
+    Random.int 1_000_000_000
+
 let () =
   Check.Pipeline.install ();
+  Printf.printf "qcheck seed: %d (rerun with QCHECK_SEED=%d to reproduce)\n%!" qcheck_seed
+    qcheck_seed;
   Alcotest.run "sqlxnf"
     [ ("value", Test_value.suite);
       ("expr", Test_expr.suite);
@@ -26,6 +42,7 @@ let () =
       ("csv", Test_csv.suite);
       ("errors", Test_errors.suite);
       ("observability", Test_obs.suite);
-      ("properties", Test_props.suite);
-      ("properties-2", Test_props2.suite);
+      ("properties", Test_props.suite qcheck_seed);
+      ("properties-2", Test_props2.suite qcheck_seed);
+      ("fuzz", Test_fuzz.suite);
       ("check", Test_check.suite) ]

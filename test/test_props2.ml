@@ -273,8 +273,11 @@ let prop_count_path_equals_sql =
              in
              count = sql))
 
-let suite =
-  List.map QCheck_alcotest.to_alcotest
+let suite seed =
+  (* offset the per-test indexes so the two property suites draw distinct
+     random states from the same session seed *)
+  List.mapi
+    (fun i t -> QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| seed; 100 + i |]) t)
     [ prop_indexed_equals_generic; prop_rewrite_equivalence; prop_order_by_sorts;
       prop_udi_roundtrip; prop_udi_delete_roundtrip; prop_conns_well_formed; prop_xnf_roundtrip;
       prop_recursive_closure; prop_dependent_cursor_matches_adjacency; prop_count_path_equals_sql ]
