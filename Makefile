@@ -1,13 +1,14 @@
 # Convenience targets for the SQL/XNF reproduction.
 #
-#   make build   - compile everything (libraries, shell, bench, tests)
-#   make test    - run the test suites (tier-1 gate)
-#   make check   - build + test (validators on) + lint corpus + bench smoke (what CI runs)
-#   make fuzz    - differential fuzzing: seeded run + corpus replay + mutation smoke
-#   make bench   - run the full benchmark suite
-#   make clean   - remove build artifacts
+#   make build      - compile everything (libraries, shell, bench, tests)
+#   make test       - run the test suites (tier-1 gate)
+#   make check      - run ci.sh: build, tests (twice), lint, fuzz, bench gate
+#   make ci-nightly - ci.sh with a 5000-iteration fuzz budget + the full bench suite
+#   make fuzz       - differential fuzzing: seeded run + corpus replay + mutation smoke
+#   make bench      - run the full benchmark suite
+#   make clean      - remove build artifacts
 
-.PHONY: build test check fuzz bench clean
+.PHONY: build test check ci-nightly fuzz bench clean
 
 build:
 	dune build @all
@@ -15,10 +16,13 @@ build:
 test:
 	dune runtest
 
-check: build test
-	XNF_CHECK=1 dune runtest --force
-	dune exec bin/xnf_shell.exe -- --demo --lint examples/corpus.xnf
-	dune exec bench/main.exe -- --list
+# the CI entry point is the single source of truth; `make check` == CI
+check:
+	./ci.sh
+
+ci-nightly:
+	FUZZ_ITERS=5000 ./ci.sh
+	dune exec bench/main.exe
 
 fuzz: build
 	dune exec bin/xnf_fuzz.exe -- --seed 42 --iters $${FUZZ_ITERS:-500} --quiet

@@ -687,6 +687,57 @@ let e10 () =
   pr "   (the root scan is the only O(database) term; probes touch only the@.";
   pr "    working set — extraction stays near-flat as the database grows 16x)@."
 
+(* =====================================================================
+   E11 — repeated fetches through the prepared-plan cache
+   ===================================================================== *)
+
+(* Fixed wall-clock repetitions (no Bechamel: the bench.e11.* counters
+   asserted by the CI baseline gate must be deterministic). Gauges land
+   in the metrics registry so `--json` snapshots feed bin/bench_compare. *)
+let e11 () =
+  header "E11" "repeated fetches: cold compile-per-fetch vs plan cache vs PREPARE/EXECUTE"
+    "\"the XNF query ... is parsed, semantically checked and translated\" once per \
+     preparation, not once per fetch (4.3): repeated working-set extraction \
+     should pay compilation once";
+  let _, api = company_db ~scale:Workload.Company.small () in
+  let q = "OUT OF ALL-DEPS WHERE Xdept SUCH THAT dno = 1 TAKE *" in
+  let reps = 400 in
+  (* time the work, not the tracer: spans off during the measured loops *)
+  Obs.Trace.set_enabled false;
+  (* cold: plan cache off — every fetch parses, composes, analyzes and
+     access-path selects again *)
+  Xnf.Api.set_plan_cache api 0;
+  ignore (Xnf.Api.fetch_string api q);
+  let cold_ms = time_avg_ms ~reps (fun () -> Xnf.Api.fetch_string api q) in
+  (* warm: plan cache on — the text-keyed hit skips straight to execution *)
+  Xnf.Api.set_plan_cache api 8;
+  let h0 = Obs.Metrics.counter_get "xnf.plancache.hits" in
+  let c0 = Obs.Metrics.counter_get "xnf.plan.compiles" in
+  ignore (Xnf.Api.fetch_string api q);
+  let warm_ms = time_avg_ms ~reps (fun () -> Xnf.Api.fetch_string api q) in
+  let warm_hits = Obs.Metrics.counter_get "xnf.plancache.hits" - h0 in
+  let warm_compiles = Obs.Metrics.counter_get "xnf.plan.compiles" - c0 in
+  (* prepared: one compiled plan, EXECUTE rebinding the parameter *)
+  ignore
+    (Xnf.Api.exec api "PREPARE e11 AS OUT OF ALL-DEPS WHERE Xdept SUCH THAT dno = ? TAKE *");
+  let prepared_ms =
+    time_avg_ms ~reps (fun () -> Xnf.Api.execute_prepared api "e11" [ Value.Int 1 ])
+  in
+  Obs.Trace.set_enabled true;
+  let speedup = cold_ms /. warm_ms in
+  table
+    ~cols:[ "fetch path"; "ms/fetch"; "speedup" ]
+    [ [ "cold (compile per fetch)"; f2 cold_ms; "1x" ];
+      [ "warm (plan cache)"; f2 warm_ms; fx speedup ];
+      [ "prepared (EXECUTE ?)"; f2 prepared_ms; fx (cold_ms /. prepared_ms) ] ];
+  pr "   warm loop: %d plan-cache hits, %d compilation(s)@." warm_hits warm_compiles;
+  Obs.Metrics.set (Obs.Metrics.gauge "bench.e11.cold_ms") cold_ms;
+  Obs.Metrics.set (Obs.Metrics.gauge "bench.e11.warm_ms") warm_ms;
+  Obs.Metrics.set (Obs.Metrics.gauge "bench.e11.prepared_ms") prepared_ms;
+  Obs.Metrics.set (Obs.Metrics.gauge "bench.e11.warm_speedup") speedup;
+  Obs.Metrics.incr ~by:warm_hits (Obs.Metrics.counter "bench.e11.warm_plan_hits");
+  Obs.Metrics.incr ~by:warm_compiles (Obs.Metrics.counter "bench.e11.warm_plan_compiles")
+
 (* per-experiment observability line: per-stage pipeline time from the
    span.* histograms and the cache hit rate from the counters, both
    sourced from lib/obs *)
@@ -716,7 +767,8 @@ let experiments =
     ("E7", "query rewrite on XNF queries", e7);
     ("E8", "blocked heterogeneous streams", e8);
     ("E9", "deferred update propagation", e9);
-    ("E10", "extraction scaling with database size", e10) ]
+    ("E10", "extraction scaling with database size", e10);
+    ("E11", "repeated fetches through the plan cache", e11) ]
 
 let () =
   ignore (Check.Pipeline.install_from_env ());

@@ -16,6 +16,7 @@
      \lint <query>    statically check an XNF/SQL statement, report diagnostics
      \check on|off    toggle the pipeline invariant validators
      \metrics         dump nonzero metrics (\metrics json / \metrics prom)
+     \plans           list cached fetch plans and prepared statements
      \trace           print the span tree of the last traced statement
      \walk <edge>     cursor-walk the current cache across <edge>
      \export <t> <f>  write table t to CSV file f
@@ -50,6 +51,7 @@ let print_outcome current = function
   | Xnf.Api.Co_updated n -> Fmt.pr "composite object updated: %d component tuples changed@." n
   | Xnf.Api.View_defined name -> Fmt.pr "XNF view %s defined@." name
   | Xnf.Api.View_dropped name -> Fmt.pr "view %s dropped@." name
+  | Xnf.Api.Prepared name -> Fmt.pr "prepared statement %s ready@." name
   | Xnf.Api.Sql r -> print_result r
 
 let load_demo api =
@@ -146,6 +148,18 @@ let handle_meta api current line =
         Fmt.pr "walked %d %s tuples, %d %s tuples via %s@." !steps
           ei.Xnf.Cache.ei_parent !hits ei.Xnf.Cache.ei_child ei.Xnf.Cache.ei_name
     end
+  end
+  else if line = "\\plans" then begin
+    (match Xnf.Api.plans api with
+    | [] -> Fmt.pr "plan cache empty@."
+    | ps ->
+      Fmt.pr "plan cache (most recently used first):@.";
+      List.iter (fun (_, p) -> Fmt.pr "  %s@." (Xnf.Fetch_plan.describe p)) ps);
+    match Xnf.Api.prepared_plans api with
+    | [] -> ()
+    | ps ->
+      Fmt.pr "prepared statements:@.";
+      List.iter (fun (n, p) -> Fmt.pr "  %-16s %s@." n (Xnf.Fetch_plan.describe p)) ps
   end
   else if line = "\\stats" then begin
     let s = Xnf.Translate.stats in
@@ -249,8 +263,11 @@ let main demo lint file =
   let db = Db.create () in
   let api = Xnf.Api.create db in
   (* keep a few recent fetch results so repeated OUT OF queries hit the
-     cache (observable via \metrics as the xnf.fetchcache counters) *)
+     cache (observable via \metrics as the xnf.fetchcache counters), and
+     cache compiled fetch plans across result-cache misses (\plans,
+     xnf.plancache counters) *)
   Xnf.Api.set_result_cache api 8;
+  Xnf.Api.set_plan_cache api 32;
   ignore (Check.Pipeline.install_from_env ());
   if demo then load_demo api;
   match (lint, file) with

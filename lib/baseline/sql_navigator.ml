@@ -64,7 +64,7 @@ let rec subst_parent ~alias ~(schema : Schema.t) ~(row : Row.t) (e : Sql_ast.exp
     | Some i -> literal row.(i)
     | None -> e
   end
-  | Sql_ast.E_col _ | Sql_ast.E_lit _ | Sql_ast.E_count_star -> e
+  | Sql_ast.E_col _ | Sql_ast.E_lit _ | Sql_ast.E_count_star | Sql_ast.E_param _ -> e
   | Sql_ast.E_cmp (op, a, b) -> Sql_ast.E_cmp (op, s a, s b)
   | Sql_ast.E_arith (op, a, b) -> Sql_ast.E_arith (op, s a, s b)
   | Sql_ast.E_neg a -> Sql_ast.E_neg (s a)

@@ -200,7 +200,7 @@ let rec check_sql_expr ctx ~what scope (e : Sql_ast.expr) =
   let r = check_sql_expr ctx ~what scope in
   match e with
   | Sql_ast.E_col (q, n) -> ignore (resolve_scoped ctx ~what scope q n)
-  | Sql_ast.E_lit _ | Sql_ast.E_count_star -> ()
+  | Sql_ast.E_lit _ | Sql_ast.E_count_star | Sql_ast.E_param _ -> ()
   | Sql_ast.E_cmp (_, a, b) | Sql_ast.E_arith (_, a, b) | Sql_ast.E_and (a, b)
   | Sql_ast.E_or (a, b) | Sql_ast.E_like (a, b) ->
     r a;
@@ -301,7 +301,9 @@ let check_graph ctx (def : CS.t) =
           let rec quals acc (e : Sql_ast.expr) =
             match e with
             | Sql_ast.E_col (Some q, _) -> lc q :: acc
-            | Sql_ast.E_col (None, _) | Sql_ast.E_lit _ | Sql_ast.E_count_star -> acc
+            | Sql_ast.E_col (None, _) | Sql_ast.E_lit _ | Sql_ast.E_count_star
+            | Sql_ast.E_param _ ->
+              acc
             | Sql_ast.E_cmp (_, a, b) | Sql_ast.E_arith (_, a, b) | Sql_ast.E_and (a, b)
             | Sql_ast.E_or (a, b) | Sql_ast.E_like (a, b) ->
               quals (quals acc a) b
@@ -369,7 +371,7 @@ let rec check_xexpr ctx def (env : (string * string) list) (e : A.xexpr) =
         err ctx ~code:"XNF007" ~about:n "ambiguous column %s in SUCH THAT predicate (qualify it)" n
     end
   end
-  | A.X_lit _ -> ()
+  | A.X_lit _ | A.X_param _ -> ()
   | A.X_cmp (_, a, b) | A.X_arith (_, a, b) | A.X_and (a, b) | A.X_or (a, b) | A.X_like (a, b) ->
     r a;
     r b
@@ -634,6 +636,8 @@ let lint_stmt db reg ?src (stmt : A.stmt) : Diag.t list =
   | A.X_drop_view name ->
     if VR.find_opt reg name = None && Catalog.view_opt (Db.catalog db) name = None then
       err ctx ~code:"XNF003" ~about:name "unknown XNF view %s" name
+  | A.X_prepare (_, q) -> ignore (lint_query_ctx ctx q)
+  | A.X_execute _ -> ()  (* prepared-statement names live in the Api session *)
   | A.X_sql (Sql_ast.S_select q) -> begin
     match Db.bind_select db q with
     | (_ : Qgm.t) -> ()

@@ -15,6 +15,9 @@ type t = {
   mutable fetch_count : int;  (** composite objects loaded this session *)
   mutable rc_cap : int;  (** fetch-result cache capacity; 0 = disabled *)
   mutable rc : (string * Cache.t) list;  (** MRU-first result cache *)
+  mutable pc_cap : int;  (** fetch-plan cache capacity; 0 = disabled *)
+  mutable pc : (string * Fetch_plan.t) list;  (** MRU-first plan cache *)
+  prepared : (string, Fetch_plan.t) Hashtbl.t;  (** PREPARE'd plans by name *)
 }
 
 (** Result of executing one statement through [exec]. *)
@@ -24,6 +27,7 @@ type outcome =
   | Co_updated of int  (** OUT OF ... UPDATE: number of component tuples changed *)
   | View_defined of string
   | View_dropped of string
+  | Prepared of string  (** PREPARE name AS ...: plan compiled and stored *)
   | Sql of Db.exec_result  (** a plain SQL statement's result *)
 
 exception Api_error of string
@@ -34,9 +38,15 @@ let m_fetches = Obs.Metrics.counter "xnf.fetches"
 let m_rc_hits = Obs.Metrics.counter "xnf.fetchcache.hits"
 let m_rc_misses = Obs.Metrics.counter "xnf.fetchcache.misses"
 let m_rc_evictions = Obs.Metrics.counter "xnf.fetchcache.evictions"
+let m_pc_hits = Obs.Metrics.counter "xnf.plancache.hits"
+let m_pc_misses = Obs.Metrics.counter "xnf.plancache.misses"
+let m_pc_invalidations = Obs.Metrics.counter "xnf.plancache.invalidations"
+let m_pc_evictions = Obs.Metrics.counter "xnf.plancache.evictions"
 
 (** [create db] opens an XNF session over [db]. *)
-let create db = { db; reg = View_registry.create (); fetch_count = 0; rc_cap = 0; rc = [] }
+let create db =
+  { db; reg = View_registry.create (); fetch_count = 0; rc_cap = 0; rc = []; pc_cap = 0;
+    pc = []; prepared = Hashtbl.create 8 }
 
 (** [db api] is the underlying relational session. *)
 let db api = api.db
@@ -44,11 +54,77 @@ let db api = api.db
 (** [registry api] is the XNF view registry. *)
 let registry api = api.reg
 
-(** [fetch ?fixpoint api q] evaluates a parsed XNF query into a cache. *)
-let fetch ?fixpoint api q =
+(* ---- the plan cache ----
+
+   Keyed by query text, validated against the (registry, catalog, index)
+   version snapshot recorded at compile time. Invalidation is lazy: a
+   version mismatch on lookup drops the entry, counts as an
+   invalidation, and falls through to recompilation. *)
+
+(** [set_plan_cache api n] enables an LRU cache of the last [n] compiled
+    fetch plans; [0] (the default) disables it and recompiles per fetch.
+    Any resize clears the cache. *)
+let set_plan_cache api n =
+  api.pc_cap <- max 0 n;
+  api.pc <- []
+
+let pc_lookup api key : Fetch_plan.t option =
+  if api.pc_cap = 0 then None
+  else begin
+    match List.assoc_opt key api.pc with
+    | Some plan when Fetch_plan.valid api.db api.reg plan ->
+      Obs.Metrics.incr m_pc_hits;
+      Fetch_plan.note_hit plan;
+      api.pc <- (key, plan) :: List.remove_assoc key api.pc;
+      Some plan
+    | Some _ ->
+      (* schema/index/view versions moved since compilation *)
+      Obs.Metrics.incr m_pc_invalidations;
+      api.pc <- List.remove_assoc key api.pc;
+      None
+    | None -> None
+  end
+
+let pc_store api key plan : Fetch_plan.t =
+  if api.pc_cap > 0 then begin
+    let pc = (key, plan) :: List.remove_assoc key api.pc in
+    let pc =
+      if List.length pc > api.pc_cap then begin
+        Obs.Metrics.incr m_pc_evictions;
+        List.filteri (fun i _ -> i < api.pc_cap) pc
+      end
+      else pc
+    in
+    api.pc <- pc
+  end;
+  plan
+
+(* compile [q] through the plan cache (a miss compiles and stores) *)
+let plan_for ?key api q : Fetch_plan.t =
+  let key = match key with Some k -> k | None -> Xnf_ast.query_to_string q in
+  match pc_lookup api key with
+  | Some plan -> plan
+  | None ->
+    if api.pc_cap > 0 then Obs.Metrics.incr m_pc_misses;
+    pc_store api key (Fetch_plan.compile api.db api.reg q)
+
+(** [plans api] lists the cached plans, most recently used first. *)
+let plans api = api.pc
+
+(** [prepared_plans api] lists PREPARE'd plans, sorted by name. *)
+let prepared_plans api =
+  List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) api.prepared [])
+
+let count_fetch api =
   api.fetch_count <- api.fetch_count + 1;
-  Obs.Metrics.incr m_fetches;
-  Translate.fetch ?fixpoint api.db api.reg q
+  Obs.Metrics.incr m_fetches
+
+(** [fetch ?fixpoint api q] evaluates a parsed XNF query into a cache
+    (through the plan cache when enabled). *)
+let fetch ?fixpoint api q =
+  count_fetch api;
+  if api.pc_cap = 0 then Translate.fetch ?fixpoint api.db api.reg q
+  else Fetch_plan.execute ?fixpoint api.db (plan_for api q)
 
 (** [set_result_cache api n] enables an LRU cache of the last [n] fetch
     results, keyed by query text and validated against base-table
@@ -61,36 +137,98 @@ let set_result_cache api n =
 (* the result cache must not serve definitions that changed under it *)
 let invalidate_result_cache api = api.rc <- []
 
-(* fetch through the result cache: a hit is a cached, still-fresh cache
-   for the same (trimmed) query text; stale entries count as misses and
-   are re-fetched *)
-let fetch_cached_parsed ?fixpoint api key q =
-  if api.rc_cap = 0 then fetch ?fixpoint api q
+(* result-cache lookup: a hit is a cached, still-fresh cache for the same
+   (trimmed) query text; stale or absent entries count as misses *)
+let rc_lookup api key : Cache.t option =
+  if api.rc_cap = 0 then None
   else begin
     match List.assoc_opt key api.rc with
     | Some cache when not (Cache.stale cache api.db) ->
       Obs.Metrics.incr m_rc_hits;
       api.rc <- (key, cache) :: List.remove_assoc key api.rc;
-      cache
+      Some cache
     | _ ->
       Obs.Metrics.incr m_rc_misses;
-      let cache = fetch ?fixpoint api q in
-      let rc = (key, cache) :: List.remove_assoc key api.rc in
-      let rc =
-        if List.length rc > api.rc_cap then begin
-          Obs.Metrics.incr m_rc_evictions;
-          List.filteri (fun i _ -> i < api.rc_cap) rc
-        end
-        else rc
-      in
-      api.rc <- rc;
-      cache
+      None
   end
 
+let rc_store api key cache : Cache.t =
+  if api.rc_cap > 0 then begin
+    let rc = (key, cache) :: List.remove_assoc key api.rc in
+    let rc =
+      if List.length rc > api.rc_cap then begin
+        Obs.Metrics.incr m_rc_evictions;
+        List.filteri (fun i _ -> i < api.rc_cap) rc
+      end
+      else rc
+    in
+    api.rc <- rc
+  end;
+  cache
+
+let fetch_cached_parsed ?fixpoint api key q =
+  match rc_lookup api key with
+  | Some cache -> cache
+  | None -> rc_store api key (fetch ?fixpoint api q)
+
 (** [fetch_string api sql] parses and evaluates an [OUT OF ... TAKE]
-    query (through the result cache when enabled). *)
+    query, through the result cache and the plan cache when enabled. A
+    plan-cache hit on the trimmed text skips parsing entirely. *)
 let fetch_string ?fixpoint api sql =
-  fetch_cached_parsed ?fixpoint api (String.trim sql) (Xnf_parser.parse_query sql)
+  let key = String.trim sql in
+  match rc_lookup api key with
+  | Some cache -> cache
+  | None ->
+    let cache =
+      match pc_lookup api key with
+      | Some plan ->
+        count_fetch api;
+        Fetch_plan.execute ?fixpoint api.db plan
+      | None ->
+        let q = Xnf_parser.parse_query sql in
+        if api.pc_cap = 0 then fetch ?fixpoint api q
+        else begin
+          Obs.Metrics.incr m_pc_misses;
+          let plan = pc_store api key (Fetch_plan.compile api.db api.reg q) in
+          count_fetch api;
+          Fetch_plan.execute ?fixpoint api.db plan
+        end
+    in
+    rc_store api key cache
+
+(* ---- prepared statements (PREPARE / EXECUTE) ---- *)
+
+(** [prepare api ~name q] compiles [q] and stores the plan under [name]
+    (case-insensitive), replacing any previous plan of that name. *)
+let prepare api ~name q =
+  Hashtbl.replace api.prepared (String.lowercase_ascii name)
+    (Fetch_plan.compile api.db api.reg q)
+
+(** [execute_prepared ?fixpoint api name vals] runs a PREPARE'd plan with
+    [vals] bound to its [?] slots in lexical order. A plan invalidated by
+    DDL since PREPARE is transparently recompiled. Parameterized results
+    never enter the text-keyed result cache. *)
+let execute_prepared ?fixpoint api name (vals : Value.t list) =
+  let key = String.lowercase_ascii name in
+  match Hashtbl.find_opt api.prepared key with
+  | None -> err "unknown prepared statement %s" name
+  | Some plan ->
+    let plan =
+      if Fetch_plan.valid api.db api.reg plan then begin
+        Obs.Metrics.incr m_pc_hits;
+        Fetch_plan.note_hit plan;
+        plan
+      end
+      else begin
+        Obs.Metrics.incr m_pc_invalidations;
+        let p = Fetch_plan.compile api.db api.reg (Fetch_plan.query plan) in
+        Hashtbl.replace api.prepared key p;
+        p
+      end
+    in
+    count_fetch api;
+    (try Fetch_plan.execute ?fixpoint ~params:(Array.of_list vals) api.db plan
+     with Invalid_argument msg -> err "%s" msg)
 
 (* CO deletion (§3.7): all component tuples of the target CO are removed
    from their base tables. Every component must be updatable. *)
@@ -167,6 +305,10 @@ let exec api text : outcome =
       | None -> err "unknown view %s" name
     end
   end
+  | Xnf_ast.X_prepare (name, q) ->
+    prepare api ~name q;
+    Prepared name
+  | Xnf_ast.X_execute (name, vals) -> Fetched (execute_prepared api name vals)
   | Xnf_ast.X_sql stmt -> Sql (Db.exec_stmt_ast api.db stmt)
 
 (** [explain_analyze api text] runs [text] — an XNF [OUT OF ... TAKE]

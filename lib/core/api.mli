@@ -17,6 +17,7 @@ type outcome =
   | Co_updated of int  (** [OUT OF ... UPDATE]: number of component tuples changed *)
   | View_defined of string
   | View_dropped of string
+  | Prepared of string  (** [PREPARE name AS ...]: plan compiled and stored *)
   | Sql of Db.exec_result  (** a plain SQL statement's result *)
 
 exception Api_error of string
@@ -42,6 +43,32 @@ val fetch_string : ?fixpoint:Translate.fixpoint -> t -> string -> Cache.t
     before reuse; [0] (the default) disables it. Hits/misses/evictions are
     counted as [xnf.fetchcache.*] in the metrics registry. *)
 val set_result_cache : t -> int -> unit
+
+(** [set_plan_cache api n] enables an LRU cache of the last [n] compiled
+    fetch plans, keyed by query text and validated against the
+    view-registry version, catalog version and index epoch recorded at
+    compile time; [0] (the default) disables it. DDL invalidates lazily on
+    the next lookup. Activity is counted as [xnf.plancache.*] and
+    compilations as [xnf.plan.compiles]. *)
+val set_plan_cache : t -> int -> unit
+
+(** [plans api] lists the cached (text, plan) pairs, most recently used
+    first. *)
+val plans : t -> (string * Fetch_plan.t) list
+
+(** [prepared_plans api] lists PREPARE'd (name, plan) pairs, sorted. *)
+val prepared_plans : t -> (string * Fetch_plan.t) list
+
+(** [prepare api ~name q] compiles [q] and stores the plan under [name]
+    (case-insensitive), replacing any previous plan of that name. *)
+val prepare : t -> name:string -> Xnf_ast.query -> unit
+
+(** [execute_prepared api name vals] runs a PREPARE'd plan with [vals]
+    bound to its [?] parameter slots in lexical order; a plan invalidated
+    by DDL since PREPARE is transparently recompiled.
+    @raise Api_error on unknown names or parameter-count mismatches. *)
+val execute_prepared :
+  ?fixpoint:Translate.fixpoint -> t -> string -> Value.t list -> Cache.t
 
 (** [explain_analyze api text] runs [text] — an XNF [OUT OF ... TAKE]
     query or a SQL SELECT — under the instrumented executor and returns a

@@ -1,0 +1,89 @@
+(* Prepared CO fetch plans (§4.3, compile-once).
+
+   A fetch plan is the reusable half of evaluating an XNF query: the
+   composed CO definition, its residual path-based restrictions, the TAKE
+   clause, and the [Translate.compiled] form (node shape analysis,
+   per-edge access-path selection). Compiling is pure analysis — no base
+   data is touched — so one plan serves any number of executions,
+   including parameterized ones ([?] slots bound at EXECUTE time).
+
+   A plan is only as durable as what it was compiled against. Three
+   version counters are recorded at compile time and checked before
+   reuse: the XNF view-registry version (view redefinition changes
+   composition), the catalog version (base-table / tabular-view DDL
+   changes binding and shapes) and the global index epoch (index
+   creation/drop changes access-path selection). Validation is the
+   caller's job ([valid]); the plan itself is immutable apart from its
+   hit counter. *)
+
+open Relational
+open Xnf_ast
+
+type t = {
+  fp_text : string;  (** canonical query text (re-parsable) *)
+  fp_query : query;
+  fp_def : Co_schema.t;  (** composed, pre-TAKE definition *)
+  fp_compiled : Translate.compiled;
+  fp_path_restrs : restriction list;
+  fp_take : take;
+  fp_nparams : int;  (** number of [?] parameter slots *)
+  fp_reg_version : int;
+  fp_catalog_version : int;
+  fp_index_epoch : int;
+  mutable fp_hits : int;  (** times this plan was served from a cache *)
+}
+
+let m_compiles = Obs.Metrics.counter "xnf.plan.compiles"
+
+(** [compile db reg q] composes and compiles [q] into a plan, recording
+    the registry/catalog/index versions it is valid against. *)
+let compile db reg (q : query) : t =
+  Obs.Metrics.incr m_compiles;
+  let def, path_restrs, take =
+    Obs.Trace.with_span "semantic" (fun () -> View_registry.compose reg q)
+  in
+  let compiled = Translate.compile_def ~take db def in
+  { fp_text = Xnf_ast.query_to_string q;
+    fp_query = q;
+    fp_def = def;
+    fp_compiled = compiled;
+    fp_path_restrs = path_restrs;
+    fp_take = take;
+    fp_nparams = Xnf_ast.count_params_query q;
+    fp_reg_version = View_registry.version reg;
+    fp_catalog_version = Catalog.version (Db.catalog db);
+    fp_index_epoch = Index.epoch ();
+    fp_hits = 0 }
+
+(** [valid db reg plan] holds when nothing the plan depends on has
+    changed since compilation. *)
+let valid db reg (plan : t) =
+  plan.fp_reg_version = View_registry.version reg
+  && plan.fp_catalog_version = Catalog.version (Db.catalog db)
+  && plan.fp_index_epoch = Index.epoch ()
+
+(** [execute ?fixpoint ?params db plan] runs the plan to a loaded cache:
+    fixpoint evaluation, path restrictions, TAKE projection and final
+    updatability analysis.
+    @raise Invalid_argument on a parameter-count mismatch. *)
+let execute ?fixpoint ?(params = [||]) db (plan : t) : Cache.t =
+  if Array.length params <> plan.fp_nparams then
+    invalid_arg
+      (Printf.sprintf "prepared plan expects %d parameter(s), got %d" plan.fp_nparams
+         (Array.length params));
+  Obs.Trace.with_span "xnf.fetch" @@ fun () ->
+  Translate.finalize_plan db plan.fp_compiled
+    (Translate.apply_take
+       (Translate.execute_def ?fixpoint ~params db plan.fp_compiled plan.fp_path_restrs)
+       plan.fp_take)
+
+let text plan = plan.fp_text
+let query plan = plan.fp_query
+let nparams plan = plan.fp_nparams
+let hits plan = plan.fp_hits
+let note_hit plan = plan.fp_hits <- plan.fp_hits + 1
+
+(** [describe plan] is a one-line summary for [\plans]. *)
+let describe plan =
+  Printf.sprintf "params=%d hits=%d reg=v%d cat=v%d idx=e%d | %s" plan.fp_nparams plan.fp_hits
+    plan.fp_reg_version plan.fp_catalog_version plan.fp_index_epoch plan.fp_text

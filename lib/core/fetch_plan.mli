@@ -1,0 +1,49 @@
+(** Prepared CO fetch plans: an XNF query compiled once — composition,
+    semantic analysis and access-path selection — and executed many
+    times, optionally with [?] parameter values bound per execution.
+
+    Plans are validated, not updated: three version counters recorded at
+    compile time (XNF view registry, relational catalog, global index
+    epoch) are compared by {!valid} before reuse, so any DDL that could
+    change composition, binding or access-path selection lazily
+    invalidates dependent plans. Plain DML does not invalidate a plan —
+    executions always re-read base data. *)
+
+open Relational
+
+type t
+
+(** [compile db reg q] composes and compiles [q], recording the versions
+    it is valid against. Counted as [xnf.plan.compiles]. *)
+val compile : Db.t -> View_registry.t -> Xnf_ast.query -> t
+
+(** [valid db reg plan] holds when the registry version, catalog version
+    and index epoch still match the plan's compile-time snapshot. *)
+val valid : Db.t -> View_registry.t -> t -> bool
+
+(** [execute ?fixpoint ?params db plan] evaluates the plan into a loaded
+    cache; [params] bind the [?] slots in lexical order.
+    @raise Invalid_argument on a parameter-count mismatch. *)
+val execute :
+  ?fixpoint:Translate.fixpoint -> ?params:Value.t array -> Db.t -> t -> Cache.t
+
+(** [text plan] is the canonical (re-parsable) query text — the plan-cache
+    key for parsed queries. *)
+val text : t -> string
+
+(** [query plan] is the parsed query the plan was compiled from (used to
+    recompile after invalidation). *)
+val query : t -> Xnf_ast.query
+
+(** [nparams plan] is the number of [?] parameter slots. *)
+val nparams : t -> int
+
+(** [hits plan] counts cache hits served by this plan. *)
+val hits : t -> int
+
+(** [note_hit plan] records one cache hit. *)
+val note_hit : t -> unit
+
+(** [describe plan] is a one-line summary (parameters, hits, version
+    snapshot, query text) for the shell's [\plans] listing. *)
+val describe : t -> string

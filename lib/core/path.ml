@@ -126,6 +126,7 @@ let rec eval_xexpr cache (env : env) (e : xexpr) : Value.t =
   | X_exists_path p ->
     let _, positions = eval_path cache env p in
     Value.Bool (positions <> [])
+  | X_param i -> err "unsubstituted parameter ?%d in SUCH THAT predicate" (i + 1)
 
 and eval_pred cache env e = Expr.truth_of_value (eval_xexpr cache env e)
 

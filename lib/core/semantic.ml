@@ -197,7 +197,7 @@ let relationship_columns (def : Co_schema.edge_def) ~(parent_schema : Schema.t)
         Option.iter (fun i -> parent_cols := i :: !parent_cols) (Schema.find_opt parent_schema n)
       else if qual_matches ca q then
         Option.iter (fun i -> child_cols := i :: !child_cols) (Schema.find_opt child_schema n)
-    | Sql_ast.E_lit _ | Sql_ast.E_count_star -> ()
+    | Sql_ast.E_lit _ | Sql_ast.E_count_star | Sql_ast.E_param _ -> ()
     | Sql_ast.E_cmp (_, a, b) | Sql_ast.E_arith (_, a, b) | Sql_ast.E_and (a, b)
     | Sql_ast.E_or (a, b) | Sql_ast.E_like (a, b) ->
       walk a;

@@ -258,7 +258,8 @@ let ensure_temp db rt =
 type probe_hit = { ph_rowid : int; ph_row : Row.t; ph_attrs : Row.t }
 
 type prober =
-  | P_indexed of (Row.t -> probe_hit list)  (** applied to the parent node row *)
+  | P_indexed of Schema.t * (Row.t -> probe_hit list)
+      (** relationship-attribute schema + probe applied to the parent node row *)
   | P_generic
 
 let edge_conjuncts (ed : Co_schema.edge_def) =
@@ -273,9 +274,12 @@ let qual_is alias = function
   | None -> false
 
 (* try to build an index-nested-loop prober for [ed]; [parent_schema] is
-   the parent node's output schema, the child must be simple *)
+   the parent node's output schema, the child must be simple. The result
+   is parameterized over EXECUTE-time values: applying it to a [params]
+   array substitutes the parameter slots once and yields the per-row
+   probe function. *)
 let build_indexed_prober db (ed : Co_schema.edge_def) ~(parent_schema : Schema.t)
-    ~(child : simple) : (Row.t -> probe_hit list) option =
+    ~(child : simple) : (Value.t array -> Row.t -> probe_hit list) option =
   let pa = ed.Co_schema.ed_parent_alias and ca = ed.Co_schema.ed_child_alias in
   let child_base_schema = Table.schema child.s_table in
   let conjuncts = edge_conjuncts ed in
@@ -299,10 +303,17 @@ let build_indexed_prober db (ed : Co_schema.edge_def) ~(parent_schema : Schema.t
   let attr_fns =
     List.map (fun (e, _) -> Binder.bind_expr env concat_schema e) ed.Co_schema.ed_attrs
   in
-  let eval_attrs concat = Array.of_list (List.map (fun e -> Expr.eval concat e) attr_fns) in
   let node_row base_row = Row.project base_row child.s_proj in
-  let child_ok base_row =
-    match child.s_pred with None -> true | Some p -> Value.is_true (Expr.eval_pred base_row p)
+  (* bind parameter slots once per EXECUTE, not once per probed row *)
+  let specialize params =
+    let sub e = if Array.length params = 0 then e else Expr.subst_params params e in
+    let afns = List.map sub attr_fns in
+    let eval_attrs concat = Array.of_list (List.map (fun e -> Expr.eval concat e) afns) in
+    let cpred = Option.map sub child.s_pred in
+    let child_ok base_row =
+      match cpred with None -> true | Some p -> Value.is_true (Expr.eval_pred base_row p)
+    in
+    (sub, eval_attrs, child_ok)
   in
   match ed.Co_schema.ed_using with
   | None -> begin
@@ -330,9 +341,12 @@ let build_indexed_prober db (ed : Co_schema.edge_def) ~(parent_schema : Schema.t
     match pick [] conjuncts with
     | None -> None
     | Some (parent_col, idx, residual) ->
-      let residual = bind_residual residual in
+      let residual0 = bind_residual residual in
       Some
-        (fun parent_row ->
+        (fun params ->
+          let sub, eval_attrs, child_ok = specialize params in
+          let residual = Option.map sub residual0 in
+          fun parent_row ->
           let key = parent_row.(parent_col) in
           if Value.is_null key then []
           else
@@ -391,9 +405,12 @@ let build_indexed_prober db (ed : Co_schema.edge_def) ~(parent_schema : Schema.t
         with
         | Some link_idx, Some child_idx ->
           ignore child_key_cols;
-          let residual = bind_residual (List.rev !residual) in
+          let residual0 = bind_residual (List.rev !residual) in
           Some
-            (fun parent_row ->
+            (fun params ->
+              let sub, eval_attrs, child_ok = specialize params in
+              let residual = Option.map sub residual0 in
+              fun parent_row ->
               let link_key = Array.of_list (List.map (fun (_, p) -> parent_row.(p)) parent_bind) in
               if Array.exists Value.is_null link_key then []
               else
@@ -555,65 +572,189 @@ let apply_take cache (take : Xnf_ast.take) : Cache.t =
       c_nodes = List.filter (fun (n, _) -> keep_node n) cache.Cache.c_nodes;
       c_edges = List.filter (fun (e, _) -> keep_edge e) cache.Cache.c_edges }
 
-(* ---- the loader ---- *)
+(* ---- compiled fetch plans: compile once, execute per fetch ----
 
-(** [fetch_def ~fixpoint db def path_restrs] evaluates a composed CO
-    definition into a cache (before TAKE projection and final
-    updatability analysis). *)
-let fetch_def ~fixpoint db (def : Co_schema.t) (path_restrs : restriction list) : Cache.t =
+   [compile_def] performs the input-independent half of translation: node
+   shape analysis (simple vs. generic), output schemas, updatability
+   analysis and per-edge access-path selection. The result is immutable
+   and reusable; [execute_def] instantiates fresh runtime state from it
+   per fetch, substituting EXECUTE-time parameter values. *)
+
+type node_plan = {
+  np_def : Co_schema.node_def;
+  np_simple : simple option;
+  np_schema : Schema.t;
+  np_upd : Semantic.node_updatability option;
+}
+
+type edge_plan =
+  | EP_indexed of Schema.t * (Value.t array -> Row.t -> probe_hit list)
+      (** precomputed relationship-attribute schema + parameterized prober *)
+  | EP_generic
+
+(* final updatability analysis of one edge against the post-TAKE schemas —
+   a pure function of the plan, so computed once at compile time *)
+type edge_final = {
+  ef_upd : Semantic.edge_updatability;
+  ef_pcols : int list;
+  ef_ccols : int list;
+}
+
+type compiled = {
+  cp_def : Co_schema.t;
+  cp_nodes : (string * node_plan) list;
+  cp_edges : (string * edge_plan) list;
+  cp_base_tables : string list;  (** staleness-tracked base tables *)
+  cp_final : (string * edge_final) list;  (** per edge surviving the plan's TAKE *)
+}
+
+(** [compile_def ?take db def] runs the "translate" phase on a composed CO
+    definition: analysis and access-path selection, no data access. [take]
+    lets the final (post-projection) updatability analysis be precomputed
+    too; it defaults to [TAKE *]. *)
+let compile_def ?(take = Xnf_ast.Take_star) db (def : Co_schema.t) : compiled =
   let catalog = Db.catalog db in
-  (* 1+2 (under the "translate" span): per-node runtime state and per-edge
-     access-path selection — the formulation of the relational work *)
-  let nodes_rt, probers =
-    Obs.Trace.with_span "translate" @@ fun () ->
-  let nodes_rt =
+  Obs.Trace.with_span "translate" @@ fun () ->
+  let nodes =
     List.map
       (fun nd ->
         let simple = analyze_simple db nd.Co_schema.nd_query in
         let schema = node_schema db nd ~simple in
         let upd = Semantic.analyze_node_query catalog nd.Co_schema.nd_query in
-        let ni =
-          { Cache.ni_name = nd.Co_schema.nd_name; ni_schema = schema;
-            ni_tuples = Vec.create ~dummy:Cache.dummy_tuple (); ni_upd = upd;
-            ni_by_rowid = Hashtbl.create 64; ni_locked_cols = [] }
-        in
         ( nd.Co_schema.nd_name,
-          { nr_def = nd; nr_simple = Option.map fst simple; nr_ni = ni; nr_extent = None;
-            nr_temp = None; nr_tid2pos = Hashtbl.create 64 } ))
+          { np_def = nd; np_simple = Option.map fst simple; np_schema = schema; np_upd = upd } ))
       def.Co_schema.co_nodes
   in
-  let rt name = List.assoc name nodes_rt in
-  (* 2. probers per edge *)
-  let probers =
+  let node name = List.assoc name nodes in
+  let edges =
     List.map
       (fun (ed : Co_schema.edge_def) ->
-        let parent_rt = rt ed.Co_schema.ed_parent and child_rt = rt ed.Co_schema.ed_child in
-        let prober =
-          match child_rt.nr_simple with
-          | Some child -> begin
-            match
-              build_indexed_prober db ed ~parent_schema:parent_rt.nr_ni.Cache.ni_schema ~child
-            with
+        let parent = node ed.Co_schema.ed_parent and child = node ed.Co_schema.ed_child in
+        let plan =
+          match child.np_simple with
+          | Some c -> begin
+            match build_indexed_prober db ed ~parent_schema:parent.np_schema ~child:c with
             | Some f ->
               stats.indexed_probes <- stats.indexed_probes + 1;
               Obs.Metrics.incr m_indexed_probes;
-              P_indexed f
+              let attr_schema =
+                attr_schema_of db ed ~parent_schema:parent.np_schema
+                  ~child_schema:(Table.schema c.s_table)
+              in
+              EP_indexed (attr_schema, f)
             | None ->
               stats.generic_probes <- stats.generic_probes + 1;
               Obs.Metrics.incr m_generic_probes;
-              P_generic
+              EP_generic
           end
           | None ->
             stats.generic_probes <- stats.generic_probes + 1;
             Obs.Metrics.incr m_generic_probes;
-            P_generic
+            EP_generic
         in
-        (ed.Co_schema.ed_name, prober))
+        (ed.Co_schema.ed_name, plan))
       def.Co_schema.co_edges
   in
-  (nodes_rt, probers)
+  let base_tables =
+    List.concat_map (fun nd -> tables_of_select catalog nd.Co_schema.nd_query) def.Co_schema.co_nodes
+    @ List.filter_map
+        (fun (ed : Co_schema.edge_def) ->
+          Option.map (fun (t, _) -> String.lowercase_ascii t) ed.Co_schema.ed_using)
+        def.Co_schema.co_edges
+    |> List.sort_uniq compare
+  in
+  (* final updatability analysis against the post-TAKE node schemas — the
+     schemas are plan-determined, so the per-edge analysis is too *)
+  let final_def =
+    match take with Xnf_ast.Take_star -> def | Xnf_ast.Take_items _ -> Co_schema.project def take
+  in
+  let final_schema nd_name =
+    let nd = Co_schema.node final_def nd_name in
+    let schema = (node nd_name).np_schema in
+    match nd.Co_schema.nd_cols with
+    | None -> schema
+    | Some cols ->
+      Schema.make
+        (List.map
+           (fun c ->
+             match Schema.find_opt schema c with
+             | Some i -> Schema.col schema i
+             | None -> err "[XNF007] TAKE projects unknown column %s of %s" c nd_name)
+           cols)
+  in
+  let final =
+    List.map
+      (fun (ed : Co_schema.edge_def) ->
+        let parent_schema = final_schema ed.Co_schema.ed_parent
+        and child_schema = final_schema ed.Co_schema.ed_child in
+        let upd = Semantic.analyze_edge catalog ed ~parent_schema ~child_schema in
+        let pcols, ccols = Semantic.relationship_columns ed ~parent_schema ~child_schema in
+        (ed.Co_schema.ed_name, { ef_upd = upd; ef_pcols = pcols; ef_ccols = ccols }))
+      final_def.Co_schema.co_edges
+  in
+  { cp_def = def; cp_nodes = nodes; cp_edges = edges; cp_base_tables = base_tables;
+    cp_final = final }
+
+(* substitute EXECUTE-time values into the symbolic (instance-evaluated)
+   restrictions *)
+let subst_restrictions params restrs =
+  if Array.length params = 0 then restrs
+  else
+    List.map
+      (function
+        | R_node r -> R_node { r with rn_pred = Xnf_ast.subst_params_xexpr params r.rn_pred }
+        | R_edge r -> R_edge { r with re_pred = Xnf_ast.subst_params_xexpr params r.re_pred })
+      restrs
+
+(** [execute_def ?fixpoint ?params db cp path_restrs] evaluates a compiled
+    plan into a cache (before TAKE projection and final updatability
+    analysis), substituting [params] for the [?] slots. *)
+let execute_def ?(fixpoint = Semi_naive) ?(params = [||]) db (cp : compiled)
+    (path_restrs : restriction list) : Cache.t =
+  let catalog = Db.catalog db in
+  let def = cp.cp_def in
+  let sub_select q = if Array.length params = 0 then q else Sql_ast.subst_params_select params q in
+  let sub_expr e = if Array.length params = 0 then e else Sql_ast.subst_params_expr params e in
+  let sub_pred p = if Array.length params = 0 then p else Option.map (Expr.subst_params params) p in
+  let path_restrs = subst_restrictions params path_restrs in
+  (* fresh per-fetch runtime state from the immutable plan *)
+  let nodes_rt =
+    List.map
+      (fun (name, np) ->
+        let nd =
+          { np.np_def with Co_schema.nd_query = sub_select np.np_def.Co_schema.nd_query }
+        in
+        let simple = Option.map (fun s -> { s with s_pred = sub_pred s.s_pred }) np.np_simple in
+        let ni =
+          { Cache.ni_name = name; ni_schema = np.np_schema;
+            ni_tuples = Vec.create ~dummy:Cache.dummy_tuple (); ni_upd = np.np_upd;
+            ni_by_rowid = Hashtbl.create 64; ni_locked_cols = [] }
+        in
+        ( name,
+          { nr_def = nd; nr_simple = simple; nr_ni = ni; nr_extent = None; nr_temp = None;
+            nr_tid2pos = Hashtbl.create 64 } ))
+      cp.cp_nodes
   in
   let rt name = List.assoc name nodes_rt in
+  (* generic probe paths re-bind edge predicates at run time, so they need
+     the substituted AST forms *)
+  let edge_defs =
+    List.map
+      (fun (ed : Co_schema.edge_def) ->
+        { ed with
+          Co_schema.ed_pred = sub_expr ed.Co_schema.ed_pred;
+          ed_attrs = List.map (fun (e, n) -> (sub_expr e, n)) ed.Co_schema.ed_attrs })
+      def.Co_schema.co_edges
+  in
+  let probers =
+    List.map
+      (fun (name, ep) ->
+        ( name,
+          match ep with
+          | EP_indexed (asch, f) -> P_indexed (asch, f params)
+          | EP_generic -> P_generic ))
+      cp.cp_edges
+  in
   (* 3–5 run under the "cache-fill" span: roots, reachability fixpoint,
      connection extents *)
   let edges =
@@ -681,7 +822,7 @@ let fetch_def ~fixpoint db (def : Co_schema.t) (path_restrs : restriction list) 
           stats.tuples_probed <- stats.tuples_probed + List.length probe_set;
           Obs.Metrics.incr ~by:(List.length probe_set) m_tuples_probed;
           match List.assoc ed.Co_schema.ed_name probers with
-          | P_indexed probe ->
+          | P_indexed (_, probe) ->
             note_query ();
             List.iter
               (fun pos ->
@@ -725,7 +866,7 @@ let fetch_def ~fixpoint db (def : Co_schema.t) (path_restrs : restriction list) 
                 end)
               hits
         end)
-      def.Co_schema.co_edges;
+      edge_defs;
     if fixpoint = Naive then Hashtbl.reset frontier
   done
   in
@@ -756,15 +897,8 @@ let fetch_def ~fixpoint db (def : Co_schema.t) (path_restrs : restriction list) 
           (ed.Co_schema.ed_name, ei)
         in
         match List.assoc ed.Co_schema.ed_name probers with
-        | P_indexed probe ->
+        | P_indexed (attr_schema, probe) ->
           note_query ();
-          let attr_schema =
-            match child_rt.nr_simple with
-            | Some child ->
-              attr_schema_of db ed ~parent_schema:parent_rt.nr_ni.Cache.ni_schema
-                ~child_schema:(Table.schema child.s_table)
-            | None -> Schema.make []
-          in
           let conns = ref [] in
           Vec.iter
             (fun t ->
@@ -789,19 +923,12 @@ let fetch_def ~fixpoint db (def : Co_schema.t) (path_restrs : restriction list) 
               ~child_temp:(temp_of child_rt)
           in
           ei_of attr_schema conns)
-      def.Co_schema.co_edges
+      edge_defs
   in
   edges
   in
-  (* 6. staleness bookkeeping *)
-  let base_tables =
-    List.concat_map (fun nd -> tables_of_select catalog nd.Co_schema.nd_query) def.Co_schema.co_nodes
-    @ List.filter_map
-        (fun (ed : Co_schema.edge_def) ->
-          Option.map (fun (t, _) -> String.lowercase_ascii t) ed.Co_schema.ed_using)
-        def.Co_schema.co_edges
-    |> List.sort_uniq compare
-  in
+  (* 6. staleness bookkeeping (table set precomputed at compile time) *)
+  let base_tables = cp.cp_base_tables in
   let cache =
     { Cache.c_def = def; c_nodes = List.map (fun (n, r) -> (n, r.nr_ni)) nodes_rt; c_edges = edges;
       c_base_versions =
@@ -843,22 +970,51 @@ let fetch_def ~fixpoint db (def : Co_schema.t) (path_restrs : restriction list) 
     Cache.recompute_reachability cache);
   cache
 
+(** [fetch_def ~fixpoint db def path_restrs] compiles and immediately
+    executes a composed CO definition — the one-shot path. *)
+let fetch_def ~fixpoint db (def : Co_schema.t) (path_restrs : restriction list) : Cache.t =
+  execute_def ~fixpoint db (compile_def db def) path_restrs
+
 (* column projection, then relationship-updatability and locked-column
    analysis against the final (projected) schemas *)
+let analyze_edge_of db cache name ei =
+  let catalog = Db.catalog db in
+  let ed = Co_schema.edge cache.Cache.c_def name in
+  let parent_schema = (Cache.node cache ei.Cache.ei_parent).Cache.ni_schema in
+  let child_schema = (Cache.node cache ei.Cache.ei_child).Cache.ni_schema in
+  let upd = Semantic.analyze_edge catalog ed ~parent_schema ~child_schema in
+  let pcols, ccols = Semantic.relationship_columns ed ~parent_schema ~child_schema in
+  { ef_upd = upd; ef_pcols = pcols; ef_ccols = ccols }
+
+let apply_edge_final cache ei (ef : edge_final) =
+  ei.Cache.ei_upd <- ef.ef_upd;
+  let pn = Cache.node cache ei.Cache.ei_parent and cn = Cache.node cache ei.Cache.ei_child in
+  pn.Cache.ni_locked_cols <- List.sort_uniq compare (ef.ef_pcols @ pn.Cache.ni_locked_cols);
+  cn.Cache.ni_locked_cols <- List.sort_uniq compare (ef.ef_ccols @ cn.Cache.ni_locked_cols)
+
 let finalize db cache =
   Obs.Trace.with_span "finalize" @@ fun () ->
-  let catalog = Db.catalog db in
+  apply_column_projection cache;
+  List.iter
+    (fun (name, ei) -> apply_edge_final cache ei (analyze_edge_of db cache name ei))
+    cache.Cache.c_edges;
+  cache
+
+(** [finalize_plan db cp cache] is {!finalize} with the per-edge
+    updatability analysis taken from the compiled plan instead of
+    re-derived per fetch. Falls back to on-the-fly analysis for an edge
+    the plan did not precompute (a TAKE differing from the compiled one). *)
+let finalize_plan db (cp : compiled) cache =
+  Obs.Trace.with_span "finalize" @@ fun () ->
   apply_column_projection cache;
   List.iter
     (fun (name, ei) ->
-      let ed = Co_schema.edge cache.Cache.c_def name in
-      let parent_schema = (Cache.node cache ei.Cache.ei_parent).Cache.ni_schema in
-      let child_schema = (Cache.node cache ei.Cache.ei_child).Cache.ni_schema in
-      ei.Cache.ei_upd <- Semantic.analyze_edge catalog ed ~parent_schema ~child_schema;
-      let pcols, ccols = Semantic.relationship_columns ed ~parent_schema ~child_schema in
-      let pn = Cache.node cache ei.Cache.ei_parent and cn = Cache.node cache ei.Cache.ei_child in
-      pn.Cache.ni_locked_cols <- List.sort_uniq compare (pcols @ pn.Cache.ni_locked_cols);
-      cn.Cache.ni_locked_cols <- List.sort_uniq compare (ccols @ cn.Cache.ni_locked_cols))
+      let ef =
+        match List.assoc_opt name cp.cp_final with
+        | Some ef -> ef
+        | None -> analyze_edge_of db cache name ei
+      in
+      apply_edge_final cache ei ef)
     cache.Cache.c_edges;
   cache
 
@@ -871,4 +1027,5 @@ let fetch ?(fixpoint = Semi_naive) db reg (q : query) : Cache.t =
   let def, path_restrs, take =
     Obs.Trace.with_span "semantic" (fun () -> View_registry.compose reg q)
   in
-  finalize db (apply_take (fetch_def ~fixpoint db def path_restrs) take)
+  let cp = compile_def ~take db def in
+  finalize_plan db cp (apply_take (execute_def ~fixpoint db cp path_restrs) take)

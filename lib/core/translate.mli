@@ -42,14 +42,48 @@ val reset_stats : unit -> unit
     cache. *)
 val fetch : ?fixpoint:fixpoint -> Db.t -> View_registry.t -> Xnf_ast.query -> Cache.t
 
-(** [fetch_def ~fixpoint db def path_restrs] evaluates an already composed
-    CO definition (before TAKE projection and final updatability
-    analysis) — used by {!fetch} and by the baselines. *)
+(** A compiled fetch plan for a composed CO definition: node shape
+    analysis, output schemas, updatability analysis and per-edge
+    access-path selection, all resolved once. Immutable; one plan serves
+    any number of executions (including concurrent parameter bindings). *)
+type compiled
+
+(** [compile_def ?take db def] runs the input-independent "translate"
+    phase: no base data is accessed. Access-path selection consults the
+    catalog and indexes as of now — recompile when schema or indexes
+    change. Passing the query's [take] (default [TAKE *]) also precomputes
+    the final post-projection updatability analysis for
+    {!finalize_plan}. *)
+val compile_def : ?take:Xnf_ast.take -> Db.t -> Co_schema.t -> compiled
+
+(** [execute_def ?fixpoint ?params db cp path_restrs] evaluates a compiled
+    plan into a cache (before TAKE projection and final updatability
+    analysis). [params] are substituted for the [?] parameter slots in
+    node derivations, relationship predicates/attributes and SUCH THAT
+    restrictions.
+    @raise Invalid_argument when a slot index is out of range of [params]. *)
+val execute_def :
+  ?fixpoint:fixpoint ->
+  ?params:Value.t array ->
+  Db.t ->
+  compiled ->
+  Xnf_ast.restriction list ->
+  Cache.t
+
+(** [fetch_def ~fixpoint db def path_restrs] compiles and immediately
+    executes an already composed CO definition (before TAKE projection and
+    final updatability analysis) — used by {!fetch} and by the
+    baselines. *)
 val fetch_def : fixpoint:fixpoint -> Db.t -> Co_schema.t -> Xnf_ast.restriction list -> Cache.t
 
 (** [finalize db cache] applies column projection and the final
     relationship-updatability / locked-column analysis. *)
 val finalize : Db.t -> Cache.t -> Cache.t
+
+(** [finalize_plan db cp cache] is {!finalize} with the per-edge analysis
+    read from the compiled plan (precomputed by [compile_def ~take])
+    instead of re-derived per fetch. *)
+val finalize_plan : Db.t -> compiled -> Cache.t -> Cache.t
 
 (** [apply_take cache take] drops components not named by [take]
     (evaluate-then-project). *)

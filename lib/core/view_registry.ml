@@ -24,14 +24,20 @@ type view = {
   v_path_restrs : restriction list;  (** restrictions containing path expressions *)
 }
 
-type t = { views : (string, view) Hashtbl.t }
+type t = {
+  views : (string, view) Hashtbl.t;
+  mutable version : int;  (** bumped on every define/drop; keys cached fetch plans *)
+}
 
 exception View_error of string
 
 let err fmt = Fmt.kstr (fun s -> raise (View_error s)) fmt
 
 (** [create ()] is an empty registry. *)
-let create () = { views = Hashtbl.create 16 }
+let create () = { views = Hashtbl.create 16; version = 0 }
+
+(** [version reg] counts definition changes since creation. *)
+let version reg = reg.version
 
 (** [find_opt reg name] looks a view up. *)
 let find_opt reg name = Hashtbl.find_opt reg.views (String.lowercase_ascii name)
@@ -40,7 +46,8 @@ let find_opt reg name = Hashtbl.find_opt reg.views (String.lowercase_ascii name)
 let drop reg name =
   let key = String.lowercase_ascii name in
   if not (Hashtbl.mem reg.views key) then err "[XNF003] unknown XNF view %s" name;
-  Hashtbl.remove reg.views key
+  Hashtbl.remove reg.views key;
+  reg.version <- reg.version + 1
 
 (** [names reg] lists registered view names, sorted. *)
 let names reg = List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) reg.views [])
@@ -55,7 +62,7 @@ let rec rename_quals (mapping : (string * string) list) (e : Sql_ast.expr) : Sql
     | Some q' -> Sql_ast.E_col (Some q', n)
     | None -> e
   end
-  | Sql_ast.E_col (None, _) | Sql_ast.E_lit _ | Sql_ast.E_count_star -> e
+  | Sql_ast.E_col (None, _) | Sql_ast.E_lit _ | Sql_ast.E_count_star | Sql_ast.E_param _ -> e
   | Sql_ast.E_cmp (op, a, b) -> Sql_ast.E_cmp (op, r a, r b)
   | Sql_ast.E_arith (op, a, b) -> Sql_ast.E_arith (op, r a, r b)
   | Sql_ast.E_neg a -> Sql_ast.E_neg (r a)
@@ -200,4 +207,5 @@ let define reg ~name (q : query) =
         if Co_schema.edge_opt def re_edge = None then
           err "[XNF020] view %s: path restriction references projected-away relationship %s" name re_edge)
     path_restrs;
-  Hashtbl.replace reg.views key { v_name = name; v_def = def; v_path_restrs = path_restrs }
+  Hashtbl.replace reg.views key { v_name = name; v_def = def; v_path_restrs = path_restrs };
+  reg.version <- reg.version + 1

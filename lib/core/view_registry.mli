@@ -26,6 +26,10 @@ exception View_error of string
 (** [create ()] is an empty registry. *)
 val create : unit -> t
 
+(** [version reg] counts definition changes (define/drop) since creation;
+    used to validate cached fetch plans. *)
+val version : t -> int
+
 (** [find_opt reg name] looks a view up (case-insensitive). *)
 val find_opt : t -> string -> view option
 

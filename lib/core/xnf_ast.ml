@@ -33,6 +33,7 @@ type xexpr =
   | X_fn of string * xexpr list
   | X_count_path of path  (** [COUNT(v->edge->...)]: number of distinct reachable target tuples *)
   | X_exists_path of path  (** [EXISTS v->edge->...]: non-emptiness *)
+  | X_param of int  (** [?] placeholder, numbered in lexical order over the statement *)
 
 (** A path expression: a start designator followed by steps. The start is
     either a variable bound by the enclosing restriction (tuple-rooted
@@ -90,6 +91,13 @@ type stmt =
   | X_update of query * co_update
       (** [OUT OF ... WHERE ... UPDATE node SET col = expr, ...] *)
   | X_drop_view of string
+  | X_prepare of string * query
+      (** [PREPARE name AS OUT OF ... TAKE ...]: compile once, cache the
+          plan under [name]; [?] markers in the query become parameter
+          slots bound at EXECUTE time *)
+  | X_execute of string * Value.t list
+      (** [EXECUTE name (v1, ...)]: run a prepared plan with the given
+          parameter values *)
   | X_sql of Sql_ast.stmt  (** plain SQL falls through to the relational engine *)
 
 (* ---- pretty-printing (round-trip tested) ---- *)
@@ -112,6 +120,7 @@ let rec pp_xexpr ppf = function
   | X_fn (name, args) -> Fmt.pf ppf "%s(%a)" name (Fmt.list ~sep:(Fmt.any ", ") pp_xexpr) args
   | X_count_path p -> Fmt.pf ppf "COUNT(%a)" pp_path p
   | X_exists_path p -> Fmt.pf ppf "(EXISTS %a)" pp_path p
+  | X_param _ -> Fmt.string ppf "?"
 
 and pp_path ppf p =
   Fmt.string ppf p.p_start;
@@ -181,6 +190,12 @@ let pp_stmt ppf = function
     let pp_set ppf (c, e) = Fmt.pf ppf "%s = %a" c Sql_ast.pp_expr e in
     Fmt.pf ppf " UPDATE %s SET %a" cu.cu_node (Fmt.list ~sep:(Fmt.any ", ") pp_set) cu.cu_sets
   | X_drop_view v -> Fmt.pf ppf "DROP VIEW %s" v
+  | X_prepare (name, q) -> Fmt.pf ppf "PREPARE %s AS %a" name pp_query q
+  | X_execute (name, []) -> Fmt.pf ppf "EXECUTE %s" name
+  | X_execute (name, vals) ->
+    Fmt.pf ppf "EXECUTE %s (%a)" name
+      (Fmt.list ~sep:(Fmt.any ", ") (fun ppf v -> Fmt.string ppf (Value.to_sql_literal v)))
+      vals
   | X_sql s -> Sql_ast.pp_stmt ppf s
 
 (** [query_to_string q] renders [q] in re-parsable XNF syntax. *)
@@ -207,6 +222,7 @@ let rec xexpr_of_sql (e : Sql_ast.expr) : xexpr =
   | Sql_ast.E_like (a, p) -> X_like (xexpr_of_sql a, xexpr_of_sql p)
   | Sql_ast.E_in_list (a, items) -> X_in_list (xexpr_of_sql a, List.map xexpr_of_sql items)
   | Sql_ast.E_fn (n, args) -> X_fn (n, List.map xexpr_of_sql args)
+  | Sql_ast.E_param i -> X_param i
   | Sql_ast.E_case _ | Sql_ast.E_count_star | Sql_ast.E_fn_distinct _ | Sql_ast.E_exists _
   | Sql_ast.E_in_query _ | Sql_ast.E_scalar _ ->
     invalid_arg "Xnf_ast.xexpr_of_sql: unsupported construct in SUCH THAT predicate"
@@ -260,7 +276,104 @@ let rec sql_of_xexpr (e : xexpr) : Sql_ast.expr option =
   | X_fn (n, args) ->
     let args = List.map sql_of_xexpr args in
     if List.exists Option.is_none args then None else Some (E_fn (n, List.map Option.get args))
+  | X_param i -> Some (E_param i)
   | X_count_path _ | X_exists_path _ -> None
 
 (** [has_path e] holds when the predicate contains a path expression. *)
 let has_path e = Option.is_none (sql_of_xexpr e)
+
+(** [subst_params_xexpr env e] replaces every [X_param i] with the literal
+    [env.(i)], descending into qualified-path-step predicates.
+    @raise Invalid_argument when a slot is out of range. *)
+let rec subst_params_xexpr (env : Value.t array) (e : xexpr) : xexpr =
+  let s = subst_params_xexpr env in
+  let spath p =
+    { p with
+      p_steps =
+        List.map
+          (function
+            | Step_edge _ as st -> st
+            | Step_node sn -> Step_node { sn with sn_pred = Option.map s sn.sn_pred })
+          p.p_steps }
+  in
+  match e with
+  | X_param i ->
+    if i < 0 || i >= Array.length env then
+      invalid_arg
+        (Printf.sprintf "parameter ?%d has no bound value (%d given)" (i + 1) (Array.length env));
+    X_lit env.(i)
+  | X_col _ | X_lit _ -> e
+  | X_cmp (op, a, b) -> X_cmp (op, s a, s b)
+  | X_arith (op, a, b) -> X_arith (op, s a, s b)
+  | X_neg a -> X_neg (s a)
+  | X_and (a, b) -> X_and (s a, s b)
+  | X_or (a, b) -> X_or (s a, s b)
+  | X_not a -> X_not (s a)
+  | X_is_null a -> X_is_null (s a)
+  | X_is_not_null a -> X_is_not_null (s a)
+  | X_like (a, p) -> X_like (s a, s p)
+  | X_in_list (a, items) -> X_in_list (s a, List.map s items)
+  | X_fn (n, args) -> X_fn (n, List.map s args)
+  | X_count_path p -> X_count_path (spath p)
+  | X_exists_path p -> X_exists_path (spath p)
+
+(** [subst_params_query env q] substitutes parameters through every
+    expression position of [q]: node queries, RELATE predicates and
+    attributes, and SUCH THAT restrictions. *)
+let subst_params_query (env : Value.t array) (q : query) : query =
+  let se = Sql_ast.subst_params_expr env in
+  let sx = subst_params_xexpr env in
+  let binding = function
+    | B_node bn -> B_node { bn with bn_query = Sql_ast.subst_params_select env bn.bn_query }
+    | B_edge be ->
+      B_edge
+        { be with
+          be_attrs = List.map (fun (e, n) -> (se e, n)) be.be_attrs;
+          be_pred = se be.be_pred }
+    | B_view _ as b -> b
+  in
+  let restriction = function
+    | R_node rn -> R_node { rn with rn_pred = sx rn.rn_pred }
+    | R_edge re -> R_edge { re with re_pred = sx re.re_pred }
+  in
+  { q with
+    q_out_of = List.map binding q.q_out_of;
+    q_where = List.map restriction q.q_where }
+
+(** [count_params_query q] is the number of parameter slots in [q] (1 + the
+    highest [?] index appearing anywhere, 0 when none). *)
+let count_params_query (q : query) : int =
+  let rec cx (e : xexpr) : int =
+    let cl es = List.fold_left (fun acc x -> max acc (cx x)) 0 es in
+    let cpath p =
+      List.fold_left
+        (fun acc -> function
+          | Step_edge _ -> acc
+          | Step_node { sn_pred; _ } -> max acc (match sn_pred with Some e -> cx e | None -> 0))
+        0 p.p_steps
+    in
+    match e with
+    | X_param i -> i + 1
+    | X_col _ | X_lit _ -> 0
+    | X_cmp (_, a, b) | X_arith (_, a, b) | X_and (a, b) | X_or (a, b) | X_like (a, b) ->
+      max (cx a) (cx b)
+    | X_neg a | X_not a | X_is_null a | X_is_not_null a -> cx a
+    | X_in_list (a, items) -> max (cx a) (cl items)
+    | X_fn (_, args) -> cl args
+    | X_count_path p | X_exists_path p -> cpath p
+  in
+  let binding = function
+    | B_node bn -> Sql_ast.count_params_select bn.bn_query
+    | B_edge be ->
+      List.fold_left
+        (fun acc (e, _) -> max acc (Sql_ast.count_params_expr e))
+        (Sql_ast.count_params_expr be.be_pred)
+        be.be_attrs
+    | B_view _ -> 0
+  in
+  let restriction = function
+    | R_node rn -> cx rn.rn_pred
+    | R_edge re -> cx re.re_pred
+  in
+  let fold f xs = List.fold_left (fun acc x -> max acc (f x)) 0 xs in
+  max (fold binding q.q_out_of) (fold restriction q.q_where)

@@ -35,6 +35,9 @@ type xexpr =
       (** [COUNT(v->edge->...)]: number of distinct reachable target
           tuples *)
   | X_exists_path of path  (** [EXISTS v->edge->...]: non-emptiness *)
+  | X_param of int
+      (** [?] placeholder, numbered in lexical order over the statement;
+          substituted with a literal before evaluation *)
 
 (** A path expression: a start designator followed by steps. The start is
     either a variable bound by the enclosing restriction (tuple-rooted
@@ -88,6 +91,13 @@ type stmt =
   | X_update of query * co_update
       (** [OUT OF ... WHERE ... UPDATE node SET col = expr, ...] *)
   | X_drop_view of string
+  | X_prepare of string * query
+      (** [PREPARE name AS OUT OF ... TAKE ...]: compile once, cache the
+          plan under [name]; [?] markers become parameter slots bound at
+          EXECUTE time *)
+  | X_execute of string * Value.t list
+      (** [EXECUTE name (v1, ...)]: run a prepared plan with the given
+          parameter values *)
   | X_sql of Sql_ast.stmt  (** plain SQL falls through to the relational engine *)
 
 (** Pretty-printers (round-trip tested against the XNF parser). *)
@@ -121,3 +131,17 @@ val sql_of_xexpr : xexpr -> Sql_ast.expr option
 
 (** [has_path e] holds when the predicate contains a path expression. *)
 val has_path : xexpr -> bool
+
+(** [subst_params_xexpr env e] replaces every [X_param i] with the literal
+    [env.(i)], descending into qualified-path-step predicates.
+    @raise Invalid_argument when a slot is out of range. *)
+val subst_params_xexpr : Value.t array -> xexpr -> xexpr
+
+(** [subst_params_query env q] substitutes parameters through every
+    expression position of [q]: node queries, RELATE predicates and
+    attributes, and SUCH THAT restrictions. *)
+val subst_params_query : Value.t array -> query -> query
+
+(** [count_params_query q] is the number of parameter slots in [q] (1 + the
+    highest [?] index appearing anywhere, 0 when none). *)
+val count_params_query : query -> int

@@ -147,6 +147,11 @@ and parse_primary c =
   | L.KW "NULL" ->
     ignore (L.advance c);
     X_lit Value.Null
+  | L.SYM "?" ->
+    ignore (L.advance c);
+    let i = c.L.params in
+    c.L.params <- i + 1;
+    X_param i
   | L.KW "EXISTS" -> begin
     ignore (L.advance c);
     if L.accept_sym c "(" then begin
@@ -448,6 +453,53 @@ let parse_stmt_at (c : L.cursor) : stmt =
       ignore (L.advance c);
       X_drop_view (L.expect_ident c)
     end
+    | L.KW "PREPARE" -> begin
+      ignore (L.advance c);
+      let name = L.expect_ident c in
+      L.expect_kw c "AS";
+      match parse_query_cursor c with
+      | q, Tail_take -> X_prepare (name, q)
+      | _, (Tail_delete | Tail_update _) -> parse_error c "only CO queries can be prepared"
+    end
+    | L.KW "EXECUTE" ->
+      ignore (L.advance c);
+      let name = L.expect_ident c in
+      let vals =
+        if L.accept_sym c "(" then begin
+          let parse_literal () =
+            let negate = L.accept_sym c "-" in
+            match L.peek c with
+            | L.INT i ->
+              ignore (L.advance c);
+              Value.Int (if negate then -i else i)
+            | L.FLOAT f ->
+              ignore (L.advance c);
+              Value.Float (if negate then -.f else f)
+            | L.STRING s when not negate ->
+              ignore (L.advance c);
+              Value.Str s
+            | L.KW "TRUE" when not negate ->
+              ignore (L.advance c);
+              Value.Bool true
+            | L.KW "FALSE" when not negate ->
+              ignore (L.advance c);
+              Value.Bool false
+            | L.KW "NULL" when not negate ->
+              ignore (L.advance c);
+              Value.Null
+            | _ -> parse_error c "expected literal parameter value"
+          in
+          let rec go acc =
+            let v = parse_literal () in
+            if L.accept_sym c "," then go (v :: acc) else List.rev (v :: acc)
+          in
+          let vs = go [] in
+          L.expect_sym c ")";
+          vs
+        end
+        else []
+      in
+      X_execute (name, vals)
     | _ -> X_sql (Sql_parser.parse_stmt_cursor c)
   in
   ignore (L.accept_sym c ";");

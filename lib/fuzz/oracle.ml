@@ -242,7 +242,7 @@ let rec monotone_pred ~pos (e : xexpr) : bool =
   | X_neg a | X_is_null a | X_is_not_null a -> not (has_path a)
   | X_in_list (a, items) -> not (List.exists has_path (a :: items))
   | X_fn (_, args) -> not (List.exists has_path args)
-  | X_col _ | X_lit _ -> true
+  | X_col _ | X_lit _ | X_param _ -> true
 
 let monotone_restrictions restrs =
   List.for_all
@@ -483,6 +483,18 @@ let run ?mutation ?extra_restr (sc : Gen.scenario) : outcome =
               | Some d -> add "refetch" d
               | None -> ());
               Api.set_result_cache api 0);
+          (* metamorphic: a warm (cached-plan) fetch equals the cold fetch *)
+          guard "plancache" (fun () ->
+              Api.set_plan_cache api 4;
+              let h0 = Obs.Metrics.counter_get "xnf.plancache.hits" in
+              ignore (Api.fetch_string api sc.sc_query);
+              let warm = Api.fetch_string api sc.sc_query in
+              let h1 = Obs.Metrics.counter_get "xnf.plancache.hits" in
+              if h1 - h0 < 1 then add "plancache" "second fetch missed the plan cache";
+              (match compare_caches warm sut with
+              | Some d -> add "plancache" d
+              | None -> ());
+              Api.set_plan_cache api 0);
           finish flags
         end
       end

@@ -30,7 +30,7 @@ let rec pred_names (e : xexpr) acc =
   | X_in_list (a, l) -> List.fold_left (fun acc x -> pred_names x acc) (pred_names a acc) l
   | X_fn (_, l) -> List.fold_left (fun acc x -> pred_names x acc) acc l
   | X_count_path p | X_exists_path p -> path_names p acc
-  | X_col _ | X_lit _ -> acc
+  | X_col _ | X_lit _ | X_param _ -> acc
 
 let restr_names = function
   | R_node { rn_node; rn_pred; _ } -> rn_node :: pred_names rn_pred []

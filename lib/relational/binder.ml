@@ -106,7 +106,7 @@ let rec contains_aggregate = function
   | E_count_star -> true
   | E_fn (name, _) when is_agg_fn name -> true
   | E_fn_distinct _ -> true
-  | E_col _ | E_lit _ | E_exists _ | E_scalar _ -> false
+  | E_col _ | E_lit _ | E_exists _ | E_scalar _ | E_param _ -> false
   | E_cmp (_, a, b) | E_arith (_, a, b) | E_and (a, b) | E_or (a, b) | E_like (a, b) ->
     contains_aggregate a || contains_aggregate b
   | E_neg a | E_not a | E_is_null a | E_is_not_null a -> contains_aggregate a
@@ -167,6 +167,7 @@ let rec bind_expr env (schema : Schema.t) (e : expr) : Expr.t =
   | E_exists q -> Expr.Exists_plan (bind_subplan env schema q)
   | E_in_query (a, q) -> Expr.In_plan (bind_expr env schema a, bind_subplan env schema q)
   | E_scalar q -> Expr.Scalar_plan (bind_subplan env schema q)
+  | E_param i -> Expr.Param i
 
 and bind_subplan env (outer_schema : Schema.t) (q : select) : Expr.subplan =
   let sub_env = { env with outer = Some outer_schema } in
@@ -491,6 +492,7 @@ and bind_grouped env from_schema node q =
           ( List.map (fun (c, r) -> (bind_post c, bind_post r)) branches,
             Option.map bind_post else_ )
       | E_exists _ | E_in_query _ | E_scalar _ -> err "subqueries over grouped output are unsupported"
+      | E_param i -> Expr.Param i
     end
   in
   let bound_items =

@@ -11,13 +11,20 @@ type view = {
 type t = {
   tables : (string, Table.t) Hashtbl.t;
   views : (string, view) Hashtbl.t;
+  mutable version : int;
+      (** bumped on every schema change (table/view added or dropped);
+          cached fetch plans are valid only for the version they were
+          compiled against *)
 }
 
 exception Unknown_table of string
 exception Duplicate_name of string
 
 (** [create ()] is an empty catalog. *)
-let create () = { tables = Hashtbl.create 16; views = Hashtbl.create 16 }
+let create () = { tables = Hashtbl.create 16; views = Hashtbl.create 16; version = 0 }
+
+(** [version cat] is the schema version, bumped by every DDL change. *)
+let version cat = cat.version
 
 let norm = String.lowercase_ascii
 
@@ -26,7 +33,8 @@ let norm = String.lowercase_ascii
 let add_table cat table =
   let key = norm (Table.name table) in
   if Hashtbl.mem cat.tables key || Hashtbl.mem cat.views key then raise (Duplicate_name key);
-  Hashtbl.replace cat.tables key table
+  Hashtbl.replace cat.tables key table;
+  cat.version <- cat.version + 1
 
 (** [create_table cat ~name schema] creates, registers and returns a fresh
     table. *)
@@ -49,20 +57,26 @@ let table_opt cat name = Hashtbl.find_opt cat.tables (norm name)
 let drop_table cat name =
   let key = norm name in
   if not (Hashtbl.mem cat.tables key) then raise (Unknown_table name);
-  Hashtbl.remove cat.tables key
+  Hashtbl.remove cat.tables key;
+  cat.version <- cat.version + 1
 
 (** [add_view cat ~name query] registers a tabular view.
     @raise Duplicate_name when the name is taken. *)
 let add_view cat ~name query =
   let key = norm name in
   if Hashtbl.mem cat.tables key || Hashtbl.mem cat.views key then raise (Duplicate_name key);
-  Hashtbl.replace cat.views key { view_name = name; view_query = query }
+  Hashtbl.replace cat.views key { view_name = name; view_query = query };
+  cat.version <- cat.version + 1
 
 (** [view_opt cat name] is the view definition, if registered. *)
 let view_opt cat name = Hashtbl.find_opt cat.views (norm name)
 
 (** [drop_view cat name] unregisters a view. *)
-let drop_view cat name = Hashtbl.remove cat.views (norm name)
+let drop_view cat name =
+  if Hashtbl.mem cat.views (norm name) then begin
+    Hashtbl.remove cat.views (norm name);
+    cat.version <- cat.version + 1
+  end
 
 (** [tables cat] lists registered tables (unordered). *)
 let tables cat = Hashtbl.fold (fun _ t acc -> t :: acc) cat.tables []

@@ -13,6 +13,11 @@ exception Duplicate_name of string
 
 val create : unit -> t
 
+(** [version cat] is the schema version: a counter bumped by every DDL
+    change (table/view added or dropped). Cached fetch plans record it and
+    are invalidated when it moves. *)
+val version : t -> int
+
 (** @raise Duplicate_name when the name is taken by a table or view. *)
 val add_table : t -> Table.t -> unit
 

@@ -305,6 +305,12 @@ let exec_stmt_ast db (stmt : Sql_ast.stmt) : exec_result =
   | Sql_ast.S_drop_view name ->
     Catalog.drop_view db.catalog name;
     Done (Printf.sprintf "dropped view %s" name)
+  | Sql_ast.S_drop_index name ->
+    let dropped =
+      List.exists (fun table -> Table.drop_index table ~name) (Catalog.tables db.catalog)
+    in
+    if not dropped then err "unknown index %s" name;
+    Done (Printf.sprintf "dropped index %s" name)
   | Sql_ast.S_explain q -> Done (explain_ast db q)
   | Sql_ast.S_begin ->
     Txn.begin_txn db.txn;

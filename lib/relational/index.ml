@@ -23,8 +23,21 @@ type t = {
   mutable ordered : int list KeyMap.t;  (** used when [idx_kind = Ordered] *)
 }
 
+(* Global index epoch: bumped whenever an index is created or dropped
+   anywhere. Cached fetch plans bake index choices in at compile time and
+   record the epoch they compiled against; a moved epoch invalidates them. *)
+let epoch_counter = ref 0
+
+(** [epoch ()] is the global index epoch. *)
+let epoch () = !epoch_counter
+
+(** [bump_epoch ()] advances the global index epoch (called on index
+    creation here and on index drop by {!Table.drop_index}). *)
+let bump_epoch () = incr epoch_counter
+
 (** [create ~name ~cols kind] is an empty index over key columns [cols]. *)
 let create ~name ~cols kind =
+  bump_epoch ();
   { idx_name = name; idx_cols = cols; idx_kind = kind; hash = KeyHash.create 64; ordered = KeyMap.empty }
 
 let name t = t.idx_name

@@ -7,8 +7,16 @@ type kind = Hash | Ordered
 type t
 
 (** [create ~name ~cols kind] is an empty index over the key column
-    positions [cols] of the indexed table. *)
+    positions [cols] of the indexed table. Bumps the global epoch. *)
 val create : name:string -> cols:int array -> kind -> t
+
+(** [epoch ()] is the global index epoch: bumped whenever an index is
+    created or dropped anywhere. Cached fetch plans bake index choices in
+    at compile time and record this; a moved epoch invalidates them. *)
+val epoch : unit -> int
+
+(** [bump_epoch ()] advances the global index epoch. *)
+val bump_epoch : unit -> unit
 
 val name : t -> string
 val cols : t -> int array

@@ -25,6 +25,7 @@ type expr =
   | E_exists of select
   | E_in_query of expr * select
   | E_scalar of select  (** scalar subquery *)
+  | E_param of int  (** [?] placeholder, numbered in lexical order *)
 
 and select_item =
   | Sel_star  (** [*] *)
@@ -79,6 +80,7 @@ type stmt =
   | S_create_view of { cv_name : string; cv_query : select }
   | S_drop_table of string
   | S_drop_view of string
+  | S_drop_index of string
   | S_explain of select  (** show the rewritten QGM and the physical plan *)
   | S_begin
   | S_commit
@@ -124,6 +126,7 @@ let rec pp_expr ppf = function
   | E_exists q -> Fmt.pf ppf "EXISTS (%a)" pp_select q
   | E_in_query (a, q) -> Fmt.pf ppf "(%a IN (%a))" pp_expr a pp_select q
   | E_scalar q -> Fmt.pf ppf "(%a)" pp_select q
+  | E_param _ -> Fmt.string ppf "?"
 
 and pp_item ppf = function
   | Sel_star -> Fmt.string ppf "*"
@@ -195,10 +198,105 @@ let pp_stmt ppf = function
   | S_create_view { cv_name; cv_query } -> Fmt.pf ppf "CREATE VIEW %s AS %a" cv_name pp_select cv_query
   | S_drop_table n -> Fmt.pf ppf "DROP TABLE %s" n
   | S_drop_view n -> Fmt.pf ppf "DROP VIEW %s" n
+  | S_drop_index n -> Fmt.pf ppf "DROP INDEX %s" n
   | S_explain q -> Fmt.pf ppf "EXPLAIN %a" pp_select q
   | S_begin -> Fmt.string ppf "BEGIN"
   | S_commit -> Fmt.string ppf "COMMIT"
   | S_rollback -> Fmt.string ppf "ROLLBACK"
+
+(** [subst_params_expr env e] replaces every [E_param i] with the literal
+    [env.(i)]. @raise Invalid_argument when a slot is out of range. *)
+let rec subst_params_expr (env : Value.t array) (e : expr) : expr =
+  let s = subst_params_expr env in
+  let sq = subst_params_select env in
+  match e with
+  | E_param i ->
+    if i < 0 || i >= Array.length env then
+      invalid_arg (Printf.sprintf "parameter ?%d has no bound value (%d given)" (i + 1)
+           (Array.length env));
+    E_lit env.(i)
+  | E_col _ | E_lit _ | E_count_star -> e
+  | E_cmp (op, a, b) -> E_cmp (op, s a, s b)
+  | E_arith (op, a, b) -> E_arith (op, s a, s b)
+  | E_neg a -> E_neg (s a)
+  | E_and (a, b) -> E_and (s a, s b)
+  | E_or (a, b) -> E_or (s a, s b)
+  | E_not a -> E_not (s a)
+  | E_is_null a -> E_is_null (s a)
+  | E_is_not_null a -> E_is_not_null (s a)
+  | E_like (a, p) -> E_like (s a, s p)
+  | E_in_list (a, items) -> E_in_list (s a, List.map s items)
+  | E_case (branches, else_) ->
+    E_case (List.map (fun (c, r) -> (s c, s r)) branches, Option.map s else_)
+  | E_fn (name, args) -> E_fn (name, List.map s args)
+  | E_fn_distinct (name, arg) -> E_fn_distinct (name, s arg)
+  | E_exists q -> E_exists (sq q)
+  | E_in_query (a, q) -> E_in_query (s a, sq q)
+  | E_scalar q -> E_scalar (sq q)
+
+(** [subst_params_select env q] substitutes parameters through every
+    expression position of [q], including derived tables, subqueries and
+    UNION branches. *)
+and subst_params_select env (q : select) : select =
+  let s = subst_params_expr env in
+  let sq = subst_params_select env in
+  let item = function
+    | (Sel_star | Sel_table_star _) as it -> it
+    | Sel_expr (e, a) -> Sel_expr (s e, a)
+  in
+  let rec tref = function
+    | From_table _ as t -> t
+    | From_select (sub, a) -> From_select (sq sub, a)
+    | From_join (l, k, r, on) -> From_join (tref l, k, tref r, Option.map s on)
+  in
+  { q with
+    sel_items = List.map item q.sel_items;
+    sel_from = List.map tref q.sel_from;
+    sel_where = Option.map s q.sel_where;
+    sel_group_by = List.map s q.sel_group_by;
+    sel_having = Option.map s q.sel_having;
+    sel_unions = List.map (fun (op, b) -> (op, sq b)) q.sel_unions;
+    sel_order_by = List.map (fun (e, d) -> (s e, d)) q.sel_order_by }
+
+(** [count_params_expr e] / [count_params_select q]: number of parameter
+    slots, i.e. 1 + the highest [E_param] index (0 when none). *)
+let rec count_params_expr (e : expr) : int =
+  let c = count_params_expr in
+  let cq = count_params_select in
+  let cl es = List.fold_left (fun acc x -> max acc (c x)) 0 es in
+  match e with
+  | E_param i -> i + 1
+  | E_col _ | E_lit _ | E_count_star -> 0
+  | E_cmp (_, a, b) | E_arith (_, a, b) | E_and (a, b) | E_or (a, b) | E_like (a, b) ->
+    max (c a) (c b)
+  | E_neg a | E_not a | E_is_null a | E_is_not_null a -> c a
+  | E_in_list (a, items) -> max (c a) (cl items)
+  | E_case (branches, else_) ->
+    List.fold_left
+      (fun acc (cond, r) -> max acc (max (c cond) (c r)))
+      (match else_ with Some e -> c e | None -> 0)
+      branches
+  | E_fn (_, args) -> cl args
+  | E_fn_distinct (_, arg) -> c arg
+  | E_exists q -> cq q
+  | E_in_query (a, q) -> max (c a) (cq q)
+  | E_scalar q -> cq q
+
+and count_params_select (q : select) : int =
+  let c = count_params_expr in
+  let cq = count_params_select in
+  let copt = function Some e -> c e | None -> 0 in
+  let item = function Sel_star | Sel_table_star _ -> 0 | Sel_expr (e, _) -> c e in
+  let rec tref = function
+    | From_table _ -> 0
+    | From_select (sub, _) -> cq sub
+    | From_join (l, _, r, on) -> max (max (tref l) (tref r)) (copt on)
+  in
+  let fold f xs = List.fold_left (fun acc x -> max acc (f x)) 0 xs in
+  List.fold_left max 0
+    [ fold item q.sel_items; fold tref q.sel_from; copt q.sel_where; fold c q.sel_group_by;
+      copt q.sel_having; fold (fun (_, b) -> cq b) q.sel_unions;
+      fold (fun (e, _) -> c e) q.sel_order_by ]
 
 (** [select_to_string q] renders [q] as SQL text. *)
 let select_to_string q = Fmt.str "%a" pp_select q

@@ -26,7 +26,7 @@ let keywords =
     "WHEN"; "THEN"; "ELSE"; "END"; "AS"; "JOIN"; "LEFT"; "INNER"; "ON"; "TRUE"; "FALSE";
     "INSERT"; "INTO"; "VALUES"; "UPDATE"; "SET"; "DELETE"; "CREATE"; "TABLE"; "INDEX"; "VIEW";
     "DROP"; "PRIMARY"; "KEY"; "INTEGER"; "INT"; "FLOAT"; "VARCHAR"; "BOOLEAN"; "USING";
-    "ORDERED"; "UNION"; "ALL"; "BEGIN"; "COMMIT"; "ROLLBACK"; "EXPLAIN" ;
+    "ORDERED"; "UNION"; "ALL"; "BEGIN"; "COMMIT"; "ROLLBACK"; "EXPLAIN"; "PREPARE"; "EXECUTE";
     (* XNF extensions *)
     "OUT"; "OF"; "TAKE"; "RELATE"; "SUCH"; "THAT"; "WITH"; "ATTRIBUTES"; "CONNECT";
     "DISCONNECT" ]
@@ -148,7 +148,7 @@ let tokenize_spanned (s : string) : token array * Srcloc.span array =
         emit (SYM (if two = "!=" then "<>" else two))
       | _ -> begin
         match c with
-        | '(' | ')' | ',' | '.' | '*' | '=' | '<' | '>' | '+' | '-' | '/' | '%' | ';' ->
+        | '(' | ')' | ',' | '.' | '*' | '=' | '<' | '>' | '+' | '-' | '/' | '%' | ';' | '?' ->
           incr i;
           emit (SYM (String.make 1 c))
         | _ -> fail_at !i (Printf.sprintf "unexpected character %C" c)
@@ -165,14 +165,21 @@ let tokenize_spanned (s : string) : token array * Srcloc.span array =
 let tokenize (s : string) : token array = fst (tokenize_spanned s)
 
 (** Token cursors: mutable position over a token array, shared by the SQL
-    and XNF recursive-descent parsers. [spans] is parallel to [toks]. *)
-type cursor = { toks : token array; spans : Srcloc.span array; mutable pos : int }
+    and XNF recursive-descent parsers. [spans] is parallel to [toks].
+    [params] counts the [?] parameter markers seen so far, so the two
+    parsers assign slots in lexical order across the whole statement. *)
+type cursor = {
+  toks : token array;
+  spans : Srcloc.span array;
+  mutable pos : int;
+  mutable params : int;
+}
 
 (** [cursor_of_string s] tokenizes [s] and positions a cursor at the
     start. *)
 let cursor_of_string s =
   let toks, spans = tokenize_spanned s in
-  { toks; spans; pos = 0 }
+  { toks; spans; pos = 0; params = 0 }
 
 let token_to_string = function
   | IDENT s -> Printf.sprintf "identifier %S" s

@@ -30,8 +30,15 @@ val tokenize : string -> token array
 val tokenize_spanned : string -> token array * Srcloc.span array
 
 (** Mutable cursor with arbitrary lookahead over a token array. [spans] is
-    parallel to [toks]. *)
-type cursor = { toks : token array; spans : Srcloc.span array; mutable pos : int }
+    parallel to [toks]; [params] counts the [?] parameter markers consumed
+    so far, so slots are numbered in lexical order across the whole
+    statement even when the SQL and XNF parsers share the cursor. *)
+type cursor = {
+  toks : token array;
+  spans : Srcloc.span array;
+  mutable pos : int;
+  mutable params : int;
+}
 
 val cursor_of_string : string -> cursor
 val token_to_string : token -> string

@@ -137,6 +137,11 @@ and parse_primary c =
   | L.KW "NULL" ->
     ignore (L.advance c);
     E_lit Value.Null
+  | L.SYM "?" ->
+    ignore (L.advance c);
+    let i = c.L.params in
+    c.L.params <- i + 1;
+    E_param i
   | L.KW "CASE" ->
     ignore (L.advance c);
     let rec branches acc =
@@ -498,7 +503,8 @@ let parse_stmt_cursor c : stmt =
     match L.advance c with
     | L.KW "TABLE" -> S_drop_table (L.expect_ident c)
     | L.KW "VIEW" -> S_drop_view (L.expect_ident c)
-    | _ -> parse_error c "expected TABLE or VIEW after DROP"
+    | L.KW "INDEX" -> S_drop_index (L.expect_ident c)
+    | _ -> parse_error c "expected TABLE, VIEW or INDEX after DROP"
   end
   | L.KW "EXPLAIN" ->
     ignore (L.advance c);

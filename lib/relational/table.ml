@@ -163,6 +163,20 @@ let add_index t ~name ~cols kind =
 (** [indexes t] lists the table's indexes. *)
 let indexes t = t.indexes
 
+(** [drop_index t ~name] removes the index named [name] (case-insensitive);
+    returns whether one was removed. Bumps the global index epoch. *)
+let drop_index t ~name =
+  let key = String.lowercase_ascii name in
+  let keep, dropped =
+    List.partition (fun idx -> String.lowercase_ascii (Index.name idx) <> key) t.indexes
+  in
+  if dropped = [] then false
+  else begin
+    t.indexes <- keep;
+    Index.bump_epoch ();
+    true
+  end
+
 (** [find_index t ~cols] is an index whose key is exactly [cols], if any. *)
 let find_index t ~cols =
   List.find_opt (fun idx -> Index.cols idx = cols) t.indexes

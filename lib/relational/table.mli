@@ -59,6 +59,10 @@ val add_index : t -> name:string -> cols:int array -> Index.kind -> Index.t
 
 val indexes : t -> Index.t list
 
+(** [drop_index t ~name] removes the index named [name] (case-insensitive);
+    returns whether one was removed. Bumps the global index epoch. *)
+val drop_index : t -> name:string -> bool
+
 (** [find_index t ~cols] is an index keyed exactly by [cols], if any. *)
 val find_index : t -> cols:int array -> Index.t option
 

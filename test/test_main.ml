@@ -44,5 +44,6 @@ let () =
       ("observability", Test_obs.suite);
       ("properties", Test_props.suite qcheck_seed);
       ("properties-2", Test_props2.suite qcheck_seed);
+      ("xnf-fetch-plan", Test_fetch_plan.suite);
       ("fuzz", Test_fuzz.suite);
       ("check", Test_check.suite) ]
