@@ -23,6 +23,7 @@ check:
 ci-nightly:
 	FUZZ_ITERS=5000 ./ci.sh
 	dune exec bench/main.exe
+	E12_SCALE=10 dune exec bench/main.exe -- --only E12
 
 fuzz: build
 	dune exec bin/xnf_fuzz.exe -- --seed 42 --iters $${FUZZ_ITERS:-500} --quiet

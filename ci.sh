@@ -37,12 +37,15 @@ dune exec bin/xnf_fuzz.exe -- --seed 42 --iters 25 --mutate drop-tuple --no-shri
 echo "== bench smoke =="
 dune exec bench/main.exe -- --list
 
-echo "== bench gate (E11 vs BENCH_seed.json) =="
-# re-run the repeated-fetch experiment and diff its bench.* metrics
-# against the committed baseline: counters exact, timing gauges within
-# BENCH_TOLERANCE (relative; generous because CI machines vary), and the
-# warm plan-cache speedup must stay >= 2x regardless of the baseline
-dune exec bench/main.exe -- --only E11 --json /tmp/bench_fresh_$$.json > /dev/null
+echo "== bench gate (E11+E12 vs BENCH_seed.json) =="
+# re-run the repeated-fetch and batch-edge experiments and diff their
+# bench.* metrics against the committed baseline: counters exact, timing
+# gauges within BENCH_TOLERANCE (relative; generous because CI machines
+# vary), and two absolute floors regardless of the baseline: the warm
+# plan-cache speedup >= 2x, and batch hash probing >= 3x over the
+# engine-planned generic path on the 100k-row deep schema
+dune exec bench/main.exe -- --only E11 --only E12 --json /tmp/bench_fresh_$$.json > /dev/null
 dune exec bin/bench_compare.exe -- BENCH_seed.json /tmp/bench_fresh_$$.json \
-  --tolerance "${BENCH_TOLERANCE:-0.5}" --min bench.e11.warm_speedup=2
+  --tolerance "${BENCH_TOLERANCE:-0.5}" --min bench.e11.warm_speedup=2 \
+  --min bench.e12.deep_speedup=3
 rm -f /tmp/bench_fresh_$$.json

@@ -319,6 +319,10 @@ let exec api text : outcome =
 let explain_analyze api text =
   match Xnf_parser.parse_stmt text with
   | Xnf_ast.X_query q ->
+    (* resolve the plan first (cache hit or fresh compile) so the fetch
+       below is the last traced root; its per-edge access-path selection
+       annotates the operator lines *)
+    let strategies = Fetch_plan.strategies (plan_for api q) in
     let cache = fetch api q in
     let b = Buffer.create 256 in
     (match Obs.Trace.last () with
@@ -333,7 +337,13 @@ let explain_analyze api text =
       cache.Cache.c_nodes;
     List.iter
       (fun (name, ei) ->
-        Printf.bprintf b "  edge %-24s conns=%d\n" name (List.length (Cache.conns_live ei)))
+        let strategy =
+          match List.assoc_opt name strategies with
+          | Some s -> Translate.strategy_name s
+          | None -> "generic"
+        in
+        Printf.bprintf b "  edge %-24s conns=%d strategy=%s\n" name
+          (List.length (Cache.conns_live ei)) strategy)
       cache.Cache.c_edges;
     Printf.bprintf b "(%d tuples, %d connections)\n" (Cache.total_tuples cache)
       (Cache.total_conns cache);

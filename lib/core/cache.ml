@@ -164,6 +164,18 @@ let add_conn ei ~parent ~child ~attrs =
   Hashtbl.replace ei.ei_parents_of child (idx :: adj ei.ei_parents_of child);
   idx
 
+(** [add_conns ei conns] bulk-appends [(parent, child, attrs)] live
+    connections — the readout path of the fused fixpoint, where whole
+    per-edge accumulators land at once. *)
+let add_conns ei conns =
+  List.iter
+    (fun (parent, child, attrs) ->
+      let idx = Vec.length ei.ei_conns in
+      Vec.push ei.ei_conns { cn_parent = parent; cn_child = child; cn_attrs = attrs; cn_live = true };
+      Hashtbl.replace ei.ei_children_of parent (idx :: adj ei.ei_children_of parent);
+      Hashtbl.replace ei.ei_parents_of child (idx :: adj ei.ei_parents_of child))
+    conns
+
 (** [add_tuple ni ~rowid row] appends a live tuple; returns its position. *)
 let add_tuple ni ~rowid row =
   let pos = Vec.length ni.ni_tuples in

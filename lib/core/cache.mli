@@ -102,6 +102,10 @@ val related : t -> edge_inst -> from:string -> int -> string * int list
     adjacency; returns its index. *)
 val add_conn : edge_inst -> parent:int -> child:int -> attrs:Row.t -> int
 
+(** [add_conns ei conns] bulk-appends [(parent, child, attrs)] live
+    connections with their adjacency — the fused-fixpoint readout path. *)
+val add_conns : edge_inst -> (int * int * Row.t) list -> unit
+
 (** [add_tuple ni ~rowid row] appends a live tuple; returns its position. *)
 val add_tuple : node_inst -> rowid:int option -> Row.t -> int
 

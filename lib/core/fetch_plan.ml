@@ -83,7 +83,19 @@ let nparams plan = plan.fp_nparams
 let hits plan = plan.fp_hits
 let note_hit plan = plan.fp_hits <- plan.fp_hits + 1
 
-(** [describe plan] is a one-line summary for [\plans]. *)
+(** [strategies plan] is the access path selected per relationship. *)
+let strategies plan = Translate.edge_strategies plan.fp_compiled
+
+(** [describe plan] is a one-line summary for [\plans], including the
+    selected per-edge access paths. *)
 let describe plan =
-  Printf.sprintf "params=%d hits=%d reg=v%d cat=v%d idx=e%d | %s" plan.fp_nparams plan.fp_hits
-    plan.fp_reg_version plan.fp_catalog_version plan.fp_index_epoch plan.fp_text
+  let strats =
+    match strategies plan with
+    | [] -> ""
+    | ss ->
+      " edges="
+      ^ String.concat ","
+          (List.map (fun (n, s) -> Printf.sprintf "%s:%s" n (Translate.strategy_name s)) ss)
+  in
+  Printf.sprintf "params=%d hits=%d reg=v%d cat=v%d idx=e%d%s | %s" plan.fp_nparams plan.fp_hits
+    plan.fp_reg_version plan.fp_catalog_version plan.fp_index_epoch strats plan.fp_text

@@ -44,6 +44,10 @@ val hits : t -> int
 (** [note_hit plan] records one cache hit. *)
 val note_hit : t -> unit
 
+(** [strategies plan] is the access path {!Translate.compile_def} selected
+    for each relationship of the plan, in definition order. *)
+val strategies : t -> (string * Translate.strategy) list
+
 (** [describe plan] is a one-line summary (parameters, hits, version
     snapshot, query text) for the shell's [\plans] listing. *)
 val describe : t -> string

@@ -40,6 +40,14 @@ let err fmt = Fmt.kstr (fun s -> raise (Translate_error s)) fmt
 
 type fixpoint = Semi_naive | Naive
 
+(** Edge access paths, in selection-priority order. *)
+type strategy = S_indexed | S_hash | S_generic
+
+let strategy_name = function
+  | S_indexed -> "indexed"
+  | S_hash -> "hash-batch"
+  | S_generic -> "generic"
+
 (** Statistics of translation activity since the last [reset_stats]. *)
 type stats = {
   mutable queries_issued : int;  (** relational queries / batch probes run *)
@@ -47,18 +55,26 @@ type stats = {
   mutable tuples_probed : int;  (** total frontier sizes fed to edge probes *)
   mutable indexed_probes : int;  (** edges served by index-nested-loop probes *)
   mutable generic_probes : int;  (** edges served by generic join plans *)
+  mutable hash_edges : int;  (** edges served by batch hash probes *)
+  mutable hash_builds : int;  (** hash tables built over child/link extents *)
+  mutable hash_build_reuses : int;  (** builds skipped: cached table still version-valid *)
+  mutable hash_probes : int;  (** batch hash probe passes run *)
 }
 
 let stats =
   { queries_issued = 0; fixpoint_rounds = 0; tuples_probed = 0; indexed_probes = 0;
-    generic_probes = 0 }
+    generic_probes = 0; hash_edges = 0; hash_builds = 0; hash_build_reuses = 0; hash_probes = 0 }
 
 let reset_stats () =
   stats.queries_issued <- 0;
   stats.fixpoint_rounds <- 0;
   stats.tuples_probed <- 0;
   stats.indexed_probes <- 0;
-  stats.generic_probes <- 0
+  stats.generic_probes <- 0;
+  stats.hash_edges <- 0;
+  stats.hash_builds <- 0;
+  stats.hash_build_reuses <- 0;
+  stats.hash_probes <- 0
 
 (* the same activity, mirrored into the process-global metrics registry
    (the [stats] record stays per-module for the existing harness API) *)
@@ -67,6 +83,10 @@ let m_rounds = Obs.Metrics.counter "xnf.translate.rounds"
 let m_tuples_probed = Obs.Metrics.counter "xnf.translate.tuples_probed"
 let m_indexed_probes = Obs.Metrics.counter "xnf.translate.indexed_probes"
 let m_generic_probes = Obs.Metrics.counter "xnf.translate.generic_probes"
+let m_hash_edges = Obs.Metrics.counter "xnf.translate.hash_edges"
+let m_hash_builds = Obs.Metrics.counter "xnf.translate.hash_builds"
+let m_hash_build_reuses = Obs.Metrics.counter "xnf.translate.hash_build_reuses"
+let m_hash_probes = Obs.Metrics.counter "xnf.translate.hash_probes"
 
 let note_query () =
   stats.queries_issued <- stats.queries_issued + 1;
@@ -260,7 +280,9 @@ type probe_hit = { ph_rowid : int; ph_row : Row.t; ph_attrs : Row.t }
 type prober =
   | P_indexed of Schema.t * (Row.t -> probe_hit list)
       (** relationship-attribute schema + probe applied to the parent node row *)
-  | P_generic
+  | P_hash of Schema.t * (Row.t -> probe_hit list)
+      (** same contract, resolved through version-cached hash builds *)
+  | P_generic of Schema.t  (** precomputed relationship-attribute schema *)
 
 let edge_conjuncts (ed : Co_schema.edge_def) =
   let rec split = function
@@ -273,16 +295,12 @@ let qual_is alias = function
   | Some q -> String.equal (String.lowercase_ascii q) alias
   | None -> false
 
-(* try to build an index-nested-loop prober for [ed]; [parent_schema] is
-   the parent node's output schema, the child must be simple. The result
-   is parameterized over EXECUTE-time values: applying it to a [params]
-   array substitutes the parameter slots once and yields the per-row
-   probe function. *)
-let build_indexed_prober db (ed : Co_schema.edge_def) ~(parent_schema : Schema.t)
-    ~(child : simple) : (Value.t array -> Row.t -> probe_hit list) option =
+(* shared prelude of the OCaml-executed probe paths (index-nested-loop
+   and batch hash): the concat schema residual predicates and attributes
+   bind over, and the per-EXECUTE parameter specialization. *)
+let prober_ctx db (ed : Co_schema.edge_def) ~(parent_schema : Schema.t) ~(child : simple) =
   let pa = ed.Co_schema.ed_parent_alias and ca = ed.Co_schema.ed_child_alias in
   let child_base_schema = Table.schema child.s_table in
-  let conjuncts = edge_conjuncts ed in
   (* the schema residual predicates and attributes bind over *)
   let concat_schema =
     let base = Schema.concat (Schema.requalify pa parent_schema) (Schema.requalify ca child_base_schema) in
@@ -304,6 +322,10 @@ let build_indexed_prober db (ed : Co_schema.edge_def) ~(parent_schema : Schema.t
     List.map (fun (e, _) -> Binder.bind_expr env concat_schema e) ed.Co_schema.ed_attrs
   in
   let node_row base_row = Row.project base_row child.s_proj in
+  (* when the edge carries no WITH ATTRIBUTES, hits never need the
+     parent++child concat row unless a residual predicate asks for it —
+     probers use this to skip the per-hit row allocation entirely *)
+  let no_attrs = ed.Co_schema.ed_attrs = [] in
   (* bind parameter slots once per EXECUTE, not once per probed row *)
   let specialize params =
     let sub e = if Array.length params = 0 then e else Expr.subst_params params e in
@@ -315,6 +337,19 @@ let build_indexed_prober db (ed : Co_schema.edge_def) ~(parent_schema : Schema.t
     in
     (sub, eval_attrs, child_ok)
   in
+  (bind_residual, node_row, no_attrs, specialize)
+
+(* try to build an index-nested-loop prober for [ed]; [parent_schema] is
+   the parent node's output schema, the child must be simple. The result
+   is parameterized over EXECUTE-time values: applying it to a [params]
+   array substitutes the parameter slots once and yields the per-row
+   probe function. *)
+let build_indexed_prober db (ed : Co_schema.edge_def) ~(parent_schema : Schema.t)
+    ~(child : simple) : (Value.t array -> Row.t -> probe_hit list) option =
+  let pa = ed.Co_schema.ed_parent_alias and ca = ed.Co_schema.ed_child_alias in
+  let child_base_schema = Table.schema child.s_table in
+  let conjuncts = edge_conjuncts ed in
+  let bind_residual, node_row, no_attrs, specialize = prober_ctx db ed ~parent_schema ~child in
   match ed.Co_schema.ed_using with
   | None -> begin
     (* FK form: find one equality parent.a = child.b with an index on b *)
@@ -353,6 +388,9 @@ let build_indexed_prober db (ed : Co_schema.edge_def) ~(parent_schema : Schema.t
             List.filter_map
               (fun (rowid, base_row) ->
                 if not (child_ok base_row) then None
+                else if residual = None && no_attrs then
+                  (* fast path: nothing reads the concat row — skip it *)
+                  Some { ph_rowid = rowid; ph_row = node_row base_row; ph_attrs = [||] }
                 else begin
                   let concat = Row.concat parent_row base_row in
                   let keep =
@@ -424,6 +462,8 @@ let build_indexed_prober db (ed : Co_schema.edge_def) ~(parent_schema : Schema.t
                       List.filter_map
                         (fun (rowid, base_row) ->
                           if not (child_ok base_row) then None
+                          else if residual = None && no_attrs then
+                            Some { ph_rowid = rowid; ph_row = node_row base_row; ph_attrs = [||] }
                           else begin
                             let concat = Row.concat (Row.concat parent_row base_row) link_row in
                             let keep =
@@ -439,6 +479,209 @@ let build_indexed_prober db (ed : Co_schema.edge_def) ~(parent_schema : Schema.t
                         (Table.lookup_index child.s_table child_idx child_key))
                   (Table.lookup_index link link_idx link_key))
         | _ -> None
+      end
+    end
+  end
+
+(* ---- batch hash probing ----
+
+   The set-oriented default when no index serves the relationship: all
+   [parent.a = child.b] equality conjuncts form a composite key, a hash
+   table over the child extent keyed by the child half is built once, and
+   every frontier row probes it ([probe_hit]s come out exactly as for the
+   indexed path). USING relationships chain two builds: parent key ->
+   link rows -> child key -> child rows.
+
+   Builds are parameter-free — the child's own predicate and the edge's
+   residual are evaluated at probe time — so a completed build is held in
+   the compiled plan and reused by later executions (warm EXECUTE /
+   plan-cache hits) as long as the source table's DML-visible
+   [Table.version] still matches; DDL invalidation needs nothing extra
+   because [Fetch_plan.valid] already forces recompilation. Key equality
+   and hashing are [Expr.Row_key] — the same semantics the relational
+   hash-join operator uses — and NULL keys never match (rows with a NULL
+   key component are not entered, probes with one return nothing). *)
+
+type hash_build = {
+  hb_version : int;  (** [Table.version] of the source at build time *)
+  hb_tbl : (int * Row.t) Expr.Row_key_tbl.t;  (** key -> (rowid, base row), multi-bound *)
+}
+
+type hash_source = {
+  hs_table : Table.t;
+  hs_key_cols : int array;
+  mutable hs_build : hash_build option;  (** cached across executions of the plan *)
+}
+
+let ensure_build (hs : hash_source) =
+  let v = Table.version hs.hs_table in
+  match hs.hs_build with
+  | Some b when b.hb_version = v ->
+    stats.hash_build_reuses <- stats.hash_build_reuses + 1;
+    Obs.Metrics.incr m_hash_build_reuses;
+    b.hb_tbl
+  | _ ->
+    note_query ();
+    stats.hash_builds <- stats.hash_builds + 1;
+    Obs.Metrics.incr m_hash_builds;
+    (* pre-sized to the extent so no resize ever rehashes the whole
+       build; multi-binding adds keep it at one hash operation per row —
+       probes collect the bucket with [find_all] (probe sets are
+       frontier-sized, builds are extent-sized, so the build side is the
+       one to keep lean) *)
+    let tbl = Expr.Row_key_tbl.create (max 64 (Table.cardinality hs.hs_table)) in
+    Table.iter
+      (fun rowid row ->
+        let key = Array.map (fun i -> row.(i)) hs.hs_key_cols in
+        if not (Expr.Row_key.has_null key) then Expr.Row_key_tbl.add tbl key (rowid, row))
+      hs.hs_table;
+    hs.hs_build <- Some { hb_version = v; hb_tbl = tbl };
+    tbl
+
+(* [find_all] returns most-recently-added first, i.e. reverse table
+   order — hit order within one probe is not part of the contract *)
+let probe_build tbl (key : Expr.Row_key.t) =
+  if Expr.Row_key.has_null key then [] else Expr.Row_key_tbl.find_all tbl key
+
+(* try to build a batch-hash prober for [ed] — same contract as
+   [build_indexed_prober], but resolving matches through version-cached
+   hash builds instead of stored indexes, so it applies to any
+   equality-joined simple child. Builds/reuses happen when the returned
+   closure is applied to the EXECUTE-time [params] — once per fetch. *)
+let build_hash_prober db (ed : Co_schema.edge_def) ~(parent_schema : Schema.t)
+    ~(child : simple) : (Value.t array -> Row.t -> probe_hit list) option =
+  let pa = ed.Co_schema.ed_parent_alias and ca = ed.Co_schema.ed_child_alias in
+  let child_base_schema = Table.schema child.s_table in
+  let conjuncts = edge_conjuncts ed in
+  let bind_residual, node_row, no_attrs, specialize = prober_ctx db ed ~parent_schema ~child in
+  match ed.Co_schema.ed_using with
+  | None -> begin
+    (* FK form: every equality parent.a = child.b joins the key *)
+    let classify (q, n) =
+      if qual_is pa q then
+        Option.map (fun i -> `Parent i) (Schema.find_opt parent_schema n)
+      else if qual_is ca q then
+        Option.map (fun i -> `Child i) (Schema.find_opt child_base_schema n)
+      else None
+    in
+    let pairs = ref [] and residual = ref [] in
+    List.iter
+      (fun c ->
+        match c with
+        | Sql_ast.E_cmp (Expr.Eq, Sql_ast.E_col (qa, na), Sql_ast.E_col (qb, nb)) -> begin
+          match classify (qa, na), classify (qb, nb) with
+          | Some (`Parent p), Some (`Child ch) | Some (`Child ch), Some (`Parent p) ->
+            pairs := (p, ch) :: !pairs
+          | _ -> residual := c :: !residual
+        end
+        | c -> residual := c :: !residual)
+      conjuncts;
+    match List.rev !pairs with
+    | [] -> None
+    | pairs ->
+      let parent_cols = Array.of_list (List.map fst pairs) in
+      let source =
+        { hs_table = child.s_table; hs_key_cols = Array.of_list (List.map snd pairs);
+          hs_build = None }
+      in
+      let residual0 = bind_residual (List.rev !residual) in
+      Some
+        (fun params ->
+          let sub, eval_attrs, child_ok = specialize params in
+          let residual = Option.map sub residual0 in
+          let tbl = ensure_build source in
+          fun parent_row ->
+            let key = Array.map (fun p -> parent_row.(p)) parent_cols in
+            List.filter_map
+              (fun (rowid, base_row) ->
+                if not (child_ok base_row) then None
+                else if residual = None && no_attrs then
+                  (* fast path: nothing reads the concat row — skip it *)
+                  Some { ph_rowid = rowid; ph_row = node_row base_row; ph_attrs = [||] }
+                else begin
+                  let concat = Row.concat parent_row base_row in
+                  let keep =
+                    match residual with
+                    | None -> true
+                    | Some p -> Value.is_true (Expr.eval_pred concat p)
+                  in
+                  if keep then
+                    Some { ph_rowid = rowid; ph_row = node_row base_row; ph_attrs = eval_attrs concat }
+                  else None
+                end)
+              (probe_build tbl key))
+  end
+  | Some (link_name, la) -> begin
+    match Catalog.table_opt (Db.catalog db) link_name with
+    | None -> err "[XNF005] relationship %s: USING table %s does not exist" ed.Co_schema.ed_name link_name
+    | Some link -> begin
+      let link_schema = Table.schema link in
+      let la = String.lowercase_ascii la in
+      let classify (q, n) =
+        if qual_is pa q then Option.map (fun i -> `Parent i) (Schema.find_opt parent_schema n)
+        else if qual_is ca q then
+          Option.map (fun i -> `Child i) (Schema.find_opt child_base_schema n)
+        else if qual_is la q then Option.map (fun i -> `Link i) (Schema.find_opt link_schema n)
+        else None
+      in
+      let parent_bind = ref [] and child_bind = ref [] and residual = ref [] in
+      List.iter
+        (fun c ->
+          match c with
+          | Sql_ast.E_cmp (Expr.Eq, Sql_ast.E_col (qa, na), Sql_ast.E_col (qb, nb)) -> begin
+            match classify (qa, na), classify (qb, nb) with
+            | Some (`Link l), Some (`Parent p) | Some (`Parent p), Some (`Link l) ->
+              parent_bind := (l, p) :: !parent_bind
+            | Some (`Link l), Some (`Child ch) | Some (`Child ch), Some (`Link l) ->
+              child_bind := (l, ch) :: !child_bind
+            | _ -> residual := c :: !residual
+          end
+          | c -> residual := c :: !residual)
+        conjuncts;
+      let parent_bind = List.rev !parent_bind and child_bind = List.rev !child_bind in
+      if parent_bind = [] || child_bind = [] then None
+      else begin
+        let parent_cols = Array.of_list (List.map snd parent_bind) in
+        let link_ccols = Array.of_list (List.map fst child_bind) in
+        let link_source =
+          { hs_table = link; hs_key_cols = Array.of_list (List.map fst parent_bind);
+            hs_build = None }
+        in
+        let child_source =
+          { hs_table = child.s_table; hs_key_cols = Array.of_list (List.map snd child_bind);
+            hs_build = None }
+        in
+        let residual0 = bind_residual (List.rev !residual) in
+        Some
+          (fun params ->
+            let sub, eval_attrs, child_ok = specialize params in
+            let residual = Option.map sub residual0 in
+            let ltbl = ensure_build link_source in
+            let ctbl = ensure_build child_source in
+            fun parent_row ->
+              let link_key = Array.map (fun p -> parent_row.(p)) parent_cols in
+              List.concat_map
+                (fun (_, link_row) ->
+                  let child_key = Array.map (fun l -> link_row.(l)) link_ccols in
+                  List.filter_map
+                    (fun (rowid, base_row) ->
+                      if not (child_ok base_row) then None
+                      else if residual = None && no_attrs then
+                        Some { ph_rowid = rowid; ph_row = node_row base_row; ph_attrs = [||] }
+                      else begin
+                        let concat = Row.concat (Row.concat parent_row base_row) link_row in
+                        let keep =
+                          match residual with
+                          | None -> true
+                          | Some p -> Value.is_true (Expr.eval_pred concat p)
+                        in
+                        if keep then
+                          Some { ph_rowid = rowid; ph_row = node_row base_row;
+                                 ph_attrs = eval_attrs concat }
+                        else None
+                      end)
+                    (probe_build ctbl child_key))
+                (probe_build ltbl link_key))
       end
     end
   end
@@ -465,6 +708,31 @@ let probe_edge_generic db (ed : Co_schema.edge_def) ~parent_temp ~child_temp : i
   let c_tid = Schema.find schema ~qualifier:ed.Co_schema.ed_child_alias "__tid" in
   let qgm = Qgm.Project { input = tree; cols = [ (Expr.Col c_tid, tid_column) ] } in
   run_query db qgm |> Seq.map (fun row -> Value.as_int row.(0)) |> List.of_seq
+
+(* fused form of the per-round generic probe: one query yields the reached
+   child tids AND the connection payload (parent tid, child tid,
+   relationship attributes), so no second full join is needed after the
+   fixpoint *)
+let probe_edge_generic_fused db (ed : Co_schema.edge_def) ~parent_temp ~child_temp :
+    (int * int * Row.t) list =
+  let tree, schema = edge_tree db ed ~parent_temp ~child_temp in
+  let p_tid = Schema.find schema ~qualifier:ed.Co_schema.ed_parent_alias "__tid" in
+  let c_tid = Schema.find schema ~qualifier:ed.Co_schema.ed_child_alias "__tid" in
+  let env = Db.bind_env db in
+  let attr_cols =
+    List.map
+      (fun (e, name) ->
+        let bound = Binder.bind_expr env schema e in
+        let ty = Binder.infer_ty env schema bound in
+        (bound, Schema.column name ty))
+      ed.Co_schema.ed_attrs
+  in
+  let cols = (Expr.Col p_tid, tid_column) :: (Expr.Col c_tid, tid_column) :: attr_cols in
+  let qgm = Qgm.Project { input = tree; cols } in
+  run_query db qgm
+  |> Seq.map (fun row ->
+         (Value.as_int row.(0), Value.as_int row.(1), Array.sub row 2 (Array.length row - 2)))
+  |> List.of_seq
 
 let connections_generic db (ed : Co_schema.edge_def) ~parent_temp ~child_temp :
     Schema.t * (int * int * Row.t) list =
@@ -590,7 +858,9 @@ type node_plan = {
 type edge_plan =
   | EP_indexed of Schema.t * (Value.t array -> Row.t -> probe_hit list)
       (** precomputed relationship-attribute schema + parameterized prober *)
-  | EP_generic
+  | EP_hash of Schema.t * (Value.t array -> Row.t -> probe_hit list)
+      (** batch hash prober; its closure owns the version-cached builds *)
+  | EP_generic of Schema.t  (** precomputed relationship-attribute schema *)
 
 (* final updatability analysis of one edge against the post-TAKE schemas —
    a pure function of the plan, so computed once at compile time *)
@@ -608,11 +878,14 @@ type compiled = {
   cp_final : (string * edge_final) list;  (** per edge surviving the plan's TAKE *)
 }
 
-(** [compile_def ?take db def] runs the "translate" phase on a composed CO
-    definition: analysis and access-path selection, no data access. [take]
-    lets the final (post-projection) updatability analysis be precomputed
-    too; it defaults to [TAKE *]. *)
-let compile_def ?(take = Xnf_ast.Take_star) db (def : Co_schema.t) : compiled =
+(** [compile_def ?take ?force db def] runs the "translate" phase on a
+    composed CO definition: analysis and access-path selection, no data
+    access. [take] lets the final (post-projection) updatability analysis
+    be precomputed too; it defaults to [TAKE *]. [force] restricts
+    access-path selection to one strategy (used by the differential fuzz
+    oracle and the per-strategy bench); an edge the forced strategy cannot
+    serve falls back to the always-applicable generic path. *)
+let compile_def ?(take = Xnf_ast.Take_star) ?force db (def : Co_schema.t) : compiled =
   let catalog = Db.catalog db in
   Obs.Trace.with_span "translate" @@ fun () ->
   let nodes =
@@ -626,31 +899,47 @@ let compile_def ?(take = Xnf_ast.Take_star) db (def : Co_schema.t) : compiled =
       def.Co_schema.co_nodes
   in
   let node name = List.assoc name nodes in
+  let allowed s = match force with None -> true | Some f -> f = s in
   let edges =
     List.map
       (fun (ed : Co_schema.edge_def) ->
         let parent = node ed.Co_schema.ed_parent and child = node ed.Co_schema.ed_child in
+        (* a probe path over base rows needs a simple child; selection
+           priority is indexed > batch hash > generic *)
+        let try_prober want build wrap =
+          if not (allowed want) then None
+          else
+            match child.np_simple with
+            | None -> None
+            | Some c ->
+              Option.map
+                (fun f ->
+                  let attr_schema =
+                    attr_schema_of db ed ~parent_schema:parent.np_schema
+                      ~child_schema:(Table.schema c.s_table)
+                  in
+                  wrap attr_schema f)
+                (build db ed ~parent_schema:parent.np_schema ~child:c)
+        in
         let plan =
-          match child.np_simple with
-          | Some c -> begin
-            match build_indexed_prober db ed ~parent_schema:parent.np_schema ~child:c with
-            | Some f ->
-              stats.indexed_probes <- stats.indexed_probes + 1;
-              Obs.Metrics.incr m_indexed_probes;
-              let attr_schema =
-                attr_schema_of db ed ~parent_schema:parent.np_schema
-                  ~child_schema:(Table.schema c.s_table)
-              in
-              EP_indexed (attr_schema, f)
+          match try_prober S_indexed build_indexed_prober (fun s f -> EP_indexed (s, f)) with
+          | Some p ->
+            stats.indexed_probes <- stats.indexed_probes + 1;
+            Obs.Metrics.incr m_indexed_probes;
+            p
+          | None -> begin
+            match try_prober S_hash build_hash_prober (fun s f -> EP_hash (s, f)) with
+            | Some p ->
+              stats.hash_edges <- stats.hash_edges + 1;
+              Obs.Metrics.incr m_hash_edges;
+              p
             | None ->
               stats.generic_probes <- stats.generic_probes + 1;
               Obs.Metrics.incr m_generic_probes;
               EP_generic
+                (attr_schema_of db ed ~parent_schema:parent.np_schema
+                   ~child_schema:child.np_schema)
           end
-          | None ->
-            stats.generic_probes <- stats.generic_probes + 1;
-            Obs.Metrics.incr m_generic_probes;
-            EP_generic
         in
         (ed.Co_schema.ed_name, plan))
       def.Co_schema.co_edges
@@ -694,6 +983,16 @@ let compile_def ?(take = Xnf_ast.Take_star) db (def : Co_schema.t) : compiled =
   in
   { cp_def = def; cp_nodes = nodes; cp_edges = edges; cp_base_tables = base_tables;
     cp_final = final }
+
+(** [edge_strategies cp] lists the access path selected for each
+    relationship, in definition order — surfaced by [EXPLAIN ANALYZE] and
+    [\plans]. *)
+let edge_strategies (cp : compiled) : (string * strategy) list =
+  List.map
+    (fun (name, ep) ->
+      ( name,
+        match ep with EP_indexed _ -> S_indexed | EP_hash _ -> S_hash | EP_generic _ -> S_generic ))
+    cp.cp_edges
 
 (* substitute EXECUTE-time values into the symbolic (instance-evaluated)
    restrictions *)
@@ -746,23 +1045,54 @@ let execute_def ?(fixpoint = Semi_naive) ?(params = [||]) db (cp : compiled)
           ed_attrs = List.map (fun (e, n) -> (sub_expr e, n)) ed.Co_schema.ed_attrs })
       def.Co_schema.co_edges
   in
+  (* under the semi-naive fixpoint every live parent position is probed
+     exactly once per edge, so connection production fuses into the
+     reachability pass (per-edge accumulators read out afterwards). The
+     naive ablation re-probes parents every round and keeps the legacy
+     two-phase shape. *)
+  let fused = fixpoint = Semi_naive in
+  let conn_acc : (string * (int * int * Row.t) list ref) list =
+    List.map (fun (ed : Co_schema.edge_def) -> (ed.Co_schema.ed_name, ref [])) def.Co_schema.co_edges
+  in
+  let acc_of name = List.assoc name conn_acc in
+  (* 3–5 run under the "cache-fill" span: roots, reachability fixpoint,
+     connection extents *)
+  let edges =
+    Obs.Trace.with_span "cache-fill" @@ fun () ->
+  (* binding the parameter slots into the probers; batch-hash edges
+     (re)build or reuse their version-cached hash tables here, once per
+     fetch *)
   let probers =
+    Obs.Trace.with_span "edge-builds" @@ fun () ->
     List.map
       (fun (name, ep) ->
         ( name,
           match ep with
           | EP_indexed (asch, f) -> P_indexed (asch, f params)
-          | EP_generic -> P_generic ))
+          | EP_hash (asch, f) -> P_hash (asch, f params)
+          | EP_generic asch -> P_generic asch ))
       cp.cp_edges
   in
-  (* 3–5 run under the "cache-fill" span: roots, reachability fixpoint,
-     connection extents *)
-  let edges =
-    Obs.Trace.with_span "cache-fill" @@ fun () ->
   (* 3. roots: set-oriented evaluation of the derivations *)
   let frontier : (string, int list) Hashtbl.t = Hashtbl.create 8 in
+  (* positions ever enqueued, per node: under instance sharing several
+     edges can deliver the same position, and the fused connection
+     readout relies on each position being probed exactly once, so pushes
+     are deduplicated over the fixpoint's whole lifetime *)
+  let pushed : (string, (int, unit) Hashtbl.t) Hashtbl.t = Hashtbl.create 8 in
   let push_frontier name pos =
-    Hashtbl.replace frontier name (pos :: Option.value ~default:[] (Hashtbl.find_opt frontier name))
+    let seen =
+      match Hashtbl.find_opt pushed name with
+      | Some s -> s
+      | None ->
+        let s = Hashtbl.create 64 in
+        Hashtbl.add pushed name s;
+        s
+    in
+    if not (Hashtbl.mem seen pos) then begin
+      Hashtbl.replace seen pos ();
+      Hashtbl.replace frontier name (pos :: Option.value ~default:[] (Hashtbl.find_opt frontier name))
+    end
   in
   Obs.Trace.with_span "roots" (fun () ->
       List.iter
@@ -794,8 +1124,8 @@ let execute_def ?(fixpoint = Semi_naive) ?(params = [||]) db (cp : compiled)
   (* 4. reachability: semi-naive (or naive) fixpoint *)
   let add_child child_rt hit =
     match Hashtbl.find_opt child_rt.nr_ni.Cache.ni_by_rowid hit.ph_rowid with
-    | Some _ -> None
-    | None -> Some (Cache.add_tuple child_rt.nr_ni ~rowid:(Some hit.ph_rowid) hit.ph_row)
+    | Some pos -> (pos, false)
+    | None -> (Cache.add_tuple child_rt.nr_ni ~rowid:(Some hit.ph_rowid) hit.ph_row, true)
   in
   let changed = ref true in
   let run_fixpoint () =
@@ -821,50 +1151,74 @@ let execute_def ?(fixpoint = Semi_naive) ?(params = [||]) db (cp : compiled)
         if probe_set <> [] then begin
           stats.tuples_probed <- stats.tuples_probed + List.length probe_set;
           Obs.Metrics.incr ~by:(List.length probe_set) m_tuples_probed;
-          match List.assoc ed.Co_schema.ed_name probers with
-          | P_indexed (_, probe) ->
+          let probe_batch probe =
             note_query ();
+            let acc = acc_of ed.Co_schema.ed_name in
             List.iter
               (fun pos ->
                 let row = (Cache.tuple parent_rt.nr_ni pos).Cache.t_row in
                 List.iter
                   (fun hit ->
-                    match add_child child_rt hit with
-                    | Some new_pos ->
+                    let cpos, is_new = add_child child_rt hit in
+                    if fused then acc := (pos, cpos, hit.ph_attrs) :: !acc;
+                    if is_new then begin
                       changed := true;
-                      push_frontier ed.Co_schema.ed_child new_pos
-                    | None -> ())
+                      push_frontier ed.Co_schema.ed_child cpos
+                    end)
                   (probe row))
               probe_set
-          | P_generic ->
+          in
+          match List.assoc ed.Co_schema.ed_name probers with
+          | P_indexed (_, probe) -> probe_batch probe
+          | P_hash (_, probe) ->
+            stats.hash_probes <- stats.hash_probes + 1;
+            Obs.Metrics.incr m_hash_probes;
+            probe_batch probe
+          | P_generic _ ->
             let child_temp = ensure_temp db child_rt in
             let parent_temp =
               make_temp parent_rt.nr_ni.Cache.ni_schema
                 (List.to_seq probe_set
                 |> Seq.map (fun pos -> (pos, (Cache.tuple parent_rt.nr_ni pos).Cache.t_row)))
             in
-            let hits = probe_edge_generic db ed ~parent_temp ~child_temp in
-            let x = Option.get child_rt.nr_extent in
-            List.iter
-              (fun tid ->
-                if not (Hashtbl.mem child_rt.nr_tid2pos tid) then begin
-                  (* dedupe by rowid too, in case another (indexed) edge
-                     already reached this base row *)
-                  let dup =
-                    match x.x_rowids.(tid) with
-                    | Some rid -> Hashtbl.mem child_rt.nr_ni.Cache.ni_by_rowid rid
-                    | None -> false
-                  in
-                  if not dup then begin
+            let x () = Option.get child_rt.nr_extent in
+            (* child position for an extent tid, creating the tuple on
+               first reach; dedupes by rowid too, in case another
+               (indexed/hash) edge already delivered this base row *)
+            let pos_of_tid tid =
+              match Hashtbl.find_opt child_rt.nr_tid2pos tid with
+              | Some pos -> pos
+              | None ->
+                let x = x () in
+                let known =
+                  match x.x_rowids.(tid) with
+                  | Some rid -> Hashtbl.find_opt child_rt.nr_ni.Cache.ni_by_rowid rid
+                  | None -> None
+                in
+                let pos =
+                  match known with
+                  | Some pos -> pos
+                  | None ->
                     let pos =
                       Cache.add_tuple child_rt.nr_ni ~rowid:x.x_rowids.(tid) x.x_rows.(tid)
                     in
-                    Hashtbl.replace child_rt.nr_tid2pos tid pos;
                     changed := true;
-                    push_frontier ed.Co_schema.ed_child pos
-                  end
-                end)
-              hits
+                    push_frontier ed.Co_schema.ed_child pos;
+                    pos
+                in
+                Hashtbl.replace child_rt.nr_tid2pos tid pos;
+                pos
+            in
+            if fused then begin
+              let acc = acc_of ed.Co_schema.ed_name in
+              List.iter
+                (fun (ppos, tid, attrs) -> acc := (ppos, pos_of_tid tid, attrs) :: !acc)
+                (probe_edge_generic_fused db ed ~parent_temp ~child_temp)
+            end
+            else
+              List.iter
+                (fun tid -> ignore (pos_of_tid tid))
+                (probe_edge_generic db ed ~parent_temp ~child_temp)
         end)
       edge_defs;
     if fixpoint = Naive then Hashtbl.reset frontier
@@ -874,7 +1228,12 @@ let execute_def ?(fixpoint = Semi_naive) ?(params = [||]) db (cp : compiled)
       let round0 = stats.fixpoint_rounds in
       run_fixpoint ();
       Obs.Trace.add_meta "rounds" (string_of_int (stats.fixpoint_rounds - round0)));
-  (* 5. connection extents over the reached instance *)
+  (* 5. connection extents over the reached instance. Under the
+     semi-naive fixpoint the matches were already produced during
+     reachability — this is a readout of the per-edge accumulators, no
+     further query runs. The naive ablation recomputes them from the full
+     reached sets (its fixpoint probes parents repeatedly, so accumulation
+     would duplicate). *)
   let edges =
     Obs.Trace.with_span "connections" @@ fun () ->
     List.map
@@ -890,39 +1249,44 @@ let execute_def ?(fixpoint = Semi_naive) ?(params = [||]) db (cp : compiled)
               ei_children_of = Hashtbl.create 64; ei_parents_of = Hashtbl.create 64;
               ei_upd = Semantic.Upd_readonly "pending analysis" }
           in
-          List.iter
-            (fun (p, c, attrs) -> ignore (Cache.add_conn ei ~parent:p ~child:c ~attrs))
-            conns;
+          Cache.add_conns ei conns;
           Obs.Trace.add_meta "conns" (string_of_int (Vec.length ei.Cache.ei_conns));
           (ed.Co_schema.ed_name, ei)
         in
-        match List.assoc ed.Co_schema.ed_name probers with
-        | P_indexed (attr_schema, probe) ->
-          note_query ();
-          let conns = ref [] in
-          Vec.iter
-            (fun t ->
-              if t.Cache.t_live then
-                List.iter
-                  (fun hit ->
-                    match Hashtbl.find_opt child_rt.nr_ni.Cache.ni_by_rowid hit.ph_rowid with
-                    | Some child_pos -> conns := (t.Cache.t_pos, child_pos, hit.ph_attrs) :: !conns
-                    | None -> ())
-                  (probe t.Cache.t_row))
-            parent_rt.nr_ni.Cache.ni_tuples;
-          ei_of attr_schema (List.rev !conns)
-        | P_generic ->
-          let temp_of rt_ =
-            make_temp rt_.nr_ni.Cache.ni_schema
-              (Vec.to_seq rt_.nr_ni.Cache.ni_tuples
-              |> Seq.filter (fun t -> t.Cache.t_live)
-              |> Seq.map (fun t -> (t.Cache.t_pos, t.Cache.t_row)))
-          in
-          let attr_schema, conns =
-            connections_generic db ed ~parent_temp:(temp_of parent_rt)
-              ~child_temp:(temp_of child_rt)
-          in
-          ei_of attr_schema conns)
+        let prober = List.assoc ed.Co_schema.ed_name probers in
+        let attr_schema =
+          match prober with P_indexed (s, _) | P_hash (s, _) | P_generic s -> s
+        in
+        if fused then ei_of attr_schema (List.rev !(acc_of ed.Co_schema.ed_name))
+        else begin
+          match prober with
+          | P_indexed (_, probe) | P_hash (_, probe) ->
+            note_query ();
+            let conns = ref [] in
+            Vec.iter
+              (fun t ->
+                if t.Cache.t_live then
+                  List.iter
+                    (fun hit ->
+                      match Hashtbl.find_opt child_rt.nr_ni.Cache.ni_by_rowid hit.ph_rowid with
+                      | Some child_pos -> conns := (t.Cache.t_pos, child_pos, hit.ph_attrs) :: !conns
+                      | None -> ())
+                    (probe t.Cache.t_row))
+              parent_rt.nr_ni.Cache.ni_tuples;
+            ei_of attr_schema (List.rev !conns)
+          | P_generic _ ->
+            let temp_of rt_ =
+              make_temp rt_.nr_ni.Cache.ni_schema
+                (Vec.to_seq rt_.nr_ni.Cache.ni_tuples
+                |> Seq.filter (fun t -> t.Cache.t_live)
+                |> Seq.map (fun t -> (t.Cache.t_pos, t.Cache.t_row)))
+            in
+            let attr_schema, conns =
+              connections_generic db ed ~parent_temp:(temp_of parent_rt)
+                ~child_temp:(temp_of child_rt)
+            in
+            ei_of attr_schema conns
+        end)
       edge_defs
   in
   edges
@@ -970,10 +1334,11 @@ let execute_def ?(fixpoint = Semi_naive) ?(params = [||]) db (cp : compiled)
     Cache.recompute_reachability cache);
   cache
 
-(** [fetch_def ~fixpoint db def path_restrs] compiles and immediately
-    executes a composed CO definition — the one-shot path. *)
-let fetch_def ~fixpoint db (def : Co_schema.t) (path_restrs : restriction list) : Cache.t =
-  execute_def ~fixpoint db (compile_def db def) path_restrs
+(** [fetch_def ?force ~fixpoint db def path_restrs] compiles and
+    immediately executes a composed CO definition — the one-shot path.
+    [force] pins access-path selection (differential testing). *)
+let fetch_def ?force ~fixpoint db (def : Co_schema.t) (path_restrs : restriction list) : Cache.t =
+  execute_def ~fixpoint db (compile_def ?force db def) path_restrs
 
 (* column projection, then relationship-updatability and locked-column
    analysis against the final (projected) schemas *)

@@ -24,6 +24,15 @@ exception Translate_error of string
 
 type fixpoint = Semi_naive | Naive
 
+(** Edge access paths, in selection-priority order: index-nested-loop
+    probe, batch hash probe (the set-oriented default when no index
+    serves the relationship), generic QGM join. *)
+type strategy = S_indexed | S_hash | S_generic
+
+(** [strategy_name s] is the display name used by [EXPLAIN ANALYZE] and
+    [\plans]: ["indexed"], ["hash-batch"] or ["generic"]. *)
+val strategy_name : strategy -> string
+
 (** Statistics of translation activity since the last {!reset_stats}. *)
 type stats = {
   mutable queries_issued : int;  (** relational queries / batch probes run *)
@@ -31,6 +40,10 @@ type stats = {
   mutable tuples_probed : int;  (** total frontier sizes fed to edge probes *)
   mutable indexed_probes : int;  (** edges served by index-nested-loop probes *)
   mutable generic_probes : int;  (** edges served by generic join plans *)
+  mutable hash_edges : int;  (** edges served by batch hash probes *)
+  mutable hash_builds : int;  (** hash tables built over child/link extents *)
+  mutable hash_build_reuses : int;  (** builds skipped: cached table still version-valid *)
+  mutable hash_probes : int;  (** batch hash probe passes run *)
 }
 
 val stats : stats
@@ -48,13 +61,19 @@ val fetch : ?fixpoint:fixpoint -> Db.t -> View_registry.t -> Xnf_ast.query -> Ca
     any number of executions (including concurrent parameter bindings). *)
 type compiled
 
-(** [compile_def ?take db def] runs the input-independent "translate"
-    phase: no base data is accessed. Access-path selection consults the
-    catalog and indexes as of now — recompile when schema or indexes
-    change. Passing the query's [take] (default [TAKE *]) also precomputes
-    the final post-projection updatability analysis for
-    {!finalize_plan}. *)
-val compile_def : ?take:Xnf_ast.take -> Db.t -> Co_schema.t -> compiled
+(** [compile_def ?take ?force db def] runs the input-independent
+    "translate" phase: no base data is accessed. Access-path selection
+    consults the catalog and indexes as of now — recompile when schema or
+    indexes change. Passing the query's [take] (default [TAKE *]) also
+    precomputes the final post-projection updatability analysis for
+    {!finalize_plan}. [force] pins selection to one strategy (differential
+    testing, per-strategy benches); edges the forced strategy cannot serve
+    fall back to the generic path. *)
+val compile_def : ?take:Xnf_ast.take -> ?force:strategy -> Db.t -> Co_schema.t -> compiled
+
+(** [edge_strategies cp] is the access path selected per relationship, in
+    definition order. *)
+val edge_strategies : compiled -> (string * strategy) list
 
 (** [execute_def ?fixpoint ?params db cp path_restrs] evaluates a compiled
     plan into a cache (before TAKE projection and final updatability
@@ -70,11 +89,12 @@ val execute_def :
   Xnf_ast.restriction list ->
   Cache.t
 
-(** [fetch_def ~fixpoint db def path_restrs] compiles and immediately
-    executes an already composed CO definition (before TAKE projection and
-    final updatability analysis) — used by {!fetch} and by the
-    baselines. *)
-val fetch_def : fixpoint:fixpoint -> Db.t -> Co_schema.t -> Xnf_ast.restriction list -> Cache.t
+(** [fetch_def ?force ~fixpoint db def path_restrs] compiles and
+    immediately executes an already composed CO definition (before TAKE
+    projection and final updatability analysis) — used by {!fetch}, the
+    baselines and the strategy-differential fuzz oracle. *)
+val fetch_def :
+  ?force:strategy -> fixpoint:fixpoint -> Db.t -> Co_schema.t -> Xnf_ast.restriction list -> Cache.t
 
 (** [finalize db cache] applies column projection and the final
     relationship-updatability / locked-column analysis. *)

@@ -28,7 +28,8 @@ let detail_of (o : Oracle.outcome) =
   String.concat "; "
     (List.map (fun d -> d.Oracle.d_kind ^ ": " ^ d.Oracle.d_detail) o.Oracle.o_divs)
 
-let coverage_counts = [ "recursive"; "sharing"; "views"; "using"; "paths"; "naive"; "lw90"; "mono" ]
+let coverage_counts =
+  [ "recursive"; "sharing"; "views"; "using"; "paths"; "naive"; "lw90"; "mono"; "hash" ]
 
 let bump cov (f : Oracle.flags) =
   let on = function
@@ -40,6 +41,7 @@ let bump cov (f : Oracle.flags) =
     | "naive" -> f.Oracle.f_naive
     | "lw90" -> f.Oracle.f_lw90
     | "mono" -> f.Oracle.f_mono
+    | "hash" -> f.Oracle.f_hash
     | _ -> false
   in
   List.map (fun (k, n) -> (k, if on k then n + 1 else n)) cov

@@ -47,12 +47,13 @@ type flags = {
   f_naive : bool;  (** unshared-derivation oracle compared *)
   f_lw90 : bool;
   f_mono : bool;  (** monotonicity property compared *)
+  f_hash : bool;  (** strategy differential compared a batch-hash run *)
   f_mutated : bool;  (** the injected mutation found something to break *)
 }
 
 let no_flags =
   { f_recursive = false; f_sharing = false; f_views = false; f_using = false; f_paths = false;
-    f_naive = false; f_lw90 = false; f_mono = false; f_mutated = false }
+    f_naive = false; f_lw90 = false; f_mono = false; f_hash = false; f_mutated = false }
 
 type outcome = { o_divs : divergence list; o_flags : flags }
 
@@ -375,6 +376,24 @@ let run ?mutation ?extra_restr (sc : Gen.scenario) : outcome =
               (match check_reachability pre with
               | Some d -> add "reachability" d
               | None -> ());
+              (* strategy differential: re-run the fetch forcing each edge
+                 access path; indexed, batch-hash and generic executions
+                 must deliver identical instances (same comparator as the
+                 naive oracle) *)
+              let f_hash = ref false in
+              List.iter
+                (fun (label, force) ->
+                  let kind = "strategy-" ^ label in
+                  guard kind (fun () ->
+                      let alt =
+                        Translate.fetch_def ~force ~fixpoint:Translate.Semi_naive db def []
+                      in
+                      (match compare_caches pre alt with
+                      | Some d -> add kind d
+                      | None -> ());
+                      if force = Translate.S_hash then f_hash := true))
+                [ ("indexed", Translate.S_indexed); ("hash", Translate.S_hash);
+                  ("generic", Translate.S_generic) ];
               (* oracle 2: unshared per-node derivations (DAG only);
                  callers classify up front via the shared predicate *)
               let f_naive =
@@ -447,7 +466,7 @@ let run ?mutation ?extra_restr (sc : Gen.scenario) : outcome =
                 end
                 else false
               in
-              { flags with f_naive; f_lw90 }
+              { flags with f_naive; f_lw90; f_hash = !f_hash }
             end
           in
           (* metamorphic: a strengthened query yields a sub-instance *)

@@ -28,6 +28,7 @@ type flags = {
   f_naive : bool;  (** unshared-derivation oracle compared *)
   f_lw90 : bool;
   f_mono : bool;  (** monotonicity property compared *)
+  f_hash : bool;  (** strategy differential compared a batch-hash run *)
   f_mutated : bool;  (** the injected mutation found something to break *)
 }
 

@@ -354,3 +354,26 @@ let rec pp ppf = function
   | Exists_plan sp -> Fmt.pf ppf "EXISTS(%s)" sp.sp_descr
   | In_plan (a, sp) -> Fmt.pf ppf "(%a IN (%s))" pp a sp.sp_descr
   | Scalar_plan sp -> Fmt.pf ppf "(%s)" sp.sp_descr
+
+(** Hash-key view of a row: equality and hashing over [Value.t] arrays
+    with SQL-engine semantics ([Value.equal] / [Value.hash]: numeric
+    cross-type equality, NULLs compare equal so a build bucket holds all
+    NULL-keyed rows — callers enforce SQL's NULL-never-matches rule by
+    skipping NULL keys before lookup, see [Row_key.has_null]). Shared by
+    the relational hash join/group operators and the XNF batch edge
+    probers so both sides of a differential test agree on key
+    semantics. *)
+module Row_key = struct
+  type t = Value.t array
+
+  let equal (a : t) (b : t) =
+    Array.length a = Array.length b
+    &&
+    let rec go i = i >= Array.length a || (Value.equal a.(i) b.(i) && go (i + 1)) in
+    go 0
+
+  let hash (k : t) = Array.fold_left (fun acc v -> (acc * 31) + Value.hash v) 7 k
+  let has_null (k : t) = Array.exists Value.is_null k
+end
+
+module Row_key_tbl = Hashtbl.Make (Row_key)

@@ -92,3 +92,19 @@ val pp_cmp : Format.formatter -> cmp -> unit
 
 (** [pp] prints the expression with positional columns as [$i]. *)
 val pp : Format.formatter -> t -> unit
+
+(** Hash-key view of a row: [Value.equal]/[Value.hash] semantics over
+    [Value.t array] keys, shared by the relational hash operators and the
+    XNF batch edge probers. NULLs hash/compare equal — callers implement
+    SQL's NULL-never-joins rule by skipping keys for which [has_null]
+    holds. *)
+module Row_key : sig
+  type t = Value.t array
+
+  val equal : t -> t -> bool
+  val hash : t -> int
+  val has_null : t -> bool
+end
+
+(** Hash tables keyed by {!Row_key}. *)
+module Row_key_tbl : Hashtbl.S with type key = Row_key.t

@@ -171,18 +171,14 @@ let agg_result ((fn, _, _) : agg_spec) st : Value.t =
 
 let null_row width : Row.t = Array.make width Value.Null
 
-let key_values row keys = List.map (fun e -> Expr.eval row e) keys
+let key_values row keys : Expr.Row_key.t =
+  Array.of_list (List.map (fun e -> Expr.eval row e) keys)
 
-let key_has_null vs = List.exists Value.is_null vs
+let key_has_null = Expr.Row_key.has_null
 
-module RowKey = struct
-  type t = Value.t list
-
-  let equal a b = List.length a = List.length b && List.for_all2 Value.equal a b
-  let hash vs = List.fold_left (fun acc v -> (acc * 31) + Value.hash v) 7 vs
-end
-
-module RowKeyTbl = Hashtbl.Make (RowKey)
+(* key equality/hashing is shared with the XNF batch edge probers
+   ([Expr.Row_key]), so both layers agree on Value semantics *)
+module RowKeyTbl = Expr.Row_key_tbl
 
 (** [run p] compiles [p] to a lazy row sequence. The plan must be free of
     parameters (see {!subst_params}). [exec ~recur] is the one-level
@@ -272,7 +268,7 @@ and exec ~(recur : t -> Row.t Seq.t) (p : t) : Row.t Seq.t =
         (run input);
       let emit kv =
         let states = RowKeyTbl.find groups kv in
-        Array.of_list (kv @ List.map2 agg_result aggs states)
+        Array.append kv (Array.of_list (List.map2 agg_result aggs states))
       in
       let result =
         if RowKeyTbl.length groups = 0 && keys = [] then

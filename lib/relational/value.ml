@@ -73,8 +73,13 @@ let equal a b = compare_total a b = 0
 let hash = function
   | Null -> 17
   | Bool b -> Hashtbl.hash b
-  | Int i -> Hashtbl.hash (float_of_int i)
-  | Float f -> Hashtbl.hash f
+  | Int i -> Hashtbl.hash i
+  | Float f ->
+    (* integral floats hash as the int they equal (Int 1 = Float 1.0);
+       the conversion guard keeps out-of-int-range floats on the float
+       hash. Ints hash allocation-free — they dominate join keys. *)
+    if Float.is_integer f && Float.abs f < 4.611686018427388e18 then Hashtbl.hash (int_of_float f)
+    else Hashtbl.hash f
   | Str s -> Hashtbl.hash s
 
 (** [to_string v] renders [v] for display (not SQL-quoted). *)

@@ -41,10 +41,13 @@ let populate ?(indexes = true) db ~seed ~depth ~n_roots ~fanout =
     prev_count := n
   done
 
-(** [co_query ~depth] is the XNF query extracting the tagged chain CO. *)
-let co_query ~depth =
+(** [co_query ~depth] is the XNF query extracting the tagged chain CO;
+    [co_query_sel ~max_root ~depth] further narrows the roots to
+    [k0 < max_root] — working-set extraction whose CO size is independent
+    of the database size (bench E12). *)
+let co_query_root root ~depth =
   let buf = Buffer.create 256 in
-  Buffer.add_string buf "OUT OF x0 AS (SELECT * FROM t0 WHERE tag = 1)";
+  Buffer.add_string buf root;
   for level = 1 to depth do
     Buffer.add_string buf (Printf.sprintf ", x%d AS T%d" level level)
   done;
@@ -55,6 +58,13 @@ let co_query ~depth =
   done;
   Buffer.add_string buf " TAKE *";
   Buffer.contents buf
+
+let co_query ~depth = co_query_root "OUT OF x0 AS (SELECT * FROM t0 WHERE tag = 1)" ~depth
+
+let co_query_sel ~max_root ~depth =
+  co_query_root
+    (Printf.sprintf "OUT OF x0 AS (SELECT * FROM t0 WHERE tag = 1 AND k0 < %d)" max_root)
+    ~depth
 
 (** [mgmt_chain db ~chain_len] builds an employee table forming [chain_len]-
     long management chains under a single root — the recursive-CO workload
@@ -74,3 +84,33 @@ let mgmt_query =
   "OUT OF Xroot AS (SELECT * FROM memp WHERE mgrno IS NULL), Xemp AS MEMP, \
    top AS (RELATE Xroot r, Xemp e WHERE r.eno = e.mgrno), \
    manages AS (RELATE Xemp m, Xemp r WHERE m.eno = r.mgrno) TAKE *"
+
+(** [mgmt_tree db ?indexes ~levels ~fanout] builds an employee table
+    forming a complete [fanout]-ary management tree of [levels] levels
+    under one root — a recursive CO whose fixpoint converges in [levels]
+    rounds (unlike [mgmt_chain], node count grows without making the round
+    count pathological, so it scales to the E12 bench sizes).
+    [indexes:false] omits the manager-FK index so access-path selection
+    must fall back to batch hash or generic probes. Returns the number of
+    employees inserted. *)
+let mgmt_tree ?(indexes = true) db ~levels ~fanout =
+  ignore (Db.exec db "CREATE TABLE memp (eno INTEGER PRIMARY KEY, mgrno INTEGER, payload INTEGER)");
+  if indexes then ignore (Db.exec db "CREATE INDEX memp_mgr ON memp (mgrno)");
+  let t = Catalog.table (Db.catalog db) "memp" in
+  ignore (Table.insert t [| Value.Int 0; Value.Null; Value.Int 0 |]);
+  let next = ref 1 in
+  let prev_level = ref [ 0 ] in
+  for _ = 2 to levels do
+    let this_level = ref [] in
+    List.iter
+      (fun mgr ->
+        for _ = 1 to fanout do
+          let eno = !next in
+          incr next;
+          ignore (Table.insert t [| Value.Int eno; Value.Int mgr; Value.Int (eno mod 1000) |]);
+          this_level := eno :: !this_level
+        done)
+      !prev_level;
+    prev_level := List.rev !this_level
+  done;
+  !next

@@ -14,6 +14,10 @@ val populate : ?indexes:bool -> Db.t -> seed:int -> depth:int -> n_roots:int -> 
 (** [co_query ~depth] is the XNF query extracting the tagged chain CO. *)
 val co_query : depth:int -> string
 
+(** [co_query_sel ~max_root ~depth] narrows the roots to [k0 < max_root]:
+    the CO stays a fixed working set while the database scales (E12). *)
+val co_query_sel : max_root:int -> depth:int -> string
+
 (** [mgmt_chain db ~chain_len] builds an employee table forming one
     [chain_len]-long management chain — the recursive-CO workload. *)
 val mgmt_chain : Db.t -> chain_len:int -> unit
@@ -21,3 +25,9 @@ val mgmt_chain : Db.t -> chain_len:int -> unit
 (** The recursive CO over the management chain: the root plus the
     transitive 'manages' closure. *)
 val mgmt_query : string
+
+(** [mgmt_tree db ?indexes ~levels ~fanout] builds a complete [fanout]-ary
+    management tree of [levels] levels under one root (the scalable
+    recursive workload, bench E12); [indexes:false] omits the manager-FK
+    index. Returns the employee count. *)
+val mgmt_tree : ?indexes:bool -> Db.t -> levels:int -> fanout:int -> int

@@ -46,4 +46,5 @@ let () =
       ("properties-2", Test_props2.suite qcheck_seed);
       ("xnf-fetch-plan", Test_fetch_plan.suite);
       ("fuzz", Test_fuzz.suite);
-      ("check", Test_check.suite) ]
+      ("check", Test_check.suite);
+      ("xnf-batch-edge", Test_batch_edge.suite) ]
