@@ -923,7 +923,15 @@ let () =
     | None -> ()
     | Some path ->
       let oc = open_out path in
-      output_string oc (Obs.Metrics.to_json ());
+      (* splice the top statement aggregates into the metrics object:
+         bench_compare gates only on the counters/gauges sections, so the
+         extra key is inert for regression gating but keeps the per-
+         statement profile alongside the counters it explains *)
+      let mj = Obs.Metrics.to_json () in
+      let mj = String.trim mj in
+      let body = String.sub mj 0 (String.length mj - 1) in
+      output_string oc
+        (body ^ ",\"statements\":" ^ Obs.Query_stats.to_json_top 10 ^ "}");
       output_char oc '\n';
       close_out oc;
       pr "@.metrics written to %s@." path

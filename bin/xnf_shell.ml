@@ -15,7 +15,9 @@
      \stats           translation statistics of the last fetch
      \lint <query>    statically check an XNF/SQL statement, report diagnostics
      \check on|off    toggle the pipeline invariant validators
-     \metrics         dump nonzero metrics (\metrics json / \metrics prom)
+     \metrics [p]     dump nonzero metrics, optionally filtered to prefix p
+                      (\metrics json / \metrics prom render the registry)
+     \slowlog [ms]    show or set the slow-query threshold (\slowlog off)
      \plans           list cached fetch plans and prepared statements
      \trace           print the span tree of the last traced statement
      \walk <edge>     cursor-walk the current cache across <edge>
@@ -69,7 +71,9 @@ let handle_meta api current line =
   if line = "\\q" then exit 0
   else if line = "\\d" then begin
     Fmt.pr "tables:@.";
-    List.iter (fun n -> Fmt.pr "  %s@." n) (Catalog.table_names (Db.catalog db))
+    List.iter (fun n -> Fmt.pr "  %s@." n) (Catalog.table_names (Db.catalog db));
+    Fmt.pr "system views:@.";
+    List.iter (fun n -> Fmt.pr "  %s@." n) (Catalog.virtual_names (Db.catalog db))
   end
   else if line = "\\co" then begin
     Fmt.pr "XNF views:@.";
@@ -123,7 +127,25 @@ let handle_meta api current line =
   end
   else if line = "\\metrics json" then Fmt.pr "%s@." (Obs.Metrics.to_json ())
   else if line = "\\metrics prom" then Fmt.pr "%s@." (Obs.Metrics.to_prometheus ())
-  else if line = "\\metrics" then Fmt.pr "%a" Obs.Metrics.dump ()
+  else if line = "\\metrics" then Fmt.pr "%a" (Obs.Metrics.dump ?prefix:None) ()
+  else if String.length line > 9 && String.sub line 0 9 = "\\metrics " then
+    Fmt.pr "%a" (Obs.Metrics.dump ~prefix:(strip "\\metrics ")) ()
+  else if line = "\\slowlog" then begin
+    match Obs.Query_stats.slowlog_ms () with
+    | Some ms -> Fmt.pr "slow-query threshold: %.3f ms@." ms
+    | None -> Fmt.pr "slow-query log disabled@."
+  end
+  else if line = "\\slowlog off" then begin
+    Obs.Query_stats.set_slowlog_ms None;
+    Fmt.pr "slow-query log disabled@."
+  end
+  else if String.length line > 9 && String.sub line 0 9 = "\\slowlog " then begin
+    match float_of_string_opt (strip "\\slowlog ") with
+    | Some ms when ms >= 0. ->
+      Obs.Query_stats.set_slowlog_ms (Some ms);
+      Fmt.pr "slow-query threshold set to %.3f ms@." ms
+    | _ -> Fmt.pr "usage: \\slowlog <ms> | \\slowlog off@."
+  end
   else if line = "\\trace" then begin
     match Obs.Trace.last () with
     | Some sp -> Fmt.pr "%s@." (Obs.Trace.to_string sp)

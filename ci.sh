@@ -34,6 +34,42 @@ echo "== fuzz mutation smoke =="
 dune exec bin/xnf_fuzz.exe -- --seed 42 --iters 25 --mutate drop-conn --no-shrink --quiet
 dune exec bin/xnf_fuzz.exe -- --seed 42 --iters 25 --mutate drop-tuple --no-shrink --quiet
 
+echo "== observability gate (sys.* + slow-query log) =="
+# scripted workload: a deliberately slow non-equi self-join must land in
+# sys.slow_queries and join back to its sys.statements aggregate through
+# plain SQL over the sys.* views; re-running the same workload with an
+# enormous threshold must leave the slow log empty, proving the gate
+# observes the threshold rather than an always-on log
+gen_obs_script() {
+  echo "CREATE TABLE nums (n INT)"
+  seq 1 1500 | awk 'BEGIN{printf "INSERT INTO nums VALUES "} {printf "%s(%d)", (NR>1?", ":""), $1} END{print ""}'
+  echo "\\slowlog $1"
+  echo "SELECT count(*) FROM nums a, nums b WHERE a.n < b.n"
+  echo "SELECT count(*) FROM nums WHERE n = 42"
+  echo "\\slowlog off"
+  echo "SELECT count(*) AS slow_count FROM sys.slow_queries"
+  echo "SELECT count(*) AS joined FROM sys.statements s, sys.slow_queries q WHERE s.fingerprint = q.fingerprint"
+}
+OBS_SCRIPT=/tmp/obs_gate_$$.sql
+OBS_OUT=/tmp/obs_gate_$$.out
+gen_obs_script 40 > "$OBS_SCRIPT"
+dune exec bin/xnf_shell.exe -- -f "$OBS_SCRIPT" > "$OBS_OUT"
+slow_count=$(grep -A2 '^slow_count$' "$OBS_OUT" | tail -1)
+joined=$(grep -A2 '^joined$' "$OBS_OUT" | tail -1)
+if [ "$slow_count" != "1" ]; then
+  echo "obs gate: expected 1 slow query, got '$slow_count'"; cat "$OBS_OUT"; exit 1
+fi
+if [ "$joined" != "1" ]; then
+  echo "obs gate: slow query did not join back to sys.statements (got '$joined')"; cat "$OBS_OUT"; exit 1
+fi
+gen_obs_script 100000 > "$OBS_SCRIPT"
+dune exec bin/xnf_shell.exe -- -f "$OBS_SCRIPT" > "$OBS_OUT"
+slow_count=$(grep -A2 '^slow_count$' "$OBS_OUT" | tail -1)
+if [ "$slow_count" != "0" ]; then
+  echo "obs gate (inverted threshold): expected empty slow log, got '$slow_count'"; cat "$OBS_OUT"; exit 1
+fi
+rm -f "$OBS_SCRIPT" "$OBS_OUT"
+
 echo "== bench smoke =="
 dune exec bench/main.exe -- --list
 

@@ -43,10 +43,128 @@ let m_pc_misses = Obs.Metrics.counter "xnf.plancache.misses"
 let m_pc_invalidations = Obs.Metrics.counter "xnf.plancache.invalidations"
 let m_pc_evictions = Obs.Metrics.counter "xnf.plancache.evictions"
 
-(** [create db] opens an XNF session over [db]. *)
+(* ---- per-statement statistics ----
+
+   Every public text entry point ([exec], [fetch_string]) and the parsed
+   [fetch] run through [recording], which folds the execution into the
+   {!Obs.Query_stats} aggregate keyed by the statement fingerprint
+   (literals normalized to [?]) — exception-safely, so failed statements
+   count as errors. Cache-hit/miss and hash-probe attribution is by
+   before/after deltas of the global counters, exact in this
+   single-threaded engine. *)
+
+let snap_hits () =
+  Obs.Metrics.counter_get "xnf.fetchcache.hits" + Obs.Metrics.counter_get "xnf.plancache.hits"
+
+let snap_misses () =
+  Obs.Metrics.counter_get "xnf.fetchcache.misses"
+  + Obs.Metrics.counter_get "xnf.plancache.misses"
+
+let snap_probes () = Obs.Metrics.counter_get "xnf.translate.hash_probes"
+
+(* syntactic classification for the error path, where no outcome exists
+   to inspect *)
+let kind_of_text text =
+  let up = String.uppercase_ascii (String.trim text) in
+  let starts p = String.length up >= String.length p && String.sub up 0 (String.length p) = p in
+  if starts "OUT" || starts "PREPARE" || starts "EXECUTE" || starts "CREATE XNF" then "xnf"
+  else "sql"
+
+let recording text ~kind_of ~rows_of f =
+  let text = String.trim text in
+  let fingerprint = Sql_lexer.fingerprint text in
+  let t0 = Obs.Metrics.now_ns () in
+  let h0 = snap_hits () and m0 = snap_misses () and p0 = snap_probes () in
+  let finish kind rows error =
+    Obs.Query_stats.record ~kind ~fingerprint ~text
+      ~elapsed_ns:(Obs.Metrics.now_ns () -. t0)
+      ~rows ~error ~cache_hits:(snap_hits () - h0) ~cache_misses:(snap_misses () - m0)
+      ~hash_probes:(snap_probes () - p0)
+  in
+  match f () with
+  | v ->
+    finish (kind_of v) (rows_of v) false;
+    v
+  | exception e ->
+    finish (kind_of_text text) 0 true;
+    raise e
+
+(* ---- the core-layer sys.* views ----
+
+   [sys.plans] and [sys.fetch_cache] see session state (the plan and
+   result caches) the relational layer cannot, so they are registered
+   here rather than in {!Sys_catalog}. Like all virtual tables they are
+   materialized per reference and never bump the catalog version. *)
+
+let sys_make ~name cols rows =
+  let t = Table.create ~name (Schema.make cols) in
+  List.iter (fun r -> ignore (Table.insert t r)) rows;
+  t
+
+let sys_plans api () =
+  (* prune invalidated cached plans eagerly, exactly as a lookup would —
+     an invalidated plan's row disappears rather than showing stale *)
+  api.pc <-
+    List.filter
+      (fun (_, p) ->
+        let ok = Fetch_plan.valid api.db api.reg p in
+        if not ok then Obs.Metrics.incr m_pc_invalidations;
+        ok)
+      api.pc;
+  let row source name p =
+    let edges =
+      String.concat ","
+        (List.map
+           (fun (n, s) -> n ^ "=" ^ Translate.strategy_name s)
+           (Fetch_plan.strategies p))
+    in
+    [| Value.Str source; Value.Str name; Value.Int (Fetch_plan.nparams p);
+       Value.Int (Fetch_plan.hits p); Value.Bool (Fetch_plan.valid api.db api.reg p);
+       Value.Int (Fetch_plan.reg_version p); Value.Int (Fetch_plan.catalog_version p);
+       Value.Int (Fetch_plan.index_epoch p); Value.Str edges;
+       Value.Str (Fetch_plan.text p) |]
+  in
+  let cached = List.map (fun (key, p) -> row "cache" key p) api.pc in
+  let prepped =
+    List.map
+      (fun (name, p) -> row "prepared" name p)
+      (List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) api.prepared []))
+  in
+  sys_make ~name:"sys.plans"
+    [ Schema.column "source" Schema.Ty_string; Schema.column "name" Schema.Ty_string;
+      Schema.column "params" Schema.Ty_int; Schema.column "hits" Schema.Ty_int;
+      Schema.column "valid" Schema.Ty_bool; Schema.column "reg_version" Schema.Ty_int;
+      Schema.column "catalog_version" Schema.Ty_int;
+      Schema.column "index_epoch" Schema.Ty_int; Schema.column "edges" Schema.Ty_string;
+      Schema.column "text" Schema.Ty_string ]
+    (cached @ prepped)
+
+let sys_fetch_cache api () =
+  let rows =
+    List.map
+      (fun (key, cache) ->
+        [| Value.Str key; Value.Int (Cache.total_tuples cache);
+           Value.Int (Cache.total_conns cache);
+           Value.Bool (Cache.stale cache api.db) |])
+      api.rc
+  in
+  (* "cache_key", not "key": KEY is a SQL keyword (PRIMARY KEY) and
+     would be unselectable *)
+  sys_make ~name:"sys.fetch_cache"
+    [ Schema.column "cache_key" Schema.Ty_string; Schema.column "tuples" Schema.Ty_int;
+      Schema.column "conns" Schema.Ty_int; Schema.column "stale" Schema.Ty_bool ]
+    rows
+
+(** [create db] opens an XNF session over [db] and registers the
+    session-level [sys.plans] / [sys.fetch_cache] views on its catalog. *)
 let create db =
-  { db; reg = View_registry.create (); fetch_count = 0; rc_cap = 0; rc = []; pc_cap = 0;
-    pc = []; prepared = Hashtbl.create 8 }
+  let api =
+    { db; reg = View_registry.create (); fetch_count = 0; rc_cap = 0; rc = []; pc_cap = 0;
+      pc = []; prepared = Hashtbl.create 8 }
+  in
+  Catalog.register_virtual (Db.catalog db) ~name:"sys.plans" (sys_plans api);
+  Catalog.register_virtual (Db.catalog db) ~name:"sys.fetch_cache" (sys_fetch_cache api);
+  api
 
 (** [db api] is the underlying relational session. *)
 let db api = api.db
@@ -119,12 +237,21 @@ let count_fetch api =
   api.fetch_count <- api.fetch_count + 1;
   Obs.Metrics.incr m_fetches
 
-(** [fetch ?fixpoint api q] evaluates a parsed XNF query into a cache
-    (through the plan cache when enabled). *)
-let fetch ?fixpoint api q =
+(* the unrecorded fetch: internal callers ([exec], CO update/delete,
+   EXPLAIN ANALYZE) record at their own statement granularity *)
+let fetch_raw ?fixpoint api q =
   count_fetch api;
   if api.pc_cap = 0 then Translate.fetch ?fixpoint api.db api.reg q
   else Fetch_plan.execute ?fixpoint api.db (plan_for api q)
+
+(** [fetch ?fixpoint api q] evaluates a parsed XNF query into a cache
+    (through the plan cache when enabled); the execution is folded into
+    the per-statement statistics. *)
+let fetch ?fixpoint api q =
+  recording (Xnf_ast.query_to_string q)
+    ~kind_of:(fun _ -> "xnf")
+    ~rows_of:Cache.total_tuples
+    (fun () -> fetch_raw ?fixpoint api q)
 
 (** [set_result_cache api n] enables an LRU cache of the last [n] fetch
     results, keyed by query text and validated against base-table
@@ -169,12 +296,14 @@ let rc_store api key cache : Cache.t =
 let fetch_cached_parsed ?fixpoint api key q =
   match rc_lookup api key with
   | Some cache -> cache
-  | None -> rc_store api key (fetch ?fixpoint api q)
+  | None -> rc_store api key (fetch_raw ?fixpoint api q)
 
 (** [fetch_string api sql] parses and evaluates an [OUT OF ... TAKE]
     query, through the result cache and the plan cache when enabled. A
-    plan-cache hit on the trimmed text skips parsing entirely. *)
+    plan-cache hit on the trimmed text skips parsing entirely. The
+    execution is folded into the per-statement statistics. *)
 let fetch_string ?fixpoint api sql =
+  recording sql ~kind_of:(fun _ -> "xnf") ~rows_of:Cache.total_tuples @@ fun () ->
   let key = String.trim sql in
   match rc_lookup api key with
   | Some cache -> cache
@@ -186,7 +315,7 @@ let fetch_string ?fixpoint api sql =
         Fetch_plan.execute ?fixpoint api.db plan
       | None ->
         let q = Xnf_parser.parse_query sql in
-        if api.pc_cap = 0 then fetch ?fixpoint api q
+        if api.pc_cap = 0 then fetch_raw ?fixpoint api q
         else begin
           Obs.Metrics.incr m_pc_misses;
           let plan = pc_store api key (Fetch_plan.compile api.db api.reg q) in
@@ -233,7 +362,7 @@ let execute_prepared ?fixpoint api name (vals : Value.t list) =
 (* CO deletion (§3.7): all component tuples of the target CO are removed
    from their base tables. Every component must be updatable. *)
 let delete_co api (q : Xnf_ast.query) =
-  let cache = fetch api q in
+  let cache = fetch_raw api q in
   (* validate updatability up front so we fail before deleting anything *)
   List.iter
     (fun (name, ni) ->
@@ -260,7 +389,7 @@ let delete_co api (q : Xnf_ast.query) =
    named component in the target CO, propagated through the udi layer
    (which enforces updatability and relationship-column locking). *)
 let update_co api (q : Xnf_ast.query) (cu : Xnf_ast.co_update) =
-  let cache = fetch api q in
+  let cache = fetch_raw api q in
   let ni = Cache.node cache cu.Xnf_ast.cu_node in
   let schema = ni.Cache.ni_schema in
   let env = Db.bind_env api.db in
@@ -280,8 +409,22 @@ let update_co api (q : Xnf_ast.query) (cu : Xnf_ast.co_update) =
         (Cache.live_tuples ni));
   !count
 
-(** [exec api text] parses and executes one statement — XNF or plain SQL. *)
+let rows_of_outcome = function
+  | Fetched c -> Cache.total_tuples c
+  | Co_deleted n | Co_updated n -> n
+  | View_defined _ | View_dropped _ | Prepared _ -> 0
+  | Sql (Db.Rows r) -> List.length r.Db.rrows
+  | Sql (Db.Affected n) -> n
+  | Sql (Db.Done _) -> 0
+
+(** [exec api text] parses and executes one statement — XNF or plain SQL.
+    Every execution (including failures) is folded into the per-statement
+    statistics and, when over the threshold, the slow-query log. *)
 let exec api text : outcome =
+  recording text
+    ~kind_of:(function Sql _ -> "sql" | _ -> "xnf")
+    ~rows_of:rows_of_outcome
+  @@ fun () ->
   match Xnf_parser.parse_stmt text with
   | Xnf_ast.X_query q -> Fetched (fetch_cached_parsed api (String.trim text) q)
   | Xnf_ast.X_create_view (name, q) ->
@@ -323,7 +466,7 @@ let explain_analyze api text =
        below is the last traced root; its per-edge access-path selection
        annotates the operator lines *)
     let strategies = Fetch_plan.strategies (plan_for api q) in
-    let cache = fetch api q in
+    let cache = fetch_raw api q in
     let b = Buffer.create 256 in
     (match Obs.Trace.last () with
     | Some sp ->

@@ -82,6 +82,9 @@ let query plan = plan.fp_query
 let nparams plan = plan.fp_nparams
 let hits plan = plan.fp_hits
 let note_hit plan = plan.fp_hits <- plan.fp_hits + 1
+let reg_version plan = plan.fp_reg_version
+let catalog_version plan = plan.fp_catalog_version
+let index_epoch plan = plan.fp_index_epoch
 
 (** [strategies plan] is the access path selected per relationship. *)
 let strategies plan = Translate.edge_strategies plan.fp_compiled

@@ -44,6 +44,12 @@ val hits : t -> int
 (** [note_hit plan] records one cache hit. *)
 val note_hit : t -> unit
 
+(** The compile-time version snapshot (for the [sys.plans] view). *)
+
+val reg_version : t -> int
+val catalog_version : t -> int
+val index_epoch : t -> int
+
 (** [strategies plan] is the access path {!Translate.compile_def} selected
     for each relationship of the plan, in definition order. *)
 val strategies : t -> (string * Translate.strategy) list

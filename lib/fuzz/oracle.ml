@@ -514,6 +514,30 @@ let run ?mutation ?extra_restr (sc : Gen.scenario) : outcome =
               | Some d -> add "plancache" d
               | None -> ());
               Api.set_plan_cache api 0);
+          (* observability: re-running with query statistics + slow-query
+             logging enabled delivers the identical instance, and scanning
+             sys.* views between the cold and warm fetch neither perturbs
+             the result nor spoils result-cache validity *)
+          guard "querystats" (fun () ->
+              let saved = Obs.Query_stats.slowlog_ms () in
+              Obs.Query_stats.set_slowlog_ms (Some 0.);
+              Api.set_result_cache api 4;
+              let cold = Api.fetch_string api sc.sc_query in
+              (match compare_caches cold sut with
+              | Some d -> add "querystats" d
+              | None -> ());
+              ignore (Api.exec api "SELECT name, kind, value FROM sys.metrics");
+              ignore (Api.exec api "SELECT s.fingerprint, s.calls, s.mean_ms FROM sys.statements s");
+              ignore (Api.exec api "SELECT t.name, t.rows FROM sys.tables t");
+              let h0 = Obs.Metrics.counter_get "xnf.fetchcache.hits" in
+              let warm = Api.fetch_string api sc.sc_query in
+              let h1 = Obs.Metrics.counter_get "xnf.fetchcache.hits" in
+              if h1 - h0 < 1 then add "querystats" "sys.* scan spoiled result-cache validity";
+              (match compare_caches warm sut with
+              | Some d -> add "querystats" d
+              | None -> ());
+              Api.set_result_cache api 0;
+              Obs.Query_stats.set_slowlog_ms saved);
           finish flags
         end
       end

@@ -94,6 +94,39 @@ let observe h v =
 let hist_count h = h.h_count
 let hist_sum h = h.h_sum
 
+(** [hist_buckets h] lists the buckets as [(upper_bound, count)] pairs in
+    ascending order; the overflow bucket carries [None]. *)
+let hist_buckets h =
+  Array.to_list
+    (Array.mapi
+       (fun i n ->
+         ((if i < Array.length h.h_bounds then Some h.h_bounds.(i) else None), n))
+       h.h_counts)
+
+(** [hist_quantile h q] is the interpolated [q]-quantile (0..1) of the
+    observations, reconstructed from the bucket counts: the target rank is
+    located in its bucket and linearly interpolated between the bucket's
+    bounds. Observations in the overflow bucket are attributed to its
+    lower bound (no upper bound exists to interpolate toward). NaN when
+    the histogram is empty. *)
+let hist_quantile h q =
+  if h.h_count = 0 then Float.nan
+  else begin
+    let q = Float.min 1. (Float.max 0. q) in
+    let target = q *. float_of_int h.h_count in
+    let nb = Array.length h.h_bounds in
+    let rec go i cum =
+      let here = float_of_int h.h_counts.(i) in
+      if cum +. here >= target || i >= nb then begin
+        let lo = if i = 0 then 0. else h.h_bounds.(i - 1) in
+        let hi = if i < nb then h.h_bounds.(i) else lo in
+        if here <= 0. then hi else lo +. ((hi -. lo) *. ((target -. cum) /. here))
+      end
+      else go (i + 1) (cum +. here)
+    in
+    go 0 0.
+  end
+
 (** [hist_sum_get name] is the sum of observations of [name], 0 when never
     registered. *)
 let hist_sum_get name =
@@ -115,6 +148,13 @@ let reset () =
 
 let sorted tbl =
   List.sort (fun (a, _) (b, _) -> compare a b) (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+
+(** Registry enumeration (name-sorted), for renderers and the sys.*
+    catalog views. *)
+
+let counters_list () = List.map (fun (n, c) -> (n, c.c_value)) (sorted counters)
+let gauges_list () = List.map (fun (n, g) -> (n, g.g_value)) (sorted gauges)
+let histograms_list () = sorted histograms
 
 (* floats rendered compactly but losslessly enough for tooling *)
 let jf v =
@@ -189,18 +229,26 @@ let to_prometheus () =
     (sorted histograms);
   Buffer.contents b
 
-(** [dump ppf ()] prints a human-oriented snapshot: every nonzero counter
-    and gauge, and count/mean per histogram (the shell's [\metrics]). *)
-let dump ppf () =
+(** [dump ?prefix ppf ()] prints a human-oriented snapshot: every nonzero
+    counter and gauge, and count/mean/p50/p95/p99 per histogram (the
+    shell's [\metrics]). [prefix] restricts the dump to instruments whose
+    name starts with it (e.g. ["xnf.translate."]). *)
+let dump ?(prefix = "") ppf () =
+  let keep name = String.starts_with ~prefix name in
   List.iter
-    (fun (name, c) -> if c.c_value <> 0 then Format.fprintf ppf "%-40s %d@." name c.c_value)
+    (fun (name, c) ->
+      if c.c_value <> 0 && keep name then Format.fprintf ppf "%-40s %d@." name c.c_value)
     (sorted counters);
   List.iter
-    (fun (name, g) -> if g.g_value <> 0. then Format.fprintf ppf "%-40s %s@." name (jf g.g_value))
+    (fun (name, g) ->
+      if g.g_value <> 0. && keep name then Format.fprintf ppf "%-40s %s@." name (jf g.g_value))
     (sorted gauges);
   List.iter
     (fun (name, h) ->
-      if h.h_count > 0 then
-        Format.fprintf ppf "%-40s count=%d mean=%.1fus@." name h.h_count
-          (h.h_sum /. float_of_int h.h_count /. 1e3))
+      if h.h_count > 0 && keep name then
+        Format.fprintf ppf "%-40s count=%d mean=%.1fus p50=%.1fus p95=%.1fus p99=%.1fus@." name
+          h.h_count
+          (h.h_sum /. float_of_int h.h_count /. 1e3)
+          (hist_quantile h 0.5 /. 1e3) (hist_quantile h 0.95 /. 1e3)
+          (hist_quantile h 0.99 /. 1e3))
     (sorted histograms)

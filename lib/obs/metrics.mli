@@ -50,6 +50,16 @@ val observe : histogram -> float -> unit
 val hist_count : histogram -> int
 val hist_sum : histogram -> float
 
+(** [hist_buckets h] lists buckets as [(upper_bound, count)] pairs in
+    ascending order; the overflow bucket carries [None]. *)
+val hist_buckets : histogram -> (float option * int) list
+
+(** [hist_quantile h q] is the interpolated [q]-quantile (0..1) of the
+    recorded observations, reconstructed from bucket counts (overflow
+    observations are attributed to the last finite bound). NaN when
+    empty. *)
+val hist_quantile : histogram -> float -> float
+
 (** [hist_sum_get name] / [hist_count_get name]: read-side lookups by
     name; 0 when never registered. *)
 
@@ -59,6 +69,13 @@ val hist_count_get : string -> int
 (** [reset ()] zeroes every instrument but keeps registrations. *)
 val reset : unit -> unit
 
+(** Registry enumeration (name-sorted), for renderers and the [sys.*]
+    catalog views. *)
+
+val counters_list : unit -> (string * int) list
+val gauges_list : unit -> (string * float) list
+val histograms_list : unit -> (string * histogram) list
+
 (** [to_json ()] renders the registry as one JSON object. *)
 val to_json : unit -> string
 
@@ -66,6 +83,8 @@ val to_json : unit -> string
     exposition format. *)
 val to_prometheus : unit -> string
 
-(** [dump ppf ()] prints a human-oriented snapshot of every nonzero
-    instrument (the shell's [\metrics]). *)
-val dump : Format.formatter -> unit -> unit
+(** [dump ?prefix ppf ()] prints a human-oriented snapshot of every
+    nonzero instrument (the shell's [\metrics]); histograms include
+    interpolated p50/p95/p99. [prefix] restricts the dump to instruments
+    whose name starts with it. *)
+val dump : ?prefix:string -> Format.formatter -> unit -> unit

@@ -1,0 +1,162 @@
+(* Per-statement execution statistics and the slow-query log.
+
+   A pg_stat_statements-style aggregator: statements are keyed by a
+   normalized fingerprint (literals replaced by [?]; computed by the SQL
+   layer, which owns the lexer — this module only aggregates), and each
+   execution folds its latency, row count, error flag and cache/probe
+   deltas into the fingerprint's entry. Executions slower than the
+   slow-log threshold are additionally kept verbatim in a bounded ring.
+
+   Like {!Metrics}, the registry is process-global and unlocked (one
+   session per process); [reset] gives tests and benchmark iterations a
+   clean window. The [sys.statements] and [sys.slow_queries] catalog
+   views materialize from here. *)
+
+type entry = {
+  qs_fingerprint : string;
+  qs_kind : string;  (** "sql" | "xnf" — classification of the statement *)
+  mutable qs_calls : int;
+  mutable qs_errors : int;
+  mutable qs_rows : int;  (** cumulative rows returned / tuples loaded *)
+  mutable qs_total_ns : float;
+  mutable qs_min_ns : float;
+  mutable qs_max_ns : float;
+  mutable qs_cache_hits : int;  (** result+plan cache hits during executions *)
+  mutable qs_cache_misses : int;
+  mutable qs_hash_probes : int;  (** batch hash probe passes during executions *)
+}
+
+type slow = {
+  sl_seq : int;  (** monotonically increasing id, 1-based *)
+  sl_fingerprint : string;
+  sl_text : string;  (** the exact statement text as executed *)
+  sl_ns : float;
+  sl_rows : int;
+  sl_at_ns : float;  (** wall-clock completion time (epoch ns) *)
+}
+
+(* at most this many distinct fingerprints are tracked; beyond it new
+   fingerprints are dropped (counted) rather than evicting hot entries *)
+let max_entries = 1024
+
+(* the slow ring keeps the newest [slow_cap] over-threshold executions *)
+let slow_cap = 64
+
+let entries_tbl : (string, entry) Hashtbl.t = Hashtbl.create 64
+let slow_ring : slow list ref = ref []
+let slow_seq = ref 0
+let m_dropped = Metrics.counter "obs.querystats.dropped"
+let m_slow = Metrics.counter "obs.querystats.slow"
+
+(* slow-log threshold in nanoseconds; None = disabled (the default) *)
+let slowlog_ns : float option ref = ref None
+
+(** [set_slowlog_ms t] sets the slow-query threshold in milliseconds
+    ([Some 0.] records every execution); [None] disables the log. *)
+let set_slowlog_ms = function
+  | Some ms when ms >= 0. -> slowlog_ns := Some (ms *. 1e6)
+  | Some _ | None -> slowlog_ns := None
+
+(** [slowlog_ms ()] is the current threshold in milliseconds, if set. *)
+let slowlog_ms () = Option.map (fun ns -> ns /. 1e6) !slowlog_ns
+
+(* environment override, read once at startup *)
+let () =
+  match Sys.getenv_opt "XNF_SLOWLOG_MS" with
+  | Some s -> begin
+    match float_of_string_opt (String.trim s) with
+    | Some ms when ms >= 0. -> set_slowlog_ms (Some ms)
+    | _ -> ()
+  end
+  | None -> ()
+
+(** [record ~kind ~fingerprint ~text ~elapsed_ns ~rows ~error ~cache_hits
+    ~cache_misses ~hash_probes] folds one execution into the aggregate for
+    [fingerprint] and appends it to the slow ring when the threshold is
+    enabled and met. *)
+let record ~kind ~fingerprint ~text ~elapsed_ns ~rows ~error ~cache_hits ~cache_misses
+    ~hash_probes =
+  (match Hashtbl.find_opt entries_tbl fingerprint with
+  | Some e ->
+    e.qs_calls <- e.qs_calls + 1;
+    if error then e.qs_errors <- e.qs_errors + 1;
+    e.qs_rows <- e.qs_rows + rows;
+    e.qs_total_ns <- e.qs_total_ns +. elapsed_ns;
+    if elapsed_ns < e.qs_min_ns then e.qs_min_ns <- elapsed_ns;
+    if elapsed_ns > e.qs_max_ns then e.qs_max_ns <- elapsed_ns;
+    e.qs_cache_hits <- e.qs_cache_hits + cache_hits;
+    e.qs_cache_misses <- e.qs_cache_misses + cache_misses;
+    e.qs_hash_probes <- e.qs_hash_probes + hash_probes
+  | None ->
+    if Hashtbl.length entries_tbl >= max_entries then Metrics.incr m_dropped
+    else
+      Hashtbl.replace entries_tbl fingerprint
+        { qs_fingerprint = fingerprint; qs_kind = kind; qs_calls = 1;
+          qs_errors = (if error then 1 else 0); qs_rows = rows; qs_total_ns = elapsed_ns;
+          qs_min_ns = elapsed_ns; qs_max_ns = elapsed_ns; qs_cache_hits = cache_hits;
+          qs_cache_misses = cache_misses; qs_hash_probes = hash_probes });
+  match !slowlog_ns with
+  | Some thr when elapsed_ns >= thr ->
+    incr slow_seq;
+    Metrics.incr m_slow;
+    let s =
+      { sl_seq = !slow_seq; sl_fingerprint = fingerprint; sl_text = text; sl_ns = elapsed_ns;
+        sl_rows = rows; sl_at_ns = Metrics.now_ns () }
+    in
+    slow_ring := s :: List.filteri (fun i _ -> i < slow_cap - 1) !slow_ring
+  | _ -> ()
+
+(** [entries ()] lists the aggregates, most total time first. *)
+let entries () =
+  Hashtbl.fold (fun _ e acc -> e :: acc) entries_tbl []
+  |> List.sort (fun a b -> compare (b.qs_total_ns, a.qs_fingerprint) (a.qs_total_ns, b.qs_fingerprint))
+
+(** [find fingerprint] is the aggregate for [fingerprint], if tracked. *)
+let find fingerprint = Hashtbl.find_opt entries_tbl fingerprint
+
+(** [slow_queries ()] lists the over-threshold executions, newest
+    first. *)
+let slow_queries () = !slow_ring
+
+(** [reset ()] drops every aggregate and the slow ring (the threshold is
+    kept). *)
+let reset () =
+  Hashtbl.reset entries_tbl;
+  slow_ring := [];
+  slow_seq := 0
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(** [to_json_top n] renders the top [n] aggregates by total time as a
+    JSON array (the [bench --json] statement dump). *)
+let to_json_top n =
+  let b = Buffer.create 256 in
+  Buffer.add_char b '[';
+  List.iteri
+    (fun i e ->
+      if i < n then begin
+        if i > 0 then Buffer.add_char b ',';
+        Printf.bprintf b
+          "{\"fingerprint\":\"%s\",\"kind\":\"%s\",\"calls\":%d,\"errors\":%d,\"rows\":%d,\
+           \"total_ms\":%.3f,\"min_ms\":%.3f,\"max_ms\":%.3f,\"cache_hits\":%d,\
+           \"cache_misses\":%d,\"hash_probes\":%d}"
+          (json_escape e.qs_fingerprint) (json_escape e.qs_kind) e.qs_calls e.qs_errors e.qs_rows
+          (e.qs_total_ns /. 1e6) (e.qs_min_ns /. 1e6) (e.qs_max_ns /. 1e6) e.qs_cache_hits
+          e.qs_cache_misses e.qs_hash_probes
+      end)
+    (entries ());
+  Buffer.add_char b ']';
+  Buffer.contents b

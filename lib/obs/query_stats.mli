@@ -1,0 +1,76 @@
+(** Per-statement execution statistics and the slow-query log.
+
+    A pg_stat_statements-style aggregator: executions are folded into one
+    entry per statement fingerprint (normalized text with literals
+    replaced by [?] — computed by the caller; this module only
+    aggregates), and executions at or over the slow-log threshold are
+    additionally kept verbatim in a bounded ring (newest
+    first). Process-global and unlocked, like {!Metrics}; materialized by
+    the [sys.statements] / [sys.slow_queries] catalog views.
+
+    The threshold starts disabled; the [XNF_SLOWLOG_MS] environment
+    variable (milliseconds) enables it at startup, and the shell's
+    [\slowlog] meta command adjusts it at runtime. *)
+
+type entry = {
+  qs_fingerprint : string;
+  qs_kind : string;  (** "sql" | "xnf" *)
+  mutable qs_calls : int;
+  mutable qs_errors : int;
+  mutable qs_rows : int;  (** cumulative rows returned / tuples loaded *)
+  mutable qs_total_ns : float;
+  mutable qs_min_ns : float;
+  mutable qs_max_ns : float;
+  mutable qs_cache_hits : int;
+  mutable qs_cache_misses : int;
+  mutable qs_hash_probes : int;
+}
+
+type slow = {
+  sl_seq : int;  (** monotonically increasing id, 1-based *)
+  sl_fingerprint : string;
+  sl_text : string;  (** the exact statement text as executed *)
+  sl_ns : float;
+  sl_rows : int;
+  sl_at_ns : float;  (** wall-clock completion time (epoch ns) *)
+}
+
+(** [set_slowlog_ms t] sets the slow-query threshold in milliseconds
+    ([Some 0.] records every execution); [None] disables the log. *)
+val set_slowlog_ms : float option -> unit
+
+(** [slowlog_ms ()] is the current threshold in milliseconds, if set. *)
+val slowlog_ms : unit -> float option
+
+(** [record ~kind ~fingerprint ~text ~elapsed_ns ~rows ~error
+    ~cache_hits ~cache_misses ~hash_probes] folds one execution into the
+    aggregate for [fingerprint], and into the slow ring when the
+    threshold is enabled and [elapsed_ns] meets it. *)
+val record :
+  kind:string ->
+  fingerprint:string ->
+  text:string ->
+  elapsed_ns:float ->
+  rows:int ->
+  error:bool ->
+  cache_hits:int ->
+  cache_misses:int ->
+  hash_probes:int ->
+  unit
+
+(** [entries ()] lists the aggregates, most total time first. *)
+val entries : unit -> entry list
+
+(** [find fingerprint] is the aggregate for [fingerprint], if tracked. *)
+val find : string -> entry option
+
+(** [slow_queries ()] lists over-threshold executions, newest first. *)
+val slow_queries : unit -> slow list
+
+(** [reset ()] drops every aggregate and the slow ring; the threshold is
+    kept. *)
+val reset : unit -> unit
+
+(** [to_json_top n] renders the top [n] aggregates by total time as a
+    JSON array (the [bench --json] statement dump). *)
+val to_json_top : int -> string

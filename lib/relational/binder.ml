@@ -193,7 +193,15 @@ and requalify_node env alias node =
 and bind_table_ref env (tr : table_ref) : Qgm.t =
   match tr with
   | From_table (name, alias) -> begin
-    let alias = Option.value ~default:name alias in
+    (* default alias of a dotted name ("sys.tables") is the last segment,
+       so unqualified references pick the short form: sys.tables.name
+       binds as tables.name *)
+    let default_alias =
+      match String.rindex_opt name '.' with
+      | Some i -> String.sub name (i + 1) (String.length name - i - 1)
+      | None -> name
+    in
+    let alias = Option.value ~default:default_alias alias in
     match Catalog.view_opt env.catalog name with
     | Some view ->
       if List.mem (String.lowercase_ascii name) env.views_in_progress then
@@ -205,8 +213,12 @@ and bind_table_ref env (tr : table_ref) : Qgm.t =
       in
       requalify_node env alias (bind_select env' view.Catalog.view_query)
     | None ->
-      if Catalog.table_opt env.catalog name = None then err "unknown table or view: %s" name;
-      Qgm.Access { table = name; alias }
+      if Catalog.table_opt env.catalog name <> None then Qgm.Access { table = name; alias }
+      else begin
+        match Catalog.virtual_opt env.catalog name with
+        | Some table -> Qgm.Temp { table; alias }
+        | None -> err "unknown table or view: %s" name
+      end
   end
   | From_select (q, alias) ->
     requalify_node env alias (bind_select { env with outer = None } q)
@@ -375,11 +387,19 @@ and bind_plain_projection env from_schema node q =
           [ (bound, Schema.column ~nullable name ty) ])
       q.sel_items
   in
-  (* deduplicate generated names (col0, col0 -> col0, col1) *)
+  (* deduplicate generated names (col0, col0 -> col0, col1) — only names
+     of the generated shape col<digits>, so user columns that merely start
+     with "col" (column_name, color) keep their names *)
+  let generated name =
+    String.length name > 3
+    && String.sub name 0 3 = "col"
+    && String.for_all (fun ch -> ch >= '0' && ch <= '9')
+         (String.sub name 3 (String.length name - 3))
+  in
   let cols =
     List.mapi
       (fun i (e, c) ->
-        if String.length c.Schema.col_name > 3 && String.sub c.Schema.col_name 0 3 = "col" then
+        if generated c.Schema.col_name then
           (e, { c with Schema.col_name = Printf.sprintf "col%d" i })
         else (e, c))
       cols

@@ -11,6 +11,13 @@ type view = {
 type t = {
   tables : (string, Table.t) Hashtbl.t;
   views : (string, view) Hashtbl.t;
+  virtuals : (string, unit -> Table.t) Hashtbl.t;
+      (** read-only system tables ([sys.*]), materialized on demand by a
+          provider thunk; registration does NOT bump [version] (virtual
+          contents are derived state, not schema) *)
+  stats : (string, Stats.table_stats) Hashtbl.t;
+      (** ANALYZE snapshots, keyed like [tables]; freshness is checked
+          against {!Table.version} on every read *)
   mutable version : int;
       (** bumped on every schema change (table/view added or dropped);
           cached fetch plans are valid only for the version they were
@@ -21,7 +28,9 @@ exception Unknown_table of string
 exception Duplicate_name of string
 
 (** [create ()] is an empty catalog. *)
-let create () = { tables = Hashtbl.create 16; views = Hashtbl.create 16; version = 0 }
+let create () =
+  { tables = Hashtbl.create 16; views = Hashtbl.create 16; virtuals = Hashtbl.create 16;
+    stats = Hashtbl.create 16; version = 0 }
 
 (** [version cat] is the schema version, bumped by every DDL change. *)
 let version cat = cat.version
@@ -32,7 +41,8 @@ let norm = String.lowercase_ascii
     @raise Duplicate_name when the name is taken. *)
 let add_table cat table =
   let key = norm (Table.name table) in
-  if Hashtbl.mem cat.tables key || Hashtbl.mem cat.views key then raise (Duplicate_name key);
+  if Hashtbl.mem cat.tables key || Hashtbl.mem cat.views key || Hashtbl.mem cat.virtuals key
+  then raise (Duplicate_name key);
   Hashtbl.replace cat.tables key table;
   cat.version <- cat.version + 1
 
@@ -58,13 +68,15 @@ let drop_table cat name =
   let key = norm name in
   if not (Hashtbl.mem cat.tables key) then raise (Unknown_table name);
   Hashtbl.remove cat.tables key;
+  Hashtbl.remove cat.stats key;
   cat.version <- cat.version + 1
 
 (** [add_view cat ~name query] registers a tabular view.
     @raise Duplicate_name when the name is taken. *)
 let add_view cat ~name query =
   let key = norm name in
-  if Hashtbl.mem cat.tables key || Hashtbl.mem cat.views key then raise (Duplicate_name key);
+  if Hashtbl.mem cat.tables key || Hashtbl.mem cat.views key || Hashtbl.mem cat.virtuals key
+  then raise (Duplicate_name key);
   Hashtbl.replace cat.views key { view_name = name; view_query = query };
   cat.version <- cat.version + 1
 
@@ -84,3 +96,43 @@ let tables cat = Hashtbl.fold (fun _ t acc -> t :: acc) cat.tables []
 (** [table_names cat] lists registered table names, sorted. *)
 let table_names cat =
   List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) cat.tables [])
+
+(** [register_virtual cat ~name provider] registers a read-only virtual
+    table materialized by [provider] on every reference. Does NOT bump the
+    schema version: virtual contents are derived state, and registering
+    them must not invalidate cached fetch plans. *)
+let register_virtual cat ~name provider =
+  Hashtbl.replace cat.virtuals (norm name) provider
+
+(** [virtual_opt cat name] materializes the virtual table, if registered. *)
+let virtual_opt cat name =
+  Option.map (fun provider -> provider ()) (Hashtbl.find_opt cat.virtuals (norm name))
+
+(** [virtual_names cat] lists registered virtual table names, sorted. *)
+let virtual_names cat =
+  List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) cat.virtuals [])
+
+(** [set_stats cat st] stores an ANALYZE snapshot (keyed by table name). *)
+let set_stats cat (st : Stats.table_stats) =
+  Hashtbl.replace cat.stats (norm st.Stats.ts_table) st
+
+(** [stats_opt cat name] is the last ANALYZE snapshot, fresh or stale. *)
+let stats_opt cat name = Hashtbl.find_opt cat.stats (norm name)
+
+(** [fresh_stats_opt cat name] is the last ANALYZE snapshot only when its
+    collection version still matches the live table's version; stale
+    snapshots yield [None] so consumers fall back rather than trust them. *)
+let fresh_stats_opt cat name =
+  match stats_opt cat name with
+  | Some st when
+      (match table_opt cat name with
+      | Some t -> Table.version t = st.Stats.ts_version
+      | None -> false) ->
+    Some st
+  | _ -> None
+
+(** [all_stats cat] lists stored snapshots, sorted by table name. *)
+let all_stats cat =
+  List.sort
+    (fun a b -> compare a.Stats.ts_table b.Stats.ts_table)
+    (Hashtbl.fold (fun _ st acc -> st :: acc) cat.stats [])

@@ -40,3 +40,25 @@ val view_opt : t -> string -> view option
 val drop_view : t -> string -> unit
 val tables : t -> Table.t list
 val table_names : t -> string list
+
+(** [register_virtual cat ~name provider] registers a read-only virtual
+    table ([sys.*]) materialized by [provider] on every reference. Does not
+    bump the schema version. *)
+val register_virtual : t -> name:string -> (unit -> Table.t) -> unit
+
+(** [virtual_opt cat name] materializes the named virtual table, if any. *)
+val virtual_opt : t -> string -> Table.t option
+
+val virtual_names : t -> string list
+
+(** [set_stats cat st] stores an ANALYZE snapshot for [st]'s table. *)
+val set_stats : t -> Stats.table_stats -> unit
+
+(** [stats_opt cat name] is the last ANALYZE snapshot, fresh or stale. *)
+val stats_opt : t -> string -> Stats.table_stats option
+
+(** [fresh_stats_opt cat name] is the snapshot only when collected at the
+    live table's current {!Table.version}; [None] when stale or absent. *)
+val fresh_stats_opt : t -> string -> Stats.table_stats option
+
+val all_stats : t -> Stats.table_stats list

@@ -1,12 +1,43 @@
 (* Cardinality estimation over QGM trees.
 
    Estimates drive join-method selection in the optimizer. They use exact
-   base-table cardinalities (tables are in memory) and textbook default
-   selectivities: 1/distinct for equality against a literal, 1/10 for other
-   comparisons, independence across conjuncts. *)
+   base-table cardinalities (tables are in memory) and, when a fresh
+   ANALYZE snapshot exists in the catalog, its column statistics: NDV for
+   equality selectivity, equi-depth histograms for range predicates, null
+   fractions for IS [NOT] NULL. Stale snapshots (table version moved since
+   collection) are never consulted — estimation falls back to the textbook
+   defaults: 1/distinct for equality against a literal, fixed fractions
+   for other comparisons, independence across conjuncts. *)
 
 let default_ineq_selectivity = 0.3
 let default_pred_selectivity = 0.1
+
+(* resolve output column [i] of [node] to a base-table column with fresh
+   ANALYZE statistics, when the column is a direct passthrough *)
+let rec base_col_stats catalog node i : (Stats.table_stats * Stats.col_stats) option =
+  match node with
+  | Qgm.Access { table; _ } -> begin
+    match Catalog.fresh_stats_opt catalog table with
+    | Some st when i < Array.length st.Stats.ts_cols -> Some (st, st.Stats.ts_cols.(i))
+    | _ -> None
+  end
+  | Qgm.Select { input; _ } | Qgm.Distinct input | Qgm.Order { input; _ } ->
+    base_col_stats catalog input i
+  | Qgm.Limit (input, _) -> base_col_stats catalog input i
+  | Qgm.Project { input; cols } -> begin
+    match List.nth_opt cols i with
+    | Some (Expr.Col j, _) -> base_col_stats catalog input j
+    | _ -> None
+  end
+  | Qgm.Join { kind; left; right; _ } -> begin
+    let lw = Schema.arity (Qgm.schema_of catalog left) in
+    match kind with
+    | Qgm.Semi | Qgm.Anti -> base_col_stats catalog left i
+    | Qgm.Inner | Qgm.Left ->
+      if i < lw then base_col_stats catalog left i
+      else base_col_stats catalog right (i - lw)
+  end
+  | Qgm.Temp _ | Qgm.Group _ | Qgm.Values _ | Qgm.Union_all _ -> None
 
 (* selectivity of one conjunct over [node]'s output *)
 let rec conjunct_selectivity catalog node (e : Expr.t) =
@@ -18,6 +49,19 @@ let rec conjunct_selectivity catalog node (e : Expr.t) =
     1.0 /. float_of_int (distinct_of catalog node i)
   | Expr.Cmp (Expr.Eq, Expr.Col i, Expr.Col j) ->
     1.0 /. float_of_int (max (distinct_of catalog node i) (distinct_of catalog node j))
+  | Expr.Cmp (((Expr.Lt | Expr.Le | Expr.Gt | Expr.Ge) as op), Expr.Col i, Expr.Lit v) ->
+    range_selectivity catalog node i op v
+  | Expr.Cmp (((Expr.Lt | Expr.Le | Expr.Gt | Expr.Ge) as op), Expr.Lit v, Expr.Col i) ->
+    (* flip: lit < col  <=>  col > lit *)
+    let flipped =
+      match op with
+      | Expr.Lt -> Expr.Gt
+      | Expr.Le -> Expr.Ge
+      | Expr.Gt -> Expr.Lt
+      | Expr.Ge -> Expr.Le
+      | _ -> op
+    in
+    range_selectivity catalog node i flipped v
   | Expr.Cmp ((Expr.Lt | Expr.Le | Expr.Gt | Expr.Ge), _, _) -> default_ineq_selectivity
   | Expr.Cmp (Expr.Ne, _, _) -> 0.9
   | Expr.And (a, b) -> conjunct_selectivity catalog node a *. conjunct_selectivity catalog node b
@@ -25,16 +69,50 @@ let rec conjunct_selectivity catalog node (e : Expr.t) =
     let sa = conjunct_selectivity catalog node a and sb = conjunct_selectivity catalog node b in
     min 1.0 (sa +. sb)
   | Expr.Not a -> 1.0 -. conjunct_selectivity catalog node a
+  | Expr.Is_null (Expr.Col i) -> begin
+    match base_col_stats catalog node i with
+    | Some (st, cs) -> Float.min 1.0 (Float.max 0.001 (Stats.null_frac st cs))
+    | None -> 0.05
+  end
   | Expr.Is_null _ -> 0.05
+  | Expr.Is_not_null (Expr.Col i) -> begin
+    match base_col_stats catalog node i with
+    | Some (st, cs) -> Float.min 0.999 (Float.max 0.0 (1.0 -. Stats.null_frac st cs))
+    | None -> 0.95
+  end
   | Expr.Is_not_null _ -> 0.95
   | Expr.In_list (_, items) -> min 1.0 (0.05 *. float_of_int (List.length items))
   | _ -> default_pred_selectivity
 
+(* range selectivity for [col op lit]: histogram-based when a fresh
+   ANALYZE snapshot covers the column, the textbook default otherwise *)
+and range_selectivity catalog node i op v =
+  let frac =
+    match base_col_stats catalog node i with
+    | Some (_, cs) ->
+      let o =
+        match op with
+        | Expr.Lt -> Some `Lt
+        | Expr.Le -> Some `Le
+        | Expr.Gt -> Some `Gt
+        | Expr.Ge -> Some `Ge
+        | _ -> None
+      in
+      Option.bind o (fun o -> Stats.range_fraction cs o v)
+    | None -> None
+  in
+  match frac with Some f -> f | None -> default_ineq_selectivity
+
 (* distinct-count estimate for output column [i] of [node]: resolved down to
-   a base-table column when the column is a direct passthrough *)
+   a base-table column when the column is a direct passthrough; fresh
+   ANALYZE NDV is preferred over the on-the-fly table scan *)
 and distinct_of catalog node i =
   match node with
-  | Qgm.Access { table; _ } -> Table.distinct_estimate (Catalog.table catalog table) i
+  | Qgm.Access { table; _ } -> begin
+    match Catalog.fresh_stats_opt catalog table with
+    | Some st when i < Array.length st.Stats.ts_cols -> max 1 st.Stats.ts_cols.(i).Stats.cs_ndv
+    | _ -> Table.distinct_estimate (Catalog.table catalog table) i
+  end
   | Qgm.Temp { table; _ } -> Table.distinct_estimate table i
   | Qgm.Select { input; _ } | Qgm.Distinct input | Qgm.Order { input; _ } -> distinct_of catalog input i
   | Qgm.Limit (input, _) -> distinct_of catalog input i

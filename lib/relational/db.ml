@@ -30,6 +30,7 @@ let m_rows_returned = Obs.Metrics.counter "db.rows_returned"
 (** [create ()] is a fresh, empty database session. *)
 let create () =
   let catalog = Catalog.create () in
+  Sys_catalog.install catalog;
   { catalog; txn = Txn.create catalog; rewrite_enabled = true; stmt_count = 0 }
 
 (** [catalog db] exposes the catalog (for the XNF layer and tests). *)
@@ -312,6 +313,14 @@ let exec_stmt_ast db (stmt : Sql_ast.stmt) : exec_result =
     if not dropped then err "unknown index %s" name;
     Done (Printf.sprintf "dropped index %s" name)
   | Sql_ast.S_explain q -> Done (explain_ast db q)
+  | Sql_ast.S_analyze target ->
+    let targets =
+      match target with
+      | Some name -> [ Catalog.table db.catalog name ]
+      | None -> Catalog.tables db.catalog
+    in
+    List.iter (fun t -> Catalog.set_stats db.catalog (Stats.analyze t)) targets;
+    Done (Printf.sprintf "analyzed %d table(s)" (List.length targets))
   | Sql_ast.S_begin ->
     Txn.begin_txn db.txn;
     Done "transaction started"

@@ -82,6 +82,7 @@ type stmt =
   | S_drop_view of string
   | S_drop_index of string
   | S_explain of select  (** show the rewritten QGM and the physical plan *)
+  | S_analyze of string option  (** collect table/column statistics; [None] = all tables *)
   | S_begin
   | S_commit
   | S_rollback
@@ -200,6 +201,8 @@ let pp_stmt ppf = function
   | S_drop_view n -> Fmt.pf ppf "DROP VIEW %s" n
   | S_drop_index n -> Fmt.pf ppf "DROP INDEX %s" n
   | S_explain q -> Fmt.pf ppf "EXPLAIN %a" pp_select q
+  | S_analyze None -> Fmt.string ppf "ANALYZE"
+  | S_analyze (Some t) -> Fmt.pf ppf "ANALYZE %s" t
   | S_begin -> Fmt.string ppf "BEGIN"
   | S_commit -> Fmt.string ppf "COMMIT"
   | S_rollback -> Fmt.string ppf "ROLLBACK"

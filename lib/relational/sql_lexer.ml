@@ -27,6 +27,7 @@ let keywords =
     "INSERT"; "INTO"; "VALUES"; "UPDATE"; "SET"; "DELETE"; "CREATE"; "TABLE"; "INDEX"; "VIEW";
     "DROP"; "PRIMARY"; "KEY"; "INTEGER"; "INT"; "FLOAT"; "VARCHAR"; "BOOLEAN"; "USING";
     "ORDERED"; "UNION"; "ALL"; "BEGIN"; "COMMIT"; "ROLLBACK"; "EXPLAIN"; "PREPARE"; "EXECUTE";
+    "ANALYZE";
     (* XNF extensions *)
     "OUT"; "OF"; "TAKE"; "RELATE"; "SUCH"; "THAT"; "WITH"; "ATTRIBUTES"; "CONNECT";
     "DISCONNECT" ]
@@ -163,6 +164,34 @@ let tokenize_spanned (s : string) : token array * Srcloc.span array =
 (** [tokenize s] lexes [s] into tokens terminated by [EOF].
     @raise Parse_error on malformed input. *)
 let tokenize (s : string) : token array = fst (tokenize_spanned s)
+
+(** [fingerprint s] is the statement-statistics key for [s]: the token
+    stream re-rendered with canonical case and spacing and every literal
+    (numbers, strings, and explicit [?] markers) replaced by [?], so
+    executions differing only in constants aggregate under one entry.
+    Unlexable text falls back to its trimmed form (the parser will reject
+    it anyway; the error still gets an aggregate). *)
+let fingerprint (s : string) : string =
+  match tokenize s with
+  | exception Parse_error _ -> String.trim s
+  | toks ->
+    let b = Buffer.create (String.length s) in
+    Array.iter
+      (fun t ->
+        let piece =
+          match t with
+          | IDENT n -> n
+          | KW k -> k
+          | INT _ | FLOAT _ | STRING _ -> "?"
+          | SYM sym -> sym
+          | EOF -> ""
+        in
+        if piece <> "" then begin
+          if Buffer.length b > 0 then Buffer.add_char b ' ';
+          Buffer.add_string b piece
+        end)
+      toks;
+    Buffer.contents b
 
 (** Token cursors: mutable position over a token array, shared by the SQL
     and XNF recursive-descent parsers. [spans] is parallel to [toks].

@@ -29,6 +29,11 @@ val tokenize : string -> token array
     @raise Parse_error on malformed input. *)
 val tokenize_spanned : string -> token array * Srcloc.span array
 
+(** [fingerprint s] is the statement-statistics key for [s]: canonical
+    case/spacing with every literal replaced by [?]. Unlexable input falls
+    back to its trimmed text. Never raises. *)
+val fingerprint : string -> string
+
 (** Mutable cursor with arbitrary lookahead over a token array. [spans] is
     parallel to [toks]; [params] counts the [?] parameter markers consumed
     so far, so slots are numbered in lexical order across the whole

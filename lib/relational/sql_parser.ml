@@ -14,6 +14,21 @@ module L = Sql_lexer
 
 let parse_error = L.error
 
+(* A table name in FROM position: [ident] or the qualified [ident.ident]
+   form used by the virtual system catalog ([sys.metrics], ...). The dot
+   is consumed only when an identifier follows, so ordinary punctuation
+   after a table name still parses. *)
+let parse_table_name c =
+  let name = L.expect_ident c in
+  if L.at_sym c "." then begin
+    match L.peek2 c with
+    | L.IDENT _ ->
+      ignore (L.advance c);
+      name ^ "." ^ L.expect_ident c
+    | _ -> name
+  end
+  else name
+
 (* ---- expressions ---- *)
 
 let rec parse_expr c : expr = parse_or c
@@ -245,7 +260,7 @@ and parse_table_ref c =
       From_select (q, alias)
     end
     else begin
-      let name = L.expect_ident c in
+      let name = parse_table_name c in
       let alias =
         if L.accept_kw c "AS" then Some (L.expect_ident c)
         else match L.peek c with
@@ -278,7 +293,7 @@ and parse_join_tail c lhs =
         From_select (q, alias)
       end
       else begin
-        let name = L.expect_ident c in
+        let name = parse_table_name c in
         let alias =
           if L.accept_kw c "AS" then Some (L.expect_ident c)
           else match L.peek c with
@@ -509,6 +524,10 @@ let parse_stmt_cursor c : stmt =
   | L.KW "EXPLAIN" ->
     ignore (L.advance c);
     S_explain (parse_select_cursor c)
+  | L.KW "ANALYZE" ->
+    ignore (L.advance c);
+    let target = match L.peek c with L.IDENT _ -> Some (L.expect_ident c) | _ -> None in
+    S_analyze target
   | L.KW "BEGIN" ->
     ignore (L.advance c);
     S_begin

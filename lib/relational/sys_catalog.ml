@@ -1,0 +1,238 @@
+(* Virtual system catalog: the relational-level sys.* views.
+
+   Each view is a provider thunk registered with {!Catalog} that builds a
+   fresh ordinary {!Table.t} from live engine state (metrics registry,
+   query-stats aggregator, trace ring, catalog itself) every time a query
+   references it. The binder lowers the materialized table to a
+   [Qgm.Temp] node, so the full parser -> QGM -> optimizer -> executor
+   pipeline applies unchanged and sys.* tables join against base tables
+   like any other relation.
+
+   Materialization never bumps the catalog version or any table the
+   executor reads through caches — observing the engine must not
+   invalidate its plans.
+
+   The engine-level views that need {!Catalog} only ([sys.metrics],
+   [sys.statements], ...) live here; views over core-layer state
+   ([sys.plans], [sys.fetch_cache]) are registered by [Api.create], which
+   can see the caches. *)
+
+let col = Schema.column
+
+let make ~name cols rows =
+  let t = Table.create ~name (Schema.make cols) in
+  List.iter (fun r -> ignore (Table.insert t r)) rows;
+  t
+
+let ms ns = ns /. 1e6
+
+(* sys.metrics: one row per counter or gauge. *)
+let metrics () =
+  let rows =
+    List.map
+      (fun (n, v) -> [| Value.Str n; Value.Str "counter"; Value.Float (float_of_int v) |])
+      (Obs.Metrics.counters_list ())
+    @ List.map
+        (fun (n, v) -> [| Value.Str n; Value.Str "gauge"; Value.Float v |])
+        (Obs.Metrics.gauges_list ())
+  in
+  make ~name:"sys.metrics"
+    [ col "name" Schema.Ty_string; col "kind" Schema.Ty_string; col "value" Schema.Ty_float ]
+    rows
+
+(* sys.histograms: one row per bucket of every non-empty histogram; [le]
+   is the bucket upper bound in nanoseconds (NULL for the overflow
+   bucket), quantiles are interpolated milliseconds repeated on each
+   row of the histogram. *)
+let histograms () =
+  let rows =
+    List.concat_map
+      (fun (n, h) ->
+        if Obs.Metrics.hist_count h = 0 then []
+        else begin
+          let total = Obs.Metrics.hist_count h in
+          let p q = ms (Obs.Metrics.hist_quantile h q) in
+          let p50 = p 0.5 and p95 = p 0.95 and p99 = p 0.99 in
+          let cum = ref 0 in
+          List.map
+            (fun (bound, count) ->
+              cum := !cum + count;
+              [| Value.Str n;
+                 (match bound with Some b -> Value.Float b | None -> Value.Null);
+                 Value.Int count; Value.Int !cum; Value.Int total;
+                 Value.Float (Obs.Metrics.hist_sum h);
+                 Value.Float p50; Value.Float p95; Value.Float p99 |])
+            (Obs.Metrics.hist_buckets h)
+        end)
+      (Obs.Metrics.histograms_list ())
+  in
+  make ~name:"sys.histograms"
+    [ col "name" Schema.Ty_string; col "le" Schema.Ty_float; col "count" Schema.Ty_int;
+      col "cum_count" Schema.Ty_int; col "total" Schema.Ty_int; col "sum" Schema.Ty_float;
+      col "p50_ms" Schema.Ty_float; col "p95_ms" Schema.Ty_float; col "p99_ms" Schema.Ty_float ]
+    rows
+
+(* sys.spans: the trace ring flattened pre-order; [root] numbers the root
+   spans newest-first, [seq]/[depth] locate a span within its tree. *)
+let spans () =
+  let rows = ref [] in
+  let seq = ref 0 in
+  let rec walk root depth (sp : Obs.Trace.span) =
+    incr seq;
+    let meta =
+      String.concat "," (List.map (fun (k, v) -> k ^ "=" ^ v) sp.Obs.Trace.sp_meta)
+    in
+    rows :=
+      [| Value.Int root; Value.Int !seq; Value.Int depth;
+         Value.Str sp.Obs.Trace.sp_name; Value.Float (ms sp.Obs.Trace.sp_elapsed_ns);
+         Value.Str meta |]
+      :: !rows;
+    List.iter (walk root (depth + 1)) sp.Obs.Trace.sp_children
+  in
+  List.iteri (fun i sp -> seq := 0; walk i 0 sp) (Obs.Trace.recent ());
+  make ~name:"sys.spans"
+    [ col "root" Schema.Ty_int; col "seq" Schema.Ty_int; col "depth" Schema.Ty_int;
+      col "name" Schema.Ty_string; col "elapsed_ms" Schema.Ty_float;
+      col "meta" Schema.Ty_string ]
+    (List.rev !rows)
+
+(* sys.statements: the per-fingerprint aggregates, most total time first. *)
+let statements () =
+  let rows =
+    List.map
+      (fun (e : Obs.Query_stats.entry) ->
+        let mean =
+          if e.qs_calls = 0 then 0. else e.qs_total_ns /. float_of_int e.qs_calls
+        in
+        [| Value.Str e.qs_fingerprint; Value.Str e.qs_kind; Value.Int e.qs_calls;
+           Value.Int e.qs_errors; Value.Int e.qs_rows; Value.Float (ms e.qs_total_ns);
+           Value.Float (ms mean); Value.Float (ms e.qs_min_ns); Value.Float (ms e.qs_max_ns);
+           Value.Int e.qs_cache_hits; Value.Int e.qs_cache_misses;
+           Value.Int e.qs_hash_probes |])
+      (Obs.Query_stats.entries ())
+  in
+  make ~name:"sys.statements"
+    [ col "fingerprint" Schema.Ty_string; col "kind" Schema.Ty_string;
+      col "calls" Schema.Ty_int; col "errors" Schema.Ty_int; col "rows" Schema.Ty_int;
+      col "total_ms" Schema.Ty_float; col "mean_ms" Schema.Ty_float;
+      col "min_ms" Schema.Ty_float; col "max_ms" Schema.Ty_float;
+      col "cache_hits" Schema.Ty_int; col "cache_misses" Schema.Ty_int;
+      col "hash_probes" Schema.Ty_int ]
+    rows
+
+(* sys.slow_queries: the over-threshold ring, newest first. *)
+let slow_queries () =
+  let rows =
+    List.map
+      (fun (s : Obs.Query_stats.slow) ->
+        [| Value.Int s.sl_seq; Value.Str s.sl_fingerprint; Value.Str s.sl_text;
+           Value.Float (ms s.sl_ns); Value.Int s.sl_rows;
+           Value.Float (s.sl_at_ns /. 1e9) |])
+      (Obs.Query_stats.slow_queries ())
+  in
+  make ~name:"sys.slow_queries"
+    [ col "seq" Schema.Ty_int; col "fingerprint" Schema.Ty_string;
+      col "text" Schema.Ty_string; col "elapsed_ms" Schema.Ty_float;
+      col "rows" Schema.Ty_int; col "at_s" Schema.Ty_float ]
+    rows
+
+(* sys.tables: one row per base table; [analyzed] is true only when a
+   stats snapshot exists AND is still fresh (collected at the live table
+   version). *)
+let tables cat () =
+  let rows =
+    List.map
+      (fun t ->
+        let name = Table.name t in
+        [| Value.Str name; Value.Int (Schema.arity (Table.schema t));
+           Value.Int (Table.cardinality t); Value.Int (Table.version t);
+           Value.Int (List.length (Table.indexes t));
+           Value.Bool (Table.primary_key t <> None);
+           Value.Bool (Catalog.fresh_stats_opt cat name <> None) |])
+      (List.sort (fun a b -> compare (Table.name a) (Table.name b)) (Catalog.tables cat))
+  in
+  make ~name:"sys.tables"
+    [ col "name" Schema.Ty_string; col "columns" Schema.Ty_int; col "rows" Schema.Ty_int;
+      col "version" Schema.Ty_int; col "indexes" Schema.Ty_int;
+      col "has_pk" Schema.Ty_bool; col "analyzed" Schema.Ty_bool ]
+    rows
+
+(* sys.indexes: one row per secondary index. *)
+let indexes cat () =
+  let rows =
+    List.concat_map
+      (fun t ->
+        let schema = Table.schema t in
+        List.map
+          (fun idx ->
+            let cols_s =
+              String.concat ","
+                (List.map
+                   (fun i -> (Schema.col schema i).Schema.col_name)
+                   (Array.to_list (Index.cols idx)))
+            in
+            [| Value.Str (Table.name t); Value.Str (Index.name idx);
+               Value.Str (match Index.kind idx with Index.Hash -> "hash" | Index.Ordered -> "ordered");
+               Value.Str cols_s; Value.Int (Index.distinct_keys idx) |])
+          (Table.indexes t))
+      (List.sort (fun a b -> compare (Table.name a) (Table.name b)) (Catalog.tables cat))
+  in
+  make ~name:"sys.indexes"
+    [ col "table_name" Schema.Ty_string; col "index_name" Schema.Ty_string;
+      col "kind" Schema.Ty_string; col "columns" Schema.Ty_string;
+      col "distinct_keys" Schema.Ty_int ]
+    rows
+
+(* sys.column_stats: every stored ANALYZE snapshot, one row per column,
+   with an explicit [stale] flag (collected version <> live table
+   version) — stale statistics are surfaced, never hidden. *)
+let column_stats cat () =
+  let rows =
+    List.concat_map
+      (fun (st : Stats.table_stats) ->
+        let table_version =
+          match Catalog.table_opt cat st.ts_table with
+          | Some t -> Some (Table.version t)
+          | None -> None
+        in
+        let stale = table_version <> Some st.ts_version in
+        Array.to_list
+          (Array.map
+             (fun (cs : Stats.col_stats) ->
+               let str_of v = match v with
+                 | Value.Null -> Value.Null
+                 | v -> Value.Str (Value.to_string v)
+               in
+               let hist =
+                 String.concat ","
+                   (List.map Value.to_string (Array.to_list cs.cs_hist))
+               in
+               [| Value.Str st.ts_table; Value.Str cs.cs_name; Value.Int cs.cs_ndv;
+                  str_of cs.cs_min; str_of cs.cs_max;
+                  Value.Float (Stats.null_frac st cs); Value.Int st.ts_rowcount;
+                  Value.Int st.ts_version;
+                  (match table_version with Some v -> Value.Int v | None -> Value.Null);
+                  Value.Bool stale; Value.Float (st.ts_collected_ns /. 1e9);
+                  Value.Str hist |])
+             st.ts_cols))
+      (Catalog.all_stats cat)
+  in
+  make ~name:"sys.column_stats"
+    [ col "table_name" Schema.Ty_string; col "column_name" Schema.Ty_string;
+      col "ndv" Schema.Ty_int; col "min" Schema.Ty_string; col "max" Schema.Ty_string;
+      col "null_frac" Schema.Ty_float; col "rowcount" Schema.Ty_int;
+      col "collected_version" Schema.Ty_int; col "table_version" Schema.Ty_int;
+      col "stale" Schema.Ty_bool; col "collected_at_s" Schema.Ty_float;
+      col "histogram" Schema.Ty_string ]
+    rows
+
+(** [install cat] registers the relational-level sys.* views on [cat]. *)
+let install cat =
+  Catalog.register_virtual cat ~name:"sys.metrics" metrics;
+  Catalog.register_virtual cat ~name:"sys.histograms" histograms;
+  Catalog.register_virtual cat ~name:"sys.spans" spans;
+  Catalog.register_virtual cat ~name:"sys.statements" statements;
+  Catalog.register_virtual cat ~name:"sys.slow_queries" slow_queries;
+  Catalog.register_virtual cat ~name:"sys.tables" (tables cat);
+  Catalog.register_virtual cat ~name:"sys.indexes" (indexes cat);
+  Catalog.register_virtual cat ~name:"sys.column_stats" (column_stats cat)

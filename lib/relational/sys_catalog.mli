@@ -1,0 +1,23 @@
+(** Virtual system catalog: the relational-level sys.* views.
+
+    Read-only virtual tables materialized on demand from live engine
+    state and registered with {!Catalog}, so plain SQL can scan and join
+    them through the normal pipeline:
+
+    - [sys.metrics] — counters and gauges (name, kind, value)
+    - [sys.histograms] — one row per latency-histogram bucket, with
+      interpolated p50/p95/p99 milliseconds
+    - [sys.spans] — the trace ring flattened pre-order
+    - [sys.statements] — per-fingerprint execution aggregates
+    - [sys.slow_queries] — the over-threshold execution ring
+    - [sys.tables] / [sys.indexes] — schema objects with live
+      cardinalities and an [analyzed] freshness flag
+    - [sys.column_stats] — stored ANALYZE snapshots, one row per column,
+      with an explicit [stale] flag on table-version mismatch
+
+    Core-layer views ([sys.plans], [sys.fetch_cache]) are registered by
+    [Api.create], which owns those caches. *)
+
+(** [install cat] registers the relational-level sys.* views on [cat].
+    Registration does not bump the catalog version. *)
+val install : Catalog.t -> unit

@@ -47,4 +47,5 @@ let () =
       ("xnf-fetch-plan", Test_fetch_plan.suite);
       ("fuzz", Test_fuzz.suite);
       ("check", Test_check.suite);
-      ("xnf-batch-edge", Test_batch_edge.suite) ]
+      ("xnf-batch-edge", Test_batch_edge.suite);
+      ("sys-catalog", Test_sys.suite) ]

@@ -1,0 +1,362 @@
+(* The self-observing engine: sys.* virtual catalog views scanned and
+   joined through the ordinary SQL pipeline, ANALYZE statistics (exact
+   NDV / min / max / null fraction, equi-depth histograms, staleness
+   flagging) and their consumption by the cost model, per-statement
+   aggregation with the slow-query log, and the supporting Metrics
+   additions (interpolated quantiles, prefix-filtered dumps). *)
+
+open Relational
+
+let rows db sql =
+  match Db.exec db sql with
+  | Db.Rows r -> r.Db.rrows
+  | _ -> Alcotest.fail ("expected rows from: " ^ sql)
+
+let one_int db sql =
+  match rows db sql with
+  | [ [| Value.Int n |] ] -> n
+  | _ -> Alcotest.fail ("expected a single int from: " ^ sql)
+
+let mk () =
+  let db = Db.create () in
+  List.iter
+    (fun s -> ignore (Db.exec db s))
+    [ "CREATE TABLE dept (dno INTEGER PRIMARY KEY, dname VARCHAR, budget INTEGER)";
+      "CREATE TABLE emp (eno INTEGER PRIMARY KEY, ename VARCHAR, sal INTEGER, edno INTEGER)";
+      "INSERT INTO dept VALUES (1, 'd1', 100), (2, 'd2', 200)";
+      "INSERT INTO emp VALUES (1, 'c', 900, 1), (2, 'a', 300, 1), (3, 'b', 500, 2), (4, 'a', 100, 2)" ];
+  let api = Xnf.Api.create db in
+  (db, api)
+
+let q_all =
+  "OUT OF Xdept AS DEPT, Xemp AS EMP, \
+   employment AS (RELATE Xdept, Xemp WHERE Xdept.dno = Xemp.edno) TAKE *"
+
+(* ---- every sys.* view is scannable through the normal pipeline ---- *)
+
+let test_scan_all_views () =
+  let db, api = mk () in
+  ignore (Db.exec db "ANALYZE");
+  ignore (Xnf.Api.fetch_string api q_all);
+  List.iter
+    (fun name ->
+      match Db.exec db (Printf.sprintf "SELECT * FROM %s" name) with
+      | Db.Rows _ -> ()
+      | _ -> Alcotest.fail ("scan of " ^ name ^ " did not return rows"))
+    (Catalog.virtual_names (Db.catalog db));
+  (* the registration set is exactly the documented ten *)
+  Alcotest.(check (list string)) "registered views"
+    [ "sys.column_stats"; "sys.fetch_cache"; "sys.histograms"; "sys.indexes"; "sys.metrics";
+      "sys.plans"; "sys.slow_queries"; "sys.spans"; "sys.statements"; "sys.tables" ]
+    (Catalog.virtual_names (Db.catalog db))
+
+let test_join_with_base_table () =
+  let db, _ = mk () in
+  (* join a sys view against a base table: every dept row pairs with its
+     catalog entry *)
+  let n =
+    one_int db
+      "SELECT count(*) FROM dept d, sys.tables t WHERE t.name = 'dept' AND d.budget > 0"
+  in
+  Alcotest.(check int) "dept rows joined to sys.tables" 2 n;
+  let card =
+    one_int db "SELECT t.rows FROM sys.tables t WHERE t.name = 'emp'"
+  in
+  Alcotest.(check int) "sys.tables live cardinality" 4 card
+
+let test_metrics_view () =
+  let db, _ = mk () in
+  ignore (Db.exec db "SELECT 1");
+  let n =
+    one_int db
+      "SELECT count(*) FROM sys.metrics WHERE name = 'db.stmts' AND kind = 'counter' AND value > 0"
+  in
+  Alcotest.(check int) "db.stmts visible via SQL" 1 n
+
+let test_spans_view () =
+  let db, _ = mk () in
+  ignore (Db.exec db "SELECT count(*) FROM emp");
+  let n = one_int db "SELECT count(*) FROM sys.spans WHERE depth = 0" in
+  Alcotest.(check bool) "root spans recorded" true (n >= 1)
+
+let test_histograms_view () =
+  let db, _ = mk () in
+  ignore (Db.exec db "SELECT count(*) FROM emp");
+  (* per-bucket counts must sum back to the advertised total *)
+  let ok =
+    one_int db
+      "SELECT count(*) FROM sys.histograms h WHERE h.name = 'span.sql.query' AND h.total > 0"
+  in
+  Alcotest.(check bool) "exec latency histogram has buckets" true (ok >= 1)
+
+(* ---- ANALYZE: exact statistics and staleness ---- *)
+
+let check_float what exp got =
+  Alcotest.(check bool) what true (Float.abs (exp -. got) < 1e-9)
+
+let test_analyze_exact () =
+  let db = Db.create () in
+  ignore (Db.exec db "CREATE TABLE t (a INTEGER, b VARCHAR)");
+  ignore
+    (Db.exec db
+       "INSERT INTO t VALUES (1, 'x'), (2, 'x'), (2, NULL), (5, 'y'), (NULL, NULL), (5, 'x')");
+  ignore (Db.exec db "ANALYZE t");
+  let st =
+    match Catalog.stats_opt (Db.catalog db) "t" with
+    | Some st -> st
+    | None -> Alcotest.fail "ANALYZE stored no snapshot"
+  in
+  Alcotest.(check int) "rowcount" 6 st.Stats.ts_rowcount;
+  let a = st.Stats.ts_cols.(0) and b = st.Stats.ts_cols.(1) in
+  Alcotest.(check int) "a ndv" 3 a.Stats.cs_ndv;
+  Alcotest.(check bool) "a min" true (Value.equal a.Stats.cs_min (Value.Int 1));
+  Alcotest.(check bool) "a max" true (Value.equal a.Stats.cs_max (Value.Int 5));
+  Alcotest.(check int) "a nulls" 1 a.Stats.cs_nulls;
+  Alcotest.(check int) "b ndv" 2 b.Stats.cs_ndv;
+  Alcotest.(check int) "b nulls" 2 b.Stats.cs_nulls;
+  check_float "a null_frac" (1. /. 6.) (Stats.null_frac st a);
+  check_float "b null_frac" (2. /. 6.) (Stats.null_frac st b);
+  (* surfaced through the view, flagged fresh *)
+  let ndv =
+    one_int db "SELECT ndv FROM sys.column_stats WHERE table_name = 't' AND column_name = 'a'"
+  in
+  Alcotest.(check int) "sys.column_stats ndv" 3 ndv;
+  let stale =
+    one_int db
+      "SELECT count(*) FROM sys.column_stats WHERE table_name = 't' AND stale = TRUE"
+  in
+  Alcotest.(check int) "no stale columns right after ANALYZE" 0 stale
+
+let test_stale_flag_and_fresh_lookup () =
+  let db = Db.create () in
+  ignore (Db.exec db "CREATE TABLE t (a INTEGER)");
+  ignore (Db.exec db "INSERT INTO t VALUES (1), (2), (3)");
+  ignore (Db.exec db "ANALYZE t");
+  Alcotest.(check bool) "fresh right after ANALYZE" true
+    (Catalog.fresh_stats_opt (Db.catalog db) "t" <> None);
+  ignore (Db.exec db "INSERT INTO t VALUES (4)");
+  (* version moved: snapshot kept, flagged stale, never served as fresh *)
+  Alcotest.(check bool) "stale snapshot not served as fresh" true
+    (Catalog.fresh_stats_opt (Db.catalog db) "t" = None);
+  Alcotest.(check bool) "stale snapshot still stored" true
+    (Catalog.stats_opt (Db.catalog db) "t" <> None);
+  let stale = one_int db "SELECT count(*) FROM sys.column_stats WHERE stale = TRUE" in
+  Alcotest.(check int) "flagged stale in the view" 1 stale;
+  ignore (Db.exec db "ANALYZE t");
+  let stale = one_int db "SELECT count(*) FROM sys.column_stats WHERE stale = TRUE" in
+  Alcotest.(check int) "re-ANALYZE clears the flag" 0 stale
+
+let test_cost_consumes_stats () =
+  let db = Db.create () in
+  ignore (Db.exec db "CREATE TABLE t (n INTEGER)");
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "INSERT INTO t VALUES ";
+  for i = 1 to 1000 do
+    if i > 1 then Buffer.add_string buf ", ";
+    Buffer.add_string buf (Printf.sprintf "(%d)" i)
+  done;
+  ignore (Db.exec db (Buffer.contents buf));
+  let cat = Db.catalog db in
+  let access = Qgm.Access { table = "t"; alias = "t" } in
+  let sel op lit =
+    Qgm.Select { input = access; pred = Expr.Cmp (op, Expr.Col 0, Expr.Lit (Value.Int lit)) }
+  in
+  (* without statistics: the textbook default inequality selectivity *)
+  let before = Cost.estimate cat (sel Expr.Le 500) in
+  Alcotest.(check bool) "default 0.3 before ANALYZE" true (Float.abs (before -. 300.) < 1e-6);
+  ignore (Db.exec db "ANALYZE t");
+  (* with a fresh histogram: n <= 500 hits exactly half the buckets *)
+  let after = Cost.estimate cat (sel Expr.Le 500) in
+  Alcotest.(check bool) "histogram selectivity 0.5 after ANALYZE" true
+    (Float.abs (after -. 500.) < 1e-6);
+  (* equality uses the exact NDV from the snapshot *)
+  let eq = Cost.estimate cat (sel Expr.Eq 7) in
+  Alcotest.(check bool) "NDV-driven equality selectivity" true (Float.abs (eq -. 1.) < 1e-6);
+  (* DML stales the snapshot: estimation falls back to the default *)
+  ignore (Db.exec db "INSERT INTO t VALUES (1001)");
+  let stale = Cost.estimate cat (sel Expr.Le 500) in
+  Alcotest.(check bool) "stale stats are not consulted" true
+    (Float.abs (stale -. (1001. *. 0.3)) < 1e-6)
+
+let test_null_frac_selectivity () =
+  let db = Db.create () in
+  ignore (Db.exec db "CREATE TABLE t (a INTEGER)");
+  ignore (Db.exec db "INSERT INTO t VALUES (1), (NULL), (NULL), (NULL), (2), (3), (4), (5)");
+  ignore (Db.exec db "ANALYZE t");
+  let cat = Db.catalog db in
+  let sel =
+    Qgm.Select
+      { input = Qgm.Access { table = "t"; alias = "t" }; pred = Expr.Is_null (Expr.Col 0) }
+  in
+  let est = Cost.estimate cat sel in
+  (* 3 of 8 rows are NULL: the estimate uses the measured fraction *)
+  Alcotest.(check bool) "IS NULL uses measured null fraction" true
+    (Float.abs (est -. 3.) < 1e-6)
+
+(* ---- DDL reflection ---- *)
+
+let test_ddl_reflection () =
+  let db, _ = mk () in
+  ignore (Db.exec db "ANALYZE dept");
+  ignore (Db.exec db "CREATE TABLE extra (x INTEGER)");
+  Alcotest.(check int) "CREATE TABLE visible immediately" 1
+    (one_int db "SELECT count(*) FROM sys.tables WHERE name = 'extra'");
+  ignore (Db.exec db "DROP TABLE extra");
+  Alcotest.(check int) "DROP TABLE visible immediately" 0
+    (one_int db "SELECT count(*) FROM sys.tables WHERE name = 'extra'");
+  ignore (Db.exec db "CREATE INDEX emp_edno ON emp (edno)");
+  Alcotest.(check int) "CREATE INDEX visible immediately" 1
+    (one_int db "SELECT count(*) FROM sys.indexes WHERE index_name = 'emp_edno'");
+  ignore (Db.exec db "DROP INDEX emp_edno");
+  Alcotest.(check int) "DROP INDEX visible immediately" 0
+    (one_int db "SELECT count(*) FROM sys.indexes WHERE index_name = 'emp_edno'");
+  (* dropping an analyzed table drops its statistics rows with it *)
+  Alcotest.(check bool) "dept stats present" true
+    (one_int db "SELECT count(*) FROM sys.column_stats WHERE table_name = 'dept'" > 0);
+  ignore (Db.exec db "DROP TABLE dept");
+  Alcotest.(check int) "dropped table's stats rows are gone" 0
+    (one_int db "SELECT count(*) FROM sys.column_stats WHERE table_name = 'dept'")
+
+let test_sys_plans_invalidation () =
+  let db, api = mk () in
+  Xnf.Api.set_plan_cache api 8;
+  ignore (Xnf.Api.fetch_string api q_all);
+  Alcotest.(check int) "cached plan visible and valid" 1
+    (one_int db "SELECT count(*) FROM sys.plans WHERE source = 'cache' AND valid = TRUE");
+  (* DDL moves the index epoch: the invalidated row disappears rather
+     than lingering as stale *)
+  ignore (Db.exec db "CREATE INDEX emp_edno ON emp (edno)");
+  Alcotest.(check int) "invalidated plan row disappears" 0
+    (one_int db "SELECT count(*) FROM sys.plans WHERE source = 'cache'")
+
+let test_sys_fetch_cache () =
+  let db, api = mk () in
+  Xnf.Api.set_result_cache api 4;
+  ignore (Xnf.Api.fetch_string api q_all);
+  Alcotest.(check int) "cached result visible, not stale" 1
+    (one_int db "SELECT count(*) FROM sys.fetch_cache WHERE stale = FALSE");
+  ignore (Db.exec db "INSERT INTO emp VALUES (9, 'z', 1, 1)");
+  Alcotest.(check int) "DML flips the staleness flag" 1
+    (one_int db "SELECT count(*) FROM sys.fetch_cache WHERE stale = TRUE")
+
+(* ---- per-statement statistics and the slow-query log ---- *)
+
+let test_statement_aggregation () =
+  Obs.Query_stats.reset ();
+  let db, api = mk () in
+  ignore (Xnf.Api.exec api "SELECT ename FROM emp WHERE sal > 100");
+  ignore (Xnf.Api.exec api "SELECT ename FROM emp WHERE sal > 400");
+  (* literals normalize to ?: both executions fold into one entry *)
+  let n =
+    one_int db
+      "SELECT calls FROM sys.statements WHERE fingerprint = 'SELECT ename FROM emp WHERE sal > ?'"
+  in
+  Alcotest.(check int) "two calls, one fingerprint" 2 n;
+  let k =
+    match rows db "SELECT kind FROM sys.statements WHERE calls = 2" with
+    | [ [| Value.Str k |] ] -> k
+    | _ -> Alcotest.fail "expected one aggregated entry"
+  in
+  Alcotest.(check string) "classified as sql" "sql" k;
+  let r =
+    one_int db
+      "SELECT rows FROM sys.statements WHERE fingerprint = 'SELECT ename FROM emp WHERE sal > ?'"
+  in
+  Alcotest.(check int) "cumulative rows" (3 + 2) r
+
+let test_statement_errors_recorded () =
+  Obs.Query_stats.reset ();
+  let db, api = mk () in
+  (try ignore (Xnf.Api.exec api "SELECT nosuch FROM emp") with _ -> ());
+  let n = one_int db "SELECT errors FROM sys.statements WHERE errors > 0" in
+  Alcotest.(check int) "failed execution counted as error" 1 n
+
+let test_slowlog_threshold () =
+  Obs.Query_stats.reset ();
+  let saved = Obs.Query_stats.slowlog_ms () in
+  Fun.protect
+    ~finally:(fun () -> Obs.Query_stats.set_slowlog_ms saved)
+    (fun () ->
+      let db, api = mk () in
+      Obs.Query_stats.set_slowlog_ms None;
+      ignore (Xnf.Api.exec api "SELECT count(*) FROM emp");
+      Alcotest.(check int) "disabled log records nothing" 0
+        (one_int db "SELECT count(*) FROM sys.slow_queries");
+      Obs.Query_stats.set_slowlog_ms (Some 0.);
+      ignore (Xnf.Api.exec api "SELECT count(*) FROM emp");
+      Alcotest.(check int) "zero threshold records the execution" 1
+        (one_int db
+           "SELECT count(*) FROM sys.slow_queries WHERE fingerprint = 'SELECT count ( * ) FROM emp'");
+      Obs.Query_stats.set_slowlog_ms (Some 1e9);
+      ignore (Xnf.Api.exec api "SELECT count(*) FROM dept");
+      Alcotest.(check int) "huge threshold records nothing more" 1
+        (one_int db "SELECT count(*) FROM sys.slow_queries");
+      (* the slow row joins back to its aggregate *)
+      Obs.Query_stats.set_slowlog_ms None;
+      Alcotest.(check int) "slow row joins to sys.statements" 1
+        (one_int db
+           "SELECT count(*) FROM sys.statements s, sys.slow_queries q \
+            WHERE s.fingerprint = q.fingerprint"))
+
+let test_fingerprint_normalization () =
+  Alcotest.(check string) "literals become ?" "SELECT a FROM t WHERE b = ? AND c = ?"
+    (Sql_lexer.fingerprint "SELECT a FROM t WHERE b = 5 AND c = 'x'");
+  Alcotest.(check string) "whitespace-insensitive"
+    (Sql_lexer.fingerprint "SELECT a FROM t WHERE b = 5")
+    (Sql_lexer.fingerprint "  SELECT   a FROM t   WHERE b =    9  ")
+
+(* ---- metrics additions ---- *)
+
+let test_hist_quantile () =
+  let h = Obs.Metrics.histogram ~bounds:[| 10.; 20.; 40. |] "test.sys.quantile" in
+  Alcotest.(check bool) "empty histogram is NaN" true
+    (Float.is_nan (Obs.Metrics.hist_quantile h 0.5));
+  for _ = 1 to 50 do Obs.Metrics.observe h 5. done;
+  for _ = 1 to 50 do Obs.Metrics.observe h 15. done;
+  let p50 = Obs.Metrics.hist_quantile h 0.5 in
+  (* 50th observation sits exactly at the first bucket's upper bound *)
+  Alcotest.(check bool) "p50 interpolates inside the first bucket" true
+    (Float.abs (p50 -. 10.) < 1e-9);
+  let p99 = Obs.Metrics.hist_quantile h 0.99 in
+  Alcotest.(check bool) "p99 lands in the second bucket" true (p99 > 10. && p99 <= 20.)
+
+let test_dump_prefix () =
+  Obs.Metrics.incr ~by:3 (Obs.Metrics.counter "test.sysdump.alpha");
+  Obs.Metrics.incr ~by:2 (Obs.Metrics.counter "other.sysdump.beta");
+  let render prefix = Fmt.str "%a" (Obs.Metrics.dump ?prefix) () in
+  let all = render None and only = render (Some "test.sysdump.") in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    nn = 0 || go 0
+  in
+  Alcotest.(check bool) "unfiltered dump has both" true
+    (contains all "test.sysdump.alpha" && contains all "other.sysdump.beta");
+  Alcotest.(check bool) "prefix keeps matching" true (contains only "test.sysdump.alpha");
+  Alcotest.(check bool) "prefix drops the rest" false (contains only "other.sysdump.beta")
+
+let test_analyze_unknown_table () =
+  let db = Db.create () in
+  Alcotest.check_raises "ANALYZE nosuch" (Catalog.Unknown_table "nosuch") (fun () ->
+      ignore (Db.exec db "ANALYZE nosuch"))
+
+let suite =
+  [ Alcotest.test_case "scan every sys view" `Quick test_scan_all_views;
+    Alcotest.test_case "join sys view with base table" `Quick test_join_with_base_table;
+    Alcotest.test_case "sys.metrics" `Quick test_metrics_view;
+    Alcotest.test_case "sys.spans" `Quick test_spans_view;
+    Alcotest.test_case "sys.histograms" `Quick test_histograms_view;
+    Alcotest.test_case "ANALYZE exact statistics" `Quick test_analyze_exact;
+    Alcotest.test_case "staleness flag and fresh lookup" `Quick test_stale_flag_and_fresh_lookup;
+    Alcotest.test_case "cost model consumes statistics" `Quick test_cost_consumes_stats;
+    Alcotest.test_case "null-fraction selectivity" `Quick test_null_frac_selectivity;
+    Alcotest.test_case "DDL reflected immediately" `Quick test_ddl_reflection;
+    Alcotest.test_case "sys.plans invalidation" `Quick test_sys_plans_invalidation;
+    Alcotest.test_case "sys.fetch_cache staleness" `Quick test_sys_fetch_cache;
+    Alcotest.test_case "statement aggregation" `Quick test_statement_aggregation;
+    Alcotest.test_case "statement errors recorded" `Quick test_statement_errors_recorded;
+    Alcotest.test_case "slow-query threshold" `Quick test_slowlog_threshold;
+    Alcotest.test_case "fingerprint normalization" `Quick test_fingerprint_normalization;
+    Alcotest.test_case "hist_quantile interpolation" `Quick test_hist_quantile;
+    Alcotest.test_case "metrics dump prefix filter" `Quick test_dump_prefix;
+    Alcotest.test_case "ANALYZE unknown table" `Quick test_analyze_unknown_table ]
