@@ -33,7 +33,7 @@ let print_outcome path (o : Fuzz.Oracle.outcome) =
     false
   end
 
-let main seed iters replay replay_dir corpus save_cases mutate no_shrink max_nodes max_rows quiet =
+let main seed iters replay replay_dir corpus save_cases mutate no_shrink advise max_nodes max_rows quiet =
   Check.Pipeline.install ();
   let mutation =
     match mutate with
@@ -68,9 +68,9 @@ let main seed iters replay replay_dir corpus save_cases mutate no_shrink max_nod
       (String.split_on_char ',' spec);
     if !ok then 0 else 1
   | Some path, _, None ->
-    if print_outcome path (Fuzz.Driver.replay ?mutation path) then 0 else 1
+    if print_outcome path (Fuzz.Driver.replay ~advise ?mutation path) then 0 else 1
   | None, Some dir, None ->
-    let results = Fuzz.Driver.replay_dir ?mutation dir in
+    let results = Fuzz.Driver.replay_dir ~advise ?mutation dir in
     if results = [] then begin
       Printf.printf "no corpus entries under %s\n" dir;
       0
@@ -85,8 +85,8 @@ let main seed iters replay replay_dir corpus save_cases mutate no_shrink max_nod
       { Fuzz.Gen.default with Fuzz.Gen.max_nodes; Fuzz.Gen.max_rows }
     in
     let report =
-      Fuzz.Driver.run ~config ?mutation ?corpus_dir:corpus ~shrink:(not no_shrink) ~log ~seed
-        ~iters ()
+      Fuzz.Driver.run ~config ~advise ?mutation ?corpus_dir:corpus ~shrink:(not no_shrink) ~log
+        ~seed ~iters ()
     in
     Printf.printf "%d cases (seed %d)\n" report.Fuzz.Driver.r_cases seed;
     Printf.printf "coverage:%s\n"
@@ -157,6 +157,15 @@ let mutate_t =
 
 let no_shrink_t = Arg.(value & flag & info [ "no-shrink" ] ~doc:"Skip failure minimization.")
 
+let advise_t =
+  Arg.(
+    value
+    & flag
+    & info [ "advise" ]
+        ~doc:
+          "Run the static plan advisor on every generated plan and check it is pure: never \
+           raises, identical advisories cold vs plan-cache hit, no effect on fetch results.")
+
 let max_nodes_t =
   Arg.(value & opt int Fuzz.Gen.default.Fuzz.Gen.max_nodes
        & info [ "max-nodes" ] ~docv:"N" ~doc:"Node tables per case.")
@@ -174,6 +183,6 @@ let cmd =
   Cmd.v info
     Term.(
       const main $ seed_t $ iters_t $ replay_t $ replay_dir_t $ corpus_t $ save_cases_t $ mutate_t
-      $ no_shrink_t $ max_nodes_t $ max_rows_t $ quiet_t)
+      $ no_shrink_t $ advise_t $ max_nodes_t $ max_rows_t $ quiet_t)
 
 let () = exit (Cmdliner.Cmd.eval' cmd)

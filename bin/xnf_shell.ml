@@ -14,6 +14,8 @@
      \show            print the current cache
      \stats           translation statistics of the last fetch
      \lint <query>    statically check an XNF/SQL statement, report diagnostics
+     \advise <query>  static plan advisor: cost-annotated plan + PLAN3xx advisories
+     \advisories      show the session advisory log (sys.advisories)
      \check on|off    toggle the pipeline invariant validators
      \metrics [p]     dump nonzero metrics, optionally filtered to prefix p
                       (\metrics json / \metrics prom render the registry)
@@ -27,7 +29,9 @@
 
    EXPLAIN ANALYZE <query> (XNF or SQL SELECT) runs the statement under
    the instrumented executor and prints per-stage timings plus
-   per-operator row counts. *)
+   per-operator row counts. EXPLAIN ADVISE <query> compiles (but never
+   runs) an OUT OF ... TAKE query and prints the static plan advisor's
+   cost annotations and PLAN3xx advisories. *)
 
 open Relational
 
@@ -88,6 +92,21 @@ let handle_meta api current line =
     | ds ->
       Fmt.pr "%a" Diag.pp_list (Diag.sort ds);
       Fmt.pr "%d error(s), %d warning(s)@." (Diag.count_errors ds) (Diag.count_warnings ds)
+  end
+  else if String.length line > 8 && String.sub line 0 8 = "\\advise " then begin
+    match Check.Plan_advisor.advise_text api (strip "\\advise ") with
+    | Ok rp -> Fmt.pr "%s%!" (Check.Plan_advisor.render rp)
+    | Error ds -> Fmt.pr "%a" Diag.pp_list (Diag.sort ds)
+  end
+  else if line = "\\advisories" then begin
+    match Xnf.Api.advisories api with
+    | [] -> Fmt.pr "no advisories logged@."
+    | advs ->
+      List.iter
+        (fun (a : Xnf.Api.advisory) ->
+          Fmt.pr "#%d [%s] %s[%s]: %s@." a.Xnf.Api.adv_seq a.Xnf.Api.adv_source
+            a.Xnf.Api.adv_severity a.Xnf.Api.adv_code a.Xnf.Api.adv_message)
+        (List.rev advs)
   end
   else if line = "\\check on" then begin
     Check.Pipeline.install ();
@@ -204,6 +223,12 @@ let run_line api current line =
     | Xnf.Api.Api_error msg -> Fmt.pr "error: %s@." msg
     | Xnf.Translate.Translate_error msg -> Fmt.pr "translation error: %s@." msg
   end
+  else if String.length line > 15 && String.lowercase_ascii (String.sub line 0 15) = "explain advise " then begin
+    let body = String.trim (String.sub line 15 (String.length line - 15)) in
+    match Check.Plan_advisor.advise_text api body with
+    | Ok rp -> Fmt.pr "%s%!" (Check.Plan_advisor.render rp)
+    | Error ds -> Fmt.pr "%a" Diag.pp_list (Diag.sort ds)
+  end
   else
     try print_outcome current (Xnf.Api.exec api line) with
     | Sql_lexer.Parse_error msg -> Fmt.pr "parse error: %s@." msg
@@ -252,11 +277,12 @@ let run_file api path =
    print diagnostics with their line number, exit nonzero when any
    error-severity diagnostic is found. Clean CREATE VIEW statements are
    registered so later statements can import them. *)
-let lint_file api path =
+let lint_file api ~json path =
   let db = Xnf.Api.db api in
   let reg = Xnf.Api.registry api in
   let ic = open_in path in
   let errors = ref 0 and warnings = ref 0 and stmts = ref 0 and lineno = ref 0 in
+  let collected = ref [] in
   Fun.protect
     ~finally:(fun () -> close_in ic)
     (fun () ->
@@ -269,7 +295,8 @@ let lint_file api path =
             let ds = Check.Lint.lint_string db reg line in
             errors := !errors + Diag.count_errors ds;
             warnings := !warnings + Diag.count_warnings ds;
-            List.iter (fun d -> Fmt.pr "%s:%d: %a@." path !lineno Diag.pp d) (Diag.sort ds);
+            if json then collected := !collected @ ds
+            else List.iter (fun d -> Fmt.pr "%s:%d: %a@." path !lineno Diag.pp d) (Diag.sort ds);
             if not (Diag.has_errors ds) then begin
               match Xnf.Xnf_parser.parse_stmt line with
               | Xnf.Xnf_ast.X_create_view _ -> ignore (Xnf.Api.exec api line)
@@ -278,10 +305,65 @@ let lint_file api path =
           end
         done
       with End_of_file -> ());
-  Fmt.pr "%s: %d statement(s), %d error(s), %d warning(s)@." path !stmts !errors !warnings;
+  if json then Fmt.pr "%s@." (Diag.to_json !collected)
+  else Fmt.pr "%s: %d statement(s), %d error(s), %d warning(s)@." path !stmts !errors !warnings;
   if !errors > 0 then exit 1
 
-let main demo lint file =
+(* Batch plan advisor over a statement file. Non-query statements (DDL,
+   DML, CREATE XNF VIEW, ANALYZE) are EXECUTED so the catalog, indexes
+   and statistics evolve exactly as they would in a session; every
+   OUT OF ... TAKE query is compiled fresh and advised, never run. Exit
+   status 1 on any error-severity diagnostic (including failed
+   statements), 0 for clean or warnings/info-only runs. *)
+let advise_file api ~json path =
+  let ic = open_in path in
+  let errors = ref 0 and warnings = ref 0 and advised = ref 0 and lineno = ref 0 in
+  let collected = ref [] in
+  let report ?(loc = true) ds =
+    errors := !errors + Diag.count_errors ds;
+    warnings := !warnings + Diag.count_warnings ds;
+    if json then collected := !collected @ ds
+    else
+      List.iter
+        (fun d ->
+          if loc then Fmt.pr "%s:%d: %a@." path !lineno Diag.pp d else Fmt.pr "%a@." Diag.pp d)
+        (Diag.sort ds)
+  in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      try
+        while true do
+          let line = String.trim (input_line ic) in
+          incr lineno;
+          if line <> "" && not (String.length line >= 2 && String.sub line 0 2 = "--") then begin
+            let is_query =
+              match Xnf.Xnf_parser.parse_stmt line with
+              | Xnf.Xnf_ast.X_query _ -> true
+              | _ | (exception _) -> false
+            in
+            if is_query then begin
+              incr advised;
+              match Check.Plan_advisor.advise_text api line with
+              | Ok rp -> report (Check.Plan_advisor.diags rp)
+              | Error ds -> report ds
+            end
+            else
+              try ignore (Xnf.Api.exec api line)
+              with e ->
+                report
+                  [ Diag.err ~code:"XNF000"
+                      (Printf.sprintf "statement failed: %s" (Printexc.to_string e)) ]
+          end
+        done
+      with End_of_file -> ());
+  if json then Fmt.pr "%s@." (Diag.to_json !collected)
+  else
+    Fmt.pr "%s: %d quer(y/ies) advised, %d error(s), %d warning(s)@." path !advised !errors
+      !warnings;
+  if !errors > 0 then exit 1
+
+let main demo lint advise json file =
   let db = Db.create () in
   let api = Xnf.Api.create db in
   (* keep a few recent fetch results so repeated OUT OF queries hit the
@@ -290,12 +372,16 @@ let main demo lint file =
      xnf.plancache counters) *)
   Xnf.Api.set_result_cache api 8;
   Xnf.Api.set_plan_cache api 32;
+  (* estimate-vs-actual drift detection on every plan-executed fetch,
+     surfaced via \advisories and the sys.advisories view *)
+  Check.Plan_advisor.install api;
   ignore (Check.Pipeline.install_from_env ());
   if demo then load_demo api;
-  match (lint, file) with
-  | Some path, _ -> lint_file api path
-  | None, Some path -> run_file api path
-  | None, None -> repl api
+  match (lint, advise, file) with
+  | Some path, _, _ -> lint_file api ~json path
+  | None, Some path, _ -> advise_file api ~json path
+  | None, None, Some path -> run_file api path
+  | None, None, None -> repl api
 
 let cmd =
   let open Cmdliner in
@@ -311,12 +397,24 @@ let cmd =
            ~doc:"Statically check every statement in $(docv) and exit; nonzero exit status \
                  when any error-severity diagnostic is reported.")
   in
+  let advise =
+    Arg.(value & opt (some string) None & info [ "advise" ] ~docv:"FILE"
+           ~doc:"Run the static plan advisor over $(docv): non-query statements execute \
+                 (so DDL and ANALYZE take effect), OUT OF queries are compiled and advised \
+                 but never run. Nonzero exit status when any error-severity diagnostic is \
+                 reported; warnings and advisories exit 0.")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ]
+           ~doc:"With $(b,--lint) or $(b,--advise): report diagnostics as a JSON array \
+                 instead of text.")
+  in
   let info =
     Cmd.info "xnf_shell" ~doc:"Interactive SQL/XNF shell"
       ~man:[ `S Manpage.s_description;
              `P "A shared relational database with the XNF composite-object extensions: \
                  plain SQL and OUT OF ... TAKE queries at the same prompt." ]
   in
-  Cmd.v info Term.(const main $ demo $ lint $ file)
+  Cmd.v info Term.(const main $ demo $ lint $ advise $ json $ file)
 
 let () = exit (Cmdliner.Cmd.eval cmd)

@@ -21,9 +21,46 @@ XNF_CHECK=1 dune runtest --force
 echo "== lint corpus =="
 dune exec bin/xnf_shell.exe -- --demo --lint examples/corpus.xnf
 
+echo "== advise corpus =="
+# every corpus query also flows through the static plan advisor; any
+# error-severity advisory (or a statement the advisor cannot compile)
+# exits non-zero. PLAN3xx warnings and infos are expected and pass.
+dune exec bin/xnf_shell.exe -- --demo --advise examples/corpus.xnf > /dev/null
+
+echo "== advisory gate (PLAN300 missing index) =="
+# a 2000-row child probed from a 60-row frontier with no index on the
+# join column must draw a PLAN300 missing-index advisory; rerunning the
+# identical workload with the suggested index created must clear it,
+# proving the advisory tracks the catalog rather than always firing
+gen_advise_script() {
+  echo "CREATE TABLE adv_dept (dno INTEGER PRIMARY KEY, dname VARCHAR)"
+  seq 1 60 | awk 'BEGIN{printf "INSERT INTO adv_dept VALUES "} {printf "%s(%d, '\''d%d'\'')", (NR>1?", ":""), $1, $1} END{print ""}'
+  echo "CREATE TABLE adv_emp (eno INTEGER PRIMARY KEY, edno INTEGER)"
+  seq 1 2000 | awk 'BEGIN{printf "INSERT INTO adv_emp VALUES "} {printf "%s(%d, %d)", (NR>1?", ":""), $1, ($1 % 60) + 1} END{print ""}'
+  echo "ANALYZE"
+  if [ "$1" = "indexed" ]; then echo "CREATE INDEX idx_adv_emp_edno ON adv_emp (edno)"; fi
+  echo "OUT OF d AS ADV_DEPT, e AS ADV_EMP, works AS (RELATE d, e WHERE d.dno = e.edno) TAKE *"
+}
+ADV_SCRIPT=/tmp/advise_gate_$$.xnf
+ADV_OUT=/tmp/advise_gate_$$.out
+gen_advise_script plain > "$ADV_SCRIPT"
+dune exec bin/xnf_shell.exe -- --advise "$ADV_SCRIPT" > "$ADV_OUT"
+if ! grep -q 'PLAN300' "$ADV_OUT"; then
+  echo "advisory gate: expected a PLAN300 missing-index advisory"; cat "$ADV_OUT"; exit 1
+fi
+gen_advise_script indexed > "$ADV_SCRIPT"
+dune exec bin/xnf_shell.exe -- --advise "$ADV_SCRIPT" > "$ADV_OUT"
+if grep -q 'PLAN300' "$ADV_OUT"; then
+  echo "advisory gate: PLAN300 must clear once the suggested index exists"; cat "$ADV_OUT"; exit 1
+fi
+rm -f "$ADV_SCRIPT" "$ADV_OUT"
+
 echo "== fuzz (differential, seed 42) =="
-# short budget by default; raise with FUZZ_ITERS for nightly-style runs
-dune exec bin/xnf_fuzz.exe -- --seed 42 --iters "${FUZZ_ITERS:-500}" --quiet
+# short budget by default; raise with FUZZ_ITERS for nightly-style runs.
+# --advise folds the plan-advisor purity oracle into every case: the
+# advisor must never raise, must report identically on a cold compile
+# vs. a plan-cache hit, and must not perturb caches or query results
+dune exec bin/xnf_fuzz.exe -- --seed 42 --iters "${FUZZ_ITERS:-500}" --advise --quiet
 
 echo "== fuzz corpus replay =="
 dune exec bin/xnf_fuzz.exe -- --replay-dir examples/fuzz-corpus

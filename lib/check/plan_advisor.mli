@@ -1,0 +1,128 @@
+(** Static plan advisor: cost-annotated analysis of compiled fetch plans.
+
+    A pure, post-compile pass that walks a {!Xnf.Fetch_plan.t} (or a raw
+    {!Xnf.Translate.compiled}) together with the catalog's ANALYZE
+    statistics and emits advisories in the PLAN3xx range — the analysis
+    layer in front of cost-based strategy selection (ROADMAP item 4).
+    Nothing here executes queries or mutates plans, caches or tables:
+    running the advisor perturbs no fetch result.
+
+    Codes (documented in LANGUAGE.md §6):
+
+    - [PLAN300] (warning) — an edge probes a base table with no usable
+      index and an estimated probe cost above threshold; hints the
+      [CREATE INDEX] that would serve it.
+    - [PLAN301] (warning) — a [?force]d strategy contradicts the cost
+      estimate (selected cost ≫ best candidate's).
+    - [PLAN302] (warning) — cyclic schema whose fixpoint has no
+      restriction bounding recursion: no derivation predicate on the
+      cycle or its ancestors, no residual edge predicate on the cycle,
+      and no SUCH THAT restriction referencing it.
+    - [PLAN303] (info) — a component is fetched but never delivered:
+      dropped by TAKE, unreferenced by restrictions, and no delivered
+      component is reached through it.
+    - [PLAN304] (info) — missing or stale statistics on a base table the
+      cost model consulted.
+    - [PLAN305] (info) — hash build over a child extent far larger than
+      the probing frontier (build-side inversion).
+    - [PLAN310] (warning, {!drift}) — estimated vs. observed per-edge /
+      per-node row counts diverge by more than a configurable factor
+      after a fetch.
+
+    Estimates deliberately prefer the last ANALYZE snapshot even when
+    stale — they model what a cost-based planner would believe — so a
+    skewed bulk load after ANALYZE produces PLAN310 drift (plus PLAN304)
+    until re-ANALYZE. *)
+
+open Relational
+open Xnf
+
+(** Cost/cardinality annotations for one relationship of the plan. *)
+type edge_cost = {
+  ec_edge : string;
+  ec_strategy : Translate.strategy;  (** access path the plan selected *)
+  ec_frontier : float;  (** estimated probing frontier (reached parent rows) *)
+  ec_child : float;  (** estimated child extent *)
+  ec_fanout : float;  (** estimated children per parent row *)
+  ec_conns : float;  (** estimated connections *)
+  ec_cost : float;  (** estimated probe work under the selected strategy *)
+  ec_best : Translate.strategy;  (** cheapest candidate by estimate *)
+  ec_best_cost : float;
+}
+
+(** One finding, with the relationship / base table it concerns (for the
+    [sys.advisories] columns). *)
+type advisory = { ad_diag : Diag.t; ad_edge : string option; ad_table : string option }
+
+type report = {
+  rp_nodes : (string * float) list;  (** estimated reached rows per node *)
+  rp_edges : edge_cost list;
+  rp_advisories : advisory list;
+}
+
+(** [diags rp] is the bare diagnostics of [rp], in report order. *)
+val diags : report -> Diag.t list
+
+(** [entries rp] is the report's findings in the triple form
+    {!Xnf.Api.add_advisories} consumes. *)
+val entries : report -> (Diag.t * string option * string option) list
+
+(** [analyze_compiled db cp] runs the static analysis on a compiled
+    definition. [take] and [restrs] (the query's TAKE and path
+    restrictions; defaults [TAKE *] and none) feed the dead-component
+    and recursion-bounding checks. Thresholds: [probe_threshold] (est
+    probe cost, in rows, under which PLAN300 stays quiet; default 1000),
+    [force_factor] (selected-vs-best cost ratio for PLAN301; default 2),
+    [inversion_factor] (build-vs-frontier ratio for PLAN305; default
+    4). *)
+val analyze_compiled :
+  ?probe_threshold:float ->
+  ?force_factor:float ->
+  ?inversion_factor:float ->
+  ?take:Xnf_ast.take ->
+  ?restrs:Xnf_ast.restriction list ->
+  Db.t ->
+  Translate.compiled ->
+  report
+
+(** [analyze db plan] is {!analyze_compiled} over a prepared fetch plan
+    (its own TAKE and restrictions supplied). *)
+val analyze :
+  ?probe_threshold:float ->
+  ?force_factor:float ->
+  ?inversion_factor:float ->
+  Db.t ->
+  Fetch_plan.t ->
+  report
+
+(** [drift db plan cache] compares the plan's estimates against the
+    observed instance [cache] (live rows per component, live connections
+    per edge) and returns PLAN310 advisories where they diverge by more
+    than [factor] (default 8) with at least [min_rows] rows involved
+    (default 64). Overestimates are only flagged on restriction-free
+    plans — SUCH THAT legitimately shrinks the instance. *)
+val drift : ?factor:float -> ?min_rows:int -> Db.t -> Fetch_plan.t -> Cache.t -> advisory list
+
+(** [install api] injects {!drift} as the session's drift detector
+    ({!Xnf.Api.set_drift_advisor}): every plan-executed fetch is compared
+    against its estimates and divergence lands in [sys.advisories]. *)
+val install : ?factor:float -> ?min_rows:int -> Api.t -> unit
+
+(** [advise_text api text] implements [EXPLAIN ADVISE] / [\advise]:
+    parses [text] as an [OUT OF ... TAKE] query, compiles a FRESH plan
+    (the session's plan cache is neither consulted nor populated — the
+    advisor must not perturb cache validity), analyzes it, logs the
+    findings with source ["advise"], and returns the report. [Error]
+    carries diagnostics when the text fails to parse, compose or
+    compile. *)
+val advise_text :
+  ?probe_threshold:float ->
+  ?force_factor:float ->
+  ?inversion_factor:float ->
+  Api.t ->
+  string ->
+  (report, Diag.t list) result
+
+(** [render rp] is the human form: per-node and per-edge estimate lines
+    followed by the advisory list. *)
+val render : report -> string

@@ -9,6 +9,26 @@
 
 open Relational
 
+(** One advisory in the session log (the [sys.advisories] view): a
+    {!Diag.t} flattened to strings, stamped with its source ("advise" for
+    static analysis, "drift" for estimate-vs-actual divergence), the
+    relationship and base table it concerns (empty when schema-level) and
+    the fingerprint of the query it was raised for — joinable with
+    [sys.statements]. *)
+type advisory = {
+  adv_seq : int;
+  adv_source : string;
+  adv_code : string;
+  adv_severity : string;
+  adv_edge : string;
+  adv_table : string;
+  adv_message : string;
+  adv_hint : string;
+  adv_fingerprint : string;
+  adv_query : string;
+  adv_at_ns : float;
+}
+
 type t = {
   db : Db.t;
   reg : View_registry.t;
@@ -18,6 +38,13 @@ type t = {
   mutable pc_cap : int;  (** fetch-plan cache capacity; 0 = disabled *)
   mutable pc : (string * Fetch_plan.t) list;  (** MRU-first plan cache *)
   prepared : (string, Fetch_plan.t) Hashtbl.t;  (** PREPARE'd plans by name *)
+  mutable advisories : advisory list;  (** newest first, capped ring *)
+  mutable adv_next : int;
+  mutable drift_advisor :
+    (Db.t -> Fetch_plan.t -> Cache.t -> (Diag.t * string option * string option) list) option;
+      (** injected by the check layer ([Check.Plan_advisor.install]): Api
+          cannot depend on [check], so the estimate-vs-actual drift
+          detector arrives as a hook fired after plan-executed fetches *)
 }
 
 (** Result of executing one statement through [exec]. *)
@@ -139,6 +166,76 @@ let sys_plans api () =
       Schema.column "text" Schema.Ty_string ]
     (cached @ prepped)
 
+let m_advisories = Obs.Metrics.counter "xnf.advisor.logged"
+
+let advisory_cap = 256
+
+(** [add_advisories api ~source ~query entries] appends [(diag, edge,
+    table)] findings to the session advisory log (surfaced by
+    [sys.advisories]), fingerprinting [query] for the join with
+    [sys.statements]. The log is a ring capped at 256 entries. *)
+let add_advisories api ~source ~query entries =
+  if entries <> [] then begin
+    let fingerprint = Sql_lexer.fingerprint query in
+    let at = Obs.Metrics.now_ns () in
+    List.iter
+      (fun ((d : Diag.t), edge, table) ->
+        api.adv_next <- api.adv_next + 1;
+        Obs.Metrics.incr m_advisories;
+        api.advisories <-
+          { adv_seq = api.adv_next; adv_source = source; adv_code = d.Diag.code;
+            adv_severity = Diag.severity_to_string d.Diag.severity;
+            adv_edge = Option.value ~default:"" edge;
+            adv_table = Option.value ~default:"" table; adv_message = d.Diag.message;
+            adv_hint = Option.value ~default:"" d.Diag.hint; adv_fingerprint = fingerprint;
+            adv_query = query; adv_at_ns = at }
+          :: api.advisories)
+      entries;
+    if List.length api.advisories > advisory_cap then
+      api.advisories <- List.filteri (fun i _ -> i < advisory_cap) api.advisories
+  end
+
+(** [advisories api] is the session advisory log, newest first. *)
+let advisories api = api.advisories
+
+(** [clear_advisories api] empties the log (sequence numbers keep
+    rising). *)
+let clear_advisories api = api.advisories <- []
+
+(** [set_drift_advisor api f] installs (or, with [None], removes) the
+    estimate-vs-actual drift detector. While installed, every
+    plan-executed fetch runs [f db plan cache] afterwards and logs its
+    findings with source ["drift"]; fetches route through a compiled plan
+    even with the plan cache disabled so a plan is always in hand.
+    Detector exceptions are swallowed — advice must never break a fetch. *)
+let set_drift_advisor api f = api.drift_advisor <- f
+
+let record_drift api plan cache =
+  match api.drift_advisor with
+  | None -> ()
+  | Some f ->
+    let entries = try f api.db plan cache with _ -> [] in
+    add_advisories api ~source:"drift" ~query:(Fetch_plan.text plan) entries
+
+let sys_advisories api () =
+  let rows =
+    List.rev_map
+      (fun (a : advisory) ->
+        [| Value.Int a.adv_seq; Value.Str a.adv_source; Value.Str a.adv_code;
+           Value.Str a.adv_severity; Value.Str a.adv_edge; Value.Str a.adv_table;
+           Value.Str a.adv_message; Value.Str a.adv_hint; Value.Str a.adv_fingerprint;
+           Value.Str a.adv_query; Value.Float (a.adv_at_ns /. 1e9) |])
+      api.advisories
+  in
+  sys_make ~name:"sys.advisories"
+    [ Schema.column "seq" Schema.Ty_int; Schema.column "source" Schema.Ty_string;
+      Schema.column "code" Schema.Ty_string; Schema.column "severity" Schema.Ty_string;
+      Schema.column "edge" Schema.Ty_string; Schema.column "table_name" Schema.Ty_string;
+      Schema.column "message" Schema.Ty_string; Schema.column "hint" Schema.Ty_string;
+      Schema.column "fingerprint" Schema.Ty_string; Schema.column "query_text" Schema.Ty_string;
+      Schema.column "at_s" Schema.Ty_float ]
+    rows
+
 let sys_fetch_cache api () =
   let rows =
     List.map
@@ -160,10 +257,11 @@ let sys_fetch_cache api () =
 let create db =
   let api =
     { db; reg = View_registry.create (); fetch_count = 0; rc_cap = 0; rc = []; pc_cap = 0;
-      pc = []; prepared = Hashtbl.create 8 }
+      pc = []; prepared = Hashtbl.create 8; advisories = []; adv_next = 0; drift_advisor = None }
   in
   Catalog.register_virtual (Db.catalog db) ~name:"sys.plans" (sys_plans api);
   Catalog.register_virtual (Db.catalog db) ~name:"sys.fetch_cache" (sys_fetch_cache api);
+  Catalog.register_virtual (Db.catalog db) ~name:"sys.advisories" (sys_advisories api);
   api
 
 (** [db api] is the underlying relational session. *)
@@ -241,8 +339,17 @@ let count_fetch api =
    EXPLAIN ANALYZE) record at their own statement granularity *)
 let fetch_raw ?fixpoint api q =
   count_fetch api;
-  if api.pc_cap = 0 then Translate.fetch ?fixpoint api.db api.reg q
-  else Fetch_plan.execute ?fixpoint api.db (plan_for api q)
+  match api.drift_advisor with
+  | None ->
+    if api.pc_cap = 0 then Translate.fetch ?fixpoint api.db api.reg q
+    else Fetch_plan.execute ?fixpoint api.db (plan_for api q)
+  | Some _ ->
+    (* drift-instrumented: always go through a compiled plan so the
+       detector has estimates to compare against *)
+    let plan = plan_for api q in
+    let cache = Fetch_plan.execute ?fixpoint api.db plan in
+    record_drift api plan cache;
+    cache
 
 (** [fetch ?fixpoint api q] evaluates a parsed XNF query into a cache
     (through the plan cache when enabled); the execution is folded into
@@ -312,7 +419,9 @@ let fetch_string ?fixpoint api sql =
       match pc_lookup api key with
       | Some plan ->
         count_fetch api;
-        Fetch_plan.execute ?fixpoint api.db plan
+        let c = Fetch_plan.execute ?fixpoint api.db plan in
+        record_drift api plan c;
+        c
       | None ->
         let q = Xnf_parser.parse_query sql in
         if api.pc_cap = 0 then fetch_raw ?fixpoint api q
@@ -320,7 +429,9 @@ let fetch_string ?fixpoint api sql =
           Obs.Metrics.incr m_pc_misses;
           let plan = pc_store api key (Fetch_plan.compile api.db api.reg q) in
           count_fetch api;
-          Fetch_plan.execute ?fixpoint api.db plan
+          let c = Fetch_plan.execute ?fixpoint api.db plan in
+          record_drift api plan c;
+          c
         end
     in
     rc_store api key cache
@@ -356,7 +467,10 @@ let execute_prepared ?fixpoint api name (vals : Value.t list) =
       end
     in
     count_fetch api;
-    (try Fetch_plan.execute ?fixpoint ~params:(Array.of_list vals) api.db plan
+    (try
+       let c = Fetch_plan.execute ?fixpoint ~params:(Array.of_list vals) api.db plan in
+       record_drift api plan c;
+       c
      with Invalid_argument msg -> err "%s" msg)
 
 (* CO deletion (§3.7): all component tuples of the target CO are removed
@@ -466,6 +580,7 @@ let explain_analyze api text =
        below is the last traced root; its per-edge access-path selection
        annotates the operator lines *)
     let strategies = Fetch_plan.strategies (plan_for api q) in
+    let seq0 = api.adv_next in
     let cache = fetch_raw api q in
     let b = Buffer.create 256 in
     (match Obs.Trace.last () with
@@ -490,6 +605,14 @@ let explain_analyze api text =
       cache.Cache.c_edges;
     Printf.bprintf b "(%d tuples, %d connections)\n" (Cache.total_tuples cache)
       (Cache.total_conns cache);
+    (* drift advisories the instrumented fetch just raised, if any *)
+    let fresh = List.filter (fun (a : advisory) -> a.adv_seq > seq0) api.advisories in
+    if fresh <> [] then begin
+      Buffer.add_string b "Advisories:\n";
+      List.iter
+        (fun a -> Printf.bprintf b "  %s[%s]: %s\n" a.adv_severity a.adv_code a.adv_message)
+        (List.rev fresh)
+    end;
     Buffer.contents b
   | Xnf_ast.X_sql (Sql_ast.S_select sel) -> Db.explain_analyze_ast api.db sel
   | _ -> err "EXPLAIN ANALYZE expects an XNF query or a SQL SELECT"

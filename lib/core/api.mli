@@ -79,6 +79,54 @@ val explain_analyze : t -> string -> string
 (** [exec api text] parses and executes one statement — XNF or plain SQL. *)
 val exec : t -> string -> outcome
 
+(** {2 The session advisory log}
+
+    Findings of the static plan advisor ([Check.Plan_advisor]) and the
+    estimate-vs-actual drift detector, surfaced through the
+    [sys.advisories] virtual view. Api cannot depend on the check layer,
+    so the drift detector is injected as a hook. *)
+
+(** One logged advisory: a diagnostic flattened to strings plus its
+    source ("advise" or "drift"), the relationship/base table it concerns
+    ("" when schema-level), and the fingerprint of the query it was
+    raised for (joinable with [sys.statements]). *)
+type advisory = {
+  adv_seq : int;
+  adv_source : string;
+  adv_code : string;
+  adv_severity : string;
+  adv_edge : string;
+  adv_table : string;
+  adv_message : string;
+  adv_hint : string;
+  adv_fingerprint : string;
+  adv_query : string;
+  adv_at_ns : float;
+}
+
+(** [add_advisories api ~source ~query entries] appends [(diag, edge,
+    table)] findings to the log (a ring capped at 256 entries). *)
+val add_advisories :
+  t -> source:string -> query:string -> (Diag.t * string option * string option) list -> unit
+
+(** [advisories api] is the session advisory log, newest first. *)
+val advisories : t -> advisory list
+
+(** [clear_advisories api] empties the log. *)
+val clear_advisories : t -> unit
+
+(** [set_drift_advisor api f] installs (or removes, with [None]) the
+    drift detector: while installed, every plan-executed fetch runs [f db
+    plan cache] afterwards and logs its findings with source ["drift"]
+    (fetches route through compiled plans even with the plan cache
+    disabled). Detector exceptions are swallowed — advice must never
+    break a fetch. *)
+val set_drift_advisor :
+  t ->
+  (Relational.Db.t -> Fetch_plan.t -> Cache.t -> (Diag.t * string option * string option) list)
+  option ->
+  unit
+
 (** [session api cache] opens a manipulation session on a loaded CO. *)
 val session : t -> Cache.t -> Udi.t
 

@@ -79,6 +79,10 @@ let execute ?fixpoint ?(params = [||]) db (plan : t) : Cache.t =
 
 let text plan = plan.fp_text
 let query plan = plan.fp_query
+let def plan = plan.fp_def
+let compiled plan = plan.fp_compiled
+let take plan = plan.fp_take
+let path_restrs plan = plan.fp_path_restrs
 let nparams plan = plan.fp_nparams
 let hits plan = plan.fp_hits
 let note_hit plan = plan.fp_hits <- plan.fp_hits + 1

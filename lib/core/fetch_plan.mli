@@ -35,6 +35,19 @@ val text : t -> string
     recompile after invalidation). *)
 val query : t -> Xnf_ast.query
 
+(** [def plan] is the composed (pre-TAKE) CO definition. *)
+val def : t -> Co_schema.t
+
+(** [compiled plan] is the compiled form — shapes and strategies for
+    post-compile analysis ([Check.Plan_advisor]). *)
+val compiled : t -> Translate.compiled
+
+(** [take plan] is the query's TAKE clause. *)
+val take : t -> Xnf_ast.take
+
+(** [path_restrs plan] is the query's residual path-based restrictions. *)
+val path_restrs : t -> Xnf_ast.restriction list
+
 (** [nparams plan] is the number of [?] parameter slots. *)
 val nparams : t -> int
 

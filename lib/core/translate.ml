@@ -780,6 +780,130 @@ let attr_schema_of db (ed : Co_schema.edge_def) ~parent_schema ~child_schema =
          Schema.column name (Binder.infer_ty env schema bound))
        ed.Co_schema.ed_attrs)
 
+(* ---- structural edge shapes ----
+
+   The join structure of each relationship — which base table the child
+   resolves to, which equality columns form the join key on either side,
+   whether an index serves the probe today — extracted with the same
+   conjunct classification the probers use. Shapes carry no closures or
+   data, only names: they exist for post-compile analysis (the static
+   plan advisor) which must reason about a plan without executing it. *)
+
+type edge_shape = {
+  es_name : string;
+  es_parent : string;  (** parent node name *)
+  es_child : string;  (** child node name *)
+  es_strategy : strategy;  (** access path selected for this plan *)
+  es_child_table : string option;  (** child's base table when the child is simple *)
+  es_parent_cols : string list;  (** parent-side equality join columns (node output names) *)
+  es_child_cols : string list;  (** child-side equality join columns (base-table names) *)
+  es_using : (string * string list) option;
+      (** link table and the link-side columns the parent binds, for USING edges *)
+  es_indexed : bool;  (** an index chain serves the probe as compiled *)
+  es_residual : bool;  (** non-key conjuncts remain after key extraction *)
+}
+
+type node_shape = {
+  ns_name : string;
+  ns_table : string option;  (** base table when the derivation is simple *)
+  ns_pred : Expr.t option;  (** combined simple predicate over the base row *)
+  ns_query : Sql_ast.select;  (** the (composed) derivation *)
+}
+
+let col_name schema i = (Schema.col schema i).Schema.col_name
+
+let edge_shape_of db (ed : Co_schema.edge_def) ~(parent_schema : Schema.t)
+    ~(child : simple option) ~strategy : edge_shape =
+  let base =
+    { es_name = ed.Co_schema.ed_name; es_parent = ed.Co_schema.ed_parent;
+      es_child = ed.Co_schema.ed_child; es_strategy = strategy; es_child_table = None;
+      es_parent_cols = []; es_child_cols = []; es_using = None; es_indexed = false;
+      es_residual = false }
+  in
+  match child with
+  | None -> base
+  | Some child -> begin
+    let pa = ed.Co_schema.ed_parent_alias and ca = ed.Co_schema.ed_child_alias in
+    let child_base_schema = Table.schema child.s_table in
+    let conjuncts = edge_conjuncts ed in
+    let base = { base with es_child_table = Some (Table.name child.s_table) } in
+    match ed.Co_schema.ed_using with
+    | None ->
+      (* FK form: every equality parent.a = child.b joins the key (the
+         hash prober's view); indexed needs one such pair with an index *)
+      let classify (q, n) =
+        if qual_is pa q then Option.map (fun i -> `Parent i) (Schema.find_opt parent_schema n)
+        else if qual_is ca q then
+          Option.map (fun i -> `Child i) (Schema.find_opt child_base_schema n)
+        else None
+      in
+      let pairs = ref [] and residual = ref [] in
+      List.iter
+        (fun c ->
+          match c with
+          | Sql_ast.E_cmp (Expr.Eq, Sql_ast.E_col (qa, na), Sql_ast.E_col (qb, nb)) -> begin
+            match classify (qa, na), classify (qb, nb) with
+            | Some (`Parent p), Some (`Child ch) | Some (`Child ch), Some (`Parent p) ->
+              pairs := (p, ch) :: !pairs
+            | _ -> residual := c :: !residual
+          end
+          | c -> residual := c :: !residual)
+        conjuncts;
+      let pairs = List.rev !pairs in
+      let indexed =
+        List.exists
+          (fun (_, ch) -> Table.find_index child.s_table ~cols:[| ch |] <> None)
+          pairs
+      in
+      { base with
+        es_parent_cols = List.map (fun (p, _) -> col_name parent_schema p) pairs;
+        es_child_cols = List.map (fun (_, ch) -> col_name child_base_schema ch) pairs;
+        es_indexed = indexed;
+        es_residual = !residual <> [] }
+    | Some (link_name, la) -> begin
+      match Catalog.table_opt (Db.catalog db) link_name with
+      | None -> base
+      | Some link ->
+        let link_schema = Table.schema link in
+        let la = String.lowercase_ascii la in
+        let classify (q, n) =
+          if qual_is pa q then Option.map (fun i -> `Parent i) (Schema.find_opt parent_schema n)
+          else if qual_is ca q then
+            Option.map (fun i -> `Child i) (Schema.find_opt child_base_schema n)
+          else if qual_is la q then Option.map (fun i -> `Link i) (Schema.find_opt link_schema n)
+          else None
+        in
+        let parent_bind = ref [] and child_bind = ref [] and residual = ref [] in
+        List.iter
+          (fun c ->
+            match c with
+            | Sql_ast.E_cmp (Expr.Eq, Sql_ast.E_col (qa, na), Sql_ast.E_col (qb, nb)) -> begin
+              match classify (qa, na), classify (qb, nb) with
+              | Some (`Link l), Some (`Parent p) | Some (`Parent p), Some (`Link l) ->
+                parent_bind := (l, p) :: !parent_bind
+              | Some (`Link l), Some (`Child ch) | Some (`Child ch), Some (`Link l) ->
+                child_bind := (l, ch) :: !child_bind
+              | _ -> residual := c :: !residual
+            end
+            | c -> residual := c :: !residual)
+          conjuncts;
+        let parent_bind = List.rev !parent_bind and child_bind = List.rev !child_bind in
+        let indexed =
+          parent_bind <> [] && child_bind <> []
+          && Table.find_index link ~cols:(Array.of_list (List.map fst parent_bind)) <> None
+          && Table.find_index child.s_table ~cols:(Array.of_list (List.map snd child_bind))
+             <> None
+        in
+        { base with
+          es_parent_cols = List.map (fun (_, p) -> col_name parent_schema p) parent_bind;
+          es_child_cols = List.map (fun (_, ch) -> col_name child_base_schema ch) child_bind;
+          es_using =
+            Some (Table.name link, List.map (fun (l, _) -> col_name link_schema l) parent_bind);
+          es_indexed = indexed;
+          es_residual = !residual <> [] }
+    end
+  end
+
 (* base tables a SELECT depends on (for staleness tracking) *)
 let rec tables_of_select catalog (q : Sql_ast.select) : string list =
   let rec of_ref = function
@@ -874,6 +998,8 @@ type compiled = {
   cp_def : Co_schema.t;
   cp_nodes : (string * node_plan) list;
   cp_edges : (string * edge_plan) list;
+  cp_shapes : edge_shape list;  (** structural join shape per edge, definition order *)
+  cp_force : strategy option;  (** the [?force] pin the plan was compiled under *)
   cp_base_tables : string list;  (** staleness-tracked base tables *)
   cp_final : (string * edge_final) list;  (** per edge surviving the plan's TAKE *)
 }
@@ -941,9 +1067,18 @@ let compile_def ?(take = Xnf_ast.Take_star) ?force db (def : Co_schema.t) : comp
                    ~child_schema:child.np_schema)
           end
         in
-        (ed.Co_schema.ed_name, plan))
+        let strat =
+          match plan with EP_indexed _ -> S_indexed | EP_hash _ -> S_hash | EP_generic _ -> S_generic
+        in
+        let shape =
+          edge_shape_of db ed ~parent_schema:parent.np_schema ~child:child.np_simple
+            ~strategy:strat
+        in
+        ((ed.Co_schema.ed_name, plan), shape))
       def.Co_schema.co_edges
   in
+  let shapes = List.map snd edges in
+  let edges = List.map fst edges in
   let base_tables =
     List.concat_map (fun nd -> tables_of_select catalog nd.Co_schema.nd_query) def.Co_schema.co_nodes
     @ List.filter_map
@@ -981,8 +1116,8 @@ let compile_def ?(take = Xnf_ast.Take_star) ?force db (def : Co_schema.t) : comp
         (ed.Co_schema.ed_name, { ef_upd = upd; ef_pcols = pcols; ef_ccols = ccols }))
       final_def.Co_schema.co_edges
   in
-  { cp_def = def; cp_nodes = nodes; cp_edges = edges; cp_base_tables = base_tables;
-    cp_final = final }
+  { cp_def = def; cp_nodes = nodes; cp_edges = edges; cp_shapes = shapes; cp_force = force;
+    cp_base_tables = base_tables; cp_final = final }
 
 (** [edge_strategies cp] lists the access path selected for each
     relationship, in definition order — surfaced by [EXPLAIN ANALYZE] and
@@ -993,6 +1128,31 @@ let edge_strategies (cp : compiled) : (string * strategy) list =
       ( name,
         match ep with EP_indexed _ -> S_indexed | EP_hash _ -> S_hash | EP_generic _ -> S_generic ))
     cp.cp_edges
+
+(** [edge_shapes cp] is the structural join shape per relationship, in
+    definition order — consumed by the static plan advisor. *)
+let edge_shapes (cp : compiled) : edge_shape list = cp.cp_shapes
+
+(** [node_shapes cp] is the derivation shape per node, in definition
+    order. *)
+let node_shapes (cp : compiled) : node_shape list =
+  List.map
+    (fun (name, np) ->
+      { ns_name = name;
+        ns_table = Option.map (fun s -> Table.name s.s_table) np.np_simple;
+        ns_pred = Option.bind np.np_simple (fun s -> s.s_pred);
+        ns_query = np.np_def.Co_schema.nd_query })
+    cp.cp_nodes
+
+(** [forced cp] is the [?force] pin the plan was compiled under. *)
+let forced (cp : compiled) : strategy option = cp.cp_force
+
+(** [compiled_def cp] is the composed definition the plan was compiled
+    from. *)
+let compiled_def (cp : compiled) : Co_schema.t = cp.cp_def
+
+(** [base_tables cp] is the staleness-tracked base-table set. *)
+let base_tables (cp : compiled) : string list = cp.cp_base_tables
 
 (* substitute EXECUTE-time values into the symbolic (instance-evaluated)
    restrictions *)

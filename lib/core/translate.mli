@@ -75,6 +75,53 @@ val compile_def : ?take:Xnf_ast.take -> ?force:strategy -> Db.t -> Co_schema.t -
     definition order. *)
 val edge_strategies : compiled -> (string * strategy) list
 
+(** The structural join shape of one relationship as compiled: which base
+    table the child resolves to, the equality join columns on either
+    side, USING link bindings, and whether an index chain serves the
+    probe. No closures, no data — extracted for post-compile analysis
+    (the static plan advisor, [Check.Plan_advisor]). *)
+type edge_shape = {
+  es_name : string;
+  es_parent : string;  (** parent node name *)
+  es_child : string;  (** child node name *)
+  es_strategy : strategy;  (** access path selected for this plan *)
+  es_child_table : string option;  (** child's base table when the child is simple *)
+  es_parent_cols : string list;  (** parent-side equality join columns (node output names) *)
+  es_child_cols : string list;  (** child-side equality join columns (base-table names) *)
+  es_using : (string * string list) option;
+      (** link table and the link-side columns the parent binds, for USING edges *)
+  es_indexed : bool;  (** an index chain serves the probe as compiled *)
+  es_residual : bool;  (** non-key conjuncts remain after key extraction *)
+}
+
+(** The derivation shape of one node: its base table and combined
+    predicate when simple, and the composed derivation query. *)
+type node_shape = {
+  ns_name : string;
+  ns_table : string option;
+  ns_pred : Expr.t option;
+  ns_query : Sql_ast.select;
+}
+
+(** [edge_shapes cp] is the structural join shape per relationship, in
+    definition order. *)
+val edge_shapes : compiled -> edge_shape list
+
+(** [node_shapes cp] is the derivation shape per node, in definition
+    order. *)
+val node_shapes : compiled -> node_shape list
+
+(** [forced cp] is the [?force] pin the plan was compiled under, if any. *)
+val forced : compiled -> strategy option
+
+(** [compiled_def cp] is the composed definition the plan was compiled
+    from. *)
+val compiled_def : compiled -> Co_schema.t
+
+(** [base_tables cp] is the staleness-tracked base-table set (lowercased,
+    sorted). *)
+val base_tables : compiled -> string list
+
 (** [execute_def ?fixpoint ?params db cp path_restrs] evaluates a compiled
     plan into a cache (before TAKE projection and final updatability
     analysis). [params] are substituted for the [?] parameter slots in

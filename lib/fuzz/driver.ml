@@ -29,7 +29,7 @@ let detail_of (o : Oracle.outcome) =
     (List.map (fun d -> d.Oracle.d_kind ^ ": " ^ d.Oracle.d_detail) o.Oracle.o_divs)
 
 let coverage_counts =
-  [ "recursive"; "sharing"; "views"; "using"; "paths"; "naive"; "lw90"; "mono"; "hash" ]
+  [ "recursive"; "sharing"; "views"; "using"; "paths"; "naive"; "lw90"; "mono"; "hash"; "advise" ]
 
 let bump cov (f : Oracle.flags) =
   let on = function
@@ -42,16 +42,17 @@ let bump cov (f : Oracle.flags) =
     | "lw90" -> f.Oracle.f_lw90
     | "mono" -> f.Oracle.f_mono
     | "hash" -> f.Oracle.f_hash
+    | "advise" -> f.Oracle.f_advise
     | _ -> false
   in
   List.map (fun (k, n) -> (k, if on k then n + 1 else n)) cov
 
-let run_case ?mutation (case : Gen.case) : Gen.scenario * Oracle.outcome =
+let run_case ?advise ?mutation (case : Gen.case) : Gen.scenario * Oracle.outcome =
   let sc = Gen.render case in
-  (sc, Oracle.run ?mutation ~extra_restr:(Gen.mono_restriction case) sc)
+  (sc, Oracle.run ?advise ?mutation ~extra_restr:(Gen.mono_restriction case) sc)
 
-let run ?(config = Gen.default) ?mutation ?corpus_dir ?(shrink = true) ?(shrink_budget = 200)
-    ?(log = fun _ -> ()) ~seed ~iters () : report =
+let run ?(config = Gen.default) ?advise ?mutation ?corpus_dir ?(shrink = true)
+    ?(shrink_budget = 200) ?(log = fun _ -> ()) ~seed ~iters () : report =
   let failures = ref [] in
   let mutated = ref 0 in
   let caught = ref 0 in
@@ -59,7 +60,7 @@ let run ?(config = Gen.default) ?mutation ?corpus_dir ?(shrink = true) ?(shrink_
   let cov = ref (List.map (fun k -> (k, 0)) coverage_counts) in
   for index = 0 to iters - 1 do
     let case = Gen.generate ~config ~seed ~index () in
-    let sc, outcome = run_case ?mutation case in
+    let sc, outcome = run_case ?advise ?mutation case in
     cov := bump !cov outcome.Oracle.o_flags;
     (match mutation with
     | Some _ ->
@@ -77,7 +78,7 @@ let run ?(config = Gen.default) ?mutation ?corpus_dir ?(shrink = true) ?(shrink_
           if not shrink then (case, outcome)
           else begin
             let pred c =
-              let _, o = run_case c in
+              let _, o = run_case ?advise c in
               List.exists (fun k -> List.mem k kinds0) (kinds_of o)
             in
             let small, attempts = Shrink.minimize ~budget:shrink_budget ~pred case in
@@ -110,13 +111,14 @@ let run ?(config = Gen.default) ?mutation ?corpus_dir ?(shrink = true) ?(shrink_
     r_coverage = !cov;
     r_shrink_attempts = !shrink_attempts }
 
-let replay ?mutation (path : string) : Oracle.outcome =
-  Oracle.run ?mutation (Corpus.load path)
+let replay ?advise ?mutation (path : string) : Oracle.outcome =
+  Oracle.run ?advise ?mutation (Corpus.load path)
 
-let replay_dir ?mutation ?(log = fun _ -> ()) (dir : string) : (string * Oracle.outcome) list =
+let replay_dir ?advise ?mutation ?(log = fun _ -> ()) (dir : string) :
+    (string * Oracle.outcome) list =
   List.map
     (fun path ->
-      let o = replay ?mutation path in
+      let o = replay ?advise ?mutation path in
       log
         (Printf.sprintf "%s: %s" path
            (if o.Oracle.o_divs = [] then "ok" else "DIVERGED " ^ String.concat " " (kinds_of o)));

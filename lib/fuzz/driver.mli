@@ -21,11 +21,13 @@ type report = {
 
 (** [run ~seed ~iters ()] fuzzes [iters] cases of stream [seed]. With
     [mutation], every case runs with the defect injected and the report
-    counts caught vs. missed instead of recording failures. [corpus_dir]
-    persists shrunk failures; [shrink:false] skips minimization;
-    [log] receives progress lines. *)
+    counts caught vs. missed instead of recording failures. [advise] adds
+    the plan-advisor purity guard to every case. [corpus_dir] persists
+    shrunk failures; [shrink:false] skips minimization; [log] receives
+    progress lines. *)
 val run :
   ?config:Gen.config ->
+  ?advise:bool ->
   ?mutation:Oracle.mutation ->
   ?corpus_dir:string ->
   ?shrink:bool ->
@@ -37,8 +39,12 @@ val run :
   report
 
 (** [replay path] re-executes one corpus entry through the oracles. *)
-val replay : ?mutation:Oracle.mutation -> string -> Oracle.outcome
+val replay : ?advise:bool -> ?mutation:Oracle.mutation -> string -> Oracle.outcome
 
 (** [replay_dir dir] replays every corpus entry under [dir]. *)
 val replay_dir :
-  ?mutation:Oracle.mutation -> ?log:(string -> unit) -> string -> (string * Oracle.outcome) list
+  ?advise:bool ->
+  ?mutation:Oracle.mutation ->
+  ?log:(string -> unit) ->
+  string ->
+  (string * Oracle.outcome) list

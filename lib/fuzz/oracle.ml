@@ -48,12 +48,14 @@ type flags = {
   f_lw90 : bool;
   f_mono : bool;  (** monotonicity property compared *)
   f_hash : bool;  (** strategy differential compared a batch-hash run *)
+  f_advise : bool;  (** the plan-advisor purity guard ran *)
   f_mutated : bool;  (** the injected mutation found something to break *)
 }
 
 let no_flags =
   { f_recursive = false; f_sharing = false; f_views = false; f_using = false; f_paths = false;
-    f_naive = false; f_lw90 = false; f_mono = false; f_hash = false; f_mutated = false }
+    f_naive = false; f_lw90 = false; f_mono = false; f_hash = false; f_advise = false;
+    f_mutated = false }
 
 type outcome = { o_divs : divergence list; o_flags : flags }
 
@@ -287,7 +289,7 @@ let lw90_collect (objs : Baseline.Lw90.obj list) =
 let m_cases = Obs.Metrics.counter "fuzz.cases"
 let m_divergences = Obs.Metrics.counter "fuzz.divergences"
 
-let run ?mutation ?extra_restr (sc : Gen.scenario) : outcome =
+let run ?(advise = false) ?mutation ?extra_restr (sc : Gen.scenario) : outcome =
   Obs.Metrics.incr m_cases;
   let divs = ref [] in
   let add kind detail = divs := { d_kind = kind; d_detail = detail } :: !divs in
@@ -538,6 +540,51 @@ let run ?mutation ?extra_restr (sc : Gen.scenario) : outcome =
               | None -> ());
               Api.set_result_cache api 0;
               Obs.Query_stats.set_slowlog_ms saved);
+          (* plan-advisor purity: advising never raises, the advisory set
+             is identical on a cold-compiled plan vs a plan-cache-hit
+             plan, and running the advisor (including the drift detector)
+             perturbs neither fetch results nor result-cache validity *)
+          let flags =
+            if not advise then flags
+            else begin
+              guard "advise" (fun () ->
+                  let rendered plan =
+                    List.map Diag.to_string (Check.Plan_advisor.diags (Check.Plan_advisor.analyze db plan))
+                  in
+                  let cold_plan = Fetch_plan.compile db reg q in
+                  let cold = rendered cold_plan in
+                  Api.set_plan_cache api 4;
+                  ignore (Api.fetch_string api sc.sc_query);
+                  ignore (Api.fetch_string api sc.sc_query);
+                  let cached_plan =
+                    match Api.plans api with (_, p) :: _ -> p | [] -> cold_plan
+                  in
+                  let warm = rendered cached_plan in
+                  if cold <> warm then
+                    add "advise"
+                      (Printf.sprintf "advisory set differs cold vs plan-cache hit: [%s] vs [%s]"
+                         (String.concat " | " cold) (String.concat " | " warm));
+                  (* purity: a fetch after advising still equals the SUT
+                     instance and still hits the result cache *)
+                  Api.set_result_cache api 4;
+                  ignore (Api.fetch_string api sc.sc_query);
+                  let before_log = List.length (Api.advisories api) in
+                  ignore (rendered cold_plan);
+                  ignore (Check.Plan_advisor.drift db cold_plan sut);
+                  if List.length (Api.advisories api) <> before_log then
+                    add "advise" "bare analyze/drift wrote to the session advisory log";
+                  let h0 = Obs.Metrics.counter_get "xnf.fetchcache.hits" in
+                  let after = Api.fetch_string api sc.sc_query in
+                  let h1 = Obs.Metrics.counter_get "xnf.fetchcache.hits" in
+                  if h1 - h0 < 1 then add "advise" "advising spoiled result-cache validity";
+                  (match compare_caches after sut with
+                  | Some d -> add "advise" d
+                  | None -> ());
+                  Api.set_result_cache api 0;
+                  Api.set_plan_cache api 0);
+              { flags with f_advise = true }
+            end
+          in
           finish flags
         end
       end

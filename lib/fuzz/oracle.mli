@@ -29,6 +29,7 @@ type flags = {
   f_lw90 : bool;
   f_mono : bool;  (** monotonicity property compared *)
   f_hash : bool;  (** strategy differential compared a batch-hash run *)
+  f_advise : bool;  (** the plan-advisor purity guard ran *)
   f_mutated : bool;  (** the injected mutation found something to break *)
 }
 
@@ -36,11 +37,16 @@ val no_flags : flags
 
 type outcome = { o_divs : divergence list; o_flags : flags }
 
-(** [run ?mutation ?extra_restr sc] executes [sc] on a fresh database and
-    API session and returns every divergence found. [extra_restr] (a
-    strengthening restriction) enables the monotonicity check when all of
-    the query's path restrictions are monotone. *)
-val run : ?mutation:mutation -> ?extra_restr:Xnf_ast.restriction -> Gen.scenario -> outcome
+(** [run ?advise ?mutation ?extra_restr sc] executes [sc] on a fresh
+    database and API session and returns every divergence found.
+    [extra_restr] (a strengthening restriction) enables the monotonicity
+    check when all of the query's path restrictions are monotone.
+    [advise] additionally runs the static plan advisor over the compiled
+    plan and checks it is pure: it never raises, reports the same
+    advisory set for a cold-compiled plan and a plan-cache hit, and
+    perturbs neither fetch results nor cache validity. *)
+val run :
+  ?advise:bool -> ?mutation:mutation -> ?extra_restr:Xnf_ast.restriction -> Gen.scenario -> outcome
 
 (** {2 Comparators}
 

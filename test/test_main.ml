@@ -48,4 +48,5 @@ let () =
       ("fuzz", Test_fuzz.suite);
       ("check", Test_check.suite);
       ("xnf-batch-edge", Test_batch_edge.suite);
-      ("sys-catalog", Test_sys.suite) ]
+      ("sys-catalog", Test_sys.suite);
+      ("advisor", Test_advisor.suite) ]
