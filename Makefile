@@ -2,9 +2,9 @@
 #
 #   make build      - compile everything (libraries, shell, bench, tests)
 #   make test       - run the test suites (tier-1 gate)
-#   make check      - run ci.sh: build, tests (twice), lint, fuzz, bench gate
-#   make ci-nightly - ci.sh with a 5000-iteration fuzz budget + the full bench suite
-#   make fuzz       - differential fuzzing: seeded run + corpus replay + mutation smoke
+#   make check      - run ci.sh: build, tests (twice), lint, fuzz, crash oracle, bench gate
+#   make ci-nightly - ci.sh with 5000-iteration fuzz + 600-op crash budgets + the full bench suite
+#   make fuzz       - differential fuzzing + crash-point oracle + mutation/defect smoke
 #   make bench      - run the full benchmark suite
 #   make clean      - remove build artifacts
 
@@ -21,7 +21,7 @@ check:
 	./ci.sh
 
 ci-nightly:
-	FUZZ_ITERS=5000 ./ci.sh
+	FUZZ_ITERS=5000 CRASH_ITERS=600 ./ci.sh
 	dune exec bench/main.exe
 	E12_SCALE=10 dune exec bench/main.exe -- --only E12
 
@@ -30,6 +30,8 @@ fuzz: build
 	dune exec bin/xnf_fuzz.exe -- --replay-dir examples/fuzz-corpus
 	dune exec bin/xnf_fuzz.exe -- --seed 42 --iters 25 --mutate drop-conn --no-shrink --quiet
 	dune exec bin/xnf_fuzz.exe -- --seed 42 --iters 25 --mutate drop-tuple --no-shrink --quiet
+	dune exec bin/xnf_fuzz.exe -- --crash --seed 42 --iters $${CRASH_ITERS:-120} --quiet
+	dune exec bin/xnf_fuzz.exe -- --crash-defect all --seed 5 --iters 60 --quiet
 
 bench:
 	dune exec bench/main.exe

@@ -418,35 +418,71 @@ let e4 () =
   let rows_per_page = 20 in
   let table_layout = Page.table_clustered ~rows_per_page tables in
   let co_layout = Page.co_clustered ~rows_per_page ~order:co_order tables in
+  (* materialize both layouts into real page files: every fault below is
+     a page read from disk, and saving a working set writes dirty pages
+     back through the pool's writeback path *)
+  let page_bytes = 1024 in
+  let store_of layout =
+    let path = Filename.temp_file "xnf-e4" ".pages" in
+    let store = Page_store.create ~path ~page_bytes in
+    ignore (Page.materialize layout store tables);
+    (store, path)
+  in
+  let table_store, table_path = store_of table_layout in
+  let co_store, co_path = store_of co_layout in
   (* replay the access pattern of loading ONE department's CO *)
   let accesses d =
     (dept, rowid dept_node d)
     :: List.map (fun e -> (emp, rowid emp_node e)) (Xnf.Cache.children cache employment d)
     @ List.map (fun p -> (proj, rowid proj_node p)) (Xnf.Cache.children cache ownership d)
   in
-  let replay layout capacity =
-    let pool = Buffer_pool.create ~capacity in
+  let replay layout store capacity =
+    let r0 = Page_store.reads store and w0 = Page_store.writes store in
+    let pool = Buffer_pool.create ~store ~capacity () in
     let detach = Page.attach layout pool tables in
     (* load 8 different single-department working sets *)
     List.iter
       (fun d -> List.iter (fun (t, rid) -> ignore (Table.get t rid)) (accesses d))
       [ 0; 5; 10; 15; 20; 25; 30; 35 ];
     detach ();
-    Buffer_pool.faults pool
+    (* save department 0's working set: its pages go back out dirty *)
+    List.iter
+      (fun (t, rid) -> Buffer_pool.access ~dirty:true pool (Page.page_of layout t rid))
+      (accesses 0);
+    Buffer_pool.flush pool;
+    (Buffer_pool.faults pool, Page_store.reads store - r0, Page_store.writes store - w0)
   in
   let rows =
     List.map
       (fun capacity ->
-        let tf = replay table_layout capacity in
-        let cf = replay co_layout capacity in
-        [ string_of_int capacity; string_of_int tf; string_of_int cf;
-          f2 (float_of_int tf /. float_of_int cf) ])
+        let tf, tr, tw = replay table_layout table_store capacity in
+        let cf, cr, cw = replay co_layout co_store capacity in
+        let ratio = float_of_int tf /. float_of_int cf in
+        if capacity = 64 then begin
+          (* the CI-gated contract: CO clustering must keep beating table
+             clustering on real page I/O at a realistic pool size *)
+          Obs.Metrics.set (Obs.Metrics.gauge "bench.e4.table_faults") (float_of_int tf);
+          Obs.Metrics.set (Obs.Metrics.gauge "bench.e4.co_faults") (float_of_int cf);
+          Obs.Metrics.set (Obs.Metrics.gauge "bench.e4.fault_ratio") ratio;
+          Obs.Metrics.set (Obs.Metrics.gauge "bench.e4.table_writebacks") (float_of_int tw);
+          Obs.Metrics.set (Obs.Metrics.gauge "bench.e4.co_writebacks") (float_of_int cw)
+        end;
+        [ string_of_int capacity; string_of_int tf; string_of_int cf; f2 ratio;
+          Printf.sprintf "%d/%d" tr tw; Printf.sprintf "%d/%d" cr cw ])
       [ 4; 16; 64; 256 ]
   in
+  Page_store.close table_store;
+  Page_store.close co_store;
+  Sys.remove table_path;
+  Sys.remove co_path;
   pr "   load of 8 single-department working sets (34 tuples each), %d rows/page,@."
     rows_per_page;
-  pr "   rows arrived round-robin across departments (a database that grew over time)@.";
-  table ~cols:[ "buffer frames"; "table-clustered faults"; "CO-clustered faults"; "ratio" ] rows
+  pr "   rows arrived round-robin across departments (a database that grew over time);@.";
+  pr "   layouts materialized to page files -- faults are reads, saves write back dirty pages@.";
+  table
+    ~cols:[ "buffer frames"; "table-clustered faults"; "CO-clustered faults"; "ratio";
+            "table r/w"; "CO r/w" ]
+    rows
 
 (* =====================================================================
    E5 — common-subexpression sharing in the translation

@@ -6,9 +6,14 @@
      xnf_fuzz --replay-dir examples/fuzz-corpus
      xnf_fuzz --mutate drop-conn --no-shrink   smoke-test: exit 0 iff every
                                                injected defect is caught
+     xnf_fuzz --crash --iters 120              crash-point oracle: recover a
+                                               durable workload at every WAL
+                                               record boundary (+ torn tails)
+     xnf_fuzz --crash-defect all               durability smoke: exit 0 iff
+                                               every injected defect is caught
 
-   Exit status 0 means no divergence (or, with --mutate, no missed
-   mutation); 1 means the harness found something. *)
+   Exit status 0 means no divergence (or, with --mutate / --crash-defect,
+   no missed defect); 1 means the harness found something. *)
 
 let print_failure (f : Fuzz.Driver.failure) =
   Printf.printf "FAIL %s [%s]\n" f.Fuzz.Driver.fl_label (String.concat " " f.Fuzz.Driver.fl_kinds);
@@ -33,8 +38,67 @@ let print_outcome path (o : Fuzz.Oracle.outcome) =
     false
   end
 
-let main seed iters replay replay_dir corpus save_cases mutate no_shrink advise max_nodes max_rows quiet =
+(* the crash-point oracle and its defect smoke (--crash / --crash-defect) *)
+let crash_main seed iters torn crash_points crash_defect quiet =
+  let cfg =
+    { Fuzz.Crash.default with
+      Fuzz.Crash.c_seed = seed; c_ops = iters; c_torn = torn; c_points = crash_points }
+  in
+  match crash_defect with
+  | Some spec ->
+    let ds =
+      if spec = "all" then Fuzz.Crash.defects
+      else
+        match Fuzz.Crash.defect_of_string spec with
+        | Some d -> [ d ]
+        | None ->
+          Printf.eprintf
+            "unknown durability defect %S (expected skip-fsync, corrupt-crc, drop-checkpoint or \
+             all)\n"
+            spec;
+          exit 2
+    in
+    let ok = ref true in
+    List.iter
+      (fun d ->
+        let o = Fuzz.Crash.run_defect cfg d in
+        if not o.Fuzz.Crash.do_caught then ok := false;
+        Printf.printf "defect %-15s %s  (%s)\n"
+          (Fuzz.Crash.defect_name o.Fuzz.Crash.do_defect)
+          (if o.Fuzz.Crash.do_caught then "caught" else "MISSED")
+          o.Fuzz.Crash.do_detail)
+      ds;
+    if !ok then 0
+    else begin
+      Printf.printf "durability defect(s) escaped the crash oracle\n";
+      1
+    end
+  | None ->
+    let log = if quiet then fun _ -> () else fun s -> Printf.printf "%s\n%!" s in
+    let r = Fuzz.Crash.run ~log cfg in
+    Printf.printf "crash oracle: %d ops, %d eras, %d crash points (%d torn), seed %d\n"
+      r.Fuzz.Crash.r_ops r.Fuzz.Crash.r_eras r.Fuzz.Crash.r_points r.Fuzz.Crash.r_torn_points seed;
+    if r.Fuzz.Crash.r_divergences = [] then begin
+      Printf.printf "no divergences\n";
+      0
+    end
+    else begin
+      List.iter
+        (fun d ->
+          Printf.printf "DIVERGED era %d offset %d%s: %s\n" d.Fuzz.Crash.d_era
+            d.Fuzz.Crash.d_offset
+            (if d.Fuzz.Crash.d_torn then " (torn)" else "")
+            d.Fuzz.Crash.d_detail)
+        r.Fuzz.Crash.r_divergences;
+      Printf.printf "%d divergent crash points\n" (List.length r.Fuzz.Crash.r_divergences);
+      1
+    end
+
+let main seed iters replay replay_dir corpus save_cases mutate no_shrink advise max_nodes max_rows
+    quiet crash torn crash_points crash_defect =
   Check.Pipeline.install ();
+  if crash || crash_defect <> None then crash_main seed iters torn crash_points crash_defect quiet
+  else
   let mutation =
     match mutate with
     | None -> None
@@ -176,6 +240,38 @@ let max_rows_t =
 
 let quiet_t = Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"Suppress progress lines.")
 
+let crash_t =
+  Arg.(
+    value
+    & flag
+    & info [ "crash" ]
+        ~doc:
+          "Run the crash-point oracle: execute a seeded durable workload ($(b,--iters) \
+           statements), then recover a fresh session from every WAL record boundary (and random \
+           torn tails) and check it equals the committed prefix.")
+
+let torn_t =
+  Arg.(
+    value
+    & opt int Fuzz.Crash.default.Fuzz.Crash.c_torn
+    & info [ "torn" ] ~docv:"N" ~doc:"Torn (mid-frame) crash offsets per era.")
+
+let crash_points_t =
+  Arg.(
+    value
+    & opt int 0
+    & info [ "crash-points" ] ~docv:"N"
+        ~doc:"Boundary crash points tested per era, evenly sampled (0 = all).")
+
+let crash_defect_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "crash-defect" ] ~docv:"KIND"
+        ~doc:
+          "Durability defect smoke: inject $(docv) (skip-fsync, corrupt-crc, drop-checkpoint or \
+           all) and exit 0 iff the crash oracle catches it.")
+
 let cmd =
   let info =
     Cmd.info "xnf_fuzz" ~doc:"Differential fuzzing of the XNF pipeline against the naive oracles"
@@ -183,6 +279,7 @@ let cmd =
   Cmd.v info
     Term.(
       const main $ seed_t $ iters_t $ replay_t $ replay_dir_t $ corpus_t $ save_cases_t $ mutate_t
-      $ no_shrink_t $ advise_t $ max_nodes_t $ max_rows_t $ quiet_t)
+      $ no_shrink_t $ advise_t $ max_nodes_t $ max_rows_t $ quiet_t $ crash_t $ torn_t
+      $ crash_points_t $ crash_defect_t)
 
 let () = exit (Cmdliner.Cmd.eval' cmd)

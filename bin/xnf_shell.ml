@@ -25,6 +25,8 @@
      \walk <edge>     cursor-walk the current cache across <edge>
      \export <t> <f>  write table t to CSV file f
      \import <t> <f>  bulk-load CSV file f into table t
+     \checkpoint      snapshot the session to the data dir, truncate the WAL
+     \recover         rebuild the session from the data dir (checkpoint + WAL)
      \q               quit
 
    EXPLAIN ANALYZE <query> (XNF or SQL SELECT) runs the statement under
@@ -202,6 +204,29 @@ let handle_meta api current line =
       Fmt.pr "prepared statements:@.";
       List.iter (fun (n, p) -> Fmt.pr "  %-16s %s@." n (Xnf.Fetch_plan.describe p)) ps
   end
+  else if line = "\\checkpoint" then begin
+    match Db.data_dir db with
+    | None -> Fmt.pr "no data directory (start the shell with --data DIR)@."
+    | Some dir -> begin
+      try
+        let lsn = Xnf.Api.checkpoint api in
+        Fmt.pr "checkpoint written to %s (lsn %d), wal truncated@." dir lsn
+      with Db.Exec_error msg -> Fmt.pr "checkpoint failed: %s@." msg
+    end
+  end
+  else if line = "\\recover" then begin
+    match Db.data_dir db with
+    | None -> Fmt.pr "no data directory (start the shell with --data DIR)@."
+    | Some dir -> begin
+      try
+        let st = Xnf.Api.recover api in
+        current := None;
+        Fmt.pr
+          "recovered from %s: checkpoint lsn %d, %d wal record(s) replayed, %d torn byte(s) truncated@."
+          dir st.Db.rs_checkpoint_lsn st.Db.rs_replayed st.Db.rs_truncated_bytes
+      with Db.Exec_error msg -> Fmt.pr "recover failed: %s@." msg
+    end
+  end
   else if line = "\\stats" then begin
     let s = Xnf.Translate.stats in
     Fmt.pr "queries issued: %d, fixpoint rounds: %d, tuples probed: %d@."
@@ -363,9 +388,15 @@ let advise_file api ~json path =
       !warnings;
   if !errors > 0 then exit 1
 
-let main demo lint advise json file =
-  let db = Db.create () in
+let main demo lint advise json data file =
+  (* cmdliner also fills [data] from XNF_DATA_DIR; an empty value means
+     "not durable" either way *)
+  let data_dir = match data with Some "" | None -> None | some -> some in
+  let db = Db.create ?data_dir () in
   let api = Xnf.Api.create db in
+  (match data_dir with
+  | Some dir when lint = None && advise = None -> Fmt.pr "durable session: %s@." dir
+  | _ -> ());
   (* keep a few recent fetch results so repeated OUT OF queries hit the
      cache (observable via \metrics as the xnf.fetchcache counters), and
      cache compiled fetch plans across result-cache misses (\plans,
@@ -409,12 +440,18 @@ let cmd =
            ~doc:"With $(b,--lint) or $(b,--advise): report diagnostics as a JSON array \
                  instead of text.")
   in
+  let data =
+    Arg.(value & opt (some string) None & info [ "data" ] ~docv:"DIR" ~env:(Cmd.Env.info "XNF_DATA_DIR")
+           ~doc:"Durable session directory: recover $(docv)/checkpoint.db and \
+                 $(docv)/wal.log on startup (creating $(docv) if needed) and log all \
+                 changes to the WAL. \\\\checkpoint and \\\\recover operate on it.")
+  in
   let info =
     Cmd.info "xnf_shell" ~doc:"Interactive SQL/XNF shell"
       ~man:[ `S Manpage.s_description;
              `P "A shared relational database with the XNF composite-object extensions: \
                  plain SQL and OUT OF ... TAKE queries at the same prompt." ]
   in
-  Cmd.v info Term.(const main $ demo $ lint $ advise $ json $ file)
+  Cmd.v info Term.(const main $ demo $ lint $ advise $ json $ data $ file)
 
 let () = exit (Cmdliner.Cmd.eval cmd)

@@ -71,6 +71,68 @@ echo "== fuzz mutation smoke =="
 dune exec bin/xnf_fuzz.exe -- --seed 42 --iters 25 --mutate drop-conn --no-shrink --quiet
 dune exec bin/xnf_fuzz.exe -- --seed 42 --iters 25 --mutate drop-tuple --no-shrink --quiet
 
+echo "== crash-point oracle (seeded) =="
+# run a seeded DDL/DML/fetch workload against a durable directory, crash
+# it by truncating the WAL at every record boundary (plus torn mid-frame
+# cuts), recover each truncation, and diff the recovered state against
+# the committed prefix it must equal; any divergence exits non-zero.
+# Raise CRASH_ITERS for nightly-style budgets.
+dune exec bin/xnf_fuzz.exe -- --crash --seed 42 --iters "${CRASH_ITERS:-120}" --quiet
+
+echo "== durability defect smoke =="
+# inject each durability defect — skipped fsync, corrupted CRC, dropped
+# checkpoint — and require the crash oracle to catch all three; a
+# recovery path that silently tolerates any of them fails the build
+dune exec bin/xnf_fuzz.exe -- --crash-defect all --seed 5 --iters 60 --quiet
+
+echo "== durability gate (kill -9 + restart with --data) =="
+# a live shell writes through --data, checkpoints mid-way, keeps
+# writing, and is killed with SIGKILL once its final SELECT has printed;
+# a restarted shell on the same directory must recover the identical
+# rows, and an explicit \recover must leave them unchanged
+DUR_DIR=/tmp/dur_gate_$$
+DUR_FIFO=/tmp/dur_fifo_$$
+DUR_LIVE=/tmp/dur_live_$$.out
+DUR_REST=/tmp/dur_rest_$$.out
+DUR_SCRIPT=/tmp/dur_script_$$.sql
+rm -rf "$DUR_DIR" "$DUR_FIFO"
+mkfifo "$DUR_FIFO"
+./_build/default/bin/xnf_shell.exe --data "$DUR_DIR" < "$DUR_FIFO" > "$DUR_LIVE" 2>&1 &
+DUR_PID=$!
+{
+  echo "CREATE TABLE kv (k INTEGER PRIMARY KEY, v VARCHAR)"
+  echo "INSERT INTO kv VALUES (1, 'a'), (2, 'b')"
+  echo "\\checkpoint"
+  echo "INSERT INTO kv VALUES (3, 'c')"
+  echo "UPDATE kv SET v = 'z' WHERE k = 1"
+  echo "SELECT k, v FROM kv ORDER BY k"
+  sleep 30 # hold stdin open so the shell only dies by SIGKILL
+} > "$DUR_FIFO" &
+DUR_FEEDER=$!
+i=0
+until grep -q '(3 rows)' "$DUR_LIVE" 2>/dev/null; do
+  i=$((i + 1))
+  if [ "$i" -gt 100 ]; then
+    echo "durability gate: shell never reached the SELECT"; cat "$DUR_LIVE"; exit 1
+  fi
+  sleep 0.1
+done
+kill -9 "$DUR_PID"
+kill "$DUR_FEEDER" 2>/dev/null || true
+wait "$DUR_PID" 2>/dev/null || true
+wait "$DUR_FEEDER" 2>/dev/null || true
+{ echo "\\recover"; echo "SELECT k, v FROM kv ORDER BY k"; } > "$DUR_SCRIPT"
+./_build/default/bin/xnf_shell.exe --data "$DUR_DIR" -f "$DUR_SCRIPT" > "$DUR_REST" 2>&1
+live_rows=$(grep -E '^[0-9]+ \| ' "$DUR_LIVE")
+rest_rows=$(grep -E '^[0-9]+ \| ' "$DUR_REST")
+if [ -z "$rest_rows" ] || [ "$live_rows" != "$rest_rows" ]; then
+  echo "durability gate: restarted state differs from the killed session"
+  echo "--- killed session:"; cat "$DUR_LIVE"
+  echo "--- restart:"; cat "$DUR_REST"
+  exit 1
+fi
+rm -rf "$DUR_DIR" "$DUR_FIFO" "$DUR_LIVE" "$DUR_REST" "$DUR_SCRIPT"
+
 echo "== observability gate (sys.* + slow-query log) =="
 # scripted workload: a deliberately slow non-equi self-join must land in
 # sys.slow_queries and join back to its sys.statements aggregate through
@@ -110,15 +172,17 @@ rm -f "$OBS_SCRIPT" "$OBS_OUT"
 echo "== bench smoke =="
 dune exec bench/main.exe -- --list
 
-echo "== bench gate (E11+E12 vs BENCH_seed.json) =="
-# re-run the repeated-fetch and batch-edge experiments and diff their
-# bench.* metrics against the committed baseline: counters exact, timing
-# gauges within BENCH_TOLERANCE (relative; generous because CI machines
-# vary), and two absolute floors regardless of the baseline: the warm
-# plan-cache speedup >= 2x, and batch hash probing >= 3x over the
-# engine-planned generic path on the 100k-row deep schema
-dune exec bench/main.exe -- --only E11 --only E12 --json /tmp/bench_fresh_$$.json > /dev/null
+echo "== bench gate (E4+E11+E12 vs BENCH_seed.json) =="
+# re-run the paged-storage, repeated-fetch and batch-edge experiments
+# and diff their bench.* metrics against the committed baseline:
+# counters exact, timing gauges within BENCH_TOLERANCE (relative;
+# generous because CI machines vary), and three absolute floors
+# regardless of the baseline: the warm plan-cache speedup >= 2x, batch
+# hash probing >= 3x over the engine-planned generic path on the
+# 100k-row deep schema, and CO-clustering >= 2x fewer page faults than
+# table clustering against the real file-backed page store
+dune exec bench/main.exe -- --only E4 --only E11 --only E12 --json /tmp/bench_fresh_$$.json > /dev/null
 dune exec bin/bench_compare.exe -- BENCH_seed.json /tmp/bench_fresh_$$.json \
   --tolerance "${BENCH_TOLERANCE:-0.5}" --min bench.e11.warm_speedup=2 \
-  --min bench.e12.deep_speedup=3
+  --min bench.e12.deep_speedup=3 --min bench.e4.fault_ratio=2
 rm -f /tmp/bench_fresh_$$.json

@@ -45,6 +45,11 @@ type t = {
       (** injected by the check layer ([Check.Plan_advisor.install]): Api
           cannot depend on [check], so the estimate-vs-actual drift
           detector arrives as a hook fired after plan-executed fetches *)
+  mutable xnf_log : string list;
+      (** re-parsable XNF view-DDL statements, newest first: the session's
+          durable history, logged to the WAL as [R_ext] records and
+          carried whole in checkpoint sections so recovery can replay
+          definition-time view composition in original order *)
 }
 
 (** Result of executing one statement through [exec]. *)
@@ -252,16 +257,54 @@ let sys_fetch_cache api () =
       Schema.column "conns" Schema.Ty_int; Schema.column "stale" Schema.Ty_bool ]
     rows
 
-(** [create db] opens an XNF session over [db] and registers the
-    session-level [sys.plans] / [sys.fetch_cache] views on its catalog. *)
+(* ---- XNF view durability ----
+
+   The view registry composes imports at definition time, so the current
+   registry state cannot generally be rebuilt from the surviving views'
+   texts alone (a view may import another that was later dropped). The
+   durable form is therefore the ordered DDL history: each CREATE/DROP of
+   an XNF view is logged to the WAL as an [R_ext {tag="xnf"}] record and
+   the whole history rides in one checkpoint section per statement.
+   Recovery clears the registry and replays the history in order. *)
+
+let ext_tag = "xnf"
+
+(* apply one recovered XNF DDL statement to the registry. Damage-tolerant:
+   recovery must never raise, and divergence is what the crash oracle's
+   digest comparison exists to catch. *)
+let apply_logged api payload =
+  (try
+     match Xnf_parser.parse_stmt payload with
+     | Xnf_ast.X_create_view (name, q) -> View_registry.define api.reg ~name q
+     | Xnf_ast.X_drop_view name ->
+       if View_registry.find_opt api.reg name <> None then View_registry.drop api.reg name
+     | _ -> ()
+   with _ -> ());
+  api.xnf_log <- payload :: api.xnf_log
+
+(* record one live XNF DDL statement: WAL first, then the session log *)
+let log_xnf api (stmt : Xnf_ast.stmt) =
+  let payload = Xnf_ast.stmt_to_string stmt in
+  Txn.log_meta (Db.txn api.db) (Wal.R_ext { tag = ext_tag; payload });
+  api.xnf_log <- payload :: api.xnf_log
+
+(** [create db] opens an XNF session over [db], registers the
+    session-level [sys.plans] / [sys.fetch_cache] views on its catalog,
+    and wires XNF view durability into [db]'s checkpoint/recovery hooks
+    (any XNF view DDL recovered before this call is applied now). *)
 let create db =
   let api =
     { db; reg = View_registry.create (); fetch_count = 0; rc_cap = 0; rc = []; pc_cap = 0;
-      pc = []; prepared = Hashtbl.create 8; advisories = []; adv_next = 0; drift_advisor = None }
+      pc = []; prepared = Hashtbl.create 8; advisories = []; adv_next = 0; drift_advisor = None;
+      xnf_log = [] }
   in
   Catalog.register_virtual (Db.catalog db) ~name:"sys.plans" (sys_plans api);
   Catalog.register_virtual (Db.catalog db) ~name:"sys.fetch_cache" (sys_fetch_cache api);
   Catalog.register_virtual (Db.catalog db) ~name:"sys.advisories" (sys_advisories api);
+  Db.set_checkpoint_extra db
+    (Some (fun () -> List.rev_map (fun s -> (ext_tag, s)) api.xnf_log));
+  Db.set_ext_handler db
+    (Some (fun ~tag ~payload -> if tag = ext_tag then apply_logged api payload));
   api
 
 (** [db api] is the underlying relational session. *)
@@ -484,19 +527,20 @@ let delete_co api (q : Xnf_ast.query) =
         err "CO DELETE: component %s is not updatable" name)
     cache.Cache.c_nodes;
   let deleted = ref 0 in
-  List.iter
-    (fun (_, ni) ->
-      match ni.Cache.ni_upd with
-      | None -> ()
-      | Some u ->
-        let table = Catalog.table (Db.catalog api.db) u.Semantic.nu_table in
-        List.iter
-          (fun t ->
-            match t.Cache.t_rowid with
-            | Some rowid -> if Db.delete_row api.db table rowid then incr deleted
-            | None -> ())
-          (Cache.live_tuples ni))
-    cache.Cache.c_nodes;
+  Db.with_statement api.db (fun () ->
+      List.iter
+        (fun (_, ni) ->
+          match ni.Cache.ni_upd with
+          | None -> ()
+          | Some u ->
+            let table = Catalog.table (Db.catalog api.db) u.Semantic.nu_table in
+            List.iter
+              (fun t ->
+                match t.Cache.t_rowid with
+                | Some rowid -> if Db.delete_row api.db table rowid then incr deleted
+                | None -> ())
+              (Cache.live_tuples ni))
+        cache.Cache.c_nodes);
   !deleted
 
 (* CO-level update (§3.7): the assignments apply to every tuple of the
@@ -512,15 +556,16 @@ let update_co api (q : Xnf_ast.query) (cu : Xnf_ast.co_update) =
   in
   let ses = Udi.session api.db cache in
   let count = ref 0 in
-  Udi.with_deferred ses (fun () ->
-      List.iter
-        (fun t ->
-          let updates =
-            List.map (fun (col, e) -> (col, Expr.eval t.Cache.t_row e)) sets
-          in
-          Udi.update ses ~node:cu.Xnf_ast.cu_node ~pos:t.Cache.t_pos updates;
-          incr count)
-        (Cache.live_tuples ni));
+  Db.with_statement api.db (fun () ->
+      Udi.with_deferred ses (fun () ->
+          List.iter
+            (fun t ->
+              let updates =
+                List.map (fun (col, e) -> (col, Expr.eval t.Cache.t_row e)) sets
+              in
+              Udi.update ses ~node:cu.Xnf_ast.cu_node ~pos:t.Cache.t_pos updates;
+              incr count)
+            (Cache.live_tuples ni)));
   !count
 
 let rows_of_outcome = function
@@ -543,6 +588,7 @@ let exec api text : outcome =
   | Xnf_ast.X_query q -> Fetched (fetch_cached_parsed api (String.trim text) q)
   | Xnf_ast.X_create_view (name, q) ->
     View_registry.define api.reg ~name q;
+    log_xnf api (Xnf_ast.X_create_view (name, q));
     invalidate_result_cache api;
     View_defined name
   | Xnf_ast.X_delete q -> Co_deleted (delete_co api q)
@@ -551,13 +597,15 @@ let exec api text : outcome =
     match View_registry.find_opt api.reg name with
     | Some _ ->
       View_registry.drop api.reg name;
+      log_xnf api (Xnf_ast.X_drop_view name);
       invalidate_result_cache api;
       View_dropped name
     | None -> begin
-      (* fall through to tabular views *)
+      (* fall through to tabular views, via the engine so the drop is
+         WAL-logged *)
       match Catalog.view_opt (Db.catalog api.db) name with
       | Some _ ->
-        Catalog.drop_view (Db.catalog api.db) name;
+        ignore (Db.exec_stmt_ast api.db (Sql_ast.S_drop_view name));
         View_dropped name
       | None -> err "unknown view %s" name
     end
@@ -616,6 +664,23 @@ let explain_analyze api text =
     Buffer.contents b
   | Xnf_ast.X_sql (Sql_ast.S_select sel) -> Db.explain_analyze_ast api.db sel
   | _ -> err "EXPLAIN ANALYZE expects an XNF query or a SQL SELECT"
+
+(** [checkpoint api] snapshots the full session state — relational
+    catalog plus the XNF view history — into the data directory and
+    truncates the WAL. Returns the checkpoint LSN. *)
+let checkpoint api = Db.checkpoint api.db
+
+(** [recover api] rebuilds the whole session from the data directory.
+    The XNF view registry is cleared and its DDL history replayed (the
+    registry version moves, so cached fetch plans invalidate lazily with
+    countable [xnf.plancache.invalidations] deltas); the result cache is
+    dropped outright since recovered tables may no longer back its
+    entries. *)
+let recover api =
+  View_registry.clear api.reg;
+  api.xnf_log <- [];
+  invalidate_result_cache api;
+  Db.recover api.db
 
 (** [session api cache] opens a manipulation session on a loaded CO. *)
 let session api cache = Udi.session api.db cache

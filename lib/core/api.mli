@@ -127,6 +127,26 @@ val set_drift_advisor :
   option ->
   unit
 
+(** {2 Durability}
+
+    With a data directory attached to the underlying {!Db.t}, the whole
+    session — relational catalog and the XNF view registry — checkpoints
+    and recovers as one unit. XNF view DDL travels as opaque [R_ext] WAL
+    records and checkpoint sections; plain SQL state is handled by the
+    relational layer. *)
+
+(** [checkpoint api] snapshots the session into the data directory and
+    truncates the WAL; returns the checkpoint LSN.
+    @raise Relational.Db.Exec_error without a data dir or in a txn. *)
+val checkpoint : t -> int
+
+(** [recover api] rebuilds the session from the data directory: clears
+    and replays the XNF view registry, drops the result cache, and runs
+    relational recovery (cached fetch plans invalidate lazily via the
+    bumped registry/catalog versions and index epoch).
+    @raise Relational.Db.Exec_error without a data dir or in a txn. *)
+val recover : t -> Relational.Db.recovery_stats
+
 (** [session api cache] opens a manipulation session on a loaded CO. *)
 val session : t -> Cache.t -> Udi.t
 

@@ -52,6 +52,13 @@ let drop reg name =
 (** [names reg] lists registered view names, sorted. *)
 let names reg = List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) reg.views [])
 
+(** [clear reg] removes every view and bumps the version (recovery's
+    blank slate — cached fetch plans keyed on the old version stay
+    invalid even if the same definitions are replayed back). *)
+let clear reg =
+  Hashtbl.reset reg.views;
+  reg.version <- reg.version + 1
+
 (* rename qualifiers in a SQL expression: used to align edge-restriction
    variables with the edge's own predicate aliases *)
 let rec rename_quals (mapping : (string * string) list) (e : Sql_ast.expr) : Sql_ast.expr =

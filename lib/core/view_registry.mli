@@ -39,6 +39,10 @@ val drop : t -> string -> unit
 (** [names reg] lists registered view names, sorted. *)
 val names : t -> string list
 
+(** [clear reg] removes every view and bumps the version (recovery's
+    blank slate). *)
+val clear : t -> unit
+
 (** [compose reg q] builds the fully composed (un-projected) CO definition
     of query [q], the residual path-based restrictions, and the TAKE
     clause. Structural projection applies to the evaluated instance

@@ -1,0 +1,568 @@
+(* Crash-point fuzzing oracle for durable persistence.
+
+   A seeded workload of DDL / DML / XNF statements runs against a durable
+   session in a scratch data directory. The oracle records, after every
+   statement executed outside an explicit transaction, the pair
+
+     (WAL byte offset, canonical state digest)
+
+   — the state the engine promises to reproduce if the process dies at or
+   after that offset. Checkpoints split the run into eras: an era is the
+   checkpoint image it started from (if any) plus the WAL written until
+   the next checkpoint truncates it.
+
+   Crash simulation then replays every era: for each record-boundary
+   offset of the era's WAL (plus random torn mid-frame offsets), it
+   builds a directory holding the era's checkpoint and the WAL truncated
+   at that offset, recovers a fresh session from it, and asserts the
+   recovered digest equals the digest at the greatest commit point at or
+   below the crash offset. Any mismatch — or any exception out of
+   recovery — is a divergence.
+
+   Defect injection turns the oracle on itself: [run_defect] plants one
+   of three durability bugs (fsync skipped, a CRC-corrupted frame, a
+   deleted checkpoint file) and reports whether the oracle caught it.
+   The CI mutation smoke fails unless all three are caught. *)
+
+open Relational
+module Api = Xnf.Api
+module View_registry = Xnf.View_registry
+module Co = Xnf.Co_schema
+
+(* ---- defects ---- *)
+
+type defect = Skip_fsync | Corrupt_crc | Drop_checkpoint
+
+let defect_name = function
+  | Skip_fsync -> "skip-fsync"
+  | Corrupt_crc -> "corrupt-crc"
+  | Drop_checkpoint -> "drop-checkpoint"
+
+let defect_of_string = function
+  | "skip-fsync" -> Some Skip_fsync
+  | "corrupt-crc" -> Some Corrupt_crc
+  | "drop-checkpoint" -> Some Drop_checkpoint
+  | _ -> None
+
+let defects = [ Skip_fsync; Corrupt_crc; Drop_checkpoint ]
+
+(* ---- configuration and reports ---- *)
+
+type config = {
+  c_seed : int;
+  c_ops : int;  (** statements in the generated workload *)
+  c_torn : int;  (** random torn (mid-frame) crash offsets per era *)
+  c_points : int;  (** boundary crash points tested per era; 0 = all *)
+  c_checkpoint_every : int;  (** checkpoint cadence in statements; 0 = never *)
+}
+
+let default = { c_seed = 1; c_ops = 120; c_torn = 2; c_points = 0; c_checkpoint_every = 40 }
+
+type divergence = { d_era : int; d_offset : int; d_torn : bool; d_detail : string }
+
+type report = {
+  r_ops : int;
+  r_eras : int;
+  r_points : int;  (** crash points recovered from *)
+  r_torn_points : int;  (** of which torn (mid-frame) *)
+  r_divergences : divergence list;
+}
+
+type defect_outcome = { do_defect : defect; do_caught : bool; do_detail : string }
+
+(* ---- small file helpers (scratch dirs live under the system tmpdir) ---- *)
+
+let read_file path =
+  if not (Sys.file_exists path) then None
+  else begin
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> Some (really_input_string ic (in_channel_length ic)))
+  end
+
+let write_file path s =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc s)
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+let fresh_dir () =
+  let f = Filename.temp_file "xnf-crash" "" in
+  Sys.remove f;
+  Sys.mkdir f 0o700;
+  f
+
+(* ---- canonical state digest ----
+
+   Everything durability promises to preserve: table schemas, primary
+   keys, live rows with their exact rowids, index definitions, tabular
+   view texts and composed XNF view definitions. Deliberately excluded:
+   version counters and ANALYZE statistics (not durable state) and
+   trailing tombstone slots (a transaction aborted just before the crash
+   leaves a tombstone replay cannot know about; logical content and
+   rowids are what must survive). *)
+
+let digest db api =
+  let b = Buffer.create 4096 in
+  let bpf fmt = Printf.bprintf b fmt in
+  let cat = Db.catalog db in
+  let names = List.sort compare (List.map String.lowercase_ascii (Catalog.table_names cat)) in
+  List.iter
+    (fun name ->
+      let t = Catalog.table cat name in
+      bpf "table %s | %s\n" name (Fmt.str "%a" Schema.pp (Table.schema t));
+      (match Table.primary_key t with
+      | Some pk ->
+        bpf "  pk %s\n" (String.concat "," (List.map string_of_int (Array.to_list pk)))
+      | None -> ());
+      List.iter
+        (fun i ->
+          bpf "  index %s (%s) %s\n"
+            (String.lowercase_ascii (Index.name i))
+            (String.concat "," (List.map string_of_int (Array.to_list (Index.cols i))))
+            (match Index.kind i with Index.Hash -> "hash" | Index.Ordered -> "ordered"))
+        (List.sort (fun a b -> compare (Index.name a) (Index.name b)) (Table.indexes t));
+      Seq.iter (fun (rid, row) -> bpf "  row %d %s\n" rid (Row.to_string row)) (Table.to_seq t))
+    names;
+  List.iter
+    (fun (v : Catalog.view) ->
+      bpf "view %s := %s\n"
+        (String.lowercase_ascii v.Catalog.view_name)
+        (Fmt.str "%a" Sql_ast.pp_select v.Catalog.view_query))
+    (Catalog.views cat);
+  let reg = Api.registry api in
+  List.iter
+    (fun n ->
+      match View_registry.find_opt reg n with
+      | None -> ()
+      | Some v ->
+        bpf "xnf %s\n" n;
+        List.iter
+          (fun (nd : Co.node_def) ->
+            bpf "  node %s := %s take=%s\n" nd.Co.nd_name
+              (Fmt.str "%a" Sql_ast.pp_select nd.Co.nd_query)
+              (match nd.Co.nd_cols with None -> "*" | Some cs -> String.concat "," cs))
+          v.View_registry.v_def.Co.co_nodes;
+        List.iter
+          (fun (ed : Co.edge_def) ->
+            bpf "  edge %s %s(%s)->%s(%s) pred=%s\n" ed.Co.ed_name ed.Co.ed_parent
+              ed.Co.ed_parent_alias ed.Co.ed_child ed.Co.ed_child_alias
+              (Fmt.str "%a" Sql_ast.pp_expr ed.Co.ed_pred))
+          v.View_registry.v_def.Co.co_edges;
+        bpf "  restrs %d\n" (List.length v.View_registry.v_path_restrs))
+    (View_registry.names reg);
+  Buffer.contents b
+
+let first_diff ~expected ~got =
+  let el = String.split_on_char '\n' expected and gl = String.split_on_char '\n' got in
+  let rec go i = function
+    | e :: es, g :: gs ->
+      if String.equal e g then go (i + 1) (es, gs)
+      else Printf.sprintf "state line %d: expected %S, recovered %S" i e g
+    | e :: _, [] -> Printf.sprintf "state line %d: expected %S, recovered <end>" i e
+    | [], g :: _ -> Printf.sprintf "state line %d: expected <end>, recovered %S" i g
+    | [], [] -> "states equal"
+  in
+  go 1 (el, gl)
+
+(* ---- workload generator ----
+
+   Seeded statements over the full durable surface: tables with an
+   INTEGER primary key, multi-row inserts, point updates and deletes,
+   secondary indexes, tabular and XNF views, XNF fetches, CO DELETE /
+   UPDATE, explicit transactions (committed and rolled back) and
+   ANALYZE. Statements are allowed to fail (e.g. a fetch through a view
+   whose base table was dropped) — the oracle compares states, not
+   outcomes. *)
+
+type gen = {
+  g_rng : Random.State.t;
+  mutable g_tables : (string * int ref) list;  (* name, next primary key *)
+  mutable g_ntab : int;
+  mutable g_nidx : int;
+  mutable g_idx : string list;
+  mutable g_ntv : int;
+  mutable g_tviews : string list;
+  mutable g_nxv : int;
+  mutable g_xviews : string list;
+  mutable g_in_txn : bool;
+  mutable g_txn_left : int;
+}
+
+let gen_create rng =
+  { g_rng = rng; g_tables = []; g_ntab = 0; g_nidx = 0; g_idx = []; g_ntv = 0; g_tviews = [];
+    g_nxv = 0; g_xviews = []; g_in_txn = false; g_txn_left = 0 }
+
+let pick rng l = List.nth l (Random.State.int rng (List.length l))
+let ri g n = Random.State.int g.g_rng n
+
+let new_table g =
+  let name = Printf.sprintf "t%d" g.g_ntab in
+  g.g_ntab <- g.g_ntab + 1;
+  g.g_tables <- g.g_tables @ [ (name, ref 0) ];
+  Printf.sprintf "CREATE TABLE %s (id INTEGER PRIMARY KEY, a INTEGER, b VARCHAR(16))" name
+
+let gen_insert g =
+  let name, next = pick g.g_rng g.g_tables in
+  let nrows = 1 + ri g 3 in
+  let row () =
+    let id = !next in
+    next := !next + 1;
+    Printf.sprintf "(%d, %d, 's%d')" id (ri g 100) (id mod 7)
+  in
+  Printf.sprintf "INSERT INTO %s VALUES %s" name
+    (String.concat ", " (List.init nrows (fun _ -> row ())))
+
+let gen_update g =
+  let name, next = pick g.g_rng g.g_tables in
+  if ri g 3 = 0 then Printf.sprintf "UPDATE %s SET b = 'u%d' WHERE a < %d" name (ri g 9) (ri g 50)
+  else Printf.sprintf "UPDATE %s SET a = %d WHERE id = %d" name (ri g 100) (ri g (max 1 !next))
+
+let gen_delete g =
+  let name, next = pick g.g_rng g.g_tables in
+  Printf.sprintf "DELETE FROM %s WHERE id = %d" name (ri g (max 1 !next))
+
+let gen_dml g =
+  match ri g 5 with 0 -> gen_update g | 1 -> gen_delete g | _ -> gen_insert g
+
+let gen_next g =
+  if g.g_in_txn then
+    if g.g_txn_left <= 0 then begin
+      g.g_in_txn <- false;
+      if ri g 10 < 7 then "COMMIT" else "ROLLBACK"
+    end
+    else begin
+      g.g_txn_left <- g.g_txn_left - 1;
+      gen_dml g
+    end
+  else if g.g_tables = [] then new_table g
+  else begin
+    let r = ri g 100 in
+    if r < 28 then gen_insert g
+    else if r < 38 then gen_update g
+    else if r < 46 then gen_delete g
+    else if r < 54 then begin
+      g.g_in_txn <- true;
+      g.g_txn_left <- 1 + ri g 3;
+      "BEGIN"
+    end
+    else if r < 58 && g.g_ntab < 5 then new_table g
+    else if r < 60 && List.length g.g_tables > 1 then begin
+      let name, _ = pick g.g_rng g.g_tables in
+      g.g_tables <- List.filter (fun (n, _) -> n <> name) g.g_tables;
+      Printf.sprintf "DROP TABLE %s" name
+    end
+    else if r < 65 && g.g_nidx < 8 then begin
+      let name, _ = pick g.g_rng g.g_tables in
+      let iname = Printf.sprintf "ix%d" g.g_nidx in
+      g.g_nidx <- g.g_nidx + 1;
+      g.g_idx <- iname :: g.g_idx;
+      Printf.sprintf "CREATE INDEX %s ON %s (%s)" iname name (if ri g 2 = 0 then "a" else "b")
+    end
+    else if r < 67 && g.g_idx <> [] then begin
+      let iname = pick g.g_rng g.g_idx in
+      g.g_idx <- List.filter (fun n -> n <> iname) g.g_idx;
+      Printf.sprintf "DROP INDEX %s" iname
+    end
+    else if r < 71 && g.g_ntv < 6 then begin
+      let name, _ = pick g.g_rng g.g_tables in
+      let vname = Printf.sprintf "tv%d" g.g_ntv in
+      g.g_ntv <- g.g_ntv + 1;
+      g.g_tviews <- vname :: g.g_tviews;
+      Printf.sprintf "CREATE VIEW %s AS SELECT id, a FROM %s WHERE a < %d" vname name (ri g 90)
+    end
+    else if r < 73 && g.g_tviews <> [] then begin
+      let vname = pick g.g_rng g.g_tviews in
+      g.g_tviews <- List.filter (fun n -> n <> vname) g.g_tviews;
+      Printf.sprintf "DROP VIEW %s" vname
+    end
+    else if r < 80 && g.g_nxv < 6 then begin
+      let t1, _ = pick g.g_rng g.g_tables in
+      let t2, _ = pick g.g_rng g.g_tables in
+      let n = g.g_nxv in
+      let vname = Printf.sprintf "xv%d" n in
+      g.g_nxv <- n + 1;
+      g.g_xviews <- vname :: g.g_xviews;
+      Printf.sprintf
+        "CREATE VIEW %s AS OUT OF p%d AS %s, c%d AS %s, e%d AS (RELATE p%d, c%d WHERE p%d.a = c%d.id) TAKE *"
+        vname n t1 n t2 n n n n n
+    end
+    else if r < 82 && g.g_xviews <> [] then begin
+      let vname = pick g.g_rng g.g_xviews in
+      g.g_xviews <- List.filter (fun n -> n <> vname) g.g_xviews;
+      Printf.sprintf "DROP VIEW %s" vname
+    end
+    else if r < 90 then begin
+      if g.g_xviews <> [] && ri g 2 = 0 then
+        Printf.sprintf "OUT OF %s TAKE *" (pick g.g_rng g.g_xviews)
+      else begin
+        let name, _ = pick g.g_rng g.g_tables in
+        Printf.sprintf "OUT OF q AS %s TAKE *" name
+      end
+    end
+    else if r < 93 then begin
+      let name, next = pick g.g_rng g.g_tables in
+      Printf.sprintf "OUT OF q AS (SELECT * FROM %s WHERE id = %d) DELETE *" name
+        (ri g (max 1 !next))
+    end
+    else if r < 96 then begin
+      let name, _ = pick g.g_rng g.g_tables in
+      Printf.sprintf "OUT OF q AS (SELECT * FROM %s WHERE a < %d) UPDATE q SET b = 'w%d'" name
+        (ri g 60) (ri g 9)
+    end
+    else if r < 98 then "ANALYZE"
+    else gen_insert g
+  end
+
+(* ---- the live run: execute, record commit points, slice into eras ---- *)
+
+type era = {
+  e_ckpt : string option;  (** checkpoint file the era starts from *)
+  e_wal : string;  (** full WAL bytes written during the era *)
+  e_commits : (int * string) list;  (** (offset, digest), ascending; head = era start *)
+}
+
+type live = {
+  l_root : string;  (** scratch root; remove when done *)
+  l_dir : string;  (** the live session's data directory *)
+  l_db : Db.t;
+  l_api : Api.t;
+  l_wal : Wal.t;
+  l_eras : era list;  (** oldest first; last era is the tail of the run *)
+  l_ops : int;
+}
+
+let wal_path dir = Filename.concat dir "wal.log"
+let ckpt_path dir = Filename.concat dir "checkpoint.db"
+
+(* Run [ops] statements; checkpoint every [checkpoint_every] (0 = never).
+   [defect] tweaks the run shape: Skip_fsync disables fsync from the
+   start, Drop_checkpoint forces exactly one mid-run checkpoint. *)
+let run_live ?defect cfg =
+  let root = fresh_dir () in
+  let dir = Filename.concat root "live" in
+  Sys.mkdir dir 0o700;
+  let rng = Random.State.make [| cfg.c_seed; 0x5eed |] in
+  let db = Db.create ~data_dir:dir () in
+  let api = Api.create db in
+  let wal = Txn.wal (Db.txn db) in
+  (match defect with Some Skip_fsync -> Wal.set_fsync wal false | _ -> ());
+  let g = gen_create rng in
+  let ckpt_bytes = ref None in
+  let commits = ref [ (Wal.file_size wal, digest db api) ] in
+  let eras = ref [] in
+  let finish_era () =
+    let bytes = Option.value ~default:"" (read_file (wal_path dir)) in
+    eras := { e_ckpt = !ckpt_bytes; e_wal = bytes; e_commits = List.rev !commits } :: !eras
+  in
+  let take_checkpoint () =
+    finish_era ();
+    ignore (Api.checkpoint api);
+    ckpt_bytes := read_file (ckpt_path dir);
+    commits := [ (Wal.file_size wal, digest db api) ]
+  in
+  let forced = ref false in
+  let checkpoint_due i =
+    match defect with
+    | Some Drop_checkpoint -> i > cfg.c_ops / 2 && not !forced
+    | Some (Skip_fsync | Corrupt_crc) -> false
+    | None -> cfg.c_checkpoint_every > 0 && i mod cfg.c_checkpoint_every = 0
+  in
+  for i = 1 to cfg.c_ops do
+    if checkpoint_due i && not (Txn.in_txn (Db.txn db)) then begin
+      take_checkpoint ();
+      forced := true
+    end;
+    (try ignore (Api.exec api (gen_next g)) with _ -> ());
+    if not (Txn.in_txn (Db.txn db)) then
+      commits := (Wal.file_size wal, digest db api) :: !commits
+  done;
+  if Txn.in_txn (Db.txn db) then begin
+    (try ignore (Api.exec api "COMMIT") with _ -> ());
+    commits := (Wal.file_size wal, digest db api) :: !commits
+  end;
+  finish_era ();
+  { l_root = root; l_dir = dir; l_db = db; l_api = api; l_wal = wal;
+    l_eras = List.rev !eras; l_ops = cfg.c_ops }
+
+(* recover a session from [dir] and return its digest; the caller handles
+   exceptions (recovery raising IS an observation) *)
+let recover_digest dir =
+  let db = Db.create ~data_dir:dir () in
+  let api = Api.create db in
+  let d = digest db api in
+  Wal.close (Txn.wal (Db.txn db));
+  d
+
+(* expected digest after a crash at [offset]: the greatest commit point at
+   or below it; below the first commit point the WAL is headerless noise,
+   which recovers to the era-start state *)
+let expected_at era offset =
+  let rec go best = function
+    | (off, d) :: rest when off <= offset -> go (Some d) rest
+    | _ -> best
+  in
+  match go None era.e_commits with
+  | Some d -> d
+  | None -> ( match era.e_commits with (_, d) :: _ -> d | [] -> "")
+
+(* crash dir builder: era checkpoint (if any) + WAL cut at [offset] *)
+let build_crash_dir root era offset =
+  let dir = Filename.concat root "crash" in
+  rm_rf dir;
+  Sys.mkdir dir 0o700;
+  (match era.e_ckpt with
+  | Some bytes -> write_file (ckpt_path dir) bytes
+  | None -> ());
+  write_file (wal_path dir) (String.sub era.e_wal 0 (min offset (String.length era.e_wal)));
+  dir
+
+(* evenly sample [cap] elements (always keeping the last) when the list is
+   longer; the boundary count grows with the workload but CI wants a lid *)
+let sample cap l =
+  let n = List.length l in
+  if cap <= 0 || n <= cap then l
+  else begin
+    let arr = Array.of_list l in
+    List.init cap (fun i -> if i = cap - 1 then arr.(n - 1) else arr.(i * n / cap))
+  end
+
+(** [run cfg] executes the workload and recovers from every crash point. *)
+let run ?(log = fun _ -> ()) cfg =
+  let lv = run_live cfg in
+  Wal.close lv.l_wal;
+  let rng = Random.State.make [| cfg.c_seed; 0x70a7 |] in
+  let points = ref 0 and torn_points = ref 0 and divs = ref [] in
+  List.iteri
+    (fun ei era ->
+      let bounds = sample cfg.c_points (Wal.boundaries era.e_wal) in
+      let arr = Array.of_list (Wal.boundaries era.e_wal) in
+      let torn =
+        if Array.length arr < 2 then []
+        else
+          List.filter_map
+            (fun _ ->
+              let j = Random.State.int rng (Array.length arr - 1) in
+              let lo = arr.(j) and hi = arr.(j + 1) in
+              if hi - lo >= 2 then Some (lo + 1 + Random.State.int rng (hi - lo - 1)) else None)
+            (List.init cfg.c_torn (fun i -> i))
+      in
+      let try_one ~torn offset =
+        incr points;
+        if torn then incr torn_points;
+        let dir = build_crash_dir lv.l_root era offset in
+        let expected = expected_at era offset in
+        match recover_digest dir with
+        | got ->
+          if not (String.equal got expected) then
+            divs :=
+              { d_era = ei; d_offset = offset; d_torn = torn;
+                d_detail = first_diff ~expected ~got }
+              :: !divs
+        | exception e ->
+          divs :=
+            { d_era = ei; d_offset = offset; d_torn = torn;
+              d_detail = "recovery raised: " ^ Printexc.to_string e }
+            :: !divs
+      in
+      try_one ~torn:false 0;
+      List.iter (try_one ~torn:false) bounds;
+      List.iter (try_one ~torn:true) torn;
+      log
+        (Printf.sprintf "era %d: %d boundary + %d torn crash points, %d divergences so far" ei
+           (List.length bounds + 1) (List.length torn) (List.length !divs)))
+    lv.l_eras;
+  rm_rf lv.l_root;
+  { r_ops = lv.l_ops; r_eras = List.length lv.l_eras; r_points = !points;
+    r_torn_points = !torn_points; r_divergences = List.rev !divs }
+
+(** [run_defect cfg defect] plants one durability bug and reports whether
+    the oracle caught it (the CI mutation smoke requires all three). *)
+let run_defect cfg defect =
+  let lv = run_live ~defect cfg in
+  let final = digest lv.l_db lv.l_api in
+  let outcome =
+    match defect with
+    | Skip_fsync ->
+      (* syncs silently skipped: the on-disk WAL never grew, so a crash
+         must lose committed work the session believes durable *)
+      Wal.close lv.l_wal;
+      let era = List.nth lv.l_eras (List.length lv.l_eras - 1) in
+      let disk = era.e_wal in
+      let dir = build_crash_dir lv.l_root { era with e_wal = disk } (String.length disk) in
+      (match recover_digest dir with
+      | got ->
+        if String.equal got final then
+          { do_defect = defect; do_caught = false;
+            do_detail = "recovered state matches despite skipped fsyncs" }
+        else
+          { do_defect = defect; do_caught = true;
+            do_detail = "committed work lost on crash: " ^ first_diff ~expected:final ~got }
+      | exception e ->
+        { do_defect = defect; do_caught = true;
+          do_detail = "recovery raised: " ^ Printexc.to_string e })
+    | Corrupt_crc ->
+      (* flip a byte mid-log: recovery must detect the bad CRC, truncate
+         there and come back as the last commit point before the damage *)
+      Wal.close lv.l_wal;
+      let era = List.nth lv.l_eras (List.length lv.l_eras - 1) in
+      let arr = Array.of_list (Wal.boundaries era.e_wal) in
+      if Array.length arr < 4 then
+        { do_defect = defect; do_caught = false; do_detail = "workload too small to corrupt" }
+      else begin
+        let k = Array.length arr / 3 in
+        let pos = arr.(k) + 8 + 1 in
+        let bytes = Bytes.of_string era.e_wal in
+        Bytes.set bytes pos (Char.chr (Char.code (Bytes.get bytes pos) lxor 0x55));
+        let corrupted = Bytes.to_string bytes in
+        let expected = expected_at era arr.(k) in
+        let before = Obs.Metrics.counter_get "wal.truncated_bytes" in
+        let dir = build_crash_dir lv.l_root { era with e_wal = corrupted } (String.length corrupted) in
+        match recover_digest dir with
+        | got ->
+          let truncated = Obs.Metrics.counter_get "wal.truncated_bytes" - before in
+          if String.equal expected final then
+            { do_defect = defect; do_caught = false;
+              do_detail = "no state change after the corrupted frame; inconclusive" }
+          else if (not (String.equal got expected)) || truncated <= 0 then
+            { do_defect = defect; do_caught = false;
+              do_detail =
+                Printf.sprintf "corruption not contained (truncated %d bytes): %s" truncated
+                  (first_diff ~expected ~got) }
+          else
+            { do_defect = defect; do_caught = true;
+              do_detail =
+                Printf.sprintf
+                  "bad CRC detected: %d bytes truncated, state rolled to last good commit"
+                  truncated }
+        | exception e ->
+          { do_defect = defect; do_caught = false;
+            do_detail = "recovery raised instead of truncating: " ^ Printexc.to_string e }
+      end
+    | Drop_checkpoint ->
+      (* delete the checkpoint the WAL was truncated against: everything
+         absorbed into it is gone, which recovery cannot paper over *)
+      Wal.close lv.l_wal;
+      let era = List.nth lv.l_eras (List.length lv.l_eras - 1) in
+      let dir = build_crash_dir lv.l_root { era with e_ckpt = None } (String.length era.e_wal) in
+      (match recover_digest dir with
+      | got ->
+        if String.equal got final then
+          { do_defect = defect; do_caught = false;
+            do_detail = "recovered state matches despite the missing checkpoint" }
+        else
+          { do_defect = defect; do_caught = true;
+            do_detail = "checkpointed state lost: " ^ first_diff ~expected:final ~got }
+      | exception e ->
+        { do_defect = defect; do_caught = true;
+          do_detail = "recovery failed without the checkpoint: " ^ Printexc.to_string e })
+  in
+  rm_rf lv.l_root;
+  outcome

@@ -1,0 +1,59 @@
+(** Crash-point fuzzing oracle for durable persistence.
+
+    A seeded DDL/DML/XNF workload runs against a durable session in a
+    scratch data directory while the oracle records, at every statement
+    boundary outside an explicit transaction, the (WAL offset, canonical
+    state digest) pair the engine promises to reproduce after a crash at
+    or beyond that offset. Checkpoints slice the run into eras; crash
+    simulation then recovers a fresh session from every record-boundary
+    offset of every era's WAL (plus random torn mid-frame offsets) and
+    compares the recovered digest against the committed-prefix oracle.
+
+    [run_defect] injects one of three durability bugs — fsync skipped,
+    a CRC-corrupted frame, a deleted checkpoint file — and reports
+    whether the oracle caught it. *)
+
+type defect = Skip_fsync | Corrupt_crc | Drop_checkpoint
+
+val defect_name : defect -> string
+val defect_of_string : string -> defect option
+
+(** All injectable defects, in smoke-test order. *)
+val defects : defect list
+
+type config = {
+  c_seed : int;
+  c_ops : int;  (** statements in the generated workload *)
+  c_torn : int;  (** random torn (mid-frame) crash offsets per era *)
+  c_points : int;  (** boundary crash points tested per era; 0 = all *)
+  c_checkpoint_every : int;  (** checkpoint cadence in statements; 0 = never *)
+}
+
+val default : config
+
+type divergence = {
+  d_era : int;  (** era index (0-based) the crash was simulated in *)
+  d_offset : int;  (** WAL byte offset the crash truncated at *)
+  d_torn : bool;  (** a torn mid-frame offset rather than a boundary *)
+  d_detail : string;  (** first differing state line, or the exception *)
+}
+
+type report = {
+  r_ops : int;
+  r_eras : int;
+  r_points : int;  (** crash points recovered from *)
+  r_torn_points : int;  (** of which torn (mid-frame) *)
+  r_divergences : divergence list;
+}
+
+(** [run cfg] executes the workload and recovers from every crash point;
+    an empty [r_divergences] means every simulated crash recovered to
+    exactly the committed prefix. *)
+val run : ?log:(string -> unit) -> config -> report
+
+type defect_outcome = { do_defect : defect; do_caught : bool; do_detail : string }
+
+(** [run_defect cfg defect] plants the durability bug and reports whether
+    the oracle detected it; the CI mutation smoke requires all of
+    {!defects} to come back caught. *)
+val run_defect : config -> defect -> defect_outcome

@@ -1,0 +1,186 @@
+(* Binary encoding for WAL records and checkpoint snapshots.
+
+   A minimal, self-describing-enough codec: fixed-width little-endian
+   64-bit integers, IEEE-754 bit-pattern floats, length-prefixed strings,
+   tag bytes for sums. No versioning beyond the container magic — the
+   on-disk formats are sealed by the WAL/checkpoint headers, and a format
+   change is a new magic. Decoding is strict: any malformed input raises
+   {!Decode_error}, which the WAL reader treats as a torn tail and the
+   checkpoint reader as a corrupt snapshot. *)
+
+exception Decode_error of string
+
+let fail fmt = Fmt.kstr (fun s -> raise (Decode_error s)) fmt
+
+(* ---- encoding (into a Buffer) ---- *)
+
+let put_int64 b (n : int64) =
+  for i = 0 to 7 do
+    Buffer.add_char b (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical n (8 * i)) 0xFFL)))
+  done
+
+let put_int b n = put_int64 b (Int64.of_int n)
+let put_u32 b n =
+  for i = 0 to 3 do
+    Buffer.add_char b (Char.chr ((n lsr (8 * i)) land 0xFF))
+  done
+
+let put_float b f = put_int64 b (Int64.bits_of_float f)
+let put_bool b v = Buffer.add_char b (if v then '\001' else '\000')
+
+let put_string b s =
+  put_int b (String.length s);
+  Buffer.add_string b s
+
+let put_option b put = function
+  | None -> Buffer.add_char b '\000'
+  | Some v ->
+    Buffer.add_char b '\001';
+    put b v
+
+let put_list b put items =
+  put_int b (List.length items);
+  List.iter (put b) items
+
+let put_int_array b (a : int array) =
+  put_int b (Array.length a);
+  Array.iter (put_int b) a
+
+let put_value b (v : Value.t) =
+  match v with
+  | Value.Null -> Buffer.add_char b '\000'
+  | Value.Int n ->
+    Buffer.add_char b '\001';
+    put_int b n
+  | Value.Float f ->
+    Buffer.add_char b '\002';
+    put_float b f
+  | Value.Str s ->
+    Buffer.add_char b '\003';
+    put_string b s
+  | Value.Bool v ->
+    Buffer.add_char b '\004';
+    put_bool b v
+
+let put_row b (r : Row.t) =
+  put_int b (Array.length r);
+  Array.iter (put_value b) r
+
+let ty_tag = function
+  | Schema.Ty_int -> '\000'
+  | Schema.Ty_float -> '\001'
+  | Schema.Ty_string -> '\002'
+  | Schema.Ty_bool -> '\003'
+
+let put_schema b (s : Schema.t) =
+  let cols = Schema.columns s in
+  put_int b (List.length cols);
+  List.iter
+    (fun (c : Schema.column) ->
+      put_string b c.Schema.col_name;
+      put_string b c.Schema.col_qualifier;
+      Buffer.add_char b (ty_tag c.Schema.col_ty);
+      put_bool b c.Schema.col_nullable)
+    cols
+
+(* ---- decoding (from a string + mutable cursor) ---- *)
+
+type reader = { src : string; mutable pos : int }
+
+let reader ?(pos = 0) src = { src; pos }
+let pos r = r.pos
+let at_end r = r.pos >= String.length r.src
+
+let need r n =
+  if r.pos + n > String.length r.src then fail "unexpected end of input (need %d at %d)" n r.pos
+
+let get_byte r =
+  need r 1;
+  let c = Char.code r.src.[r.pos] in
+  r.pos <- r.pos + 1;
+  c
+
+let get_int64 r =
+  need r 8;
+  let v = ref 0L in
+  for i = 7 downto 0 do
+    v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (Char.code r.src.[r.pos + i]))
+  done;
+  r.pos <- r.pos + 8;
+  !v
+
+let get_int r = Int64.to_int (get_int64 r)
+
+let get_u32 r =
+  need r 4;
+  let v = ref 0 in
+  for i = 3 downto 0 do
+    v := (!v lsl 8) lor Char.code r.src.[r.pos + i]
+  done;
+  r.pos <- r.pos + 4;
+  !v
+
+let get_float r = Int64.float_of_bits (get_int64 r)
+
+let get_bool r =
+  match get_byte r with
+  | 0 -> false
+  | 1 -> true
+  | n -> fail "bad bool tag %d" n
+
+let get_string r =
+  let n = get_int r in
+  if n < 0 then fail "negative string length %d" n;
+  need r n;
+  let s = String.sub r.src r.pos n in
+  r.pos <- r.pos + n;
+  s
+
+let get_option r get =
+  match get_byte r with
+  | 0 -> None
+  | 1 -> Some (get r)
+  | n -> fail "bad option tag %d" n
+
+let get_list r get =
+  let n = get_int r in
+  if n < 0 then fail "negative list length %d" n;
+  List.init n (fun _ -> get r)
+
+let get_int_array r =
+  let n = get_int r in
+  if n < 0 then fail "negative array length %d" n;
+  Array.init n (fun _ -> get_int r)
+
+let get_value r : Value.t =
+  match get_byte r with
+  | 0 -> Value.Null
+  | 1 -> Value.Int (get_int r)
+  | 2 -> Value.Float (get_float r)
+  | 3 -> Value.Str (get_string r)
+  | 4 -> Value.Bool (get_bool r)
+  | n -> fail "bad value tag %d" n
+
+let get_row r : Row.t =
+  let n = get_int r in
+  if n < 0 then fail "negative row arity %d" n;
+  Array.init n (fun _ -> get_value r)
+
+let get_ty r =
+  match get_byte r with
+  | 0 -> Schema.Ty_int
+  | 1 -> Schema.Ty_float
+  | 2 -> Schema.Ty_string
+  | 3 -> Schema.Ty_bool
+  | n -> fail "bad type tag %d" n
+
+let get_schema r : Schema.t =
+  let n = get_int r in
+  if n < 0 then fail "negative schema arity %d" n;
+  Schema.make
+    (List.init n (fun _ ->
+         let name = get_string r in
+         let qualifier = get_string r in
+         let ty = get_ty r in
+         let nullable = get_bool r in
+         Schema.column ~qualifier ~nullable name ty))

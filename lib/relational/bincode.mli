@@ -1,0 +1,47 @@
+(** Binary codec shared by the WAL and checkpoint on-disk formats:
+    little-endian fixed-width integers, bit-pattern floats,
+    length-prefixed strings, tag bytes for sums. Strict decoding — any
+    malformed input raises {!Decode_error} (the WAL reader treats it as a
+    torn tail; the checkpoint reader as a corrupt snapshot). *)
+
+exception Decode_error of string
+
+(** {2 Encoding, into a [Buffer.t]} *)
+
+val put_int : Buffer.t -> int -> unit
+val put_u32 : Buffer.t -> int -> unit
+val put_float : Buffer.t -> float -> unit
+val put_bool : Buffer.t -> bool -> unit
+val put_string : Buffer.t -> string -> unit
+val put_option : Buffer.t -> (Buffer.t -> 'a -> unit) -> 'a option -> unit
+val put_list : Buffer.t -> (Buffer.t -> 'a -> unit) -> 'a list -> unit
+val put_int_array : Buffer.t -> int array -> unit
+val put_value : Buffer.t -> Value.t -> unit
+val put_row : Buffer.t -> Row.t -> unit
+val put_schema : Buffer.t -> Schema.t -> unit
+
+(** {2 Decoding, from a string with a mutable cursor} *)
+
+type reader
+
+(** [reader ?pos s] starts a cursor over [s] (default position 0). *)
+val reader : ?pos:int -> string -> reader
+
+(** [pos r] is the current cursor position. *)
+val pos : reader -> int
+
+(** [at_end r] is whether the cursor consumed all input. *)
+val at_end : reader -> bool
+
+val get_byte : reader -> int
+val get_int : reader -> int
+val get_u32 : reader -> int
+val get_float : reader -> float
+val get_bool : reader -> bool
+val get_string : reader -> string
+val get_option : reader -> (reader -> 'a) -> 'a option
+val get_list : reader -> (reader -> 'a) -> 'a list
+val get_int_array : reader -> int array
+val get_value : reader -> Value.t
+val get_row : reader -> Row.t
+val get_schema : reader -> Schema.t

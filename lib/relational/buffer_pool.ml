@@ -1,19 +1,26 @@
-(* LRU buffer pool over simulated pages.
+(* LRU buffer pool over pages.
 
-   The paged-storage simulation (experiment E4) maps every row of the
-   database to a page id through a {!Page.layout}; the executor's row
-   accesses are funneled here via {!Table.set_touch}. The pool tracks hits
-   and faults; a fault on a full pool evicts the least recently used page.
-   There is no data movement — only accounting — because the observable of
-   the clustering experiment is the fault count, not the bytes. *)
+   Two modes share one LRU policy:
+
+   - Accounting-only (no store attached, the original E4 simulation):
+     faults and evictions are counted but no data moves.
+   - File-backed (a {!Page_store} attached): a fault really reads the
+     page from the store into a frame, evicting a dirty victim really
+     writes it back, and [flush] writes back every dirty frame and
+     fsyncs. The observable fault counts are identical to the
+     accounting mode — attaching a store adds I/O, not policy. *)
 
 type t = {
   capacity : int;  (** number of page frames *)
   mutable clock : int;
   resident : (int, int) Hashtbl.t;  (** page id -> last-use time *)
+  frames : (int, bytes) Hashtbl.t;  (** page contents (store mode only) *)
+  dirty : (int, unit) Hashtbl.t;  (** pages needing writeback *)
+  mutable store : Page_store.t option;
   mutable faults : int;
   mutable hits : int;
   mutable evictions : int;
+  mutable writebacks : int;
 }
 
 (* every pool also feeds the process-global metrics registry, so
@@ -22,18 +29,33 @@ type t = {
 let m_hits = Obs.Metrics.counter "bufpool.hits"
 let m_faults = Obs.Metrics.counter "bufpool.faults"
 let m_evictions = Obs.Metrics.counter "bufpool.evictions"
+let m_writebacks = Obs.Metrics.counter "bufpool.writebacks"
 
-(** [create ~capacity] is an empty pool with [capacity] frames. *)
-let create ~capacity =
+(** [create ?store ~capacity ()] is an empty pool with [capacity] frames,
+    optionally backed by a page store. *)
+let create ?store ~capacity () =
   if capacity <= 0 then invalid_arg "Buffer_pool.create";
-  { capacity; clock = 0; resident = Hashtbl.create (2 * capacity); faults = 0; hits = 0;
-    evictions = 0 }
+  { capacity; clock = 0; resident = Hashtbl.create (2 * capacity);
+    frames = Hashtbl.create (2 * capacity); dirty = Hashtbl.create (2 * capacity); store;
+    faults = 0; hits = 0; evictions = 0; writebacks = 0 }
 
-(** [access pool page] records an access to [page], faulting it in (with
-    LRU eviction) when non-resident. *)
-let access pool page =
+let write_back pool page =
+  match pool.store with
+  | Some store when page >= 0 && Hashtbl.mem pool.dirty page ->
+    let data = try Hashtbl.find pool.frames page with Not_found -> Bytes.create 0 in
+    Page_store.write store page data;
+    Hashtbl.remove pool.dirty page;
+    pool.writebacks <- pool.writebacks + 1;
+    Obs.Metrics.incr m_writebacks
+  | _ -> Hashtbl.remove pool.dirty page
+
+(** [access ?dirty pool page] records an access to [page], faulting it in
+    (with LRU eviction, writing back a dirty victim) when non-resident.
+    [~dirty:true] marks the page modified so eviction or {!flush} will
+    write it to the attached store. *)
+let access ?(dirty = false) pool page =
   pool.clock <- pool.clock + 1;
-  match Hashtbl.find_opt pool.resident page with
+  (match Hashtbl.find_opt pool.resident page with
   | Some _ ->
     pool.hits <- pool.hits + 1;
     Obs.Metrics.incr m_hits;
@@ -55,10 +77,39 @@ let access pool page =
       | Some (p, _) ->
         pool.evictions <- pool.evictions + 1;
         Obs.Metrics.incr m_evictions;
-        Hashtbl.remove pool.resident p
+        write_back pool p;
+        Hashtbl.remove pool.resident p;
+        Hashtbl.remove pool.frames p
       | None -> ()
     end;
-    Hashtbl.replace pool.resident page pool.clock
+    (match pool.store with
+    (* negative ids are per-table overflow pages — not backed by the store *)
+    | Some store when page >= 0 -> Hashtbl.replace pool.frames page (Page_store.read store page)
+    | Some _ | None -> ());
+    Hashtbl.replace pool.resident page pool.clock);
+  if dirty then Hashtbl.replace pool.dirty page ()
+
+(** [page pool pid] is the resident frame content, if faulted in
+    (store mode only). *)
+let page pool pid = Hashtbl.find_opt pool.frames pid
+
+(** [set_page pool pid data] replaces a resident frame's content and
+    marks it dirty (store mode only; a non-resident page is ignored). *)
+let set_page pool pid data =
+  if Hashtbl.mem pool.resident pid then begin
+    Hashtbl.replace pool.frames pid data;
+    Hashtbl.replace pool.dirty pid ()
+  end
+
+(** [flush pool] writes every dirty frame back to the attached store and
+    fsyncs it. A no-op without a store. *)
+let flush pool =
+  match pool.store with
+  | None -> Hashtbl.reset pool.dirty
+  | Some store ->
+    let pages = Hashtbl.fold (fun p () acc -> p :: acc) pool.dirty [] in
+    List.iter (write_back pool) (List.sort compare pages);
+    Page_store.flush store
 
 (** [faults pool] is the number of page faults (misses) since
     creation/reset. *)
@@ -74,11 +125,18 @@ let misses pool = pool.faults
 (** [evictions pool] counts LRU evictions since creation/reset. *)
 let evictions pool = pool.evictions
 
-(** [reset pool] clears residency and per-pool counters (the global
-    metrics registry is left alone — reset it via [Obs.Metrics.reset]). *)
+(** [writebacks pool] counts dirty-page writes to the store. *)
+let writebacks pool = pool.writebacks
+
+(** [reset pool] clears residency, frames and per-pool counters (the
+    global metrics registry is left alone — reset it via
+    [Obs.Metrics.reset]). Dirty frames are dropped, not written back. *)
 let reset pool =
   Hashtbl.reset pool.resident;
+  Hashtbl.reset pool.frames;
+  Hashtbl.reset pool.dirty;
   pool.clock <- 0;
   pool.faults <- 0;
   pool.hits <- 0;
-  pool.evictions <- 0
+  pool.evictions <- 0;
+  pool.writebacks <- 0

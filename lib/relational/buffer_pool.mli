@@ -1,22 +1,41 @@
-(** LRU buffer pool over simulated pages.
+(** LRU buffer pool over pages, optionally file-backed.
 
-    The paged-storage simulation (experiment E4) maps every row to a page
-    id through a {!Page} layout; row accesses are funneled here via
-    {!Table.set_touch}. The pool tracks hits and faults; a fault on a full
-    pool evicts the least recently used page. Only accounting — no data
-    moves — because the clustering experiments observe fault counts. *)
+    The paged-storage layer of experiment E4 maps every row to a page id
+    through a {!Page} layout; row accesses are funneled here via
+    {!Table.set_touch}. The pool tracks hits and faults; a fault on a
+    full pool evicts the least recently used page.
+
+    Without a store the pool is pure accounting (the original
+    simulation). With a {!Page_store} attached, a fault really reads the
+    page into a frame, evicting a dirty victim really writes it back,
+    and {!flush} writes back all dirty frames and fsyncs — same policy,
+    real I/O. *)
 
 type t
 
-(** [create ~capacity] is an empty pool with [capacity] frames.
+(** [create ?store ~capacity ()] is an empty pool with [capacity] frames,
+    optionally backed by a page store.
     @raise Invalid_argument when [capacity <= 0]. *)
-val create : capacity:int -> t
+val create : ?store:Page_store.t -> capacity:int -> unit -> t
 
-(** [access pool page] records an access, faulting the page in (with LRU
-    eviction) when non-resident. Every access also feeds the global
-    metrics registry ([bufpool.hits] / [bufpool.faults] /
-    [bufpool.evictions]). *)
-val access : t -> int -> unit
+(** [access ?dirty pool page] records an access, faulting the page in
+    (with LRU eviction and dirty-victim writeback) when non-resident.
+    [~dirty:true] marks the page modified. Every access also feeds the
+    global metrics registry ([bufpool.hits] / [bufpool.faults] /
+    [bufpool.evictions] / [bufpool.writebacks]). *)
+val access : ?dirty:bool -> t -> int -> unit
+
+(** [page pool pid] is the resident frame content, if faulted in (store
+    mode only). *)
+val page : t -> int -> bytes option
+
+(** [set_page pool pid data] replaces a resident frame's content and
+    marks it dirty (store mode only; ignored when non-resident). *)
+val set_page : t -> int -> bytes -> unit
+
+(** [flush pool] writes every dirty frame back to the attached store and
+    fsyncs it; a no-op without a store. *)
+val flush : t -> unit
 
 val faults : t -> int
 val hits : t -> int
@@ -28,6 +47,10 @@ val misses : t -> int
 (** [evictions pool] counts LRU evictions since creation/reset. *)
 val evictions : t -> int
 
-(** [reset pool] clears residency and per-pool counters (global metrics
-    are left alone). *)
+(** [writebacks pool] counts dirty-page writes to the store. *)
+val writebacks : t -> int
+
+(** [reset pool] clears residency, frames and per-pool counters (global
+    metrics are left alone). Dirty frames are dropped, not written
+    back. *)
 val reset : t -> unit

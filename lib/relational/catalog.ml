@@ -90,6 +90,27 @@ let drop_view cat name =
     cat.version <- cat.version + 1
   end
 
+(** [views cat] lists registered tabular views, sorted by name. *)
+let views cat =
+  List.sort
+    (fun a b -> compare (norm a.view_name) (norm b.view_name))
+    (Hashtbl.fold (fun _ v acc -> v :: acc) cat.views [])
+
+(** [set_version cat v] forces the schema version — recovery only, which
+    must leave the version strictly above every pre-recovery value so
+    cached plans compiled before the crash can never validate. *)
+let set_version cat v = cat.version <- v
+
+(** [reset_storage cat] drops every table, tabular view and statistics
+    snapshot, keeping virtual ([sys.*]) registrations; bumps the
+    version. Recovery starts from this blank slate before restoring the
+    checkpoint image. *)
+let reset_storage cat =
+  Hashtbl.reset cat.tables;
+  Hashtbl.reset cat.views;
+  Hashtbl.reset cat.stats;
+  cat.version <- cat.version + 1
+
 (** [tables cat] lists registered tables (unordered). *)
 let tables cat = Hashtbl.fold (fun _ t acc -> t :: acc) cat.tables []
 

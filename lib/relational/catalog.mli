@@ -38,6 +38,18 @@ val add_view : t -> name:string -> Sql_ast.select -> unit
 
 val view_opt : t -> string -> view option
 val drop_view : t -> string -> unit
+
+(** [views cat] lists registered tabular views, sorted by name. *)
+val views : t -> view list
+
+(** [set_version cat v] forces the schema version (recovery only). *)
+val set_version : t -> int -> unit
+
+(** [reset_storage cat] drops every table, tabular view and statistics
+    snapshot, keeping virtual ([sys.*]) registrations (recovery's blank
+    slate). Bumps the version. *)
+val reset_storage : t -> unit
+
 val tables : t -> Table.t list
 val table_names : t -> string list
 

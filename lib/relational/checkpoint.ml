@@ -1,0 +1,242 @@
+(* Checkpoint snapshots.
+
+   A checkpoint serializes the whole logical database — tables with their
+   exact slot arrays (tombstones included, so rowid allocation survives),
+   primary keys, index definitions, tabular view texts, ANALYZE statistics
+   and opaque upper-layer sections (the XNF view registry travels in one)
+   — into a single CRC-sealed file:
+
+     magic "XNFCKPT1" | u32 body_len | u32 crc32(body) | body
+
+   Writing is atomic: the image goes to [path ^ ".tmp"], is fsynced, and
+   renamed over the target. After a successful write the WAL is truncated
+   (its history is absorbed); [im_lsn] records the WAL LSN at snapshot
+   time so replay can skip records the snapshot already contains. *)
+
+type table_image = {
+  ti_name : string;
+  ti_schema : Schema.t;
+  ti_pk : int array option;
+  ti_version : int;  (** {!Table.version} at snapshot time *)
+  ti_slots : Row.t option array;  (** exact slot array, tombstones included *)
+  ti_indexes : (string * int array * bool) list;  (** name, key cols, ordered? *)
+}
+
+type image = {
+  im_lsn : int;  (** WAL LSN at snapshot time *)
+  im_tables : table_image list;
+  im_views : (string * string) list;  (** name, re-parsable SELECT text *)
+  im_stats : Stats.table_stats list;
+  im_sections : (string * string) list;  (** opaque upper-layer (tag, payload) *)
+}
+
+exception Corrupt of string
+
+let corrupt fmt = Fmt.kstr (fun s -> raise (Corrupt s)) fmt
+
+let magic = "XNFCKPT1"
+let magic_len = String.length magic
+
+let m_checkpoints = Obs.Metrics.counter "recovery.checkpoints"
+
+(* ---- building an image from a live catalog ---- *)
+
+(** [of_catalog catalog ~lsn ~sections] snapshots the catalog's current
+    logical state. *)
+let of_catalog catalog ~lsn ~sections =
+  let tables =
+    List.map
+      (fun name ->
+        let t = Catalog.table catalog name in
+        { ti_name = Table.name t;
+          ti_schema = Table.schema t;
+          ti_pk = Table.primary_key t;
+          ti_version = Table.version t;
+          ti_slots = Array.init (Table.slot_count t) (fun i -> Table.slot t i);
+          ti_indexes =
+            List.rev_map
+              (fun idx -> (Index.name idx, Index.cols idx, Index.kind idx = Index.Ordered))
+              (Table.indexes t) })
+      (Catalog.table_names catalog)
+  in
+  let views =
+    List.map
+      (fun (v : Catalog.view) -> (v.Catalog.view_name, Fmt.str "%a" Sql_ast.pp_select v.Catalog.view_query))
+      (Catalog.views catalog)
+  in
+  { im_lsn = lsn; im_tables = tables; im_views = views; im_stats = Catalog.all_stats catalog;
+    im_sections = sections }
+
+(* ---- serialization ---- *)
+
+let put_col_stats b (cs : Stats.col_stats) =
+  Bincode.put_string b cs.Stats.cs_name;
+  Bincode.put_int b cs.Stats.cs_ndv;
+  Bincode.put_value b cs.Stats.cs_min;
+  Bincode.put_value b cs.Stats.cs_max;
+  Bincode.put_int b cs.Stats.cs_nulls;
+  Bincode.put_int b (Array.length cs.Stats.cs_hist);
+  Array.iter (Bincode.put_value b) cs.Stats.cs_hist
+
+let get_col_stats r : Stats.col_stats =
+  let cs_name = Bincode.get_string r in
+  let cs_ndv = Bincode.get_int r in
+  let cs_min = Bincode.get_value r in
+  let cs_max = Bincode.get_value r in
+  let cs_nulls = Bincode.get_int r in
+  let n = Bincode.get_int r in
+  let cs_hist = Array.init n (fun _ -> Bincode.get_value r) in
+  { Stats.cs_name; cs_ndv; cs_min; cs_max; cs_nulls; cs_hist }
+
+let put_table_stats b (ts : Stats.table_stats) =
+  Bincode.put_string b ts.Stats.ts_table;
+  Bincode.put_int b ts.Stats.ts_version;
+  Bincode.put_float b ts.Stats.ts_collected_ns;
+  Bincode.put_int b ts.Stats.ts_rowcount;
+  Bincode.put_int b (Array.length ts.Stats.ts_cols);
+  Array.iter (put_col_stats b) ts.Stats.ts_cols
+
+let get_table_stats r : Stats.table_stats =
+  let ts_table = Bincode.get_string r in
+  let ts_version = Bincode.get_int r in
+  let ts_collected_ns = Bincode.get_float r in
+  let ts_rowcount = Bincode.get_int r in
+  let n = Bincode.get_int r in
+  let ts_cols = Array.init n (fun _ -> get_col_stats r) in
+  { Stats.ts_table; ts_version; ts_collected_ns; ts_rowcount; ts_cols }
+
+let put_table b ti =
+  Bincode.put_string b ti.ti_name;
+  Bincode.put_schema b ti.ti_schema;
+  Bincode.put_option b Bincode.put_int_array ti.ti_pk;
+  Bincode.put_int b ti.ti_version;
+  Bincode.put_int b (Array.length ti.ti_slots);
+  Array.iter (fun slot -> Bincode.put_option b Bincode.put_row slot) ti.ti_slots;
+  Bincode.put_list b
+    (fun b (name, cols, ordered) ->
+      Bincode.put_string b name;
+      Bincode.put_int_array b cols;
+      Bincode.put_bool b ordered)
+    ti.ti_indexes
+
+let get_table r =
+  let ti_name = Bincode.get_string r in
+  let ti_schema = Bincode.get_schema r in
+  let ti_pk = Bincode.get_option r Bincode.get_int_array in
+  let ti_version = Bincode.get_int r in
+  let nslots = Bincode.get_int r in
+  let ti_slots = Array.init nslots (fun _ -> Bincode.get_option r Bincode.get_row) in
+  let ti_indexes =
+    Bincode.get_list r (fun r ->
+        let name = Bincode.get_string r in
+        let cols = Bincode.get_int_array r in
+        let ordered = Bincode.get_bool r in
+        (name, cols, ordered))
+  in
+  { ti_name; ti_schema; ti_pk; ti_version; ti_slots; ti_indexes }
+
+let put_pair b (a, c) =
+  Bincode.put_string b a;
+  Bincode.put_string b c
+
+let get_pair r =
+  let a = Bincode.get_string r in
+  let c = Bincode.get_string r in
+  (a, c)
+
+(** [encode image] is the full file image, header and seal included. *)
+let encode image =
+  let body = Buffer.create 4096 in
+  Bincode.put_int body image.im_lsn;
+  Bincode.put_list body put_table image.im_tables;
+  Bincode.put_list body put_pair image.im_views;
+  Bincode.put_int body (List.length image.im_stats);
+  List.iter (put_table_stats body) image.im_stats;
+  Bincode.put_list body put_pair image.im_sections;
+  let body = Buffer.contents body in
+  let b = Buffer.create (String.length body + 16) in
+  Buffer.add_string b magic;
+  Bincode.put_u32 b (String.length body);
+  Bincode.put_u32 b (Crc32.string body);
+  Buffer.add_string b body;
+  Buffer.contents b
+
+(** [decode s] parses a full file image. @raise Corrupt on any damage. *)
+let decode s =
+  if String.length s < magic_len + 8 then corrupt "checkpoint too short (%d bytes)" (String.length s);
+  if String.sub s 0 magic_len <> magic then corrupt "bad checkpoint magic";
+  let r = Bincode.reader ~pos:magic_len s in
+  let len = Bincode.get_u32 r in
+  let crc = Bincode.get_u32 r in
+  if magic_len + 8 + len <> String.length s then
+    corrupt "checkpoint length mismatch (%d body bytes expected, %d present)" len
+      (String.length s - magic_len - 8);
+  if Crc32.update 0 s (magic_len + 8) len <> crc then corrupt "checkpoint CRC mismatch";
+  try
+    let im_lsn = Bincode.get_int r in
+    let im_tables = Bincode.get_list r get_table in
+    let im_views = Bincode.get_list r get_pair in
+    let nstats = Bincode.get_int r in
+    let im_stats = List.init nstats (fun _ -> get_table_stats r) in
+    let im_sections = Bincode.get_list r get_pair in
+    { im_lsn; im_tables; im_views; im_stats; im_sections }
+  with Bincode.Decode_error msg -> corrupt "checkpoint body: %s" msg
+
+(* ---- file I/O ---- *)
+
+(** [write ~path image] writes atomically: tmp file, fsync, rename.
+    Counts [recovery.checkpoints]. *)
+let write ~path image =
+  let tmp = path ^ ".tmp" in
+  let bytes = encode image in
+  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd)
+    (fun () ->
+      ignore (Unix.write_substring fd bytes 0 (String.length bytes));
+      Unix.fsync fd);
+  Unix.rename tmp path;
+  (* best-effort directory sync so the rename itself is durable *)
+  (try
+     let dfd = Unix.openfile (Filename.dirname path) [ Unix.O_RDONLY ] 0 in
+     Fun.protect ~finally:(fun () -> Unix.close dfd) (fun () -> Unix.fsync dfd)
+   with Unix.Unix_error _ -> ());
+  Obs.Metrics.incr m_checkpoints
+
+(** [read ~path] loads a checkpoint image; [None] when the file does not
+    exist. @raise Corrupt on damage. *)
+let read ~path =
+  if not (Sys.file_exists path) then None
+  else begin
+    let ic = open_in_bin path in
+    let s =
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    Some (decode s)
+  end
+
+(** [apply image catalog] restores the snapshot into [catalog] (which
+    must not already hold any of the snapshot's names — recovery calls
+    {!Catalog.reset_storage} first). Table versions are restored exactly;
+    the caller decides whether to bump them further. *)
+let apply image catalog =
+  List.iter
+    (fun ti ->
+      let t = Catalog.create_table catalog ~name:ti.ti_name ti.ti_schema in
+      (match ti.ti_pk with None -> () | Some cols -> Table.set_primary_key t cols);
+      List.iter
+        (fun (name, cols, ordered) ->
+          ignore (Table.add_index t ~name ~cols (if ordered then Index.Ordered else Index.Hash)))
+        ti.ti_indexes;
+      Array.iteri
+        (fun rowid slot -> match slot with Some row -> Table.install t rowid row | None -> ())
+        ti.ti_slots;
+      Table.pad_slots t (Array.length ti.ti_slots);
+      Table.set_version t ti.ti_version)
+    image.im_tables;
+  List.iter
+    (fun (name, sql) -> Catalog.add_view catalog ~name (Sql_parser.parse_select sql))
+    image.im_views;
+  List.iter (fun ts -> Catalog.set_stats catalog ts) image.im_stats

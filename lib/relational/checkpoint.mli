@@ -1,0 +1,48 @@
+(** Checkpoint snapshots: the whole logical database — tables with exact
+    slot arrays (tombstones included), primary keys, index definitions,
+    tabular view texts, ANALYZE statistics, opaque upper-layer sections —
+    in one CRC-sealed file, written atomically (tmp + fsync + rename).
+
+    File layout: magic "XNFCKPT1" | u32 body_len | u32 crc32(body) | body. *)
+
+type table_image = {
+  ti_name : string;
+  ti_schema : Schema.t;
+  ti_pk : int array option;
+  ti_version : int;  (** {!Table.version} at snapshot time *)
+  ti_slots : Row.t option array;  (** exact slot array, tombstones included *)
+  ti_indexes : (string * int array * bool) list;  (** name, key cols, ordered? *)
+}
+
+type image = {
+  im_lsn : int;  (** WAL LSN at snapshot time; replay skips records at or below *)
+  im_tables : table_image list;
+  im_views : (string * string) list;  (** name, re-parsable SELECT text *)
+  im_stats : Stats.table_stats list;
+  im_sections : (string * string) list;  (** opaque upper-layer (tag, payload) *)
+}
+
+exception Corrupt of string
+
+(** [of_catalog catalog ~lsn ~sections] snapshots the catalog's current
+    logical state. *)
+val of_catalog : Catalog.t -> lsn:int -> sections:(string * string) list -> image
+
+(** [encode image] is the full file image (header and CRC seal included). *)
+val encode : image -> string
+
+(** [decode s] parses a full file image. @raise Corrupt on any damage. *)
+val decode : string -> image
+
+(** [write ~path image] writes atomically (tmp, fsync, rename); counts
+    [recovery.checkpoints]. *)
+val write : path:string -> image -> unit
+
+(** [read ~path] is the stored image, [None] when the file is absent.
+    @raise Corrupt on damage. *)
+val read : path:string -> image option
+
+(** [apply image catalog] restores the snapshot into a blank catalog
+    (tables, PKs, indexes, rows at exact rowids, views, stats). Table
+    versions are restored exactly. *)
+val apply : image -> Catalog.t -> unit

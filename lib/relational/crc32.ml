@@ -1,0 +1,27 @@
+(* CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), table-driven.
+
+   Used to frame WAL records and to seal checkpoint snapshots: a torn or
+   bit-flipped tail must be detectable without trusting anything beyond
+   the frame header itself. *)
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           if !c land 1 = 1 then c := 0xEDB88320 lxor (!c lsr 1) else c := !c lsr 1
+         done;
+         !c))
+
+(** [update crc s pos len] folds [len] bytes of [s] starting at [pos] into
+    a running CRC (start from [0]). *)
+let update crc s pos len =
+  let table = Lazy.force table in
+  let c = ref (crc lxor 0xFFFFFFFF) in
+  for i = pos to pos + len - 1 do
+    c := table.((!c lxor Char.code s.[i]) land 0xFF) lxor (!c lsr 8)
+  done;
+  !c lxor 0xFFFFFFFF
+
+(** [string s] is the CRC-32 of the whole string. *)
+let string s = update 0 s 0 (String.length s)

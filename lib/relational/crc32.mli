@@ -1,0 +1,9 @@
+(** CRC-32 (IEEE, reflected 0xEDB88320) over strings — seals WAL frames
+    and checkpoint snapshots against torn writes and bit flips. *)
+
+(** [update crc s pos len] folds [len] bytes of [s] at [pos] into a
+    running CRC; start from [0]. *)
+val update : int -> string -> int -> int -> int
+
+(** [string s] is the CRC-32 of all of [s]. *)
+val string : string -> int

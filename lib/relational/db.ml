@@ -11,6 +11,13 @@ type t = {
   txn : Txn.t;
   mutable rewrite_enabled : bool;
   mutable stmt_count : int;  (** statements executed through [exec]/[query] *)
+  mutable data_dir : string option;  (** durable home: wal.log + checkpoint.db *)
+  mutable ckpt_extra : (unit -> (string * string) list) option;
+      (** upper-layer checkpoint sections (the XNF view registry) *)
+  mutable ext_handler : (tag:string -> payload:string -> unit) option;
+      (** upper-layer consumer of recovered R_ext records / sections *)
+  mutable pending_ext : (string * string) list;
+      (** recovered ext payloads awaiting a handler, oldest first *)
 }
 
 type result = { rschema : Schema.t; rrows : Row.t list }
@@ -26,12 +33,149 @@ let err fmt = Fmt.kstr (fun s -> raise (Exec_error s)) fmt
 
 let m_stmts = Obs.Metrics.counter "db.stmts"
 let m_rows_returned = Obs.Metrics.counter "db.rows_returned"
+let m_recoveries = Obs.Metrics.counter "recovery.recoveries"
+let m_replayed = Obs.Metrics.counter "recovery.wal_replayed"
+let g_ckpt_lsn = Obs.Metrics.gauge "recovery.checkpoint_lsn"
 
-(** [create ()] is a fresh, empty database session. *)
-let create () =
+(* ---- durability: checkpoint + recovery ---- *)
+
+let wal_file dir = Filename.concat dir "wal.log"
+let ckpt_file dir = Filename.concat dir "checkpoint.db"
+
+let rec mkdir_p dir =
+  if dir = "" || dir = "." || dir = "/" || Sys.file_exists dir then ()
+  else begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+type recovery_stats = {
+  rs_checkpoint_lsn : int;
+  rs_replayed : int;
+  rs_truncated_bytes : int;
+}
+
+let set_checkpoint_extra db f = db.ckpt_extra <- f
+
+(* Recovered ext payloads are delivered in original order; when no handler
+   is installed yet (the XNF layer attaches after [create]) they queue in
+   [pending_ext] and flush when the handler arrives. *)
+let deliver_ext db items =
+  match db.ext_handler with
+  | Some h -> List.iter (fun (tag, payload) -> h ~tag ~payload) items
+  | None -> db.pending_ext <- db.pending_ext @ items
+
+let set_ext_handler db h =
+  db.ext_handler <- h;
+  match h with
+  | Some f when db.pending_ext <> [] ->
+    let items = db.pending_ext in
+    db.pending_ext <- [];
+    List.iter (fun (tag, payload) -> f ~tag ~payload) items
+  | _ -> ()
+
+(** [recover db] rebuilds the logical state from the data directory: load
+    the last checkpoint, truncate the WAL's torn tail, replay records past
+    the checkpoint LSN to the last committed transaction, re-attach the
+    log, and floor every schema/table version strictly above its
+    pre-recovery value so cached plans and results invalidate. *)
+let recover db =
+  match db.data_dir with
+  | None -> err "no data directory attached (open the session with a data dir)"
+  | Some dir ->
+    if Txn.in_txn db.txn then err "cannot recover inside a transaction";
+    let prev_tables =
+      List.map
+        (fun t -> (String.lowercase_ascii (Table.name t), Table.version t))
+        (Catalog.tables db.catalog)
+    in
+    let prev_cat = Catalog.version db.catalog in
+    Wal.close (Txn.wal db.txn);
+    Catalog.reset_storage db.catalog;
+    db.pending_ext <- [];
+    let ck_lsn, sections =
+      match Checkpoint.read ~path:(ckpt_file dir) with
+      | None -> (0, [])
+      | Some im ->
+        Checkpoint.apply im db.catalog;
+        (im.Checkpoint.im_lsn, im.Checkpoint.im_sections)
+    in
+    let loaded = Wal.load ~path:(wal_file dir) in
+    if loaded.Wal.ld_total > loaded.Wal.ld_valid then
+      Wal.truncate_path ~path:(wal_file dir) loaded.Wal.ld_valid;
+    let exts = ref [] in
+    let replayable =
+      List.filter (fun (lsn, _) -> lsn > ck_lsn) loaded.Wal.ld_records
+    in
+    Wal.replay_records
+      ~on_ext:(fun ~tag ~payload -> exts := (tag, payload) :: !exts)
+      db.catalog (List.map snd replayable);
+    let max_lsn =
+      List.fold_left (fun acc (lsn, _) -> max acc lsn) ck_lsn loaded.Wal.ld_records
+    in
+    Txn.swap_wal db.txn (Wal.open_file ~path:(wal_file dir) ~lsn:max_lsn);
+    List.iter
+      (fun t ->
+        match List.assoc_opt (String.lowercase_ascii (Table.name t)) prev_tables with
+        | Some prev when Table.version t <= prev -> Table.set_version t (prev + 1)
+        | _ -> ())
+      (Catalog.tables db.catalog);
+    if Catalog.version db.catalog <= prev_cat then
+      Catalog.set_version db.catalog (prev_cat + 1);
+    Index.bump_epoch ();
+    deliver_ext db (sections @ List.rev !exts);
+    Obs.Metrics.incr m_recoveries;
+    Obs.Metrics.incr ~by:(List.length replayable) m_replayed;
+    Obs.Metrics.set g_ckpt_lsn (float_of_int ck_lsn);
+    { rs_checkpoint_lsn = ck_lsn;
+      rs_replayed = List.length replayable;
+      rs_truncated_bytes = loaded.Wal.ld_total - loaded.Wal.ld_valid }
+
+(** [checkpoint db] snapshots the whole logical state to
+    [checkpoint.db] (atomic tmp+rename) and truncates the WAL, whose
+    history the snapshot absorbs. Returns the checkpoint LSN. *)
+let checkpoint db =
+  match db.data_dir with
+  | None -> err "no data directory attached (open the session with a data dir)"
+  | Some dir ->
+    if Txn.in_txn db.txn then err "cannot checkpoint inside a transaction";
+    let wal = Txn.wal db.txn in
+    Wal.sync wal;
+    let sections = match db.ckpt_extra with None -> [] | Some f -> f () in
+    let image = Checkpoint.of_catalog db.catalog ~lsn:(Wal.lsn wal) ~sections in
+    Checkpoint.write ~path:(ckpt_file dir) image;
+    Wal.truncate_file wal;
+    Obs.Metrics.set g_ckpt_lsn (float_of_int image.Checkpoint.im_lsn);
+    image.Checkpoint.im_lsn
+
+(** [create ?data_dir ()] is a fresh database session. With [data_dir]
+    the session is durable: the directory is created if needed, an
+    existing checkpoint/WAL pair is recovered, and all further changes
+    are logged to [data_dir]/wal.log. *)
+let create ?data_dir () =
   let catalog = Catalog.create () in
   Sys_catalog.install catalog;
-  { catalog; txn = Txn.create catalog; rewrite_enabled = true; stmt_count = 0 }
+  let db =
+    { catalog; txn = Txn.create catalog; rewrite_enabled = true; stmt_count = 0;
+      data_dir; ckpt_extra = None; ext_handler = None; pending_ext = [] }
+  in
+  (match data_dir with
+  | None -> ()
+  | Some dir ->
+    mkdir_p dir;
+    if Sys.file_exists (ckpt_file dir) || Sys.file_exists (wal_file dir) then
+      ignore (recover db)
+    else Txn.swap_wal db.txn (Wal.open_file ~path:(wal_file dir) ~lsn:0));
+  db
+
+(** [data_dir db] is the attached durable directory, if any. *)
+let data_dir db = db.data_dir
+
+(** [with_statement db f] runs [f] under the implicit statement-commit
+    envelope (see {!Txn.statement}) — multi-record callers outside
+    [exec] (the XNF udi layer) use it to keep frame boundaries
+    statement-consistent. *)
+let with_statement db f = Txn.statement db.txn f
 
 (** [catalog db] exposes the catalog (for the XNF layer and tests). *)
 let catalog db = db.catalog
@@ -239,6 +383,8 @@ let exec_create_table db (name, col_defs) =
     Table.set_primary_key table cols;
     ignore (Table.add_index table ~name:(name ^ "_pk") ~cols Index.Hash)
   end;
+  Txn.log_meta db.txn
+    (Wal.R_create_table { name; schema = Table.schema table; pk = Table.primary_key table });
   Done (Printf.sprintf "created table %s" name)
 
 let exec_stmt_ast db (stmt : Sql_ast.stmt) : exec_result =
@@ -249,44 +395,47 @@ let exec_stmt_ast db (stmt : Sql_ast.stmt) : exec_result =
     (* query_ast counts it *)
     Rows (query_ast db q)
   | Sql_ast.S_insert { ins_table; ins_cols; ins_values } ->
-    let table = Catalog.table db.catalog ins_table in
-    let schema = Table.schema table in
-    let positions =
-      match ins_cols with
-      | None -> List.init (Schema.arity schema) Fun.id
-      | Some cols -> List.map (fun c -> Schema.find schema c) cols
-    in
-    let count = ref 0 in
-    List.iter
-      (fun exprs ->
-        if List.length exprs <> List.length positions then
-          err "INSERT arity mismatch on %s" ins_table;
-        let row = Array.make (Schema.arity schema) Value.Null in
-        List.iter2 (fun pos e -> row.(pos) <- eval_const db e) positions exprs;
-        ignore (insert_row db table row);
-        incr count)
-      ins_values;
-    Affected !count
+    Txn.statement db.txn (fun () ->
+        let table = Catalog.table db.catalog ins_table in
+        let schema = Table.schema table in
+        let positions =
+          match ins_cols with
+          | None -> List.init (Schema.arity schema) Fun.id
+          | Some cols -> List.map (fun c -> Schema.find schema c) cols
+        in
+        let count = ref 0 in
+        List.iter
+          (fun exprs ->
+            if List.length exprs <> List.length positions then
+              err "INSERT arity mismatch on %s" ins_table;
+            let row = Array.make (Schema.arity schema) Value.Null in
+            List.iter2 (fun pos e -> row.(pos) <- eval_const db e) positions exprs;
+            ignore (insert_row db table row);
+            incr count)
+          ins_values;
+        Affected !count)
   | Sql_ast.S_update { upd_table; upd_sets; upd_where } ->
-    let table = Catalog.table db.catalog upd_table in
-    let schema = Schema.requalify (Table.name table) (Table.schema table) in
-    let env = bind_env db in
-    let sets =
-      List.map (fun (c, e) -> (Schema.find schema c, Binder.bind_expr env schema e)) upd_sets
-    in
-    let victims = matching_rows db table upd_where in
-    List.iter
-      (fun (rowid, row) ->
-        let row' = Array.copy row in
-        List.iter (fun (pos, e) -> row'.(pos) <- Expr.eval row e) sets;
-        ignore (update_row db table rowid row'))
-      victims;
-    Affected (List.length victims)
+    Txn.statement db.txn (fun () ->
+        let table = Catalog.table db.catalog upd_table in
+        let schema = Schema.requalify (Table.name table) (Table.schema table) in
+        let env = bind_env db in
+        let sets =
+          List.map (fun (c, e) -> (Schema.find schema c, Binder.bind_expr env schema e)) upd_sets
+        in
+        let victims = matching_rows db table upd_where in
+        List.iter
+          (fun (rowid, row) ->
+            let row' = Array.copy row in
+            List.iter (fun (pos, e) -> row'.(pos) <- Expr.eval row e) sets;
+            ignore (update_row db table rowid row'))
+          victims;
+        Affected (List.length victims))
   | Sql_ast.S_delete { del_table; del_where } ->
-    let table = Catalog.table db.catalog del_table in
-    let victims = matching_rows db table del_where in
-    List.iter (fun (rowid, _) -> ignore (delete_row db table rowid)) victims;
-    Affected (List.length victims)
+    Txn.statement db.txn (fun () ->
+        let table = Catalog.table db.catalog del_table in
+        let victims = matching_rows db table del_where in
+        List.iter (fun (rowid, _) -> ignore (delete_row db table rowid)) victims;
+        Affected (List.length victims))
   | Sql_ast.S_create_table { ct_name; ct_cols } -> exec_create_table db (ct_name, ct_cols)
   | Sql_ast.S_create_index { ci_name; ci_table; ci_cols; ci_ordered } ->
     let table = Catalog.table db.catalog ci_table in
@@ -294,23 +443,30 @@ let exec_stmt_ast db (stmt : Sql_ast.stmt) : exec_result =
     let cols = Array.of_list (List.map (fun c -> Schema.find schema c) ci_cols) in
     let kind = if ci_ordered then Index.Ordered else Index.Hash in
     ignore (Table.add_index table ~name:ci_name ~cols kind);
+    Txn.log_meta db.txn
+      (Wal.R_create_index { table = ci_table; index = ci_name; cols; ordered = ci_ordered });
     Done (Printf.sprintf "created index %s" ci_name)
   | Sql_ast.S_create_view { cv_name; cv_query } ->
     (* validate eagerly so errors surface at definition time *)
     ignore (bind_select db cv_query);
     Catalog.add_view db.catalog ~name:cv_name cv_query;
+    Txn.log_meta db.txn
+      (Wal.R_create_view { name = cv_name; sql = Fmt.str "%a" Sql_ast.pp_select cv_query });
     Done (Printf.sprintf "created view %s" cv_name)
   | Sql_ast.S_drop_table name ->
     Catalog.drop_table db.catalog name;
+    Txn.log_meta db.txn (Wal.R_drop_table name);
     Done (Printf.sprintf "dropped table %s" name)
   | Sql_ast.S_drop_view name ->
     Catalog.drop_view db.catalog name;
+    Txn.log_meta db.txn (Wal.R_drop_view name);
     Done (Printf.sprintf "dropped view %s" name)
   | Sql_ast.S_drop_index name ->
     let dropped =
       List.exists (fun table -> Table.drop_index table ~name) (Catalog.tables db.catalog)
     in
     if not dropped then err "unknown index %s" name;
+    Txn.log_meta db.txn (Wal.R_drop_index name);
     Done (Printf.sprintf "dropped index %s" name)
   | Sql_ast.S_explain q -> Done (explain_ast db q)
   | Sql_ast.S_analyze target ->

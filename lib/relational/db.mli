@@ -16,11 +16,49 @@ type exec_result =
 
 exception Exec_error of string
 
-(** [create ()] is a fresh, empty database session. *)
-val create : unit -> t
+(** [create ?data_dir ()] is a fresh database session. With [data_dir] the
+    session is durable: the directory is created if needed, an existing
+    checkpoint/WAL pair is recovered, and every change is logged to
+    [data_dir]/wal.log. *)
+val create : ?data_dir:string -> unit -> t
 
 val catalog : t -> Catalog.t
 val txn : t -> Txn.t
+
+(** [data_dir db] is the attached durable directory, if any. *)
+val data_dir : t -> string option
+
+type recovery_stats = {
+  rs_checkpoint_lsn : int;  (** LSN of the checkpoint recovery started from *)
+  rs_replayed : int;  (** WAL records replayed past the checkpoint *)
+  rs_truncated_bytes : int;  (** torn-tail bytes cut from the log *)
+}
+
+(** [checkpoint db] snapshots the whole logical state into
+    [data_dir]/checkpoint.db (atomically: tmp + fsync + rename) and
+    truncates the WAL. Returns the checkpoint LSN.
+    @raise Exec_error without a data dir or inside a transaction. *)
+val checkpoint : t -> int
+
+(** [recover db] rebuilds state from the data directory: last checkpoint,
+    torn-tail truncation, replay to the last committed transaction, and
+    version floors that invalidate stale cached plans/results.
+    @raise Exec_error without a data dir or inside a transaction. *)
+val recover : t -> recovery_stats
+
+(** [set_checkpoint_extra db f] registers a provider of opaque upper-layer
+    checkpoint sections (the XNF view registry snapshot). *)
+val set_checkpoint_extra : t -> (unit -> (string * string) list) option -> unit
+
+(** [set_ext_handler db h] registers the consumer of recovered [R_ext]
+    payloads and checkpoint sections; payloads recovered before a handler
+    is installed queue and flush on installation, in original order. *)
+val set_ext_handler : t -> (tag:string -> payload:string -> unit) option -> unit
+
+(** [with_statement db f] runs [f] under the implicit statement-commit
+    envelope ({!Txn.statement}); multi-record callers outside [exec] use
+    it so every durable frame boundary stays statement-consistent. *)
+val with_statement : t -> (unit -> 'a) -> 'a
 
 (** [set_rewrite db flag] enables/disables the QGM rewrite phase (the E7
     ablation). *)

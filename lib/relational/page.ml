@@ -80,6 +80,40 @@ let co_clustered ~rows_per_page ~order tables =
     tables;
   layout
 
+(** [materialize layout store tables] writes the actual row data into the
+    backing store, page by page, in the layout's clustered order: each
+    page image is the Bincode encoding of its resident rows (truncated to
+    the page size — the layout's fixed [rows_per_page] abstracts packing,
+    the store makes the I/O real). Returns the number of pages written. *)
+let materialize layout store tables =
+  let images = Hashtbl.create 256 in
+  List.iter
+    (fun table ->
+      Table.iter
+        (fun rowid row ->
+          let pid = page_of layout table rowid in
+          if pid >= 0 then begin
+          let buf =
+            match Hashtbl.find_opt images pid with
+            | Some b -> b
+            | None ->
+              let b = Buffer.create (Page_store.page_bytes store) in
+              Hashtbl.replace images pid b;
+              b
+          in
+          Bincode.put_string buf (Table.name table);
+          Bincode.put_int buf rowid;
+          Bincode.put_row buf row
+          end)
+        table)
+    tables;
+  let pages = Hashtbl.fold (fun pid _ acc -> pid :: acc) images [] in
+  List.iter
+    (fun pid -> Page_store.write store pid (Buffer.to_bytes (Hashtbl.find images pid)))
+    (List.sort compare pages);
+  Page_store.flush store;
+  List.length pages
+
 (** [attach layout pool tables] wires the layout to a buffer pool: every row
     access on [tables] becomes a page access on [pool]. Returns a function
     that detaches the hooks. *)

@@ -26,6 +26,12 @@ val table_clustered : rows_per_page:int -> Table.t list -> t
     CO instance — then appends unvisited rows table-clustered. *)
 val co_clustered : rows_per_page:int -> order:(Table.t * int) list -> Table.t list -> t
 
+(** [materialize layout store tables] writes the actual row data into the
+    backing store page by page in the layout's clustered order (each page
+    image is the Bincode encoding of its resident rows); returns the
+    number of pages written. Rows on overflow pages are skipped. *)
+val materialize : t -> Page_store.t -> Table.t list -> int
+
 (** [attach layout pool tables] wires the layout to a buffer pool: every
     row access on [tables] becomes a page access. Returns the detach
     function. *)

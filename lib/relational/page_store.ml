@@ -1,0 +1,80 @@
+(* File-backed page store: fixed-size pages in a single file.
+
+   Page [i] lives at byte offset [i * page_bytes]. Reads past the end of
+   file are zero-filled so a fresh store presents as all-empty pages;
+   writes extend the file as needed. The store does no caching at all —
+   that is {!Buffer_pool}'s job — so every [read]/[write] here is a real
+   pread/pwrite, which is exactly what experiment E4 measures. *)
+
+type t = {
+  path : string;
+  fd : Unix.file_descr;
+  page_bytes : int;
+  mutable reads : int;
+  mutable writes : int;
+  mutable closed : bool;
+}
+
+let m_reads = Obs.Metrics.counter "pagestore.reads"
+let m_writes = Obs.Metrics.counter "pagestore.writes"
+let m_flushes = Obs.Metrics.counter "pagestore.flushes"
+let m_bytes_read = Obs.Metrics.counter "pagestore.bytes_read"
+let m_bytes_written = Obs.Metrics.counter "pagestore.bytes_written"
+
+(** [create ~path ~page_bytes] opens (creating if necessary) the store. *)
+let create ~path ~page_bytes =
+  if page_bytes <= 0 then invalid_arg "Page_store.create";
+  let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 in
+  { path; fd; page_bytes; reads = 0; writes = 0; closed = false }
+
+let page_bytes store = store.page_bytes
+let path store = store.path
+
+(** [read store pid] is page [pid]'s content, zero-filled beyond EOF. *)
+let read store pid =
+  if store.closed then invalid_arg "Page_store.read: closed";
+  let buf = Bytes.make store.page_bytes '\000' in
+  ignore (Unix.lseek store.fd (pid * store.page_bytes) Unix.SEEK_SET);
+  let rec fill off =
+    if off < store.page_bytes then begin
+      let n = Unix.read store.fd buf off (store.page_bytes - off) in
+      if n > 0 then fill (off + n)
+    end
+  in
+  fill 0;
+  store.reads <- store.reads + 1;
+  Obs.Metrics.incr m_reads;
+  Obs.Metrics.incr ~by:store.page_bytes m_bytes_read;
+  buf
+
+(** [write store pid data] overwrites page [pid], padding or truncating
+    [data] to the page size. *)
+let write store pid data =
+  if store.closed then invalid_arg "Page_store.write: closed";
+  let page = Bytes.make store.page_bytes '\000' in
+  Bytes.blit data 0 page 0 (min (Bytes.length data) store.page_bytes);
+  ignore (Unix.lseek store.fd (pid * store.page_bytes) Unix.SEEK_SET);
+  let rec drain off =
+    if off < store.page_bytes then
+      drain (off + Unix.write store.fd page off (store.page_bytes - off))
+  in
+  drain 0;
+  store.writes <- store.writes + 1;
+  Obs.Metrics.incr m_writes;
+  Obs.Metrics.incr ~by:store.page_bytes m_bytes_written
+
+(** [flush store] fsyncs the backing file. *)
+let flush store =
+  if not store.closed then begin
+    Unix.fsync store.fd;
+    Obs.Metrics.incr m_flushes
+  end
+
+let close store =
+  if not store.closed then begin
+    store.closed <- true;
+    Unix.close store.fd
+  end
+
+let reads store = store.reads
+let writes store = store.writes

@@ -1,0 +1,36 @@
+(** File-backed page store: fixed-size pages in a single file.
+
+    The storage backend under {!Buffer_pool} when a layout is
+    materialized ({!Page.materialize}): page [i] occupies bytes
+    [i * page_bytes .. (i+1) * page_bytes) of the file. Reads of pages
+    beyond the end of file come back zero-filled (a fresh store is all
+    empty pages). Traffic is counted in the global metrics registry as
+    [pagestore.reads] / [pagestore.writes] / [pagestore.flushes] plus
+    [pagestore.bytes_read] / [pagestore.bytes_written]. *)
+
+type t
+
+(** [create ~path ~page_bytes] opens (creating if necessary) the store.
+    @raise Invalid_argument when [page_bytes <= 0]. *)
+val create : path:string -> page_bytes:int -> t
+
+val page_bytes : t -> int
+val path : t -> string
+
+(** [read store pid] is the current content of page [pid] (always
+    [page_bytes] long; zero-filled beyond the end of file). *)
+val read : t -> int -> bytes
+
+(** [write store pid data] overwrites page [pid]. [data] is truncated or
+    zero-padded to the page size. Buffered by the OS until {!flush}. *)
+val write : t -> int -> bytes -> unit
+
+(** [flush store] fsyncs the file. *)
+val flush : t -> unit
+
+val close : t -> unit
+
+(** Per-store traffic since [create]. *)
+
+val reads : t -> int
+val writes : t -> int

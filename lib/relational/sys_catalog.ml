@@ -136,6 +136,27 @@ let slow_queries () =
       col "rows" Schema.Ty_int; col "at_s" Schema.Ty_float ]
     rows
 
+(* sys.recovery: the durability counters in one stable two-column shape —
+   checkpoints written, recoveries run, WAL records replayed/appended,
+   sync calls, torn-tail bytes truncated, last checkpoint LSN. *)
+let recovery () =
+  let c n = Value.Int (Obs.Metrics.counter_get n) in
+  let rows =
+    [ [| Value.Str "checkpoints"; c "recovery.checkpoints" |];
+      [| Value.Str "recoveries"; c "recovery.recoveries" |];
+      [| Value.Str "wal.replayed"; c "recovery.wal_replayed" |];
+      [| Value.Str "wal.appends"; c "wal.appends" |];
+      [| Value.Str "wal.syncs"; c "wal.syncs" |];
+      [| Value.Str "wal.truncated_bytes"; c "wal.truncated_bytes" |];
+      [| Value.Str "checkpoint_lsn";
+         Value.Int
+           (int_of_float
+              (Obs.Metrics.gauge_value (Obs.Metrics.gauge "recovery.checkpoint_lsn"))) |] ]
+  in
+  make ~name:"sys.recovery"
+    [ col "name" Schema.Ty_string; col "value" Schema.Ty_int ]
+    rows
+
 (* sys.tables: one row per base table; [analyzed] is true only when a
    stats snapshot exists AND is still fresh (collected at the live table
    version). *)
@@ -233,6 +254,7 @@ let install cat =
   Catalog.register_virtual cat ~name:"sys.spans" spans;
   Catalog.register_virtual cat ~name:"sys.statements" statements;
   Catalog.register_virtual cat ~name:"sys.slow_queries" slow_queries;
+  Catalog.register_virtual cat ~name:"sys.recovery" recovery;
   Catalog.register_virtual cat ~name:"sys.tables" (tables cat);
   Catalog.register_virtual cat ~name:"sys.indexes" (indexes cat);
   Catalog.register_virtual cat ~name:"sys.column_stats" (column_stats cat)

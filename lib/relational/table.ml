@@ -63,6 +63,47 @@ let insert t row =
   List.iter (fun idx -> Index.insert idx row rowid) t.indexes;
   rowid
 
+(** [install t rowid row] materializes [row] at exactly [rowid] —
+    recovery replay, where row ids must be preserved. The vector grows
+    with tombstones as needed; a live occupant is replaced (its index
+    entries removed first).
+    @raise Schema_violation on invalid [row]. *)
+let install t rowid row =
+  check_row t row;
+  if rowid < 0 then invalid_arg "Table.install: negative rowid";
+  while Vec.length t.rows <= rowid do
+    Vec.push t.rows None
+  done;
+  (match Vec.get t.rows rowid with
+  | Some old ->
+    t.live <- t.live - 1;
+    List.iter (fun idx -> Index.remove idx old rowid) t.indexes
+  | None -> ());
+  Vec.set t.rows rowid (Some row);
+  t.live <- t.live + 1;
+  t.version <- t.version + 1;
+  List.iter (fun idx -> Index.insert idx row rowid) t.indexes
+
+(** [pad_slots t n] extends the slot vector with tombstones until it has
+    at least [n] slots — checkpoint restore reproducing trailing deleted
+    slots, so the next insert gets the same rowid it would have live. *)
+let pad_slots t n =
+  while Vec.length t.rows < n do
+    Vec.push t.rows None
+  done
+
+(** [slot_count t] is the total number of slots (live + tombstoned). *)
+let slot_count t = Vec.length t.rows
+
+(** [slot t rowid] is the raw slot content, without touch notification —
+    checkpoint serialization. *)
+let slot t rowid = if rowid < 0 || rowid >= Vec.length t.rows then None else Vec.get t.rows rowid
+
+(** [set_version t v] forces the version counter — recovery restoring a
+    checkpointed version, or bumping past a pre-recovery one so caches
+    notice. *)
+let set_version t v = t.version <- v
+
 (** [get t rowid] is the live row at [rowid], if any. *)
 let get t rowid =
   if rowid < 0 || rowid >= Vec.length t.rows then None

@@ -26,6 +26,25 @@ val set_touch : t -> (int -> unit) option -> unit
     @raise Schema_violation on arity/type/nullability errors. *)
 val insert : t -> Row.t -> int
 
+(** [install t rowid row] materializes [row] at exactly [rowid]
+    (recovery replay; preserves row ids). Grows the slot vector with
+    tombstones; replaces a live occupant.
+    @raise Schema_violation on invalid [row]. *)
+val install : t -> int -> Row.t -> unit
+
+(** [pad_slots t n] extends the slot vector with tombstones to at least
+    [n] slots (checkpoint restore of trailing deletions). *)
+val pad_slots : t -> int -> unit
+
+(** [slot_count t] is the total slot count, live + tombstoned. *)
+val slot_count : t -> int
+
+(** [slot t rowid] is the raw slot content (no touch notification). *)
+val slot : t -> int -> Row.t option
+
+(** [set_version t v] forces the version counter (recovery only). *)
+val set_version : t -> int -> unit
+
 (** [get t rowid] is the live row at [rowid], if any (notifies touch). *)
 val get : t -> int -> Row.t option
 

@@ -4,14 +4,22 @@
    one, DML records accumulate; ROLLBACK undoes them newest-first using the
    before-images in the log. The single-session engine needs no locking;
    the XNF cache layer (lib/core) adds optimistic validation on top via
-   table versions. *)
+   table versions.
+
+   Statement atomicity for durability: an auto-committed statement that
+   logs more than zero DML records is wrapped in an implicit
+   R_begin/R_commit envelope (see {!statement}), so every frame boundary
+   in the durable log corresponds to a statement-consistent state — the
+   invariant the crash-point oracle checks at every truncation offset. *)
 
 type t = {
-  wal : Wal.t;
+  mutable wal : Wal.t;
   catalog : Catalog.t;
   mutable active : int option;  (** current transaction id *)
   mutable next_id : int;
   mutable pending : Wal.record list;  (** records of the active txn, newest first *)
+  mutable envelope : int option;  (** implicit statement-envelope txn id *)
+  mutable envelope_begun : bool;  (** R_begin emitted for the envelope? *)
 }
 
 exception Txn_error of string
@@ -20,11 +28,24 @@ let m_begins = Obs.Metrics.counter "txn.begins"
 let m_commits = Obs.Metrics.counter "txn.commits"
 let m_aborts = Obs.Metrics.counter "txn.aborts"
 
-(** [create catalog] is a transaction manager logging to a fresh WAL. *)
-let create catalog = { wal = Wal.create (); catalog; active = None; next_id = 1; pending = [] }
+(** [create ?wal catalog] is a transaction manager logging to [wal]
+    (default: a fresh in-memory WAL). *)
+let create ?wal catalog =
+  { wal = (match wal with Some w -> w | None -> Wal.create ()); catalog; active = None;
+    next_id = 1; pending = []; envelope = None; envelope_begun = false }
 
 (** [wal t] exposes the log (for recovery tests and inspection). *)
 let wal t = t.wal
+
+(** [swap_wal t wal] repoints the manager at a new log — recovery
+    replacing the replayed log with a freshly attached one. Any active
+    transaction or statement envelope is discarded. *)
+let swap_wal t wal =
+  t.wal <- wal;
+  t.active <- None;
+  t.pending <- [];
+  t.envelope <- None;
+  t.envelope_begun <- false
 
 (** [in_txn t] is whether an explicit transaction is open. *)
 let in_txn t = Option.is_some t.active
@@ -63,9 +84,51 @@ let rollback t =
     t.active <- None;
     t.pending <- []
 
+(** [statement t f] runs [f] under an implicit commit envelope when no
+    explicit transaction is open: the first DML record logged inside
+    emits R_begin lazily, and R_commit follows when [f] returns — one
+    sync point per statement instead of one per record, and a durable
+    log whose every frame boundary is statement-consistent. If [f]
+    raises after logging records, the partial work is still committed
+    (matching live semantics, where a failed statement leaves its
+    already-applied changes) and the exception rethrown. Inside an
+    explicit transaction, or nested, [f] just runs. *)
+let statement t f =
+  if in_txn t || Option.is_some t.envelope then f ()
+  else begin
+    let id = t.next_id in
+    t.next_id <- id + 1;
+    t.envelope <- Some id;
+    t.envelope_begun <- false;
+    let finish () =
+      if t.envelope_begun then ignore (Wal.append t.wal (Wal.R_commit id));
+      t.envelope <- None;
+      t.envelope_begun <- false
+    in
+    match f () with
+    | v ->
+      finish ();
+      v
+    | exception e ->
+      finish ();
+      raise e
+  end
+
 (** [log_dml t r] appends a DML record, tracking it for rollback when a
     transaction is open. Call after validating, before or after applying —
-    records carry explicit images so ordering does not matter here. *)
+    records carry explicit images so ordering does not matter here.
+    Outside any transaction or envelope the record auto-commits: its
+    append is a sync point. *)
 let log_dml t r =
-  ignore (Wal.append t.wal r);
+  (match t.envelope with
+  | Some id when not t.envelope_begun ->
+    ignore (Wal.append t.wal (Wal.R_begin id));
+    t.envelope_begun <- true
+  | _ -> ());
+  let autocommit = t.active = None && t.envelope = None in
+  ignore (Wal.append ~sync:autocommit t.wal r);
   if in_txn t then t.pending <- r :: t.pending
+
+(** [log_meta t r] appends a DDL/meta record (always applied on replay,
+    never undone by rollback). DDL records are their own sync points. *)
+let log_meta t r = ignore (Wal.append t.wal r)

@@ -1,15 +1,22 @@
 (** Transaction manager: explicit BEGIN/COMMIT/ROLLBACK with WAL-based
-    undo. Outside an explicit transaction every statement auto-commits. *)
+    undo. Outside an explicit transaction every statement auto-commits
+    (multi-record statements under an implicit commit envelope — see
+    {!statement}). *)
 
 type t
 
 exception Txn_error of string
 
-(** [create catalog] is a transaction manager logging to a fresh WAL. *)
-val create : Catalog.t -> t
+(** [create ?wal catalog] is a transaction manager logging to [wal]
+    (default: a fresh in-memory WAL). *)
+val create : ?wal:Wal.t -> Catalog.t -> t
 
 (** [wal t] exposes the log (recovery tests, inspection). *)
 val wal : t -> Wal.t
+
+(** [swap_wal t wal] repoints the manager at a new log (recovery);
+    discards any active transaction or envelope. *)
+val swap_wal : t -> Wal.t -> unit
 
 (** [in_txn t] is whether an explicit transaction is open. *)
 val in_txn : t -> bool
@@ -24,6 +31,17 @@ val commit : t -> unit
     before-images. @raise Txn_error if none is open. *)
 val rollback : t -> unit
 
+(** [statement t f] runs [f] under an implicit commit envelope when no
+    explicit transaction is open: DML logged inside shares one
+    R_begin/R_commit pair and one sync point, keeping every durable
+    frame boundary statement-consistent. Nested calls and calls inside
+    an explicit transaction just run [f]. *)
+val statement : t -> (unit -> 'a) -> 'a
+
 (** [log_dml t r] appends a DML record, tracking it for rollback when a
     transaction is open. *)
 val log_dml : t -> Wal.record -> unit
+
+(** [log_meta t r] appends a DDL/meta record (replayed unconditionally,
+    never undone). *)
+val log_meta : t -> Wal.record -> unit

@@ -1,10 +1,20 @@
 (* Write-ahead log.
 
    Every DML operation appends a logical log record before the table is
-   touched. The log serves two purposes: transaction rollback (undo, in
-   {!Txn}) and recovery replay ([replay] re-applies a committed history
-   onto empty tables — exercised by the recovery tests). Records carry
-   before-images so that undo needs no further table reads. *)
+   touched; DDL statements append schema records. The log serves three
+   purposes: transaction rollback (undo, in {!Txn}), recovery replay
+   ([replay]/[replay_records] re-apply a committed history), and — when
+   attached to a file — durability.
+
+   On-disk format: an 8-byte magic header, then a sequence of frames
+
+     u32 len | u32 crc32(payload) | payload      (little-endian)
+
+   where payload = i64 lsn + one encoded record. Appends accumulate in a
+   pending buffer; a sync point (commit, abort, DDL, or any auto-committed
+   record) flushes and fsyncs. Loading stops at the first incomplete or
+   CRC-mismatching frame — the torn tail — and reports how many bytes
+   were valid, so recovery can physically truncate there. *)
 
 type record =
   | R_insert of { table : string; rowid : int; row : Row.t }
@@ -13,52 +23,426 @@ type record =
   | R_begin of int  (** transaction id *)
   | R_commit of int
   | R_abort of int
+  | R_create_table of { name : string; schema : Schema.t; pk : int array option }
+  | R_drop_table of string
+  | R_create_index of { table : string; index : string; cols : int array; ordered : bool }
+  | R_drop_index of string
+  | R_create_view of { name : string; sql : string  (** re-parsable SELECT text *) }
+  | R_drop_view of string
+  | R_ext of { tag : string; payload : string }
+      (** opaque upper-layer record (e.g. XNF view DDL); replay hands it
+          to the [on_ext] callback instead of interpreting it *)
 
-type t = { mutable records : record list  (** newest first *); mutable lsn : int }
+type file = {
+  path : string;
+  fd : Unix.file_descr;  (** opened O_APPEND; we track the logical size ourselves *)
+  pending : Buffer.t;  (** appended but not yet written to the OS *)
+  mutable size : int;  (** logical bytes (header + all frames appended) *)
+  mutable durable : int;  (** bytes known flushed + fsynced *)
+  mutable fsync_enabled : bool;  (** defect hook: [false] silently skips sync *)
+}
+
+type t = {
+  mutable records : record list;  (** newest first, this attachment only *)
+  mutable lsn : int;
+  mutable file : file option;
+}
 
 let m_appends = Obs.Metrics.counter "wal.appends"
 let m_syncs = Obs.Metrics.counter "wal.syncs"
 let m_replayed = Obs.Metrics.counter "wal.records_replayed"
+let m_truncated = Obs.Metrics.counter "wal.truncated_bytes"
 
-(** [create ()] is an empty log. *)
-let create () = { records = []; lsn = 0 }
+(** [create ()] is an empty in-memory log (no durability). *)
+let create () = { records = []; lsn = 0; file = None }
 
-(** [append log r] appends [r] and returns its LSN. Appends feed
-    [wal.appends]; commit/abort records additionally count as
-    [wal.syncs] — the points where a durable log would fsync. *)
-let append log r =
+(* ---- record framing ---- *)
+
+let header = "XNFWAL01"
+let header_len = String.length header
+
+let put_record b = function
+  | R_insert { table; rowid; row } ->
+    Buffer.add_char b '\001';
+    Bincode.put_string b table;
+    Bincode.put_int b rowid;
+    Bincode.put_row b row
+  | R_delete { table; rowid; row } ->
+    Buffer.add_char b '\002';
+    Bincode.put_string b table;
+    Bincode.put_int b rowid;
+    Bincode.put_row b row
+  | R_update { table; rowid; before; after } ->
+    Buffer.add_char b '\003';
+    Bincode.put_string b table;
+    Bincode.put_int b rowid;
+    Bincode.put_row b before;
+    Bincode.put_row b after
+  | R_begin id ->
+    Buffer.add_char b '\004';
+    Bincode.put_int b id
+  | R_commit id ->
+    Buffer.add_char b '\005';
+    Bincode.put_int b id
+  | R_abort id ->
+    Buffer.add_char b '\006';
+    Bincode.put_int b id
+  | R_create_table { name; schema; pk } ->
+    Buffer.add_char b '\007';
+    Bincode.put_string b name;
+    Bincode.put_schema b schema;
+    Bincode.put_option b Bincode.put_int_array pk
+  | R_drop_table name ->
+    Buffer.add_char b '\008';
+    Bincode.put_string b name
+  | R_create_index { table; index; cols; ordered } ->
+    Buffer.add_char b '\009';
+    Bincode.put_string b table;
+    Bincode.put_string b index;
+    Bincode.put_int_array b cols;
+    Bincode.put_bool b ordered
+  | R_drop_index name ->
+    Buffer.add_char b '\010';
+    Bincode.put_string b name
+  | R_create_view { name; sql } ->
+    Buffer.add_char b '\011';
+    Bincode.put_string b name;
+    Bincode.put_string b sql
+  | R_drop_view name ->
+    Buffer.add_char b '\012';
+    Bincode.put_string b name
+  | R_ext { tag; payload } ->
+    Buffer.add_char b '\013';
+    Bincode.put_string b tag;
+    Bincode.put_string b payload
+
+let get_record r : record =
+  match Bincode.get_byte r with
+  | 1 ->
+    let table = Bincode.get_string r in
+    let rowid = Bincode.get_int r in
+    let row = Bincode.get_row r in
+    R_insert { table; rowid; row }
+  | 2 ->
+    let table = Bincode.get_string r in
+    let rowid = Bincode.get_int r in
+    let row = Bincode.get_row r in
+    R_delete { table; rowid; row }
+  | 3 ->
+    let table = Bincode.get_string r in
+    let rowid = Bincode.get_int r in
+    let before = Bincode.get_row r in
+    let after = Bincode.get_row r in
+    R_update { table; rowid; before; after }
+  | 4 -> R_begin (Bincode.get_int r)
+  | 5 -> R_commit (Bincode.get_int r)
+  | 6 -> R_abort (Bincode.get_int r)
+  | 7 ->
+    let name = Bincode.get_string r in
+    let schema = Bincode.get_schema r in
+    let pk = Bincode.get_option r Bincode.get_int_array in
+    R_create_table { name; schema; pk }
+  | 8 -> R_drop_table (Bincode.get_string r)
+  | 9 ->
+    let table = Bincode.get_string r in
+    let index = Bincode.get_string r in
+    let cols = Bincode.get_int_array r in
+    let ordered = Bincode.get_bool r in
+    R_create_index { table; index; cols; ordered }
+  | 10 -> R_drop_index (Bincode.get_string r)
+  | 11 ->
+    let name = Bincode.get_string r in
+    let sql = Bincode.get_string r in
+    R_create_view { name; sql }
+  | 12 -> R_drop_view (Bincode.get_string r)
+  | 13 ->
+    let tag = Bincode.get_string r in
+    let payload = Bincode.get_string r in
+    R_ext { tag; payload }
+  | n -> raise (Bincode.Decode_error (Printf.sprintf "bad WAL record tag %d" n))
+
+(** [frame ~lsn r] is the on-disk bytes of one framed record. *)
+let frame ~lsn r =
+  let payload = Buffer.create 64 in
+  Bincode.put_int payload lsn;
+  put_record payload r;
+  let payload = Buffer.contents payload in
+  let b = Buffer.create (String.length payload + 8) in
+  Bincode.put_u32 b (String.length payload);
+  Bincode.put_u32 b (Crc32.string payload);
+  Buffer.add_string b payload;
+  Buffer.contents b
+
+(** [decode s] parses the longest valid prefix of a full log image
+    (header + frames): the [(lsn, record)] list and the number of valid
+    bytes. A missing/invalid header decodes as the empty log. Never
+    raises — torn or corrupt tails simply end the valid prefix. *)
+let decode s =
+  if String.length s < header_len || String.sub s 0 header_len <> header then ([], 0)
+  else begin
+    let acc = ref [] in
+    let pos = ref header_len in
+    let total = String.length s in
+    (try
+       let continue = ref true in
+       while !continue do
+         if !pos + 8 > total then continue := false
+         else begin
+           let r = Bincode.reader ~pos:!pos s in
+           let len = Bincode.get_u32 r in
+           let crc = Bincode.get_u32 r in
+           if !pos + 8 + len > total then continue := false
+           else if Crc32.update 0 s (!pos + 8) len <> crc then continue := false
+           else begin
+             let pr = Bincode.reader ~pos:(!pos + 8) s in
+             let lsn = Bincode.get_int pr in
+             let record = get_record pr in
+             if Bincode.pos pr <> !pos + 8 + len then continue := false
+             else begin
+               acc := (lsn, record) :: !acc;
+               pos := !pos + 8 + len
+             end
+           end
+         end
+       done
+     with Bincode.Decode_error _ -> ());
+    (List.rev !acc, !pos)
+  end
+
+(** [boundaries s] lists the crash-consistent byte offsets of a log image:
+    the position just after the header and after every valid frame. Empty
+    when [s] has no valid header. *)
+let boundaries s =
+  if String.length s < header_len || String.sub s 0 header_len <> header then []
+  else begin
+    let records, _ = decode s in
+    let pos = ref header_len in
+    header_len
+    :: List.map
+         (fun (lsn, r) ->
+           pos := !pos + String.length (frame ~lsn r);
+           !pos)
+         records
+  end
+
+(* ---- file attachment ---- *)
+
+(** [open_file ~path ~lsn] attaches (creating if necessary) the log file
+    at [path] for appending, with the LSN counter continuing from [lsn].
+    The caller is responsible for having loaded and truncated any torn
+    tail first (see {!load} / {!truncate_path}). *)
+let open_file ~path ~lsn =
+  let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_APPEND ] 0o644 in
+  let size = (Unix.fstat fd).Unix.st_size in
+  let size =
+    if size < header_len then begin
+      (* fresh (or impossibly short) file: start it with the magic *)
+      if size > 0 then Unix.ftruncate fd 0;
+      let n = Unix.write_substring fd header 0 header_len in
+      assert (n = header_len);
+      Unix.fsync fd;
+      header_len
+    end
+    else size
+  in
+  { records = [];
+    lsn;
+    file =
+      Some { path; fd; pending = Buffer.create 4096; size; durable = size; fsync_enabled = true }
+  }
+
+(** [close log] flushes, syncs and closes the attached file, if any. *)
+let close log =
+  match log.file with
+  | None -> ()
+  | Some f ->
+    if f.fsync_enabled && Buffer.length f.pending > 0 then begin
+      let s = Buffer.contents f.pending in
+      ignore (Unix.write_substring f.fd s 0 (String.length s));
+      Buffer.clear f.pending;
+      Unix.fsync f.fd
+    end;
+    Unix.close f.fd;
+    log.file <- None
+
+(** [sync log] makes everything appended so far durable: flush + fsync.
+    With the fsync defect hook engaged ({!set_fsync} [false]) this is a
+    silent no-op — exactly the bug the crash oracle must catch. *)
+let sync log =
+  match log.file with
+  | None -> Obs.Metrics.incr m_syncs
+  | Some f ->
+    if f.fsync_enabled then begin
+      if Buffer.length f.pending > 0 then begin
+        let s = Buffer.contents f.pending in
+        ignore (Unix.write_substring f.fd s 0 (String.length s));
+        Buffer.clear f.pending
+      end;
+      Unix.fsync f.fd;
+      f.durable <- f.size;
+      Obs.Metrics.incr m_syncs
+    end
+
+(** [set_fsync log flag] toggles real syncing (defect injection for the
+    crash oracle; production code never calls this with [false]). *)
+let set_fsync log flag = match log.file with None -> () | Some f -> f.fsync_enabled <- flag
+
+(** [file_path log] is the attached file's path, if any. *)
+let file_path log = Option.map (fun f -> f.path) log.file
+
+(** [file_size log] is the logical size in bytes (header + every frame
+    appended, flushed or not); 0 when memory-only. *)
+let file_size log = match log.file with None -> 0 | Some f -> f.size
+
+(** [durable_size log] is the bytes known to have reached stable storage. *)
+let durable_size log = match log.file with None -> 0 | Some f -> f.durable
+
+(* a record whose append must immediately become durable: transaction
+   outcomes and DDL. Plain DML records rely on the enclosing commit *)
+let is_sync_point = function
+  | R_commit _ | R_abort _ | R_create_table _ | R_drop_table _ | R_create_index _
+  | R_drop_index _ | R_create_view _ | R_drop_view _ | R_ext _ ->
+    true
+  | R_insert _ | R_delete _ | R_update _ | R_begin _ -> false
+
+let sync_now = sync
+
+(** [append ?sync log r] appends [r] and returns its LSN. [sync] (or a
+    commit/abort/DDL record) forces a sync point. *)
+let append ?(sync = false) log r =
   log.records <- r :: log.records;
   log.lsn <- log.lsn + 1;
   Obs.Metrics.incr m_appends;
-  (match r with R_commit _ | R_abort _ -> Obs.Metrics.incr m_syncs | _ -> ());
+  (match log.file with
+  | None -> ()
+  | Some f ->
+    let bytes = frame ~lsn:log.lsn r in
+    Buffer.add_string f.pending bytes;
+    f.size <- f.size + String.length bytes);
+  if sync || is_sync_point r then begin
+    match log.file with
+    | None -> (match r with R_commit _ | R_abort _ -> Obs.Metrics.incr m_syncs | _ -> ())
+    | Some _ -> sync_now log
+  end;
   log.lsn
 
-(** [records log] lists records oldest-first. *)
+(** [records log] lists records appended through this attachment,
+    oldest-first. *)
 let records log = List.rev log.records
 
-(** [length log] is the number of records. *)
+(** [length log] is the LSN high-water mark (number of appends, continued
+    across re-attachments). *)
 let length log = log.lsn
 
+(** [lsn log] is a synonym for {!length} — the last assigned LSN. *)
+let lsn log = log.lsn
+
+(** [truncate_file log] discards every frame of the attached file (used
+    after a checkpoint has absorbed the history): the file shrinks back
+    to its header, the in-memory mirror clears, the LSN keeps rising. *)
+let truncate_file log =
+  log.records <- [];
+  match log.file with
+  | None -> ()
+  | Some f ->
+    Buffer.clear f.pending;
+    Unix.ftruncate f.fd header_len;
+    Unix.fsync f.fd;
+    f.size <- header_len;
+    f.durable <- header_len
+
+(* ---- loading ---- *)
+
+type loaded = {
+  ld_records : (int * record) list;  (** (lsn, record), oldest first *)
+  ld_valid : int;  (** bytes of the valid prefix (header + whole frames) *)
+  ld_total : int;  (** file size on disk *)
+}
+
+(** [load ~path] reads and parses the log file; a missing file is the
+    empty log. Parsing never fails: it stops at the torn tail. *)
+let load ~path =
+  if not (Sys.file_exists path) then { ld_records = []; ld_valid = 0; ld_total = 0 }
+  else begin
+    let ic = open_in_bin path in
+    let s =
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    let records, valid = decode s in
+    { ld_records = records; ld_valid = valid; ld_total = String.length s }
+  end
+
+(** [truncate_path ~path n] physically truncates the file to [n] bytes —
+    recovery cutting off a torn tail. Counts the removed bytes as
+    [wal.truncated_bytes]. *)
+let truncate_path ~path n =
+  let total = (Unix.stat path).Unix.st_size in
+  if total > n then begin
+    Unix.truncate path n;
+    Obs.Metrics.incr ~by:(total - n) m_truncated
+  end
+
+(* ---- undo and replay ---- *)
+
 (** [undo_record catalog r] reverses the effect of a DML record on the
-    current table state. *)
+    current table state. DDL records are not undone (DDL is not
+    transactional — matching live execution semantics). *)
 let undo_record catalog = function
   | R_insert { table; rowid; _ } -> ignore (Table.delete (Catalog.table catalog table) rowid)
   | R_delete { table; rowid; row } -> Table.restore (Catalog.table catalog table) rowid row
   | R_update { table; rowid; before; _ } ->
     ignore (Table.update (Catalog.table catalog table) rowid before)
-  | R_begin _ | R_commit _ | R_abort _ -> ()
+  | R_begin _ | R_commit _ | R_abort _ | R_create_table _ | R_drop_table _ | R_create_index _
+  | R_drop_index _ | R_create_view _ | R_drop_view _ | R_ext _ ->
+    ()
 
-(** [replay log catalog] re-applies the committed history onto [catalog]
-    (whose tables must be empty with the right schemas): records of
-    transactions that committed are redone; records of aborted or
-    unfinished transactions are skipped. Auto-committed records (outside
-    any BEGIN) are always redone. *)
-let replay log catalog =
+(* DDL replay is idempotent-tolerant: re-creating an existing object or
+   dropping a missing one is a no-op. This keeps replay total both when
+   the catalog was seeded from a checkpoint and when (as in the legacy
+   in-memory tests) the schema was pre-created by hand. *)
+let apply_ddl catalog = function
+  | R_create_table { name; schema; pk } ->
+    if Catalog.table_opt catalog name = None then begin
+      let table = Catalog.create_table catalog ~name schema in
+      match pk with
+      | None -> ()
+      | Some cols ->
+        Table.set_primary_key table cols;
+        ignore (Table.add_index table ~name:(name ^ "_pk") ~cols Index.Hash)
+    end
+  | R_drop_table name -> if Catalog.table_opt catalog name <> None then Catalog.drop_table catalog name
+  | R_create_index { table; index; cols; ordered } -> begin
+    match Catalog.table_opt catalog table with
+    | None -> ()
+    | Some t ->
+      let exists =
+        List.exists
+          (fun i -> String.lowercase_ascii (Index.name i) = String.lowercase_ascii index)
+          (Table.indexes t)
+      in
+      if not exists then
+        ignore (Table.add_index t ~name:index ~cols (if ordered then Index.Ordered else Index.Hash))
+  end
+  | R_drop_index name ->
+    ignore (List.exists (fun t -> Table.drop_index t ~name) (Catalog.tables catalog))
+  | R_create_view { name; sql } ->
+    if Catalog.view_opt catalog name = None then
+      Catalog.add_view catalog ~name (Sql_parser.parse_select sql)
+  | R_drop_view name -> Catalog.drop_view catalog name
+  | R_insert _ | R_delete _ | R_update _ | R_begin _ | R_commit _ | R_abort _ | R_ext _ -> ()
+
+(** [replay_records ?on_ext catalog records] re-applies a committed
+    history onto [catalog]: DML records of transactions that committed
+    are redone row-id-directed (rowids are preserved exactly); records
+    of aborted or unfinished transactions are skipped. Auto-committed
+    records (outside any BEGIN) and DDL records are always applied — DDL
+    is not transactional. [R_ext] records go to [on_ext] in order. *)
+let replay_records ?(on_ext = fun ~tag:_ ~payload:_ -> ()) catalog records =
   (* first pass: outcome of each txn id *)
   let committed = Hashtbl.create 16 in
-  List.iter
-    (function R_commit id -> Hashtbl.replace committed id true | _ -> ())
-    (records log);
+  List.iter (function R_commit id -> Hashtbl.replace committed id true | _ -> ()) records;
   let current_txn = ref None in
   let should_apply () =
     match !current_txn with None -> true | Some id -> Hashtbl.mem committed id
@@ -69,10 +453,23 @@ let replay log catalog =
       match r with
       | R_begin id -> current_txn := Some id
       | R_commit _ | R_abort _ -> current_txn := None
-      | R_insert { table; row; _ } ->
-        if should_apply () then ignore (Table.insert (Catalog.table catalog table) row)
+      | R_insert { table; rowid; row } ->
+        if should_apply () then Table.install (Catalog.table catalog table) rowid row
       | R_delete { table; rowid; _ } ->
         if should_apply () then ignore (Table.delete (Catalog.table catalog table) rowid)
       | R_update { table; rowid; after; _ } ->
-        if should_apply () then ignore (Table.update (Catalog.table catalog table) rowid after))
-    (records log)
+        if should_apply () then begin
+          let t = Catalog.table catalog table in
+          match Table.update t rowid after with
+          | Some _ -> ()
+          | None -> Table.install t rowid after
+        end
+      | R_ext { tag; payload } -> if should_apply () then on_ext ~tag ~payload
+      | R_create_table _ | R_drop_table _ | R_create_index _ | R_drop_index _ | R_create_view _
+      | R_drop_view _ ->
+        apply_ddl catalog r)
+    records
+
+(** [replay log catalog] re-applies this attachment's records onto
+    [catalog] (see {!replay_records}). *)
+let replay log catalog = replay_records catalog (records log)

@@ -1,5 +1,11 @@
 (** Write-ahead log: logical records with before-images, serving
-    transaction rollback (undo) and recovery replay. *)
+    transaction rollback (undo), recovery replay, and — when attached to
+    a file — durability.
+
+    On disk the log is an 8-byte magic header followed by frames of
+    [u32 len | u32 crc32(payload) | payload] (little-endian), where the
+    payload is an i64 LSN plus one encoded record. Loading stops at the
+    first incomplete or CRC-mismatching frame (the torn tail). *)
 
 type record =
   | R_insert of { table : string; rowid : int; row : Row.t }
@@ -8,25 +14,110 @@ type record =
   | R_begin of int  (** transaction id *)
   | R_commit of int
   | R_abort of int
+  | R_create_table of { name : string; schema : Schema.t; pk : int array option }
+  | R_drop_table of string
+  | R_create_index of { table : string; index : string; cols : int array; ordered : bool }
+  | R_drop_index of string
+  | R_create_view of { name : string; sql : string  (** re-parsable SELECT text *) }
+  | R_drop_view of string
+  | R_ext of { tag : string; payload : string }
+      (** opaque upper-layer record (e.g. XNF view DDL); replay hands it
+          to [on_ext] instead of interpreting it *)
 
 type t
 
+(** [create ()] is an empty in-memory log (no durability). *)
 val create : unit -> t
 
-(** [append log r] appends [r] and returns its LSN. *)
-val append : t -> record -> int
+(** [open_file ~path ~lsn] attaches (creating if necessary) the log file
+    for appending; the LSN counter continues from [lsn]. Load and
+    truncate any torn tail first ({!load} / {!truncate_path}). *)
+val open_file : path:string -> lsn:int -> t
 
-(** [records log] lists records oldest-first. *)
+(** [close log] flushes, syncs and closes the attached file, if any. *)
+val close : t -> unit
+
+(** [append ?sync log r] appends [r] and returns its LSN. Commit, abort
+    and DDL records are sync points; [~sync:true] forces one (used for
+    auto-committed DML). *)
+val append : ?sync:bool -> t -> record -> int
+
+(** [sync log] flushes and fsyncs everything appended so far. A no-op
+    while the {!set_fsync} defect hook is engaged. *)
+val sync : t -> unit
+
+(** [set_fsync log flag] toggles real syncing — defect injection for the
+    crash oracle only. *)
+val set_fsync : t -> bool -> unit
+
+(** [records log] lists records appended through this attachment,
+    oldest-first. *)
 val records : t -> record list
 
+(** [length log] is the LSN high-water mark (continues across
+    re-attachments and checkpoint truncation). *)
 val length : t -> int
 
-(** [undo_record catalog r] reverses the effect of a DML record on the
-    current table state. *)
+(** [lsn log] is the last assigned LSN (synonym for {!length}). *)
+val lsn : t -> int
+
+val file_path : t -> string option
+
+(** [file_size log] is the logical byte size (header + every appended
+    frame, flushed or not); 0 when memory-only. *)
+val file_size : t -> int
+
+(** [durable_size log] is the bytes known flushed + fsynced. *)
+val durable_size : t -> int
+
+(** [truncate_file log] discards every frame of the attached file (after
+    a checkpoint absorbed the history); the LSN keeps rising. *)
+val truncate_file : t -> unit
+
+(** {2 Frame-level access (crash oracle, property tests)} *)
+
+(** The 8-byte magic that starts every log file. *)
+val header : string
+
+(** [frame ~lsn r] is the on-disk bytes of one framed record. *)
+val frame : lsn:int -> record -> string
+
+(** [decode s] parses the longest valid prefix of a log image: the
+    [(lsn, record)] list and the count of valid bytes. Never raises. *)
+val decode : string -> (int * record) list * int
+
+(** [boundaries s] lists the crash-consistent offsets of a log image:
+    after the header and after every valid frame. *)
+val boundaries : string -> int list
+
+type loaded = {
+  ld_records : (int * record) list;  (** (lsn, record), oldest first *)
+  ld_valid : int;  (** bytes of the valid prefix *)
+  ld_total : int;  (** file size on disk *)
+}
+
+(** [load ~path] reads and parses the log file (missing file = empty
+    log); stops at the torn tail, never raises. *)
+val load : path:string -> loaded
+
+(** [truncate_path ~path n] physically truncates the file to [n] bytes,
+    counting removed bytes as [wal.truncated_bytes]. *)
+val truncate_path : path:string -> int -> unit
+
+(** {2 Undo and replay} *)
+
+(** [undo_record catalog r] reverses a DML record's effect; DDL records
+    are not undone. *)
 val undo_record : Catalog.t -> record -> unit
 
-(** [replay log catalog] re-applies the committed history onto [catalog]
-    (whose tables must be empty with the right schemas): committed and
-    auto-committed records are redone; aborted/unfinished transactions are
-    skipped. *)
+(** [replay_records ?on_ext catalog records] re-applies a committed
+    history onto [catalog]: committed and auto-committed DML is redone
+    row-id-directed; aborted/unfinished transactions are skipped; DDL is
+    always applied (it is not transactional); [R_ext] records go to
+    [on_ext] in order. *)
+val replay_records :
+  ?on_ext:(tag:string -> payload:string -> unit) -> Catalog.t -> record list -> unit
+
+(** [replay log catalog] is [replay_records] over this attachment's
+    records. *)
 val replay : t -> Catalog.t -> unit

@@ -49,4 +49,6 @@ let () =
       ("check", Test_check.suite);
       ("xnf-batch-edge", Test_batch_edge.suite);
       ("sys-catalog", Test_sys.suite);
-      ("advisor", Test_advisor.suite) ]
+      ("advisor", Test_advisor.suite);
+      ("wal-file", Test_wal_file.suite qcheck_seed);
+      ("recovery", Test_recovery.suite) ]

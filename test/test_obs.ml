@@ -199,7 +199,7 @@ let test_fetch_result_cache () =
 
 let test_bufpool_metrics () =
   Obs.Metrics.reset ();
-  let pool = Buffer_pool.create ~capacity:2 in
+  let pool = Buffer_pool.create ~capacity:2 () in
   List.iter (Buffer_pool.access pool) [ 1; 1; 2; 3; 1 ];
   Alcotest.(check int) "pool hits" 1 (Buffer_pool.hits pool);
   Alcotest.(check int) "pool misses" 4 (Buffer_pool.misses pool);

@@ -1,0 +1,246 @@
+(* Durability tests: checkpoint round-trip, WAL replay to the last
+   commit, torn-tail truncation, CRC rejection, recovery idempotence and
+   the cache-invalidation counter deltas recovery promises.
+
+   Crash simulation is byte-level: [Tmpfix.clone_data] copies the
+   checkpoint/WAL pair of a live session — exactly what a killed process
+   leaves behind — into a second directory, and recovery opens that. *)
+
+open Relational
+
+let c = Obs.Metrics.counter_get
+let exec db s = ignore (Db.exec db s)
+let xexec api s = ignore (Xnf.Api.exec api s)
+
+let dump db sql =
+  (Db.query db sql).Db.rrows |> List.map Row.to_string |> String.concat "\n"
+
+let q_org =
+  "OUT OF Xdept AS dept, Xemp AS emp, \
+   employment AS (RELATE Xdept, Xemp WHERE Xdept.dno = Xemp.edno) TAKE *"
+
+(* a session exercising every durable artifact: base tables, a secondary
+   index, a tabular view, an XNF view, ANALYZE statistics *)
+let seed_session dir =
+  let db = Db.create ~data_dir:dir () in
+  let api = Xnf.Api.create db in
+  List.iter (exec db)
+    [ "CREATE TABLE dept (dno INTEGER PRIMARY KEY, dname VARCHAR, budget INTEGER)";
+      "CREATE TABLE emp (eno INTEGER PRIMARY KEY, ename VARCHAR, sal INTEGER, edno INTEGER)";
+      "INSERT INTO dept VALUES (1, 'd1', 100), (2, 'd2', 200)";
+      "INSERT INTO emp VALUES (1, 'c', 900, 1), (2, 'a', 300, 1), (3, 'b', 500, 2), (4, 'a', 100, 2)";
+      "CREATE INDEX emp_edno ON emp (edno)";
+      "CREATE VIEW rich AS SELECT eno, sal FROM emp WHERE sal > 400";
+      "ANALYZE" ];
+  xexec api ("CREATE VIEW org AS " ^ q_org);
+  (db, api)
+
+let reopen dir =
+  let db = Db.create ~data_dir:dir () in
+  (db, Xnf.Api.create db)
+
+(* ---- checkpoint round-trip: catalog, tables, views, indexes, stats ---- *)
+
+let test_checkpoint_roundtrip () =
+  Tmpfix.with_dir @@ fun dir ->
+  Tmpfix.with_dir @@ fun dir2 ->
+  let db, api = seed_session dir in
+  exec db "UPDATE emp SET sal = 950 WHERE eno = 1";
+  exec db "DELETE FROM emp WHERE eno = 4";
+  ignore (Xnf.Api.checkpoint api);
+  Tmpfix.clone_data dir dir2;
+  let db2, api2 = reopen dir2 in
+  let same sql = Alcotest.(check string) sql (dump db sql) (dump db2 sql) in
+  same "SELECT eno, ename, sal, edno FROM emp ORDER BY eno";
+  same "SELECT dno, dname, budget FROM dept ORDER BY dno";
+  same "SELECT eno, sal FROM rich ORDER BY eno";
+  same "SELECT * FROM sys.column_stats ORDER BY 1, 2";
+  let idx db =
+    List.sort compare (List.map Index.name (Table.indexes (Catalog.table (Db.catalog db) "emp")))
+  in
+  Alcotest.(check (list string)) "index defs survive" (idx db) (idx db2);
+  let cache = Xnf.Api.fetch_string api2 "OUT OF org TAKE *" in
+  let live = Xnf.Api.fetch_string api "OUT OF org TAKE *" in
+  Alcotest.(check int) "XNF view tuples" (Xnf.Cache.total_tuples live)
+    (Xnf.Cache.total_tuples cache);
+  Alcotest.(check int) "XNF view connections" (Xnf.Cache.total_conns live)
+    (Xnf.Cache.total_conns cache)
+
+(* ---- WAL replay stops at the last commit ---- *)
+
+let test_replay_to_last_commit () =
+  Tmpfix.with_dir @@ fun dir ->
+  let db = Db.create ~data_dir:dir () in
+  exec db "CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)";
+  exec db "INSERT INTO t VALUES (1, 10)";
+  exec db "BEGIN";
+  exec db "INSERT INTO t VALUES (2, 20)";
+  (* crash with the transaction still open: its work is not durable *)
+  Tmpfix.with_dir (fun d2 ->
+      Tmpfix.clone_data dir d2;
+      let db2 = Db.create ~data_dir:d2 () in
+      Alcotest.(check string) "open txn invisible" "(1, 10)"
+        (dump db2 "SELECT id, v FROM t ORDER BY id"));
+  exec db "COMMIT";
+  Tmpfix.with_dir (fun d3 ->
+      Tmpfix.clone_data dir d3;
+      let db3 = Db.create ~data_dir:d3 () in
+      Alcotest.(check string) "committed txn replayed" "(1, 10)\n(2, 20)"
+        (dump db3 "SELECT id, v FROM t ORDER BY id"));
+  exec db "BEGIN";
+  exec db "INSERT INTO t VALUES (3, 30)";
+  exec db "ROLLBACK";
+  Tmpfix.with_dir (fun d4 ->
+      Tmpfix.clone_data dir d4;
+      let db4 = Db.create ~data_dir:d4 () in
+      Alcotest.(check string) "rolled-back txn skipped" "(1, 10)\n(2, 20)"
+        (dump db4 "SELECT id, v FROM t ORDER BY id"))
+
+(* ---- torn tail: a partial final frame is truncated, not fatal ---- *)
+
+let test_torn_tail () =
+  Tmpfix.with_dir @@ fun dir ->
+  Tmpfix.with_dir @@ fun dir2 ->
+  let db = Db.create ~data_dir:dir () in
+  exec db "CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)";
+  exec db "INSERT INTO t VALUES (1, 10)";
+  exec db "INSERT INTO t VALUES (2, 20)";
+  exec db "INSERT INTO t VALUES (3, 30)";
+  Tmpfix.clone_data dir dir2;
+  let wal2 = Filename.concat dir2 "wal.log" in
+  let img = Tmpfix.read_file wal2 in
+  (* cut into the last frame: the statement it commits must vanish *)
+  let torn = String.sub img 0 (String.length img - 3) in
+  Tmpfix.write_file wal2 torn;
+  let _, valid = Wal.decode torn in
+  let before = c "wal.truncated_bytes" in
+  let db2 = Db.create ~data_dir:dir2 () in
+  Alcotest.(check int) "torn bytes counted" (String.length torn - valid)
+    (c "wal.truncated_bytes" - before);
+  Alcotest.(check string) "rolled to last intact commit" "(1, 10)\n(2, 20)"
+    (dump db2 "SELECT id, v FROM t ORDER BY id")
+
+(* ---- a CRC mismatch truncates from the corrupted frame on ---- *)
+
+let test_crc_rejection () =
+  Tmpfix.with_dir @@ fun dir ->
+  Tmpfix.with_dir @@ fun dir2 ->
+  let db = Db.create ~data_dir:dir () in
+  exec db "CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)";
+  exec db "INSERT INTO t VALUES (1, 10)";
+  exec db "INSERT INTO t VALUES (2, 20)";
+  exec db "INSERT INTO t VALUES (3, 30)";
+  Tmpfix.clone_data dir dir2;
+  let wal2 = Filename.concat dir2 "wal.log" in
+  let img = Tmpfix.read_file wal2 in
+  let bounds = Wal.boundaries img in
+  (* flip one payload byte inside the last frame *)
+  let last_start = List.nth bounds (List.length bounds - 2) in
+  let b = Bytes.of_string img in
+  Bytes.set b (last_start + 9) (Char.chr (Char.code (Bytes.get b (last_start + 9)) lxor 0x55));
+  Tmpfix.write_file wal2 (Bytes.to_string b);
+  let before = c "wal.truncated_bytes" in
+  let db2 = Db.create ~data_dir:dir2 () in
+  Alcotest.(check int) "corrupt suffix truncated" (String.length img - last_start)
+    (c "wal.truncated_bytes" - before);
+  Alcotest.(check string) "state from the valid prefix" "(1, 10)\n(2, 20)"
+    (dump db2 "SELECT id, v FROM t ORDER BY id")
+
+(* ---- recovering twice is recovering once ---- *)
+
+let test_recover_idempotent () =
+  Tmpfix.with_dir @@ fun dir ->
+  Tmpfix.with_dir @@ fun dir2 ->
+  let db, api = seed_session dir in
+  ignore (Xnf.Api.checkpoint api);
+  exec db "INSERT INTO emp VALUES (5, 'e', 700, 1)";
+  exec db "DELETE FROM dept WHERE dno = 2";
+  Tmpfix.clone_data dir dir2;
+  let db2, api2 = reopen dir2 in
+  let snap db =
+    dump db "SELECT eno, ename, sal, edno FROM emp ORDER BY eno"
+    ^ "|" ^ dump db "SELECT dno FROM dept ORDER BY dno"
+    ^ "|" ^ dump db "SELECT eno, sal FROM rich ORDER BY eno"
+  in
+  let first = snap db2 in
+  let s2 = Xnf.Api.recover api2 in
+  Alcotest.(check string) "second recover is a no-op on state" first (snap db2);
+  let s3 = Xnf.Api.recover api2 in
+  Alcotest.(check string) "third recover too" first (snap db2);
+  Alcotest.(check int) "replay count is stable" s2.Db.rs_replayed s3.Db.rs_replayed;
+  Alcotest.(check int) "nothing left to truncate" 0 s3.Db.rs_truncated_bytes;
+  let cache = Xnf.Api.fetch_string api2 "OUT OF org TAKE *" in
+  Alcotest.(check bool) "XNF view still fetches" true (Xnf.Cache.total_tuples cache > 0)
+
+(* ---- recovery invalidates stale cached plans: exact counter deltas ---- *)
+
+let test_plan_cache_invalidation () =
+  Tmpfix.with_dir @@ fun dir ->
+  let _db, api = seed_session dir in
+  Xnf.Api.set_plan_cache api 4;
+  let compiles () = c "xnf.plan.compiles"
+  and hits () = c "xnf.plancache.hits"
+  and invals () = c "xnf.plancache.invalidations" in
+  let c0 = compiles () and h0 = hits () in
+  ignore (Xnf.Api.fetch_string api q_org);
+  Alcotest.(check int) "cold fetch compiles once" (c0 + 1) (compiles ());
+  ignore (Xnf.Api.fetch_string api q_org);
+  Alcotest.(check int) "warm fetch hits the plan cache" (h0 + 1) (hits ());
+  Alcotest.(check int) "warm fetch does not recompile" (c0 + 1) (compiles ());
+  ignore (Xnf.Api.checkpoint api);
+  let c1 = compiles () and i1 = invals () and h1 = hits () in
+  ignore (Xnf.Api.recover api);
+  ignore (Xnf.Api.fetch_string api q_org);
+  Alcotest.(check int) "recovery invalidates exactly one cached plan" (i1 + 1) (invals ());
+  Alcotest.(check int) "the stale plan is recompiled exactly once" (c1 + 1) (compiles ());
+  Alcotest.(check int) "and was not served from the cache" h1 (hits ());
+  ignore (Xnf.Api.fetch_string api q_org);
+  Alcotest.(check int) "the recompiled plan hits again" (h1 + 1) (hits ());
+  Alcotest.(check int) "with no further compiles" (c1 + 1) (compiles ())
+
+(* ---- XNF view DDL survives as ordered R_ext history ---- *)
+
+let test_xnf_view_drop_order () =
+  Tmpfix.with_dir @@ fun dir ->
+  Tmpfix.with_dir @@ fun dir2 ->
+  let db, api = seed_session dir in
+  (* compose a second view from the first, then drop the first: the
+     replayed history must preserve the order or org2 would fail *)
+  xexec api "CREATE VIEW org2 AS OUT OF org WHERE Xdept SUCH THAT budget > 150 TAKE *";
+  xexec api "DROP VIEW org";
+  Tmpfix.clone_data dir dir2;
+  let _db2, api2 = reopen dir2 in
+  Alcotest.(check (list string)) "surviving views" [ "org2" ]
+    (Xnf.View_registry.names (Xnf.Api.registry api2));
+  let live = Xnf.Api.fetch_string api "OUT OF org2 TAKE *" in
+  let rec_ = Xnf.Api.fetch_string api2 "OUT OF org2 TAKE *" in
+  Alcotest.(check int) "org2 fetch matches" (Xnf.Cache.total_tuples live)
+    (Xnf.Cache.total_tuples rec_);
+  ignore db
+
+(* ---- sys.recovery surfaces the counters ---- *)
+
+let test_sys_recovery_counters () =
+  Tmpfix.with_dir @@ fun dir ->
+  Tmpfix.with_dir @@ fun dir2 ->
+  let db = Db.create ~data_dir:dir () in
+  exec db "CREATE TABLE t (id INTEGER PRIMARY KEY)";
+  exec db "INSERT INTO t VALUES (1)";
+  Tmpfix.clone_data dir dir2;
+  let before = c "recovery.recoveries" in
+  let db2 = Db.create ~data_dir:dir2 () in
+  Alcotest.(check int) "one recovery counted" (before + 1) (c "recovery.recoveries");
+  match Db.exec db2 "SELECT * FROM sys.recovery" with
+  | Db.Rows { rrows; _ } ->
+    Alcotest.(check bool) "sys.recovery has rows" true (List.length rrows >= 4)
+  | _ -> Alcotest.fail "sys.recovery did not return rows"
+
+let suite =
+  [ Alcotest.test_case "checkpoint round-trip" `Quick test_checkpoint_roundtrip;
+    Alcotest.test_case "replay to last commit" `Quick test_replay_to_last_commit;
+    Alcotest.test_case "torn tail truncated" `Quick test_torn_tail;
+    Alcotest.test_case "CRC corruption rejected" `Quick test_crc_rejection;
+    Alcotest.test_case "recovery idempotent" `Quick test_recover_idempotent;
+    Alcotest.test_case "plan-cache invalidation deltas" `Quick test_plan_cache_invalidation;
+    Alcotest.test_case "XNF view DDL order" `Quick test_xnf_view_drop_order;
+    Alcotest.test_case "sys.recovery counters" `Quick test_sys_recovery_counters ]

@@ -44,10 +44,11 @@ let test_scan_all_views () =
       | Db.Rows _ -> ()
       | _ -> Alcotest.fail ("scan of " ^ name ^ " did not return rows"))
     (Catalog.virtual_names (Db.catalog db));
-  (* the registration set is exactly the documented eleven *)
+  (* the registration set is exactly the documented twelve *)
   Alcotest.(check (list string)) "registered views"
     [ "sys.advisories"; "sys.column_stats"; "sys.fetch_cache"; "sys.histograms"; "sys.indexes";
-      "sys.metrics"; "sys.plans"; "sys.slow_queries"; "sys.spans"; "sys.statements"; "sys.tables" ]
+      "sys.metrics"; "sys.plans"; "sys.recovery"; "sys.slow_queries"; "sys.spans";
+      "sys.statements"; "sys.tables" ]
     (Catalog.virtual_names (Db.catalog db))
 
 let test_join_with_base_table () =

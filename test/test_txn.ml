@@ -88,7 +88,7 @@ let test_wal_grows () =
 (* ---- buffer pool and page layouts (E4 machinery) ---- *)
 
 let test_buffer_pool_lru () =
-  let pool = Buffer_pool.create ~capacity:2 in
+  let pool = Buffer_pool.create ~capacity:2 () in
   Buffer_pool.access pool 1;
   Buffer_pool.access pool 2;
   Buffer_pool.access pool 1;
@@ -132,7 +132,7 @@ let test_layout_attach_counts_faults () =
     ignore (Table.insert t [| Value.Int i |])
   done;
   let layout = Page.table_clustered ~rows_per_page:5 [ t ] in
-  let pool = Buffer_pool.create ~capacity:100 in
+  let pool = Buffer_pool.create ~capacity:100 () in
   let detach = Page.attach layout pool [ t ] in
   Table.iter (fun _ _ -> ()) t;
   detach ();

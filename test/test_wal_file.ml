@@ -1,0 +1,158 @@
+(* Property tests over the WAL file format: frame / decode / boundaries.
+
+   The invariants the crash oracle leans on, checked in isolation:
+   a framed log decodes to itself, every byte-prefix decodes to exactly
+   the fully-contained frames, a corrupted byte never parses past the
+   frame it hits, and decode never raises — on any input. *)
+
+open Relational
+
+let gen_name = QCheck.Gen.(string_size ~gen:(char_range 'a' 'z') (int_range 1 6))
+
+let gen_value =
+  QCheck.Gen.(
+    frequency
+      [ (1, return Value.Null);
+        (4, map (fun i -> Value.Int i) (int_range (-50) 50));
+        (2, map (fun f -> Value.Float (Float.of_int f /. 4.)) (int_range (-50) 50));
+        (3, map (fun s -> Value.Str s) (string_size ~gen:(char_range 'a' 'e') (int_range 0 4)));
+        (1, map (fun b -> Value.Bool b) bool) ])
+
+let gen_row = QCheck.Gen.(map Array.of_list (list_size (int_range 0 4) gen_value))
+
+let gen_schema =
+  QCheck.Gen.(
+    map
+      (fun tys ->
+        Schema.make (List.mapi (fun i ty -> Schema.column (Printf.sprintf "c%d" i) ty) tys))
+      (list_size (int_range 1 4)
+         (oneofl [ Schema.Ty_int; Schema.Ty_float; Schema.Ty_string; Schema.Ty_bool ])))
+
+let gen_record =
+  QCheck.Gen.(
+    frequency
+      [ ( 4,
+          map3
+            (fun t rid row -> Wal.R_insert { table = t; rowid = rid; row })
+            gen_name small_nat gen_row );
+        ( 2,
+          map3
+            (fun t rid row -> Wal.R_delete { table = t; rowid = rid; row })
+            gen_name small_nat gen_row );
+        ( 2,
+          map
+            (fun ((t, rid), (before, after)) -> Wal.R_update { table = t; rowid = rid; before; after })
+            (pair (pair gen_name small_nat) (pair gen_row gen_row)) );
+        (1, map (fun i -> Wal.R_begin i) small_nat);
+        (1, map (fun i -> Wal.R_commit i) small_nat);
+        (1, map (fun i -> Wal.R_abort i) small_nat);
+        ( 1,
+          map3
+            (fun n schema pk ->
+              Wal.R_create_table { name = n; schema; pk = (if pk then Some [| 0 |] else None) })
+            gen_name gen_schema bool );
+        (1, map (fun n -> Wal.R_drop_table n) gen_name);
+        ( 1,
+          map3
+            (fun t i ordered -> Wal.R_create_index { table = t; index = i; cols = [| 0; 1 |]; ordered })
+            gen_name gen_name bool );
+        (1, map (fun n -> Wal.R_drop_index n) gen_name);
+        (1, map (fun (n, sql) -> Wal.R_create_view { name = n; sql }) (pair gen_name gen_name));
+        (1, map (fun n -> Wal.R_drop_view n) gen_name);
+        (1, map (fun (tag, payload) -> Wal.R_ext { tag; payload }) (pair gen_name gen_name)) ])
+
+let gen_log = QCheck.Gen.(list_size (int_range 0 10) (pair small_nat gen_record))
+
+let arb_log =
+  QCheck.make ~print:(fun l -> Printf.sprintf "<log of %d records>" (List.length l)) gen_log
+
+let encode entries =
+  Wal.header ^ String.concat "" (List.map (fun (lsn, r) -> Wal.frame ~lsn r) entries)
+
+(* records are compared through their frame bytes: the format is the
+   canonical equality (Schema.t etc. have no derived [equal]) *)
+let frame_eq (l1, r1) (l2, r2) = Wal.frame ~lsn:l1 r1 = Wal.frame ~lsn:l2 r2
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"framed log decodes to itself" ~count:300 arb_log (fun entries ->
+      let s = encode entries in
+      let recs, valid = Wal.decode s in
+      valid = String.length s
+      && List.length recs = List.length entries
+      && List.for_all2 frame_eq entries recs)
+
+let prop_boundaries =
+  QCheck.Test.make ~name:"boundaries are cumulative frame ends" ~count:300 arb_log
+    (fun entries ->
+      let s = encode entries in
+      let bounds = Wal.boundaries s in
+      List.length bounds = List.length entries + 1
+      && List.hd bounds = String.length Wal.header
+      && List.for_all2 ( < ) bounds (List.tl bounds @ [ max_int ])
+      && (match List.rev bounds with last :: _ -> last = String.length s | [] -> false))
+
+(* every byte-prefix decodes to exactly the frames fully contained in it;
+   the valid-byte count is the greatest frame boundary inside the cut *)
+let prop_prefix =
+  QCheck.Test.make ~name:"every byte-prefix decodes to the contained frames" ~count:500
+    (QCheck.pair arb_log QCheck.small_nat) (fun (entries, n) ->
+      let s = encode entries in
+      let cut = n mod (String.length s + 1) in
+      let recs, valid = Wal.decode (String.sub s 0 cut) in
+      if cut < String.length Wal.header then recs = [] && valid = 0
+      else begin
+        let bounds = Wal.boundaries s in
+        let exp_valid = List.fold_left (fun acc b -> if b <= cut then max acc b else acc) 0 bounds in
+        let exp_count = List.length (List.filter (fun b -> b > 8 && b <= cut) bounds) in
+        valid = exp_valid
+        && List.length recs = exp_count
+        && List.for_all2 frame_eq (List.filteri (fun i _ -> i < exp_count) entries) recs
+      end)
+
+(* a corrupted byte stops parsing at the frame it hits: the len/crc check
+   rejects the frame, everything before it still decodes *)
+let prop_corrupt =
+  QCheck.Test.make ~name:"corruption never parses past its frame" ~count:500
+    (QCheck.triple arb_log QCheck.small_nat (QCheck.int_range 1 255)) (fun (entries, pos, mask) ->
+      QCheck.assume (entries <> []);
+      let s = encode entries in
+      let header_len = String.length Wal.header in
+      let pos = header_len + (pos mod (String.length s - header_len)) in
+      let b = Bytes.of_string s in
+      Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor mask));
+      let recs, valid = Wal.decode (Bytes.to_string b) in
+      (* the frame containing [pos] starts at the greatest boundary <= pos *)
+      let bounds = Wal.boundaries s in
+      let exp_valid = List.fold_left (fun acc bd -> if bd <= pos then max acc bd else acc) 0 bounds in
+      let exp_count = List.length (List.filter (fun bd -> bd > 8 && bd <= pos) bounds) in
+      valid = exp_valid
+      && List.length recs = exp_count
+      && List.for_all2 frame_eq (List.filteri (fun i _ -> i < exp_count) entries) recs)
+
+let prop_garbage =
+  QCheck.Test.make ~name:"decode never raises on arbitrary bytes" ~count:500
+    QCheck.(string_gen Gen.(char_range '\000' '\255'))
+    (fun s ->
+      let _, valid = Wal.decode s in
+      valid <= String.length s)
+
+(* the semantic face of the prefix property: the commits visible in any
+   byte-prefix are a list-prefix of the full log's commits — recovery can
+   only land on a committed history the full run also went through *)
+let prop_commit_prefix =
+  QCheck.Test.make ~name:"prefix commits are a prefix of the log's commits" ~count:500
+    (QCheck.pair arb_log QCheck.small_nat) (fun (entries, n) ->
+      let s = encode entries in
+      let cut = n mod (String.length s + 1) in
+      let commits img =
+        fst (Wal.decode img)
+        |> List.filter_map (function _, Wal.R_commit t -> Some t | _ -> None)
+      in
+      let all = commits s and seen = commits (String.sub s 0 cut) in
+      List.length seen <= List.length all
+      && seen = List.filteri (fun i _ -> i < List.length seen) all)
+
+let suite seed =
+  List.mapi
+    (fun i t -> QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| seed; i |]) t)
+    [ prop_roundtrip; prop_boundaries; prop_prefix; prop_corrupt; prop_garbage; prop_commit_prefix ]

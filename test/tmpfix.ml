@@ -1,0 +1,33 @@
+(* Scratch-directory fixture shared by the durability tests. *)
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+(** [with_dir f] runs [f dir] in a fresh scratch directory and removes it
+    afterwards, also on exception. *)
+let with_dir f =
+  let dir = Filename.temp_file "xnf-test" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o700;
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+let write_file path s =
+  Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc s)
+
+(** [clone_data src dst] copies a data directory's checkpoint/WAL pair —
+    a byte-level snapshot, i.e. what a crashed process would leave
+    behind. [dst] is created if needed. *)
+let clone_data src dst =
+  if not (Sys.file_exists dst) then Sys.mkdir dst 0o700;
+  List.iter
+    (fun name ->
+      let p = Filename.concat src name in
+      if Sys.file_exists p then write_file (Filename.concat dst name) (read_file p))
+    [ "checkpoint.db"; "wal.log" ]
