@@ -2,13 +2,17 @@
 #
 #   make build      - compile everything (libraries, shell, bench, tests)
 #   make test       - run the test suites (tier-1 gate)
-#   make check      - run ci.sh: build, tests (twice), lint, fuzz, crash oracle, bench gate
-#   make ci-nightly - ci.sh with 5000-iteration fuzz + 600-op crash budgets + the full bench suite
+#   make check      - run ci.sh: every CI stage in order
+#   make ci-<stage> - run one CI stage (build, test, lint, fuzz, crash,
+#                     converge, bench), e.g. `make ci-converge`
+#   make ci-nightly - ci.sh with 5000-iteration fuzz + 600-op crash budgets,
+#                     the full bench suite, and E12/E13 at 10x scale
 #   make fuzz       - differential fuzzing + crash-point oracle + mutation/defect smoke
 #   make bench      - run the full benchmark suite
 #   make clean      - remove build artifacts
 
-.PHONY: build test check ci-nightly fuzz bench clean
+.PHONY: build test check ci-nightly fuzz bench clean \
+	ci-build ci-test ci-lint ci-fuzz ci-crash ci-converge ci-bench
 
 build:
 	dune build @all
@@ -20,10 +24,15 @@ test:
 check:
 	./ci.sh
 
+# one stage each, same source of truth
+ci-build ci-test ci-lint ci-fuzz ci-crash ci-converge ci-bench: ci-%:
+	./ci.sh $*
+
 ci-nightly:
 	FUZZ_ITERS=5000 CRASH_ITERS=600 ./ci.sh
 	dune exec bench/main.exe
 	E12_SCALE=10 dune exec bench/main.exe -- --only E12
+	E13_SCALE=10 dune exec bench/main.exe -- --only E13
 
 fuzz: build
 	dune exec bin/xnf_fuzz.exe -- --seed 42 --iters $${FUZZ_ITERS:-500} --quiet

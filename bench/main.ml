@@ -890,6 +890,121 @@ let e12 () =
   Obs.Metrics.incr ~by:warm_builds (Obs.Metrics.counter "bench.e12.warm_builds");
   Obs.Metrics.incr ~by:warm_reuses (Obs.Metrics.counter "bench.e12.warm_build_reuses")
 
+(* E13 — cost-picked access paths vs. the forced-worst strategy.
+
+   Two skewed single-edge chains where the static rule and the cost
+   model disagree (or where the cost model must avoid an expensive
+   rebuild):
+
+     A. composite-key skew: the only index on the child covers a
+        2-value column, the second join conjunct carries all the
+        selectivity. Static rules pick indexed (an index exists); the
+        cost model must pick hash-batch, because every indexed probe
+        scans half the child table.
+     B. unique probe column on a large child: the cost model must pick
+        indexed; forcing hash-batch pays a full build of the child per
+        cold fetch.
+
+   bench.e13.cost_pick_speedup — the minimum of the two cost-pick vs
+   forced-worst ratios — feeds the CI gate (--min 1.5). E13_SCALE
+   multiplies the child row counts; the nightly target runs at 10x. *)
+let e13 () =
+  header "E13" "cost-based access-path selection"
+    "the planner, not a fixed rule, picks the per-edge strategy: with fresh \
+     statistics the cost model avoids both the skewed-index trap and the \
+     needless hash build";
+  let scale = match Sys.getenv_opt "E13_SCALE" with Some s -> max 1 (int_of_string s) | None -> 1 in
+  let reps = 3 in
+  (* best-of-N cold fetches; fresh compile per rep so no hash build or
+     version cache survives into the next run *)
+  let run api q force =
+    let def, restrs, _ =
+      Xnf.View_registry.compose (Xnf.Api.registry api) (Xnf.Xnf_parser.parse_query q)
+    in
+    let db = Xnf.Api.db api in
+    let compile () =
+      match force with
+      | Some f -> Xnf.Translate.compile_def ~force:f db def
+      | None -> Xnf.Translate.compile_def db def
+    in
+    let cp = ref (compile ()) in
+    let cache = ref (Xnf.Translate.execute_def db !cp restrs) in
+    let best = ref infinity in
+    for _ = 1 to reps do
+      cp := compile ();
+      let c, ms = time_ms (fun () -> Xnf.Translate.execute_def db !cp restrs) in
+      cache := c;
+      if ms < !best then best := ms
+    done;
+    (Xnf.Cache.total_tuples !cache, !best, !cp)
+  in
+  Obs.Trace.set_enabled false;
+  let case ~label ~setup ~q ~expect ~worst =
+    let db = Db.create () in
+    List.iter (fun stmt -> ignore (Db.exec db stmt)) (setup ());
+    ignore (Db.exec db "ANALYZE");
+    let api = Xnf.Api.create db in
+    let co, cost_ms, cp = run api q None in
+    (* the pick itself is part of the claim: fresh stats, no force *)
+    assert (Xnf.Translate.cost_based cp);
+    List.iter
+      (fun (_, s) -> assert (s = expect))
+      (Xnf.Translate.edge_strategies cp);
+    let co', worst_ms, _ = run api q (Some worst) in
+    assert (co = co');
+    let speedup = worst_ms /. cost_ms in
+    ( [ label;
+        string_of_int co;
+        Xnf.Translate.strategy_name expect;
+        f2 cost_ms;
+        Xnf.Translate.strategy_name worst;
+        f2 worst_ms;
+        fx speedup ],
+      cost_ms, worst_ms, speedup )
+  in
+  let ints n f = List.init n f in
+  let row_a, cost_a, worst_a, speedup_a =
+    case ~label:"A skewed index"
+      ~setup:(fun () ->
+        [ "CREATE TABLE sp (k INTEGER PRIMARY KEY, f INTEGER)";
+          "CREATE TABLE sc (k INTEGER PRIMARY KEY, g INTEGER, h INTEGER)";
+          "CREATE INDEX scix ON sc (g)" ]
+        @ ints 200 (fun k -> Printf.sprintf "INSERT INTO sp VALUES (%d, %d)" k (k mod 2))
+        @ ints (20_000 * scale) (fun k ->
+              Printf.sprintf "INSERT INTO sc VALUES (%d, %d, %d)" k (k mod 2) (k mod 200)))
+      ~q:
+        "OUT OF p0 AS (SELECT * FROM sp), c0 AS (SELECT * FROM sc), e0 AS (RELATE p0, c0 WHERE \
+         (p0.f = c0.g AND p0.k = c0.h)) TAKE *"
+      ~expect:Xnf.Translate.S_hash ~worst:Xnf.Translate.S_indexed
+  in
+  let row_b, cost_b, worst_b, speedup_b =
+    case ~label:"B needless build"
+      ~setup:(fun () ->
+        [ "CREATE TABLE bp (k INTEGER PRIMARY KEY, f INTEGER)";
+          "CREATE TABLE bc (k INTEGER PRIMARY KEY, f INTEGER, s VARCHAR(8))";
+          "CREATE INDEX bcix ON bc (f)" ]
+        @ ints 10 (fun k -> Printf.sprintf "INSERT INTO bp VALUES (%d, %d)" k k)
+        @ ints (20_000 * scale) (fun k ->
+              Printf.sprintf "INSERT INTO bc VALUES (%d, %d, 'v%d')" k k (k mod 97)))
+      ~q:
+        "OUT OF p0 AS (SELECT * FROM bp), c0 AS (SELECT * FROM bc), e0 AS (RELATE p0, c0 WHERE \
+         (p0.k = c0.f)) TAKE *"
+      ~expect:Xnf.Translate.S_indexed ~worst:Xnf.Translate.S_hash
+  in
+  Obs.Trace.set_enabled true;
+  table
+    ~cols:[ "case"; "CO tuples"; "cost pick"; "ms"; "forced"; "ms"; "speedup" ]
+    [ row_a; row_b ];
+  let speedup = Float.min speedup_a speedup_b in
+  pr "   cost-pick speedup (min of both cases): %s@." (fx speedup);
+  Obs.Metrics.set (Obs.Metrics.gauge "bench.e13.skew_cost_ms") cost_a;
+  Obs.Metrics.set (Obs.Metrics.gauge "bench.e13.skew_forced_ms") worst_a;
+  Obs.Metrics.set (Obs.Metrics.gauge "bench.e13.skew_speedup") speedup_a;
+  Obs.Metrics.set (Obs.Metrics.gauge "bench.e13.build_cost_ms") cost_b;
+  Obs.Metrics.set (Obs.Metrics.gauge "bench.e13.build_forced_ms") worst_b;
+  Obs.Metrics.set (Obs.Metrics.gauge "bench.e13.build_speedup") speedup_b;
+  Obs.Metrics.set (Obs.Metrics.gauge "bench.e13.cost_pick_speedup") speedup
+
 (* per-experiment observability line: per-stage pipeline time from the
    span.* histograms and the cache hit rate from the counters, both
    sourced from lib/obs *)
@@ -921,7 +1036,8 @@ let experiments =
     ("E9", "deferred update propagation", e9);
     ("E10", "extraction scaling with database size", e10);
     ("E11", "repeated fetches through the plan cache", e11);
-    ("E12", "set-oriented batch edge execution", e12) ]
+    ("E12", "set-oriented batch edge execution", e12);
+    ("E13", "cost-based access-path selection", e13) ]
 
 let () =
   ignore (Check.Pipeline.install_from_env ());

@@ -2,18 +2,27 @@
 
    Compares a fresh metrics snapshot (produced by `bench --json`) against
    a committed baseline (BENCH_seed.json) and exits non-zero on
-   regression. Only keys prefixed "bench." present in the BASELINE are
-   gated — the snapshot carries every registry metric, but experiments
-   publish their contract under the bench.* namespace on purpose:
+   regression. Only keys prefixed "bench." are gated — the snapshot
+   carries every registry metric, but experiments publish their contract
+   under the bench.* namespace on purpose:
 
    - counters must match exactly (they encode deterministic behavior,
      e.g. "the warm loop hit the plan cache once per repetition");
    - gauges must lie within a relative tolerance of the baseline value
      (default +/-30%, `--tolerance 0.5` for +/-50%);
+   - bench.* keys present on only ONE side are hard failures in both
+     directions: a baseline key missing from the fresh run means an
+     experiment silently stopped publishing, a fresh key missing from
+     the baseline means a new metric is riding ungated. `--allow-missing`
+     downgrades both to warnings (for bootstrapping a new baseline —
+     value mismatches still fail);
    - `--min KEY=VAL` (repeatable) additionally enforces an absolute
      floor on a fresh value, e.g. `--min bench.e11.warm_speedup=2`.
+     An explicitly demanded floor whose key is absent always fails,
+     even under --allow-missing.
 
-   Usage: bench_compare BASELINE FRESH [--tolerance T] [--min KEY=VAL]... *)
+   Usage: bench_compare BASELINE FRESH [--tolerance T] [--allow-missing]
+                        [--min KEY=VAL]... *)
 
 type json =
   | J_num of float
@@ -191,14 +200,18 @@ let () =
   let baseline_path = ref None in
   let fresh_path = ref None in
   let tolerance = ref 0.3 in
+  let allow_missing = ref false in
   let mins : (string * float) list ref = ref [] in
   let usage () =
     prerr_endline
-      "usage: bench_compare BASELINE FRESH [--tolerance T] [--min KEY=VAL]...";
+      "usage: bench_compare BASELINE FRESH [--tolerance T] [--allow-missing] [--min KEY=VAL]...";
     exit 2
   in
   let rec parse_args = function
     | [] -> ()
+    | "--allow-missing" :: rest ->
+      allow_missing := true;
+      parse_args rest
     | "--tolerance" :: v :: rest -> begin
       match float_of_string_opt v with
       | Some t when t >= 0. ->
@@ -245,25 +258,32 @@ let () =
     incr failures;
     Printf.printf ("  FAIL  " ^^ fmt ^^ "\n")
   in
+  (* missing bench.* keys: hard failure unless --allow-missing *)
+  let miss fmt =
+    if !allow_missing then Printf.printf ("  warn  " ^^ fmt ^^ " (--allow-missing)\n")
+    else bad fmt
+  in
   Printf.printf "bench gate: %s vs %s (gauges within %.0f%%, counters exact)\n" baseline_path
     fresh_path (!tolerance *. 100.);
   (* counters: deterministic behavior, exact equality *)
+  let base_counters = section base "counters" in
   let fresh_counters = section fresh "counters" in
   List.iter
     (fun (k, bv) ->
       if is_bench k then
         match List.assoc_opt k fresh_counters with
-        | None -> bad "%-34s missing from fresh run" k
+        | None -> miss "%-34s missing from fresh run" k
         | Some fv when fv = bv -> ok "%-34s %.0f = %.0f" k bv fv
         | Some fv -> bad "%-34s expected %.0f, got %.0f" k bv fv)
-    (section base "counters");
+    base_counters;
   (* gauges: timings and ratios, relative tolerance band *)
+  let base_gauges = section base "gauges" in
   let fresh_gauges = section fresh "gauges" in
   List.iter
     (fun (k, bv) ->
       if is_bench k then
         match List.assoc_opt k fresh_gauges with
-        | None -> bad "%-34s missing from fresh run" k
+        | None -> miss "%-34s missing from fresh run" k
         | Some fv ->
           let drift = if bv = 0. then abs_float fv else abs_float (fv -. bv) /. abs_float bv in
           let signed = if bv = 0. then fv else (fv -. bv) /. bv *. 100. in
@@ -271,7 +291,17 @@ let () =
           else
             bad "%-34s %.4g -> %.4g (%+.1f%% > %.0f%%)" k bv fv
               ((fv -. bv) /. bv *. 100.) (!tolerance *. 100.))
-    (section base "gauges");
+    base_gauges;
+  (* fresh bench.* keys the baseline does not know: a new or renamed
+     metric would otherwise ride ungated forever *)
+  List.iter
+    (fun (known, fresh_section) ->
+      List.iter
+        (fun (k, _) ->
+          if is_bench k && not (List.mem_assoc k known) then
+            miss "%-34s missing from baseline (regenerate BENCH_seed.json)" k)
+        fresh_section)
+    [ (base_counters, fresh_counters); (base_gauges, fresh_gauges) ];
   (* absolute floors, e.g. --min bench.e11.warm_speedup=2 *)
   List.iter
     (fun (k, floor_v) ->

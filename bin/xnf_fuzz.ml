@@ -38,6 +38,58 @@ let print_outcome path (o : Fuzz.Oracle.outcome) =
     false
   end
 
+(* the plan-convergence corpus gate (--converge / --converge-defect) *)
+let converge_main dir defect =
+  let skip_analyze =
+    match defect with
+    | None -> false
+    | Some "stats-drop" -> true
+    | Some other ->
+      Printf.eprintf "unknown convergence defect %S (expected stats-drop)\n" other;
+      exit 2
+  in
+  let results = Fuzz.Converge.run_dir ~skip_analyze dir in
+  if results = [] then begin
+    Printf.printf "no convergence groups under %s\n" dir;
+    2
+  end
+  else begin
+    let failed = ref 0 in
+    List.iter
+      (fun (r : Fuzz.Converge.file_result) ->
+        if r.Fuzz.Converge.cr_errors = [] then
+          Printf.printf "%s: ok (%d formulations, %s)\n" r.Fuzz.Converge.cr_file
+            r.Fuzz.Converge.cr_forms
+            (Fuzz.Converge.show_set r.Fuzz.Converge.cr_strategies)
+        else begin
+          incr failed;
+          Printf.printf "%s: FAILED\n" r.Fuzz.Converge.cr_file;
+          List.iter (Printf.printf "  %s\n") r.Fuzz.Converge.cr_errors
+        end)
+      results;
+    match defect with
+    | None ->
+      if !failed = 0 then begin
+        Printf.printf "%d convergence groups passed\n" (List.length results);
+        0
+      end
+      else begin
+        Printf.printf "%d of %d convergence groups failed\n" !failed (List.length results);
+        1
+      end
+    | Some d ->
+      (* self-check: with stats dropped, the gate must notice *)
+      if !failed > 0 then begin
+        Printf.printf "defect %s: caught (%d of %d groups failed as expected)\n" d !failed
+          (List.length results);
+        0
+      end
+      else begin
+        Printf.printf "defect %s: MISSED (every group still passed without statistics)\n" d;
+        1
+      end
+  end
+
 (* the crash-point oracle and its defect smoke (--crash / --crash-defect) *)
 let crash_main seed iters torn crash_points crash_defect quiet =
   let cfg =
@@ -95,9 +147,12 @@ let crash_main seed iters torn crash_points crash_defect quiet =
     end
 
 let main seed iters replay replay_dir corpus save_cases mutate no_shrink advise max_nodes max_rows
-    quiet crash torn crash_points crash_defect =
+    quiet crash torn crash_points crash_defect converge converge_defect =
   Check.Pipeline.install ();
-  if crash || crash_defect <> None then crash_main seed iters torn crash_points crash_defect quiet
+  if converge <> None || converge_defect <> None then
+    converge_main (Option.value ~default:"examples/converge" converge) converge_defect
+  else if crash || crash_defect <> None then
+    crash_main seed iters torn crash_points crash_defect quiet
   else
   let mutation =
     match mutate with
@@ -272,6 +327,25 @@ let crash_defect_t =
           "Durability defect smoke: inject $(docv) (skip-fsync, corrupt-crc, drop-checkpoint or \
            all) and exit 0 iff the crash oracle catches it.")
 
+let converge_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "converge" ] ~docv:"DIR"
+        ~doc:
+          "Run the plan-convergence corpus under $(docv): every group of \
+           semantically-equivalent formulations must load identical instances and converge to \
+           the same cost-picked strategy set.")
+
+let converge_defect_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "converge-defect" ] ~docv:"KIND"
+        ~doc:
+          "Convergence-gate self-check: inject $(docv) (stats-drop: run the corpus with ANALYZE \
+           statements removed) and exit 0 iff the gate catches the resulting mis-picks.")
+
 let cmd =
   let info =
     Cmd.info "xnf_fuzz" ~doc:"Differential fuzzing of the XNF pipeline against the naive oracles"
@@ -280,6 +354,6 @@ let cmd =
     Term.(
       const main $ seed_t $ iters_t $ replay_t $ replay_dir_t $ corpus_t $ save_cases_t $ mutate_t
       $ no_shrink_t $ advise_t $ max_nodes_t $ max_rows_t $ quiet_t $ crash_t $ torn_t
-      $ crash_points_t $ crash_defect_t)
+      $ crash_points_t $ crash_defect_t $ converge_t $ converge_defect_t)
 
 let () = exit (Cmdliner.Cmd.eval' cmd)

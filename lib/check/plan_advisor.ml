@@ -145,107 +145,16 @@ and table_ref_restricted = function
   | Sql_ast.From_join (l, _, r, _) -> table_ref_restricted l || table_ref_restricted r
 
 (* ------------------------------------------------------------------ *)
-(* The cost model                                                     *)
+(* The cost model — shared with the planner                           *)
 
-(* Per-analysis estimation context: memoizes snapshot lookups so the
-   PLAN304 staleness verdict and the estimates agree. *)
-type est_ctx = { ex_db : Db.t; ex_health : (string, [ `Fresh | `Stale of int * int | `Missing | `Unknown ]) Hashtbl.t }
+(* The estimation core (snapshot-first row counts, NDVs, derivation and
+   fanout estimates, per-strategy costs) lives in
+   [Relational.Edge_cost]: the exact same arithmetic drives the
+   planner's per-edge pick at [Translate.compile_def] and the advisories
+   here, so advice and decision cannot disagree. The advisor keeps only
+   the report shaping and the PLAN3xx thresholds. *)
 
-let mk_ctx db = { ex_db = db; ex_health = Hashtbl.create 8 }
-
-let health ctx name =
-  let key = lc name in
-  match Hashtbl.find_opt ctx.ex_health key with
-  | Some h -> h
-  | None ->
-    let cat = Db.catalog ctx.ex_db in
-    let h =
-      match Catalog.table_opt cat key with
-      | None -> `Unknown (* tabular view or vanished table: nothing to say *)
-      | Some tbl -> (
-        match Catalog.stats_opt cat key with
-        | None -> `Missing
-        | Some st ->
-          if st.Stats.ts_version = Table.version tbl then `Fresh
-          else `Stale (st.Stats.ts_version, Table.version tbl))
-    in
-    Hashtbl.replace ctx.ex_health key h;
-    h
-
-(* Planner-believed row count: ANALYZE snapshot first (even stale),
-   live cardinality otherwise. *)
-let rows_est ctx name =
-  let cat = Db.catalog ctx.ex_db in
-  match Catalog.stats_opt cat (lc name) with
-  | Some st -> float_of_int st.Stats.ts_rowcount
-  | None -> (
-    match Catalog.table_opt cat (lc name) with
-    | Some t -> float_of_int (Table.cardinality t)
-    | None -> 0.)
-
-(* Planner-believed NDV of one column, >= 1. *)
-let ndv ctx name col =
-  let cat = Db.catalog ctx.ex_db in
-  let snapshot =
-    match Catalog.stats_opt cat (lc name) with
-    | Some st ->
-      Array.fold_left
-        (fun acc (cs : Stats.col_stats) -> if cs.Stats.cs_name = lc col then Some cs.Stats.cs_ndv else acc)
-        None st.Stats.ts_cols
-    | None -> None
-  in
-  let n =
-    match snapshot with
-    | Some n -> n
-    | None -> (
-      match Catalog.table_opt cat (lc name) with
-      | None -> 1
-      | Some t -> (
-        match Schema.find_opt (Table.schema t) (lc col) with
-        | Some i -> Table.distinct_estimate t i
-        | None -> 1))
-  in
-  float_of_int (max 1 n)
-
-(* Distinct combinations of [cols], bounded by the table's row count. *)
-let key_ndv ctx name cols =
-  let rows = Float.max 1. (rows_est ctx name) in
-  let product = List.fold_left (fun acc c -> acc *. ndv ctx name c) 1. cols in
-  Float.max 1. (Float.min rows product)
-
-(* Estimated extent of one node's derivation. Simple nodes scale the
-   base cardinality by the predicate's estimated selectivity; composed
-   derivations go through the relational cost model. *)
-let derivation_est ctx (ns : Translate.node_shape) =
-  let cat = Db.catalog ctx.ex_db in
-  match ns.Translate.ns_table with
-  | Some t ->
-    let base = rows_est ctx t in
-    let sel =
-      match ns.Translate.ns_pred with
-      | None -> 1.
-      | Some pred -> (
-        try
-          let access = Qgm.Access { table = lc t; alias = lc t } in
-          let unfiltered = Float.max 1. (Cost.estimate cat access) in
-          Cost.estimate cat (Qgm.Select { input = access; pred }) /. unfiltered
-        with _ -> 0.1)
-    in
-    Float.max 0. (base *. sel)
-  | None -> ( try Cost.estimate cat (Db.bind_select ctx.ex_db ns.Translate.ns_query) with _ -> 0.)
-
-(* Estimated children per probing parent row. *)
-let fanout_est ctx (es : Translate.edge_shape) ~child_est =
-  match (es.Translate.es_child_table, es.Translate.es_using) with
-  | Some ct, Some (link, lcols) when es.Translate.es_child_cols <> [] ->
-    let link_fan = rows_est ctx link /. key_ndv ctx link lcols in
-    let child_fan = child_est /. key_ndv ctx ct es.Translate.es_child_cols in
-    link_fan *. child_fan
-  | Some ct, None when es.Translate.es_child_cols <> [] ->
-    child_est /. key_ndv ctx ct es.Translate.es_child_cols
-  | _ ->
-    (* No equality key extracted: default join selectivity of 10%. *)
-    child_est *. 0.1
+let health = Edge_cost.health
 
 (* ------------------------------------------------------------------ *)
 (* The analysis pass                                                  *)
@@ -253,93 +162,36 @@ let fanout_est ctx (es : Translate.edge_shape) ~child_est =
 let analyze_compiled ?(probe_threshold = 1000.) ?(force_factor = 2.) ?(inversion_factor = 4.)
     ?(take = Xnf_ast.Take_star) ?(restrs = []) db (cp : Translate.compiled) : report =
   Obs.Metrics.incr m_runs;
-  let ctx = mk_ctx db in
+  let ctx = Edge_cost.mk_ctx db in
   let def = Translate.compiled_def cp in
   let nodes = Translate.node_shapes cp in
   let shapes = Translate.edge_shapes cp in
   let advs = ref [] in
   let add ?edge ?table d = advs := { ad_diag = d; ad_edge = edge; ad_table = table } :: !advs in
 
-  (* Per-node derivation estimates, then reached-extent propagation in
-     topological order (roots keep their derivation estimate; a child's
-     reached extent is bounded by its derivation and by the connections
-     arriving over incoming edges). Recursive schemas have no topo
-     order — fall back to derivation estimates, which over-approximate
-     the fixpoint's reach. *)
-  let der = List.map (fun (ns : Translate.node_shape) -> (ns.Translate.ns_name, derivation_est ctx ns)) nodes in
-  let der_of n = try List.assoc n der with Not_found -> 0. in
-  let shape_of name = List.find_opt (fun (s : Translate.edge_shape) -> s.Translate.es_name = name) shapes in
-  let reached = Hashtbl.create 8 in
-  let reached_of n = Option.value ~default:(der_of n) (Hashtbl.find_opt reached n) in
-  (match Co_schema.topo_order def with
-  | None -> List.iter (fun (n, e) -> Hashtbl.replace reached n e) der
-  | Some order ->
-    List.iter
-      (fun n ->
-        let est =
-          match Co_schema.incoming def n with
-          | [] -> der_of n
-          | inc ->
-            let arriving =
-              List.fold_left
-                (fun acc (ed : Co_schema.edge_def) ->
-                  let fan =
-                    match shape_of ed.Co_schema.ed_name with
-                    | Some es -> fanout_est ctx es ~child_est:(der_of n)
-                    | None -> 0.
-                  in
-                  acc +. (reached_of ed.Co_schema.ed_parent *. fan))
-                0. inc
-            in
-            Float.min (der_of n) arriving
-        in
-        Hashtbl.replace reached n est)
-      order);
-  let rp_nodes =
-    List.map (fun (ns : Translate.node_shape) -> (ns.Translate.ns_name, reached_of ns.Translate.ns_name)) nodes
-  in
+  (* Node reach and per-edge cost inputs from the shared estimator — the
+     same numbers [Translate.compile_def] picks strategies from. *)
+  let rp_nodes, ests = Edge_cost.annotate ctx ~nodes ~shapes in
 
   (* Cost-annotate every edge and pick the cheapest candidate strategy
      among those the compiled shape could support. *)
-  let cost_edge (es : Translate.edge_shape) =
-    let frontier = reached_of es.Translate.es_parent in
-    let child = der_of es.Translate.es_child in
-    let fanout = fanout_est ctx es ~child_est:child in
-    let conns = frontier *. fanout in
-    let build =
-      match es.Translate.es_using with Some (link, _) -> child +. rows_est ctx link | None -> child
-    in
-    let cost_of = function
-      | Translate.S_indexed -> frontier +. conns
-      | Translate.S_hash -> build +. frontier +. conns
-      | Translate.S_generic -> frontier *. Float.max 1. child
-    in
-    let candidates =
-      (if es.Translate.es_indexed then [ Translate.S_indexed ] else [])
-      @ (if es.Translate.es_child_table <> None && es.Translate.es_child_cols <> [] then
-           [ Translate.S_hash ]
-         else [])
-      @ [ Translate.S_generic ]
-    in
+  let cost_edge (es : Translate.edge_shape) (ee : Edge_cost.edge_est) =
+    let frontier = ee.Edge_cost.ee_frontier and conns = ee.Edge_cost.ee_conns in
+    let cost s = Edge_cost.cost_of ee ~frontier ~conns s in
     let best, best_cost =
-      List.fold_left
-        (fun (bs, bc) s ->
-          let c = cost_of s in
-          if c < bc then (s, c) else (bs, bc))
-        (List.hd candidates, cost_of (List.hd candidates))
-        (List.tl candidates)
+      Edge_cost.best ee ~candidates:(Edge_cost.candidates es) ~frontier ~conns
     in
     { ec_edge = es.Translate.es_name;
       ec_strategy = es.Translate.es_strategy;
       ec_frontier = frontier;
-      ec_child = child;
-      ec_fanout = fanout;
+      ec_child = ee.Edge_cost.ee_child;
+      ec_fanout = ee.Edge_cost.ee_fanout;
       ec_conns = conns;
-      ec_cost = cost_of es.Translate.es_strategy;
+      ec_cost = cost es.Translate.es_strategy;
       ec_best = best;
       ec_best_cost = best_cost }
   in
-  let rp_edges = List.map cost_edge shapes in
+  let rp_edges = List.map2 cost_edge shapes ests in
 
   let catalog = Db.catalog db in
   let has_index tbl cols =

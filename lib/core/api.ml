@@ -144,10 +144,17 @@ let sys_plans api () =
         ok)
       api.pc;
   let row source name p =
+    (* adaptive mid-fixpoint switches render as [edge=from->to] *)
+    let switched = Fetch_plan.switches p in
     let edges =
       String.concat ","
         (List.map
-           (fun (n, s) -> n ^ "=" ^ Translate.strategy_name s)
+           (fun (n, s) ->
+             match List.find_opt (fun sw -> sw.Translate.sw_edge = n) switched with
+             | Some sw ->
+               n ^ "=" ^ Translate.strategy_name s ^ "->"
+               ^ Translate.strategy_name sw.Translate.sw_to
+             | None -> n ^ "=" ^ Translate.strategy_name s)
            (Fetch_plan.strategies p))
     in
     [| Value.Str source; Value.Str name; Value.Int (Fetch_plan.nparams p);
@@ -624,12 +631,22 @@ let exec api text : outcome =
 let explain_analyze api text =
   match Xnf_parser.parse_stmt text with
   | Xnf_ast.X_query q ->
-    (* resolve the plan first (cache hit or fresh compile) so the fetch
-       below is the last traced root; its per-edge access-path selection
-       annotates the operator lines *)
-    let strategies = Fetch_plan.strategies (plan_for api q) in
+    (* resolve the plan (cache hit or fresh compile) and execute through
+       it directly — not [fetch_raw]'s internal compile — so adaptive
+       mid-fixpoint switches land on the plan in hand and annotate the
+       operator lines below. One enclosing span keeps compile and
+       execution under the same traced root. *)
     let seq0 = api.adv_next in
-    let cache = fetch_raw api q in
+    let plan, cache =
+      Obs.Trace.with_span "xnf.explain" @@ fun () ->
+      let plan = plan_for api q in
+      count_fetch api;
+      let cache = Fetch_plan.execute api.db plan in
+      record_drift api plan cache;
+      (plan, cache)
+    in
+    let strategies = Fetch_plan.strategies plan in
+    let switched = Fetch_plan.switches plan in
     let b = Buffer.create 256 in
     (match Obs.Trace.last () with
     | Some sp ->
@@ -648,8 +665,16 @@ let explain_analyze api text =
           | Some s -> Translate.strategy_name s
           | None -> "generic"
         in
-        Printf.bprintf b "  edge %-24s conns=%d strategy=%s\n" name
-          (List.length (Cache.conns_live ei)) strategy)
+        let switch_note =
+          match List.find_opt (fun sw -> sw.Translate.sw_edge = name) switched with
+          | Some sw ->
+            Printf.sprintf " (switched to %s, round %d)"
+              (Translate.strategy_name sw.Translate.sw_to)
+              sw.Translate.sw_round
+          | None -> ""
+        in
+        Printf.bprintf b "  edge %-24s conns=%d strategy=%s%s\n" name
+          (List.length (Cache.conns_live ei)) strategy switch_note)
       cache.Cache.c_edges;
     Printf.bprintf b "(%d tuples, %d connections)\n" (Cache.total_tuples cache)
       (Cache.total_conns cache);

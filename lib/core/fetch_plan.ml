@@ -90,19 +90,44 @@ let reg_version plan = plan.fp_reg_version
 let catalog_version plan = plan.fp_catalog_version
 let index_epoch plan = plan.fp_index_epoch
 
-(** [strategies plan] is the access path selected per relationship. *)
+(** [strategies plan] is the access path selected per relationship at
+    compile time. *)
 let strategies plan = Translate.edge_strategies plan.fp_compiled
 
+(** [effective_strategies plan] is {!strategies} with adaptive
+    mid-fixpoint switches from the plan's most recent execution applied. *)
+let effective_strategies plan = Translate.effective_strategies plan.fp_compiled
+
+(** [switches plan] lists the adaptive strategy switches recorded on the
+    plan (at most one per edge, latest execution wins). *)
+let switches plan = Translate.switches plan.fp_compiled
+
+(** [cost_based plan] is true when access-path selection came from the
+    shared cost model (fresh stats on every base table, no [?force]). *)
+let cost_based plan = Translate.cost_based plan.fp_compiled
+
 (** [describe plan] is a one-line summary for [\plans], including the
-    selected per-edge access paths. *)
+    selected per-edge access paths (adaptive switches rendered as
+    [from->to]). *)
 let describe plan =
+  let switched = switches plan in
   let strats =
     match strategies plan with
     | [] -> ""
     | ss ->
       " edges="
       ^ String.concat ","
-          (List.map (fun (n, s) -> Printf.sprintf "%s:%s" n (Translate.strategy_name s)) ss)
+          (List.map
+             (fun (n, s) ->
+               match List.find_opt (fun sw -> sw.Translate.sw_edge = n) switched with
+               | Some sw ->
+                 Printf.sprintf "%s:%s->%s" n
+                   (Translate.strategy_name s)
+                   (Translate.strategy_name sw.Translate.sw_to)
+               | None -> Printf.sprintf "%s:%s" n (Translate.strategy_name s))
+             ss)
   in
-  Printf.sprintf "params=%d hits=%d reg=v%d cat=v%d idx=e%d%s | %s" plan.fp_nparams plan.fp_hits
-    plan.fp_reg_version plan.fp_catalog_version plan.fp_index_epoch strats plan.fp_text
+  Printf.sprintf "params=%d hits=%d reg=v%d cat=v%d idx=e%d%s%s | %s" plan.fp_nparams plan.fp_hits
+    plan.fp_reg_version plan.fp_catalog_version plan.fp_index_epoch
+    (if cost_based plan then " cost" else "")
+    strats plan.fp_text

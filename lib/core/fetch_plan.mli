@@ -67,6 +67,20 @@ val index_epoch : t -> int
     for each relationship of the plan, in definition order. *)
 val strategies : t -> (string * Translate.strategy) list
 
+(** [effective_strategies plan] is {!strategies} with adaptive
+    mid-fixpoint switches from the plan's most recent execution applied —
+    what the next execution will start from. *)
+val effective_strategies : t -> (string * Translate.strategy) list
+
+(** [switches plan] lists the adaptive strategy switches recorded on the
+    plan, oldest first (at most one per edge, latest execution wins). *)
+val switches : t -> Translate.switch_rec list
+
+(** [cost_based plan] is true when access-path selection came from the
+    shared cost model (fresh ANALYZE stats on every base table, no
+    [?force]). *)
+val cost_based : t -> bool
+
 (** [describe plan] is a one-line summary (parameters, hits, version
     snapshot, query text) for the shell's [\plans] listing. *)
 val describe : t -> string

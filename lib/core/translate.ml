@@ -40,13 +40,12 @@ let err fmt = Fmt.kstr (fun s -> raise (Translate_error s)) fmt
 
 type fixpoint = Semi_naive | Naive
 
-(** Edge access paths, in selection-priority order. *)
-type strategy = S_indexed | S_hash | S_generic
+(** Edge access paths, in static selection-priority order — the
+    definition lives in [Relational.Edge_cost] so the shared cost model
+    and the planner speak the same type. *)
+type strategy = Edge_cost.strategy = S_indexed | S_hash | S_generic
 
-let strategy_name = function
-  | S_indexed -> "indexed"
-  | S_hash -> "hash-batch"
-  | S_generic -> "generic"
+let strategy_name = Edge_cost.strategy_name
 
 (** Statistics of translation activity since the last [reset_stats]. *)
 type stats = {
@@ -59,11 +58,14 @@ type stats = {
   mutable hash_builds : int;  (** hash tables built over child/link extents *)
   mutable hash_build_reuses : int;  (** builds skipped: cached table still version-valid *)
   mutable hash_probes : int;  (** batch hash probe passes run *)
+  mutable cost_picks : int;  (** edges whose strategy came from the cost model *)
+  mutable strategy_switches : int;  (** adaptive mid-fixpoint strategy switches *)
 }
 
 let stats =
   { queries_issued = 0; fixpoint_rounds = 0; tuples_probed = 0; indexed_probes = 0;
-    generic_probes = 0; hash_edges = 0; hash_builds = 0; hash_build_reuses = 0; hash_probes = 0 }
+    generic_probes = 0; hash_edges = 0; hash_builds = 0; hash_build_reuses = 0; hash_probes = 0;
+    cost_picks = 0; strategy_switches = 0 }
 
 let reset_stats () =
   stats.queries_issued <- 0;
@@ -74,7 +76,9 @@ let reset_stats () =
   stats.hash_edges <- 0;
   stats.hash_builds <- 0;
   stats.hash_build_reuses <- 0;
-  stats.hash_probes <- 0
+  stats.hash_probes <- 0;
+  stats.cost_picks <- 0;
+  stats.strategy_switches <- 0
 
 (* the same activity, mirrored into the process-global metrics registry
    (the [stats] record stays per-module for the existing harness API) *)
@@ -87,6 +91,28 @@ let m_hash_edges = Obs.Metrics.counter "xnf.translate.hash_edges"
 let m_hash_builds = Obs.Metrics.counter "xnf.translate.hash_builds"
 let m_hash_build_reuses = Obs.Metrics.counter "xnf.translate.hash_build_reuses"
 let m_hash_probes = Obs.Metrics.counter "xnf.translate.hash_probes"
+let m_cost_picks = Obs.Metrics.counter "xnf.translate.cost_picks"
+let m_strategy_switches = Obs.Metrics.counter "xnf.translate.strategy_switches"
+
+(* ---- adaptive mid-fixpoint fallback knobs ----
+
+   Between semi-naive rounds the executor compares observed
+   probe/connection/candidate-scan counters against the plan's estimates
+   and switches an edge's strategy for subsequent rounds when they
+   diverge beyond [adaptive_factor] (at least [adaptive_min_rows]
+   observed rows, so tiny instances never flap). Process-global knobs,
+   like the optimizer toggles. *)
+
+let adaptive_on = ref true
+let adaptive_factor_v = ref 8.
+let adaptive_min_rows_v = ref 64
+
+let set_adaptive b = adaptive_on := b
+let adaptive_enabled () = !adaptive_on
+let set_adaptive_factor f = adaptive_factor_v := Float.max 0. f
+let adaptive_factor () = !adaptive_factor_v
+let set_adaptive_min_rows n = adaptive_min_rows_v := max 0 n
+let adaptive_min_rows () = !adaptive_min_rows_v
 
 let note_query () =
   stats.queries_issued <- stats.queries_issued + 1;
@@ -269,20 +295,14 @@ let ensure_temp db rt =
 (* ---- probers ----
 
    A prober answers "children of this parent tuple" for one relationship.
-   [P_indexed] resolves matches through base-table indexes in OCaml — the
-   executed form of an index-nested-loop plan; [P_generic] routes a
-   frontier batch through the relational engine. Both deliver, per match:
-   the child's base rowid (identity), the child's node-output row, and the
+   The indexed form resolves matches through base-table indexes in OCaml —
+   the executed form of an index-nested-loop plan; the hash form through
+   version-cached hash builds; the generic fallback routes a frontier
+   batch through the relational engine. All deliver, per match: the
+   child's base rowid (identity), the child's node-output row, and the
    relationship-attribute row. *)
 
 type probe_hit = { ph_rowid : int; ph_row : Row.t; ph_attrs : Row.t }
-
-type prober =
-  | P_indexed of Schema.t * (Row.t -> probe_hit list)
-      (** relationship-attribute schema + probe applied to the parent node row *)
-  | P_hash of Schema.t * (Row.t -> probe_hit list)
-      (** same contract, resolved through version-cached hash builds *)
-  | P_generic of Schema.t  (** precomputed relationship-attribute schema *)
 
 let edge_conjuncts (ed : Co_schema.edge_def) =
   let rec split = function
@@ -343,9 +363,13 @@ let prober_ctx db (ed : Co_schema.edge_def) ~(parent_schema : Schema.t) ~(child 
    the parent node's output schema, the child must be simple. The result
    is parameterized over EXECUTE-time values: applying it to a [params]
    array substitutes the parameter slots once and yields the per-row
-   probe function. *)
+   probe function. The [int ref] counts candidate rows scanned (index
+   bucket sizes before residual filtering, cumulative over the prober's
+   lifetime) — the observable the adaptive fallback compares against the
+   plan's scan estimate, since stale statistics cannot show a skewed
+   bucket but the counter does. *)
 let build_indexed_prober db (ed : Co_schema.edge_def) ~(parent_schema : Schema.t)
-    ~(child : simple) : (Value.t array -> Row.t -> probe_hit list) option =
+    ~(child : simple) : ((Value.t array -> Row.t -> probe_hit list) * int ref) option =
   let pa = ed.Co_schema.ed_parent_alias and ca = ed.Co_schema.ed_child_alias in
   let child_base_schema = Table.schema child.s_table in
   let conjuncts = edge_conjuncts ed in
@@ -377,32 +401,38 @@ let build_indexed_prober db (ed : Co_schema.edge_def) ~(parent_schema : Schema.t
     | None -> None
     | Some (parent_col, idx, residual) ->
       let residual0 = bind_residual residual in
+      let scanned = ref 0 in
       Some
-        (fun params ->
-          let sub, eval_attrs, child_ok = specialize params in
-          let residual = Option.map sub residual0 in
-          fun parent_row ->
-          let key = parent_row.(parent_col) in
-          if Value.is_null key then []
-          else
-            List.filter_map
-              (fun (rowid, base_row) ->
-                if not (child_ok base_row) then None
-                else if residual = None && no_attrs then
-                  (* fast path: nothing reads the concat row — skip it *)
-                  Some { ph_rowid = rowid; ph_row = node_row base_row; ph_attrs = [||] }
-                else begin
-                  let concat = Row.concat parent_row base_row in
-                  let keep =
-                    match residual with
-                    | None -> true
-                    | Some p -> Value.is_true (Expr.eval_pred concat p)
-                  in
-                  if keep then
-                    Some { ph_rowid = rowid; ph_row = node_row base_row; ph_attrs = eval_attrs concat }
-                  else None
-                end)
-              (Table.lookup_index child.s_table idx [| key |]))
+        ( (fun params ->
+            let sub, eval_attrs, child_ok = specialize params in
+            let residual = Option.map sub residual0 in
+            fun parent_row ->
+            let key = parent_row.(parent_col) in
+            if Value.is_null key then []
+            else begin
+              let cands = Table.lookup_index child.s_table idx [| key |] in
+              scanned := !scanned + List.length cands;
+              List.filter_map
+                (fun (rowid, base_row) ->
+                  if not (child_ok base_row) then None
+                  else if residual = None && no_attrs then
+                    (* fast path: nothing reads the concat row — skip it *)
+                    Some { ph_rowid = rowid; ph_row = node_row base_row; ph_attrs = [||] }
+                  else begin
+                    let concat = Row.concat parent_row base_row in
+                    let keep =
+                      match residual with
+                      | None -> true
+                      | Some p -> Value.is_true (Expr.eval_pred concat p)
+                    in
+                    if keep then
+                      Some
+                        { ph_rowid = rowid; ph_row = node_row base_row; ph_attrs = eval_attrs concat }
+                    else None
+                  end)
+                cands
+            end),
+          scanned )
   end
   | Some (link_name, la) -> begin
     match Catalog.table_opt (Db.catalog db) link_name with
@@ -444,40 +474,48 @@ let build_indexed_prober db (ed : Co_schema.edge_def) ~(parent_schema : Schema.t
         | Some link_idx, Some child_idx ->
           ignore child_key_cols;
           let residual0 = bind_residual (List.rev !residual) in
+          let scanned = ref 0 in
           Some
-            (fun params ->
-              let sub, eval_attrs, child_ok = specialize params in
-              let residual = Option.map sub residual0 in
-              fun parent_row ->
-              let link_key = Array.of_list (List.map (fun (_, p) -> parent_row.(p)) parent_bind) in
-              if Array.exists Value.is_null link_key then []
-              else
-                List.concat_map
-                  (fun (_, link_row) ->
-                    let child_key =
-                      Array.of_list (List.map (fun (l, _) -> link_row.(l)) child_bind)
-                    in
-                    if Array.exists Value.is_null child_key then []
-                    else
-                      List.filter_map
-                        (fun (rowid, base_row) ->
-                          if not (child_ok base_row) then None
-                          else if residual = None && no_attrs then
-                            Some { ph_rowid = rowid; ph_row = node_row base_row; ph_attrs = [||] }
-                          else begin
-                            let concat = Row.concat (Row.concat parent_row base_row) link_row in
-                            let keep =
-                              match residual with
-                              | None -> true
-                              | Some p -> Value.is_true (Expr.eval_pred concat p)
-                            in
-                            if keep then
-                              Some { ph_rowid = rowid; ph_row = node_row base_row;
-                                     ph_attrs = eval_attrs concat }
-                            else None
-                          end)
-                        (Table.lookup_index child.s_table child_idx child_key))
-                  (Table.lookup_index link link_idx link_key))
+            ( (fun params ->
+                let sub, eval_attrs, child_ok = specialize params in
+                let residual = Option.map sub residual0 in
+                fun parent_row ->
+                let link_key = Array.of_list (List.map (fun (_, p) -> parent_row.(p)) parent_bind) in
+                if Array.exists Value.is_null link_key then []
+                else begin
+                  let links = Table.lookup_index link link_idx link_key in
+                  scanned := !scanned + List.length links;
+                  List.concat_map
+                    (fun (_, link_row) ->
+                      let child_key =
+                        Array.of_list (List.map (fun (l, _) -> link_row.(l)) child_bind)
+                      in
+                      if Array.exists Value.is_null child_key then []
+                      else begin
+                        let cands = Table.lookup_index child.s_table child_idx child_key in
+                        scanned := !scanned + List.length cands;
+                        List.filter_map
+                          (fun (rowid, base_row) ->
+                            if not (child_ok base_row) then None
+                            else if residual = None && no_attrs then
+                              Some { ph_rowid = rowid; ph_row = node_row base_row; ph_attrs = [||] }
+                            else begin
+                              let concat = Row.concat (Row.concat parent_row base_row) link_row in
+                              let keep =
+                                match residual with
+                                | None -> true
+                                | Some p -> Value.is_true (Expr.eval_pred concat p)
+                              in
+                              if keep then
+                                Some { ph_rowid = rowid; ph_row = node_row base_row;
+                                       ph_attrs = eval_attrs concat }
+                              else None
+                            end)
+                          cands
+                      end)
+                    links
+                end),
+              scanned )
         | _ -> None
       end
     end
@@ -544,12 +582,14 @@ let probe_build tbl (key : Expr.Row_key.t) =
   if Expr.Row_key.has_null key then [] else Expr.Row_key_tbl.find_all tbl key
 
 (* try to build a batch-hash prober for [ed] — same contract as
-   [build_indexed_prober], but resolving matches through version-cached
-   hash builds instead of stored indexes, so it applies to any
-   equality-joined simple child. Builds/reuses happen when the returned
-   closure is applied to the EXECUTE-time [params] — once per fetch. *)
+   [build_indexed_prober] (including the candidate-scan counter: bucket
+   sizes before residual filtering), but resolving matches through
+   version-cached hash builds instead of stored indexes, so it applies
+   to any equality-joined simple child. Builds/reuses happen when the
+   returned closure is applied to the EXECUTE-time [params] — once per
+   fetch. *)
 let build_hash_prober db (ed : Co_schema.edge_def) ~(parent_schema : Schema.t)
-    ~(child : simple) : (Value.t array -> Row.t -> probe_hit list) option =
+    ~(child : simple) : ((Value.t array -> Row.t -> probe_hit list) * int ref) option =
   let pa = ed.Co_schema.ed_parent_alias and ca = ed.Co_schema.ed_child_alias in
   let child_base_schema = Table.schema child.s_table in
   let conjuncts = edge_conjuncts ed in
@@ -585,31 +625,36 @@ let build_hash_prober db (ed : Co_schema.edge_def) ~(parent_schema : Schema.t)
           hs_build = None }
       in
       let residual0 = bind_residual (List.rev !residual) in
+      let scanned = ref 0 in
       Some
-        (fun params ->
-          let sub, eval_attrs, child_ok = specialize params in
-          let residual = Option.map sub residual0 in
-          let tbl = ensure_build source in
-          fun parent_row ->
-            let key = Array.map (fun p -> parent_row.(p)) parent_cols in
-            List.filter_map
-              (fun (rowid, base_row) ->
-                if not (child_ok base_row) then None
-                else if residual = None && no_attrs then
-                  (* fast path: nothing reads the concat row — skip it *)
-                  Some { ph_rowid = rowid; ph_row = node_row base_row; ph_attrs = [||] }
-                else begin
-                  let concat = Row.concat parent_row base_row in
-                  let keep =
-                    match residual with
-                    | None -> true
-                    | Some p -> Value.is_true (Expr.eval_pred concat p)
-                  in
-                  if keep then
-                    Some { ph_rowid = rowid; ph_row = node_row base_row; ph_attrs = eval_attrs concat }
-                  else None
-                end)
-              (probe_build tbl key))
+        ( (fun params ->
+            let sub, eval_attrs, child_ok = specialize params in
+            let residual = Option.map sub residual0 in
+            let tbl = ensure_build source in
+            fun parent_row ->
+              let key = Array.map (fun p -> parent_row.(p)) parent_cols in
+              let cands = probe_build tbl key in
+              scanned := !scanned + List.length cands;
+              List.filter_map
+                (fun (rowid, base_row) ->
+                  if not (child_ok base_row) then None
+                  else if residual = None && no_attrs then
+                    (* fast path: nothing reads the concat row — skip it *)
+                    Some { ph_rowid = rowid; ph_row = node_row base_row; ph_attrs = [||] }
+                  else begin
+                    let concat = Row.concat parent_row base_row in
+                    let keep =
+                      match residual with
+                      | None -> true
+                      | Some p -> Value.is_true (Expr.eval_pred concat p)
+                    in
+                    if keep then
+                      Some
+                        { ph_rowid = rowid; ph_row = node_row base_row; ph_attrs = eval_attrs concat }
+                    else None
+                  end)
+                cands),
+          scanned )
   end
   | Some (link_name, la) -> begin
     match Catalog.table_opt (Db.catalog db) link_name with
@@ -652,36 +697,42 @@ let build_hash_prober db (ed : Co_schema.edge_def) ~(parent_schema : Schema.t)
             hs_build = None }
         in
         let residual0 = bind_residual (List.rev !residual) in
+        let scanned = ref 0 in
         Some
-          (fun params ->
-            let sub, eval_attrs, child_ok = specialize params in
-            let residual = Option.map sub residual0 in
-            let ltbl = ensure_build link_source in
-            let ctbl = ensure_build child_source in
-            fun parent_row ->
-              let link_key = Array.map (fun p -> parent_row.(p)) parent_cols in
-              List.concat_map
-                (fun (_, link_row) ->
-                  let child_key = Array.map (fun l -> link_row.(l)) link_ccols in
-                  List.filter_map
-                    (fun (rowid, base_row) ->
-                      if not (child_ok base_row) then None
-                      else if residual = None && no_attrs then
-                        Some { ph_rowid = rowid; ph_row = node_row base_row; ph_attrs = [||] }
-                      else begin
-                        let concat = Row.concat (Row.concat parent_row base_row) link_row in
-                        let keep =
-                          match residual with
-                          | None -> true
-                          | Some p -> Value.is_true (Expr.eval_pred concat p)
-                        in
-                        if keep then
-                          Some { ph_rowid = rowid; ph_row = node_row base_row;
-                                 ph_attrs = eval_attrs concat }
-                        else None
-                      end)
-                    (probe_build ctbl child_key))
-                (probe_build ltbl link_key))
+          ( (fun params ->
+              let sub, eval_attrs, child_ok = specialize params in
+              let residual = Option.map sub residual0 in
+              let ltbl = ensure_build link_source in
+              let ctbl = ensure_build child_source in
+              fun parent_row ->
+                let link_key = Array.map (fun p -> parent_row.(p)) parent_cols in
+                let links = probe_build ltbl link_key in
+                scanned := !scanned + List.length links;
+                List.concat_map
+                  (fun (_, link_row) ->
+                    let child_key = Array.map (fun l -> link_row.(l)) link_ccols in
+                    let cands = probe_build ctbl child_key in
+                    scanned := !scanned + List.length cands;
+                    List.filter_map
+                      (fun (rowid, base_row) ->
+                        if not (child_ok base_row) then None
+                        else if residual = None && no_attrs then
+                          Some { ph_rowid = rowid; ph_row = node_row base_row; ph_attrs = [||] }
+                        else begin
+                          let concat = Row.concat (Row.concat parent_row base_row) link_row in
+                          let keep =
+                            match residual with
+                            | None -> true
+                            | Some p -> Value.is_true (Expr.eval_pred concat p)
+                          in
+                          if keep then
+                            Some { ph_rowid = rowid; ph_row = node_row base_row;
+                                   ph_attrs = eval_attrs concat }
+                          else None
+                        end)
+                      cands)
+                  links),
+            scanned )
       end
     end
   end
@@ -789,7 +840,7 @@ let attr_schema_of db (ed : Co_schema.edge_def) ~parent_schema ~child_schema =
    data, only names: they exist for post-compile analysis (the static
    plan advisor) which must reason about a plan without executing it. *)
 
-type edge_shape = {
+type edge_shape = Edge_cost.edge_shape = {
   es_name : string;
   es_parent : string;  (** parent node name *)
   es_child : string;  (** child node name *)
@@ -803,7 +854,7 @@ type edge_shape = {
   es_residual : bool;  (** non-key conjuncts remain after key extraction *)
 }
 
-type node_shape = {
+type node_shape = Edge_cost.node_shape = {
   ns_name : string;
   ns_table : string option;  (** base table when the derivation is simple *)
   ns_pred : Expr.t option;  (** combined simple predicate over the base row *)
@@ -979,12 +1030,36 @@ type node_plan = {
   np_upd : Semantic.node_updatability option;
 }
 
-type edge_plan =
-  | EP_indexed of Schema.t * (Value.t array -> Row.t -> probe_hit list)
-      (** precomputed relationship-attribute schema + parameterized prober *)
-  | EP_hash of Schema.t * (Value.t array -> Row.t -> probe_hit list)
-      (** batch hash prober; its closure owns the version-cached builds *)
-  | EP_generic of Schema.t  (** precomputed relationship-attribute schema *)
+(* one compiled access path: relationship-attribute schema, parameterized
+   prober (its closure owns any version-cached hash builds), and the
+   cumulative candidate-rows-scanned counter its probes maintain *)
+type built_prober = {
+  bp_schema : Schema.t;
+  bp_fn : Value.t array -> Row.t -> probe_hit list;
+  bp_scanned : int ref;
+}
+
+(* every access path the edge can be served by, compiled up front: the
+   plan picks one, the adaptive runtime check may instate an alternate
+   mid-fixpoint. Unbuilt probers cost nothing until specialized. *)
+type edge_candidates = {
+  ec_indexed : built_prober option;
+  ec_hash : built_prober option;
+  ec_generic_schema : Schema.t;  (** the always-applicable fallback *)
+}
+
+type edge_plan = {
+  ep_chosen : strategy;  (** compile-time pick (cost-based or static) *)
+  ep_cands : edge_candidates;
+}
+
+(** One adaptive mid-fixpoint strategy switch, recorded on the plan. *)
+type switch_rec = {
+  sw_edge : string;
+  sw_from : strategy;
+  sw_to : strategy;
+  sw_round : int;  (** fixpoint round (1-based, per execution) after which it applied *)
+}
 
 (* final updatability analysis of one edge against the post-TAKE schemas —
    a pure function of the plan, so computed once at compile time *)
@@ -1002,6 +1077,12 @@ type compiled = {
   cp_force : strategy option;  (** the [?force] pin the plan was compiled under *)
   cp_base_tables : string list;  (** staleness-tracked base tables *)
   cp_final : (string * edge_final) list;  (** per edge surviving the plan's TAKE *)
+  cp_ests : (string * Edge_cost.edge_est) list;
+      (** per-edge cost inputs, nonempty iff the pick was cost-based *)
+  cp_cost_based : bool;  (** selection came from the shared cost model (fresh stats) *)
+  mutable cp_switches : switch_rec list;
+      (** adaptive switches, latest first, at most one per edge; written by
+          executions so a plan-cache hit starts from the learned strategy *)
 }
 
 (** [compile_def ?take ?force db def] runs the "translate" phase on a
@@ -1025,60 +1106,6 @@ let compile_def ?(take = Xnf_ast.Take_star) ?force db (def : Co_schema.t) : comp
       def.Co_schema.co_nodes
   in
   let node name = List.assoc name nodes in
-  let allowed s = match force with None -> true | Some f -> f = s in
-  let edges =
-    List.map
-      (fun (ed : Co_schema.edge_def) ->
-        let parent = node ed.Co_schema.ed_parent and child = node ed.Co_schema.ed_child in
-        (* a probe path over base rows needs a simple child; selection
-           priority is indexed > batch hash > generic *)
-        let try_prober want build wrap =
-          if not (allowed want) then None
-          else
-            match child.np_simple with
-            | None -> None
-            | Some c ->
-              Option.map
-                (fun f ->
-                  let attr_schema =
-                    attr_schema_of db ed ~parent_schema:parent.np_schema
-                      ~child_schema:(Table.schema c.s_table)
-                  in
-                  wrap attr_schema f)
-                (build db ed ~parent_schema:parent.np_schema ~child:c)
-        in
-        let plan =
-          match try_prober S_indexed build_indexed_prober (fun s f -> EP_indexed (s, f)) with
-          | Some p ->
-            stats.indexed_probes <- stats.indexed_probes + 1;
-            Obs.Metrics.incr m_indexed_probes;
-            p
-          | None -> begin
-            match try_prober S_hash build_hash_prober (fun s f -> EP_hash (s, f)) with
-            | Some p ->
-              stats.hash_edges <- stats.hash_edges + 1;
-              Obs.Metrics.incr m_hash_edges;
-              p
-            | None ->
-              stats.generic_probes <- stats.generic_probes + 1;
-              Obs.Metrics.incr m_generic_probes;
-              EP_generic
-                (attr_schema_of db ed ~parent_schema:parent.np_schema
-                   ~child_schema:child.np_schema)
-          end
-        in
-        let strat =
-          match plan with EP_indexed _ -> S_indexed | EP_hash _ -> S_hash | EP_generic _ -> S_generic
-        in
-        let shape =
-          edge_shape_of db ed ~parent_schema:parent.np_schema ~child:child.np_simple
-            ~strategy:strat
-        in
-        ((ed.Co_schema.ed_name, plan), shape))
-      def.Co_schema.co_edges
-  in
-  let shapes = List.map snd edges in
-  let edges = List.map fst edges in
   let base_tables =
     List.concat_map (fun nd -> tables_of_select catalog nd.Co_schema.nd_query) def.Co_schema.co_nodes
     @ List.filter_map
@@ -1087,6 +1114,106 @@ let compile_def ?(take = Xnf_ast.Take_star) ?force db (def : Co_schema.t) : comp
         def.Co_schema.co_edges
     |> List.sort_uniq compare
   in
+  (* every servable access path per edge, compiled up front (a probe path
+     over base rows needs a simple child; generic always applies) *)
+  let cand_edges =
+    List.map
+      (fun (ed : Co_schema.edge_def) ->
+        let parent = node ed.Co_schema.ed_parent and child = node ed.Co_schema.ed_child in
+        let try_prober build =
+          match child.np_simple with
+          | None -> None
+          | Some c ->
+            Option.map
+              (fun (f, scanned) ->
+                let attr_schema =
+                  attr_schema_of db ed ~parent_schema:parent.np_schema
+                    ~child_schema:(Table.schema c.s_table)
+                in
+                { bp_schema = attr_schema; bp_fn = f; bp_scanned = scanned })
+              (build db ed ~parent_schema:parent.np_schema ~child:c)
+        in
+        let cands =
+          { ec_indexed = try_prober build_indexed_prober;
+            ec_hash = try_prober build_hash_prober;
+            ec_generic_schema =
+              attr_schema_of db ed ~parent_schema:parent.np_schema
+                ~child_schema:child.np_schema }
+        in
+        let shape =
+          edge_shape_of db ed ~parent_schema:parent.np_schema ~child:child.np_simple
+            ~strategy:S_generic
+        in
+        (ed, cands, shape))
+      def.Co_schema.co_edges
+  in
+  (* the strategies the compiled closures can actually serve, in static
+     selection-priority order (indexed > batch hash > generic) *)
+  let servable cands =
+    (if cands.ec_indexed <> None then [ S_indexed ] else [])
+    @ (if cands.ec_hash <> None then [ S_hash ] else [])
+    @ [ S_generic ]
+  in
+  (* cost-based pick: only unforced and with a fresh ANALYZE snapshot for
+     every base table the plan reads — stale or missing stats fall back
+     to the static priority rules, [?force] always wins *)
+  let ctx = Edge_cost.mk_ctx db in
+  let cost_based =
+    force = None && base_tables <> []
+    && List.for_all (fun t -> Edge_cost.health ctx t = `Fresh) base_tables
+  in
+  let ests =
+    if not cost_based then []
+    else begin
+      let shape_nodes =
+        List.map
+          (fun (name, np) ->
+            { ns_name = name;
+              ns_table = Option.map (fun s -> Table.name s.s_table) np.np_simple;
+              ns_pred = Option.bind np.np_simple (fun s -> s.s_pred);
+              ns_query = np.np_def.Co_schema.nd_query })
+          nodes
+      in
+      let _, ests =
+        Edge_cost.annotate ctx ~nodes:shape_nodes ~shapes:(List.map (fun (_, _, s) -> s) cand_edges)
+      in
+      List.map (fun (ee : Edge_cost.edge_est) -> (ee.Edge_cost.ee_edge, ee)) ests
+    end
+  in
+  let edges =
+    List.map
+      (fun ((ed : Co_schema.edge_def), cands, shape0) ->
+        let avail = servable cands in
+        let chosen =
+          match force with
+          | Some f -> if List.mem f avail then f else S_generic
+          | None -> begin
+            match List.assoc_opt ed.Co_schema.ed_name ests with
+            | Some ee ->
+              stats.cost_picks <- stats.cost_picks + 1;
+              Obs.Metrics.incr m_cost_picks;
+              fst
+                (Edge_cost.best ee ~candidates:avail ~frontier:ee.Edge_cost.ee_frontier
+                   ~conns:ee.Edge_cost.ee_conns)
+            | None -> List.hd avail
+          end
+        in
+        (match chosen with
+        | S_indexed ->
+          stats.indexed_probes <- stats.indexed_probes + 1;
+          Obs.Metrics.incr m_indexed_probes
+        | S_hash ->
+          stats.hash_edges <- stats.hash_edges + 1;
+          Obs.Metrics.incr m_hash_edges
+        | S_generic ->
+          stats.generic_probes <- stats.generic_probes + 1;
+          Obs.Metrics.incr m_generic_probes);
+        ( (ed.Co_schema.ed_name, { ep_chosen = chosen; ep_cands = cands }),
+          { shape0 with es_strategy = chosen } ))
+      cand_edges
+  in
+  let shapes = List.map snd edges in
+  let edges = List.map fst edges in
   (* final updatability analysis against the post-TAKE node schemas — the
      schemas are plan-determined, so the per-edge analysis is too *)
   let final_def =
@@ -1117,17 +1244,33 @@ let compile_def ?(take = Xnf_ast.Take_star) ?force db (def : Co_schema.t) : comp
       final_def.Co_schema.co_edges
   in
   { cp_def = def; cp_nodes = nodes; cp_edges = edges; cp_shapes = shapes; cp_force = force;
-    cp_base_tables = base_tables; cp_final = final }
+    cp_base_tables = base_tables; cp_final = final; cp_ests = ests; cp_cost_based = cost_based;
+    cp_switches = [] }
 
 (** [edge_strategies cp] lists the access path selected for each
     relationship, in definition order — surfaced by [EXPLAIN ANALYZE] and
     [\plans]. *)
 let edge_strategies (cp : compiled) : (string * strategy) list =
+  List.map (fun (name, ep) -> (name, ep.ep_chosen)) cp.cp_edges
+
+(** [effective_strategies cp] is {!edge_strategies} with the adaptive
+    switches recorded by the most recent execution applied — the paths
+    the next execution of this plan will start from. *)
+let effective_strategies (cp : compiled) : (string * strategy) list =
   List.map
     (fun (name, ep) ->
-      ( name,
-        match ep with EP_indexed _ -> S_indexed | EP_hash _ -> S_hash | EP_generic _ -> S_generic ))
+      match List.find_opt (fun sw -> sw.sw_edge = name) cp.cp_switches with
+      | Some sw -> (name, sw.sw_to)
+      | None -> (name, ep.ep_chosen))
     cp.cp_edges
+
+(** [switches cp] lists the adaptive strategy switches recorded on the
+    plan, oldest first (at most one per edge — latest execution wins). *)
+let switches (cp : compiled) : switch_rec list = List.rev cp.cp_switches
+
+(** [cost_based cp] is true when per-edge selection came from the shared
+    cost model (fresh stats, no [?force]). *)
+let cost_based (cp : compiled) : bool = cp.cp_cost_based
 
 (** [edge_shapes cp] is the structural join shape per relationship, in
     definition order — consumed by the static plan advisor. *)
@@ -1153,6 +1296,22 @@ let compiled_def (cp : compiled) : Co_schema.t = cp.cp_def
 
 (** [base_tables cp] is the staleness-tracked base-table set. *)
 let base_tables (cp : compiled) : string list = cp.cp_base_tables
+
+(* per-edge adaptive runtime state for one execution: which strategy is
+   serving, its specialized prober (None = generic path), and the observed
+   frontier/connection/candidate-scan counters the between-rounds check
+   compares against the plan's estimates *)
+type edge_rt = {
+  er_name : string;
+  er_plan : edge_plan;
+  mutable er_serving : strategy;
+  mutable er_probe : (Row.t -> probe_hit list) option;
+  mutable er_bp : built_prober option;  (** serving prober's compile-time record *)
+  mutable er_scan_base : int;  (** [bp_scanned] when the serving prober was instated *)
+  mutable er_probed : int;  (** frontier rows fed to this edge so far *)
+  mutable er_conns : int;  (** connections produced so far *)
+  mutable er_switched : bool;  (** divergence handled — at most one switch per execution *)
+}
 
 (* substitute EXECUTE-time values into the symbolic (instance-evaluated)
    restrictions *)
@@ -1222,17 +1381,41 @@ let execute_def ?(fixpoint = Semi_naive) ?(params = [||]) db (cp : compiled)
   (* binding the parameter slots into the probers; batch-hash edges
      (re)build or reuse their version-cached hash tables here, once per
      fetch *)
-  let probers =
+  let set_serving er s =
+    er.er_serving <- s;
+    let bp =
+      match s with
+      | S_indexed -> er.er_plan.ep_cands.ec_indexed
+      | S_hash -> er.er_plan.ep_cands.ec_hash
+      | S_generic -> None
+    in
+    er.er_bp <- bp;
+    match bp with
+    | Some bp ->
+      er.er_probe <- Some (bp.bp_fn params);
+      er.er_scan_base <- !(bp.bp_scanned)
+    | None -> er.er_probe <- None
+  in
+  let edge_rts =
     Obs.Trace.with_span "edge-builds" @@ fun () ->
     List.map
       (fun (name, ep) ->
-        ( name,
-          match ep with
-          | EP_indexed (asch, f) -> P_indexed (asch, f params)
-          | EP_hash (asch, f) -> P_hash (asch, f params)
-          | EP_generic asch -> P_generic asch ))
+        (* serving starts from the plan's latest recorded switch, so a
+           plan-cache hit keeps the strategy a previous execution learned *)
+        let serving =
+          match List.find_opt (fun sw -> sw.sw_edge = name) cp.cp_switches with
+          | Some sw -> sw.sw_to
+          | None -> ep.ep_chosen
+        in
+        let er =
+          { er_name = name; er_plan = ep; er_serving = serving; er_probe = None; er_bp = None;
+            er_scan_base = 0; er_probed = 0; er_conns = 0; er_switched = false }
+        in
+        set_serving er serving;
+        (name, er))
       cp.cp_edges
   in
+  let rt_edge name = List.assoc name edge_rts in
   (* 3. roots: set-oriented evaluation of the derivations *)
   let frontier : (string, int list) Hashtbl.t = Hashtbl.create 8 in
   (* positions ever enqueued, per node: under instance sharing several
@@ -1288,9 +1471,99 @@ let execute_def ?(fixpoint = Semi_naive) ?(params = [||]) db (cp : compiled)
     | None -> (Cache.add_tuple child_rt.nr_ni ~rowid:(Some hit.ph_rowid) hit.ph_row, true)
   in
   let changed = ref true in
+  (* ---- adaptive mid-fixpoint fallback ----
+
+     After each semi-naive round with more work pending, compare the
+     observed frontier / connection / candidate-scan counters per edge
+     against the plan's estimates. Beyond [adaptive_factor] divergence
+     (with at least [adaptive_min_rows] observed rows), re-cost the
+     candidates through the shared model with observed counts — live
+     cardinalities replace the evidently-unreliable snapshot extents —
+     and switch the edge's serving strategy for subsequent rounds. The
+     switch is recorded on the plan (EXPLAIN ANALYZE, sys.plans) and
+     reused by plan-cache hits; at most one switch per edge per
+     execution, so estimates can never cause flapping. Only cost-picked,
+     unforced plans are eligible. *)
+  let live_card t =
+    match Catalog.table_opt catalog t with
+    | Some tbl -> float_of_int (Table.cardinality tbl)
+    | None -> infinity
+  in
+  let adaptive_check round =
+    List.iter
+      (fun (name, er) ->
+        match List.assoc_opt name cp.cp_ests with
+        | None -> ()
+        | Some ee ->
+          if not er.er_switched then begin
+            let fmin = float_of_int (adaptive_min_rows ()) in
+            let factor = adaptive_factor () in
+            let f = float_of_int er.er_probed in
+            let c = float_of_int er.er_conns in
+            let scan =
+              match er.er_bp with
+              | Some bp -> float_of_int (!(bp.bp_scanned) - er.er_scan_base)
+              | None -> 0.
+            in
+            let est_scan =
+              match er.er_serving with
+              | S_indexed -> f *. Float.max 1. ee.Edge_cost.ee_cand_fan
+              | S_hash -> f *. Float.max 1. ee.Edge_cost.ee_fanout
+              | S_generic -> 0.
+            in
+            let exceeds obs est = obs >= fmin && obs > factor *. Float.max 1. est in
+            if
+              exceeds f ee.Edge_cost.ee_frontier
+              || exceeds c ee.Edge_cost.ee_conns
+              || (er.er_serving <> S_generic && exceeds scan est_scan)
+            then begin
+              er.er_switched <- true;
+              let shape = List.find (fun s -> s.es_name = name) cp.cp_shapes in
+              let live_child =
+                match shape.es_child_table with None -> infinity | Some t -> live_card t
+              in
+              let live_build =
+                match shape.es_using with
+                | Some (l, _) -> live_child +. live_card l
+                | None -> live_child
+              in
+              let cost = function
+                | S_indexed ->
+                  if er.er_plan.ep_cands.ec_indexed = None then infinity
+                  else if er.er_serving = S_indexed then f +. Float.max c scan
+                  else f +. Float.max (f *. Float.max 1. ee.Edge_cost.ee_cand_fan) c
+                | S_hash ->
+                  if er.er_plan.ep_cands.ec_hash = None then infinity
+                  else live_build +. f +. c
+                | S_generic -> f *. Float.max 1. live_child
+              in
+              let target, _ =
+                List.fold_left
+                  (fun (bs, bc) s ->
+                    let cs = cost s in
+                    if cs < bc then (s, cs) else (bs, bc))
+                  (S_indexed, cost S_indexed)
+                  [ S_hash; S_generic ]
+              in
+              if target <> er.er_serving then begin
+                let sw =
+                  { sw_edge = name; sw_from = er.er_serving; sw_to = target; sw_round = round }
+                in
+                cp.cp_switches <-
+                  sw :: List.filter (fun s -> s.sw_edge <> name) cp.cp_switches;
+                stats.strategy_switches <- stats.strategy_switches + 1;
+                Obs.Metrics.incr m_strategy_switches;
+                set_serving er target
+              end
+            end
+          end)
+      edge_rts
+  in
+  let round = ref 0 in
   let run_fixpoint () =
   while !changed do
     changed := false;
+    incr round;
     stats.fixpoint_rounds <- stats.fixpoint_rounds + 1;
     Obs.Metrics.incr m_rounds;
     let this_round = Hashtbl.copy frontier in
@@ -1311,6 +1584,8 @@ let execute_def ?(fixpoint = Semi_naive) ?(params = [||]) db (cp : compiled)
         if probe_set <> [] then begin
           stats.tuples_probed <- stats.tuples_probed + List.length probe_set;
           Obs.Metrics.incr ~by:(List.length probe_set) m_tuples_probed;
+          let er = rt_edge ed.Co_schema.ed_name in
+          er.er_probed <- er.er_probed + List.length probe_set;
           let probe_batch probe =
             note_query ();
             let acc = acc_of ed.Co_schema.ed_name in
@@ -1320,7 +1595,10 @@ let execute_def ?(fixpoint = Semi_naive) ?(params = [||]) db (cp : compiled)
                 List.iter
                   (fun hit ->
                     let cpos, is_new = add_child child_rt hit in
-                    if fused then acc := (pos, cpos, hit.ph_attrs) :: !acc;
+                    if fused then begin
+                      acc := (pos, cpos, hit.ph_attrs) :: !acc;
+                      er.er_conns <- er.er_conns + 1
+                    end;
                     if is_new then begin
                       changed := true;
                       push_frontier ed.Co_schema.ed_child cpos
@@ -1328,13 +1606,14 @@ let execute_def ?(fixpoint = Semi_naive) ?(params = [||]) db (cp : compiled)
                   (probe row))
               probe_set
           in
-          match List.assoc ed.Co_schema.ed_name probers with
-          | P_indexed (_, probe) -> probe_batch probe
-          | P_hash (_, probe) ->
-            stats.hash_probes <- stats.hash_probes + 1;
-            Obs.Metrics.incr m_hash_probes;
+          match er.er_probe with
+          | Some probe ->
+            if er.er_serving = S_hash then begin
+              stats.hash_probes <- stats.hash_probes + 1;
+              Obs.Metrics.incr m_hash_probes
+            end;
             probe_batch probe
-          | P_generic _ ->
+          | None ->
             let child_temp = ensure_temp db child_rt in
             let parent_temp =
               make_temp parent_rt.nr_ni.Cache.ni_schema
@@ -1372,7 +1651,9 @@ let execute_def ?(fixpoint = Semi_naive) ?(params = [||]) db (cp : compiled)
             if fused then begin
               let acc = acc_of ed.Co_schema.ed_name in
               List.iter
-                (fun (ppos, tid, attrs) -> acc := (ppos, pos_of_tid tid, attrs) :: !acc)
+                (fun (ppos, tid, attrs) ->
+                  acc := (ppos, pos_of_tid tid, attrs) :: !acc;
+                  er.er_conns <- er.er_conns + 1)
                 (probe_edge_generic_fused db ed ~parent_temp ~child_temp)
             end
             else
@@ -1381,7 +1662,9 @@ let execute_def ?(fixpoint = Semi_naive) ?(params = [||]) db (cp : compiled)
                 (probe_edge_generic db ed ~parent_temp ~child_temp)
         end)
       edge_defs;
-    if fixpoint = Naive then Hashtbl.reset frontier
+    if fixpoint = Naive then Hashtbl.reset frontier;
+    if fused && !changed && adaptive_enabled () && cp.cp_force = None && cp.cp_ests <> [] then
+      adaptive_check !round
   done
   in
   Obs.Trace.with_span "fixpoint" (fun () ->
@@ -1413,14 +1696,16 @@ let execute_def ?(fixpoint = Semi_naive) ?(params = [||]) db (cp : compiled)
           Obs.Trace.add_meta "conns" (string_of_int (Vec.length ei.Cache.ei_conns));
           (ed.Co_schema.ed_name, ei)
         in
-        let prober = List.assoc ed.Co_schema.ed_name probers in
+        let er = rt_edge ed.Co_schema.ed_name in
         let attr_schema =
-          match prober with P_indexed (s, _) | P_hash (s, _) | P_generic s -> s
+          match er.er_bp with
+          | Some bp -> bp.bp_schema
+          | None -> er.er_plan.ep_cands.ec_generic_schema
         in
         if fused then ei_of attr_schema (List.rev !(acc_of ed.Co_schema.ed_name))
         else begin
-          match prober with
-          | P_indexed (_, probe) | P_hash (_, probe) ->
+          match er.er_probe with
+          | Some probe ->
             note_query ();
             let conns = ref [] in
             Vec.iter
@@ -1434,7 +1719,7 @@ let execute_def ?(fixpoint = Semi_naive) ?(params = [||]) db (cp : compiled)
                     (probe t.Cache.t_row))
               parent_rt.nr_ni.Cache.ni_tuples;
             ei_of attr_schema (List.rev !conns)
-          | P_generic _ ->
+          | None ->
             let temp_of rt_ =
               make_temp rt_.nr_ni.Cache.ni_schema
                 (Vec.to_seq rt_.nr_ni.Cache.ni_tuples

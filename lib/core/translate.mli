@@ -24,10 +24,11 @@ exception Translate_error of string
 
 type fixpoint = Semi_naive | Naive
 
-(** Edge access paths, in selection-priority order: index-nested-loop
-    probe, batch hash probe (the set-oriented default when no index
-    serves the relationship), generic QGM join. *)
-type strategy = S_indexed | S_hash | S_generic
+(** Edge access paths, in static selection-priority order:
+    index-nested-loop probe, batch hash probe, generic QGM join. The
+    definition lives in [Relational.Edge_cost] — the shared cost model
+    the planner and the static plan advisor both consult. *)
+type strategy = Edge_cost.strategy = S_indexed | S_hash | S_generic
 
 (** [strategy_name s] is the display name used by [EXPLAIN ANALYZE] and
     [\plans]: ["indexed"], ["hash-batch"] or ["generic"]. *)
@@ -44,10 +45,30 @@ type stats = {
   mutable hash_builds : int;  (** hash tables built over child/link extents *)
   mutable hash_build_reuses : int;  (** builds skipped: cached table still version-valid *)
   mutable hash_probes : int;  (** batch hash probe passes run *)
+  mutable cost_picks : int;  (** edges whose strategy came from the cost model *)
+  mutable strategy_switches : int;  (** adaptive mid-fixpoint strategy switches *)
 }
 
 val stats : stats
 val reset_stats : unit -> unit
+
+(** {2 Adaptive mid-fixpoint fallback knobs}
+
+    Between semi-naive rounds the executor compares observed
+    frontier/connection/candidate-scan counters per edge against the
+    plan's cost estimates and switches the edge's access path for
+    subsequent rounds when they diverge beyond [adaptive_factor] (with at
+    least [adaptive_min_rows] observed rows, so tiny instances never
+    flap). Applies only to cost-picked, unforced plans; at most one
+    switch per edge per execution. Process-global, like the optimizer
+    toggles. *)
+
+val set_adaptive : bool -> unit
+val adaptive_enabled : unit -> bool
+val set_adaptive_factor : float -> unit
+val adaptive_factor : unit -> float
+val set_adaptive_min_rows : int -> unit
+val adaptive_min_rows : unit -> int
 
 (** [fetch ?fixpoint db reg q] evaluates an XNF query: composes the CO
     definition, translates, enforces reachability, evaluates path-based
@@ -57,30 +78,58 @@ val fetch : ?fixpoint:fixpoint -> Db.t -> View_registry.t -> Xnf_ast.query -> Ca
 
 (** A compiled fetch plan for a composed CO definition: node shape
     analysis, output schemas, updatability analysis and per-edge
-    access-path selection, all resolved once. Immutable; one plan serves
-    any number of executions (including concurrent parameter bindings). *)
+    access-path selection, all resolved once. One plan serves any number
+    of executions (including concurrent parameter bindings); the only
+    mutable state is the adaptive switch record, which executions append
+    so later plan-cache hits start from the learned strategy. *)
 type compiled
 
 (** [compile_def ?take ?force db def] runs the input-independent
     "translate" phase: no base data is accessed. Access-path selection
     consults the catalog and indexes as of now — recompile when schema or
-    indexes change. Passing the query's [take] (default [TAKE *]) also
-    precomputes the final post-projection updatability analysis for
-    {!finalize_plan}. [force] pins selection to one strategy (differential
-    testing, per-strategy benches); edges the forced strategy cannot serve
-    fall back to the generic path. *)
+    indexes change. When every base table the plan reads has a fresh
+    [ANALYZE] snapshot, each edge's strategy is picked per plan by the
+    shared cost model ([Relational.Edge_cost]); with missing or stale
+    stats selection falls back to the static priority rules
+    (indexed > hash > generic). Passing the query's [take] (default
+    [TAKE *]) also precomputes the final post-projection updatability
+    analysis for {!finalize_plan}. [force] pins selection to one strategy
+    (differential testing, per-strategy benches) and always wins over the
+    cost model; edges the forced strategy cannot serve fall back to the
+    generic path. *)
 val compile_def : ?take:Xnf_ast.take -> ?force:strategy -> Db.t -> Co_schema.t -> compiled
 
-(** [edge_strategies cp] is the access path selected per relationship, in
-    definition order. *)
+(** [edge_strategies cp] is the access path selected per relationship at
+    compile time, in definition order. *)
 val edge_strategies : compiled -> (string * strategy) list
+
+(** One adaptive mid-fixpoint strategy switch recorded on a plan. *)
+type switch_rec = {
+  sw_edge : string;
+  sw_from : strategy;
+  sw_to : strategy;
+  sw_round : int;  (** fixpoint round (1-based, per execution) after which it applied *)
+}
+
+(** [effective_strategies cp] is {!edge_strategies} with the adaptive
+    switches recorded by the most recent execution applied — the access
+    paths the next execution of this plan will start from. *)
+val effective_strategies : compiled -> (string * strategy) list
+
+(** [switches cp] lists the adaptive switches recorded on the plan,
+    oldest first; at most one per edge (the latest execution wins). *)
+val switches : compiled -> switch_rec list
+
+(** [cost_based cp] is true when per-edge selection came from the shared
+    cost model (fresh stats on every base table, no [?force]). *)
+val cost_based : compiled -> bool
 
 (** The structural join shape of one relationship as compiled: which base
     table the child resolves to, the equality join columns on either
     side, USING link bindings, and whether an index chain serves the
     probe. No closures, no data — extracted for post-compile analysis
     (the static plan advisor, [Check.Plan_advisor]). *)
-type edge_shape = {
+type edge_shape = Edge_cost.edge_shape = {
   es_name : string;
   es_parent : string;  (** parent node name *)
   es_child : string;  (** child node name *)
@@ -96,7 +145,7 @@ type edge_shape = {
 
 (** The derivation shape of one node: its base table and combined
     predicate when simple, and the composed derivation query. *)
-type node_shape = {
+type node_shape = Edge_cost.node_shape = {
   ns_name : string;
   ns_table : string option;
   ns_pred : Expr.t option;

@@ -1,0 +1,149 @@
+(* Plan-convergence corpus runner.
+
+   Each [examples/converge/*.xnf] file is one equivalence group:
+   setup statements (schema, data, ANALYZE) followed by several
+   semantically-equivalent formulations of the same composite-object
+   query (reordered restrictions, view-wrapped vs. inline, path vs.
+   RELATE phrasing).  The gate asserts that, with fresh statistics,
+   every formulation of a group
+
+     1. loads the identical instance (pairwise {!Oracle.compare_caches}),
+     2. compiles under the shared cost model ({!Fetch_plan.cost_based}),
+     3. converges to the same per-edge strategy set, and
+     4. matches the [-- expect: edge=strategy,...] declaration when the
+        file carries one.
+
+   [skip_analyze] is the injected mis-pick for the CI self-check: with
+   ANALYZE statements dropped the planner falls back to static rules,
+   so a corpus whose expectations encode genuine cost-based picks must
+   fail — proving the gate can actually detect a mis-pick. *)
+
+open Xnf
+
+type file_result = {
+  cr_file : string;
+  cr_forms : int;  (** formulations executed *)
+  cr_strategies : (string * Translate.strategy) list;
+      (** converged per-edge set of the first formulation, sorted *)
+  cr_errors : string list;  (** empty iff the group passed *)
+}
+
+let strategy_of_name = function
+  | "indexed" -> Some Translate.S_indexed
+  | "hash-batch" | "hash" -> Some Translate.S_hash
+  | "generic" -> Some Translate.S_generic
+  | _ -> None
+
+let show_set set =
+  if set = [] then "(none)"
+  else
+    String.concat ","
+      (List.map (fun (e, s) -> e ^ "=" ^ Translate.strategy_name s) set)
+
+(* [-- expect: e0=indexed, e1=hash-batch] *)
+let parse_expect line =
+  let body = String.sub line 10 (String.length line - 10) in
+  List.filter_map
+    (fun item ->
+      match String.split_on_char '=' (String.trim item) with
+      | [ edge; strat ] -> begin
+        match strategy_of_name (String.trim strat) with
+        | Some s -> Some (String.trim edge, s)
+        | None -> failwith (Printf.sprintf "bad strategy in expect: %S" item)
+      end
+      | _ -> failwith (Printf.sprintf "bad expect item: %S" item))
+    (String.split_on_char ',' body)
+
+let has_prefix ~prefix s =
+  String.length s >= String.length prefix
+  && String.uppercase_ascii (String.sub s 0 (String.length prefix)) = prefix
+
+let read_lines path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let rec go acc =
+        match input_line ic with
+        | line -> go (line :: acc)
+        | exception End_of_file -> List.rev acc
+      in
+      go [])
+
+let sorted_strategies plan =
+  List.sort compare (Fetch_plan.strategies plan)
+
+let run_file ?(skip_analyze = false) path : file_result =
+  let expect = ref None in
+  let setup = ref [] in
+  let forms = ref [] in
+  List.iter
+    (fun raw ->
+      let line = String.trim raw in
+      if line = "" then ()
+      else if has_prefix ~prefix:"-- EXPECT:" line then expect := Some (parse_expect line)
+      else if has_prefix ~prefix:"--" line then ()
+      else if has_prefix ~prefix:"OUT OF" line then forms := line :: !forms
+      else if skip_analyze && has_prefix ~prefix:"ANALYZE" line then ()
+      else setup := line :: !setup)
+    (read_lines path);
+  let setup = List.rev !setup and forms = List.rev !forms in
+  let errors = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> errors := s :: !errors) fmt in
+  let strategies = ref [] in
+  begin
+    try
+      if forms = [] then failwith "no OUT OF formulations in file";
+      let db = Relational.Db.create () in
+      let api = Api.create db in
+      List.iter (fun stmt -> ignore (Api.exec api stmt)) setup;
+      let runs =
+        List.map
+          (fun q ->
+            let plan = Fetch_plan.compile db (Api.registry api) (Xnf_parser.parse_query q) in
+            let cache = Fetch_plan.execute db plan in
+            (q, plan, cache))
+          forms
+      in
+      let _, plan0, cache0 = List.hd runs in
+      let set0 = sorted_strategies plan0 in
+      strategies := set0;
+      List.iteri
+        (fun i (q, plan, cache) ->
+          if not (Fetch_plan.cost_based plan) then
+            err "formulation %d not cost-based (stats missing or stale): %s" (i + 1) q;
+          if i > 0 then begin
+            (match Oracle.compare_caches cache0 cache with
+            | None -> ()
+            | Some d -> err "formulation %d instance differs from formulation 1: %s" (i + 1) d);
+            let set = sorted_strategies plan in
+            if set <> set0 then
+              err "formulation %d strategies %s differ from formulation 1 %s" (i + 1)
+                (show_set set) (show_set set0)
+          end)
+        runs;
+      match !expect with
+      | Some e when List.sort compare e <> set0 ->
+        err "converged set %s does not match declared expect %s" (show_set set0)
+          (show_set (List.sort compare e))
+      | _ -> ()
+    with
+    | Failure m -> err "%s" m
+    | e -> err "exception: %s" (Printexc.to_string e)
+  end;
+  { cr_file = path;
+    cr_forms = List.length forms;
+    cr_strategies = !strategies;
+    cr_errors = List.rev !errors }
+
+let run_dir ?skip_analyze dir : file_result list =
+  let entries =
+    match Sys.readdir dir with
+    | a ->
+      Array.to_list a
+      |> List.filter (fun f -> Filename.check_suffix f ".xnf")
+      |> List.sort compare
+      |> List.map (Filename.concat dir)
+    | exception Sys_error _ -> []
+  in
+  List.map (fun p -> run_file ?skip_analyze p) entries

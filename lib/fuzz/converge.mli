@@ -1,0 +1,37 @@
+(** Plan-convergence corpus: groups of semantically-equivalent XNF
+    formulations (one [.xnf] file per group) that must load identical
+    instances AND converge to the same cost-picked per-edge strategy
+    set once ANALYZE has run.
+
+    File format (line-oriented, like the fuzz corpus): [--] comments,
+    setup statements in order (schema, data, ANALYZE), every [OUT OF]
+    line is one formulation of the group's query.  An optional
+    [-- expect: edge=strategy,...] comment pins the converged set
+    ([indexed], [hash-batch] or [generic] per edge). *)
+
+open Xnf
+
+type file_result = {
+  cr_file : string;
+  cr_forms : int;  (** formulations executed *)
+  cr_strategies : (string * Translate.strategy) list;
+      (** converged per-edge set of the first formulation, sorted *)
+  cr_errors : string list;  (** empty iff the group passed *)
+}
+
+(** [run_file ?skip_analyze path] executes one group on a fresh
+    database: setup, then each formulation through
+    {!Xnf.Fetch_plan.compile}/[execute], asserting pairwise instance
+    equality, cost-based compilation, an identical strategy set across
+    formulations, and the [-- expect:] declaration when present.
+    [skip_analyze] drops ANALYZE statements — the injected mis-pick
+    used by the CI self-check (static fallback must betray itself). *)
+val run_file : ?skip_analyze:bool -> string -> file_result
+
+(** [run_dir ?skip_analyze dir] runs every [*.xnf] group under [dir],
+    sorted; [[]] when the directory does not exist. *)
+val run_dir : ?skip_analyze:bool -> string -> file_result list
+
+(** [show_set set] renders a strategy set as [e0=indexed,e1=hash-batch]
+    for reports. *)
+val show_set : (string * Translate.strategy) list -> string

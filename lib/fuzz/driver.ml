@@ -29,7 +29,8 @@ let detail_of (o : Oracle.outcome) =
     (List.map (fun d -> d.Oracle.d_kind ^ ": " ^ d.Oracle.d_detail) o.Oracle.o_divs)
 
 let coverage_counts =
-  [ "recursive"; "sharing"; "views"; "using"; "paths"; "naive"; "lw90"; "mono"; "hash"; "advise" ]
+  [ "recursive"; "sharing"; "views"; "using"; "paths"; "naive"; "lw90"; "mono"; "hash";
+    "adaptive"; "advise" ]
 
 let bump cov (f : Oracle.flags) =
   let on = function
@@ -42,6 +43,7 @@ let bump cov (f : Oracle.flags) =
     | "lw90" -> f.Oracle.f_lw90
     | "mono" -> f.Oracle.f_mono
     | "hash" -> f.Oracle.f_hash
+    | "adaptive" -> f.Oracle.f_adaptive
     | "advise" -> f.Oracle.f_advise
     | _ -> false
   in

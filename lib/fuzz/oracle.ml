@@ -48,14 +48,15 @@ type flags = {
   f_lw90 : bool;
   f_mono : bool;  (** monotonicity property compared *)
   f_hash : bool;  (** strategy differential compared a batch-hash run *)
+  f_adaptive : bool;  (** adaptive differential saw a mid-fixpoint switch fire *)
   f_advise : bool;  (** the plan-advisor purity guard ran *)
   f_mutated : bool;  (** the injected mutation found something to break *)
 }
 
 let no_flags =
   { f_recursive = false; f_sharing = false; f_views = false; f_using = false; f_paths = false;
-    f_naive = false; f_lw90 = false; f_mono = false; f_hash = false; f_advise = false;
-    f_mutated = false }
+    f_naive = false; f_lw90 = false; f_mono = false; f_hash = false; f_adaptive = false;
+    f_advise = false; f_mutated = false }
 
 type outcome = { o_divs : divergence list; o_flags : flags }
 
@@ -396,6 +397,30 @@ let run ?(advise = false) ?mutation ?extra_restr (sc : Gen.scenario) : outcome =
                       if force = Translate.S_hash then f_hash := true))
                 [ ("indexed", Translate.S_indexed); ("hash", Translate.S_hash);
                   ("generic", Translate.S_generic) ];
+              (* adaptive differential: ANALYZE so compile_def cost-picks,
+                 then re-run with aggressive switching thresholds so
+                 mid-fixpoint switches actually fire — switched executions
+                 must still deliver the identical instance. ANALYZE only
+                 writes statistics (no version bumps), so the oracles
+                 after this block are unaffected. *)
+              let f_adaptive = ref false in
+              guard "strategy-adaptive" (fun () ->
+                  ignore (Db.exec db "ANALYZE");
+                  let factor0 = Translate.adaptive_factor ()
+                  and min0 = Translate.adaptive_min_rows () in
+                  Fun.protect
+                    ~finally:(fun () ->
+                      Translate.set_adaptive_factor factor0;
+                      Translate.set_adaptive_min_rows min0)
+                    (fun () ->
+                      Translate.set_adaptive_factor 0.5;
+                      Translate.set_adaptive_min_rows 1;
+                      let cp = Translate.compile_def db def in
+                      let alt = Translate.execute_def ~fixpoint:Translate.Semi_naive db cp [] in
+                      (match compare_caches pre alt with
+                      | Some d -> add "strategy-adaptive" d
+                      | None -> ());
+                      f_adaptive := Translate.switches cp <> []));
               (* oracle 2: unshared per-node derivations (DAG only);
                  callers classify up front via the shared predicate *)
               let f_naive =
@@ -468,7 +493,7 @@ let run ?(advise = false) ?mutation ?extra_restr (sc : Gen.scenario) : outcome =
                 end
                 else false
               in
-              { flags with f_naive; f_lw90; f_hash = !f_hash }
+              { flags with f_naive; f_lw90; f_hash = !f_hash; f_adaptive = !f_adaptive }
             end
           in
           (* metamorphic: a strengthened query yields a sub-instance *)

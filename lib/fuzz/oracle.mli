@@ -29,6 +29,7 @@ type flags = {
   f_lw90 : bool;
   f_mono : bool;  (** monotonicity property compared *)
   f_hash : bool;  (** strategy differential compared a batch-hash run *)
+  f_adaptive : bool;  (** adaptive differential saw a mid-fixpoint switch fire *)
   f_advise : bool;  (** the plan-advisor purity guard ran *)
   f_mutated : bool;  (** the injected mutation found something to break *)
 }

@@ -51,4 +51,5 @@ let () =
       ("sys-catalog", Test_sys.suite);
       ("advisor", Test_advisor.suite);
       ("wal-file", Test_wal_file.suite qcheck_seed);
-      ("recovery", Test_recovery.suite) ]
+      ("recovery", Test_recovery.suite);
+      ("cost-pick", Test_cost_pick.suite) ]
