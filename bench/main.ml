@@ -114,7 +114,7 @@ let e1 () =
   let emp_def = Xnf.Co_schema.node def "xemp" in
   let nav = Baseline.Sql_navigator.create db in
   let dept_schema = Schema.requalify "xdept" (Table.schema (Catalog.table (Db.catalog db) "dept")) in
-  let dept_rows = Array.of_list (List.map (fun t -> t.Xnf.Cache.t_row) (Xnf.Cache.live_tuples dept_node)) in
+  let dept_rows = Array.of_list (List.map Xnf.Cache.row (Xnf.Cache.live_tuples dept_node)) in
   let j = ref 0 in
   let sql_step () =
     j := (!j + 1) mod n_depts;
@@ -154,7 +154,7 @@ let e2 () =
   (* application-level id index over the cache (OO1 allows it) *)
   let by_id = Hashtbl.create n_parts in
   List.iter
-    (fun t -> Hashtbl.replace by_id (Value.as_int t.Xnf.Cache.t_row.(0)) t.Xnf.Cache.t_pos)
+    (fun t -> Hashtbl.replace by_id (Value.as_int (Xnf.Cache.col t 0)) t.Xnf.Cache.t_pos)
     (Xnf.Cache.live_tuples part_node);
   let rng = Workload.Rng.create 99 in
   let lookups = Array.of_list (Workload.Oo1.lookup_ids rng ~n_parts ~count:1000) in
@@ -403,7 +403,7 @@ let e4 () =
   let dept_node = Xnf.Cache.node cache "xdept" in
   let emp_node = Xnf.Cache.node cache "xemp" in
   let proj_node = Xnf.Cache.node cache "xproj" in
-  let rowid node pos = Option.get (Xnf.Cache.tuple node pos).Xnf.Cache.t_rowid in
+  let rowid node pos = (Xnf.Cache.tuple node pos).Xnf.Cache.t_rowid in
   (* the storage order a CO-clustered layout would choose: each dept
      followed by its employees and projects *)
   let co_order =
@@ -738,26 +738,38 @@ let e11 () =
   let _, api = company_db ~scale:Workload.Company.small () in
   let q = "OUT OF ALL-DEPS WHERE Xdept SUCH THAT dno = 1 TAKE *" in
   let reps = 400 in
+  (* best-of-3 averaging windows: these microsecond-scale gauges feed the
+     CI baseline gate, and a single GC major or scheduler preemption
+     inside one 400-rep window would spike the lone average *)
+  let rounds = 3 in
+  let avg_best f =
+    let best = ref infinity in
+    for _ = 1 to rounds do
+      let ms = time_avg_ms ~reps f in
+      if ms < !best then best := ms
+    done;
+    !best
+  in
   (* time the work, not the tracer: spans off during the measured loops *)
   Obs.Trace.set_enabled false;
   (* cold: plan cache off — every fetch parses, composes, analyzes and
      access-path selects again *)
   Xnf.Api.set_plan_cache api 0;
   ignore (Xnf.Api.fetch_string api q);
-  let cold_ms = time_avg_ms ~reps (fun () -> Xnf.Api.fetch_string api q) in
+  let cold_ms = avg_best (fun () -> Xnf.Api.fetch_string api q) in
   (* warm: plan cache on — the text-keyed hit skips straight to execution *)
   Xnf.Api.set_plan_cache api 8;
   let h0 = Obs.Metrics.counter_get "xnf.plancache.hits" in
   let c0 = Obs.Metrics.counter_get "xnf.plan.compiles" in
   ignore (Xnf.Api.fetch_string api q);
-  let warm_ms = time_avg_ms ~reps (fun () -> Xnf.Api.fetch_string api q) in
+  let warm_ms = avg_best (fun () -> Xnf.Api.fetch_string api q) in
   let warm_hits = Obs.Metrics.counter_get "xnf.plancache.hits" - h0 in
   let warm_compiles = Obs.Metrics.counter_get "xnf.plan.compiles" - c0 in
   (* prepared: one compiled plan, EXECUTE rebinding the parameter *)
   ignore
     (Xnf.Api.exec api "PREPARE e11 AS OUT OF ALL-DEPS WHERE Xdept SUCH THAT dno = ? TAKE *");
   let prepared_ms =
-    time_avg_ms ~reps (fun () -> Xnf.Api.execute_prepared api "e11" [ Value.Int 1 ])
+    avg_best (fun () -> Xnf.Api.execute_prepared api "e11" [ Value.Int 1 ])
   in
   Obs.Trace.set_enabled true;
   let speedup = cold_ms /. warm_ms in
@@ -852,8 +864,24 @@ let e12 () =
   in
   let warm_builds = s.hash_builds - b0 and warm_reuses = s.hash_build_reuses - r0 in
   let warm_speedup = cold_ms /. warm_ms in
+  (* allocation per frontier probe on the warm path (builds reused, so
+     this is pure probe-side allocation): one extra execution bracketed
+     by Gc.allocated_bytes, normalized by the frontier rows probed *)
+  let alloc_per_probe =
+    let p0 = s.tuples_probed in
+    (* drain the minor heap on both sides: OCaml 5's [Gc.allocated_bytes]
+       only advances at minor collections, so an undrained bracket is
+       quantized by the minor-heap size (~2MB) and flaps run to run *)
+    Gc.minor ();
+    let a0 = Gc.allocated_bytes () in
+    ignore (Xnf.Translate.execute_def db cp restrs);
+    Gc.minor ();
+    let bytes = Gc.allocated_bytes () -. a0 in
+    bytes /. float_of_int (max 1 (s.tuples_probed - p0))
+  in
   pr "   warm: %.2f ms/fetch vs %.2f cold (%s) — %d rebuilds, %d build reuses over %d fetches@."
     warm_ms cold_ms (fx warm_speedup) warm_builds warm_reuses reps;
+  pr "   allocation: %.0f bytes per frontier probe (warm hash path)@." alloc_per_probe;
   (* --- recursive management tree, ~10k employees --- *)
   let rec_target = 10_000 * scale in
   let levels =
@@ -883,6 +911,7 @@ let e12 () =
   Obs.Metrics.set (Obs.Metrics.gauge "bench.e12.deep_speedup") !deep_speedup;
   Obs.Metrics.set (Obs.Metrics.gauge "bench.e12.warm_ms") warm_ms;
   Obs.Metrics.set (Obs.Metrics.gauge "bench.e12.warm_speedup") warm_speedup;
+  Obs.Metrics.set (Obs.Metrics.gauge "bench.e12.alloc_bytes_per_probe") alloc_per_probe;
   Obs.Metrics.set (Obs.Metrics.gauge "bench.e12.rec_generic_ms") rec_generic_ms;
   Obs.Metrics.set (Obs.Metrics.gauge "bench.e12.rec_hash_ms") rec_hash_ms;
   Obs.Metrics.set (Obs.Metrics.gauge "bench.e12.rec_indexed_ms") rec_indexed_ms;
@@ -1005,6 +1034,204 @@ let e13 () =
   Obs.Metrics.set (Obs.Metrics.gauge "bench.e13.build_speedup") speedup_b;
   Obs.Metrics.set (Obs.Metrics.gauge "bench.e13.cost_pick_speedup") speedup
 
+(* =====================================================================
+   E14 — dictionary-encoded navigation vs the pre-dictionary boxed path
+   ===================================================================== *)
+
+(* OO1-style closure traversal over parts/connections: from a set of seed
+   parts, repeatedly expand the frontier through an outgoing-connection
+   hash build until the reachable part set is closed — the navigation
+   pattern of the paper's engineering-database scenario (Cattell's OO1),
+   run to fixpoint instead of a bounded depth.
+
+   Both kernels execute the identical probe loop over the identical OO1
+   database loaded through the (encoded) engine; they differ only in the
+   row representation the old and the current execution core used:
+
+     - boxed   — [Value.t array] rows, each probe extracts its key into a
+                 fresh [Value.t array] and hashes through [Row_key_boxed]
+                 ([Value.hash]/[Value.equal] with constructor dispatch):
+                 the pre-dictionary hot path;
+     - encoded — [Dict] id rows, one scratch [int array] mutated per
+                 probe, [Row_key] hashing over raw ints: the current hot
+                 path.
+
+   bench.e14.nav_speedup (warm boxed ms / warm encoded ms) feeds the CI
+   gate (--min 2); bench.e14.alloc_bytes_per_probe tracks probe-side
+   allocation of the encoded kernel. E14_SCALE multiplies the part
+   count; the nightly target runs at 10x. *)
+let e14 () =
+  header "E14" "dictionary-encoded navigation closure (OO1 parts/connections)"
+    "the execution core navigates composite objects on raw dictionary ids; \
+     values are decoded only at delivery (4.1/4.2)";
+  let scale = match Sys.getenv_opt "E14_SCALE" with Some s -> max 1 (int_of_string s) | None -> 1 in
+  let n_parts = 20_000 * scale in
+  let db = Db.create () in
+  Workload.Oo1.populate db ~seed:14 ~n_parts;
+  let api = Xnf.Api.create db in
+  let cache, load_ms =
+    time_ms (fun () -> Xnf.Api.fetch_string api Workload.Oo1.parts_co_query)
+  in
+  let conns = Xnf.Cache.live_tuples (Xnf.Cache.node cache "xconn") in
+  pr "   database: %d parts, %d connections; encoded cache load %.1f ms@." n_parts (3 * n_parts)
+    load_ms;
+  let roots = [ 0; n_parts / 4; n_parts / 2; 3 * n_parts / 4 ] in
+
+  (* --- encoded kernel: Dict ids end to end ---
+     dense int ids admit int-native structures the boxed representation
+     cannot use: the build is an {!Intmap} (open addressing, allocation-
+     free get) from the key id to the head of a bucket chain threaded
+     through two flat int arrays. Key ids of non-negative Int columns are
+     non-negative (inline tag 00), which Intmap requires. *)
+  let n_conns = List.length conns in
+  let enc_tgt = Array.make (max 1 n_conns) 0 in
+  let enc_next = Array.make (max 1 n_conns) Intmap.absent in
+  let build_encoded () =
+    let heads = Intmap.create ~size:(2 * n_parts) in
+    List.iteri
+      (fun j t ->
+        let row = t.Xnf.Cache.t_row in
+        let k = Dict.key_cell row.(0) in
+        enc_tgt.(j) <- Dict.key_cell row.(1);
+        enc_next.(j) <- Intmap.get heads k;
+        Intmap.set heads k j)
+      conns;
+    heads
+  in
+  let enc_roots = List.map (fun id -> Dict.key_cell (Dict.encode (Value.Int id))) roots in
+  (* worklist as a preallocated int stack: every connection is pushed at
+     most once (its source is visited exactly once), so total pushes are
+     bounded by roots + connections *)
+  let enc_stack = Array.make ((3 * n_parts) + 8) 0 in
+  let enc_probes = ref 0 in
+  let enc_traverse heads =
+    let visited = Intmap.create ~size:(2 * n_parts) in
+    let top = ref 0 in
+    List.iter
+      (fun r ->
+        enc_stack.(!top) <- r;
+        incr top)
+      enc_roots;
+    let reached = ref 0 in
+    let np = ref 0 in
+    while !top > 0 do
+      decr top;
+      let id = enc_stack.(!top) in
+      incr np;
+      if Intmap.get visited id = Intmap.absent then begin
+        Intmap.set visited id 1;
+        incr reached;
+        incr np;
+        let j = ref (Intmap.get heads id) in
+        while !j <> Intmap.absent do
+          enc_stack.(!top) <- enc_tgt.(!j);
+          incr top;
+          j := enc_next.(!j)
+        done
+      end
+    done;
+    enc_probes := !np;
+    !reached
+  in
+
+  (* --- boxed kernel: the pre-dictionary representation --- *)
+  let boxed_rows = List.map Xnf.Cache.row conns in
+  let boxed_build : Value.t list Expr.Row_key_boxed_tbl.t =
+    Expr.Row_key_boxed_tbl.create (2 * n_parts)
+  in
+  let build_boxed () =
+    Expr.Row_key_boxed_tbl.reset boxed_build;
+    List.iter
+      (fun (row : Row.t) ->
+        let key = [| row.(0) |] in
+        match Expr.Row_key_boxed_tbl.find_opt boxed_build key with
+        | Some l -> Expr.Row_key_boxed_tbl.replace boxed_build key (row.(1) :: l)
+        | None -> Expr.Row_key_boxed_tbl.add boxed_build key [ row.(1) ])
+      boxed_rows
+  in
+  let boxed_roots = List.map (fun id -> Value.Int id) roots in
+  let boxed_stack = Array.make ((3 * n_parts) + 8) Value.Null in
+  let boxed_traverse () =
+    let visited : unit Expr.Row_key_boxed_tbl.t =
+      Expr.Row_key_boxed_tbl.create (2 * n_parts)
+    in
+    let top = ref 0 in
+    List.iter
+      (fun r ->
+        boxed_stack.(!top) <- r;
+        incr top)
+      boxed_roots;
+    let reached = ref 0 in
+    while !top > 0 do
+      decr top;
+      let v = boxed_stack.(!top) in
+      (* per-probe key extraction into a fresh array, exactly what the
+         boxed hot path did for every frontier tuple *)
+      let key = [| v |] in
+      if not (Expr.Row_key_boxed_tbl.mem visited key) then begin
+        Expr.Row_key_boxed_tbl.add visited key ();
+        incr reached;
+        match Expr.Row_key_boxed_tbl.find_opt boxed_build [| v |] with
+        | Some tgts ->
+          List.iter
+            (fun t ->
+              boxed_stack.(!top) <- t;
+              incr top)
+            tgts
+        | None -> ()
+      end
+    done;
+    !reached
+  in
+
+  (* cold: build + closure, best-of-N with the build redone every rep;
+     warm: closure only, the build reused across fetches *)
+  let best_of n f =
+    let best = ref infinity in
+    for _ = 1 to n do
+      let _, ms = time_ms f in
+      if ms < !best then best := ms
+    done;
+    !best
+  in
+  let enc_cold_ms = best_of 3 (fun () -> ignore (enc_traverse (build_encoded ()))) in
+  let boxed_cold_ms = best_of 3 (fun () -> build_boxed (); ignore (boxed_traverse ())) in
+  let enc_heads = build_encoded () in
+  let enc_reached = enc_traverse enc_heads in
+  let boxed_reached = boxed_traverse () in
+  assert (enc_reached = boxed_reached);
+  let reps = 10 in
+  let enc_warm_ms = time_avg_ms ~reps (fun () -> enc_traverse enc_heads) in
+  let boxed_warm_ms = time_avg_ms ~reps (fun () -> boxed_traverse ()) in
+  let nav_speedup = boxed_warm_ms /. enc_warm_ms in
+  let cold_speedup = boxed_cold_ms /. enc_cold_ms in
+  (* probe-side allocation of the encoded closure (Gc.allocated_bytes
+     only advances at minor collections — drain both sides) *)
+  let alloc_per_probe =
+    Gc.minor ();
+    let a0 = Gc.allocated_bytes () in
+    ignore (enc_traverse enc_heads);
+    Gc.minor ();
+    (Gc.allocated_bytes () -. a0) /. float_of_int (max 1 !enc_probes)
+  in
+  table
+    ~cols:[ "navigation closure"; "cold ms"; "warm ms"; "warm speedup" ]
+    [ [ "boxed rows (pre-dictionary hot path)"; f2 boxed_cold_ms; f2 boxed_warm_ms; "1x" ];
+      [ "encoded rows (dictionary ids)"; f2 enc_cold_ms; f2 enc_warm_ms; fx nav_speedup ] ];
+  pr "   closure: %d of %d parts reached from %d roots; %d key probes per pass@." enc_reached
+    n_parts (List.length roots) !enc_probes;
+  pr "   allocation: %.0f bytes per probe (encoded); cold speedup %s@." alloc_per_probe
+    (fx cold_speedup);
+  Obs.Metrics.set (Obs.Metrics.gauge "bench.e14.load_ms") load_ms;
+  Obs.Metrics.set (Obs.Metrics.gauge "bench.e14.boxed_cold_ms") boxed_cold_ms;
+  Obs.Metrics.set (Obs.Metrics.gauge "bench.e14.boxed_warm_ms") boxed_warm_ms;
+  Obs.Metrics.set (Obs.Metrics.gauge "bench.e14.enc_cold_ms") enc_cold_ms;
+  Obs.Metrics.set (Obs.Metrics.gauge "bench.e14.enc_warm_ms") enc_warm_ms;
+  Obs.Metrics.set (Obs.Metrics.gauge "bench.e14.cold_speedup") cold_speedup;
+  Obs.Metrics.set (Obs.Metrics.gauge "bench.e14.nav_speedup") nav_speedup;
+  Obs.Metrics.set (Obs.Metrics.gauge "bench.e14.alloc_bytes_per_probe") alloc_per_probe;
+  Obs.Metrics.incr ~by:enc_reached (Obs.Metrics.counter "bench.e14.reached_parts")
+
 (* per-experiment observability line: per-stage pipeline time from the
    span.* histograms and the cache hit rate from the counters, both
    sourced from lib/obs *)
@@ -1037,7 +1264,8 @@ let experiments =
     ("E10", "extraction scaling with database size", e10);
     ("E11", "repeated fetches through the plan cache", e11);
     ("E12", "set-oriented batch edge execution", e12);
-    ("E13", "cost-based access-path selection", e13) ]
+    ("E13", "cost-based access-path selection", e13);
+    ("E14", "dictionary-encoded navigation closure", e14) ]
 
 let () =
   ignore (Check.Pipeline.install_from_env ());

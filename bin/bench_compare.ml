@@ -19,10 +19,13 @@
    - `--min KEY=VAL` (repeatable) additionally enforces an absolute
      floor on a fresh value, e.g. `--min bench.e11.warm_speedup=2`.
      An explicitly demanded floor whose key is absent always fails,
-     even under --allow-missing.
+     even under --allow-missing;
+   - `--max KEY=VAL` (repeatable) mirrors `--min` as an absolute
+     ceiling, e.g. `--max bench.e12.alloc_bytes_per_probe=684` pins a
+     per-probe allocation budget that must never regress upward.
 
    Usage: bench_compare BASELINE FRESH [--tolerance T] [--allow-missing]
-                        [--min KEY=VAL]... *)
+                        [--min KEY=VAL]... [--max KEY=VAL]... *)
 
 type json =
   | J_num of float
@@ -202,9 +205,11 @@ let () =
   let tolerance = ref 0.3 in
   let allow_missing = ref false in
   let mins : (string * float) list ref = ref [] in
+  let maxs : (string * float) list ref = ref [] in
   let usage () =
     prerr_endline
-      "usage: bench_compare BASELINE FRESH [--tolerance T] [--allow-missing] [--min KEY=VAL]...";
+      "usage: bench_compare BASELINE FRESH [--tolerance T] [--allow-missing] [--min KEY=VAL]... \
+       [--max KEY=VAL]...";
     exit 2
   in
   let rec parse_args = function
@@ -219,13 +224,14 @@ let () =
         parse_args rest
       | _ -> usage ()
     end
-    | "--min" :: kv :: rest -> begin
+    | (("--min" | "--max") as flag) :: kv :: rest -> begin
       match String.index_opt kv '=' with
       | Some i -> begin
         let k = String.sub kv 0 i in
         match float_of_string_opt (String.sub kv (i + 1) (String.length kv - i - 1)) with
         | Some v ->
-          mins := (k, v) :: !mins;
+          let dst = if flag = "--min" then mins else maxs in
+          dst := (k, v) :: !dst;
           parse_args rest
         | None -> usage ()
       end
@@ -311,6 +317,15 @@ let () =
         else bad "%-34s %.4g < %.4g" k fv floor_v
       | None, None -> bad "%-34s missing from fresh run" k)
     (List.rev !mins);
+  (* absolute ceilings, e.g. --max bench.e12.alloc_bytes_per_probe=684 *)
+  List.iter
+    (fun (k, ceil_v) ->
+      match (List.assoc_opt k fresh_gauges, List.assoc_opt k fresh_counters) with
+      | Some fv, _ | None, Some fv ->
+        if fv <= ceil_v then ok "%-34s %.4g <= %.4g" k fv ceil_v
+        else bad "%-34s %.4g > %.4g" k fv ceil_v
+      | None, None -> bad "%-34s missing from fresh run" k)
+    (List.rev !maxs);
   if !failures > 0 then begin
     Printf.printf "bench gate: %d failure(s)\n" !failures;
     exit 1

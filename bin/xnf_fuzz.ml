@@ -161,7 +161,7 @@ let main seed iters replay replay_dir corpus save_cases mutate no_shrink advise 
       match Fuzz.Oracle.mutation_of_string s with
       | Some m -> Some m
       | None ->
-        Printf.eprintf "unknown mutation %S (expected drop-conn or drop-tuple)\n" s;
+        Printf.eprintf "unknown mutation %S (expected drop-conn, drop-tuple or dict-swap)\n" s;
         exit 2
     end
   in

@@ -126,6 +126,10 @@ stage_fuzz() {
   # unless the harness catches every injected defect
   dune exec bin/xnf_fuzz.exe -- --seed 42 --iters 25 --mutate drop-conn --no-shrink --quiet
   dune exec bin/xnf_fuzz.exe -- --seed 42 --iters 25 --mutate drop-tuple --no-shrink --quiet
+  # dict-swap corrupts one encoded cell to a different valid dictionary id;
+  # the decoded comparators must catch every injection, proving the
+  # encoded hot path and the decoded oracles are compared cell-exactly
+  dune exec bin/xnf_fuzz.exe -- --seed 42 --iters 25 --mutate dict-swap --no-shrink --quiet
 }
 
 stage_crash() {
@@ -210,21 +214,25 @@ stage_bench() {
   echo "== bench smoke =="
   dune exec bench/main.exe -- --list
 
-  echo "== bench gate (E4+E11+E12+E13 vs BENCH_seed.json) =="
-  # re-run the paged-storage, repeated-fetch, batch-edge and cost-pick
-  # experiments and diff their bench.* metrics against the committed
-  # baseline: counters exact, timing gauges within BENCH_TOLERANCE
-  # (relative; generous because CI machines vary), and four absolute
-  # floors regardless of the baseline: the warm plan-cache speedup >= 2x,
-  # batch hash probing >= 3x over the engine-planned generic path on the
-  # 100k-row deep schema, CO-clustering >= 2x fewer page faults than
-  # table clustering, and the cost-picked access path >= 1.5x over the
-  # forced-worst strategy on both skewed E13 chains
-  dune exec bench/main.exe -- --only E4 --only E11 --only E12 --only E13 --json /tmp/bench_fresh_$$.json > /dev/null
+  echo "== bench gate (E4+E11+E12+E13+E14 vs BENCH_seed.json) =="
+  # re-run the paged-storage, repeated-fetch, batch-edge, cost-pick and
+  # encoded-navigation experiments and diff their bench.* metrics against
+  # the committed baseline: counters exact, timing gauges within
+  # BENCH_TOLERANCE (relative; generous because CI machines vary), and
+  # absolute limits regardless of the baseline: the warm plan-cache
+  # speedup >= 2x, batch hash probing >= 3x over the engine-planned
+  # generic path on the 100k-row deep schema, CO-clustering >= 2x fewer
+  # page faults than table clustering, the cost-picked access path
+  # >= 1.5x over the forced-worst strategy on both skewed E13 chains,
+  # the dictionary-encoded OO1 closure >= 2x over the pre-dictionary
+  # boxed kernel, and warm hash probing capped at 684 allocated bytes
+  # per frontier probe (5x under the pre-dictionary 3422)
+  dune exec bench/main.exe -- --only E4 --only E11 --only E12 --only E13 --only E14 --json /tmp/bench_fresh_$$.json > /dev/null
   dune exec bin/bench_compare.exe -- BENCH_seed.json /tmp/bench_fresh_$$.json \
     --tolerance "${BENCH_TOLERANCE:-0.5}" --min bench.e11.warm_speedup=2 \
     --min bench.e12.deep_speedup=3 --min bench.e4.fault_ratio=2 \
-    --min bench.e13.cost_pick_speedup=1.5
+    --min bench.e13.cost_pick_speedup=1.5 --min bench.e14.nav_speedup=2 \
+    --max bench.e12.alloc_bytes_per_probe=684
   rm -f /tmp/bench_fresh_$$.json
 }
 

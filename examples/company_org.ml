@@ -16,7 +16,7 @@ let show_instance cache =
     (fun (name, ni) ->
       Fmt.pr "  %s tuples:@." name;
       List.iter
-        (fun t -> Fmt.pr "    %s@." (Row.to_string t.Xnf.Cache.t_row))
+        (fun t -> Fmt.pr "    %s@." (Row.to_string (Xnf.Cache.row t)))
         (Xnf.Cache.live_tuples ni))
     cache.Xnf.Cache.c_nodes
 
@@ -30,10 +30,10 @@ let show_connections cache edge =
       let p = Xnf.Cache.tuple pn c.Xnf.Cache.cn_parent in
       let ch = Xnf.Cache.tuple cn c.Xnf.Cache.cn_child in
       Fmt.pr "    %s -- %s%s@."
-        (Value.to_string p.Xnf.Cache.t_row.(1))
-        (Value.to_string ch.Xnf.Cache.t_row.(1))
-        (if Array.length c.Xnf.Cache.cn_attrs > 0 then
-           " " ^ Row.to_string c.Xnf.Cache.cn_attrs
+        (Value.to_string (Xnf.Cache.col p 1))
+        (Value.to_string (Xnf.Cache.col ch 1))
+        (if Array.length (Xnf.Cache.conn_attrs c) > 0 then
+           " " ^ Row.to_string (Xnf.Cache.conn_attrs c)
          else ""))
     (Xnf.Cache.conns_live ei)
 
@@ -135,7 +135,7 @@ let () =
   in
   Fmt.pr "departments whose staff manages >= 2 projects:@.";
   List.iter
-    (fun t -> Fmt.pr "  %s@." (Row.to_string t.Xnf.Cache.t_row))
+    (fun t -> Fmt.pr "  %s@." (Row.to_string (Xnf.Cache.row t)))
     (Xnf.Cache.live_tuples (Xnf.Cache.node busy "xdept"));
   let staffed =
     Xnf.Api.fetch_string api
@@ -145,7 +145,7 @@ let () =
   in
   Fmt.pr "departments where staff manages a project bigger than the department budget:@.";
   List.iter
-    (fun t -> Fmt.pr "  %s@." (Row.to_string t.Xnf.Cache.t_row))
+    (fun t -> Fmt.pr "  %s@." (Row.to_string (Xnf.Cache.row t)))
     (Xnf.Cache.live_tuples (Xnf.Cache.node staffed "xdept"));
 
   header "§3.6 — closure: the four query classes of Fig. 6";
@@ -160,5 +160,5 @@ let () =
   let single = Xnf.Api.fetch_string api "OUT OF ALL-DEPS WHERE Xdept SUCH THAT loc = 'NY' TAKE Xemp(*)" in
   Fmt.pr "type (3) XNF to NF — the Xemp component as a plain table:@.";
   List.iter
-    (fun t -> Fmt.pr "  %s@." (Row.to_string t.Xnf.Cache.t_row))
+    (fun t -> Fmt.pr "  %s@." (Row.to_string (Xnf.Cache.row t)))
     (Xnf.Cache.live_tuples (Xnf.Cache.node single "xemp"))

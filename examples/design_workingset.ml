@@ -43,16 +43,16 @@ let () =
   let docs = Xnf.Cursor.open_dependent ~parent:vers (Xnf.Cursor.via "described_by") in
   Xnf.Cursor.iter
     (fun c ->
-      Fmt.pr "configuration %s@." (Row.to_string c.Xnf.Cache.t_row);
+      Fmt.pr "configuration %s@." (Row.to_string (Xnf.Cache.row c));
       Xnf.Cursor.iter
         (fun v ->
           let doc_title =
             match Xnf.Cursor.to_list docs with
-            | d :: _ -> Value.to_string d.Xnf.Cache.t_row.(1)
+            | d :: _ -> Value.to_string (Xnf.Cache.col d 1)
             | [] -> "?"
           in
           Fmt.pr "  version %s of %s: %d components@."
-            (Value.to_string v.Xnf.Cache.t_row.(0))
+            (Value.to_string (Xnf.Cache.col v 0))
             doc_title
             (List.length (Xnf.Cursor.to_list comps)))
         vers)
@@ -65,7 +65,7 @@ let () =
   Xnf.Udi.with_deferred ses (fun () ->
       List.iter
         (fun t ->
-          let w = Value.as_int t.Xnf.Cache.t_row.(3) in
+          let w = Value.as_int (Xnf.Cache.col t 3) in
           if w > 250 then begin
             Xnf.Udi.update ses ~node:"xcomp" ~pos:t.Xnf.Cache.t_pos
               [ ("weight", Value.Int (w - 10)) ];

@@ -37,8 +37,8 @@ let () =
   let emps = Xnf.Cursor.open_dependent ~parent:depts (Xnf.Cursor.via "employment") in
   Xnf.Cursor.iter
     (fun d ->
-      Fmt.pr "dept %s@." (Row.to_string d.Xnf.Cache.t_row);
-      Xnf.Cursor.iter (fun e -> Fmt.pr "  employs %s@." (Row.to_string e.Xnf.Cache.t_row)) emps)
+      Fmt.pr "dept %s@." (Row.to_string (Xnf.Cache.row d));
+      Xnf.Cursor.iter (fun e -> Fmt.pr "  employs %s@." (Row.to_string (Xnf.Cache.row e))) emps)
     depts;
 
   (* 5. update through the cache; the change lands in the base table *)
@@ -46,7 +46,7 @@ let () =
   let ni = Xnf.Cache.node cache "xemp" in
   let bob =
     List.find
-      (fun t -> Value.equal t.Xnf.Cache.t_row.(1) (Value.Str "bob"))
+      (fun t -> Value.equal (Xnf.Cache.col t 1) (Value.Str "bob"))
       (Xnf.Cache.live_tuples ni)
   in
   Xnf.Udi.update ses ~node:"xemp" ~pos:bob.Xnf.Cache.t_pos [ ("sal", Value.Int 1000) ];

@@ -48,7 +48,7 @@ let () =
   let ni = Xnf.Cache.node cache "xemp" in
   let alice =
     List.find
-      (fun t -> Value.equal t.Xnf.Cache.t_row.(1) (Value.Str "alice"))
+      (fun t -> Value.equal (Xnf.Cache.col t 1) (Value.Str "alice"))
       (Xnf.Cache.live_tuples ni)
   in
   Xnf.Udi.update ses ~node:"xemp" ~pos:alice.Xnf.Cache.t_pos [ ("sal", Value.Int 1600) ];
@@ -69,7 +69,7 @@ let () =
   let ses2 = Xnf.Api.session api fresh in
   let bob =
     List.find
-      (fun t -> Value.equal t.Xnf.Cache.t_row.(1) (Value.Str "bob"))
+      (fun t -> Value.equal (Xnf.Cache.col t 1) (Value.Str "bob"))
       (Xnf.Cache.live_tuples (Xnf.Cache.node fresh "xemp"))
   in
   Xnf.Udi.update ses2 ~node:"xemp" ~pos:bob.Xnf.Cache.t_pos [ ("sal", Value.Int 1000) ];

@@ -543,9 +543,8 @@ let delete_co api (q : Xnf_ast.query) =
             let table = Catalog.table (Db.catalog api.db) u.Semantic.nu_table in
             List.iter
               (fun t ->
-                match t.Cache.t_rowid with
-                | Some rowid -> if Db.delete_row api.db table rowid then incr deleted
-                | None -> ())
+                let rowid = t.Cache.t_rowid in
+                if rowid >= 0 && Db.delete_row api.db table rowid then incr deleted)
               (Cache.live_tuples ni))
         cache.Cache.c_nodes);
   !deleted
@@ -567,9 +566,8 @@ let update_co api (q : Xnf_ast.query) (cu : Xnf_ast.co_update) =
       Udi.with_deferred ses (fun () ->
           List.iter
             (fun t ->
-              let updates =
-                List.map (fun (col, e) -> (col, Expr.eval t.Cache.t_row e)) sets
-              in
+              let row = Cache.row t in
+              let updates = List.map (fun (col, e) -> (col, Expr.eval row e)) sets in
               Udi.update ses ~node:cu.Xnf_ast.cu_node ~pos:t.Cache.t_pos updates;
               incr count)
             (Cache.live_tuples ni)));

@@ -3,9 +3,11 @@
 
     A loaded CO holds, per component table, a vector of tuples (with
     base-table provenance when the node is updatable) and, per
-    relationship, a vector of connections with adjacency in both
-    directions — the paper's "virtual memory pointers", realized as
-    integer positions. Tuples and connections are tombstoned rather than
+    relationship, the connection set with adjacency in both directions —
+    the paper's "virtual memory pointers", realized as integer positions.
+    Connections are stored struct-of-arrays (the fetch path is
+    allocation-light); adjacency is a CSR built lazily on first
+    navigation. Tuples and connections are tombstoned rather than
     removed, so cursor positions and adjacency stay stable under
     manipulation operations. *)
 
@@ -13,8 +15,8 @@ open Relational
 
 type tuple = {
   t_pos : int;  (** position in the node vector (stable identity) *)
-  mutable t_row : Row.t;
-  mutable t_rowid : int option;  (** provenance: base-table rowid, when updatable *)
+  mutable t_row : Row.enc;  (** dictionary-encoded; decode via {!row}/{!col} *)
+  mutable t_rowid : int;  (** provenance: base-table rowid; [-1] = none *)
   mutable t_live : bool;
   mutable t_dirty : bool;  (** modified in cache, not yet propagated *)
 }
@@ -24,18 +26,31 @@ type node_inst = {
   mutable ni_schema : Schema.t;
   ni_tuples : tuple Vec.t;
   mutable ni_upd : Semantic.node_updatability option;
-  ni_by_rowid : (int, int) Hashtbl.t;  (** base rowid -> position *)
+  ni_by_rowid : Intmap.t;  (** base rowid -> position *)
   mutable ni_locked_cols : int list;
       (** columns used in relationship predicates: updatable only through
           connect/disconnect (§3.7) *)
 }
 
+(** Connection storage: struct-of-arrays indexed by connection id.
+    [cs_attrs] has length 0 when the edge carries no attributes. *)
+type conns = {
+  mutable cs_parent : int array;
+  mutable cs_child : int array;
+  mutable cs_attrs : Row.enc array;
+  mutable cs_live : Bytes.t;
+  mutable cs_len : int;
+}
+
+(** A materialized view of one connection (enumeration APIs only). *)
 type conn = {
+  cn_idx : int;  (** connection id within its edge *)
   cn_parent : int;  (** position in the parent node *)
   cn_child : int;  (** position in the child node *)
-  cn_attrs : Row.t;  (** relationship attributes *)
-  mutable cn_live : bool;
+  cn_attrs : Row.enc;  (** encoded attributes; [[||]] when the edge has none *)
 }
+
+type adj
 
 type edge_inst = {
   ei_name : string;
@@ -44,9 +59,8 @@ type edge_inst = {
   ei_parent_node : node_inst;  (** direct reference: cursor steps are O(1) *)
   ei_child_node : node_inst;
   ei_attr_schema : Schema.t;
-  ei_conns : conn Vec.t;
-  ei_children_of : (int, int list) Hashtbl.t;  (** parent pos -> conn indexes *)
-  ei_parents_of : (int, int list) Hashtbl.t;  (** child pos -> conn indexes *)
+  ei_conns : conns;
+  mutable ei_adj : adj option;  (** built lazily on first navigation *)
   mutable ei_upd : Semantic.edge_updatability;
 }
 
@@ -59,10 +73,38 @@ type t = {
 
 exception Cache_error of string
 
-(** Placeholder elements for {!Vec.create}. *)
-
 val dummy_tuple : tuple
-val dummy_conn : conn
+(** Placeholder element for {!Vec.create}. *)
+
+val make_node :
+  ?size_hint:int -> schema:Schema.t -> upd:Semantic.node_updatability option -> string -> node_inst
+(** [make_node ~schema ~upd name] is an empty node instance; [size_hint]
+    presizes the rowid index. *)
+
+(** Decode boundary helpers: the cache stores dictionary-encoded rows;
+    user-facing layers (TAKE, cursor delivery, sys.* rendering, base-table
+    writes) decode through these. *)
+
+val row : tuple -> Row.t
+val col : tuple -> int -> Value.t
+val conn_attrs : conn -> Row.t
+
+(** Connection buffers (the fused fixpoint fills these directly). *)
+
+val make_conns : ?size_hint:int -> attrs:bool -> unit -> conns
+val push_conn : conns -> parent:int -> child:int -> attrs:Row.enc -> int
+
+(** Per-connection accessors — hot paths, no boxing. *)
+
+val conn_count : edge_inst -> int
+val conn_parent_at : edge_inst -> int -> int
+val conn_child_at : edge_inst -> int -> int
+val conn_live_at : edge_inst -> int -> bool
+val conn_attrs_at : edge_inst -> int -> Row.enc
+val set_conn_live : edge_inst -> int -> bool -> unit
+
+val conn_at : edge_inst -> int -> conn
+(** [conn_at ei i] is a materialized view of connection [i] (live or not). *)
 
 (** Lookups are case-insensitive. @raise Cache_error when absent. *)
 
@@ -80,8 +122,17 @@ val live_count : node_inst -> int
     @raise Cache_error on bad positions. *)
 val tuple : node_inst -> int -> tuple
 
-(** [conns_live ei] lists live connections. *)
+(** [conns_live ei] lists views of the live connections in id order. *)
 val conns_live : edge_inst -> conn list
+
+val live_conn_count : edge_inst -> int
+
+(** [iter_conns_of_parent ei pos f] / [iter_conns_of_child ei pos f] apply
+    [f] to the id of every connection (live or not) incident to the given
+    position. Builds the adjacency on first use. *)
+
+val iter_conns_of_parent : edge_inst -> int -> (int -> unit) -> unit
+val iter_conns_of_child : edge_inst -> int -> (int -> unit) -> unit
 
 (** [children cache ei parent_pos] is the positions of live child tuples
     connected to the parent tuple (traversal parent->child). *)
@@ -99,15 +150,16 @@ val parents : t -> edge_inst -> int -> int list
 val related : t -> edge_inst -> from:string -> int -> string * int list
 
 (** [add_conn ei ~parent ~child ~attrs] appends a live connection, updating
-    adjacency; returns its index. *)
-val add_conn : edge_inst -> parent:int -> child:int -> attrs:Row.t -> int
+    adjacency when built; returns its id. *)
+val add_conn : edge_inst -> parent:int -> child:int -> attrs:Row.enc -> int
 
-(** [add_conns ei conns] bulk-appends [(parent, child, attrs)] live
-    connections with their adjacency — the fused-fixpoint readout path. *)
-val add_conns : edge_inst -> (int * int * Row.t) list -> unit
+(** [add_tuple ni ~rowid row] appends a live tuple ([rowid] [-1] = no
+    provenance); returns its position. *)
+val add_tuple : node_inst -> rowid:int -> Row.enc -> int
 
-(** [add_tuple ni ~rowid row] appends a live tuple; returns its position. *)
-val add_tuple : node_inst -> rowid:int option -> Row.t -> int
+(** [pos_of_rowid ni rowid] is the position caching base row [rowid], or
+    [-1]. Allocation-free. *)
+val pos_of_rowid : node_inst -> int -> int
 
 (** [recompute_reachability cache] re-applies the reachability constraint
     inside the cache: root-node tuples seed a traversal along live

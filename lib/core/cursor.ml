@@ -68,7 +68,7 @@ let enumerate cache node order =
         | None -> err "no column %s in component %s" col node
       in
       let cmp a b =
-        let c = Relational.Value.compare_total a.Cache.t_row.(ci) b.Cache.t_row.(ci) in
+        let c = Relational.Value.compare_total (Cache.col a ci) (Cache.col b ci) in
         match dir with `Asc -> c | `Desc -> -c
       in
       List.stable_sort cmp tuples

@@ -56,7 +56,7 @@ let rec eval_xexpr cache (env : env) (e : xexpr) : Value.t =
   | X_col (q, n) ->
     let b, i = resolve_col cache env q (String.lowercase_ascii n) in
     let ni = Cache.node cache b.b_node in
-    (Cache.tuple ni b.b_pos).Cache.t_row.(i)
+    Cache.col (Cache.tuple ni b.b_pos) i
   | X_lit v -> v
   | X_cmp (op, a, b) -> begin
     match Value.compare_sql (eval_xexpr cache env a) (eval_xexpr cache env b) with

@@ -216,8 +216,8 @@ let analyze_simple db q = try analyze_simple db q with Exit -> None
 
 type extent = {
   x_schema : Schema.t;
-  x_rows : Row.t array;  (** node-output rows *)
-  x_rowids : int option array;
+  x_rows : Row.enc array;  (** node-output rows, dictionary-encoded *)
+  x_rowids : int array;  (** base rowids; [-1] = no provenance *)
 }
 
 type node_rt = {
@@ -226,7 +226,12 @@ type node_rt = {
   nr_ni : Cache.node_inst;
   mutable nr_extent : extent option;  (** full base extent (generic path only) *)
   mutable nr_temp : Table.t option;  (** shared temp of [nr_extent] *)
-  nr_tid2pos : (int, int) Hashtbl.t;  (** extent index -> cache position *)
+  nr_tid2pos : Intmap.t;  (** extent index -> cache position *)
+  (* semi-naive frontier: every tuple is created exactly once and must be
+     probed exactly once, so creation order IS the queue — a round probes
+     the position slice [nr_mark, nr_limit) snapshotted at round start *)
+  mutable nr_mark : int;
+  mutable nr_limit : int;
 }
 
 let node_schema db (nd : Co_schema.node_def) ~simple =
@@ -251,16 +256,16 @@ let ensure_extent db (rt : node_rt) : extent =
             let keep =
               match s.s_pred with None -> true | Some p -> Value.is_true (Expr.eval_pred row p)
             in
-            if keep then rows := (Row.project row s.s_proj, Some rowid) :: !rows)
+            if keep then rows := (Row.encode (Row.project row s.s_proj), rowid) :: !rows)
           s.s_table;
         let rows = List.rev !rows in
         { x_schema = rt.nr_ni.Cache.ni_schema; x_rows = Array.of_list (List.map fst rows);
           x_rowids = Array.of_list (List.map snd rows) }
       | None ->
         let qgm = Db.bind_select db rt.nr_def.Co_schema.nd_query in
-        let rows = Array.of_seq (Db.run_qgm db qgm) in
+        let rows = Array.of_seq (Seq.map Row.encode (Db.run_qgm db qgm)) in
         { x_schema = rt.nr_ni.Cache.ni_schema; x_rows = rows;
-          x_rowids = Array.map (fun _ -> None) rows }
+          x_rowids = Array.map (fun _ -> -1) rows }
     in
     rt.nr_extent <- Some x;
     x
@@ -269,7 +274,9 @@ let tid_column = Schema.column ~nullable:false "__tid" Schema.Ty_int
 
 let temp_counter = ref 0
 
-let make_temp schema (rows : (int * Row.t) Seq.t) : Table.t =
+(* temps live in the Value-level relational engine: cached/extent rows
+   decode at this boundary *)
+let make_temp schema (rows : (int * Row.enc) Seq.t) : Table.t =
   incr temp_counter;
   let cols =
     tid_column
@@ -277,7 +284,9 @@ let make_temp schema (rows : (int * Row.t) Seq.t) : Table.t =
          (Schema.columns schema)
   in
   let t = Table.create ~name:(Printf.sprintf "__xnf_tmp%d" !temp_counter) (Schema.make cols) in
-  Seq.iter (fun (tid, row) -> ignore (Table.insert t (Array.append [| Value.Int tid |] row))) rows;
+  Seq.iter
+    (fun (tid, row) -> ignore (Table.insert t (Array.append [| Value.Int tid |] (Row.decode row))))
+    rows;
   t
 
 let ensure_temp db rt =
@@ -298,11 +307,20 @@ let ensure_temp db rt =
    The indexed form resolves matches through base-table indexes in OCaml —
    the executed form of an index-nested-loop plan; the hash form through
    version-cached hash builds; the generic fallback routes a frontier
-   batch through the relational engine. All deliver, per match: the
-   child's base rowid (identity), the child's node-output row, and the
-   relationship-attribute row. *)
+   batch through the relational engine.
 
-type probe_hit = { ph_rowid : int; ph_row : Row.t; ph_attrs : Row.t }
+   Delivery is CPS: per match the prober calls [emit rowid base_enc
+   attrs] with the child's base rowid (identity), its ENCODED base row
+   (the consumer projects to node-output columns only when the tuple is
+   first materialized) and the ENCODED relationship-attribute row. The
+   fast path (no residual predicate, no WITH ATTRIBUTES, no probe-time
+   child predicate) allocates nothing per hit: no record, no list cons,
+   no row copy, no decode. *)
+
+type emit = int -> Row.enc -> Row.enc -> unit
+type prober = Row.enc -> emit -> unit
+
+let empty_enc : Row.enc = [||]
 
 let edge_conjuncts (ed : Co_schema.edge_def) =
   let rec split = function
@@ -341,23 +359,25 @@ let prober_ctx db (ed : Co_schema.edge_def) ~(parent_schema : Schema.t) ~(child 
   let attr_fns =
     List.map (fun (e, _) -> Binder.bind_expr env concat_schema e) ed.Co_schema.ed_attrs
   in
-  let node_row base_row = Row.project base_row child.s_proj in
   (* when the edge carries no WITH ATTRIBUTES, hits never need the
      parent++child concat row unless a residual predicate asks for it —
-     probers use this to skip the per-hit row allocation entirely *)
+     probers use this to skip the per-hit decode and row allocation
+     entirely *)
   let no_attrs = ed.Co_schema.ed_attrs = [] in
   (* bind parameter slots once per EXECUTE, not once per probed row *)
   let specialize params =
     let sub e = if Array.length params = 0 then e else Expr.subst_params params e in
     let afns = List.map sub attr_fns in
-    let eval_attrs concat = Array.of_list (List.map (fun e -> Expr.eval concat e) afns) in
+    let eval_attrs concat =
+      Row.encode (Array.of_list (List.map (fun e -> Expr.eval concat e) afns))
+    in
     let cpred = Option.map sub child.s_pred in
     let child_ok base_row =
       match cpred with None -> true | Some p -> Value.is_true (Expr.eval_pred base_row p)
     in
     (sub, eval_attrs, child_ok)
   in
-  (bind_residual, node_row, no_attrs, specialize)
+  (bind_residual, no_attrs, specialize)
 
 (* try to build an index-nested-loop prober for [ed]; [parent_schema] is
    the parent node's output schema, the child must be simple. The result
@@ -369,11 +389,11 @@ let prober_ctx db (ed : Co_schema.edge_def) ~(parent_schema : Schema.t) ~(child 
    plan's scan estimate, since stale statistics cannot show a skewed
    bucket but the counter does. *)
 let build_indexed_prober db (ed : Co_schema.edge_def) ~(parent_schema : Schema.t)
-    ~(child : simple) : ((Value.t array -> Row.t -> probe_hit list) * int ref) option =
+    ~(child : simple) : ((Value.t array -> prober) * int ref) option =
   let pa = ed.Co_schema.ed_parent_alias and ca = ed.Co_schema.ed_child_alias in
   let child_base_schema = Table.schema child.s_table in
   let conjuncts = edge_conjuncts ed in
-  let bind_residual, node_row, no_attrs, specialize = prober_ctx db ed ~parent_schema ~child in
+  let bind_residual, no_attrs, specialize = prober_ctx db ed ~parent_schema ~child in
   match ed.Co_schema.ed_using with
   | None -> begin
     (* FK form: find one equality parent.a = child.b with an index on b *)
@@ -406,31 +426,32 @@ let build_indexed_prober db (ed : Co_schema.edge_def) ~(parent_schema : Schema.t
         ( (fun params ->
             let sub, eval_attrs, child_ok = specialize params in
             let residual = Option.map sub residual0 in
-            fun parent_row ->
-            let key = parent_row.(parent_col) in
-            if Value.is_null key then []
-            else begin
-              let cands = Table.lookup_index child.s_table idx [| key |] in
+            fun parent_row emit ->
+            let key_id = parent_row.(parent_col) in
+            if not (Dict.is_null key_id) then begin
+              let cands = Table.lookup_index child.s_table idx [| Dict.decode key_id |] in
               scanned := !scanned + List.length cands;
-              List.filter_map
-                (fun (rowid, base_row) ->
-                  if not (child_ok base_row) then None
-                  else if residual = None && no_attrs then
-                    (* fast path: nothing reads the concat row — skip it *)
-                    Some { ph_rowid = rowid; ph_row = node_row base_row; ph_attrs = [||] }
-                  else begin
-                    let concat = Row.concat parent_row base_row in
-                    let keep =
-                      match residual with
-                      | None -> true
-                      | Some p -> Value.is_true (Expr.eval_pred concat p)
-                    in
-                    if keep then
-                      Some
-                        { ph_rowid = rowid; ph_row = node_row base_row; ph_attrs = eval_attrs concat }
-                    else None
-                  end)
-                cands
+              if residual = None && no_attrs then
+                (* fast path: nothing reads the concat row — skip it *)
+                List.iter
+                  (fun (rowid, base_row) ->
+                    if child_ok base_row then emit rowid (Row.encode base_row) empty_enc)
+                  cands
+              else begin
+                let parent_dec = Row.decode parent_row in
+                List.iter
+                  (fun (rowid, base_row) ->
+                    if child_ok base_row then begin
+                      let concat = Row.concat parent_dec base_row in
+                      let keep =
+                        match residual with
+                        | None -> true
+                        | Some p -> Value.is_true (Expr.eval_pred concat p)
+                      in
+                      if keep then emit rowid (Row.encode base_row) (eval_attrs concat)
+                    end)
+                  cands
+              end
             end),
           scanned )
   end
@@ -479,37 +500,40 @@ let build_indexed_prober db (ed : Co_schema.edge_def) ~(parent_schema : Schema.t
             ( (fun params ->
                 let sub, eval_attrs, child_ok = specialize params in
                 let residual = Option.map sub residual0 in
-                fun parent_row ->
-                let link_key = Array.of_list (List.map (fun (_, p) -> parent_row.(p)) parent_bind) in
-                if Array.exists Value.is_null link_key then []
-                else begin
+                fun parent_row emit ->
+                let link_key =
+                  Array.of_list (List.map (fun (_, p) -> Dict.decode parent_row.(p)) parent_bind)
+                in
+                if not (Array.exists Value.is_null link_key) then begin
                   let links = Table.lookup_index link link_idx link_key in
                   scanned := !scanned + List.length links;
-                  List.concat_map
+                  let parent_dec =
+                    if residual <> None || not no_attrs then Row.decode parent_row else [||]
+                  in
+                  List.iter
                     (fun (_, link_row) ->
                       let child_key =
                         Array.of_list (List.map (fun (l, _) -> link_row.(l)) child_bind)
                       in
-                      if Array.exists Value.is_null child_key then []
-                      else begin
+                      if not (Array.exists Value.is_null child_key) then begin
                         let cands = Table.lookup_index child.s_table child_idx child_key in
                         scanned := !scanned + List.length cands;
-                        List.filter_map
+                        List.iter
                           (fun (rowid, base_row) ->
-                            if not (child_ok base_row) then None
-                            else if residual = None && no_attrs then
-                              Some { ph_rowid = rowid; ph_row = node_row base_row; ph_attrs = [||] }
-                            else begin
-                              let concat = Row.concat (Row.concat parent_row base_row) link_row in
-                              let keep =
-                                match residual with
-                                | None -> true
-                                | Some p -> Value.is_true (Expr.eval_pred concat p)
-                              in
-                              if keep then
-                                Some { ph_rowid = rowid; ph_row = node_row base_row;
-                                       ph_attrs = eval_attrs concat }
-                              else None
+                            if child_ok base_row then begin
+                              if residual = None && no_attrs then
+                                emit rowid (Row.encode base_row) empty_enc
+                              else begin
+                                let concat =
+                                  Row.concat (Row.concat parent_dec base_row) link_row
+                                in
+                                let keep =
+                                  match residual with
+                                  | None -> true
+                                  | Some p -> Value.is_true (Expr.eval_pred concat p)
+                                in
+                                if keep then emit rowid (Row.encode base_row) (eval_attrs concat)
+                              end
                             end)
                           cands
                       end)
@@ -530,24 +554,38 @@ let build_indexed_prober db (ed : Co_schema.edge_def) ~(parent_schema : Schema.t
    indexed path). USING relationships chain two builds: parent key ->
    link rows -> child key -> child rows.
 
-   Builds are parameter-free — the child's own predicate and the edge's
-   residual are evaluated at probe time — so a completed build is held in
+   Builds hold ENCODED base rows keyed by [Dict.key_cell]-normalized id
+   arrays (one-column keys specialize to a raw-int hash table), with the
+   whole bucket stored as the hash-table VALUE — a probe is one [find]
+   returning the stored list, so the hot loop allocates nothing. A
+   parameter-free child predicate is folded into the build (rows failing
+   it are never entered); parameterized predicates and the edge's
+   residual stay at probe time, so a completed build is still held in
    the compiled plan and reused by later executions (warm EXECUTE /
    plan-cache hits) as long as the source table's DML-visible
    [Table.version] still matches; DDL invalidation needs nothing extra
    because [Fetch_plan.valid] already forces recompilation. Key equality
-   and hashing are [Expr.Row_key] — the same semantics the relational
-   hash-join operator uses — and NULL keys never match (rows with a NULL
-   key component are not entered, probes with one return nothing). *)
+   and hashing are [Expr.Row_key] over normalized ids — the same
+   semantics the relational hash-join operator uses (Int/Float
+   cross-equality via [Dict.key_cell]) — and NULL keys never match (rows
+   with a NULL key component are not entered, probes with one return
+   nothing). *)
+
+type hash_entries = (int * Row.enc) list
 
 type hash_build = {
   hb_version : int;  (** [Table.version] of the source at build time *)
-  hb_tbl : (int * Row.t) Expr.Row_key_tbl.t;  (** key -> (rowid, base row), multi-bound *)
+  hb_tbl : hash_tbl;
 }
+
+and hash_tbl =
+  | HB_single of (int, hash_entries) Hashtbl.t  (** one key column: raw normalized ids *)
+  | HB_multi of hash_entries Expr.Row_key_tbl.t
 
 type hash_source = {
   hs_table : Table.t;
   hs_key_cols : int array;
+  hs_pred : Expr.t option;  (** parameter-free child predicate, folded into the build *)
   mutable hs_build : hash_build option;  (** cached across executions of the plan *)
 }
 
@@ -563,23 +601,81 @@ let ensure_build (hs : hash_source) =
     stats.hash_builds <- stats.hash_builds + 1;
     Obs.Metrics.incr m_hash_builds;
     (* pre-sized to the extent so no resize ever rehashes the whole
-       build; multi-binding adds keep it at one hash operation per row —
-       probes collect the bucket with [find_all] (probe sets are
+       build; bucket lists are stored as values (probe sets are
        frontier-sized, builds are extent-sized, so the build side is the
        one to keep lean) *)
-    let tbl = Expr.Row_key_tbl.create (max 64 (Table.cardinality hs.hs_table)) in
-    Table.iter
-      (fun rowid row ->
-        let key = Array.map (fun i -> row.(i)) hs.hs_key_cols in
-        if not (Expr.Row_key.has_null key) then Expr.Row_key_tbl.add tbl key (rowid, row))
-      hs.hs_table;
+    let keep row =
+      match hs.hs_pred with None -> true | Some p -> Value.is_true (Expr.eval_pred row p)
+    in
+    let n = max 64 (Table.cardinality hs.hs_table) in
+    let tbl =
+      if Array.length hs.hs_key_cols = 1 then begin
+        let kc = hs.hs_key_cols.(0) in
+        let t : (int, hash_entries) Hashtbl.t = Hashtbl.create n in
+        Table.iter
+          (fun rowid row ->
+            if keep row then begin
+              let enc = Row.encode row in
+              let k = Dict.key_cell enc.(kc) in
+              if not (Dict.is_null k) then
+                Hashtbl.replace t k
+                  ((rowid, enc) :: (match Hashtbl.find_opt t k with Some l -> l | None -> []))
+            end)
+          hs.hs_table;
+        HB_single t
+      end
+      else begin
+        let t = Expr.Row_key_tbl.create n in
+        Table.iter
+          (fun rowid row ->
+            if keep row then begin
+              let enc = Row.encode row in
+              let key = Array.map (fun i -> Dict.key_cell enc.(i)) hs.hs_key_cols in
+              if not (Expr.Row_key.has_null key) then
+                Expr.Row_key_tbl.replace t key
+                  ((rowid, enc)
+                  :: (match Expr.Row_key_tbl.find_opt t key with Some l -> l | None -> []))
+            end)
+          hs.hs_table;
+        HB_multi t
+      end
+    in
     hs.hs_build <- Some { hb_version = v; hb_tbl = tbl };
     tbl
 
-(* [find_all] returns most-recently-added first, i.e. reverse table
-   order — hit order within one probe is not part of the contract *)
-let probe_build tbl (key : Expr.Row_key.t) =
-  if Expr.Row_key.has_null key then [] else Expr.Row_key_tbl.find_all tbl key
+(* buckets come out most-recently-added first, i.e. reverse table order —
+   hit order within one probe is not part of the contract. [find] with
+   the [Not_found] match keeps the miss path allocation-free too. *)
+let probe_single (t : (int, hash_entries) Hashtbl.t) k : hash_entries =
+  if Dict.is_null k then []
+  else match Hashtbl.find t k with exception Not_found -> [] | l -> l
+
+let probe_multi (t : hash_entries Expr.Row_key_tbl.t) (key : Expr.Row_key.t) : hash_entries =
+  if Expr.Row_key.has_null key then []
+  else match Expr.Row_key_tbl.find t key with exception Not_found -> [] | l -> l
+
+(* key extraction from an encoded row: one-column keys probe with the
+   raw normalized id, composite keys refill a per-prober scratch array
+   (never retained by [Hashtbl.find]), so probing allocates nothing *)
+let mk_hash_probe (tbl : hash_tbl) (cols : int array) : Row.enc -> hash_entries =
+  match tbl with
+  | HB_single t ->
+    let c = cols.(0) in
+    fun row -> probe_single t (Dict.key_cell row.(c))
+  | HB_multi t ->
+    let scratch = Array.make (Array.length cols) 0 in
+    fun row ->
+      Array.iteri (fun i ci -> scratch.(i) <- Dict.key_cell row.(ci)) cols;
+      probe_multi t scratch
+
+(* fast-path delivery: emit every bucket entry, counting candidates —
+   top-level so the loop closes over nothing *)
+let rec emit_hits scanned (emit : emit) = function
+  | [] -> ()
+  | (rowid, enc) :: rest ->
+    incr scanned;
+    emit rowid enc empty_enc;
+    emit_hits scanned emit rest
 
 (* try to build a batch-hash prober for [ed] — same contract as
    [build_indexed_prober] (including the candidate-scan counter: bucket
@@ -589,11 +685,18 @@ let probe_build tbl (key : Expr.Row_key.t) =
    returned closure is applied to the EXECUTE-time [params] — once per
    fetch. *)
 let build_hash_prober db (ed : Co_schema.edge_def) ~(parent_schema : Schema.t)
-    ~(child : simple) : ((Value.t array -> Row.t -> probe_hit list) * int ref) option =
+    ~(child : simple) : ((Value.t array -> prober) * int ref) option =
   let pa = ed.Co_schema.ed_parent_alias and ca = ed.Co_schema.ed_child_alias in
   let child_base_schema = Table.schema child.s_table in
   let conjuncts = edge_conjuncts ed in
-  let bind_residual, node_row, no_attrs, specialize = prober_ctx db ed ~parent_schema ~child in
+  let bind_residual, no_attrs, specialize = prober_ctx db ed ~parent_schema ~child in
+  (* a parameter-free child predicate filters at BUILD time, so probes
+     skip per-candidate predicate evaluation (and the decode it needs);
+     a parameterized one must stay at probe time *)
+  let build_pred =
+    match child.s_pred with Some p when not (Expr.has_param p) -> Some p | _ -> None
+  in
+  let probe_pred = if build_pred = None then child.s_pred else None in
   match ed.Co_schema.ed_using with
   | None -> begin
     (* FK form: every equality parent.a = child.b joins the key *)
@@ -622,38 +725,45 @@ let build_hash_prober db (ed : Co_schema.edge_def) ~(parent_schema : Schema.t)
       let parent_cols = Array.of_list (List.map fst pairs) in
       let source =
         { hs_table = child.s_table; hs_key_cols = Array.of_list (List.map snd pairs);
-          hs_build = None }
+          hs_pred = build_pred; hs_build = None }
       in
       let residual0 = bind_residual (List.rev !residual) in
       let scanned = ref 0 in
       Some
         ( (fun params ->
             let sub, eval_attrs, child_ok = specialize params in
+            let child_ok = if probe_pred = None then fun _ -> true else child_ok in
             let residual = Option.map sub residual0 in
-            let tbl = ensure_build source in
-            fun parent_row ->
-              let key = Array.map (fun p -> parent_row.(p)) parent_cols in
-              let cands = probe_build tbl key in
-              scanned := !scanned + List.length cands;
-              List.filter_map
-                (fun (rowid, base_row) ->
-                  if not (child_ok base_row) then None
-                  else if residual = None && no_attrs then
-                    (* fast path: nothing reads the concat row — skip it *)
-                    Some { ph_rowid = rowid; ph_row = node_row base_row; ph_attrs = [||] }
-                  else begin
-                    let concat = Row.concat parent_row base_row in
-                    let keep =
-                      match residual with
-                      | None -> true
-                      | Some p -> Value.is_true (Expr.eval_pred concat p)
-                    in
-                    if keep then
-                      Some
-                        { ph_rowid = rowid; ph_row = node_row base_row; ph_attrs = eval_attrs concat }
-                    else None
-                  end)
-                cands),
+            let probe_k = mk_hash_probe (ensure_build source) parent_cols in
+            if residual = None && no_attrs && probe_pred = None then
+              (* fast path: nothing reads any decoded row — one hash
+                 find, then emit the stored bucket as-is *)
+              fun parent_row emit -> emit_hits scanned emit (probe_k parent_row)
+            else
+              fun parent_row emit ->
+                let cands = probe_k parent_row in
+                if cands <> [] then begin
+                  let parent_dec =
+                    if residual <> None || not no_attrs then Row.decode parent_row else [||]
+                  in
+                  List.iter
+                    (fun (rowid, enc) ->
+                      incr scanned;
+                      let base_row = Row.decode enc in
+                      if child_ok base_row then begin
+                        if residual = None && no_attrs then emit rowid enc empty_enc
+                        else begin
+                          let concat = Row.concat parent_dec base_row in
+                          let keep =
+                            match residual with
+                            | None -> true
+                            | Some p -> Value.is_true (Expr.eval_pred concat p)
+                          in
+                          if keep then emit rowid enc (eval_attrs concat)
+                        end
+                      end)
+                    cands
+                end),
           scanned )
   end
   | Some (link_name, la) -> begin
@@ -690,48 +800,68 @@ let build_hash_prober db (ed : Co_schema.edge_def) ~(parent_schema : Schema.t)
         let link_ccols = Array.of_list (List.map fst child_bind) in
         let link_source =
           { hs_table = link; hs_key_cols = Array.of_list (List.map fst parent_bind);
-            hs_build = None }
+            hs_pred = None; hs_build = None }
         in
         let child_source =
           { hs_table = child.s_table; hs_key_cols = Array.of_list (List.map snd child_bind);
-            hs_build = None }
+            hs_pred = build_pred; hs_build = None }
         in
         let residual0 = bind_residual (List.rev !residual) in
         let scanned = ref 0 in
         Some
           ( (fun params ->
               let sub, eval_attrs, child_ok = specialize params in
+              let child_ok = if probe_pred = None then fun _ -> true else child_ok in
               let residual = Option.map sub residual0 in
-              let ltbl = ensure_build link_source in
-              let ctbl = ensure_build child_source in
-              fun parent_row ->
-                let link_key = Array.map (fun p -> parent_row.(p)) parent_cols in
-                let links = probe_build ltbl link_key in
-                scanned := !scanned + List.length links;
-                List.concat_map
-                  (fun (_, link_row) ->
-                    let child_key = Array.map (fun l -> link_row.(l)) link_ccols in
-                    let cands = probe_build ctbl child_key in
-                    scanned := !scanned + List.length cands;
-                    List.filter_map
-                      (fun (rowid, base_row) ->
-                        if not (child_ok base_row) then None
-                        else if residual = None && no_attrs then
-                          Some { ph_rowid = rowid; ph_row = node_row base_row; ph_attrs = [||] }
-                        else begin
-                          let concat = Row.concat (Row.concat parent_row base_row) link_row in
-                          let keep =
-                            match residual with
-                            | None -> true
-                            | Some p -> Value.is_true (Expr.eval_pred concat p)
+              let probe_l = mk_hash_probe (ensure_build link_source) parent_cols in
+              let probe_c = mk_hash_probe (ensure_build child_source) link_ccols in
+              if residual = None && no_attrs && probe_pred = None then
+                fun parent_row emit ->
+                  let rec go = function
+                    | [] -> ()
+                    | (_, link_enc) :: rest ->
+                      incr scanned;
+                      emit_hits scanned emit (probe_c link_enc);
+                      go rest
+                  in
+                  go (probe_l parent_row)
+              else
+                fun parent_row emit ->
+                  let links = probe_l parent_row in
+                  if links <> [] then begin
+                    let parent_dec =
+                      if residual <> None || not no_attrs then Row.decode parent_row else [||]
+                    in
+                    List.iter
+                      (fun (_, link_enc) ->
+                        incr scanned;
+                        let cands = probe_c link_enc in
+                        if cands <> [] then begin
+                          let link_row =
+                            if residual <> None || not no_attrs then Row.decode link_enc else [||]
                           in
-                          if keep then
-                            Some { ph_rowid = rowid; ph_row = node_row base_row;
-                                   ph_attrs = eval_attrs concat }
-                          else None
+                          List.iter
+                            (fun (rowid, enc) ->
+                              incr scanned;
+                              let base_row = Row.decode enc in
+                              if child_ok base_row then begin
+                                if residual = None && no_attrs then emit rowid enc empty_enc
+                                else begin
+                                  let concat =
+                                    Row.concat (Row.concat parent_dec base_row) link_row
+                                  in
+                                  let keep =
+                                    match residual with
+                                    | None -> true
+                                    | Some p -> Value.is_true (Expr.eval_pred concat p)
+                                  in
+                                  if keep then emit rowid enc (eval_attrs concat)
+                                end
+                              end)
+                            cands
                         end)
-                      cands)
-                  links),
+                      links
+                  end),
             scanned )
       end
     end
@@ -995,7 +1125,7 @@ let apply_column_projection cache =
         let idx = Array.of_list positions in
         ni.Cache.ni_schema <-
           Schema.make (List.map (fun i -> Schema.col ni.Cache.ni_schema i) positions);
-        Vec.iter (fun t -> t.Cache.t_row <- Row.project t.Cache.t_row idx) ni.Cache.ni_tuples;
+        Vec.iter (fun t -> t.Cache.t_row <- Row.project_enc t.Cache.t_row idx) ni.Cache.ni_tuples;
         ni.Cache.ni_upd <-
           Option.map
             (fun (u : Semantic.node_updatability) ->
@@ -1035,7 +1165,7 @@ type node_plan = {
    cumulative candidate-rows-scanned counter its probes maintain *)
 type built_prober = {
   bp_schema : Schema.t;
-  bp_fn : Value.t array -> Row.t -> probe_hit list;
+  bp_fn : Value.t array -> prober;
   bp_scanned : int ref;
 }
 
@@ -1083,6 +1213,10 @@ type compiled = {
   mutable cp_switches : switch_rec list;
       (** adaptive switches, latest first, at most one per edge; written by
           executions so a plan-cache hit starts from the learned strategy *)
+  mutable cp_hints : (string * int) list;
+      (** last observed cardinalities ("n:<node>" tuples, "e:<edge>"
+          connections) — warm executions presize the cache structures so
+          the hot loop allocates no growth-doubling garbage *)
 }
 
 (** [compile_def ?take ?force db def] runs the "translate" phase on a
@@ -1245,7 +1379,7 @@ let compile_def ?(take = Xnf_ast.Take_star) ?force db (def : Co_schema.t) : comp
   in
   { cp_def = def; cp_nodes = nodes; cp_edges = edges; cp_shapes = shapes; cp_force = force;
     cp_base_tables = base_tables; cp_final = final; cp_ests = ests; cp_cost_based = cost_based;
-    cp_switches = [] }
+    cp_switches = []; cp_hints = [] }
 
 (** [edge_strategies cp] lists the access path selected for each
     relationship, in definition order — surfaced by [EXPLAIN ANALYZE] and
@@ -1305,7 +1439,7 @@ type edge_rt = {
   er_name : string;
   er_plan : edge_plan;
   mutable er_serving : strategy;
-  mutable er_probe : (Row.t -> probe_hit list) option;
+  mutable er_probe : prober option;
   mutable er_bp : built_prober option;  (** serving prober's compile-time record *)
   mutable er_scan_base : int;  (** [bp_scanned] when the serving prober was instated *)
   mutable er_probed : int;  (** frontier rows fed to this edge so far *)
@@ -1335,7 +1469,14 @@ let execute_def ?(fixpoint = Semi_naive) ?(params = [||]) db (cp : compiled)
   let sub_expr e = if Array.length params = 0 then e else Sql_ast.subst_params_expr params e in
   let sub_pred p = if Array.length params = 0 then p else Option.map (Expr.subst_params params) p in
   let path_restrs = subst_restrictions params path_restrs in
-  (* fresh per-fetch runtime state from the immutable plan *)
+  (* fresh per-fetch runtime state from the immutable plan; warm
+     re-executions presize from the previous run's cardinalities so the
+     hot loop pays no growth-doubling churn *)
+  let hint key fallback =
+    match List.assoc_opt key cp.cp_hints with
+    | Some n when n > 0 -> n + n / 8
+    | _ -> fallback
+  in
   let nodes_rt =
     List.map
       (fun (name, np) ->
@@ -1343,14 +1484,11 @@ let execute_def ?(fixpoint = Semi_naive) ?(params = [||]) db (cp : compiled)
           { np.np_def with Co_schema.nd_query = sub_select np.np_def.Co_schema.nd_query }
         in
         let simple = Option.map (fun s -> { s with s_pred = sub_pred s.s_pred }) np.np_simple in
-        let ni =
-          { Cache.ni_name = name; ni_schema = np.np_schema;
-            ni_tuples = Vec.create ~dummy:Cache.dummy_tuple (); ni_upd = np.np_upd;
-            ni_by_rowid = Hashtbl.create 64; ni_locked_cols = [] }
-        in
+        let h = hint ("n:" ^ name) 64 in
+        let ni = Cache.make_node ~size_hint:h ~schema:np.np_schema ~upd:np.np_upd name in
         ( name,
           { nr_def = nd; nr_simple = simple; nr_ni = ni; nr_extent = None; nr_temp = None;
-            nr_tid2pos = Hashtbl.create 64 } ))
+            nr_tid2pos = Intmap.create ~size:16; nr_mark = 0; nr_limit = 0 } ))
       cp.cp_nodes
   in
   let rt name = List.assoc name nodes_rt in
@@ -1370,10 +1508,31 @@ let execute_def ?(fixpoint = Semi_naive) ?(params = [||]) db (cp : compiled)
      naive ablation re-probes parents every round and keeps the legacy
      two-phase shape. *)
   let fused = fixpoint = Semi_naive in
-  let conn_acc : (string * (int * int * Row.t) list ref) list =
-    List.map (fun (ed : Co_schema.edge_def) -> (ed.Co_schema.ed_name, ref [])) def.Co_schema.co_edges
+  (* fused connection production fills the cache's struct-of-arrays
+     buffers directly — two int pushes per match, attribute rows only on
+     edges that declare them; the readout adopts the buffers wholesale *)
+  let conn_bufs : (string * Cache.conns) list =
+    List.map
+      (fun (ed : Co_schema.edge_def) ->
+        ( ed.Co_schema.ed_name,
+          Cache.make_conns
+            ~size_hint:(hint ("e:" ^ ed.Co_schema.ed_name) 8)
+            ~attrs:(ed.Co_schema.ed_attrs <> []) () ))
+      def.Co_schema.co_edges
   in
-  let acc_of name = List.assoc name conn_acc in
+  let buf_of name = List.assoc name conn_bufs in
+  (* phase allocation accounting, env-gated; [Gc.minor] drains the minor
+     heap so [Gc.allocated_bytes] is exact, not quantized *)
+  let dbg_alloc = Sys.getenv_opt "XNF_ALLOC_DEBUG" <> None in
+  let dbg_mark = ref (if dbg_alloc then (Gc.minor (); Gc.allocated_bytes ()) else 0.) in
+  let dbg phase =
+    if dbg_alloc then begin
+      Gc.minor ();
+      let now = Gc.allocated_bytes () in
+      Printf.eprintf "[alloc] %-12s %10.0f bytes\n%!" phase (now -. !dbg_mark);
+      dbg_mark := now
+    end
+  in
   (* 3–5 run under the "cache-fill" span: roots, reachability fixpoint,
      connection extents *)
   let edges =
@@ -1417,26 +1576,7 @@ let execute_def ?(fixpoint = Semi_naive) ?(params = [||]) db (cp : compiled)
   in
   let rt_edge name = List.assoc name edge_rts in
   (* 3. roots: set-oriented evaluation of the derivations *)
-  let frontier : (string, int list) Hashtbl.t = Hashtbl.create 8 in
-  (* positions ever enqueued, per node: under instance sharing several
-     edges can deliver the same position, and the fused connection
-     readout relies on each position being probed exactly once, so pushes
-     are deduplicated over the fixpoint's whole lifetime *)
-  let pushed : (string, (int, unit) Hashtbl.t) Hashtbl.t = Hashtbl.create 8 in
-  let push_frontier name pos =
-    let seen =
-      match Hashtbl.find_opt pushed name with
-      | Some s -> s
-      | None ->
-        let s = Hashtbl.create 64 in
-        Hashtbl.add pushed name s;
-        s
-    in
-    if not (Hashtbl.mem seen pos) then begin
-      Hashtbl.replace seen pos ();
-      Hashtbl.replace frontier name (pos :: Option.value ~default:[] (Hashtbl.find_opt frontier name))
-    end
-  in
+  dbg "setup";
   Obs.Trace.with_span "roots" (fun () ->
       List.iter
         (fun (nd : Co_schema.node_def) ->
@@ -1451,24 +1591,41 @@ let execute_def ?(fixpoint = Semi_naive) ?(params = [||]) db (cp : compiled)
                   match s.s_pred with None -> true | Some p -> Value.is_true (Expr.eval_pred row p)
                 in
                 if keep then
-                  push_frontier nd.Co_schema.nd_name
-                    (Cache.add_tuple r.nr_ni ~rowid:(Some rowid) (Row.project row s.s_proj)))
+                  ignore (Cache.add_tuple r.nr_ni ~rowid (Row.encode (Row.project row s.s_proj))))
               s.s_table
           | None ->
             let x = ensure_extent db r in
             Array.iteri
               (fun tid row ->
                 let pos = Cache.add_tuple r.nr_ni ~rowid:x.x_rowids.(tid) row in
-                Hashtbl.replace r.nr_tid2pos tid pos;
-                push_frontier nd.Co_schema.nd_name pos)
+                Intmap.set r.nr_tid2pos tid pos)
               x.x_rows);
           Obs.Trace.add_meta "rows" (string_of_int (Cache.live_count r.nr_ni)))
         (Co_schema.roots def));
+  dbg "roots";
   (* 4. reachability: semi-naive (or naive) fixpoint *)
-  let add_child child_rt hit =
-    match Hashtbl.find_opt child_rt.nr_ni.Cache.ni_by_rowid hit.ph_rowid with
-    | Some pos -> (pos, false)
-    | None -> (Cache.add_tuple child_rt.nr_ni ~rowid:(Some hit.ph_rowid) hit.ph_row, true)
+  (* prober hits deliver the child's encoded BASE row; project to the
+     node's output columns only when the tuple is first materialized. An
+     identity projection shares the build's row array with the cache
+     tuple — safe, because in-cache rows are never mutated in place
+     ([Udi] copies before writing, TAKE replaces the array). *)
+  let child_proj child_rt =
+    match child_rt.nr_simple with
+    | Some s ->
+      let n = Array.length s.s_proj in
+      let identity =
+        n = Schema.arity (Table.schema s.s_table)
+        &&
+        let rec all_id i = i >= n || (s.s_proj.(i) = i && all_id (i + 1)) in
+        all_id 0
+      in
+      if identity then fun (enc : Row.enc) -> enc else fun enc -> Row.project_enc enc s.s_proj
+    | None -> fun enc -> enc
+  in
+  let add_child child_rt proj rowid enc =
+    let pos = Cache.pos_of_rowid child_rt.nr_ni rowid in
+    if pos >= 0 then (pos, false)
+    else (Cache.add_tuple child_rt.nr_ni ~rowid (proj enc), true)
   in
   let changed = ref true in
   (* ---- adaptive mid-fixpoint fallback ----
@@ -1566,45 +1723,62 @@ let execute_def ?(fixpoint = Semi_naive) ?(params = [||]) db (cp : compiled)
     incr round;
     stats.fixpoint_rounds <- stats.fixpoint_rounds + 1;
     Obs.Metrics.incr m_rounds;
-    let this_round = Hashtbl.copy frontier in
-    Hashtbl.reset frontier;
+    (* snapshot this round's slice per node; tuples created during the
+       round land beyond [nr_limit] and become the next round's slice *)
+    List.iter
+      (fun (_, r) ->
+        r.nr_mark <- r.nr_limit;
+        r.nr_limit <- Vec.length r.nr_ni.Cache.ni_tuples)
+      nodes_rt;
     List.iter
       (fun (ed : Co_schema.edge_def) ->
         let parent_rt = rt ed.Co_schema.ed_parent and child_rt = rt ed.Co_schema.ed_child in
-        let probe_set =
+        (* naive ablation: re-probe every live parent each round through
+           the legacy list-shaped path *)
+        let naive_set =
           match fixpoint with
-          | Semi_naive ->
-            List.sort compare
-              (Option.value ~default:[] (Hashtbl.find_opt this_round ed.Co_schema.ed_parent))
+          | Semi_naive -> []
           | Naive ->
             List.filter_map
               (fun t -> if t.Cache.t_live then Some t.Cache.t_pos else None)
               (List.of_seq (Vec.to_seq parent_rt.nr_ni.Cache.ni_tuples))
         in
-        if probe_set <> [] then begin
-          stats.tuples_probed <- stats.tuples_probed + List.length probe_set;
-          Obs.Metrics.incr ~by:(List.length probe_set) m_tuples_probed;
+        let n_probes =
+          match fixpoint with
+          | Semi_naive -> parent_rt.nr_limit - parent_rt.nr_mark
+          | Naive -> List.length naive_set
+        in
+        if n_probes > 0 then begin
+          stats.tuples_probed <- stats.tuples_probed + n_probes;
+          Obs.Metrics.incr ~by:n_probes m_tuples_probed;
           let er = rt_edge ed.Co_schema.ed_name in
-          er.er_probed <- er.er_probed + List.length probe_set;
+          er.er_probed <- er.er_probed + n_probes;
+          let iter_probe_set f =
+            match fixpoint with
+            | Semi_naive ->
+              for pos = parent_rt.nr_mark to parent_rt.nr_limit - 1 do
+                f pos
+              done
+            | Naive -> List.iter f naive_set
+          in
           let probe_batch probe =
             note_query ();
-            let acc = acc_of ed.Co_schema.ed_name in
-            List.iter
-              (fun pos ->
-                let row = (Cache.tuple parent_rt.nr_ni pos).Cache.t_row in
-                List.iter
-                  (fun hit ->
-                    let cpos, is_new = add_child child_rt hit in
-                    if fused then begin
-                      acc := (pos, cpos, hit.ph_attrs) :: !acc;
-                      er.er_conns <- er.er_conns + 1
-                    end;
-                    if is_new then begin
-                      changed := true;
-                      push_frontier ed.Co_schema.ed_child cpos
-                    end)
-                  (probe row))
-              probe_set
+            let buf = buf_of ed.Co_schema.ed_name in
+            let proj = child_proj child_rt in
+            (* one emit closure per batch (not per frontier row): the
+               current parent position threads through a mutable cell *)
+            let cur = ref 0 in
+            let on_hit rowid enc attrs =
+              let cpos, is_new = add_child child_rt proj rowid enc in
+              if fused then begin
+                ignore (Cache.push_conn buf ~parent:!cur ~child:cpos ~attrs);
+                er.er_conns <- er.er_conns + 1
+              end;
+              if is_new then changed := true
+            in
+            iter_probe_set (fun pos ->
+                cur := pos;
+                probe (Cache.tuple parent_rt.nr_ni pos).Cache.t_row on_hit)
           in
           match er.er_probe with
           | Some probe ->
@@ -1615,44 +1789,43 @@ let execute_def ?(fixpoint = Semi_naive) ?(params = [||]) db (cp : compiled)
             probe_batch probe
           | None ->
             let child_temp = ensure_temp db child_rt in
-            let parent_temp =
-              make_temp parent_rt.nr_ni.Cache.ni_schema
-                (List.to_seq probe_set
-                |> Seq.map (fun pos -> (pos, (Cache.tuple parent_rt.nr_ni pos).Cache.t_row)))
+            let probe_rows =
+              let acc = ref [] in
+              iter_probe_set (fun pos ->
+                  acc := (pos, (Cache.tuple parent_rt.nr_ni pos).Cache.t_row) :: !acc);
+              List.rev !acc
             in
+            let parent_temp = make_temp parent_rt.nr_ni.Cache.ni_schema (List.to_seq probe_rows) in
             let x () = Option.get child_rt.nr_extent in
             (* child position for an extent tid, creating the tuple on
                first reach; dedupes by rowid too, in case another
                (indexed/hash) edge already delivered this base row *)
             let pos_of_tid tid =
-              match Hashtbl.find_opt child_rt.nr_tid2pos tid with
-              | Some pos -> pos
-              | None ->
+              let known = Intmap.get child_rt.nr_tid2pos tid in
+              if known >= 0 then known
+              else begin
                 let x = x () in
-                let known =
-                  match x.x_rowids.(tid) with
-                  | Some rid -> Hashtbl.find_opt child_rt.nr_ni.Cache.ni_by_rowid rid
-                  | None -> None
-                in
+                let rid = x.x_rowids.(tid) in
+                let by_rowid = if rid >= 0 then Cache.pos_of_rowid child_rt.nr_ni rid else -1 in
                 let pos =
-                  match known with
-                  | Some pos -> pos
-                  | None ->
-                    let pos =
-                      Cache.add_tuple child_rt.nr_ni ~rowid:x.x_rowids.(tid) x.x_rows.(tid)
-                    in
+                  if by_rowid >= 0 then by_rowid
+                  else begin
+                    let pos = Cache.add_tuple child_rt.nr_ni ~rowid:rid x.x_rows.(tid) in
                     changed := true;
-                    push_frontier ed.Co_schema.ed_child pos;
                     pos
+                  end
                 in
-                Hashtbl.replace child_rt.nr_tid2pos tid pos;
+                Intmap.set child_rt.nr_tid2pos tid pos;
                 pos
+              end
             in
             if fused then begin
-              let acc = acc_of ed.Co_schema.ed_name in
+              let buf = buf_of ed.Co_schema.ed_name in
               List.iter
                 (fun (ppos, tid, attrs) ->
-                  acc := (ppos, pos_of_tid tid, attrs) :: !acc;
+                  ignore
+                    (Cache.push_conn buf ~parent:ppos ~child:(pos_of_tid tid)
+                       ~attrs:(Row.encode attrs));
                   er.er_conns <- er.er_conns + 1)
                 (probe_edge_generic_fused db ed ~parent_temp ~child_temp)
             end
@@ -1662,7 +1835,6 @@ let execute_def ?(fixpoint = Semi_naive) ?(params = [||]) db (cp : compiled)
                 (probe_edge_generic db ed ~parent_temp ~child_temp)
         end)
       edge_defs;
-    if fixpoint = Naive then Hashtbl.reset frontier;
     if fused && !changed && adaptive_enabled () && cp.cp_force = None && cp.cp_ests <> [] then
       adaptive_check !round
   done
@@ -1671,6 +1843,7 @@ let execute_def ?(fixpoint = Semi_naive) ?(params = [||]) db (cp : compiled)
       let round0 = stats.fixpoint_rounds in
       run_fixpoint ();
       Obs.Trace.add_meta "rounds" (string_of_int (stats.fixpoint_rounds - round0)));
+  dbg "fixpoint";
   (* 5. connection extents over the reached instance. Under the
      semi-naive fixpoint the matches were already produced during
      reachability — this is a readout of the per-edge accumulators, no
@@ -1683,17 +1856,16 @@ let execute_def ?(fixpoint = Semi_naive) ?(params = [||]) db (cp : compiled)
       (fun (ed : Co_schema.edge_def) ->
         Obs.Trace.with_span ("edge:" ^ ed.Co_schema.ed_name) @@ fun () ->
         let parent_rt = rt ed.Co_schema.ed_parent and child_rt = rt ed.Co_schema.ed_child in
-        let ei_of attr_schema conns =
+        (* adopt the buffer wholesale as the edge's connection store —
+           zero-copy; the fused fixpoint filled it in delivery order *)
+        let ei_of attr_schema (cs : Cache.conns) =
           let ei =
             { Cache.ei_name = ed.Co_schema.ed_name; ei_parent = ed.Co_schema.ed_parent;
               ei_child = ed.Co_schema.ed_child; ei_parent_node = parent_rt.nr_ni;
-              ei_child_node = child_rt.nr_ni; ei_attr_schema = attr_schema;
-              ei_conns = Vec.create ~dummy:Cache.dummy_conn ();
-              ei_children_of = Hashtbl.create 64; ei_parents_of = Hashtbl.create 64;
-              ei_upd = Semantic.Upd_readonly "pending analysis" }
+              ei_child_node = child_rt.nr_ni; ei_attr_schema = attr_schema; ei_conns = cs;
+              ei_adj = None; ei_upd = Semantic.Upd_readonly "pending analysis" }
           in
-          Cache.add_conns ei conns;
-          Obs.Trace.add_meta "conns" (string_of_int (Vec.length ei.Cache.ei_conns));
+          Obs.Trace.add_meta "conns" (string_of_int cs.Cache.cs_len);
           (ed.Co_schema.ed_name, ei)
         in
         let er = rt_edge ed.Co_schema.ed_name in
@@ -1702,23 +1874,22 @@ let execute_def ?(fixpoint = Semi_naive) ?(params = [||]) db (cp : compiled)
           | Some bp -> bp.bp_schema
           | None -> er.er_plan.ep_cands.ec_generic_schema
         in
-        if fused then ei_of attr_schema (List.rev !(acc_of ed.Co_schema.ed_name))
+        if fused then ei_of attr_schema (buf_of ed.Co_schema.ed_name)
         else begin
+          let has_attrs = ed.Co_schema.ed_attrs <> [] in
           match er.er_probe with
           | Some probe ->
             note_query ();
-            let conns = ref [] in
+            let cs = Cache.make_conns ~attrs:has_attrs () in
             Vec.iter
               (fun t ->
                 if t.Cache.t_live then
-                  List.iter
-                    (fun hit ->
-                      match Hashtbl.find_opt child_rt.nr_ni.Cache.ni_by_rowid hit.ph_rowid with
-                      | Some child_pos -> conns := (t.Cache.t_pos, child_pos, hit.ph_attrs) :: !conns
-                      | None -> ())
-                    (probe t.Cache.t_row))
+                  probe t.Cache.t_row (fun rowid _enc attrs ->
+                      let child_pos = Cache.pos_of_rowid child_rt.nr_ni rowid in
+                      if child_pos >= 0 then
+                        ignore (Cache.push_conn cs ~parent:t.Cache.t_pos ~child:child_pos ~attrs)))
               parent_rt.nr_ni.Cache.ni_tuples;
-            ei_of attr_schema (List.rev !conns)
+            ei_of attr_schema cs
           | None ->
             let temp_of rt_ =
               make_temp rt_.nr_ni.Cache.ni_schema
@@ -1730,10 +1901,15 @@ let execute_def ?(fixpoint = Semi_naive) ?(params = [||]) db (cp : compiled)
               connections_generic db ed ~parent_temp:(temp_of parent_rt)
                 ~child_temp:(temp_of child_rt)
             in
-            ei_of attr_schema conns
+            let cs = Cache.make_conns ~attrs:has_attrs () in
+            List.iter
+              (fun (p, c, a) -> ignore (Cache.push_conn cs ~parent:p ~child:c ~attrs:(Row.encode a)))
+              conns;
+            ei_of attr_schema cs
         end)
       edge_defs
   in
+  dbg "connections";
   edges
   in
   (* 6. staleness bookkeeping (table set precomputed at compile time) *)
@@ -1746,6 +1922,10 @@ let execute_def ?(fixpoint = Semi_naive) ?(params = [||]) db (cp : compiled)
           base_tables }
   in
   (* 7. path-based restrictions over the instance, then reachability *)
+  (* record observed cardinalities for the next warm execution's presizing *)
+  cp.cp_hints <-
+    List.map (fun (n, r) -> ("n:" ^ n, Vec.length r.nr_ni.Cache.ni_tuples)) nodes_rt
+    @ List.map (fun (e, ei) -> ("e:" ^ e, ei.Cache.ei_conns.Cache.cs_len)) edges;
   if path_restrs <> [] then Obs.Trace.with_span "restrictions" (fun () ->
     List.iter
       (fun r ->
@@ -1762,21 +1942,23 @@ let execute_def ?(fixpoint = Semi_naive) ?(params = [||]) db (cp : compiled)
             ni.Cache.ni_tuples
         | R_edge { re_edge; re_parent_var; re_child_var; re_pred } ->
           let ei = Cache.edge cache re_edge in
-          Vec.iter
-            (fun c ->
-              if c.Cache.cn_live then begin
-                let env =
-                  [ (String.lowercase_ascii re_parent_var,
-                     { Path.b_node = ei.Cache.ei_parent; b_pos = c.Cache.cn_parent });
-                    (String.lowercase_ascii re_child_var,
-                     { Path.b_node = ei.Cache.ei_child; b_pos = c.Cache.cn_child }) ]
-                in
-                if not (Value.is_true (Path.eval_pred cache env re_pred)) then
-                  c.Cache.cn_live <- false
-              end)
-            ei.Cache.ei_conns)
+          let pvar = String.lowercase_ascii re_parent_var
+          and cvar = String.lowercase_ascii re_child_var in
+          for i = 0 to Cache.conn_count ei - 1 do
+            if Cache.conn_live_at ei i then begin
+              let env =
+                [ (pvar, { Path.b_node = ei.Cache.ei_parent; b_pos = Cache.conn_parent_at ei i });
+                  (cvar, { Path.b_node = ei.Cache.ei_child; b_pos = Cache.conn_child_at ei i }) ]
+              in
+              if not (Value.is_true (Path.eval_pred cache env re_pred)) then
+                Cache.set_conn_live ei i false
+            end
+          done)
       path_restrs;
-    Cache.recompute_reachability cache);
+    dbg "restrictions";
+    Cache.recompute_reachability cache;
+    dbg "reachability");
+  dbg "tail";
   cache
 
 (** [fetch_def ?force ~fixpoint db def path_restrs] compiles and

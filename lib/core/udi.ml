@@ -127,14 +127,15 @@ let node_table ses ni =
 
 (* write the dirty columns of a cache tuple through to its base row *)
 let propagate_update ses ni (t : Cache.tuple) =
-  match ni.Cache.ni_upd, t.Cache.t_rowid with
-  | Some u, Some rowid -> begin
+  match ni.Cache.ni_upd with
+  | Some u when t.Cache.t_rowid >= 0 -> begin
+    let rowid = t.Cache.t_rowid in
     let table = Catalog.table (Db.catalog ses.u_db) u.Semantic.nu_table in
     match Table.get table rowid with
     | None -> err "base row of %s vanished (concurrent delete?)" ni.Cache.ni_name
     | Some base ->
       let base' = Array.copy base in
-      Array.iteri (fun node_col base_col -> base'.(base_col) <- t.Cache.t_row.(node_col))
+      Array.iteri (fun node_col base_col -> base'.(base_col) <- Cache.col t node_col)
         u.Semantic.nu_col_map;
       ignore (write_update ses table rowid base');
       t.Cache.t_dirty <- false
@@ -160,8 +161,8 @@ let queue ses p =
       let rowid = write_insert ses (Catalog.table catalog table) row in
       let ni = Cache.node ses.u_cache node in
       let t = Cache.tuple ni pos in
-      t.Cache.t_rowid <- Some rowid;
-      Hashtbl.replace ni.Cache.ni_by_rowid rowid pos
+      t.Cache.t_rowid <- rowid;
+      Intmap.set ni.Cache.ni_by_rowid rowid pos
     | P_link_insert { table; row } -> ignore (write_insert ses (Catalog.table catalog table) row)
     | P_link_delete { table; match_cols } ->
       let tbl = Catalog.table catalog table in
@@ -199,7 +200,7 @@ let update ses ~node ~pos (updates : (string * Value.t) list) =
         if List.mem i ni.Cache.ni_locked_cols then
           err "column %s of %s defines a relationship: use connect/disconnect" col node;
         t.Cache.t_row <- Array.copy t.Cache.t_row;
-        t.Cache.t_row.(i) <- v)
+        t.Cache.t_row.(i) <- Dict.encode v)
     updates;
   mark_dirty ses ni t
 
@@ -207,24 +208,14 @@ let update ses ~node ~pos (updates : (string * Value.t) list) =
 let incident_conns ses ~node ~pos =
   List.concat_map
     (fun (_, ei) ->
-      let of_side side idxs =
-        List.filter_map
-          (fun ci ->
-            let c = Vec.get ei.Cache.ei_conns ci in
-            if c.Cache.cn_live then Some (ei, side, c) else None)
-          idxs
-      in
-      let parent_side =
-        if String.equal ei.Cache.ei_parent node then
-          of_side `Parent (Option.value ~default:[] (Hashtbl.find_opt ei.Cache.ei_children_of pos))
-        else []
-      in
-      let child_side =
-        if String.equal ei.Cache.ei_child node then
-          of_side `Child (Option.value ~default:[] (Hashtbl.find_opt ei.Cache.ei_parents_of pos))
-        else []
-      in
-      parent_side @ child_side)
+      let acc = ref [] in
+      if String.equal ei.Cache.ei_parent node then
+        Cache.iter_conns_of_parent ei pos (fun ci ->
+            if Cache.conn_live_at ei ci then acc := (ei, `Parent, Cache.conn_at ei ci) :: !acc);
+      if String.equal ei.Cache.ei_child node then
+        Cache.iter_conns_of_child ei pos (fun ci ->
+            if Cache.conn_live_at ei ci then acc := (ei, `Child, Cache.conn_at ei ci) :: !acc);
+      List.rev !acc)
     ses.u_cache.Cache.c_edges
 
 let do_disconnect ses ei (c : Cache.conn) ~deleting_child =
@@ -236,7 +227,7 @@ let do_disconnect ses ei (c : Cache.conn) ~deleting_child =
     if not deleting_child then begin
       let child = live_tuple child_ni c.Cache.cn_child in
       child.Cache.t_row <- Array.copy child.Cache.t_row;
-      child.Cache.t_row.(fk_child_col) <- Value.Null;
+      child.Cache.t_row.(fk_child_col) <- Dict.null_id;
       mark_dirty ses child_ni child
     end
   | Semantic.Upd_link { link_table; parent_bind; child_bind; _ } ->
@@ -246,14 +237,14 @@ let do_disconnect ses ei (c : Cache.conn) ~deleting_child =
     let schema = Table.schema table in
     let match_cols =
       List.map
-        (fun (ln, pc) -> (Schema.find schema ln, parent.Cache.t_row.(pc)))
+        (fun (ln, pc) -> (Schema.find schema ln, Cache.col parent pc))
         parent_bind
-      @ List.map (fun (ln, cc) -> (Schema.find schema ln, child.Cache.t_row.(cc))) child_bind
+      @ List.map (fun (ln, cc) -> (Schema.find schema ln, Cache.col child cc)) child_bind
     in
     queue ses (P_link_delete { table = link_table; match_cols })
   | Semantic.Upd_readonly reason ->
     err "relationship %s is read-only: %s" ei.Cache.ei_name reason);
-  c.Cache.cn_live <- false
+  Cache.set_conn_live ei c.Cache.cn_idx false
 
 (** [delete ses ~node ~pos] removes a component tuple: disconnects its
     attached relationship instances, deletes the base row, and re-applies
@@ -264,7 +255,7 @@ let delete ses ~node ~pos =
   let ni = Cache.node ses.u_cache node in
   let t = live_tuple ni pos in
   (match ni.Cache.ni_upd, t.Cache.t_rowid with
-  | Some u, Some rowid ->
+  | Some u, rowid when rowid >= 0 ->
     (* disconnect attached instances; a conn where the deleted tuple is the
        FK-holding child disappears with the row itself *)
     List.iter
@@ -272,7 +263,7 @@ let delete ses ~node ~pos =
         match ei.Cache.ei_upd, side with
         | Semantic.Upd_fk _, `Child ->
           (* the FK lives in the row being deleted *)
-          c.Cache.cn_live <- false
+          Cache.set_conn_live ei c.Cache.cn_idx false
         | _, `Child -> do_disconnect ses ei c ~deleting_child:true
         | _, `Parent -> do_disconnect ses ei c ~deleting_child:false)
       (incident_conns ses ~node ~pos);
@@ -294,7 +285,7 @@ let insert ses ~node (row : Row.t) =
     err "insert into %s: expected %d values" node (Schema.arity ni.Cache.ni_schema);
   let base = Array.make (Schema.arity (Table.schema table)) Value.Null in
   Array.iteri (fun node_col base_col -> base.(base_col) <- row.(node_col)) upd.Semantic.nu_col_map;
-  let pos = Cache.add_tuple ni ~rowid:None row in
+  let pos = Cache.add_tuple ni ~rowid:(-1) (Row.encode row) in
   queue ses (P_insert { table = upd.Semantic.nu_table; row = base; node = ni.Cache.ni_name; pos });
   pos
 
@@ -324,21 +315,22 @@ let connect ses ~edge ~parent ~child ?(attrs = []) () =
   (match ei.Cache.ei_upd with
   | Semantic.Upd_fk { fk_parent_col; fk_child_col } ->
     ct.Cache.t_row <- Array.copy ct.Cache.t_row;
+    (* both rows are encoded: the FK assignment copies the raw id *)
     ct.Cache.t_row.(fk_child_col) <- pt.Cache.t_row.(fk_parent_col);
     mark_dirty ses child_ni ct
   | Semantic.Upd_link { link_table; parent_bind; child_bind; attr_cols } ->
     let table = Catalog.table (Db.catalog ses.u_db) link_table in
     let schema = Table.schema table in
     let row = Array.make (Schema.arity schema) Value.Null in
-    List.iter (fun (ln, pc) -> row.(Schema.find schema ln) <- pt.Cache.t_row.(pc)) parent_bind;
-    List.iter (fun (ln, cc) -> row.(Schema.find schema ln) <- ct.Cache.t_row.(cc)) child_bind;
+    List.iter (fun (ln, pc) -> row.(Schema.find schema ln) <- Cache.col pt pc) parent_bind;
+    List.iter (fun (ln, cc) -> row.(Schema.find schema ln) <- Cache.col ct cc) child_bind;
     List.iter
       (fun (ln, attr_pos) ->
         if attr_pos < Array.length attr_row then row.(Schema.find schema ln) <- attr_row.(attr_pos))
       attr_cols;
     queue ses (P_link_insert { table = link_table; row })
   | Semantic.Upd_readonly reason -> err "relationship %s is read-only: %s" edge reason);
-  ignore (Cache.add_conn ei ~parent ~child ~attrs:attr_row)
+  ignore (Cache.add_conn ei ~parent ~child ~attrs:(Row.encode attr_row))
 
 (** [disconnect ses ~edge ~parent ~child] removes the relationship
     instance(s) between the two tuples; the child may become unreachable
@@ -347,13 +339,14 @@ let disconnect ses ~edge ~parent ~child =
   Obs.Metrics.incr m_disconnects;
   let ei = Cache.edge ses.u_cache edge in
   let found = ref false in
-  Vec.iter
-    (fun c ->
-      if c.Cache.cn_live && c.Cache.cn_parent = parent && c.Cache.cn_child = child then begin
-        found := true;
-        do_disconnect ses ei c ~deleting_child:false
-      end)
-    ei.Cache.ei_conns;
+  for i = 0 to Cache.conn_count ei - 1 do
+    if Cache.conn_live_at ei i && Cache.conn_parent_at ei i = parent
+       && Cache.conn_child_at ei i = child
+    then begin
+      found := true;
+      do_disconnect ses ei (Cache.conn_at ei i) ~deleting_child:false
+    end
+  done;
   if not !found then err "no %s connection between these tuples" edge;
   Cache.recompute_reachability ses.u_cache
 

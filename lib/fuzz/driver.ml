@@ -30,7 +30,7 @@ let detail_of (o : Oracle.outcome) =
 
 let coverage_counts =
   [ "recursive"; "sharing"; "views"; "using"; "paths"; "naive"; "lw90"; "mono"; "hash";
-    "adaptive"; "advise" ]
+    "adaptive"; "advise"; "dict" ]
 
 let bump cov (f : Oracle.flags) =
   let on = function
@@ -45,6 +45,7 @@ let bump cov (f : Oracle.flags) =
     | "hash" -> f.Oracle.f_hash
     | "adaptive" -> f.Oracle.f_adaptive
     | "advise" -> f.Oracle.f_advise
+    | "dict" -> f.Oracle.f_dict
     | _ -> false
   in
   List.map (fun (k, n) -> (k, if on k then n + 1 else n)) cov

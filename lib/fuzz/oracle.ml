@@ -27,13 +27,17 @@ open Relational
 open Xnf
 open Xnf_ast
 
-type mutation = Drop_conn | Drop_tuple
+type mutation = Drop_conn | Drop_tuple | Dict_swap
 
-let mutation_name = function Drop_conn -> "drop-conn" | Drop_tuple -> "drop-tuple"
+let mutation_name = function
+  | Drop_conn -> "drop-conn"
+  | Drop_tuple -> "drop-tuple"
+  | Dict_swap -> "dict-swap"
 
 let mutation_of_string = function
   | "drop-conn" -> Some Drop_conn
   | "drop-tuple" -> Some Drop_tuple
+  | "dict-swap" -> Some Dict_swap
   | _ -> None
 
 type divergence = { d_kind : string; d_detail : string }
@@ -50,13 +54,14 @@ type flags = {
   f_hash : bool;  (** strategy differential compared a batch-hash run *)
   f_adaptive : bool;  (** adaptive differential saw a mid-fixpoint switch fire *)
   f_advise : bool;  (** the plan-advisor purity guard ran *)
+  f_dict : bool;  (** the dictionary round-trip oracle compared the instance *)
   f_mutated : bool;  (** the injected mutation found something to break *)
 }
 
 let no_flags =
   { f_recursive = false; f_sharing = false; f_views = false; f_using = false; f_paths = false;
     f_naive = false; f_lw90 = false; f_mono = false; f_hash = false; f_adaptive = false;
-    f_advise = false; f_mutated = false }
+    f_advise = false; f_dict = false; f_mutated = false }
 
 type outcome = { o_divs : divergence list; o_flags : flags }
 
@@ -64,17 +69,17 @@ type outcome = { o_divs : divergence list; o_flags : flags }
 
 let node_extent cache name =
   Cache.live_tuples (Cache.node cache name)
-  |> List.map (fun t -> t.Cache.t_row)
+  |> List.map Cache.row
   |> List.sort Row.compare
 
 let conn_extent ?(attrs = true) cache name =
   let ei = Cache.edge cache name in
   Cache.conns_live ei
   |> List.map (fun c ->
-         let p = (Cache.tuple ei.Cache.ei_parent_node c.Cache.cn_parent).Cache.t_row in
-         let ch = (Cache.tuple ei.Cache.ei_child_node c.Cache.cn_child).Cache.t_row in
+         let p = Cache.row (Cache.tuple ei.Cache.ei_parent_node c.Cache.cn_parent) in
+         let ch = Cache.row (Cache.tuple ei.Cache.ei_child_node c.Cache.cn_child) in
          let base = Row.concat p ch in
-         if attrs then Row.concat base c.Cache.cn_attrs else base)
+         if attrs then Row.concat base (Cache.conn_attrs c) else base)
   |> List.sort Row.compare
 
 let dedupe sorted_rows =
@@ -209,7 +214,7 @@ let apply_mutation (m : mutation) (cache : Cache.t) : bool =
         else begin
           match last (Cache.conns_live ei) with
           | Some c ->
-            c.Cache.cn_live <- false;
+            Cache.set_conn_live ei c.Cache.cn_idx false;
             true
           | None -> false
         end)
@@ -224,6 +229,24 @@ let apply_mutation (m : mutation) (cache : Cache.t) : bool =
             t.Cache.t_live <- false;
             true
           | None -> false
+        end)
+      false cache.Cache.c_nodes
+  | Dict_swap ->
+    (* corrupt one encoded cell to a different (valid) dictionary id: the
+       decoded comparators must see the changed value and diverge *)
+    let poison = Dict.encode (Value.Str "\000fuzz-dict-swap") in
+    List.fold_left
+      (fun done_ (_, ni) ->
+        if done_ then done_
+        else begin
+          match last (Cache.live_tuples ni) with
+          | Some t when Array.length t.Cache.t_row > 0 ->
+            t.Cache.t_row <-
+              Array.mapi
+                (fun i id -> if i = 0 then (if id = poison then Dict.null_id else poison) else id)
+                t.Cache.t_row;
+            true
+          | _ -> false
         end)
       false cache.Cache.c_nodes
 
@@ -379,6 +402,34 @@ let run ?(advise = false) ?mutation ?extra_restr (sc : Gen.scenario) : outcome =
               (match check_reachability pre with
               | Some d -> add "reachability" d
               | None -> ());
+              (* dictionary oracle: the encoded instance must be canonical —
+                 decoding a row and re-encoding it reproduces the identical
+                 id array, so the encoded hot path and a decoded oracle
+                 agree on every cell (ids are stable and exact) *)
+              let f_dict = ref false in
+              guard "dict" (fun () ->
+                  List.iter
+                    (fun (name, ni) ->
+                      List.iter
+                        (fun (t : Cache.tuple) ->
+                          f_dict := true;
+                          if Row.encode (Cache.row t) <> t.Cache.t_row then
+                            add "dict"
+                              (Printf.sprintf "%s: tuple %d decode/encode not canonical: %s" name
+                                 t.Cache.t_pos
+                                 (Row.to_string (Cache.row t))))
+                        (Cache.live_tuples ni))
+                    pre.Cache.c_nodes;
+                  List.iter
+                    (fun (name, ei) ->
+                      List.iter
+                        (fun (c : Cache.conn) ->
+                          if Row.encode (Cache.conn_attrs c) <> c.Cache.cn_attrs then
+                            add "dict"
+                              (Printf.sprintf "%s: connection %d attrs not canonical" name
+                                 c.Cache.cn_idx))
+                        (Cache.conns_live ei))
+                    pre.Cache.c_edges);
               (* strategy differential: re-run the fetch forcing each edge
                  access path; indexed, batch-hash and generic executions
                  must deliver identical instances (same comparator as the
@@ -493,7 +544,8 @@ let run ?(advise = false) ?mutation ?extra_restr (sc : Gen.scenario) : outcome =
                 end
                 else false
               in
-              { flags with f_naive; f_lw90; f_hash = !f_hash; f_adaptive = !f_adaptive }
+              { flags with f_naive; f_lw90; f_hash = !f_hash; f_adaptive = !f_adaptive;
+                f_dict = !f_dict }
             end
           in
           (* metamorphic: a strengthened query yields a sub-instance *)

@@ -10,7 +10,10 @@ open Xnf
 
 (** A deliberate defect injected into the system-under-test caches after
     loading; the harness must report at least one divergence. *)
-type mutation = Drop_conn | Drop_tuple
+type mutation =
+  | Drop_conn
+  | Drop_tuple
+  | Dict_swap  (** corrupt one encoded cell to a different valid dictionary id *)
 
 val mutation_name : mutation -> string
 val mutation_of_string : string -> mutation option
@@ -31,6 +34,7 @@ type flags = {
   f_hash : bool;  (** strategy differential compared a batch-hash run *)
   f_adaptive : bool;  (** adaptive differential saw a mid-fixpoint switch fire *)
   f_advise : bool;  (** the plan-advisor purity guard ran *)
+  f_dict : bool;  (** the dictionary round-trip oracle compared the instance *)
   f_mutated : bool;  (** the injected mutation found something to break *)
 }
 

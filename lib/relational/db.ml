@@ -57,6 +57,28 @@ type recovery_stats = {
 
 let set_checkpoint_extra db f = db.ckpt_extra <- f
 
+(* ---- dictionary persistence ----
+
+   The value dictionary travels in its own checkpoint section: caches and
+   materialized results hold dictionary-encoded rows, so a recovered
+   process must re-intern the same entries in the same slot order before
+   anything re-encodes. [Dict.restore] is idempotent and append-only, so
+   re-recovering a warm session never relocates an id. *)
+
+let dict_section_tag = "xnf.dict"
+
+let dict_section_payload () =
+  let entries = Dict.snapshot () in
+  let b = Buffer.create (64 + (8 * Array.length entries)) in
+  Bincode.put_int b (Array.length entries);
+  Array.iter (Bincode.put_value b) entries;
+  Buffer.contents b
+
+let restore_dict_section payload =
+  let r = Bincode.reader payload in
+  let n = Bincode.get_int r in
+  Dict.restore (Array.init n (fun _ -> Bincode.get_value r))
+
 (* Recovered ext payloads are delivered in original order; when no handler
    is installed yet (the XNF layer attaches after [create]) they queue in
    [pending_ext] and flush when the handler arrives. *)
@@ -100,6 +122,11 @@ let recover db =
         Checkpoint.apply im db.catalog;
         (im.Checkpoint.im_lsn, im.Checkpoint.im_sections)
     in
+    (* re-intern the dictionary before any replay/re-encode can mint ids *)
+    let dict_sections, sections =
+      List.partition (fun (tag, _) -> String.equal tag dict_section_tag) sections
+    in
+    List.iter (fun (_, payload) -> restore_dict_section payload) dict_sections;
     let loaded = Wal.load ~path:(wal_file dir) in
     if loaded.Wal.ld_total > loaded.Wal.ld_valid then
       Wal.truncate_path ~path:(wal_file dir) loaded.Wal.ld_valid;
@@ -141,7 +168,10 @@ let checkpoint db =
     if Txn.in_txn db.txn then err "cannot checkpoint inside a transaction";
     let wal = Txn.wal db.txn in
     Wal.sync wal;
-    let sections = match db.ckpt_extra with None -> [] | Some f -> f () in
+    let sections =
+      (dict_section_tag, dict_section_payload ())
+      :: (match db.ckpt_extra with None -> [] | Some f -> f ())
+    in
     let image = Checkpoint.of_catalog db.catalog ~lsn:(Wal.lsn wal) ~sections in
     Checkpoint.write ~path:(ckpt_file dir) image;
     Wal.truncate_file wal;

@@ -355,15 +355,47 @@ let rec pp ppf = function
   | In_plan (a, sp) -> Fmt.pf ppf "(%a IN (%s))" pp a sp.sp_descr
   | Scalar_plan sp -> Fmt.pf ppf "(%s)" sp.sp_descr
 
-(** Hash-key view of a row: equality and hashing over [Value.t] arrays
-    with SQL-engine semantics ([Value.equal] / [Value.hash]: numeric
-    cross-type equality, NULLs compare equal so a build bucket holds all
-    NULL-keyed rows — callers enforce SQL's NULL-never-matches rule by
-    skipping NULL keys before lookup, see [Row_key.has_null]). Shared by
-    the relational hash join/group operators and the XNF batch edge
-    probers so both sides of a differential test agree on key
+(** Hash-key view of an {e encoded} row: equality and hashing over
+    {!Dict} id arrays. Comparison and hashing touch only unboxed ints —
+    no allocation, no polymorphic compare. Callers must normalize each
+    cell through [Dict.key_cell] before building a key so SQL-engine
+    semantics hold: Int/Float cross-type equality (an integral float's
+    key id is the int's id) and NULL = NULL (all NULLs are [Dict.null_id],
+    so a build bucket holds all NULL-keyed rows — callers enforce SQL's
+    NULL-never-matches rule by skipping keys for which [has_null] holds).
+    Shared by the relational hash join/group operators and the XNF batch
+    edge probers so both sides of a differential test agree on key
     semantics. *)
 module Row_key = struct
+  type t = int array
+
+  (* top-level recursion, not local closures or refs: these run once per
+     hash probe on the encoded hot path and must not allocate *)
+  let rec eq_from (a : t) (b : t) i =
+    i >= Array.length a
+    || ((Array.unsafe_get a i : int) = Array.unsafe_get b i && eq_from a b (i + 1))
+
+  let equal (a : t) (b : t) = Array.length a = Array.length b && eq_from a b 0
+
+  let rec hash_from (k : t) i acc =
+    if i >= Array.length k then acc land max_int
+    else hash_from k (i + 1) ((acc * 31) + Array.unsafe_get k i)
+
+  let hash (k : t) = hash_from k 0 7
+
+  let rec null_from (k : t) i =
+    i < Array.length k && (Dict.is_null (Array.unsafe_get k i) || null_from k (i + 1))
+
+  let has_null (k : t) = null_from k 0
+end
+
+module Row_key_tbl = Hashtbl.Make (Row_key)
+
+(** The pre-dictionary boxed key view ([Value.equal] / [Value.hash] over
+    [Value.t] arrays). Kept for the layers that still work on decoded
+    values — column statistics, the naive oracles, and the E14 bench
+    baseline that measures the old boxed hot path. *)
+module Row_key_boxed = struct
   type t = Value.t array
 
   let equal (a : t) (b : t) =
@@ -376,4 +408,4 @@ module Row_key = struct
   let has_null (k : t) = Array.exists Value.is_null k
 end
 
-module Row_key_tbl = Hashtbl.Make (Row_key)
+module Row_key_boxed_tbl = Hashtbl.Make (Row_key_boxed)

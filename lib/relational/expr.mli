@@ -93,13 +93,15 @@ val pp_cmp : Format.formatter -> cmp -> unit
 (** [pp] prints the expression with positional columns as [$i]. *)
 val pp : Format.formatter -> t -> unit
 
-(** Hash-key view of a row: [Value.equal]/[Value.hash] semantics over
-    [Value.t array] keys, shared by the relational hash operators and the
-    XNF batch edge probers. NULLs hash/compare equal — callers implement
-    SQL's NULL-never-joins rule by skipping keys for which [has_null]
-    holds. *)
+(** Hash-key view of an {e encoded} row: int-only equality and hashing
+    over {!Dict} id arrays (allocation-free). Cells must be normalized
+    through [Dict.key_cell] so Int/Float cross-equality holds; NULLs
+    ([Dict.null_id]) hash/compare equal — callers implement SQL's
+    NULL-never-joins rule by skipping keys for which [has_null] holds.
+    Shared by the relational hash operators and the XNF batch edge
+    probers. *)
 module Row_key : sig
-  type t = Value.t array
+  type t = int array
 
   val equal : t -> t -> bool
   val hash : t -> int
@@ -108,3 +110,17 @@ end
 
 (** Hash tables keyed by {!Row_key}. *)
 module Row_key_tbl : Hashtbl.S with type key = Row_key.t
+
+(** The pre-dictionary boxed key view ([Value.equal]/[Value.hash] over
+    [Value.t array]): kept for layers that work on decoded values
+    (statistics, naive oracles, the boxed-baseline bench). *)
+module Row_key_boxed : sig
+  type t = Value.t array
+
+  val equal : t -> t -> bool
+  val hash : t -> int
+  val has_null : t -> bool
+end
+
+(** Hash tables keyed by {!Row_key_boxed}. *)
+module Row_key_boxed_tbl : Hashtbl.S with type key = Row_key_boxed.t

@@ -111,7 +111,8 @@ type agg_state = {
   mutable sum_f : float;
   mutable saw_float : bool;
   mutable minmax : Value.t;  (** Null until the first non-null input *)
-  seen : (int * Value.t, unit) Hashtbl.t option;  (** DISTINCT deduplication *)
+  seen : (int, unit) Hashtbl.t option;
+      (** DISTINCT deduplication, keyed by exact dictionary id *)
 }
 
 let new_agg_state (_, _, distinct) =
@@ -128,7 +129,7 @@ let agg_feed (fn, arg, _) st (row : Row.t) =
       match st.seen with
       | None -> true
       | Some tbl ->
-        let key = (Value.hash v, v) in
+        let key = Dict.encode v in
         if Hashtbl.mem tbl key then false
         else begin
           Hashtbl.add tbl key ();
@@ -171,13 +172,17 @@ let agg_result ((fn, _, _) : agg_spec) st : Value.t =
 
 let null_row width : Row.t = Array.make width Value.Null
 
+(* join/group keys are dictionary-encoded and key-normalized: comparison
+   and hashing in the hash operators touch only ints, with Int/Float
+   cross-equality and NULL handling folded into the ids by
+   [Dict.key_cell]. Key equality/hashing is shared with the XNF batch
+   edge probers ([Expr.Row_key]), so both layers agree on semantics. *)
 let key_values row keys : Expr.Row_key.t =
-  Array.of_list (List.map (fun e -> Expr.eval row e) keys)
+  let ks = Array.of_list keys in
+  Array.map (fun e -> Dict.key_cell (Dict.encode (Expr.eval row e))) ks
 
 let key_has_null = Expr.Row_key.has_null
 
-(* key equality/hashing is shared with the XNF batch edge probers
-   ([Expr.Row_key]), so both layers agree on Value semantics *)
 module RowKeyTbl = Expr.Row_key_tbl
 
 (** [run p] compiles [p] to a lazy row sequence. The plan must be free of
@@ -254,21 +259,25 @@ and exec ~(recur : t -> Row.t Seq.t) (p : t) : Row.t Seq.t =
       let order = ref [] in
       Seq.iter
         (fun row ->
-          let kv = key_values row keys in
+          (* group identity is the normalized ids; the first-seen decoded
+             key row is kept as the group's representative output (so
+             e.g. a group reached first through Float 1. renders 1.0) *)
+          let kv_vals = Array.of_list (List.map (fun e -> Expr.eval row e) keys) in
+          let kv = Array.map (fun v -> Dict.key_cell (Dict.encode v)) kv_vals in
           let states =
             match RowKeyTbl.find_opt groups kv with
             | Some st -> st
             | None ->
               let st = List.map new_agg_state aggs in
               RowKeyTbl.add groups kv st;
-              order := kv :: !order;
+              order := (kv, kv_vals) :: !order;
               st
           in
           List.iter2 (fun spec st -> agg_feed spec st row) aggs states)
         (run input);
-      let emit kv =
+      let emit (kv, kv_vals) =
         let states = RowKeyTbl.find groups kv in
-        Array.append kv (Array.of_list (List.map2 agg_result aggs states))
+        Array.append kv_vals (Array.of_list (List.map2 agg_result aggs states))
       in
       let result =
         if RowKeyTbl.length groups = 0 && keys = [] then
@@ -293,13 +302,15 @@ and exec ~(recur : t -> Row.t Seq.t) (p : t) : Row.t Seq.t =
       List.to_seq (List.stable_sort cmp rows) ()
   | Distinct input ->
     fun () ->
-      let seen = Hashtbl.create 256 in
+      (* exact (unnormalized) ids: structural distinctness, so Int 1 and
+         Float 1.0 stay distinct rows, matching value-level behavior *)
+      let seen = RowKeyTbl.create 256 in
       Seq.filter
         (fun row ->
-          let key = (Row.hash row, Array.to_list row) in
-          if Hashtbl.mem seen key then false
+          let key = Array.map Dict.encode row in
+          if RowKeyTbl.mem seen key then false
           else begin
-            Hashtbl.add seen key ();
+            RowKeyTbl.add seen key ();
             true
           end)
         (run input)

@@ -35,6 +35,20 @@ let hash (r : t) = Array.fold_left (fun acc v -> (acc * 31) + Value.hash v) 7 r
 (** [project r idxs] extracts the columns at [idxs] in order. *)
 let project (r : t) (idxs : int array) : t = Array.map (fun i -> r.(i)) idxs
 
+(** Encoded rows: the same columns as dense {!Dict} ids. The execution
+    core (extents, fixpoint frontiers, hash builds, the CO cache) carries
+    these; decode happens at TAKE/projection, cursor delivery, and sys.*
+    rendering. *)
+type enc = int array
+
+(** [encode r] / [decode e] map {!Dict.encode}/{!Dict.decode} pointwise. *)
+let encode (r : t) : enc = Dict.encode_row r
+
+let decode (e : enc) : t = Dict.decode_row e
+
+(** [project_enc e idxs] is {!project} over an encoded row. *)
+let project_enc (e : enc) (idxs : int array) : enc = Array.map (fun i -> e.(i)) idxs
+
 (** [pp] prints a row as [(v1, v2, ...)]. *)
 let pp ppf (r : t) =
   Fmt.pf ppf "(%a)" (Fmt.array ~sep:(Fmt.any ", ") Value.pp) r

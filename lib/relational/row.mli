@@ -20,5 +20,17 @@ val hash : t -> int
 (** [project r idxs] extracts the columns at [idxs], in order. *)
 val project : t -> int array -> t
 
+(** Encoded rows: the same columns as dense {!Dict} ids — what the
+    execution core carries between encode (at base-table scan / build
+    time) and decode (at TAKE/projection, cursor delivery, sys.*
+    rendering). *)
+type enc = int array
+
+val encode : t -> enc
+val decode : enc -> t
+
+(** [project_enc e idxs] is {!project} over an encoded row. *)
+val project_enc : enc -> int array -> enc
+
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string

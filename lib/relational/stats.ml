@@ -1,7 +1,7 @@
 (* ANALYZE-collected table and column statistics.
 
    One pass over a table computes, per column: the exact distinct count
-   (NDV, via {!Expr.Row_key} hashing so Int/Float compare across types
+   (NDV, via {!Expr.Row_key_boxed} hashing so Int/Float compare across types
    and NULLs never inflate the count), min/max under the total order, the
    null count, and an equi-depth histogram (bucket upper boundaries over
    the sorted non-null values). The snapshot records the table version it
@@ -47,7 +47,7 @@ let equi_depth (values : Value.t array) : Value.t array =
 let analyze (t : Table.t) : table_stats =
   let schema = Table.schema t in
   let arity = Schema.arity schema in
-  let seen = Array.init arity (fun _ -> Expr.Row_key_tbl.create 64) in
+  let seen = Array.init arity (fun _ -> Expr.Row_key_boxed_tbl.create 64) in
   let nulls = Array.make arity 0 in
   let mins = Array.make arity Value.Null in
   let maxs = Array.make arity Value.Null in
@@ -60,7 +60,7 @@ let analyze (t : Table.t) : table_stats =
         let v = row.(i) in
         if Value.is_null v then nulls.(i) <- nulls.(i) + 1
         else begin
-          Expr.Row_key_tbl.replace seen.(i) [| v |] ();
+          Expr.Row_key_boxed_tbl.replace seen.(i) [| v |] ();
           (match mins.(i) with
           | Value.Null -> mins.(i) <- v
           | m -> if Value.compare_total v m < 0 then mins.(i) <- v);
@@ -74,7 +74,7 @@ let analyze (t : Table.t) : table_stats =
   let cols =
     Array.init arity (fun i ->
         { cs_name = (Schema.col schema i).Schema.col_name;
-          cs_ndv = max 1 (Expr.Row_key_tbl.length seen.(i));
+          cs_ndv = max 1 (Expr.Row_key_boxed_tbl.length seen.(i));
           cs_min = mins.(i);
           cs_max = maxs.(i);
           cs_nulls = nulls.(i);

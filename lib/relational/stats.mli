@@ -1,6 +1,6 @@
 (** ANALYZE-collected table and column statistics.
 
-    One pass over a table computes per-column NDV (via {!Expr.Row_key}
+    One pass over a table computes per-column NDV (via {!Expr.Row_key_boxed}
     hashing), min/max under the total order, null counts and equi-depth
     histograms. The snapshot records the {!Table.version} it was
     collected at; consumers treat a version mismatch as staleness —

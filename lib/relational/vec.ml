@@ -5,9 +5,10 @@
 
 type 'a t = { mutable data : 'a array; mutable len : int; dummy : 'a }
 
-(** [create ~dummy ()] is an empty vector. [dummy] fills unused slots; it is
-    never observable through the public API. *)
-let create ~dummy () = { data = Array.make 8 dummy; len = 0; dummy }
+(** [create ?capacity ~dummy ()] is an empty vector. [dummy] fills unused
+    slots; it is never observable through the public API. [capacity]
+    presizes the backing array (hot paths avoid growth-doubling churn). *)
+let create ?(capacity = 8) ~dummy () = { data = Array.make (max 8 capacity) dummy; len = 0; dummy }
 
 (** [length v] is the number of elements pushed and not truncated. *)
 let length v = v.len

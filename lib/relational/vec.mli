@@ -3,9 +3,9 @@
 
 type 'a t
 
-(** [create ~dummy ()] is an empty vector. [dummy] fills unused capacity;
+(** [create ?capacity ~dummy ()] is an empty vector. [dummy] fills unused capacity;
     it is never observable through the API. *)
-val create : dummy:'a -> unit -> 'a t
+val create : ?capacity:int -> dummy:'a -> unit -> 'a t
 
 val length : 'a t -> int
 

@@ -23,7 +23,7 @@ let test_unshared_translation_equivalent () =
     (fun (name, rows) ->
       let ni = Xnf.Cache.node shared name in
       let shared_rows =
-        sorted_rows (List.map (fun t -> t.Xnf.Cache.t_row) (Xnf.Cache.live_tuples ni))
+        sorted_rows (List.map (fun t -> (Xnf.Cache.row t)) (Xnf.Cache.live_tuples ni))
       in
       let naive_rows = sorted_rows rows in
       Alcotest.(check int) ("cardinality " ^ name) (List.length shared_rows) (List.length naive_rows);

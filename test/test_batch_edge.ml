@@ -299,6 +299,65 @@ let test_plans_describe_shows_strategy () =
     Alcotest.(check bool) "describe lists per-edge strategies" true
       (contains d "ec:hash-batch" && contains d "eb:indexed" && contains d "ed:generic")
 
+(* ---- encoded key hashing allocates nothing ---- *)
+
+(* [Gc.allocated_bytes] only advances at minor collections on OCaml 5;
+   drain the minor heap on both sides of the bracket or the delta is
+   quantized by the minor-heap size. *)
+let alloc_bytes f =
+  Gc.minor ();
+  let before = Gc.allocated_bytes () in
+  f ();
+  Gc.minor ();
+  let after = Gc.allocated_bytes () in
+  after -. before
+
+let test_encoded_hash_zero_alloc () =
+  (* Float and Str cells go through dict ids, so hashing/comparing them
+     must touch only ints — the whole point of the encoded hot path *)
+  let keys =
+    Array.map
+      (fun vs -> Array.map (fun v -> Dict.key_cell (Dict.encode v)) vs)
+      [| [| Value.Str "widget"; Value.Int 7 |];
+         [| Value.Float 2.5; Value.Str "" |];
+         [| Value.Float 7.0; Value.Int 7 |];
+         [| Value.Null; Value.Str "n\xc3\xa9" |] |]
+  in
+  (* cross-equality sanity: Float 7.0 normalizes onto Int 7's key id *)
+  Alcotest.(check bool) "Float 7.0 key = Int 7 key" true
+    (keys.(2).(0) = Dict.key_cell (Dict.encode (Value.Int 7)));
+  let iters = 100_000 in
+  let acc = ref 0 in
+  let bytes =
+    alloc_bytes (fun () ->
+        for i = 1 to iters do
+          let k = Array.unsafe_get keys (i land 3) in
+          acc := !acc lxor Expr.Row_key.hash k;
+          if Expr.Row_key.equal k (Array.unsafe_get keys ((i + 1) land 3)) then incr acc;
+          if Expr.Row_key.has_null k then incr acc
+        done)
+  in
+  Alcotest.(check bool) "hash results consumed" true (!acc <> min_int);
+  (* exact zero modulo measurement noise: < 0.01 bytes per iteration *)
+  Alcotest.(check bool)
+    (Printf.sprintf "Row_key hash/equal/has_null allocated %.0f bytes over %d iterations" bytes
+       iters)
+    true (bytes < 1024.);
+  (* the boxed fallback must not allocate either: decoded comparators
+     still run in the naive oracle and statistics layers *)
+  let boxed =
+    [| Value.Str "widget"; Value.Float 2.5; Value.Float 7.0; Value.Int 7; Value.Null |]
+  in
+  let vbytes =
+    alloc_bytes (fun () ->
+        for i = 1 to iters do
+          acc := !acc lxor Value.hash (Array.unsafe_get boxed (i mod 5))
+        done)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "Value.hash allocated %.0f bytes over %d iterations" vbytes iters)
+    true (vbytes < 1024.)
+
 let suite =
   [ Alcotest.test_case "strategy selection matrix" `Quick test_selection_matrix;
     Alcotest.test_case "forcing and generic fallback" `Quick test_forcing_and_fallback;
@@ -312,5 +371,6 @@ let suite =
     Alcotest.test_case "build reuse via PREPARE/EXECUTE" `Quick test_build_reuse_prepared_execute;
     Alcotest.test_case "USING partial build invalidation" `Quick test_using_partial_invalidation;
     Alcotest.test_case "shared child probed once" `Quick test_shared_child_probed_once;
+    Alcotest.test_case "encoded key hashing allocates nothing" `Quick test_encoded_hash_zero_alloc;
     Alcotest.test_case "EXPLAIN ANALYZE shows strategy" `Quick test_explain_shows_strategy;
     Alcotest.test_case "\\plans describe shows strategy" `Quick test_plans_describe_shows_strategy ]

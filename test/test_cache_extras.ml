@@ -42,7 +42,7 @@ let test_key_index_errors () =
     Alcotest.fail "expected unknown node"
   with Xnf.Cache.Cache_error _ -> ()
 
-let names c = List.map (fun t -> Value.as_string t.Xnf.Cache.t_row.(1)) (Xnf.Cursor.to_list c)
+let names c = List.map (fun t -> Value.as_string (Xnf.Cache.col t 1)) (Xnf.Cursor.to_list c)
 
 let test_ordered_cursor () =
   let _, api = mk () in

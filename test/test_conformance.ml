@@ -166,7 +166,7 @@ let test_count_path_threshold () =
   let expected =
     Xnf.Cache.live_tuples (Xnf.Cache.node base "xdept")
     |> List.filter (fun t -> List.length (Xnf.Cache.children base ei t.Xnf.Cache.t_pos) >= 2)
-    |> List.map (fun t -> t.Xnf.Cache.t_row)
+    |> List.map (fun t -> (Xnf.Cache.row t))
     |> List.sort Relational.Row.compare
   in
   let restricted =

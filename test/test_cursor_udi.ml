@@ -28,7 +28,7 @@ let mk () =
 
 let find_by_key cache node k =
   let ni = Xnf.Cache.node cache node in
-  (List.find (fun t -> Value.equal t.Xnf.Cache.t_row.(0) (Value.Int k)) (Xnf.Cache.live_tuples ni))
+  (List.find (fun t -> Value.equal (Xnf.Cache.col t 0) (Value.Int k)) (Xnf.Cache.live_tuples ni))
     .Xnf.Cache.t_pos
 
 let int_at db sql =
@@ -43,7 +43,7 @@ let test_independent_cursor () =
   let c = Xnf.Cursor.open_independent cache "xemp" in
   let names =
     Xnf.Cursor.to_list c
-    |> List.map (fun t -> Value.as_string t.Xnf.Cache.t_row.(1))
+    |> List.map (fun t -> Value.as_string (Xnf.Cache.col t 1))
     |> List.sort compare
   in
   Alcotest.(check (list string)) "all emps" [ "e1"; "e2"; "e3" ] names;

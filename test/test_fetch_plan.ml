@@ -28,7 +28,7 @@ let q_all =
    employment AS (RELATE Xdept, Xemp WHERE Xdept.dno = Xemp.edno) TAKE *"
 
 let live_rows cache node =
-  List.map (fun t -> Array.to_list t.Xnf.Cache.t_row) (Xnf.Cache.live_tuples (Xnf.Cache.node cache node))
+  List.map (fun t -> Array.to_list (Xnf.Cache.row t)) (Xnf.Cache.live_tuples (Xnf.Cache.node cache node))
 
 (* ---- warm hits ---- *)
 

@@ -30,7 +30,7 @@ let mk () =
 
 let pos_of cache node k =
   let ni = Xnf.Cache.node cache node in
-  (List.find (fun t -> Value.equal t.Xnf.Cache.t_row.(0) (Value.Int k)) (Xnf.Cache.live_tuples ni))
+  (List.find (fun t -> Value.equal (Xnf.Cache.col t 0) (Value.Int k)) (Xnf.Cache.live_tuples ni))
     .Xnf.Cache.t_pos
 
 (* reuse the parser by wrapping the path in a predicate *)
@@ -50,7 +50,7 @@ let env_d cache k = [ ("d", { Xnf.Path.b_node = "xdept"; b_pos = pos_of cache "x
 
 let keys cache (node, positions) =
   let ni = Xnf.Cache.node cache node in
-  List.map (fun p -> Value.as_int (Xnf.Cache.tuple ni p).Xnf.Cache.t_row.(0)) positions
+  List.map (fun p -> Value.as_int (Xnf.Cache.col (Xnf.Cache.tuple ni p) 0)) positions
   |> List.sort compare
 
 let test_tuple_rooted_path () =

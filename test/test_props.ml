@@ -218,11 +218,11 @@ let prop_reachability_subset =
       (* every xc tuple's parent key appears among the xp keys *)
       let p_keys =
         Xnf.Cache.live_tuples (Xnf.Cache.node cache "xp")
-        |> List.map (fun t -> t.Xnf.Cache.t_row.(0))
+        |> List.map (fun t -> (Xnf.Cache.col t 0))
       in
       Xnf.Cache.live_tuples (Xnf.Cache.node cache "xc")
       |> List.for_all (fun t ->
-             List.exists (fun k -> Value.equal k t.Xnf.Cache.t_row.(1)) p_keys))
+             List.exists (fun k -> Value.equal k (Xnf.Cache.col t 1)) p_keys))
 
 let prop_every_tuple_reachable =
   QCheck.Test.make ~name:"every non-root tuple has an incoming connection" ~count:40 arb_co_seed
@@ -252,7 +252,7 @@ let prop_shared_equals_unshared =
         (fun (name, rows) ->
           let ni = Xnf.Cache.node shared name in
           let a =
-            List.sort Row.compare (List.map (fun t -> t.Xnf.Cache.t_row) (Xnf.Cache.live_tuples ni))
+            List.sort Row.compare (List.map (fun t -> (Xnf.Cache.row t)) (Xnf.Cache.live_tuples ni))
           in
           let b = List.sort Row.compare rows in
           List.length a = List.length b && List.for_all2 Row.equal a b)
@@ -309,7 +309,7 @@ let two_edge_query =
 let conn_sig cache edge =
   Xnf.Cache.conns_live (Xnf.Cache.edge cache edge)
   |> List.map (fun c ->
-         (c.Xnf.Cache.cn_parent, c.Xnf.Cache.cn_child, Array.to_list c.Xnf.Cache.cn_attrs))
+         (c.Xnf.Cache.cn_parent, c.Xnf.Cache.cn_child, Array.to_list (Xnf.Cache.conn_attrs c)))
   |> List.sort compare
 
 let int_query db sql = (List.hd (Db.rows_of db sql)).(0)
@@ -326,8 +326,8 @@ let prop_udi_fk_roundtrip =
       | [] -> QCheck.assume_fail ()
       | c :: _ ->
         let parent = c.Xnf.Cache.cn_parent and child = c.Xnf.Cache.cn_child in
-        let aid = (Xnf.Cache.tuple (Xnf.Cache.node cache "xa") parent).Xnf.Cache.t_row.(0) in
-        let bid = (Xnf.Cache.tuple (Xnf.Cache.node cache "xb") child).Xnf.Cache.t_row.(0) in
+        let aid = Xnf.Cache.col (Xnf.Cache.tuple (Xnf.Cache.node cache "xa") parent) 0 in
+        let bid = Xnf.Cache.col (Xnf.Cache.tuple (Xnf.Cache.node cache "xb") child) 0 in
         let fa_sql =
           Printf.sprintf "SELECT fa FROM b WHERE bid = %s" (Value.to_sql_literal bid)
         in
@@ -352,9 +352,9 @@ let prop_udi_mn_roundtrip =
       | [] -> QCheck.assume_fail ()
       | c :: _ ->
         let parent = c.Xnf.Cache.cn_parent and child = c.Xnf.Cache.cn_child in
-        let w = c.Xnf.Cache.cn_attrs.(0) in
-        let aid = (Xnf.Cache.tuple (Xnf.Cache.node cache "xa") parent).Xnf.Cache.t_row.(0) in
-        let bid = (Xnf.Cache.tuple (Xnf.Cache.node cache "xb") child).Xnf.Cache.t_row.(0) in
+        let w = (Xnf.Cache.conn_attrs c).(0) in
+        let aid = Xnf.Cache.col (Xnf.Cache.tuple (Xnf.Cache.node cache "xa") parent) 0 in
+        let bid = Xnf.Cache.col (Xnf.Cache.tuple (Xnf.Cache.node cache "xb") child) 0 in
         let link_sql =
           Printf.sprintf "SELECT COUNT(*) FROM ab WHERE la = %s AND lb = %s"
             (Value.to_sql_literal aid) (Value.to_sql_literal bid)

@@ -42,7 +42,7 @@ let co_query =
 
 let node_keys cache node =
   Xnf.Cache.live_tuples (Xnf.Cache.node cache node)
-  |> List.map (fun t -> Value.as_int t.Xnf.Cache.t_row.(0))
+  |> List.map (fun t -> Value.as_int (Xnf.Cache.col t 0))
   |> List.sort compare
 
 (* the translator must compute the same CO through indexed probes and
@@ -106,10 +106,10 @@ let prop_udi_roundtrip =
         Xnf.Udi.update ses ~node:"xc" ~pos:t.Xnf.Cache.t_pos [ ("w", Value.Int v) ];
         let cache2 = Xnf.Api.fetch_string api co_query in
         let ni2 = Xnf.Cache.node cache2 "xc" in
-        let key = t.Xnf.Cache.t_row.(0) in
+        let key = (Xnf.Cache.col t 0) in
         List.exists
           (fun t2 ->
-            Value.equal t2.Xnf.Cache.t_row.(0) key && Value.equal t2.Xnf.Cache.t_row.(2) (Value.Int v))
+            Value.equal (Xnf.Cache.col t2 0) key && Value.equal (Xnf.Cache.col t2 2) (Value.Int v))
           (Xnf.Cache.live_tuples ni2))
 
 (* deleting a cached tuple removes it from subsequent fetches *)
@@ -122,13 +122,13 @@ let prop_udi_delete_roundtrip =
       match Xnf.Cache.live_tuples ni with
       | [] -> true
       | t :: _ ->
-        let key = t.Xnf.Cache.t_row.(0) in
+        let key = (Xnf.Cache.col t 0) in
         let ses = Xnf.Api.session api cache in
         Xnf.Udi.delete ses ~node:"xg" ~pos:t.Xnf.Cache.t_pos;
         let cache2 = Xnf.Api.fetch_string api co_query in
         not
           (List.exists
-             (fun t2 -> Value.equal t2.Xnf.Cache.t_row.(0) key)
+             (fun t2 -> Value.equal (Xnf.Cache.col t2 0) key)
              (Xnf.Cache.live_tuples (Xnf.Cache.node cache2 "xg"))))
 
 (* connections always join live tuples of the right nodes *)
@@ -253,7 +253,7 @@ let prop_count_path_equals_sql =
       in
       Xnf.Cache.live_tuples (Xnf.Cache.node cache "xp")
       |> List.for_all (fun t ->
-             let pid = Value.as_int t.Xnf.Cache.t_row.(0) in
+             let pid = Value.as_int (Xnf.Cache.col t 0) in
              let env = [ ("v", { Xnf.Path.b_node = "xp"; b_pos = t.Xnf.Cache.t_pos }) ] in
              let count =
                match

@@ -235,6 +235,114 @@ let test_sys_recovery_counters () =
     Alcotest.(check bool) "sys.recovery has rows" true (List.length rrows >= 4)
   | _ -> Alcotest.fail "sys.recovery did not return rows"
 
+(* ---- dictionary: encode/decode round-trip and checkpoint persistence ---- *)
+
+(* every constructor, plus the edges the id layout carves out: NULL,
+   empty and multi-byte strings, inline-range boundary ints, and floats
+   that do / do not normalize onto an integer key *)
+let gen_dict_value =
+  QCheck.Gen.(
+    frequency
+      [ (1, return Value.Null);
+        (1, map (fun b -> Value.Bool b) bool);
+        (3, map (fun i -> Value.Int i) (int_range (-1000) 1000));
+        ( 1,
+          oneofl
+            [ Value.Int min_int; Value.Int max_int; Value.Int ((1 lsl 60) - 1);
+              Value.Int (1 lsl 60); Value.Int (-(1 lsl 60)); Value.Int (-(1 lsl 60) - 1) ] );
+        (2, map (fun f -> Value.Float (Float.of_int f /. 8.)) (int_range (-400) 400));
+        ( 1,
+          oneofl
+            [ Value.Float 0.; Value.Float (-0.); Value.Float Float.nan; Value.Float Float.infinity;
+              Value.Float 1e300 ] );
+        (2, map (fun s -> Value.Str s) (string_size ~gen:(char_range 'a' 'f') (int_range 0 6)));
+        (1, oneofl [ Value.Str ""; Value.Str "n\xc3\xa9"; Value.Str "\xe2\x98\x83" ]) ])
+
+let arb_dict_value = QCheck.make ~print:Value.to_string gen_dict_value
+
+(* constructor-exact equality ([decode] must not merge Int/Float or lose
+   NaN); Float.compare treats NaN = NaN and -0. = 0. like the intern table *)
+let value_exact a b =
+  match a, b with
+  | Value.Float x, Value.Float y -> Float.compare x y = 0
+  | _ -> a = b
+
+let prop_dict_roundtrip =
+  QCheck.Test.make ~name:"dict encode/decode round-trips every constructor" ~count:500
+    arb_dict_value (fun v ->
+      let id = Dict.encode v in
+      value_exact (Dict.decode id) v && Dict.encode v = id)
+
+let gen_dict_pair =
+  QCheck.Gen.(
+    frequency
+      [ (3, pair gen_dict_value gen_dict_value);
+        (* force Int/Float cross-equal pairs into the sample *)
+        ( 1,
+          map
+            (fun n -> (Value.Int n, Value.Float (Float.of_int n)))
+            (int_range (-1000) 1000) ) ])
+
+let arb_dict_pair =
+  QCheck.make
+    ~print:(fun (a, b) -> Value.to_string a ^ " / " ^ Value.to_string b)
+    gen_dict_pair
+
+let prop_dict_key_equiv =
+  QCheck.Test.make ~name:"dict key_cell equality is Value.equal" ~count:500 arb_dict_pair
+    (fun (a, b) ->
+      Dict.key_cell (Dict.encode a) = Dict.key_cell (Dict.encode b) = Value.equal a b)
+
+let dict_payload dir =
+  match Checkpoint.read ~path:(Filename.concat dir "checkpoint.db") with
+  | None -> Alcotest.fail "no checkpoint written"
+  | Some im -> begin
+    match List.assoc_opt "xnf.dict" im.Checkpoint.im_sections with
+    | None -> Alcotest.fail "checkpoint carries no xnf.dict section"
+    | Some p -> p
+  end
+
+let decode_dict_payload p =
+  let r = Bincode.reader p in
+  let n = Bincode.get_int r in
+  Array.init n (fun _ -> Bincode.get_value r)
+
+let test_dict_persistence () =
+  Tmpfix.with_dir @@ fun dir ->
+  Tmpfix.with_dir @@ fun dir2 ->
+  let db, api = seed_session dir in
+  (* intern through real execution: strings/floats reach the dictionary
+     via the encoded caches *)
+  ignore (Xnf.Api.fetch_string api q_org);
+  exec db "INSERT INTO dept VALUES (3, 'd3-\xc3\xbc', 300)";
+  ignore (Xnf.Api.checkpoint api);
+  let p1 = dict_payload dir in
+  let entries = decode_dict_payload p1 in
+  let snap = Dict.snapshot () in
+  Alcotest.(check int) "section holds the whole dictionary" (Array.length snap)
+    (Array.length entries);
+  Array.iteri
+    (fun i v ->
+      if not (value_exact v snap.(i)) then
+        Alcotest.failf "slot %d: section %s <> live %s" i (Value.to_string v)
+          (Value.to_string snap.(i)))
+    entries;
+  (* recovery re-interns the section; in-order restore is idempotent, so
+     a second checkpoint must reproduce the section byte-exactly *)
+  Tmpfix.clone_data dir dir2;
+  let _db2, api2 = reopen dir2 in
+  Alcotest.(check int) "recover does not grow the dictionary" (Array.length snap) (Dict.size ());
+  ignore (Xnf.Api.checkpoint api2);
+  Alcotest.(check string) "dict section round-trips byte-exactly" p1 (dict_payload dir2);
+  (* ids never relocate across restore: a pre-recovery id still decodes *)
+  let probe = Dict.encode (Value.Str "d3-\xc3\xbc") in
+  Dict.restore entries;
+  Alcotest.(check bool) "restore keeps existing ids" true
+    (value_exact (Dict.decode probe) (Value.Str "d3-\xc3\xbc"))
+
+let qcheck_seed = 0x5eed
+let qcheck_case i t = QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| qcheck_seed; i |]) t
+
 let suite =
   [ Alcotest.test_case "checkpoint round-trip" `Quick test_checkpoint_roundtrip;
     Alcotest.test_case "replay to last commit" `Quick test_replay_to_last_commit;
@@ -243,4 +351,7 @@ let suite =
     Alcotest.test_case "recovery idempotent" `Quick test_recover_idempotent;
     Alcotest.test_case "plan-cache invalidation deltas" `Quick test_plan_cache_invalidation;
     Alcotest.test_case "XNF view DDL order" `Quick test_xnf_view_drop_order;
-    Alcotest.test_case "sys.recovery counters" `Quick test_sys_recovery_counters ]
+    Alcotest.test_case "sys.recovery counters" `Quick test_sys_recovery_counters;
+    Alcotest.test_case "dictionary checkpoint persistence" `Quick test_dict_persistence;
+    qcheck_case 0 prop_dict_roundtrip;
+    qcheck_case 1 prop_dict_key_equiv ]

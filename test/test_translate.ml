@@ -45,7 +45,7 @@ let mk_api () =
 
 let node_keys cache node =
   Xnf.Cache.live_tuples (Xnf.Cache.node cache node)
-  |> List.map (fun t -> Value.as_int t.Xnf.Cache.t_row.(0))
+  |> List.map (fun t -> Value.as_int (Xnf.Cache.col t 0))
   |> List.sort compare
 
 let conn_count cache edge =
@@ -113,7 +113,7 @@ let test_relationship_attributes () =
   Alcotest.(check int) "attr schema" 1 (Schema.arity ei.Xnf.Cache.ei_attr_schema);
   let percentages =
     Xnf.Cache.conns_live ei
-    |> List.map (fun c -> Value.as_int c.Xnf.Cache.cn_attrs.(0))
+    |> List.map (fun c -> Value.as_int (Xnf.Cache.conn_attrs c).(0))
     |> List.sort compare
   in
   Alcotest.(check (list int)) "percentages" [ 50; 50; 100 ] percentages
@@ -157,7 +157,7 @@ let test_column_projection () =
   let ni = Xnf.Cache.node cache "xemp" in
   Alcotest.(check int) "two columns" 2 (Schema.arity ni.Xnf.Cache.ni_schema);
   let t = List.hd (Xnf.Cache.live_tuples ni) in
-  Alcotest.(check int) "row width" 2 (Array.length t.Xnf.Cache.t_row)
+  Alcotest.(check int) "row width" 2 (Array.length (Xnf.Cache.row t))
 
 (* F4/F5: recursive CO and restriction on it (§3.4) *)
 let test_recursive_co_fig5 () =
@@ -293,7 +293,7 @@ let test_update_after_column_projection () =
   let cache = fetch api "OUT OF ALL-DEPS TAKE Xdept(*), Xemp(sal, ename), employment" in
   let ni = Xnf.Cache.node cache "xemp" in
   let t = List.hd (Xnf.Cache.live_tuples ni) in
-  let name = Value.as_string t.Xnf.Cache.t_row.(1) in
+  let name = Value.as_string (Xnf.Cache.col t 1) in
   let ses = Xnf.Udi.session db cache in
   Xnf.Udi.update ses ~node:"xemp" ~pos:t.Xnf.Cache.t_pos [ ("sal", Value.Int 42) ];
   let base =
